@@ -1,0 +1,54 @@
+//! Benchmarks for the PCTL checking engine (supports experiment E8):
+//! DTMC reachability/reward solving and MDP value iteration as the WSN
+//! grid grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tml_checker::Checker;
+use tml_logic::parse_query;
+use tml_wsn::{build_dtmc, build_mdp, WsnConfig};
+
+fn bench_dtmc_reward(c: &mut Criterion) {
+    let checker = Checker::new();
+    let q = parse_query("R{\"attempts\"}=? [ F \"delivered\" ]").unwrap();
+    let mut group = c.benchmark_group("dtmc_reach_reward");
+    for n in [3, 5, 8, 12] {
+        let config = WsnConfig { n, ..Default::default() };
+        let chain = build_dtmc(&config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &chain, |b, chain| {
+            b.iter(|| checker.query_dtmc(black_box(chain), &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dtmc_reachability(c: &mut Criterion) {
+    let checker = Checker::new();
+    let q = parse_query("P=? [ F \"delivered\" ]").unwrap();
+    let mut group = c.benchmark_group("dtmc_reachability");
+    for n in [3, 8, 12] {
+        let config = WsnConfig { n, ..Default::default() };
+        let chain = build_dtmc(&config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &chain, |b, chain| {
+            b.iter(|| checker.query_dtmc(black_box(chain), &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mdp_value_iteration(c: &mut Criterion) {
+    let checker = Checker::new();
+    let q = parse_query("R{\"attempts\"}max=? [ F \"delivered\" ]").unwrap();
+    let mut group = c.benchmark_group("mdp_rmax");
+    for n in [3, 5, 8] {
+        let config = WsnConfig { n, ..Default::default() };
+        let mdp = build_mdp(&config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &mdp, |b, mdp| {
+            b.iter(|| checker.query_mdp(black_box(mdp), &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtmc_reward, bench_dtmc_reachability, bench_mdp_value_iteration);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks for the IRL and Reward Repair stack (E5/E6): max-ent IRL
+//! training, value iteration, trajectory enumeration + projection, and the
+//! Q-constraint repair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tml_car as car;
+use tml_core::{enumerate_trajectories, project_distribution, RewardRepair};
+use tml_irl::{maxent_irl, value_iteration, IrlOptions, ViOptions};
+
+fn bench_irl(c: &mut Criterion) {
+    let mdp = car::build_mdp().unwrap();
+    let features = car::features().unwrap();
+    let demo = car::expert_path();
+
+    let mut group = c.benchmark_group("irl_car");
+    group.sample_size(10);
+    group.bench_function("maxent_100_iters", |b| {
+        let opts = IrlOptions { iterations: 100, ..car::irl_options() };
+        b.iter(|| maxent_irl(black_box(&mdp), &features, &[demo.clone()], opts).unwrap());
+    });
+    group.bench_function("value_iteration", |b| {
+        let rewards = features.rewards(&[0.5, -0.3, 1.0]);
+        b.iter(|| {
+            value_iteration(black_box(&mdp), &rewards, ViOptions { gamma: car::GAMMA, ..Default::default() })
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mdp = car::build_mdp().unwrap();
+    let rules = car::safety_rules();
+
+    let mut group = c.benchmark_group("projection_car");
+    group.bench_function("enumerate_h6", |b| {
+        b.iter(|| enumerate_trajectories(black_box(&mdp), 0, 6));
+    });
+    let paths = enumerate_trajectories(&mdp, 0, 6);
+    let uniform = vec![1.0 / paths.len() as f64; paths.len()];
+    group.bench_function("project_h6", |b| {
+        b.iter(|| project_distribution(black_box(&mdp), &paths, &uniform, &rules));
+    });
+    group.finish();
+}
+
+fn bench_q_repair(c: &mut Criterion) {
+    let mdp = car::build_mdp().unwrap();
+    let features = car::features().unwrap();
+    let theta0 = vec![-0.7, -0.5, 2.0];
+
+    let mut group = c.benchmark_group("reward_repair_car");
+    group.sample_size(10);
+    group.bench_function("q_constraint", |b| {
+        b.iter(|| {
+            RewardRepair::new()
+                .q_constraint_repair(
+                    black_box(&mdp),
+                    &features,
+                    &theta0,
+                    &[car::q_repair_constraint()],
+                    car::GAMMA,
+                    3.0,
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_irl, bench_projection, bench_q_repair);
+criterion_main!(benches);

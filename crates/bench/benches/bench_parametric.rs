@@ -1,0 +1,68 @@
+//! Benchmarks for the parametric engine (E2/E4 machinery): symbolic state
+//! elimination vs. grid size, and rational-function evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tml_wsn::{build_dtmc, repair_template, WsnConfig};
+
+fn bench_symbolic_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_expected_reward");
+    group.sample_size(10);
+    for n in [2, 3, 4] {
+        let config = WsnConfig { n, ..Default::default() };
+        let chain = build_dtmc(&config).unwrap();
+        let template = repair_template(&config).unwrap();
+        let pdtmc = template.apply(&chain).unwrap();
+        let target = pdtmc.labeling().mask("delivered");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &pdtmc, |b, p| {
+            b.iter(|| p.expected_reward("attempts", black_box(&target)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_symbolic_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_reachability");
+    group.sample_size(10);
+    for n in [2, 3, 4] {
+        let config = WsnConfig { n, ..Default::default() };
+        let chain = build_dtmc(&config).unwrap();
+        let template = repair_template(&config).unwrap();
+        let pdtmc = template.apply(&chain).unwrap();
+        let target = pdtmc.labeling().mask("delivered");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &pdtmc, |b, p| {
+            b.iter(|| p.reachability(black_box(&target)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    // Evaluation cost of the closed-form constraint function — this is
+    // what the optimizer pays per step on the symbolic path, vs. a full
+    // model-check per step on the oracle path.
+    let config = WsnConfig::default();
+    let chain = build_dtmc(&config).unwrap();
+    let template = repair_template(&config).unwrap();
+    let pdtmc = template.apply(&chain).unwrap();
+    let target = pdtmc.labeling().mask("delivered");
+    let symbolic = pdtmc.expected_reward("attempts", &target).unwrap();
+    let f = symbolic[config.source()].clone();
+
+    let mut group = c.benchmark_group("constraint_evaluation");
+    group.bench_function("symbolic_eval", |b| {
+        b.iter(|| f.eval(black_box(&[0.05, 0.05])).unwrap());
+    });
+    group.bench_function("oracle_instantiate_and_check", |b| {
+        let q = tml_logic::parse_query("R{\"attempts\"}=? [ F \"delivered\" ]").unwrap();
+        let checker = tml_checker::Checker::new();
+        b.iter(|| {
+            let inst = pdtmc.instantiate(black_box(&[0.05, 0.05])).unwrap();
+            checker.query_dtmc(&inst, &q).unwrap()[config.source()]
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic_elimination, bench_symbolic_reachability, bench_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end repair benchmarks (E2/E3/E4): full Model Repair and Data
+//! Repair runs on the WSN case study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tml_core::{DataRepair, ModelRepair};
+use tml_wsn::{
+    attempts_property, build_dtmc, classes, generate_traces, model_spec, repair_template,
+    WsnConfig,
+};
+
+fn bench_model_repair(c: &mut Criterion) {
+    let config = WsnConfig::default();
+    let chain = build_dtmc(&config).unwrap();
+    let template = repair_template(&config).unwrap();
+
+    let mut group = c.benchmark_group("model_repair_wsn");
+    group.sample_size(10);
+    group.bench_function("feasible_x40", |b| {
+        b.iter(|| {
+            ModelRepair::new()
+                .repair_dtmc(black_box(&chain), &attempts_property(40.0), &template)
+                .unwrap()
+        });
+    });
+    group.bench_function("infeasible_x19", |b| {
+        b.iter(|| {
+            ModelRepair::new()
+                .repair_dtmc(black_box(&chain), &attempts_property(19.0), &template)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_data_repair(c: &mut Criterion) {
+    let config = WsnConfig::default();
+    let dataset = generate_traces(&config, 60, 20.0, 42).unwrap();
+    let spec = model_spec(&config);
+
+    let mut group = c.benchmark_group("data_repair_wsn");
+    group.sample_size(10);
+    group.bench_function("x19", |b| {
+        b.iter(|| {
+            DataRepair::new()
+                .keep_class(classes::FORWARD_SUCCESS)
+                .repair(black_box(&dataset), &spec, &attempts_property(19.0))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_repair, bench_data_repair);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E5–E6 (paper §V-B, Fig. 1): Reward Repair on the obstacle-avoidance
+//! controller.
+//!
+//! 1. Max-entropy IRL on the expert overtake demonstration learns reward
+//!    weights `θ` over (lane, distance-to-unsafe, goal) features.
+//! 2. The greedy policy under `θ` drives **forward at S1**, colliding with
+//!    the van — the paper's unsafe outcome.
+//! 3. Reward Repair solves `min ‖θ' − θ‖² s.t. Q(S1, left) > Q(S1, fwd)`;
+//!    the repaired policy changes lanes and completes the overtake safely.
+//!
+//! Run with `cargo run --release -p tml-bench --bin exp_car_reward_repair`.
+
+use tml_bench::{fmt, print_table};
+use tml_car as car;
+use tml_core::RewardRepair;
+
+fn main() {
+    let mdp = car::build_mdp().expect("fixed topology");
+    let features = car::features().expect("fixed topology");
+
+    println!("Car obstacle avoidance (paper §V-B, Fig. 1)");
+    println!("expert demonstration: {:?}\n", car::expert_path().states);
+
+    // E5: learn the reward by max-ent IRL.
+    let irl = car::learn_reward(&mdp).expect("irl");
+    let learned_policy = car::greedy_policy(&mdp, &irl.theta).expect("vi");
+    let learned_rollout = car::rollout(&mdp, &learned_policy, 25);
+    let learned_safe = car::policy_is_safe(&mdp, &learned_policy);
+
+    // E6: repair the reward.
+    let outcome = RewardRepair::new()
+        .q_constraint_repair(&mdp, &features, &irl.theta, &[car::q_repair_constraint()], car::GAMMA, 3.0)
+        .expect("repair run");
+    let repaired_policy = car::greedy_policy(&mdp, &outcome.theta).expect("vi");
+    let repaired_rollout = car::rollout(&mdp, &repaired_policy, 25);
+    let repaired_safe = car::policy_is_safe(&mdp, &repaired_policy);
+
+    print_table(
+        &["reward", "θ1 (lane)", "θ2 (dist-unsafe)", "θ3 (goal)", "action at S1", "rollout from S0", "safe"],
+        &[
+            vec![
+                "learned (IRL)".into(),
+                fmt(irl.theta[0]),
+                fmt(irl.theta[1]),
+                fmt(irl.theta[2]),
+                action_at(&mdp, &learned_policy, 1),
+                format!("{learned_rollout:?}"),
+                format!("{learned_safe}"),
+            ],
+            vec![
+                "repaired".into(),
+                fmt(outcome.theta[0]),
+                fmt(outcome.theta[1]),
+                fmt(outcome.theta[2]),
+                action_at(&mdp, &repaired_policy, 1),
+                format!("{repaired_rollout:?}"),
+                format!("{repaired_safe}"),
+            ],
+        ],
+    );
+
+    println!("\nrepair status: {:?} (verified: {})", outcome.status, outcome.verified);
+    println!("repair cost ||θ' - θ||^2 = {}", fmt(outcome.cost));
+    println!("\nfull policies (paper lists these per state):");
+    let mut rows = Vec::new();
+    for s in 0..mdp.num_states() {
+        rows.push(vec![
+            format!("S{s}"),
+            action_at(&mdp, &learned_policy, s),
+            action_at(&mdp, &repaired_policy, s),
+        ]);
+    }
+    print_table(&["state", "learned policy", "repaired policy"], &rows);
+
+    assert!(!learned_safe, "E5 expects the learned policy to be unsafe");
+    assert!(repaired_safe, "E6 expects the repaired policy to be safe");
+}
+
+fn action_at(mdp: &tml_models::Mdp, policy: &[usize], s: usize) -> String {
+    mdp.action_name(mdp.choices(s)[policy[s]].action).to_owned()
+}

@@ -1,0 +1,72 @@
+//! E1–E3 (paper §V-A.1): Model Repair on the WSN query-routing model.
+//!
+//! Reproduces the three regimes of `R{"attempts"} <= X [ F "delivered" ]`:
+//!
+//! * `X = 100` — the learned model satisfies the property outright;
+//! * `X = 40`  — repair finds small corrections `(p, q)` to the ignore
+//!   probabilities of field/station vs. interior nodes;
+//! * `X = 19`  — no admissible small perturbation suffices (infeasible).
+//!
+//! Run with `cargo run --release -p tml-bench --bin exp_wsn_model_repair`.
+
+use tml_bench::{fmt, print_table};
+use tml_checker::Checker;
+use tml_core::{ModelRepair, RepairStatus};
+use tml_logic::parse_query;
+use tml_wsn::{attempts_property, build_dtmc, build_mdp, repair_template, WsnConfig};
+
+fn main() {
+    let config = WsnConfig::default();
+    let chain = build_dtmc(&config).expect("valid config");
+    let template = repair_template(&config).expect("valid template");
+    let checker = Checker::new();
+
+    let attempts_query = parse_query("R{\"attempts\"}=? [ F \"delivered\" ]").expect("query");
+    let base_attempts =
+        checker.query_dtmc(&chain, &attempts_query).expect("query")[config.source()];
+    println!("WSN query routing, {0}x{0} grid (paper §V-A.1)", config.n);
+    println!(
+        "ignore probabilities: edge rows {:.2}, interior {:.2}",
+        config.ignore_edge, config.ignore_interior
+    );
+    println!("expected attempts of the unrepaired model: {base_attempts:.2}\n");
+
+    let mut rows = Vec::new();
+    for x in [100.0, 40.0, 19.0] {
+        let property = attempts_property(x);
+        let outcome = ModelRepair::new()
+            .repair_dtmc(&chain, &property, &template)
+            .expect("repair run");
+        let (p, q) = match outcome.parameters.as_slice() {
+            [(_, p), (_, q)] => (*p, *q),
+            _ => (f64::NAN, f64::NAN),
+        };
+        let repaired_attempts = outcome
+            .model
+            .as_ref()
+            .map(|m| checker.query_dtmc(m, &attempts_query).expect("query")[config.source()]);
+        rows.push(vec![
+            format!("R{{attempts}}<={x} [F delivered]"),
+            format!("{:?}", outcome.status),
+            if outcome.status == RepairStatus::Repaired { fmt(p) } else { "-".into() },
+            if outcome.status == RepairStatus::Repaired { fmt(q) } else { "-".into() },
+            if outcome.status == RepairStatus::Repaired { fmt(outcome.cost) } else { "-".into() },
+            repaired_attempts.map(fmt).unwrap_or_else(|| "-".into()),
+            format!("{}", outcome.verified),
+        ]);
+    }
+    print_table(
+        &["property (E1/E2/E3)", "status", "p", "q", "cost ||Z||_F^2", "attempts after", "verified"],
+        &rows,
+    );
+
+    // Worst-scheduler view on the MDP variant for context.
+    let mdp = build_mdp(&config).expect("valid config");
+    let rmax = parse_query("R{\"attempts\"}max=? [ F \"delivered\" ]").expect("query");
+    let rmin = parse_query("R{\"attempts\"}min=? [ F \"delivered\" ]").expect("query");
+    let worst = checker.query_mdp(&mdp, &rmax).expect("query")[config.source()];
+    let best = checker.query_mdp(&mdp, &rmin).expect("query")[config.source()];
+    println!(
+        "\nMDP variant (routing choice nondeterministic): Rmin = {best:.2}, Rmax = {worst:.2} attempts"
+    );
+}

@@ -1,0 +1,54 @@
+//! Shared helpers for the experiment binaries and benchmarks that
+//! regenerate the paper's evaluation (see `EXPERIMENTS.md` at the workspace
+//! root for the experiment index).
+
+/// Prints a fixed-width table: a header row followed by data rows.
+///
+/// Column widths are derived from the widest cell per column.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::from("|");
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            out.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        println!("{out}");
+    };
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&sep);
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with 4 decimals, or `inf`.
+pub fn fmt(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_handles_infinity() {
+        assert_eq!(fmt(f64::INFINITY), "inf");
+        assert_eq!(fmt(1.25), "1.2500");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(&["a", "b"], &[vec!["1".into(), "22".into()]]);
+    }
+}

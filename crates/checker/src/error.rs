@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use tml_models::ModelError;
+use tml_numerics::NumericsError;
+
+/// Errors raised by the model checker.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// The underlying model rejected an operation (e.g. an unknown reward
+    /// structure name).
+    Model(ModelError),
+    /// A numeric kernel failed (singular system, no convergence).
+    Numerics(NumericsError),
+    /// An MDP query lacked the required `min`/`max` annotation.
+    MissingOpt {
+        /// The query, rendered for diagnostics.
+        query: String,
+    },
+    /// A feature combination is not supported.
+    Unsupported {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Model(e) => write!(f, "model error: {e}"),
+            CheckError::Numerics(e) => write!(f, "numeric error: {e}"),
+            CheckError::MissingOpt { query } => {
+                write!(f, "MDP query {query:?} needs an explicit min or max")
+            }
+            CheckError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+        }
+    }
+}
+
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::Model(e) => Some(e),
+            CheckError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CheckError {
+    fn from(e: ModelError) -> Self {
+        CheckError::Model(e)
+    }
+}
+
+impl From<NumericsError> for CheckError {
+    fn from(e: NumericsError) -> Self {
+        CheckError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CheckError::from(ModelError::MissingDistribution { state: 1 });
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let e2 = CheckError::MissingOpt { query: "P=? [...]".into() };
+        assert!(e2.to_string().contains("min or max"));
+        assert!(e2.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CheckError>();
+    }
+}

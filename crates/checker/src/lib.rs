@@ -1,0 +1,162 @@
+//! Exact PCTL model checking for discrete-time Markov chains and Markov
+//! decision processes.
+//!
+//! The checking pipeline mirrors PRISM's explicit engine:
+//!
+//! 1. **Qualitative precomputation** — classify states whose probability is
+//!    exactly 0 or 1 using the graph algorithms of `tml_models::graph`.
+//! 2. **Quantitative solution** — solve a linear system (DTMC, via direct
+//!    Gaussian elimination or Gauss–Seidel) or run value iteration over
+//!    schedulers (MDP) on the remaining "maybe" states.
+//!
+//! Besides boolean *verification* ([`Checker::check_dtmc`] /
+//! [`Checker::check_mdp`]) the crate answers numeric *queries*
+//! (`P=?`, `Rmax=?`, …) via [`Checker::query_dtmc`] / [`Checker::query_mdp`].
+//!
+//! # Example
+//!
+//! ```
+//! use tml_models::DtmcBuilder;
+//! use tml_logic::parse_formula;
+//! use tml_checker::Checker;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A gambler doubles or loses: from `bet`, win 0.3 / lose 0.7.
+//! let mut b = DtmcBuilder::new(3);
+//! b.transition(0, 1, 0.3)?;
+//! b.transition(0, 2, 0.7)?;
+//! b.transition(1, 1, 1.0)?;
+//! b.transition(2, 2, 1.0)?;
+//! b.label(1, "rich")?;
+//! let chain = b.build()?;
+//!
+//! let phi = parse_formula("P>=0.25 [ F \"rich\" ]")?;
+//! let result = Checker::new().check_dtmc(&chain, &phi)?;
+//! assert!(result.holds_in(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtmc;
+mod error;
+pub mod mdp;
+mod options;
+mod result;
+
+pub use error::CheckError;
+pub use options::{CheckOptions, LinearSolver};
+pub use result::CheckResult;
+
+use tml_logic::{Opt, Query, StateFormula};
+use tml_models::{Dtmc, Mdp};
+
+/// The model-checking façade: construct once (optionally with custom
+/// [`CheckOptions`]) and call the `check_*` / `query_*` methods.
+///
+/// The checker is stateless between calls and cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct Checker {
+    opts: CheckOptions,
+}
+
+impl Checker {
+    /// A checker with default numeric options.
+    pub fn new() -> Self {
+        Checker { opts: CheckOptions::default() }
+    }
+
+    /// A checker with explicit numeric options.
+    pub fn with_options(opts: CheckOptions) -> Self {
+        Checker { opts }
+    }
+
+    /// The numeric options in effect.
+    pub fn options(&self) -> &CheckOptions {
+        &self.opts
+    }
+
+    /// Checks a PCTL state formula on a DTMC, returning the satisfying
+    /// state set (and, for a top-level `P`/`R` operator, the numeric values).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] for unknown reward structures or numeric
+    /// failures.
+    pub fn check_dtmc(&self, model: &Dtmc, formula: &StateFormula) -> Result<CheckResult, CheckError> {
+        dtmc::check(model, formula, &self.opts)
+    }
+
+    /// Checks a PCTL state formula on an MDP.
+    ///
+    /// For `P⋈b[·]` operators without an explicit `min`/`max`, the scheduler
+    /// quantification follows the PRISM convention: lower bounds (`>`, `>=`)
+    /// quantify over *all* schedulers (worst case = `Pmin`), upper bounds
+    /// over the best case (`Pmax`); symmetrically `R<=c` checks `Rmax <= c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] for unknown reward structures or numeric
+    /// failures.
+    pub fn check_mdp(&self, model: &Mdp, formula: &StateFormula) -> Result<CheckResult, CheckError> {
+        mdp::check(model, formula, &self.opts)
+    }
+
+    /// Evaluates a numeric query (`P=?`, `R=?`, …) on a DTMC, returning one
+    /// value per state. Any `min`/`max` annotation is ignored (a DTMC has a
+    /// single resolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] for unknown reward structures or numeric
+    /// failures.
+    pub fn query_dtmc(&self, model: &Dtmc, query: &Query) -> Result<Vec<f64>, CheckError> {
+        dtmc::query(model, query, &self.opts)
+    }
+
+    /// Evaluates a numeric query on an MDP, returning one value per state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::MissingOpt`] if the query does not specify
+    /// `min` or `max` (an MDP query is ambiguous without it), plus the usual
+    /// conditions.
+    pub fn query_mdp(&self, model: &Mdp, query: &Query) -> Result<Vec<f64>, CheckError> {
+        mdp::query(model, query, &self.opts)
+    }
+
+    /// Convenience: the value of `query` in the model's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`query_dtmc`](Self::query_dtmc).
+    pub fn value_dtmc(&self, model: &Dtmc, query: &Query) -> Result<f64, CheckError> {
+        Ok(self.query_dtmc(model, query)?[model.initial_state()])
+    }
+
+    /// Convenience: the value of `query` in the MDP's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`query_mdp`](Self::query_mdp).
+    pub fn value_mdp(&self, model: &Mdp, query: &Query) -> Result<f64, CheckError> {
+        Ok(self.query_mdp(model, query)?[model.initial_state()])
+    }
+}
+
+pub(crate) fn resolve_opt(explicit: Option<Opt>, op: tml_logic::CmpOp, for_reward: bool) -> Opt {
+    if let Some(o) = explicit {
+        return o;
+    }
+    // PRISM convention: a lower bound must hold under every scheduler, so we
+    // check the minimum; an upper bound must hold even for the maximizing
+    // scheduler. The same reading applies to reward bounds.
+    let _ = for_reward;
+    if op.is_lower_bound() {
+        Opt::Min
+    } else {
+        Opt::Max
+    }
+}

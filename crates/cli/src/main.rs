@@ -1,0 +1,261 @@
+//! `tml` — a small command-line front end for the trusted-ml workspace:
+//! check PCTL properties, evaluate numeric queries and simulate models
+//! written in the textual model format of `tml_models::dsl`.
+//!
+//! ```text
+//! tml info     MODEL.tml
+//! tml check    MODEL.tml 'P>=0.9 [ F "goal" ]'
+//! tml query    MODEL.tml 'Rmax=? [ F "done" ]'
+//! tml simulate MODEL.tml [STEPS] [SEED]
+//! tml witness  MODEL.tml goal
+//! ```
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tml_checker::Checker;
+use tml_logic::{parse_formula, parse_query};
+use tml_models::dsl::{parse_model, ModelFile};
+use tml_models::StochasticPolicy;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(UsageError(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  tml info     MODEL            show model statistics
+  tml check    MODEL PROPERTY   check a PCTL property (exit code 1 if violated)
+  tml query    MODEL QUERY      evaluate a numeric query (P=?, Rmax=?, ...)
+  tml simulate MODEL [STEPS] [SEED]
+                                sample one trajectory (MDPs use the uniform policy)
+  tml witness  MODEL LABEL      most probable path to a LABEL state (DTMCs)";
+
+struct UsageError(String);
+
+impl From<String> for UsageError {
+    fn from(s: String) -> Self {
+        UsageError(s)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), UsageError> {
+    let cmd = args.first().ok_or_else(|| UsageError("missing command".into()))?;
+    match cmd.as_str() {
+        "info" => info(arg(args, 1, "MODEL")?),
+        "check" => check(arg(args, 1, "MODEL")?, arg(args, 2, "PROPERTY")?),
+        "query" => query(arg(args, 1, "MODEL")?, arg(args, 2, "QUERY")?),
+        "simulate" => simulate(
+            arg(args, 1, "MODEL")?,
+            args.get(2).map(String::as_str),
+            args.get(3).map(String::as_str),
+        ),
+        "witness" => witness(arg(args, 1, "MODEL")?, arg(args, 2, "LABEL")?),
+        other => Err(UsageError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn arg<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, UsageError> {
+    args.get(i).map(String::as_str).ok_or_else(|| UsageError(format!("missing {name} argument")))
+}
+
+fn load(path: &str) -> Result<ModelFile, UsageError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("cannot read {path:?}: {e}")))?;
+    parse_model(&source).map_err(|e| UsageError(format!("{path}: {e}")))
+}
+
+fn info(path: &str) -> Result<(), UsageError> {
+    let model = load(path)?;
+    println!("kind:    {}", model.kind());
+    println!("states:  {}", model.num_states());
+    match &model {
+        ModelFile::Dtmc(m) => {
+            println!("transitions: {}", m.num_transitions());
+            println!("initial: {}", m.initial_state());
+            let labels: Vec<&str> = m.labeling().labels().collect();
+            println!("labels:  {}", labels.join(", "));
+            let rewards: Vec<&str> = m.reward_structures().map(|r| r.name()).collect();
+            println!("rewards: {}", rewards.join(", "));
+        }
+        ModelFile::Mdp(m) => {
+            println!("choices: {}", m.total_choices());
+            println!("actions: {}", m.action_names().join(", "));
+            println!("initial: {}", m.initial_state());
+            let labels: Vec<&str> = m.labeling().labels().collect();
+            println!("labels:  {}", labels.join(", "));
+            let rewards: Vec<&str> = m.reward_structures().map(|r| r.name()).collect();
+            println!("rewards: {}", rewards.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn check(path: &str, property: &str) -> Result<(), UsageError> {
+    let model = load(path)?;
+    let phi = parse_formula(property).map_err(|e| UsageError(e.to_string()))?;
+    let checker = Checker::new();
+    let result = match &model {
+        ModelFile::Dtmc(m) => checker.check_dtmc(m, &phi),
+        ModelFile::Mdp(m) => checker.check_mdp(m, &phi),
+    }
+    .map_err(|e| UsageError(e.to_string()))?;
+    println!("property:   {phi}");
+    println!("holds at initial state: {}", result.holds());
+    println!("satisfying states ({}): {:?}", result.count(), result.sat_states());
+    if let Some(v) = result.value_at_initial() {
+        println!("value at initial state: {v}");
+    }
+    if result.holds() {
+        Ok(())
+    } else {
+        // Distinguish "property violated" (exit 1) from usage errors (2).
+        std::process::exit(1);
+    }
+}
+
+fn query(path: &str, q: &str) -> Result<(), UsageError> {
+    let model = load(path)?;
+    let parsed = parse_query(q).map_err(|e| UsageError(e.to_string()))?;
+    let checker = Checker::new();
+    let values = match &model {
+        ModelFile::Dtmc(m) => checker.query_dtmc(m, &parsed),
+        ModelFile::Mdp(m) => checker.query_mdp(m, &parsed),
+    }
+    .map_err(|e| UsageError(e.to_string()))?;
+    println!("query: {parsed}");
+    for (s, v) in values.iter().enumerate() {
+        println!("  state {s}: {v}");
+    }
+    let initial = match &model {
+        ModelFile::Dtmc(m) => m.initial_state(),
+        ModelFile::Mdp(m) => m.initial_state(),
+    };
+    println!("value at initial state {initial}: {}", values[initial]);
+    Ok(())
+}
+
+fn simulate(path: &str, steps: Option<&str>, seed: Option<&str>) -> Result<(), UsageError> {
+    let model = load(path)?;
+    let steps: usize = steps
+        .unwrap_or("25")
+        .parse()
+        .map_err(|_| UsageError("STEPS must be a non-negative integer".into()))?;
+    let seed: u64 = seed
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| UsageError("SEED must be a non-negative integer".into()))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match &model {
+        ModelFile::Dtmc(m) => {
+            let path = m.sample_path(&mut rng, steps, |_| false);
+            println!("trajectory: {path:?}");
+        }
+        ModelFile::Mdp(m) => {
+            let uniform = StochasticPolicy::uniform(m);
+            let path = m.sample_path(&mut rng, steps, |r, s| uniform.sample(r, s), |_| false);
+            println!("states:  {:?}", path.states);
+            let actions: Vec<&str> =
+                path.actions.iter().map(|&a| m.action_name(a)).collect();
+            println!("actions: {actions:?}");
+        }
+    }
+    Ok(())
+}
+
+fn witness(path: &str, label: &str) -> Result<(), UsageError> {
+    let model = load(path)?;
+    let ModelFile::Dtmc(m) = &model else {
+        return Err(UsageError("witness extraction is defined for dtmc models".into()));
+    };
+    let target = m.labeling().mask(label);
+    if !target.iter().any(|&t| t) {
+        return Err(UsageError(format!("no state carries label {label:?}")));
+    }
+    match tml_checker::dtmc::most_probable_path(m, m.initial_state(), &target) {
+        Some((states, prob)) => {
+            println!("most probable path to {label:?}: {states:?}");
+            println!("path probability: {prob}");
+            Ok(())
+        }
+        None => {
+            println!("no {label:?} state is reachable from the initial state");
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("tml-cli-test-{name}-{}", std::process::id()));
+        std::fs::write(&path, contents).expect("write temp model");
+        path
+    }
+
+    const CHAIN: &str = "dtmc\nstates 2\nlabel \"done\" = 1\n0 -> 1: 0.9, 0: 0.1\n1 -> 1: 1.0\n";
+    const MDP: &str = "mdp\nstates 2\nlabel \"done\" = 1\n0 [go] -> 1: 1.0\n0 [stay] -> 0: 1.0\n1 [stay] -> 1: 1.0\n";
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn info_check_query_simulate_roundtrip() {
+        let chain = write_temp("chain", CHAIN);
+        let p = chain.to_str().unwrap();
+        assert!(run(&s(&["info", p])).is_ok());
+        assert!(run(&s(&["check", p, "P>=0.5 [ F \"done\" ]"])).is_ok());
+        assert!(run(&s(&["query", p, "P=? [ F \"done\" ]"])).is_ok());
+        assert!(run(&s(&["simulate", p, "5", "1"])).is_ok());
+        let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
+    fn mdp_commands_work() {
+        let mdp = write_temp("mdp", MDP);
+        let p = mdp.to_str().unwrap();
+        assert!(run(&s(&["info", p])).is_ok());
+        assert!(run(&s(&["check", p, "Pmax>=1 [ F \"done\" ]"])).is_ok());
+        assert!(run(&s(&["query", p, "Pmin=? [ F \"done\" ]"])).is_ok());
+        assert!(run(&s(&["simulate", p])).is_ok());
+        let _ = std::fs::remove_file(mdp);
+    }
+
+    #[test]
+    fn witness_command() {
+        let chain = write_temp("chain-witness", CHAIN);
+        let p = chain.to_str().unwrap();
+        assert!(run(&s(&["witness", p, "done"])).is_ok());
+        assert!(run(&s(&["witness", p, "no_such_label"])).is_err());
+        let _ = std::fs::remove_file(chain);
+        let mdp = write_temp("mdp-witness", MDP);
+        let pm = mdp.to_str().unwrap();
+        assert!(run(&s(&["witness", pm, "done"])).is_err());
+        let _ = std::fs::remove_file(mdp);
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["check"])).is_err());
+        assert!(run(&s(&["check", "/no/such/file", "true"])).is_err());
+        let chain = write_temp("chain-err", CHAIN);
+        let p = chain.to_str().unwrap();
+        assert!(run(&s(&["check", p, "P>=!bad"])).is_err());
+        assert!(run(&s(&["simulate", p, "notanumber"])).is_err());
+        let _ = std::fs::remove_file(chain);
+    }
+}

@@ -1,0 +1,164 @@
+//! ε-bisimilarity diagnostics (Proposition 1).
+//!
+//! Proposition 1 of the paper (after Bartocci et al.) states that when a
+//! model `M'` is obtained from `M` by a row-cancelling perturbation `Z`
+//! (`Σ_t Z(s,t) = 0` per state), the two models are **ε-bisimilar** with
+//! `ε` bounded by the largest entry of `Z`: every path probability of `M'`
+//! is within `ε` of the corresponding path probability of `M` (per step).
+//! These helpers quantify that bound for a concrete pair of models and
+//! empirically validate its consequence on reachability probabilities.
+
+use tml_checker::{dtmc as cdtmc, CheckOptions};
+use tml_models::Dtmc;
+
+use crate::RepairError;
+
+/// The perturbation radius `ε = max_{s,t} |P'(s,t) − P(s,t)|` between two
+/// models over the *same* transition support — the ε of Proposition 1.
+///
+/// # Errors
+///
+/// Returns [`RepairError::InvalidInput`] if the models have different state
+/// counts or different supports (Model Repair never changes the support,
+/// so a mismatch means the models are not a repair pair).
+pub fn perturbation_epsilon(base: &Dtmc, repaired: &Dtmc) -> Result<f64, RepairError> {
+    if base.num_states() != repaired.num_states() {
+        return Err(RepairError::InvalidInput {
+            detail: format!(
+                "models have {} vs {} states",
+                base.num_states(),
+                repaired.num_states()
+            ),
+        });
+    }
+    let mut eps: f64 = 0.0;
+    for s in 0..base.num_states() {
+        for (t, p) in base.successors(s) {
+            let q = repaired.probability(s, t);
+            if q == 0.0 && p > 0.0 {
+                return Err(RepairError::InvalidInput {
+                    detail: format!("transition {s}->{t} present in base but not in repaired"),
+                });
+            }
+            eps = eps.max((p - q).abs());
+        }
+        for (t, q) in repaired.successors(s) {
+            if base.probability(s, t) == 0.0 && q > 0.0 {
+                return Err(RepairError::InvalidInput {
+                    detail: format!("transition {s}->{t} present in repaired but not in base"),
+                });
+            }
+        }
+    }
+    Ok(eps)
+}
+
+/// The largest per-state deviation of unbounded reachability probabilities
+/// `|P_M(s ⊨ F target) − P_M'(s ⊨ F target)|` — an observable consequence
+/// of ε-bisimilarity used to sanity-check repairs.
+///
+/// # Errors
+///
+/// Propagates checker errors and the same support checks as
+/// [`perturbation_epsilon`].
+pub fn reachability_deviation(
+    base: &Dtmc,
+    repaired: &Dtmc,
+    target_label: &str,
+    opts: &CheckOptions,
+) -> Result<f64, RepairError> {
+    perturbation_epsilon(base, repaired)?; // validates shape/support
+    let n = base.num_states();
+    let phi = vec![true; n];
+    let t1 = base.labeling().mask(target_label);
+    let t2 = repaired.labeling().mask(target_label);
+    if t1 != t2 {
+        return Err(RepairError::InvalidInput {
+            detail: format!("label {target_label:?} marks different states in the two models"),
+        });
+    }
+    let p1 = cdtmc::until_probabilities(base, &phi, &t1, opts)?;
+    let p2 = cdtmc::until_probabilities(repaired, &phi, &t1, opts)?;
+    Ok(p1.iter().zip(&p2).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelRepair, PerturbationTemplate, RepairStatus};
+    use tml_logic::parse_formula;
+    use tml_models::DtmcBuilder;
+
+    fn chain(p: f64) -> Dtmc {
+        let mut b = DtmcBuilder::new(3);
+        b.transition(0, 1, p).unwrap();
+        b.transition(0, 2, 1.0 - p).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.transition(2, 2, 1.0).unwrap();
+        b.label(1, "ok").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn epsilon_is_max_entry_delta() {
+        let eps = perturbation_epsilon(&chain(0.8), &chain(0.87)).unwrap();
+        assert!((eps - 0.07).abs() < 1e-12);
+        assert_eq!(perturbation_epsilon(&chain(0.8), &chain(0.8)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn support_mismatch_rejected() {
+        let base = chain(0.8);
+        let mut b = DtmcBuilder::new(3);
+        b.transition(0, 1, 1.0).unwrap(); // transition 0->2 dropped
+        b.transition(1, 1, 1.0).unwrap();
+        b.transition(2, 2, 1.0).unwrap();
+        b.label(1, "ok").unwrap();
+        let other = b.build().unwrap();
+        assert!(perturbation_epsilon(&base, &other).is_err());
+        assert!(perturbation_epsilon(&other, &base).is_err());
+
+        let mut b2 = DtmcBuilder::new(2);
+        b2.transition(0, 0, 1.0).unwrap();
+        b2.transition(1, 1, 1.0).unwrap();
+        assert!(perturbation_epsilon(&base, &b2.build().unwrap()).is_err());
+    }
+
+    /// Proposition 1 on an actual repair: the repaired model's ε equals
+    /// the template's optimal parameter, and reachability probabilities
+    /// deviate by no more than what the chain's structure amplifies.
+    #[test]
+    fn proposition_1_on_a_real_repair() {
+        let base = chain(0.8);
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let mut template = PerturbationTemplate::new();
+        let v = template.parameter("v", -0.15, 0.15);
+        template.nudge(0, 1, v, 1.0).unwrap();
+        template.nudge(0, 2, v, -1.0).unwrap();
+        let out = ModelRepair::new().repair_dtmc(&base, &phi, &template).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        let repaired = out.model.unwrap();
+
+        let eps = perturbation_epsilon(&base, &repaired).unwrap();
+        let v_star = out.parameters[0].1.abs();
+        assert!((eps - v_star).abs() < 1e-9, "eps {eps} vs |v| {v_star}");
+
+        let dev =
+            reachability_deviation(&base, &repaired, "ok", &CheckOptions::default()).unwrap();
+        // This chain decides in one step, so the deviation equals ε exactly.
+        assert!((dev - eps).abs() < 1e-9, "deviation {dev} vs eps {eps}");
+    }
+
+    #[test]
+    fn label_mismatch_rejected() {
+        let base = chain(0.8);
+        let mut b = DtmcBuilder::new(3);
+        b.transition(0, 1, 0.8).unwrap();
+        b.transition(0, 2, 0.2).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.transition(2, 2, 1.0).unwrap();
+        b.label(2, "ok").unwrap(); // different target states
+        let other = b.build().unwrap();
+        assert!(reachability_deviation(&base, &other, "ok", &CheckOptions::default()).is_err());
+    }
+}

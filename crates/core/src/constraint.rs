@@ -1,0 +1,254 @@
+//! Turning PCTL properties into optimizer constraints.
+//!
+//! Model and Data Repair need the satisfaction of `φ` as a *numeric*
+//! constraint `f(v) ⋈ b`. For the property shapes the paper uses —
+//! probability bounds on (unbounded) until/eventually and bounds on
+//! expected reachability rewards, with propositional operands — the
+//! parametric engine yields `f` in closed form.
+
+use tml_logic::{CmpOp, PathFormula, RewardKind, StateFormula};
+use tml_models::Labeling;
+use tml_parametric::{ParametricDtmc, RationalFunction};
+
+use crate::RepairError;
+
+/// Evaluates a *propositional* state formula (no `P`/`R` operators) to a
+/// per-state mask over a labeling. Returns `None` if the formula contains a
+/// probabilistic or reward operator.
+///
+/// # Example
+///
+/// ```
+/// use tml_core::propositional_mask;
+/// use tml_logic::parse_formula;
+/// use tml_models::Labeling;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut l = Labeling::new(2);
+/// l.add(1, "goal")?;
+/// let f = parse_formula("!\"goal\"")?;
+/// assert_eq!(propositional_mask(&l, &f), Some(vec![true, false]));
+/// let p = parse_formula("P>=0.5 [ F \"goal\" ]")?;
+/// assert_eq!(propositional_mask(&l, &p), None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn propositional_mask(labeling: &Labeling, formula: &StateFormula) -> Option<Vec<bool>> {
+    let n = labeling.num_states();
+    Some(match formula {
+        StateFormula::True => vec![true; n],
+        StateFormula::False => vec![false; n],
+        StateFormula::Atom(a) => labeling.mask(a),
+        StateFormula::Not(f) => propositional_mask(labeling, f)?.iter().map(|b| !b).collect(),
+        StateFormula::And(a, b) => {
+            let (x, y) = (propositional_mask(labeling, a)?, propositional_mask(labeling, b)?);
+            x.into_iter().zip(y).map(|(p, q)| p && q).collect()
+        }
+        StateFormula::Or(a, b) => {
+            let (x, y) = (propositional_mask(labeling, a)?, propositional_mask(labeling, b)?);
+            x.into_iter().zip(y).map(|(p, q)| p || q).collect()
+        }
+        StateFormula::Implies(a, b) => {
+            let (x, y) = (propositional_mask(labeling, a)?, propositional_mask(labeling, b)?);
+            x.into_iter().zip(y).map(|(p, q)| !p || q).collect()
+        }
+        StateFormula::Prob { .. } | StateFormula::Reward { .. } => return None,
+    })
+}
+
+/// A property compiled to a symbolic constraint `f(v) ⋈ bound` on the
+/// initial state of a parametric chain.
+#[derive(Debug, Clone)]
+pub struct SymbolicConstraint {
+    /// The left-hand side as a rational function of the repair parameters.
+    pub function: RationalFunction,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The right-hand side.
+    pub bound: f64,
+}
+
+/// Compiles a top-level property into a [`SymbolicConstraint`] against the
+/// parametric chain's initial state.
+///
+/// Supported shapes (the ones the paper's repairs exercise):
+///
+/// * `P ⋈ b [ F ψ ]`, `P ⋈ b [ φ U ψ ]` (unbounded) with propositional
+///   `φ`, `ψ`;
+/// * `P ⋈ b [ G ψ ]` via the `1 − P(F ¬ψ)` duality;
+/// * `R{"s"} ⋈ c [ F ψ ]` with propositional `ψ`.
+///
+/// # Errors
+///
+/// [`RepairError::UnsupportedProperty`] for other shapes (bounded
+/// operators, nested `P`/`R`, `X`, cumulative rewards) — repairs of those
+/// can still run through the instantiate-and-check oracle path.
+pub fn compile_constraint(
+    pdtmc: &ParametricDtmc,
+    formula: &StateFormula,
+) -> Result<SymbolicConstraint, RepairError> {
+    let unsupported = |reason: &str| RepairError::UnsupportedProperty {
+        property: formula.to_string(),
+        reason: reason.to_owned(),
+    };
+    let labeling = pdtmc.labeling();
+    let init = pdtmc.initial_state();
+    match formula {
+        StateFormula::Prob { op, bound, path, .. } => {
+            let (f_all, negated) = match path {
+                PathFormula::Eventually { sub, bound: None } => {
+                    let target = propositional_mask(labeling, sub)
+                        .ok_or_else(|| unsupported("nested P/R operator in path operand"))?;
+                    (pdtmc.reachability(&target)?, false)
+                }
+                PathFormula::Until { lhs, rhs, bound: None } => {
+                    let phi = propositional_mask(labeling, lhs)
+                        .ok_or_else(|| unsupported("nested P/R operator in path operand"))?;
+                    let target = propositional_mask(labeling, rhs)
+                        .ok_or_else(|| unsupported("nested P/R operator in path operand"))?;
+                    (pdtmc.until(&phi, &target)?, false)
+                }
+                PathFormula::Globally { sub, bound: None } => {
+                    let inv: Vec<bool> = propositional_mask(labeling, sub)
+                        .ok_or_else(|| unsupported("nested P/R operator in path operand"))?
+                        .iter()
+                        .map(|b| !b)
+                        .collect();
+                    (pdtmc.reachability(&inv)?, true)
+                }
+                _ => return Err(unsupported("only unbounded F/U/G path formulas are supported")),
+            };
+            let function = f_all[init].clone();
+            let mut op = *op;
+            let mut bound_v = *bound;
+            if negated {
+                // P(G ψ) ⋈ b  ⇔  1 − P(F ¬ψ) ⋈ b  ⇔  P(F ¬ψ) ⋈ᵈᵘᵃˡ 1 − b.
+                bound_v = 1.0 - bound_v;
+                op = flip(op);
+            }
+            Ok(SymbolicConstraint { function, op, bound: bound_v })
+        }
+        StateFormula::Reward { structure, op, bound, kind, .. } => match kind {
+            RewardKind::Reach(target) => {
+                let mask = propositional_mask(labeling, target)
+                    .ok_or_else(|| unsupported("nested P/R operator in reward target"))?;
+                let name = structure.as_deref().ok_or_else(|| {
+                    unsupported("reward operator must name a reward structure for symbolic repair")
+                })?;
+                let values = pdtmc.expected_reward(name, &mask)?;
+                Ok(SymbolicConstraint {
+                    function: values[init].clone(),
+                    op: *op,
+                    bound: *bound,
+                })
+            }
+            RewardKind::Cumulative(_) => Err(unsupported("cumulative rewards are not symbolic")),
+        },
+        _ => Err(unsupported("top-level property must be a P or R operator")),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_logic::parse_formula;
+    use tml_parametric::RationalFunction as RF;
+
+    fn pdtmc() -> ParametricDtmc {
+        let c = |x: f64| RF::constant(1, x);
+        let v = RF::var(1, 0);
+        let mut b = ParametricDtmc::builder(3, vec!["v".into()]);
+        b.transition(0, 1, c(0.5).add(&v)).unwrap();
+        b.transition(0, 2, c(0.5).sub(&v)).unwrap();
+        b.transition(1, 1, c(1.0)).unwrap();
+        b.transition(2, 2, c(1.0)).unwrap();
+        b.label(1, "ok").unwrap();
+        b.label(2, "fail").unwrap();
+        b.state_reward("cost", 0, c(1.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compiles_eventually() {
+        let p = pdtmc();
+        let f = parse_formula("P>=0.8 [ F \"ok\" ]").unwrap();
+        let c = compile_constraint(&p, &f).unwrap();
+        assert_eq!(c.op, CmpOp::Ge);
+        assert_eq!(c.bound, 0.8);
+        assert!((c.function.eval(&[0.2]).unwrap() - 0.7).abs() < 1e-10);
+    }
+
+    #[test]
+    fn compiles_globally_via_duality() {
+        let p = pdtmc();
+        // P(G !fail) >= 0.8  ⇔  P(F fail) <= 0.2.
+        let f = parse_formula("P>=0.8 [ G !\"fail\" ]").unwrap();
+        let c = compile_constraint(&p, &f).unwrap();
+        assert_eq!(c.op, CmpOp::Le);
+        assert!((c.bound - 0.2).abs() < 1e-12);
+        assert!((c.function.eval(&[0.1]).unwrap() - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn compiles_until_with_restriction() {
+        let p = pdtmc();
+        let f = parse_formula("P>=0.5 [ !\"fail\" U \"ok\" ]").unwrap();
+        let c = compile_constraint(&p, &f).unwrap();
+        assert!((c.function.eval(&[0.0]).unwrap() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn compiles_reward_reach() {
+        // Reward property needs a.s. reachability: use a retry chain.
+        let cst = |x: f64| RF::constant(1, x);
+        let v = RF::var(1, 0);
+        let mut b = ParametricDtmc::builder(2, vec!["v".into()]);
+        b.transition(0, 1, cst(0.5).add(&v)).unwrap();
+        b.transition(0, 0, cst(0.5).sub(&v)).unwrap();
+        b.transition(1, 1, cst(1.0)).unwrap();
+        b.label(1, "done").unwrap();
+        b.state_reward("tries", 0, cst(1.0)).unwrap();
+        let p = b.build().unwrap();
+        let f = parse_formula("R{\"tries\"}<=3 [ F \"done\" ]").unwrap();
+        let c = compile_constraint(&p, &f).unwrap();
+        assert_eq!(c.op, CmpOp::Le);
+        assert!((c.function.eval(&[0.0]).unwrap() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_reported() {
+        let p = pdtmc();
+        for src in [
+            "P>=0.5 [ X \"ok\" ]",
+            "P>=0.5 [ F<=3 \"ok\" ]",
+            "P>=0.5 [ F P>=0.5 [ F \"ok\" ] ]",
+            "R{\"cost\"}<=3 [ C<=5 ]",
+            "\"ok\"",
+            "R<=3 [ F \"ok\" ]", // unnamed structure
+        ] {
+            let f = parse_formula(src).unwrap();
+            assert!(
+                matches!(compile_constraint(&p, &f), Err(RepairError::UnsupportedProperty { .. })),
+                "expected unsupported: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn propositional_mask_handles_connectives() {
+        let p = pdtmc();
+        let f = parse_formula("\"ok\" | \"fail\"").unwrap();
+        assert_eq!(propositional_mask(p.labeling(), &f), Some(vec![false, true, true]));
+        let g = parse_formula("true => !\"ok\"").unwrap();
+        assert_eq!(propositional_mask(p.labeling(), &g), Some(vec![true, false, true]));
+    }
+}

@@ -1,0 +1,488 @@
+//! Data Repair (Definition 3): re-weight the training data so that the
+//! model *re-learned* from it satisfies the property.
+//!
+//! Following the paper's machine-teaching formulation (Eqs. 11–14), each
+//! trace class `g` gets a keep-weight `w_g ∈ [w_min, 1]` (the continuous
+//! relaxation of the drop vector `p`). Maximum-likelihood transition
+//! probabilities then become **rational functions of `w`**:
+//!
+//! ```text
+//! P_w(s → t) = Σ_g w_g·c_g(s,t) / Σ_g w_g·c_g(s,·)
+//! ```
+//!
+//! — e.g. the paper's `0.4 / (0.4 + 0.6·p)` forwarding probability — so the
+//! same parametric-checking + NLP pipeline as Model Repair applies. The
+//! effort function is the weighted dropped mass `Σ_g m_g·(1 − w_g)²`,
+//! matching `E_T = ‖D − D'‖²`.
+
+use tml_checker::Checker;
+use tml_logic::StateFormula;
+use tml_models::{learn, Dtmc, DtmcBuilder, MlOptions, TraceDataset};
+use tml_optimizer::{Nlp, PenaltySolver};
+use tml_parametric::{ParametricDtmc, Polynomial, RationalFunction};
+
+use crate::constraint::compile_constraint;
+use crate::model_repair::RepairStatus;
+use crate::{RepairError, RepairOptions};
+
+/// Static decoration applied to learned models: labels, rewards and the
+/// initial state (these are not derivable from traces alone).
+#[derive(Debug, Clone, Default)]
+pub struct ModelSpec {
+    /// Number of states of the learned model.
+    pub num_states: usize,
+    /// The initial state.
+    pub initial: usize,
+    /// `(state, label)` pairs.
+    pub labels: Vec<(usize, String)>,
+    /// `(structure, state, reward)` triples.
+    pub state_rewards: Vec<(String, usize, f64)>,
+}
+
+impl ModelSpec {
+    /// A spec over `num_states` states with initial state 0.
+    pub fn new(num_states: usize) -> Self {
+        ModelSpec { num_states, ..Default::default() }
+    }
+
+    /// Sets the initial state.
+    pub fn initial(mut self, state: usize) -> Self {
+        self.initial = state;
+        self
+    }
+
+    /// Attaches a label.
+    pub fn label(mut self, state: usize, label: &str) -> Self {
+        self.labels.push((state, label.to_owned()));
+        self
+    }
+
+    /// Sets a state reward.
+    pub fn reward(mut self, structure: &str, state: usize, value: f64) -> Self {
+        self.state_rewards.push((structure.to_owned(), state, value));
+        self
+    }
+
+    fn decorate(&self, b: &mut DtmcBuilder) -> Result<(), RepairError> {
+        b.initial_state(self.initial)?;
+        for (s, l) in &self.labels {
+            b.label(*s, l)?;
+        }
+        for (structure, s, r) in &self.state_rewards {
+            b.state_reward(structure, *s, *r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a data repair.
+#[derive(Debug, Clone)]
+pub struct DataRepairOutcome {
+    /// How the attempt concluded.
+    pub status: RepairStatus,
+    /// Keep-weight per trace class (1 = keep everything).
+    pub keep_weights: Vec<(String, f64)>,
+    /// The teaching-effort objective `Σ_g m_g (1 − w_g)²` at the solution.
+    pub effort: f64,
+    /// Total trace mass dropped, `Σ_g m_g (1 − w_g)`.
+    pub dropped_mass: f64,
+    /// The model re-learned from the repaired data; `None` when infeasible.
+    pub model: Option<Dtmc>,
+    /// Whether the re-learned model was re-verified by the checker.
+    pub verified: bool,
+    /// Optimizer evaluations spent.
+    pub evaluations: usize,
+}
+
+/// The Data Repair algorithm.
+#[derive(Debug, Clone)]
+pub struct DataRepair {
+    opts: RepairOptions,
+    /// Lower bound on keep-weights, kept strictly positive so the support of
+    /// the learned chain never changes (the parametric well-definedness
+    /// assumption).
+    min_keep: f64,
+    /// Per-class keep-weight bounds overriding the global `[min_keep, 1]`
+    /// box — e.g. pinning a class to `[1, 1]` marks it as known-reliable
+    /// data that must be kept (the paper's "certain pᵢ values must be 1").
+    class_bounds: Vec<(String, f64, f64)>,
+}
+
+impl Default for DataRepair {
+    fn default() -> Self {
+        DataRepair { opts: RepairOptions::default(), min_keep: 1e-3, class_bounds: Vec::new() }
+    }
+}
+
+impl DataRepair {
+    /// A repairer with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A repairer with explicit options.
+    pub fn with_options(opts: RepairOptions) -> Self {
+        DataRepair { opts, ..Default::default() }
+    }
+
+    /// Sets the minimum keep-weight (default `1e-3`).
+    pub fn min_keep(mut self, w: f64) -> Self {
+        self.min_keep = w;
+        self
+    }
+
+    /// Overrides the keep-weight box of one class.
+    pub fn class_bound(mut self, class: &str, lo: f64, hi: f64) -> Self {
+        self.class_bounds.push((class.to_owned(), lo, hi));
+        self
+    }
+
+    /// Pins a class's keep-weight to 1 (known-reliable data).
+    pub fn keep_class(self, class: &str) -> Self {
+        self.class_bound(class, 1.0, 1.0)
+    }
+
+    /// Runs data repair: find class keep-weights such that the model
+    /// re-learned from the re-weighted dataset satisfies `formula`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RepairError::InvalidInput`] for an empty dataset.
+    /// * Learning, checking, parametric and optimizer errors.
+    pub fn repair(
+        &self,
+        dataset: &TraceDataset,
+        spec: &ModelSpec,
+        formula: &StateFormula,
+    ) -> Result<DataRepairOutcome, RepairError> {
+        if dataset.num_traces() == 0 || dataset.num_classes() == 0 {
+            return Err(RepairError::InvalidInput { detail: "empty dataset".into() });
+        }
+        let checker = Checker::with_options(self.opts.check);
+        let base = self.learn(dataset, spec, None)?;
+        if checker.check_dtmc(&base, formula)?.holds() {
+            return Ok(DataRepairOutcome {
+                status: RepairStatus::AlreadySatisfied,
+                keep_weights: dataset.class_names().iter().map(|n| (n.clone(), 1.0)).collect(),
+                effort: 0.0,
+                dropped_mass: 0.0,
+                model: Some(base),
+                verified: true,
+                evaluations: 0,
+            });
+        }
+
+        let g = dataset.num_classes();
+        let masses = class_masses(dataset);
+        let pdtmc = self.parametric_model(dataset, spec)?;
+
+        let mut boxes = vec![(self.min_keep, 1.0); g];
+        for (class, lo, hi) in &self.class_bounds {
+            match dataset.class_names().iter().position(|c| c == class) {
+                Some(i) => boxes[i] = (*lo, *hi),
+                None => {
+                    return Err(RepairError::InvalidInput {
+                        detail: format!("class bound for unknown class {class:?}"),
+                    })
+                }
+            }
+        }
+        let mut nlp = Nlp::new(g, boxes)?;
+        {
+            let m = masses.clone();
+            nlp.objective(move |w| {
+                w.iter().zip(&m).map(|(&wg, &mg)| mg * (1.0 - wg).powi(2)).sum()
+            });
+        }
+        // Same symbolic-degree guard as Model Repair: high-degree rational
+        // functions are numerically fragile in f64, so fall back to
+        // re-learn-and-check beyond the threshold.
+        const MAX_SYMBOLIC_DEGREE: u32 = 16;
+        match compile_constraint(&pdtmc, formula) {
+            Ok(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
+                let f = sc.function.clone();
+                let margin = self.margin(sc.op);
+                nlp.constraint_with_margin(
+                    "property",
+                    sense_of(sc.op),
+                    sc.bound,
+                    margin,
+                    move |w| f.eval(w).unwrap_or(f64::NAN),
+                );
+            }
+            Ok(_) | Err(RepairError::UnsupportedProperty { .. }) => {
+                let (op, bound) = top_level_bound(formula)?;
+                let margin = self.margin(op);
+                let ds = dataset.clone();
+                let sp = spec.clone();
+                let phi = formula.clone();
+                let check_opts = self.opts.check;
+                let this = self.clone();
+                nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |w| {
+                    match this.learn(&ds, &sp, Some(w)) {
+                        Ok(m) => Checker::with_options(check_opts)
+                            .check_dtmc(&m, &phi)
+                            .ok()
+                            .and_then(|r| r.value_at_initial())
+                            .unwrap_or(f64::NAN),
+                        Err(_) => f64::NAN,
+                    }
+                });
+            }
+            Err(other) => return Err(other),
+        }
+
+        // Start from "keep everything".
+        let mut solver = PenaltySolver::with_options(self.opts.solver);
+        solver.start_from(vec![1.0; g]);
+        let sol = solver.solve(&nlp)?;
+        let keep_weights: Vec<(String, f64)> = dataset
+            .class_names()
+            .iter()
+            .cloned()
+            .zip(sol.x.iter().copied())
+            .collect();
+        let effort: f64 = sol.x.iter().zip(&masses).map(|(&w, &m)| m * (1.0 - w).powi(2)).sum();
+        let dropped: f64 = sol.x.iter().zip(&masses).map(|(&w, &m)| m * (1.0 - w)).sum();
+        if !sol.feasible {
+            return Ok(DataRepairOutcome {
+                status: RepairStatus::Infeasible,
+                keep_weights,
+                effort,
+                dropped_mass: dropped,
+                model: None,
+                verified: false,
+                evaluations: sol.evaluations,
+            });
+        }
+        let model = self.learn(dataset, spec, Some(&sol.x))?;
+        let verified = checker.check_dtmc(&model, formula)?.holds();
+        Ok(DataRepairOutcome {
+            status: RepairStatus::Repaired,
+            keep_weights,
+            effort,
+            dropped_mass: dropped,
+            model: Some(model),
+            verified,
+            evaluations: sol.evaluations,
+        })
+    }
+
+    /// Learns the decorated ML model (optionally with class weights).
+    fn learn(
+        &self,
+        dataset: &TraceDataset,
+        spec: &ModelSpec,
+        weights: Option<&[f64]>,
+    ) -> Result<Dtmc, RepairError> {
+        let mut b = learn::ml_dtmc(spec.num_states, dataset, weights, MlOptions::default())?;
+        spec.decorate(&mut b)?;
+        Ok(b.build()?)
+    }
+
+    /// Builds the parametric chain whose transition probabilities are the
+    /// ML estimates as rational functions of the keep-weights.
+    fn parametric_model(
+        &self,
+        dataset: &TraceDataset,
+        spec: &ModelSpec,
+    ) -> Result<ParametricDtmc, RepairError> {
+        let g = dataset.num_classes();
+        let n = spec.num_states;
+        // Per-class transition counts.
+        let mut per_class: Vec<Vec<Vec<f64>>> = Vec::with_capacity(g);
+        for class in 0..g {
+            let indicator: Vec<f64> = (0..g).map(|i| if i == class { 1.0 } else { 0.0 }).collect();
+            per_class.push(dataset.transition_counts(n, Some(&indicator))?);
+        }
+        let param_names: Vec<String> =
+            dataset.class_names().iter().map(|c| format!("w_{c}")).collect();
+        let mut b = ParametricDtmc::builder(n, param_names);
+        b.initial_state(spec.initial)?;
+        for s in 0..n {
+            // den(s) = Σ_g w_g · c_g(s,·)
+            let mut den = Polynomial::zero(g);
+            for (class, counts) in per_class.iter().enumerate() {
+                let tot: f64 = counts[s].iter().sum();
+                if tot > 0.0 {
+                    den = den.add(&Polynomial::var(g, class).scale(tot));
+                }
+            }
+            if den.is_zero() {
+                // State never left in any trace: constant self-loop.
+                b.transition(s, s, RationalFunction::one_rf(g))?;
+                continue;
+            }
+            for t in 0..n {
+                let mut num = Polynomial::zero(g);
+                for (class, counts) in per_class.iter().enumerate() {
+                    let c = counts[s][t];
+                    if c > 0.0 {
+                        num = num.add(&Polynomial::var(g, class).scale(c));
+                    }
+                }
+                if num.is_zero() {
+                    continue;
+                }
+                b.transition(s, t, RationalFunction::new(num, den.clone())?)?;
+            }
+        }
+        for (s, l) in &spec.labels {
+            b.label(*s, l)?;
+        }
+        for (structure, s, r) in &spec.state_rewards {
+            b.state_reward(structure, *s, RationalFunction::constant(g, *r))?;
+        }
+        Ok(b.build()?)
+    }
+
+    fn margin(&self, op: tml_logic::CmpOp) -> f64 {
+        // The optimizer accepts points violating constraints by up to its
+        // feasibility tolerance; fold that slack into the margin so an
+        // "optimizer-feasible" point always verifies under the checker.
+        let slack = self.opts.solver.feasibility_tolerance + self.opts.check.bound_tolerance;
+        match op {
+            tml_logic::CmpOp::Gt | tml_logic::CmpOp::Lt => self.opts.strict_margin + slack,
+            _ => slack,
+        }
+    }
+}
+
+fn class_masses(dataset: &TraceDataset) -> Vec<f64> {
+    let mut m = vec![0.0; dataset.num_classes()];
+    for tr in dataset.iter() {
+        m[tr.class] += tr.weight;
+    }
+    m
+}
+
+fn sense_of(op: tml_logic::CmpOp) -> tml_optimizer::ConstraintSense {
+    if op.is_lower_bound() {
+        tml_optimizer::ConstraintSense::Ge
+    } else {
+        tml_optimizer::ConstraintSense::Le
+    }
+}
+
+fn top_level_bound(formula: &StateFormula) -> Result<(tml_logic::CmpOp, f64), RepairError> {
+    match formula {
+        StateFormula::Prob { op, bound, .. } | StateFormula::Reward { op, bound, .. } => {
+            Ok((*op, *bound))
+        }
+        other => Err(RepairError::UnsupportedProperty {
+            property: other.to_string(),
+            reason: "repair needs a top-level P or R operator with a bound".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_logic::parse_formula;
+    use tml_models::Path;
+
+    /// Dataset over a 2-state world: "good" traces go 0→1, "noisy" traces
+    /// loop 0→0.
+    fn dataset(good: f64, noisy: f64) -> TraceDataset {
+        let mut ds = TraceDataset::new();
+        let g = ds.add_class("good");
+        let n = ds.add_class("noisy");
+        ds.push(g, Path::from_states(vec![0, 1]), good).unwrap();
+        ds.push(n, Path::from_states(vec![0, 0]), noisy).unwrap();
+        ds
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new(2).label(1, "ok")
+    }
+
+    #[test]
+    fn already_satisfied() {
+        // P(0→1) = 0.8 ≥ 0.7 via F within one step (absorbing at 1).
+        let ds = dataset(8.0, 2.0);
+        let phi = parse_formula("P>=0.7 [ X \"ok\" ]").unwrap();
+        // X is outside the symbolic fragment but base model already passes.
+        let out = DataRepair::new().repair(&ds, &spec(), &phi).unwrap();
+        assert_eq!(out.status, RepairStatus::AlreadySatisfied);
+        assert!(out.verified);
+    }
+
+    #[test]
+    fn drops_noisy_class_to_meet_bound() {
+        // Base: P(0→1) = 0.5. Require P(X ok) ≥ 0.8: must down-weight noise.
+        // Symbolic path: use F with a "stuck" observation so F ≠ 1:
+        // model: 0→1 w.p. w_good/(w_good+w_noisy) but 0→0 self-loop retries
+        // forever, so P(F ok) = 1 regardless. Use a 3-state world instead:
+        // noisy traces go 0→2 (absorbing bad).
+        let mut ds = TraceDataset::new();
+        let g = ds.add_class("good");
+        let n = ds.add_class("noisy");
+        ds.push(g, Path::from_states(vec![0, 1]), 5.0).unwrap();
+        ds.push(n, Path::from_states(vec![0, 2]), 5.0).unwrap();
+        ds.push(g, Path::from_states(vec![1, 1]), 1.0).unwrap();
+        ds.push(n, Path::from_states(vec![2, 2]), 1.0).unwrap();
+        let sp = ModelSpec::new(3).label(1, "ok");
+        let phi = parse_formula("P>=0.8 [ F \"ok\" ]").unwrap();
+        let out = DataRepair::new().repair(&ds, &sp, &phi).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.verified);
+        let w_noisy = out.keep_weights.iter().find(|(n, _)| n == "noisy").unwrap().1;
+        let w_good = out.keep_weights.iter().find(|(n, _)| n == "good").unwrap().1;
+        // P(F ok) = 5 w_g / (5 w_g + 5 w_n) ≥ 0.8 ⇒ w_n ≤ w_g / 4.
+        assert!(w_noisy <= w_good / 4.0 + 1e-3, "w_noisy {w_noisy} w_good {w_good}");
+        assert!(out.dropped_mass > 0.0);
+        assert!(out.effort > 0.0);
+        let m = out.model.unwrap();
+        assert!(m.probability(0, 1) >= 0.8 - 1e-6);
+    }
+
+    #[test]
+    fn infeasible_when_min_keep_blocks() {
+        // Even dropping noise to the minimum cannot reach an absurd bound
+        // because min_keep keeps some noise mass.
+        let mut ds = TraceDataset::new();
+        let g = ds.add_class("good");
+        let n = ds.add_class("noisy");
+        ds.push(g, Path::from_states(vec![0, 1]), 1.0).unwrap();
+        ds.push(n, Path::from_states(vec![0, 2]), 100.0).unwrap();
+        ds.push(g, Path::from_states(vec![1, 1]), 1.0).unwrap();
+        ds.push(n, Path::from_states(vec![2, 2]), 1.0).unwrap();
+        let sp = ModelSpec::new(3).label(1, "ok");
+        let phi = parse_formula("P>=0.999 [ F \"ok\" ]").unwrap();
+        let out = DataRepair::new().min_keep(0.5).repair(&ds, &sp, &phi).unwrap();
+        assert_eq!(out.status, RepairStatus::Infeasible);
+        assert!(out.model.is_none());
+    }
+
+    #[test]
+    fn reward_property_repair() {
+        // Retry chain: success counts from two classes; require expected
+        // attempts ≤ 2 ⇒ success prob ≥ 0.5.
+        let mut ds = TraceDataset::new();
+        let succ = ds.add_class("success");
+        let fail = ds.add_class("failure");
+        ds.push(succ, Path::from_states(vec![0, 1]), 3.0).unwrap();
+        ds.push(fail, Path::from_states(vec![0, 0]), 7.0).unwrap();
+        ds.push(succ, Path::from_states(vec![1, 1]), 1.0).unwrap();
+        let sp = ModelSpec::new(2).label(1, "done").reward("attempts", 0, 1.0);
+        let phi = parse_formula("R{\"attempts\"}<=2 [ F \"done\" ]").unwrap();
+        let out = DataRepair::new().repair(&ds, &sp, &phi).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.verified);
+        // E[attempts] = (3w_s + 7w_f)/(3w_s) ≤ 2 ⇒ 7 w_f ≤ 3 w_s.
+        let ws = out.keep_weights[0].1;
+        let wf = out.keep_weights[1].1;
+        assert!(7.0 * wf <= 3.0 * ws + 1e-2, "ws {ws} wf {wf}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = TraceDataset::new();
+        let phi = parse_formula("P>=0.5 [ F \"ok\" ]").unwrap();
+        assert!(matches!(
+            DataRepair::new().repair(&ds, &spec(), &phi),
+            Err(RepairError::InvalidInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+use std::error::Error;
+use std::fmt;
+
+use tml_checker::CheckError;
+use tml_irl::IrlError;
+use tml_models::ModelError;
+use tml_optimizer::OptimizerError;
+use tml_parametric::ParametricError;
+
+/// Errors raised by the repair algorithms.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RepairError {
+    /// The model layer rejected an operation.
+    Model(ModelError),
+    /// The model checker failed.
+    Check(CheckError),
+    /// The parametric engine failed.
+    Parametric(ParametricError),
+    /// The optimizer rejected the generated program.
+    Optimizer(OptimizerError),
+    /// An IRL computation failed.
+    Irl(IrlError),
+    /// The property's shape is outside what the chosen repair supports.
+    UnsupportedProperty {
+        /// The property, rendered.
+        property: String,
+        /// Why it is unsupported.
+        reason: String,
+    },
+    /// A repair template is inconsistent (e.g. breaks row stochasticity).
+    InvalidTemplate {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Input validation failed.
+    InvalidInput {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Model(e) => write!(f, "model error: {e}"),
+            RepairError::Check(e) => write!(f, "checker error: {e}"),
+            RepairError::Parametric(e) => write!(f, "parametric error: {e}"),
+            RepairError::Optimizer(e) => write!(f, "optimizer error: {e}"),
+            RepairError::Irl(e) => write!(f, "irl error: {e}"),
+            RepairError::UnsupportedProperty { property, reason } => {
+                write!(f, "unsupported property {property:?}: {reason}")
+            }
+            RepairError::InvalidTemplate { detail } => write!(f, "invalid template: {detail}"),
+            RepairError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+        }
+    }
+}
+
+impl Error for RepairError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RepairError::Model(e) => Some(e),
+            RepairError::Check(e) => Some(e),
+            RepairError::Parametric(e) => Some(e),
+            RepairError::Optimizer(e) => Some(e),
+            RepairError::Irl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for RepairError {
+    fn from(e: ModelError) -> Self {
+        RepairError::Model(e)
+    }
+}
+
+impl From<CheckError> for RepairError {
+    fn from(e: CheckError) -> Self {
+        RepairError::Check(e)
+    }
+}
+
+impl From<ParametricError> for RepairError {
+    fn from(e: ParametricError) -> Self {
+        RepairError::Parametric(e)
+    }
+}
+
+impl From<OptimizerError> for RepairError {
+    fn from(e: OptimizerError) -> Self {
+        RepairError::Optimizer(e)
+    }
+}
+
+impl From<IrlError> for RepairError {
+    fn from(e: IrlError) -> Self {
+        RepairError::Irl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: RepairError = ModelError::MissingDistribution { state: 0 }.into();
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let u = RepairError::UnsupportedProperty { property: "P=?".into(), reason: "nested".into() };
+        assert!(u.to_string().contains("unsupported"));
+        assert!(u.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RepairError>();
+    }
+}

@@ -1,0 +1,601 @@
+//! Model Repair (Definition 1): perturb transition probabilities so the
+//! model satisfies `φ`, minimizing the Frobenius cost `‖Z‖²_F`.
+
+use tml_checker::Checker;
+use tml_logic::StateFormula;
+use tml_models::{Dtmc, Mdp};
+use tml_optimizer::{ConstraintSense, Nlp, PenaltySolver};
+
+use crate::constraint::compile_constraint;
+use crate::{LinearExpr, PerturbationTemplate, RepairError, RepairOptions};
+
+/// How a repair attempt concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStatus {
+    /// The original model already satisfies the property; nothing changed.
+    AlreadySatisfied,
+    /// A feasible perturbation was found and the repaired model verified.
+    Repaired,
+    /// No admissible perturbation satisfies the property (the paper's
+    /// "Model Repair gives infeasible solution" outcome).
+    Infeasible,
+}
+
+/// Outcome of a model repair.
+#[derive(Debug, Clone)]
+pub struct ModelRepairOutcome<M = Dtmc> {
+    /// How the attempt concluded.
+    pub status: RepairStatus,
+    /// The repair parameter values found (empty for
+    /// [`RepairStatus::AlreadySatisfied`]).
+    pub parameters: Vec<(String, f64)>,
+    /// The Frobenius cost `‖Z‖²_F` of the perturbation.
+    pub cost: f64,
+    /// The repaired (or original, if already satisfied) model; `None` when
+    /// infeasible.
+    pub model: Option<M>,
+    /// Whether the returned model was independently re-verified against the
+    /// property by the concrete checker.
+    pub verified: bool,
+    /// Objective/constraint evaluations spent by the optimizer.
+    pub evaluations: usize,
+}
+
+/// The Model Repair algorithm.
+///
+/// Two constraint back-ends are used automatically:
+///
+/// * **symbolic** — the property is compiled to a closed-form rational
+///   function by parametric model checking (Proposition 2) and evaluated
+///   in microseconds per optimizer step;
+/// * **oracle** — when the property shape is outside the symbolic fragment
+///   (bounded operators, nested `P`), each optimizer step instantiates the
+///   candidate model and runs the full checker. Slower but fully general;
+///   this is also the only back-end for MDP repair, where symbolic min/max
+///   elimination is not implemented.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRepair {
+    opts: RepairOptions,
+}
+
+impl ModelRepair {
+    /// A repairer with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A repairer with explicit options.
+    pub fn with_options(opts: RepairOptions) -> Self {
+        ModelRepair { opts }
+    }
+
+    /// Repairs a DTMC (Definition 1 / Proposition 2).
+    ///
+    /// # Errors
+    ///
+    /// * [`RepairError::InvalidTemplate`] for inconsistent templates.
+    /// * [`RepairError::UnsupportedProperty`] if the property's truth value
+    ///   has no numeric witness (i.e. it is not a top-level `P`/`R`
+    ///   operator).
+    /// * Checker/optimizer errors.
+    pub fn repair_dtmc(
+        &self,
+        base: &Dtmc,
+        formula: &StateFormula,
+        template: &PerturbationTemplate,
+    ) -> Result<ModelRepairOutcome<Dtmc>, RepairError> {
+        let checker = Checker::with_options(self.opts.check);
+        if checker.check_dtmc(base, formula)?.holds() {
+            return Ok(ModelRepairOutcome {
+                status: RepairStatus::AlreadySatisfied,
+                parameters: Vec::new(),
+                cost: 0.0,
+                model: Some(base.clone()),
+                verified: true,
+                evaluations: 0,
+            });
+        }
+
+        let pdtmc = template.apply(base)?;
+        let mut nlp = Nlp::new(template.num_params(), template.bounds())?;
+        self.frobenius_objective(&mut nlp, template);
+        self.validity_constraints(&mut nlp, template, base);
+
+        // Property constraint: symbolic when possible, oracle otherwise.
+        // Rational functions of non-trivial degree lose f64 precision when
+        // evaluated (state elimination without exact arithmetic leaves
+        // uncancelled common factors that cause catastrophic cancellation
+        // — PARAM avoids this with exact rationals), so beyond a small
+        // complexity threshold the exact instantiate-and-check oracle is
+        // used instead. The symbolic path is cross-validated to machine
+        // precision below the threshold.
+        const MAX_SYMBOLIC_DEGREE: u32 = 16;
+        match compile_constraint(&pdtmc, formula) {
+            Ok(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
+                let f = sc.function.clone();
+                let margin = self.margin(sc.op);
+                nlp.constraint_with_margin(
+                    "property",
+                    sense_of(sc.op),
+                    sc.bound,
+                    margin,
+                    move |v| f.eval(v).unwrap_or(f64::NAN),
+                );
+            }
+            Ok(sc) => {
+                let _ = sc;
+                let (op, bound) = top_level_bound(formula)?;
+                let margin = self.margin(op);
+                let pd = pdtmc.clone();
+                let phi = formula.clone();
+                let check_opts = self.opts.check;
+                nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
+                    oracle_value_dtmc(&pd, &phi, v, &check_opts)
+                });
+            }
+            Err(RepairError::UnsupportedProperty { .. }) => {
+                let (op, bound) = top_level_bound(formula)?;
+                let margin = self.margin(op);
+                let pd = pdtmc.clone();
+                let phi = formula.clone();
+                let check_opts = self.opts.check;
+                nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
+                    oracle_value_dtmc(&pd, &phi, v, &check_opts)
+                });
+            }
+            Err(other) => return Err(other),
+        }
+
+        let solver = PenaltySolver::with_options(self.opts.solver);
+        let sol = solver.solve(&nlp)?;
+        if !sol.feasible {
+            return Ok(ModelRepairOutcome {
+                status: RepairStatus::Infeasible,
+                parameters: name_params(template, &sol.x),
+                cost: frobenius_cost(template, &sol.x),
+                model: None,
+                verified: false,
+                evaluations: sol.evaluations,
+            });
+        }
+        let repaired = pdtmc.instantiate(&sol.x)?;
+        let verified = checker.check_dtmc(&repaired, formula)?.holds();
+        Ok(ModelRepairOutcome {
+            status: RepairStatus::Repaired,
+            parameters: name_params(template, &sol.x),
+            cost: frobenius_cost(template, &sol.x),
+            model: Some(repaired),
+            verified,
+            evaluations: sol.evaluations,
+        })
+    }
+
+    /// Repairs an MDP through the instantiate-and-check oracle.
+    ///
+    /// The property is checked under the PRISM scheduler convention (see
+    /// `tml_checker::Checker::check_mdp`), so e.g.
+    /// `R{"attempts"}<=40 [F done]` requires even the worst scheduler to
+    /// stay under 40 expected attempts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`repair_dtmc`](Self::repair_dtmc).
+    pub fn repair_mdp(
+        &self,
+        base: &Mdp,
+        formula: &StateFormula,
+        template: &MdpPerturbationTemplate,
+    ) -> Result<ModelRepairOutcome<Mdp>, RepairError> {
+        let checker = Checker::with_options(self.opts.check);
+        if checker.check_mdp(base, formula)?.holds() {
+            return Ok(ModelRepairOutcome {
+                status: RepairStatus::AlreadySatisfied,
+                parameters: Vec::new(),
+                cost: 0.0,
+                model: Some(base.clone()),
+                verified: true,
+                evaluations: 0,
+            });
+        }
+        template.validate(base)?;
+        let (op, bound) = top_level_bound(formula)?;
+        let mut nlp = Nlp::new(template.num_params(), template.bounds())?;
+        {
+            let entries = template.entries.clone();
+            nlp.objective(move |v| {
+                entries.iter().map(|(_, e)| e.eval(v).powi(2)).sum()
+            });
+        }
+        // Validity: perturbed probabilities stay inside (0, 1).
+        for (&(s, c, t), expr) in &template.entries {
+            let base_p = choice_prob(base, s, c, t);
+            let e1 = expr.clone();
+            let e2 = expr.clone();
+            let m = self.opts.support_margin;
+            nlp.constraint(&format!("p({s},{c}->{t})>=m"), ConstraintSense::Ge, m, move |v| {
+                base_p + e1.eval(v)
+            });
+            nlp.constraint(&format!("p({s},{c}->{t})<=1-m"), ConstraintSense::Le, 1.0 - m, move |v| {
+                base_p + e2.eval(v)
+            });
+        }
+        {
+            let t = template.clone();
+            let b = base.clone();
+            let phi = formula.clone();
+            let check_opts = self.opts.check;
+            let margin = self.margin(op);
+            nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
+                match t.instantiate(&b, v) {
+                    Ok(m) => Checker::with_options(check_opts)
+                        .check_mdp(&m, &phi)
+                        .ok()
+                        .and_then(|r| r.value_at_initial())
+                        .unwrap_or(f64::NAN),
+                    Err(_) => f64::NAN,
+                }
+            });
+        }
+        let solver = PenaltySolver::with_options(self.opts.solver);
+        let sol = solver.solve(&nlp)?;
+        if !sol.feasible {
+            return Ok(ModelRepairOutcome {
+                status: RepairStatus::Infeasible,
+                parameters: template.name_params(&sol.x),
+                cost: template.cost(&sol.x),
+                model: None,
+                verified: false,
+                evaluations: sol.evaluations,
+            });
+        }
+        let repaired = template.instantiate(base, &sol.x)?;
+        let verified = checker.check_mdp(&repaired, formula)?.holds();
+        Ok(ModelRepairOutcome {
+            status: RepairStatus::Repaired,
+            parameters: template.name_params(&sol.x),
+            cost: template.cost(&sol.x),
+            model: Some(repaired),
+            verified,
+            evaluations: sol.evaluations,
+        })
+    }
+
+    fn frobenius_objective(&self, nlp: &mut Nlp, template: &PerturbationTemplate) {
+        let exprs: Vec<LinearExpr> = template.entries().map(|(_, e)| e.clone()).collect();
+        nlp.objective(move |v| exprs.iter().map(|e| e.eval(v).powi(2)).sum());
+    }
+
+    fn validity_constraints(&self, nlp: &mut Nlp, template: &PerturbationTemplate, base: &Dtmc) {
+        let m = self.opts.support_margin;
+        for (name, base_p, expr) in template.probability_exprs(base) {
+            let e1 = expr.clone();
+            nlp.constraint(&format!("{name}>=m"), ConstraintSense::Ge, m, move |v| base_p + e1.eval(v));
+            let e2 = expr;
+            nlp.constraint(&format!("{name}<=1-m"), ConstraintSense::Le, 1.0 - m, move |v| {
+                base_p + e2.eval(v)
+            });
+        }
+    }
+
+    fn margin(&self, op: tml_logic::CmpOp) -> f64 {
+        // The optimizer accepts points violating constraints by up to its
+        // feasibility tolerance; fold that slack into the margin so an
+        // "optimizer-feasible" point always verifies under the checker.
+        let slack = self.opts.solver.feasibility_tolerance + self.opts.check.bound_tolerance;
+        match op {
+            tml_logic::CmpOp::Gt | tml_logic::CmpOp::Lt => self.opts.strict_margin + slack,
+            _ => slack,
+        }
+    }
+}
+
+/// A perturbation template for MDPs: affine nudges on the transitions of
+/// specific state–choice pairs, validated to cancel per distribution.
+#[derive(Debug, Clone, Default)]
+pub struct MdpPerturbationTemplate {
+    params: Vec<(String, f64, f64)>,
+    entries: std::collections::BTreeMap<(usize, usize, usize), LinearExpr>,
+}
+
+impl MdpPerturbationTemplate {
+    /// An empty template.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a repair parameter with box bounds, returning its index.
+    pub fn parameter(&mut self, name: &str, lo: f64, hi: f64) -> usize {
+        self.params.push((name.to_owned(), lo, hi));
+        self.params.len() - 1
+    }
+
+    /// Adds `coeff·v_param` to the probability of `state --choice--> succ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepairError::InvalidTemplate`] for unknown parameters.
+    pub fn nudge(
+        &mut self,
+        state: usize,
+        choice: usize,
+        succ: usize,
+        param: usize,
+        coeff: f64,
+    ) -> Result<&mut Self, RepairError> {
+        if param >= self.params.len() {
+            return Err(RepairError::InvalidTemplate { detail: format!("unknown parameter {param}") });
+        }
+        let e = self.entries.entry((state, choice, succ)).or_default();
+        *e = std::mem::take(e).plus(param, coeff);
+        Ok(self)
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Parameter box bounds.
+    pub fn bounds(&self) -> Vec<(f64, f64)> {
+        self.params.iter().map(|&(_, lo, hi)| (lo, hi)).collect()
+    }
+
+    fn name_params(&self, v: &[f64]) -> Vec<(String, f64)> {
+        self.params.iter().zip(v).map(|((n, _, _), &x)| (n.clone(), x)).collect()
+    }
+
+    fn cost(&self, v: &[f64]) -> f64 {
+        self.entries.values().map(|e| e.eval(v).powi(2)).sum()
+    }
+
+    /// Checks support preservation and per-distribution cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepairError::InvalidTemplate`] on violations.
+    pub fn validate(&self, base: &Mdp) -> Result<(), RepairError> {
+        let np = self.params.len();
+        let mut rows: std::collections::BTreeMap<(usize, usize), Vec<f64>> = Default::default();
+        for (&(s, c, t), expr) in &self.entries {
+            if s >= base.num_states() || t >= base.num_states() || c >= base.num_choices(s) {
+                return Err(RepairError::InvalidTemplate {
+                    detail: format!("entry ({s},{c},{t}) out of range"),
+                });
+            }
+            if choice_prob(base, s, c, t) == 0.0 {
+                return Err(RepairError::InvalidTemplate {
+                    detail: format!("entry ({s},{c},{t}) would add a transition to the support"),
+                });
+            }
+            let acc = rows.entry((s, c)).or_insert_with(|| vec![0.0; np]);
+            for (a, x) in acc.iter_mut().zip(expr.coefficients(np)) {
+                *a += x;
+            }
+        }
+        for ((s, c), coeffs) in rows {
+            if coeffs.iter().any(|x| x.abs() > 1e-12) {
+                return Err(RepairError::InvalidTemplate {
+                    detail: format!("perturbations of state {s} choice {c} do not cancel"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates the perturbed MDP at a parameter point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepairError::Model`] if a perturbed probability leaves
+    /// `[0, 1]`.
+    pub fn instantiate(&self, base: &Mdp, v: &[f64]) -> Result<Mdp, RepairError> {
+        let mut b = tml_models::MdpBuilder::new(base.num_states());
+        b.initial_state(base.initial_state())?;
+        for s in 0..base.num_states() {
+            for (c, choice) in base.choices(s).iter().enumerate() {
+                let dist: Vec<(usize, f64)> = choice
+                    .transitions
+                    .iter()
+                    .map(|&(t, p)| {
+                        let delta = self
+                            .entries
+                            .get(&(s, c, t))
+                            .map(|e| e.eval(v))
+                            .unwrap_or(0.0);
+                        (t, p + delta)
+                    })
+                    .collect();
+                b.choice(s, base.action_name(choice.action), &dist)?;
+            }
+            for label in base.labeling().labels_of(s) {
+                b.label(s, label)?;
+            }
+        }
+        for rs in base.reward_structures() {
+            for s in 0..base.num_states() {
+                b.state_reward(rs.name(), s, rs.state_reward(s))?;
+                for c in 0..base.num_choices(s) {
+                    let cr = rs.choice_reward(s, c);
+                    if cr != 0.0 {
+                        b.choice_reward(rs.name(), s, c, cr)?;
+                    }
+                }
+            }
+        }
+        Ok(b.build()?)
+    }
+}
+
+fn choice_prob(mdp: &Mdp, s: usize, c: usize, t: usize) -> f64 {
+    mdp.choices(s)
+        .get(c)
+        .and_then(|ch| ch.transitions.iter().find(|&&(x, _)| x == t))
+        .map(|&(_, p)| p)
+        .unwrap_or(0.0)
+}
+
+fn sense_of(op: tml_logic::CmpOp) -> ConstraintSense {
+    if op.is_lower_bound() {
+        ConstraintSense::Ge
+    } else {
+        ConstraintSense::Le
+    }
+}
+
+fn top_level_bound(formula: &StateFormula) -> Result<(tml_logic::CmpOp, f64), RepairError> {
+    match formula {
+        StateFormula::Prob { op, bound, .. } | StateFormula::Reward { op, bound, .. } => {
+            Ok((*op, *bound))
+        }
+        other => Err(RepairError::UnsupportedProperty {
+            property: other.to_string(),
+            reason: "repair needs a top-level P or R operator with a bound".into(),
+        }),
+    }
+}
+
+fn oracle_value_dtmc(
+    pdtmc: &tml_parametric::ParametricDtmc,
+    formula: &StateFormula,
+    v: &[f64],
+    check_opts: &tml_checker::CheckOptions,
+) -> f64 {
+    match pdtmc.instantiate(v) {
+        Ok(m) => Checker::with_options(*check_opts)
+            .check_dtmc(&m, formula)
+            .ok()
+            .and_then(|r| r.value_at_initial())
+            .unwrap_or(f64::NAN),
+        Err(_) => f64::NAN,
+    }
+}
+
+fn name_params(template: &PerturbationTemplate, v: &[f64]) -> Vec<(String, f64)> {
+    template.param_names().into_iter().zip(v.iter().copied()).collect()
+}
+
+fn frobenius_cost(template: &PerturbationTemplate, v: &[f64]) -> f64 {
+    template.entries().map(|(_, e)| e.eval(v).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_logic::parse_formula;
+    use tml_models::{DtmcBuilder, MdpBuilder};
+
+    /// success/failure split at state 0 with p(success) = 0.8.
+    fn chain() -> Dtmc {
+        let mut b = DtmcBuilder::new(3);
+        b.transition(0, 1, 0.8).unwrap();
+        b.transition(0, 2, 0.2).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.transition(2, 2, 1.0).unwrap();
+        b.label(1, "ok").unwrap();
+        b.build().unwrap()
+    }
+
+    fn shift_template() -> PerturbationTemplate {
+        let mut t = PerturbationTemplate::new();
+        let v = t.parameter("v", -0.19, 0.19);
+        t.nudge(0, 1, v, 1.0).unwrap();
+        t.nudge(0, 2, v, -1.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn already_satisfied_short_circuits() {
+        let d = chain();
+        let phi = parse_formula("P>=0.7 [ F \"ok\" ]").unwrap();
+        let out = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        assert_eq!(out.status, RepairStatus::AlreadySatisfied);
+        assert_eq!(out.cost, 0.0);
+        assert!(out.verified);
+    }
+
+    #[test]
+    fn symbolic_repair_finds_minimal_shift() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let out = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.verified);
+        let v = out.parameters[0].1;
+        // Minimal shift is +0.1 (within numerical slack).
+        assert!((v - 0.1).abs() < 1e-3, "v = {v}");
+        // Frobenius cost counts both perturbed entries: 2 v².
+        assert!((out.cost - 2.0 * v * v).abs() < 1e-9);
+        let m = out.model.unwrap();
+        assert!(m.probability(0, 1) >= 0.9 - 1e-6);
+    }
+
+    #[test]
+    fn infeasible_when_bound_unreachable() {
+        let d = chain();
+        // 0.99 needs v = 0.19 exactly at the box edge minus margin... make
+        // it clearly impossible:
+        let phi = parse_formula("P>=0.999 [ F \"ok\" ]").unwrap();
+        let out = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        assert_eq!(out.status, RepairStatus::Infeasible);
+        assert!(out.model.is_none());
+    }
+
+    #[test]
+    fn oracle_path_handles_bounded_property() {
+        // Bounded eventually is outside the symbolic fragment → oracle.
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F<=1 \"ok\" ]").unwrap();
+        let out = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.verified);
+    }
+
+    #[test]
+    fn mdp_repair_through_oracle() {
+        // MDP where the risky action's success probability is repairable.
+        let mut b = MdpBuilder::new(3);
+        b.choice(0, "risky", &[(1, 0.8), (2, 0.2)]).unwrap();
+        b.choice(1, "stay", &[(1, 1.0)]).unwrap();
+        b.choice(2, "stay", &[(2, 1.0)]).unwrap();
+        b.label(1, "ok").unwrap();
+        let m = b.build().unwrap();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let mut t = MdpPerturbationTemplate::new();
+        let v = t.parameter("v", -0.15, 0.15);
+        t.nudge(0, 0, 1, v, 1.0).unwrap();
+        t.nudge(0, 0, 2, v, -1.0).unwrap();
+        let out = ModelRepair::new().repair_mdp(&m, &phi, &t).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.verified);
+        let v = out.parameters[0].1;
+        assert!((v - 0.1).abs() < 5e-3, "v = {v}");
+    }
+
+    #[test]
+    fn mdp_template_validation() {
+        let mut b = MdpBuilder::new(2);
+        b.choice(0, "a", &[(1, 1.0)]).unwrap();
+        b.choice(1, "a", &[(1, 1.0)]).unwrap();
+        let m = b.build().unwrap();
+        let mut t = MdpPerturbationTemplate::new();
+        let v = t.parameter("v", -0.1, 0.1);
+        t.nudge(0, 0, 1, v, 1.0).unwrap(); // does not cancel
+        assert!(t.validate(&m).is_err());
+
+        let mut t2 = MdpPerturbationTemplate::new();
+        let v2 = t2.parameter("v", -0.1, 0.1);
+        t2.nudge(0, 0, 0, v2, 1.0).unwrap(); // support change: p(0,a,0)=0
+        t2.nudge(0, 0, 1, v2, -1.0).unwrap();
+        assert!(t2.validate(&m).is_err());
+    }
+
+    #[test]
+    fn non_bounded_formula_rejected() {
+        let d = chain();
+        let phi = parse_formula("\"ok\"").unwrap();
+        // Not already satisfied at state 0 and no numeric witness → error
+        // surfaces from the template path as UnsupportedProperty.
+        let err = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template());
+        assert!(matches!(err, Err(RepairError::UnsupportedProperty { .. })));
+    }
+}

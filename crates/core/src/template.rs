@@ -1,0 +1,298 @@
+//! Perturbation templates: the feasibility class `Feas_MP` of Model Repair.
+//!
+//! Definition 1 of the paper repairs a model by adding a constrained matrix
+//! `Z` to the transition matrix `P`, keeping the support fixed and every
+//! row stochastic. A [`PerturbationTemplate`] describes `Z` as a sparse
+//! collection of *affine* entries `Z(s,t) = Σᵢ cᵢ·vᵢ` over named repair
+//! parameters `v` with box bounds — and validates at build time that each
+//! row of `Z` sums to zero *identically*, so stochasticity can never be
+//! violated by the optimizer, only the `[0,1]` range (which becomes
+//! explicit constraints).
+
+use std::collections::BTreeMap;
+
+use tml_models::Dtmc;
+use tml_parametric::{ParametricDtmc, Polynomial, RationalFunction};
+
+use crate::RepairError;
+
+/// A linear expression `Σᵢ cᵢ·vᵢ` over the template's parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearExpr {
+    /// `(parameter index, coefficient)` pairs.
+    terms: Vec<(usize, f64)>,
+}
+
+impl LinearExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinearExpr::default()
+    }
+
+    /// A single term `c·v`.
+    pub fn term(param: usize, coeff: f64) -> Self {
+        LinearExpr { terms: vec![(param, coeff)] }
+    }
+
+    /// Adds `c·v` to the expression.
+    pub fn plus(mut self, param: usize, coeff: f64) -> Self {
+        self.terms.push((param, coeff));
+        self
+    }
+
+    /// Evaluates at a parameter point.
+    pub fn eval(&self, v: &[f64]) -> f64 {
+        self.terms.iter().map(|&(i, c)| c * v.get(i).copied().unwrap_or(0.0)).sum()
+    }
+
+    /// The coefficient of each parameter, accumulated.
+    pub fn coefficients(&self, num_params: usize) -> Vec<f64> {
+        let mut out = vec![0.0; num_params];
+        for &(i, c) in &self.terms {
+            if i < out.len() {
+                out[i] += c;
+            }
+        }
+        out
+    }
+
+    fn to_polynomial(&self, num_params: usize) -> Polynomial {
+        let mut p = Polynomial::zero(num_params);
+        for (i, c) in self.coefficients(num_params).into_iter().enumerate() {
+            if c != 0.0 {
+                p = p.add(&Polynomial::var(num_params, i).scale(c));
+            }
+        }
+        p
+    }
+}
+
+/// A declarative description of the admissible perturbations `Z` of a DTMC.
+///
+/// See the crate-level example for typical usage: declare parameters with
+/// [`parameter`](Self::parameter), then attach [`nudge`](Self::nudge)
+/// entries; every touched row must have perturbations that cancel (sum of
+/// coefficients per parameter is zero per row).
+#[derive(Debug, Clone, Default)]
+pub struct PerturbationTemplate {
+    params: Vec<(String, f64, f64)>,
+    entries: BTreeMap<(usize, usize), LinearExpr>,
+}
+
+impl PerturbationTemplate {
+    /// An empty template (no admissible perturbation).
+    pub fn new() -> Self {
+        PerturbationTemplate::default()
+    }
+
+    /// Declares a repair parameter with box bounds, returning its index.
+    pub fn parameter(&mut self, name: &str, lo: f64, hi: f64) -> usize {
+        self.params.push((name.to_owned(), lo, hi));
+        self.params.len() - 1
+    }
+
+    /// Adds `coeff·v_param` to the perturbation of the transition
+    /// `from → to` (accumulating with previous nudges of the same entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepairError::InvalidTemplate`] if the parameter index is
+    /// unknown.
+    pub fn nudge(&mut self, from: usize, to: usize, param: usize, coeff: f64) -> Result<&mut Self, RepairError> {
+        if param >= self.params.len() {
+            return Err(RepairError::InvalidTemplate {
+                detail: format!("unknown parameter index {param}"),
+            });
+        }
+        let e = self.entries.entry((from, to)).or_default();
+        *e = std::mem::take(e).plus(param, coeff);
+        Ok(self)
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Parameter names in declaration order.
+    pub fn param_names(&self) -> Vec<String> {
+        self.params.iter().map(|(n, _, _)| n.clone()).collect()
+    }
+
+    /// Parameter box bounds in declaration order.
+    pub fn bounds(&self) -> Vec<(f64, f64)> {
+        self.params.iter().map(|&(_, lo, hi)| (lo, hi)).collect()
+    }
+
+    /// The perturbed entries as `((from, to), expression)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (&(usize, usize), &LinearExpr)> {
+        self.entries.iter()
+    }
+
+    /// Validates the template against a base chain and applies it, yielding
+    /// a [`ParametricDtmc`] whose transition `(s,t)` is `P(s,t) + Z(s,t)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::InvalidTemplate`] when:
+    ///
+    /// * an entry addresses a transition with `P(s,t) = 0` (the support
+    ///   must not change — Eq. 3 of the paper);
+    /// * a touched row's perturbations do not cancel identically;
+    /// * an entry addresses an out-of-range state.
+    pub fn apply(&self, base: &Dtmc) -> Result<ParametricDtmc, RepairError> {
+        let n = base.num_states();
+        let np = self.params.len();
+        // Row-cancellation check.
+        let mut row_coeffs: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for (&(s, t), expr) in &self.entries {
+            if s >= n || t >= n {
+                return Err(RepairError::InvalidTemplate {
+                    detail: format!("entry ({s},{t}) out of range for {n} states"),
+                });
+            }
+            if base.probability(s, t) == 0.0 {
+                return Err(RepairError::InvalidTemplate {
+                    detail: format!(
+                        "entry ({s},{t}) would add a transition absent from the base model"
+                    ),
+                });
+            }
+            let acc = row_coeffs.entry(s).or_insert_with(|| vec![0.0; np]);
+            for (a, c) in acc.iter_mut().zip(expr.coefficients(np)) {
+                *a += c;
+            }
+        }
+        for (s, coeffs) in &row_coeffs {
+            if coeffs.iter().any(|c| c.abs() > 1e-12) {
+                return Err(RepairError::InvalidTemplate {
+                    detail: format!(
+                        "perturbations of row {s} do not cancel: net coefficients {coeffs:?}"
+                    ),
+                });
+            }
+        }
+
+        let mut b = ParametricDtmc::from_dtmc(base, self.param_names());
+        for (&(s, t), expr) in &self.entries {
+            let delta = RationalFunction::from_poly(expr.to_polynomial(np));
+            let base_p = RationalFunction::constant(np, base.probability(s, t));
+            b.transition(s, t, base_p.add(&delta))?;
+        }
+        Ok(b.build()?)
+    }
+
+    /// The `[support_margin, 1 − support_margin]` validity constraints the
+    /// optimizer must enforce for each perturbed entry, as closures over the
+    /// parameter vector. Returns `(description, lower_is_violated_fn)`
+    /// pairs of the perturbed probability value.
+    pub fn probability_exprs(&self, base: &Dtmc) -> Vec<(String, f64, LinearExpr)> {
+        self.entries
+            .iter()
+            .map(|(&(s, t), expr)| (format!("p({s}->{t})"), base.probability(s, t), expr.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_models::DtmcBuilder;
+
+    fn chain() -> Dtmc {
+        let mut b = DtmcBuilder::new(2);
+        b.transition(0, 0, 0.3).unwrap();
+        b.transition(0, 1, 0.7).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn linear_expr_eval() {
+        let e = LinearExpr::term(0, 2.0).plus(1, -1.0).plus(0, 1.0);
+        assert_eq!(e.eval(&[1.0, 4.0]), -1.0);
+        assert_eq!(e.coefficients(2), vec![3.0, -1.0]);
+        assert_eq!(LinearExpr::zero().eval(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn apply_produces_parametric_chain() {
+        let d = chain();
+        let mut t = PerturbationTemplate::new();
+        let v = t.parameter("v", -0.2, 0.2);
+        t.nudge(0, 1, v, 1.0).unwrap();
+        t.nudge(0, 0, v, -1.0).unwrap();
+        let p = t.apply(&d).unwrap();
+        let inst = p.instantiate(&[0.1]).unwrap();
+        assert!((inst.probability(0, 1) - 0.8).abs() < 1e-12);
+        assert!((inst.probability(0, 0) - 0.2).abs() < 1e-12);
+        assert_eq!(t.num_params(), 1);
+        assert_eq!(t.param_names(), vec!["v".to_string()]);
+        assert_eq!(t.bounds(), vec![(-0.2, 0.2)]);
+    }
+
+    #[test]
+    fn rejects_non_cancelling_row() {
+        let d = chain();
+        let mut t = PerturbationTemplate::new();
+        let v = t.parameter("v", -0.1, 0.1);
+        t.nudge(0, 1, v, 1.0).unwrap();
+        assert!(matches!(t.apply(&d), Err(RepairError::InvalidTemplate { .. })));
+    }
+
+    #[test]
+    fn rejects_support_change_and_bad_indices() {
+        let d = chain();
+        let mut t = PerturbationTemplate::new();
+        let v = t.parameter("v", -0.1, 0.1);
+        t.nudge(1, 0, v, 1.0).unwrap(); // P(1,0) = 0: support change
+        t.nudge(1, 1, v, -1.0).unwrap();
+        assert!(matches!(t.apply(&d), Err(RepairError::InvalidTemplate { .. })));
+
+        let mut t2 = PerturbationTemplate::new();
+        let v2 = t2.parameter("v", -0.1, 0.1);
+        t2.nudge(9, 0, v2, 1.0).unwrap();
+        assert!(t2.apply(&d).is_err());
+
+        let mut t3 = PerturbationTemplate::new();
+        assert!(t3.nudge(0, 0, 7, 1.0).is_err());
+    }
+
+    #[test]
+    fn probability_exprs_reflect_entries() {
+        let d = chain();
+        let mut t = PerturbationTemplate::new();
+        let v = t.parameter("v", -0.2, 0.2);
+        t.nudge(0, 1, v, 1.0).unwrap();
+        t.nudge(0, 0, v, -1.0).unwrap();
+        let exprs = t.probability_exprs(&d);
+        assert_eq!(exprs.len(), 2);
+        let (name, base, expr) = &exprs[1];
+        assert_eq!(name, "p(0->1)");
+        assert_eq!(*base, 0.7);
+        assert_eq!(expr.eval(&[0.1]), 0.1);
+    }
+
+    #[test]
+    fn shared_parameter_across_rows() {
+        // One parameter controlling two rows (the WSN pattern: all interior
+        // nodes share the correction q).
+        let mut b = DtmcBuilder::new(3);
+        b.transition(0, 1, 0.5).unwrap();
+        b.transition(0, 0, 0.5).unwrap();
+        b.transition(1, 2, 0.5).unwrap();
+        b.transition(1, 1, 0.5).unwrap();
+        b.transition(2, 2, 1.0).unwrap();
+        let d = b.build().unwrap();
+        let mut t = PerturbationTemplate::new();
+        let q = t.parameter("q", 0.0, 0.3);
+        for s in 0..2 {
+            t.nudge(s, s + 1, q, 1.0).unwrap();
+            t.nudge(s, s, q, -1.0).unwrap();
+        }
+        let p = t.apply(&d).unwrap();
+        let inst = p.instantiate(&[0.2]).unwrap();
+        assert!((inst.probability(0, 1) - 0.7).abs() < 1e-12);
+        assert!((inst.probability(1, 2) - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+use tml_models::ModelError;
+
+/// Errors raised by the IRL algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IrlError {
+    /// Feature vectors have inconsistent dimensions, or the feature map
+    /// covers the wrong number of states.
+    FeatureShape {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Value iteration did not converge within its budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last observed change.
+        delta: f64,
+    },
+    /// The expert demonstration set is empty or malformed.
+    InvalidDemonstrations {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An invalid option value (e.g. a discount factor outside `(0, 1)`).
+    InvalidOption {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The model layer rejected an operation.
+    Model(ModelError),
+}
+
+impl fmt::Display for IrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrlError::FeatureShape { detail } => write!(f, "feature shape error: {detail}"),
+            IrlError::NoConvergence { iterations, delta } => {
+                write!(f, "value iteration did not converge after {iterations} iterations (delta {delta:.3e})")
+            }
+            IrlError::InvalidDemonstrations { detail } => {
+                write!(f, "invalid demonstrations: {detail}")
+            }
+            IrlError::InvalidOption { detail } => write!(f, "invalid option: {detail}"),
+            IrlError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for IrlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IrlError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for IrlError {
+    fn from(e: ModelError) -> Self {
+        IrlError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let errs = [
+            IrlError::FeatureShape { detail: "dim 2 vs 3".into() },
+            IrlError::NoConvergence { iterations: 5, delta: 0.1 },
+            IrlError::InvalidDemonstrations { detail: "empty".into() },
+            IrlError::InvalidOption { detail: "gamma".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrlError>();
+    }
+}

@@ -1,0 +1,118 @@
+use tml_numerics::vector::dot;
+
+use crate::IrlError;
+
+/// Per-state feature vectors with linear rewards `reward(s) = θᵀ f(s)`.
+///
+/// This is the reward parameterization of max-entropy IRL (paper Eq. 16):
+/// the reward of a state is a linear function of its features, and learning
+/// a reward means learning the weight vector `θ`.
+///
+/// # Example
+///
+/// ```
+/// use tml_irl::FeatureMap;
+///
+/// # fn main() -> Result<(), tml_irl::IrlError> {
+/// let fm = FeatureMap::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]])?;
+/// assert_eq!(fm.dim(), 2);
+/// assert_eq!(fm.reward(1, &[0.5, 2.0]), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMap {
+    features: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl FeatureMap {
+    /// Wraps per-state feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrlError::FeatureShape`] if the vectors do not all share
+    /// one dimension, are empty, or contain non-finite entries.
+    pub fn new(features: Vec<Vec<f64>>) -> Result<Self, IrlError> {
+        if features.is_empty() {
+            return Err(IrlError::FeatureShape { detail: "no states".into() });
+        }
+        let dim = features[0].len();
+        if dim == 0 {
+            return Err(IrlError::FeatureShape { detail: "zero-dimensional features".into() });
+        }
+        for (s, f) in features.iter().enumerate() {
+            if f.len() != dim {
+                return Err(IrlError::FeatureShape {
+                    detail: format!("state {s} has {} features, expected {dim}", f.len()),
+                });
+            }
+            if f.iter().any(|v| !v.is_finite()) {
+                return Err(IrlError::FeatureShape {
+                    detail: format!("state {s} has a non-finite feature"),
+                });
+            }
+        }
+        Ok(FeatureMap { features, dim })
+    }
+
+    /// Number of states covered.
+    pub fn num_states(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature vector of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn state_features(&self, state: usize) -> &[f64] {
+        &self.features[state]
+    }
+
+    /// The linear reward `θᵀ f(state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range or `theta` has the wrong length.
+    pub fn reward(&self, state: usize, theta: &[f64]) -> f64 {
+        dot(&self.features[state], theta)
+    }
+
+    /// Dense per-state rewards under `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` has the wrong length.
+    pub fn rewards(&self, theta: &[f64]) -> Vec<f64> {
+        (0..self.num_states()).map(|s| self.reward(s, theta)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_rewards() {
+        let fm = FeatureMap::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(fm.num_states(), 2);
+        assert_eq!(fm.dim(), 2);
+        assert_eq!(fm.state_features(0), &[1.0, 2.0]);
+        assert_eq!(fm.reward(1, &[1.0, -1.0]), -1.0);
+        assert_eq!(fm.rewards(&[1.0, 0.0]), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FeatureMap::new(vec![]).is_err());
+        assert!(FeatureMap::new(vec![vec![]]).is_err());
+        assert!(FeatureMap::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(FeatureMap::new(vec![vec![f64::NAN]]).is_err());
+    }
+}

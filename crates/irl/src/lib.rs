@@ -1,0 +1,46 @@
+//! Inverse reinforcement learning for MDPs.
+//!
+//! Reward Repair assumes the reward function was *learned from expert
+//! demonstrations* — in the paper, by maximum-entropy IRL (Ziebart et al.,
+//! AAAI 2008). This crate implements that learner from scratch, plus the
+//! forward tools it needs:
+//!
+//! * [`FeatureMap`] — per-state feature vectors with linear rewards
+//!   `reward(s) = θᵀ f(s)`;
+//! * [`value_iteration`] / [`q_values`] — discounted optimal values, Q
+//!   functions and greedy policies for a given reward;
+//! * [`maxent_irl`] — gradient-ascent maximum-entropy IRL: soft value
+//!   iteration for the trajectory partition function, forward passes for
+//!   expected state-visitation frequencies, and feature matching.
+//!
+//! # Example
+//!
+//! ```
+//! use tml_models::MdpBuilder;
+//! use tml_irl::{FeatureMap, value_iteration, ViOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = MdpBuilder::new(2);
+//! b.choice(0, "go", &[(1, 1.0)])?;
+//! b.choice(0, "stay", &[(0, 1.0)])?;
+//! b.choice(1, "stay", &[(1, 1.0)])?;
+//! let mdp = b.build()?;
+//! // Reward 1 in state 1, 0 elsewhere.
+//! let vi = value_iteration(&mdp, &[0.0, 1.0], ViOptions::default())?;
+//! assert_eq!(vi.policy[0], 0); // "go" is optimal
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod features;
+mod maxent;
+mod vi;
+
+pub use error::IrlError;
+pub use features::FeatureMap;
+pub use maxent::{maxent_irl, soft_policy, visitation_frequencies, IrlOptions, IrlResult};
+pub use vi::{greedy_policy, policy_evaluation, policy_iteration, q_values, value_iteration, ViOptions, ViResult};

@@ -1,0 +1,355 @@
+//! Maximum-entropy inverse reinforcement learning (Ziebart et al., 2008).
+//!
+//! Under the max-ent model the probability of a finite trajectory `U` is
+//! proportional to `exp(Σ_i θᵀ f(s_i)) · Π_i P(s_{i+1} | s_i, a_i)` (paper
+//! Eq. 16). Learning `θ` by maximum likelihood reduces to **feature
+//! matching**: the gradient of the log-likelihood is the difference between
+//! the empirical feature expectation of the expert demonstrations and the
+//! feature expectation of the model's own trajectory distribution. The
+//! latter is computed exactly with a soft (log-sum-exp) value-iteration
+//! backward pass followed by a visitation-frequency forward pass.
+
+use tml_models::{Mdp, Path, StochasticPolicy};
+use tml_numerics::vector::log_sum_exp;
+
+use crate::{FeatureMap, IrlError};
+
+/// Options for [`maxent_irl`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrlOptions {
+    /// Trajectory horizon (number of transitions considered).
+    pub horizon: usize,
+    /// Gradient-ascent learning rate.
+    pub learning_rate: f64,
+    /// Maximum gradient-ascent iterations.
+    pub iterations: usize,
+    /// L2 regularization weight on `θ`.
+    pub l2: f64,
+    /// Stop early when the gradient norm falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for IrlOptions {
+    fn default() -> Self {
+        IrlOptions { horizon: 20, learning_rate: 0.1, iterations: 500, l2: 1e-3, tolerance: 1e-6 }
+    }
+}
+
+/// Result of [`maxent_irl`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrlResult {
+    /// The learned weight vector (reward = `θᵀ f(s)`).
+    pub theta: Vec<f64>,
+    /// Gradient norms per iteration (diagnostic).
+    pub gradient_norms: Vec<f64>,
+    /// Whether the gradient converged below tolerance.
+    pub converged: bool,
+}
+
+/// Learns a linear reward from expert demonstrations by maximum-entropy
+/// IRL.
+///
+/// # Errors
+///
+/// * [`IrlError::InvalidDemonstrations`] if `expert` is empty or mentions
+///   out-of-range states.
+/// * [`IrlError::FeatureShape`] if the feature map does not cover the MDP.
+///
+/// # Example
+///
+/// ```
+/// use tml_models::{MdpBuilder, Path};
+/// use tml_irl::{maxent_irl, FeatureMap, IrlOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = MdpBuilder::new(2);
+/// b.choice(0, "go", &[(1, 1.0)])?;
+/// b.choice(0, "stay", &[(0, 1.0)])?;
+/// b.choice(1, "stay", &[(1, 1.0)])?;
+/// let mdp = b.build()?;
+/// let features = FeatureMap::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]])?;
+/// // The expert always moves to state 1 and stays there.
+/// let demo = Path::with_actions(vec![0, 1, 1], vec![0, 1])?;
+/// let result = maxent_irl(&mdp, &features, &[demo], IrlOptions::default())?;
+/// // State 1's feature weight should dominate state 0's.
+/// assert!(result.theta[1] > result.theta[0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn maxent_irl(
+    mdp: &Mdp,
+    features: &FeatureMap,
+    expert: &[Path],
+    opts: IrlOptions,
+) -> Result<IrlResult, IrlError> {
+    validate(mdp, features, expert)?;
+    let dim = features.dim();
+    let horizon = opts.horizon.max(expert.iter().map(Path::len).max().unwrap_or(0));
+
+    // Empirical feature expectations over exactly `horizon`+1 positions:
+    // demonstrations shorter than the horizon are padded with their final
+    // state (they end in absorbing states in all our case studies), so the
+    // empirical and model-side expectations cover the same trajectory
+    // length — otherwise the feature-matching gradient has a constant bias.
+    let mut f_expert = vec![0.0; dim];
+    for path in expert {
+        for i in 0..=horizon {
+            let s = path.states[i.min(path.states.len() - 1)];
+            for (acc, &f) in f_expert.iter_mut().zip(features.state_features(s)) {
+                *acc += f;
+            }
+        }
+    }
+    for v in f_expert.iter_mut() {
+        *v /= expert.len() as f64;
+    }
+
+    // Initial state distribution taken from the demonstrations.
+    let mut d0 = vec![0.0; mdp.num_states()];
+    for path in expert {
+        d0[path.states[0]] += 1.0 / expert.len() as f64;
+    }
+
+    let mut theta = vec![0.0; dim];
+    let mut gradient_norms = Vec::new();
+    let mut converged = false;
+    for _ in 0..opts.iterations {
+        let policy = soft_policy_internal(mdp, &features.rewards(&theta), horizon);
+        let d = visitation_from(mdp, &policy, &d0, horizon);
+        let mut grad = vec![0.0; dim];
+        for s in 0..mdp.num_states() {
+            for (g, &f) in grad.iter_mut().zip(features.state_features(s)) {
+                *g -= d[s] * f;
+            }
+        }
+        for ((g, &fe), &t) in grad.iter_mut().zip(&f_expert).zip(&theta) {
+            *g += fe - opts.l2 * t;
+        }
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        gradient_norms.push(norm);
+        if norm < opts.tolerance {
+            converged = true;
+            break;
+        }
+        for (t, g) in theta.iter_mut().zip(&grad) {
+            *t += opts.learning_rate * g;
+        }
+    }
+    Ok(IrlResult { theta, gradient_norms, converged })
+}
+
+/// The max-ent soft policy `π(a|s) ∝ exp(Q_soft(s,a))` for the given
+/// per-state rewards over a finite horizon.
+///
+/// # Errors
+///
+/// Returns [`IrlError::FeatureShape`] if `state_rewards` has the wrong
+/// length.
+pub fn soft_policy(mdp: &Mdp, state_rewards: &[f64], horizon: usize) -> Result<StochasticPolicy, IrlError> {
+    if state_rewards.len() != mdp.num_states() {
+        return Err(IrlError::FeatureShape {
+            detail: format!("{} rewards for {} states", state_rewards.len(), mdp.num_states()),
+        });
+    }
+    let probs = soft_policy_internal(mdp, state_rewards, horizon);
+    StochasticPolicy::new(probs).map_err(IrlError::from)
+}
+
+fn soft_policy_internal(mdp: &Mdp, state_rewards: &[f64], horizon: usize) -> Vec<Vec<f64>> {
+    let n = mdp.num_states();
+    // Soft backward pass: V(s) ← logsumexp_a [ r(s) + Σ P V(s') ].
+    let mut v = vec![0.0; n];
+    for _ in 0..horizon {
+        let mut next = vec![0.0; n];
+        for s in 0..n {
+            let qs: Vec<f64> = mdp
+                .choices(s)
+                .iter()
+                .map(|c| {
+                    state_rewards[s] + c.transitions.iter().map(|&(t, p)| p * v[t]).sum::<f64>()
+                })
+                .collect();
+            next[s] = log_sum_exp(&qs);
+        }
+        v = next;
+    }
+    // Policy from the final backup.
+    (0..n)
+        .map(|s| {
+            let qs: Vec<f64> = mdp
+                .choices(s)
+                .iter()
+                .map(|c| {
+                    state_rewards[s] + c.transitions.iter().map(|&(t, p)| p * v[t]).sum::<f64>()
+                })
+                .collect();
+            let z = log_sum_exp(&qs);
+            qs.iter().map(|q| (q - z).exp()).collect()
+        })
+        .collect()
+}
+
+/// Expected state-visitation frequencies over `horizon` steps starting from
+/// the MDP's initial state, under a stochastic policy given as per-state
+/// choice distributions.
+///
+/// # Panics
+///
+/// Panics if `policy` does not match the MDP's shape.
+pub fn visitation_frequencies(mdp: &Mdp, policy: &StochasticPolicy, horizon: usize) -> Vec<f64> {
+    let mut d0 = vec![0.0; mdp.num_states()];
+    d0[mdp.initial_state()] = 1.0;
+    let probs: Vec<Vec<f64>> = (0..mdp.num_states())
+        .map(|s| (0..mdp.num_choices(s)).map(|c| policy.prob(s, c)).collect())
+        .collect();
+    visitation_from(mdp, &probs, &d0, horizon)
+}
+
+fn visitation_from(mdp: &Mdp, policy: &[Vec<f64>], d0: &[f64], horizon: usize) -> Vec<f64> {
+    let n = mdp.num_states();
+    let mut dt = d0.to_vec();
+    let mut total = dt.clone();
+    for _ in 0..horizon {
+        let mut next = vec![0.0; n];
+        for s in 0..n {
+            if dt[s] == 0.0 {
+                continue;
+            }
+            for (c, choice) in mdp.choices(s).iter().enumerate() {
+                let pc = policy[s].get(c).copied().unwrap_or(0.0);
+                if pc == 0.0 {
+                    continue;
+                }
+                for &(t, p) in &choice.transitions {
+                    next[t] += dt[s] * pc * p;
+                }
+            }
+        }
+        for (acc, &v) in total.iter_mut().zip(&next) {
+            *acc += v;
+        }
+        dt = next;
+    }
+    total
+}
+
+fn validate(mdp: &Mdp, features: &FeatureMap, expert: &[Path]) -> Result<(), IrlError> {
+    if features.num_states() != mdp.num_states() {
+        return Err(IrlError::FeatureShape {
+            detail: format!(
+                "feature map covers {} states, MDP has {}",
+                features.num_states(),
+                mdp.num_states()
+            ),
+        });
+    }
+    if expert.is_empty() {
+        return Err(IrlError::InvalidDemonstrations { detail: "no demonstrations".into() });
+    }
+    for (i, path) in expert.iter().enumerate() {
+        if path.states.is_empty() {
+            return Err(IrlError::InvalidDemonstrations { detail: format!("trace {i} is empty") });
+        }
+        if let Some(&s) = path.states.iter().find(|&&s| s >= mdp.num_states()) {
+            return Err(IrlError::InvalidDemonstrations {
+                detail: format!("trace {i} mentions state {s}, MDP has {}", mdp.num_states()),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{value_iteration, ViOptions};
+    use tml_models::MdpBuilder;
+
+    /// Corridor 0-1-2 with go/stay actions; goal state 2.
+    fn corridor() -> Mdp {
+        let mut b = MdpBuilder::new(3);
+        for s in 0..2 {
+            b.choice(s, "go", &[(s + 1, 1.0)]).unwrap();
+            b.choice(s, "stay", &[(s, 1.0)]).unwrap();
+        }
+        b.choice(2, "stay", &[(2, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn one_hot_features() -> FeatureMap {
+        FeatureMap::new(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_goal_seeking_reward() {
+        let m = corridor();
+        let fm = one_hot_features();
+        let demo = Path::with_actions(vec![0, 1, 2, 2, 2], vec![0, 0, 1, 1]).unwrap();
+        let res = maxent_irl(&m, &fm, &[demo], IrlOptions { iterations: 300, ..Default::default() })
+            .unwrap();
+        // Goal state weight dominates.
+        assert!(res.theta[2] > res.theta[0], "theta = {:?}", res.theta);
+        assert!(res.theta[2] > res.theta[1], "theta = {:?}", res.theta);
+        // And the optimal policy under the learned reward matches the expert.
+        let vi = value_iteration(&m, &fm.rewards(&res.theta), ViOptions::default()).unwrap();
+        assert_eq!(vi.policy[0], 0, "go at 0");
+        assert_eq!(vi.policy[1], 0, "go at 1");
+    }
+
+    #[test]
+    fn gradient_norm_decreases() {
+        let m = corridor();
+        let fm = one_hot_features();
+        let demo = Path::with_actions(vec![0, 1, 2], vec![0, 0]).unwrap();
+        let res = maxent_irl(&m, &fm, &[demo], IrlOptions { iterations: 200, ..Default::default() })
+            .unwrap();
+        let first = res.gradient_norms.first().copied().unwrap();
+        let last = res.gradient_norms.last().copied().unwrap();
+        assert!(last < first, "gradient norms did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn soft_policy_prefers_rewarding_direction() {
+        let m = corridor();
+        let pi = soft_policy(&m, &[0.0, 0.0, 5.0], 10).unwrap();
+        // In state 1, "go" (towards reward) has higher probability.
+        assert!(pi.prob(1, 0) > pi.prob(1, 1), "go {} vs stay {}", pi.prob(1, 0), pi.prob(1, 1));
+        // With zero rewards the max-ent policy is uniform over
+        // *trajectories*, not actions: states whose successors branch more
+        // (here: staying at 0, which keeps both actions available) get more
+        // probability. Distributions must still be proper.
+        let flat = soft_policy(&m, &[0.0; 3], 10).unwrap();
+        for s in 0..3 {
+            let total: f64 = (0..m.num_choices(s)).map(|c| flat.prob(s, c)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        assert!(flat.prob(0, 1) >= flat.prob(0, 0), "staying keeps more branches open");
+    }
+
+    #[test]
+    fn visitation_sums_to_horizon_plus_one() {
+        let m = corridor();
+        let pi = soft_policy(&m, &[0.0; 3], 5).unwrap();
+        let d = visitation_frequencies(&m, &pi, 5);
+        let total: f64 = d.iter().sum();
+        assert!((total - 6.0).abs() < 1e-9, "total visitation {total}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = corridor();
+        let fm = one_hot_features();
+        assert!(maxent_irl(&m, &fm, &[], IrlOptions::default()).is_err());
+        let bad = Path::from_states(vec![0, 9]);
+        assert!(maxent_irl(&m, &fm, &[bad], IrlOptions::default()).is_err());
+        let small = FeatureMap::new(vec![vec![1.0]]).unwrap();
+        let demo = Path::from_states(vec![0]);
+        assert!(maxent_irl(&m, &small, &[demo], IrlOptions::default()).is_err());
+        assert!(soft_policy(&m, &[0.0; 2], 5).is_err());
+    }
+}

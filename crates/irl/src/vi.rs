@@ -1,0 +1,323 @@
+//! Discounted value iteration, Q-values and greedy policies.
+
+use tml_models::Mdp;
+
+use crate::IrlError;
+
+/// Options for [`value_iteration`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViOptions {
+    /// Discount factor in `(0, 1)`.
+    pub gamma: f64,
+    /// Convergence threshold on the max-norm value change.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for ViOptions {
+    fn default() -> Self {
+        ViOptions { gamma: 0.95, tolerance: 1e-10, max_iterations: 100_000 }
+    }
+}
+
+/// Result of [`value_iteration`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViResult {
+    /// Optimal discounted values, one per state.
+    pub values: Vec<f64>,
+    /// A greedy optimal policy (choice index per state).
+    pub policy: Vec<usize>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Computes optimal discounted values and a greedy policy for the reward
+/// vector `state_rewards` (reward gained on leaving a state, any choice).
+///
+/// The Bellman operator is `V(s) = max_a [ r(s) + γ Σ P(s'|s,a) V(s') ]`.
+///
+/// # Errors
+///
+/// * [`IrlError::InvalidOption`] if `gamma ∉ (0, 1)` or shapes mismatch.
+/// * [`IrlError::NoConvergence`] if the budget is exhausted.
+pub fn value_iteration(mdp: &Mdp, state_rewards: &[f64], opts: ViOptions) -> Result<ViResult, IrlError> {
+    if !(0.0 < opts.gamma && opts.gamma < 1.0) {
+        return Err(IrlError::InvalidOption { detail: format!("gamma {} not in (0,1)", opts.gamma) });
+    }
+    let n = mdp.num_states();
+    if state_rewards.len() != n {
+        return Err(IrlError::InvalidOption {
+            detail: format!("{} rewards for {n} states", state_rewards.len()),
+        });
+    }
+    let mut v = vec![0.0; n];
+    for it in 1..=opts.max_iterations {
+        let mut delta: f64 = 0.0;
+        for s in 0..n {
+            let best = mdp
+                .choices(s)
+                .iter()
+                .map(|c| {
+                    state_rewards[s]
+                        + opts.gamma * c.transitions.iter().map(|&(t, p)| p * v[t]).sum::<f64>()
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            delta = delta.max((best - v[s]).abs());
+            v[s] = best;
+        }
+        if delta <= opts.tolerance {
+            let policy = greedy_policy(mdp, state_rewards, &v, opts.gamma);
+            return Ok(ViResult { values: v, policy, iterations: it });
+        }
+    }
+    Err(IrlError::NoConvergence { iterations: opts.max_iterations, delta: f64::NAN })
+}
+
+/// The Q-function `Q(s, a) = r(s) + γ Σ P(s'|s,a) V(s')` for given values.
+///
+/// Returns one vector per state, indexed by choice.
+///
+/// # Panics
+///
+/// Panics if `values` or `state_rewards` have the wrong length.
+pub fn q_values(mdp: &Mdp, state_rewards: &[f64], values: &[f64], gamma: f64) -> Vec<Vec<f64>> {
+    assert_eq!(values.len(), mdp.num_states(), "values length");
+    assert_eq!(state_rewards.len(), mdp.num_states(), "rewards length");
+    (0..mdp.num_states())
+        .map(|s| {
+            mdp.choices(s)
+                .iter()
+                .map(|c| {
+                    state_rewards[s]
+                        + gamma * c.transitions.iter().map(|&(t, p)| p * values[t]).sum::<f64>()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The greedy policy with respect to a value vector (ties break toward the
+/// lower choice index).
+///
+/// # Panics
+///
+/// Panics if `values` or `state_rewards` have the wrong length.
+pub fn greedy_policy(mdp: &Mdp, state_rewards: &[f64], values: &[f64], gamma: f64) -> Vec<usize> {
+    q_values(mdp, state_rewards, values, gamma)
+        .into_iter()
+        .map(|qs| {
+            let mut best = 0;
+            let mut best_q = f64::NEG_INFINITY;
+            for (i, q) in qs.into_iter().enumerate() {
+                if q > best_q {
+                    best_q = q;
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_models::MdpBuilder;
+
+    /// A 3-state corridor: 0 → 1 → 2 with a "stay" alternative; reward only
+    /// at state 2.
+    fn corridor() -> Mdp {
+        let mut b = MdpBuilder::new(3);
+        for s in 0..2 {
+            b.choice(s, "go", &[(s + 1, 1.0)]).unwrap();
+            b.choice(s, "stay", &[(s, 1.0)]).unwrap();
+        }
+        b.choice(2, "stay", &[(2, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn vi_finds_shortest_path() {
+        let m = corridor();
+        let r = vec![0.0, 0.0, 1.0];
+        let vi = value_iteration(&m, &r, ViOptions { gamma: 0.9, ..Default::default() }).unwrap();
+        assert_eq!(vi.policy[0], 0);
+        assert_eq!(vi.policy[1], 0);
+        // V(2) = 1 / (1 - 0.9) = 10; V(1) = 0 + 0.9*10 = 9; V(0) = 8.1.
+        assert!((vi.values[2] - 10.0).abs() < 1e-6);
+        assert!((vi.values[1] - 9.0).abs() < 1e-6);
+        assert!((vi.values[0] - 8.1).abs() < 1e-6);
+        assert!(vi.iterations > 0);
+    }
+
+    #[test]
+    fn q_values_rank_actions() {
+        let m = corridor();
+        let r = vec![0.0, 0.0, 1.0];
+        let vi = value_iteration(&m, &r, ViOptions { gamma: 0.9, ..Default::default() }).unwrap();
+        let q = q_values(&m, &r, &vi.values, 0.9);
+        assert!(q[0][0] > q[0][1], "go beats stay at 0: {:?}", q[0]);
+        assert!(q[1][0] > q[1][1]);
+        assert_eq!(q[2].len(), 1);
+    }
+
+    #[test]
+    fn stochastic_transitions_average() {
+        // 0 --risky--> {2: 0.5, 0: 0.5}; 0 --safe--> 1 --go--> 2.
+        let mut b = MdpBuilder::new(3);
+        b.choice(0, "risky", &[(2, 0.5), (0, 0.5)]).unwrap();
+        b.choice(0, "safe", &[(1, 1.0)]).unwrap();
+        b.choice(1, "go", &[(2, 1.0)]).unwrap();
+        b.choice(2, "stay", &[(2, 1.0)]).unwrap();
+        let m = b.build().unwrap();
+        let r = vec![0.0, 0.0, 1.0];
+        let vi = value_iteration(&m, &r, ViOptions { gamma: 0.9, ..Default::default() }).unwrap();
+        // risky: 0.9(0.5 V2 + 0.5 V0); safe: 0.9 V1 = 0.81 V2. Solving:
+        // risky fixed point V0 = 0.45*10/(1-0.45) ≈ 8.18 > 8.1 → risky wins.
+        assert_eq!(vi.policy[0], 0);
+        assert!((vi.values[0] - 4.5 / 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    fn option_validation() {
+        let m = corridor();
+        assert!(value_iteration(&m, &[0.0; 3], ViOptions { gamma: 1.5, ..Default::default() }).is_err());
+        assert!(value_iteration(&m, &[0.0; 2], ViOptions::default()).is_err());
+    }
+
+    #[test]
+    fn greedy_policy_tie_breaks_low() {
+        let m = corridor();
+        // Zero reward everywhere → all Q equal → choice 0 everywhere.
+        let v = vec![0.0; 3];
+        let pi = greedy_policy(&m, &[0.0; 3], &v, 0.9);
+        assert_eq!(pi, vec![0, 0, 0]);
+    }
+}
+
+/// Evaluates a fixed deterministic policy: solves
+/// `V(s) = r(s) + γ Σ P(s'|s,π(s)) V(s')` iteratively.
+///
+/// # Errors
+///
+/// * [`IrlError::InvalidOption`] for bad shapes or `gamma ∉ (0,1)`.
+/// * [`IrlError::NoConvergence`] if the budget is exhausted.
+pub fn policy_evaluation(
+    mdp: &Mdp,
+    policy: &[usize],
+    state_rewards: &[f64],
+    opts: ViOptions,
+) -> Result<Vec<f64>, IrlError> {
+    if !(0.0 < opts.gamma && opts.gamma < 1.0) {
+        return Err(IrlError::InvalidOption { detail: format!("gamma {} not in (0,1)", opts.gamma) });
+    }
+    let n = mdp.num_states();
+    if policy.len() != n || state_rewards.len() != n {
+        return Err(IrlError::InvalidOption {
+            detail: format!("policy/rewards cover {}/{} states, model has {n}", policy.len(), state_rewards.len()),
+        });
+    }
+    for (s, &c) in policy.iter().enumerate() {
+        if c >= mdp.num_choices(s) {
+            return Err(IrlError::InvalidOption {
+                detail: format!("policy picks choice {c} in state {s} with {} choices", mdp.num_choices(s)),
+            });
+        }
+    }
+    let mut v = vec![0.0; n];
+    for _ in 0..opts.max_iterations {
+        let mut delta: f64 = 0.0;
+        for s in 0..n {
+            let c = &mdp.choices(s)[policy[s]];
+            let nv = state_rewards[s]
+                + opts.gamma * c.transitions.iter().map(|&(t, p)| p * v[t]).sum::<f64>();
+            delta = delta.max((nv - v[s]).abs());
+            v[s] = nv;
+        }
+        if delta <= opts.tolerance {
+            return Ok(v);
+        }
+    }
+    Err(IrlError::NoConvergence { iterations: opts.max_iterations, delta: f64::NAN })
+}
+
+/// Howard's policy iteration: alternating policy evaluation and greedy
+/// improvement. Converges to the same optimum as [`value_iteration`] in a
+/// finite number of improvement steps; exposed as an alternative solver
+/// (and ablation partner in the benchmarks).
+///
+/// # Errors
+///
+/// Same conditions as [`policy_evaluation`].
+pub fn policy_iteration(mdp: &Mdp, state_rewards: &[f64], opts: ViOptions) -> Result<ViResult, IrlError> {
+    let n = mdp.num_states();
+    if state_rewards.len() != n {
+        return Err(IrlError::InvalidOption {
+            detail: format!("{} rewards for {n} states", state_rewards.len()),
+        });
+    }
+    let mut policy = vec![0usize; n];
+    for it in 1..=opts.max_iterations {
+        let values = policy_evaluation(mdp, &policy, state_rewards, opts)?;
+        let improved = greedy_policy(mdp, state_rewards, &values, opts.gamma);
+        if improved == policy {
+            return Ok(ViResult { values, policy, iterations: it });
+        }
+        policy = improved;
+    }
+    Err(IrlError::NoConvergence { iterations: opts.max_iterations, delta: f64::NAN })
+}
+
+#[cfg(test)]
+mod pi_tests {
+    use super::*;
+    use tml_models::MdpBuilder;
+
+    fn corridor() -> Mdp {
+        let mut b = MdpBuilder::new(3);
+        for s in 0..2 {
+            b.choice(s, "go", &[(s + 1, 1.0)]).unwrap();
+            b.choice(s, "stay", &[(s, 1.0)]).unwrap();
+        }
+        b.choice(2, "stay", &[(2, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn policy_iteration_matches_value_iteration() {
+        let m = corridor();
+        let r = vec![0.0, 0.1, 1.0];
+        let opts = ViOptions { gamma: 0.9, ..Default::default() };
+        let vi = value_iteration(&m, &r, opts).unwrap();
+        let pi = policy_iteration(&m, &r, opts).unwrap();
+        assert_eq!(vi.policy, pi.policy);
+        for (a, b) in vi.values.iter().zip(&pi.values) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+        // PI converges in very few improvement rounds.
+        assert!(pi.iterations <= 5, "iterations {}", pi.iterations);
+    }
+
+    #[test]
+    fn policy_evaluation_fixed_point() {
+        let m = corridor();
+        let r = vec![0.0, 0.0, 1.0];
+        let v = policy_evaluation(&m, &[1, 0, 0], &r, ViOptions { gamma: 0.5, ..Default::default() })
+            .unwrap();
+        // Policy: stay at 0 forever → V(0) = 0. At 1: go to 2 → 0.5·V(2).
+        assert!((v[0] - 0.0).abs() < 1e-9);
+        assert!((v[2] - 2.0).abs() < 1e-8); // 1/(1-0.5)
+        assert!((v[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn policy_evaluation_validation() {
+        let m = corridor();
+        let opts = ViOptions::default();
+        assert!(policy_evaluation(&m, &[0, 0], &[0.0; 3], opts).is_err());
+        assert!(policy_evaluation(&m, &[0, 0, 9], &[0.0; 3], opts).is_err());
+        assert!(policy_evaluation(&m, &[0, 0, 0], &[0.0; 2], opts).is_err());
+        assert!(policy_iteration(&m, &[0.0; 2], opts).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Pretty-printers producing the concrete syntax accepted by the parser,
+//! so every formula round-trips: `parse_formula(&phi.to_string()) == phi`.
+
+use std::fmt;
+
+use crate::ast::{CmpOp, Opt, PathFormula, Query, RewardKind, StateFormula};
+use crate::trace::TraceFormula;
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl fmt::Display for Opt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opt::Min => f.write_str("min"),
+            Opt::Max => f.write_str("max"),
+        }
+    }
+}
+
+impl fmt::Display for StateFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateFormula::True => f.write_str("true"),
+            StateFormula::False => f.write_str("false"),
+            StateFormula::Atom(a) => write!(f, "\"{a}\""),
+            StateFormula::Not(s) => write!(f, "!({s})"),
+            StateFormula::And(a, b) => write!(f, "({a} & {b})"),
+            StateFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            StateFormula::Implies(a, b) => write!(f, "({a} => {b})"),
+            StateFormula::Prob { opt, op, bound, path } => {
+                write!(f, "P{}{op}{bound} [ {path} ]", opt_suffix(*opt))
+            }
+            StateFormula::Reward { structure, opt, op, bound, kind } => {
+                write!(f, "R")?;
+                if let Some(s) = structure {
+                    write!(f, "{{\"{s}\"}}")?;
+                }
+                write!(f, "{}{op}{bound} [ {kind} ]", opt_suffix(*opt))
+            }
+        }
+    }
+}
+
+fn opt_suffix(opt: Option<Opt>) -> &'static str {
+    match opt {
+        Some(Opt::Min) => "min",
+        Some(Opt::Max) => "max",
+        None => "",
+    }
+}
+
+impl fmt::Display for PathFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathFormula::Next(s) => write!(f, "X {s}"),
+            PathFormula::Until { lhs, rhs, bound } => {
+                write!(f, "{lhs} U{} {rhs}", step(*bound))
+            }
+            PathFormula::Eventually { sub, bound } => write!(f, "F{} {sub}", step(*bound)),
+            PathFormula::Globally { sub, bound } => write!(f, "G{} {sub}", step(*bound)),
+        }
+    }
+}
+
+fn step(bound: Option<u64>) -> String {
+    bound.map(|k| format!("<={k}")).unwrap_or_default()
+}
+
+impl fmt::Display for RewardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewardKind::Reach(s) => write!(f, "F {s}"),
+            RewardKind::Cumulative(k) => write!(f, "C<={k}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Prob { opt, path } => write!(f, "P{}=? [ {path} ]", opt_suffix(*opt)),
+            Query::Reward { structure, opt, kind } => {
+                write!(f, "R")?;
+                if let Some(s) = structure {
+                    write!(f, "{{\"{s}\"}}")?;
+                }
+                write!(f, "{}=? [ {kind} ]", opt_suffix(*opt))
+            }
+        }
+    }
+}
+
+impl fmt::Display for TraceFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormula::True => f.write_str("true"),
+            TraceFormula::Atom(a) => write!(f, "\"{a}\""),
+            TraceFormula::ActionIs(a) => write!(f, "action={a}"),
+            TraceFormula::Not(s) => write!(f, "!({s})"),
+            TraceFormula::And(a, b) => write!(f, "({a} & {b})"),
+            TraceFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            TraceFormula::Next(s) => write!(f, "X ({s})"),
+            TraceFormula::Always(s) => write!(f, "G ({s})"),
+            TraceFormula::Eventually(s) => write!(f, "F ({s})"),
+            TraceFormula::Until(a, b) => write!(f, "(({a}) U ({b}))"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_formula_rendering() {
+        let f = StateFormula::And(
+            Box::new(StateFormula::Atom("a".into())),
+            Box::new(StateFormula::Not(Box::new(StateFormula::True))),
+        );
+        assert_eq!(f.to_string(), "(\"a\" & !(true))");
+    }
+
+    #[test]
+    fn prob_and_reward_rendering() {
+        let p = StateFormula::eventually(CmpOp::Ge, 0.99, "done");
+        assert_eq!(p.to_string(), "P>=0.99 [ F \"done\" ]");
+        let r = StateFormula::reach_reward("attempts", CmpOp::Le, 40.0, "delivered");
+        assert_eq!(r.to_string(), "R{\"attempts\"}<=40 [ F \"delivered\" ]");
+    }
+
+    #[test]
+    fn bounded_operators_rendering() {
+        let f = StateFormula::Prob {
+            opt: Some(Opt::Max),
+            op: CmpOp::Lt,
+            bound: 0.5,
+            path: PathFormula::Until {
+                lhs: Box::new(StateFormula::True),
+                rhs: Box::new(StateFormula::Atom("x".into())),
+                bound: Some(7),
+            },
+        };
+        assert_eq!(f.to_string(), "Pmax<0.5 [ true U<=7 \"x\" ]");
+    }
+
+    #[test]
+    fn query_rendering() {
+        let q = Query::Reward {
+            structure: None,
+            opt: Some(Opt::Min),
+            kind: RewardKind::Cumulative(10),
+        };
+        assert_eq!(q.to_string(), "Rmin=? [ C<=10 ]");
+        let q2 = Query::Prob {
+            opt: None,
+            path: PathFormula::Next(Box::new(StateFormula::False)),
+        };
+        assert_eq!(q2.to_string(), "P=? [ X false ]");
+    }
+}

@@ -1,0 +1,40 @@
+//! PCTL and finite-trace rule logics for trusted machine learning.
+//!
+//! Two specification languages live here:
+//!
+//! * **PCTL** ([`StateFormula`], [`PathFormula`], [`Query`]) — the property
+//!   language for model checking Markov chains and MDPs, e.g.
+//!   `P>=0.99 [ F "changedLane" ]` or `R{"attempts"}<=40 [ F "delivered" ]`.
+//!   Parse with [`parse_formula`] / [`parse_query`].
+//! * **Trace rules** ([`TraceFormula`]) — LTL interpreted over *finite*
+//!   trajectories of an MDP, used by Reward Repair to express constraints
+//!   such as "the trajectory never enters an unsafe state". Evaluate with
+//!   [`TraceFormula::eval`] against anything implementing [`TraceContext`].
+//!
+//! # Example
+//!
+//! ```
+//! use tml_logic::parse_formula;
+//!
+//! # fn main() -> Result<(), tml_logic::ParseError> {
+//! let phi = parse_formula("P>=0.99 [ F (\"changedLane\" | \"reducedSpeed\") ]")?;
+//! // Formulas round-trip through their display form.
+//! let again = parse_formula(&phi.to_string())?;
+//! assert_eq!(phi, again);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod display;
+mod error;
+mod parser;
+mod trace;
+
+pub use ast::{CmpOp, Opt, PathFormula, Query, RewardKind, StateFormula};
+pub use error::ParseError;
+pub use parser::{parse_formula, parse_query, parse_trace_formula};
+pub use trace::{SliceTrace, TraceContext, TraceFormula};

@@ -1,0 +1,757 @@
+//! Recursive-descent parser for PCTL formulas, numeric queries and trace
+//! rules.
+//!
+//! The grammar follows PRISM's property syntax closely:
+//!
+//! ```text
+//! state    := implies
+//! implies  := or ('=>' implies)?
+//! or       := and ('|' and)*
+//! and      := unary ('&' unary)*
+//! unary    := '!' unary | '(' state ')' | 'true' | 'false' | '"atom"'
+//!           | ('P'|'Pmax'|'Pmin') cmp number '[' path ']'
+//!           | ('R'|'Rmax'|'Rmin') ('{' '"name"' '}')? cmp number '[' rkind ']'
+//! path     := 'X' state | 'F' ('<=' int)? state | 'G' ('<=' int)? state
+//!           | state 'U' ('<=' int)? state
+//! rkind    := 'F' state | 'C' '<=' int
+//! cmp      := '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! Atoms must be double-quoted, which keeps the keyword set (`U`, `X`, `F`,
+//! `G`, `C`, `P…`, `R…`, `true`, `false`) unambiguous.
+
+use crate::ast::{CmpOp, Opt, PathFormula, Query, RewardKind, StateFormula};
+use crate::error::ParseError;
+use crate::trace::TraceFormula;
+
+/// Parses a boolean-valued PCTL state formula, e.g.
+/// `P>=0.99 [ F "changedLane" ]`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+///
+/// # Example
+///
+/// ```
+/// use tml_logic::{parse_formula, StateFormula, CmpOp};
+///
+/// # fn main() -> Result<(), tml_logic::ParseError> {
+/// let phi = parse_formula("R{\"attempts\"}<=40 [ F \"delivered\" ]")?;
+/// assert_eq!(phi, StateFormula::reach_reward("attempts", CmpOp::Le, 40.0, "delivered"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_formula(input: &str) -> Result<StateFormula, ParseError> {
+    let mut p = Parser::new(input)?;
+    let f = p.state_formula()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a numeric query such as `Pmax=? [ F "goal" ]` or
+/// `R{"attempts"}min=? [ C<=10 ]`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(input)?;
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parses a finite-trace rule, e.g. `G !("unsafe")` or
+/// `G ("s1" => action=1)`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_trace_formula(input: &str) -> Result<TraceFormula, ParseError> {
+    let mut p = Parser::new(input)?;
+    let f = p.trace_formula()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Number(f64),
+    LBrack,
+    RBrack,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    EqQuestion,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, ParseError> {
+        Ok(Parser { toks: lex(input)?, pos: 0, input_len: input.len() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|&(_, p)| p).unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.here(), format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.here(), "unexpected trailing input"))
+        }
+    }
+
+    // ---------- PCTL state formulas ----------
+
+    fn state_formula(&mut self) -> Result<StateFormula, ParseError> {
+        let lhs = self.or_formula()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.state_formula()?;
+            return Ok(StateFormula::Implies(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or_formula(&mut self) -> Result<StateFormula, ParseError> {
+        let mut lhs = self.and_formula()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.and_formula()?;
+            lhs = StateFormula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_formula(&mut self) -> Result<StateFormula, ParseError> {
+        let mut lhs = self.unary_formula()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.unary_formula()?;
+            lhs = StateFormula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_formula(&mut self) -> Result<StateFormula, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Bang) => Ok(StateFormula::Not(Box::new(self.unary_formula()?))),
+            Some(Tok::LParen) => {
+                let f = self.state_formula()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            Some(Tok::Quoted(a)) => Ok(StateFormula::Atom(a)),
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "true" => Ok(StateFormula::True),
+                "false" => Ok(StateFormula::False),
+                "P" | "Pmax" | "Pmin" => self.prob_operator(opt_of(&id)),
+                "R" | "Rmax" | "Rmin" => self.reward_operator(opt_of(&id)),
+                other => Err(ParseError::new(
+                    at,
+                    format!("unexpected identifier {other:?} (atoms must be double-quoted)"),
+                )),
+            },
+            Some(_) => Err(ParseError::new(at, "expected a state formula")),
+            None => Err(ParseError::new(at, "unexpected end of input")),
+        }
+    }
+
+    fn prob_operator(&mut self, opt: Option<Opt>) -> Result<StateFormula, ParseError> {
+        let at = self.here();
+        let op = self.cmp_op()?;
+        let bound = self.number()?;
+        if !(0.0..=1.0).contains(&bound) {
+            return Err(ParseError::new(at, format!("probability bound {bound} outside [0, 1]")));
+        }
+        self.expect(Tok::LBrack, "'['")?;
+        let path = self.path_formula()?;
+        self.expect(Tok::RBrack, "']'")?;
+        Ok(StateFormula::Prob { opt, op, bound, path })
+    }
+
+    fn reward_operator(&mut self, opt: Option<Opt>) -> Result<StateFormula, ParseError> {
+        let structure = self.reward_structure_name()?;
+        // Allow the PRISM 4 style R{"s"}max<=b as well: an optional
+        // min/max suffix after the structure braces.
+        let opt = self.opt_suffix(opt);
+        let at = self.here();
+        let op = self.cmp_op()?;
+        let bound = self.number()?;
+        if bound < 0.0 {
+            return Err(ParseError::new(at, format!("negative reward bound {bound}")));
+        }
+        self.expect(Tok::LBrack, "'['")?;
+        let kind = self.reward_kind()?;
+        self.expect(Tok::RBrack, "']'")?;
+        Ok(StateFormula::Reward { structure, opt, op, bound, kind })
+    }
+
+    fn reward_structure_name(&mut self) -> Result<Option<String>, ParseError> {
+        if !self.eat(&Tok::LBrace) {
+            return Ok(None);
+        }
+        let at = self.here();
+        let name = match self.bump() {
+            Some(Tok::Quoted(s)) => s,
+            _ => return Err(ParseError::new(at, "expected a quoted reward structure name")),
+        };
+        self.expect(Tok::RBrace, "'}'")?;
+        Ok(Some(name))
+    }
+
+    fn opt_suffix(&mut self, existing: Option<Opt>) -> Option<Opt> {
+        if existing.is_some() {
+            return existing;
+        }
+        match self.peek() {
+            Some(Tok::Ident(id)) if id == "min" => {
+                self.pos += 1;
+                Some(Opt::Min)
+            }
+            Some(Tok::Ident(id)) if id == "max" => {
+                self.pos += 1;
+                Some(Opt::Max)
+            }
+            _ => None,
+        }
+    }
+
+    fn reward_kind(&mut self) -> Result<RewardKind, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(id)) if id == "F" => {
+                self.pos += 1;
+                Ok(RewardKind::Reach(Box::new(self.state_formula()?)))
+            }
+            Some(Tok::Ident(id)) if id == "C" => {
+                self.pos += 1;
+                self.expect(Tok::Le, "'<=' after C")?;
+                Ok(RewardKind::Cumulative(self.integer()?))
+            }
+            _ => Err(ParseError::new(self.here(), "expected 'F φ' or 'C<=k' in reward operator")),
+        }
+    }
+
+    fn path_formula(&mut self) -> Result<PathFormula, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(id)) if id == "X" => {
+                self.pos += 1;
+                Ok(PathFormula::Next(Box::new(self.state_formula()?)))
+            }
+            Some(Tok::Ident(id)) if id == "F" => {
+                self.pos += 1;
+                let bound = self.step_bound()?;
+                Ok(PathFormula::Eventually { sub: Box::new(self.state_formula()?), bound })
+            }
+            Some(Tok::Ident(id)) if id == "G" => {
+                self.pos += 1;
+                let bound = self.step_bound()?;
+                Ok(PathFormula::Globally { sub: Box::new(self.state_formula()?), bound })
+            }
+            _ => {
+                let lhs = self.state_formula()?;
+                match self.peek() {
+                    Some(Tok::Ident(id)) if id == "U" => {
+                        self.pos += 1;
+                        let bound = self.step_bound()?;
+                        let rhs = self.state_formula()?;
+                        Ok(PathFormula::Until { lhs: Box::new(lhs), rhs: Box::new(rhs), bound })
+                    }
+                    _ => Err(ParseError::new(self.here(), "expected 'U' in path formula")),
+                }
+            }
+        }
+    }
+
+    fn step_bound(&mut self) -> Result<Option<u64>, ParseError> {
+        if self.eat(&Tok::Le) {
+            Ok(Some(self.integer()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Lt) => Ok(CmpOp::Lt),
+            Some(Tok::Le) => Ok(CmpOp::Le),
+            Some(Tok::Gt) => Ok(CmpOp::Gt),
+            Some(Tok::Ge) => Ok(CmpOp::Ge),
+            _ => Err(ParseError::new(at, "expected a comparison operator")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Number(n)) => Ok(n),
+            _ => Err(ParseError::new(at, "expected a number")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, ParseError> {
+        let at = self.here();
+        let n = self.number()?;
+        if n.fract() != 0.0 || n < 0.0 || n > u64::MAX as f64 {
+            return Err(ParseError::new(at, format!("expected a non-negative integer, got {n}")));
+        }
+        Ok(n as u64)
+    }
+
+    // ---------- queries ----------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Ident(id)) if matches!(id.as_str(), "P" | "Pmax" | "Pmin") => {
+                let opt = opt_of(&id);
+                self.expect(Tok::EqQuestion, "'=?'")?;
+                self.expect(Tok::LBrack, "'['")?;
+                let path = self.path_formula()?;
+                self.expect(Tok::RBrack, "']'")?;
+                Ok(Query::Prob { opt, path })
+            }
+            Some(Tok::Ident(id)) if matches!(id.as_str(), "R" | "Rmax" | "Rmin") => {
+                let structure = self.reward_structure_name()?;
+                let opt = self.opt_suffix(opt_of(&id));
+                self.expect(Tok::EqQuestion, "'=?'")?;
+                self.expect(Tok::LBrack, "'['")?;
+                let kind = self.reward_kind()?;
+                self.expect(Tok::RBrack, "']'")?;
+                Ok(Query::Reward { structure, opt, kind })
+            }
+            _ => Err(ParseError::new(at, "expected a query starting with P or R")),
+        }
+    }
+
+    // ---------- trace rules ----------
+
+    fn trace_formula(&mut self) -> Result<TraceFormula, ParseError> {
+        let lhs = self.trace_or()?;
+        match self.peek() {
+            Some(Tok::Ident(id)) if id == "U" => {
+                self.pos += 1;
+                let rhs = self.trace_formula()?;
+                Ok(TraceFormula::Until(Box::new(lhs), Box::new(rhs)))
+            }
+            Some(Tok::Arrow) => {
+                // sugar: a => b  ≡  !a | b
+                self.pos += 1;
+                let rhs = self.trace_formula()?;
+                Ok(TraceFormula::Or(Box::new(TraceFormula::Not(Box::new(lhs))), Box::new(rhs)))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn trace_or(&mut self) -> Result<TraceFormula, ParseError> {
+        let mut lhs = self.trace_and()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.trace_and()?;
+            lhs = TraceFormula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn trace_and(&mut self) -> Result<TraceFormula, ParseError> {
+        let mut lhs = self.trace_unary()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.trace_unary()?;
+            lhs = TraceFormula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn trace_unary(&mut self) -> Result<TraceFormula, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Bang) => Ok(TraceFormula::Not(Box::new(self.trace_unary()?))),
+            Some(Tok::LParen) => {
+                let f = self.trace_formula()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            Some(Tok::Quoted(a)) => Ok(TraceFormula::Atom(a)),
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "true" => Ok(TraceFormula::True),
+                "X" => Ok(TraceFormula::Next(Box::new(self.trace_unary()?))),
+                "F" => Ok(TraceFormula::Eventually(Box::new(self.trace_unary()?))),
+                "G" => Ok(TraceFormula::Always(Box::new(self.trace_unary()?))),
+                "action" => {
+                    self.expect(Tok::Eq, "'=' after 'action'")?;
+                    Ok(TraceFormula::ActionIs(self.integer()? as usize))
+                }
+                other => Err(ParseError::new(
+                    at,
+                    format!("unexpected identifier {other:?} in trace rule"),
+                )),
+            },
+            Some(_) => Err(ParseError::new(at, "expected a trace rule")),
+            None => Err(ParseError::new(at, "unexpected end of input")),
+        }
+    }
+}
+
+fn opt_of(ident: &str) -> Option<Opt> {
+    if ident.ends_with("max") {
+        Some(Opt::Max)
+    } else if ident.ends_with("min") {
+        Some(Opt::Min)
+    } else {
+        None
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '[' => push(&mut toks, Tok::LBrack, start, &mut i),
+            ']' => push(&mut toks, Tok::RBrack, start, &mut i),
+            '(' => push(&mut toks, Tok::LParen, start, &mut i),
+            ')' => push(&mut toks, Tok::RParen, start, &mut i),
+            '{' => push(&mut toks, Tok::LBrace, start, &mut i),
+            '}' => push(&mut toks, Tok::RBrace, start, &mut i),
+            '!' => push(&mut toks, Tok::Bang, start, &mut i),
+            '&' => push(&mut toks, Tok::Amp, start, &mut i),
+            '|' => push(&mut toks, Tok::Pipe, start, &mut i),
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Le, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Lt, start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ge, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, start));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'?') {
+                    toks.push((Tok::EqQuestion, start));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((Tok::Arrow, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Eq, start));
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(ParseError::new(start, "unterminated string literal"));
+                }
+                toks.push((Tok::Quoted(input[i + 1..j].to_owned()), start));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || ((bytes[j] == b'+' || bytes[j] == b'-')
+                            && j > i
+                            && (bytes[j - 1] == b'e' || bytes[j - 1] == b'E')))
+                {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("invalid number {text:?}")))?;
+                toks.push((Tok::Number(n), start));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                toks.push((Tok::Ident(input[i..j].to_owned()), start));
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(start, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn push(toks: &mut Vec<(Tok, usize)>, tok: Tok, start: usize, i: &mut usize) {
+    toks.push((tok, start));
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_lane_change_property() {
+        let f = parse_formula("P>0.99 [ F (\"changedLane\" | \"reducedSpeed\") ]").unwrap();
+        match f {
+            StateFormula::Prob { opt: None, op: CmpOp::Gt, bound, path: PathFormula::Eventually { sub, .. } } => {
+                assert_eq!(bound, 0.99);
+                assert!(matches!(*sub, StateFormula::Or(_, _)));
+            }
+            other => panic!("bad shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_wsn_reward_property() {
+        let f = parse_formula("R{\"attempts\"}<=40 [ F \"delivered\" ]").unwrap();
+        assert_eq!(f, StateFormula::reach_reward("attempts", CmpOp::Le, 40.0, "delivered"));
+    }
+
+    #[test]
+    fn parses_bounded_until_and_next() {
+        let f = parse_formula("P<0.1 [ \"a\" U<=5 \"b\" ]").unwrap();
+        match f {
+            StateFormula::Prob { path: PathFormula::Until { bound: Some(5), .. }, .. } => {}
+            other => panic!("bad shape: {other:?}"),
+        }
+        let g = parse_formula("Pmin>=0.5 [ X \"a\" ]").unwrap();
+        match g {
+            StateFormula::Prob { opt: Some(Opt::Min), path: PathFormula::Next(_), .. } => {}
+            other => panic!("bad shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_boolean_structure_with_precedence() {
+        let f = parse_formula("\"a\" | \"b\" & \"c\" => \"d\"").unwrap();
+        // & binds tighter than |, | tighter than =>
+        match f {
+            StateFormula::Implies(lhs, _) => match *lhs {
+                StateFormula::Or(_, rhs) => assert!(matches!(*rhs, StateFormula::And(_, _))),
+                other => panic!("bad lhs: {other:?}"),
+            },
+            other => panic!("bad shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_queries() {
+        let q = parse_query("Pmax=? [ F \"goal\" ]").unwrap();
+        assert!(matches!(q, Query::Prob { opt: Some(Opt::Max), .. }));
+        let q2 = parse_query("R{\"attempts\"}max=? [ F \"delivered\" ]").unwrap();
+        match q2 {
+            Query::Reward { structure: Some(s), opt: Some(Opt::Max), kind: RewardKind::Reach(_) } => {
+                assert_eq!(s, "attempts");
+            }
+            other => panic!("bad shape: {other:?}"),
+        }
+        let q3 = parse_query("R=? [ C<=10 ]").unwrap();
+        assert!(matches!(q3, Query::Reward { kind: RewardKind::Cumulative(10), .. }));
+    }
+
+    #[test]
+    fn parses_trace_rules() {
+        let r = parse_trace_formula("G !(\"unsafe\")").unwrap();
+        assert_eq!(r, TraceFormula::never("unsafe"));
+        let r2 = parse_trace_formula("G (\"s1\" => action=1)").unwrap();
+        assert_eq!(r2, TraceFormula::whenever_do("s1", 1));
+        let r3 = parse_trace_formula("\"a\" U \"b\"").unwrap();
+        assert!(matches!(r3, TraceFormula::Until(_, _)));
+        let r4 = parse_trace_formula("X F \"goal\"").unwrap();
+        assert!(matches!(r4, TraceFormula::Next(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_formula("P>=1.5 [ F \"a\" ]").is_err()); // bound out of range
+        assert!(parse_formula("P>= [ F \"a\" ]").is_err());
+        assert!(parse_formula("P>=0.5 [ \"a\" ]").is_err()); // missing U
+        assert!(parse_formula("bare_atom").is_err()); // atoms must be quoted
+        assert!(parse_formula("P>=0.5 [ F \"a\" ] extra").is_err());
+        assert!(parse_formula("\"unterminated").is_err());
+        assert!(parse_formula("R<=-3 [ F \"a\" ]").is_err()); // negative bound: '-' is lexed as bad char
+        assert!(parse_formula("P>=0.5 [ F \"a\"").is_err()); // missing ]
+        assert!(parse_query("P>=0.5 [ F \"a\" ]").is_err()); // not a query
+        assert!(parse_trace_formula("action=").is_err());
+        assert!(parse_trace_formula("action=1.5").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_meaningful() {
+        let err = parse_formula("P>=0.5 [ Q ]").unwrap_err();
+        assert!(err.position >= 9, "position was {}", err.position);
+    }
+
+    #[test]
+    fn display_roundtrip_examples() {
+        for src in [
+            "P>=0.99 [ F \"done\" ]",
+            "Pmax<0.5 [ \"a\" U<=7 \"b\" ]",
+            "R{\"attempts\"}<=19 [ F \"delivered\" ]",
+            "Rmin>=1 [ C<=3 ]",
+            "(\"a\" & !(\"b\"))",
+            "P>0 [ G<=4 \"safe\" ]",
+            "(true => (false | \"x\"))",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let round = parse_formula(&f.to_string()).unwrap();
+            assert_eq!(f, round, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn query_display_roundtrip() {
+        for src in ["P=? [ F \"g\" ]", "Pmin=? [ X \"g\" ]", "Rmax=? [ F \"g\" ]", "R{\"c\"}=? [ C<=5 ]"] {
+            let q = parse_query(src).unwrap();
+            assert_eq!(parse_query(&q.to_string()).unwrap(), q, "round-trip failed for {src}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_state_formula() -> impl Strategy<Value = StateFormula> {
+        let leaf = prop_oneof![
+            Just(StateFormula::True),
+            Just(StateFormula::False),
+            "[a-z][a-z0-9_]{0,6}".prop_map(StateFormula::Atom),
+        ];
+        leaf.prop_recursive(4, 24, 3, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|f| StateFormula::Not(Box::new(f))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| StateFormula::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| StateFormula::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| StateFormula::Implies(Box::new(a), Box::new(b))),
+                (inner.clone(), 0.0_f64..=1.0, proptest::option::of(0u64..20))
+                    .prop_map(|(f, b, k)| StateFormula::Prob {
+                        opt: None,
+                        op: CmpOp::Ge,
+                        bound: (b * 100.0).round() / 100.0,
+                        path: PathFormula::Eventually { sub: Box::new(f), bound: k },
+                    }),
+                (inner, 0.0_f64..=100.0).prop_map(|(f, b)| StateFormula::Reward {
+                    structure: None,
+                    opt: Some(Opt::Max),
+                    op: CmpOp::Le,
+                    bound: b.round(),
+                    kind: RewardKind::Reach(Box::new(f)),
+                }),
+            ]
+        })
+    }
+
+    fn arb_trace_formula() -> impl Strategy<Value = TraceFormula> {
+        let leaf = prop_oneof![
+            Just(TraceFormula::True),
+            "[a-z][a-z0-9_]{0,6}".prop_map(TraceFormula::Atom),
+            (0usize..5).prop_map(TraceFormula::ActionIs),
+        ];
+        leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|f| TraceFormula::Not(Box::new(f))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| TraceFormula::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| TraceFormula::Or(Box::new(a), Box::new(b))),
+                inner.clone().prop_map(|f| TraceFormula::Next(Box::new(f))),
+                inner.clone().prop_map(|f| TraceFormula::Always(Box::new(f))),
+                inner.clone().prop_map(|f| TraceFormula::Eventually(Box::new(f))),
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| TraceFormula::Until(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Every formula round-trips through its display form.
+        #[test]
+        fn display_parse_roundtrip(f in arb_state_formula()) {
+            let printed = f.to_string();
+            let reparsed = parse_formula(&printed)
+                .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+            prop_assert_eq!(f, reparsed);
+        }
+
+        /// Trace rules round-trip through their display form too.
+        #[test]
+        fn trace_display_parse_roundtrip(f in arb_trace_formula()) {
+            let printed = f.to_string();
+            let reparsed = parse_trace_formula(&printed)
+                .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+            prop_assert_eq!(f, reparsed);
+        }
+    }
+}

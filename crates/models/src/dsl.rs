@@ -1,0 +1,496 @@
+//! A small textual model-description language, so models can live in
+//! files and be checked from the command line (see the `tml-cli` crate).
+//!
+//! The format is line-oriented and PRISM-inspired:
+//!
+//! ```text
+//! # a comment
+//! dtmc                      # or: mdp
+//! states 3
+//! initial 0
+//! label "goal" = 2
+//! reward "steps" 0 = 1.0
+//!
+//! # DTMC rows: FROM -> TO: PROB, TO: PROB, ...
+//! 0 -> 0: 0.25, 1: 0.75
+//! 1 -> 2: 1.0
+//! 2 -> 2: 1.0
+//! ```
+//!
+//! MDP rows name an action in brackets (a state may have several):
+//!
+//! ```text
+//! mdp
+//! states 2
+//! 0 [go]   -> 1: 1.0
+//! 0 [stay] -> 0: 1.0
+//! 1 [stay] -> 1: 1.0
+//! ```
+//!
+//! Choice rewards use `reward "name" STATE [ACTION-INDEX] = VALUE`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Dtmc, DtmcBuilder, Mdp, MdpBuilder, ModelError};
+
+/// A parsed model file: either kind of model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelFile {
+    /// A discrete-time Markov chain.
+    Dtmc(Dtmc),
+    /// A Markov decision process.
+    Mdp(Mdp),
+}
+
+impl ModelFile {
+    /// The number of states, regardless of kind.
+    pub fn num_states(&self) -> usize {
+        match self {
+            ModelFile::Dtmc(m) => m.num_states(),
+            ModelFile::Mdp(m) => m.num_states(),
+        }
+    }
+
+    /// `"dtmc"` or `"mdp"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ModelFile::Dtmc(_) => "dtmc",
+            ModelFile::Mdp(_) => "mdp",
+        }
+    }
+}
+
+/// Error produced when parsing a model description fails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DslError {
+    /// 1-based line number of the offending line (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DslError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        DslError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model description error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for DslError {}
+
+/// Parses a model description.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] with the offending line on malformed input, or a
+/// wrapped [`ModelError`] message if the assembled model is invalid (e.g.
+/// rows that do not sum to one).
+///
+/// # Example
+///
+/// ```
+/// use tml_models::dsl::{parse_model, ModelFile};
+///
+/// let src = "dtmc\nstates 2\nlabel \"done\" = 1\n0 -> 1: 1.0\n1 -> 1: 1.0\n";
+/// let model = parse_model(src).unwrap();
+/// assert_eq!(model.kind(), "dtmc");
+/// assert_eq!(model.num_states(), 2);
+/// ```
+pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
+    let mut kind: Option<&str> = None;
+    let mut num_states: Option<usize> = None;
+    let mut initial = 0usize;
+    let mut labels: Vec<(usize, String, usize)> = Vec::new(); // (line, name, state)
+    let mut state_rewards: Vec<(usize, String, usize, f64)> = Vec::new();
+    let mut choice_rewards: Vec<(usize, String, usize, usize, f64)> = Vec::new();
+    let mut dtmc_rows: Vec<(usize, usize, Vec<(usize, f64)>)> = Vec::new();
+    let mut mdp_rows: Vec<(usize, usize, String, Vec<(usize, f64)>)> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if kind.is_none() {
+            match line {
+                "dtmc" => kind = Some("dtmc"),
+                "mdp" => kind = Some("mdp"),
+                other => {
+                    return Err(DslError::new(
+                        lineno,
+                        format!("expected 'dtmc' or 'mdp' as the first directive, found {other:?}"),
+                    ))
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("states") {
+            num_states = Some(parse_usize(rest.trim(), lineno, "state count")?);
+        } else if let Some(rest) = line.strip_prefix("initial") {
+            initial = parse_usize(rest.trim(), lineno, "initial state")?;
+        } else if let Some(rest) = line.strip_prefix("label") {
+            let (name, states) = parse_named_assignment(rest, lineno)?;
+            for s in states.split(',') {
+                labels.push((lineno, name.clone(), parse_usize(s.trim(), lineno, "label state")?));
+            }
+        } else if line.starts_with("reward") {
+            // Parsed in a dedicated second pass (the reward grammar has its
+            // own name/state/choice/value shape); validate lazily there.
+            continue;
+        } else if line.contains("->") {
+            let (lhs, rhs) = split_once(line, '-', lineno, "transition row")?;
+            let rhs = rhs.strip_prefix('>').ok_or_else(|| DslError::new(lineno, "expected '->'"))?;
+            let lhs = lhs.trim();
+            let dist = parse_distribution(rhs, lineno)?;
+            if let Some(open) = lhs.find('[') {
+                let close = lhs
+                    .find(']')
+                    .ok_or_else(|| DslError::new(lineno, "unclosed '[' in action name"))?;
+                let from = parse_usize(lhs[..open].trim(), lineno, "source state")?;
+                let action = lhs[open + 1..close].trim().to_owned();
+                if action.is_empty() {
+                    return Err(DslError::new(lineno, "empty action name"));
+                }
+                mdp_rows.push((lineno, from, action, dist));
+            } else {
+                let from = parse_usize(lhs, lineno, "source state")?;
+                dtmc_rows.push((lineno, from, dist));
+            }
+        } else {
+            return Err(DslError::new(lineno, format!("unrecognized directive {line:?}")));
+        }
+    }
+    // Re-scan for rewards (kept out of the main loop for clarity of the
+    // name/assignment split).
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if let Some(rest) = line.strip_prefix("reward") {
+            let (name, state, choice, value) = parse_reward(rest, lineno)?;
+            match choice {
+                Some(c) => choice_rewards.push((lineno, name, state, c, value)),
+                None => state_rewards.push((lineno, name, state, value)),
+            }
+        }
+    }
+
+    let kind = kind.ok_or_else(|| DslError::new(0, "empty model description"))?;
+    let n = num_states.ok_or_else(|| DslError::new(0, "missing 'states N' directive"))?;
+
+    let wrap = |lineno: usize, e: ModelError| DslError::new(lineno, e.to_string());
+    match kind {
+        "dtmc" => {
+            if let Some((lineno, _, action, _)) = mdp_rows.first() {
+                return Err(DslError::new(
+                    *lineno,
+                    format!("action {action:?} in a dtmc (use 'mdp' as the first directive)"),
+                ));
+            }
+            let mut b = DtmcBuilder::new(n);
+            b.initial_state(initial).map_err(|e| wrap(0, e))?;
+            for (lineno, from, dist) in dtmc_rows {
+                for (to, p) in dist {
+                    b.transition(from, to, p).map_err(|e| wrap(lineno, e))?;
+                }
+            }
+            for (lineno, name, s) in labels {
+                b.label(s, &name).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s, v) in state_rewards {
+                b.state_reward(&name, s, v).map_err(|e| wrap(lineno, e))?;
+            }
+            if let Some((lineno, ..)) = choice_rewards.first() {
+                return Err(DslError::new(*lineno, "choice rewards are only valid in an mdp"));
+            }
+            Ok(ModelFile::Dtmc(b.build().map_err(|e| wrap(0, e))?))
+        }
+        "mdp" => {
+            if let Some((lineno, ..)) = dtmc_rows.first() {
+                return Err(DslError::new(
+                    *lineno,
+                    "mdp rows need an action name in brackets: STATE [action] -> ...",
+                ));
+            }
+            let mut b = MdpBuilder::new(n);
+            b.initial_state(initial).map_err(|e| wrap(0, e))?;
+            for (lineno, from, action, dist) in mdp_rows {
+                b.choice(from, &action, &dist).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s) in labels {
+                b.label(s, &name).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s, v) in state_rewards {
+                b.state_reward(&name, s, v).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s, c, v) in choice_rewards {
+                b.choice_reward(&name, s, c, v).map_err(|e| wrap(lineno, e))?;
+            }
+            Ok(ModelFile::Mdp(b.build().map_err(|e| wrap(0, e))?))
+        }
+        _ => unreachable!("kind is validated above"),
+    }
+}
+
+/// Serializes a DTMC back into the textual format (round-trips through
+/// [`parse_model`]).
+pub fn dtmc_to_dsl(model: &Dtmc) -> String {
+    let mut out = String::from("dtmc\n");
+    out.push_str(&format!("states {}\n", model.num_states()));
+    out.push_str(&format!("initial {}\n", model.initial_state()));
+    for label in model.labeling().labels() {
+        let states: Vec<String> =
+            model.labeling().states_with(label).map(|s| s.to_string()).collect();
+        out.push_str(&format!("label \"{label}\" = {}\n", states.join(", ")));
+    }
+    for rs in model.reward_structures() {
+        for s in 0..model.num_states() {
+            let r = rs.state_reward(s);
+            if r != 0.0 {
+                out.push_str(&format!("reward \"{}\" {s} = {r}\n", rs.name()));
+            }
+        }
+    }
+    for s in 0..model.num_states() {
+        let row: Vec<String> = model.successors(s).map(|(t, p)| format!("{t}: {p}")).collect();
+        out.push_str(&format!("{s} -> {}\n", row.join(", ")));
+    }
+    out
+}
+
+/// Serializes an MDP back into the textual format.
+pub fn mdp_to_dsl(model: &Mdp) -> String {
+    let mut out = String::from("mdp\n");
+    out.push_str(&format!("states {}\n", model.num_states()));
+    out.push_str(&format!("initial {}\n", model.initial_state()));
+    for label in model.labeling().labels() {
+        let states: Vec<String> =
+            model.labeling().states_with(label).map(|s| s.to_string()).collect();
+        out.push_str(&format!("label \"{label}\" = {}\n", states.join(", ")));
+    }
+    for rs in model.reward_structures() {
+        for s in 0..model.num_states() {
+            let r = rs.state_reward(s);
+            if r != 0.0 {
+                out.push_str(&format!("reward \"{}\" {s} = {r}\n", rs.name()));
+            }
+            for c in 0..model.num_choices(s) {
+                let cr = rs.choice_reward(s, c);
+                if cr != 0.0 {
+                    out.push_str(&format!("reward \"{}\" {s} [{c}] = {cr}\n", rs.name()));
+                }
+            }
+        }
+    }
+    for s in 0..model.num_states() {
+        for choice in model.choices(s) {
+            let row: Vec<String> =
+                choice.transitions.iter().map(|&(t, p)| format!("{t}: {p}")).collect();
+            out.push_str(&format!(
+                "{s} [{}] -> {}\n",
+                model.action_name(choice.action),
+                row.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_usize(text: &str, line: usize, what: &str) -> Result<usize, DslError> {
+    text.parse().map_err(|_| DslError::new(line, format!("invalid {what}: {text:?}")))
+}
+
+fn parse_f64(text: &str, line: usize, what: &str) -> Result<f64, DslError> {
+    text.trim().parse().map_err(|_| DslError::new(line, format!("invalid {what}: {text:?}")))
+}
+
+/// Parses `"name" = rest` returning `(name, rest)`.
+fn parse_named_assignment(rest: &str, line: usize) -> Result<(String, String), DslError> {
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('"')
+        .ok_or_else(|| DslError::new(line, "expected a quoted name"))?;
+    let close = inner
+        .find('"')
+        .ok_or_else(|| DslError::new(line, "unterminated quoted name"))?;
+    let name = inner[..close].to_owned();
+    let after = inner[close + 1..].trim();
+    let value = after
+        .strip_prefix('=')
+        .ok_or_else(|| DslError::new(line, "expected '=' after the name"))?
+        .trim()
+        .to_owned();
+    Ok((name, value))
+}
+
+/// Parses `"name" STATE = V` or `"name" STATE [CHOICE] = V`.
+fn parse_reward(rest: &str, line: usize) -> Result<(String, usize, Option<usize>, f64), DslError> {
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('"')
+        .ok_or_else(|| DslError::new(line, "expected a quoted reward structure name"))?;
+    let close = inner
+        .find('"')
+        .ok_or_else(|| DslError::new(line, "unterminated quoted name"))?;
+    let name = inner[..close].to_owned();
+    let after = inner[close + 1..].trim();
+    let (lhs, value) = split_once(after, '=', line, "reward assignment")?;
+    let value = parse_f64(&value, line, "reward value")?;
+    let lhs = lhs.trim();
+    if let Some(open) = lhs.find('[') {
+        let close = lhs.find(']').ok_or_else(|| DslError::new(line, "unclosed '['"))?;
+        let state = parse_usize(lhs[..open].trim(), line, "reward state")?;
+        let choice = parse_usize(lhs[open + 1..close].trim(), line, "choice index")?;
+        Ok((name, state, Some(choice), value))
+    } else {
+        let state = parse_usize(lhs, line, "reward state")?;
+        Ok((name, state, None, value))
+    }
+}
+
+fn parse_distribution(text: &str, line: usize) -> Result<Vec<(usize, f64)>, DslError> {
+    let mut dist = Vec::new();
+    for part in text.split(',') {
+        let (state, prob) = split_once(part, ':', line, "distribution entry")?;
+        dist.push((
+            parse_usize(state.trim(), line, "target state")?,
+            parse_f64(&prob, line, "probability")?,
+        ));
+    }
+    if dist.is_empty() {
+        return Err(DslError::new(line, "empty distribution"));
+    }
+    Ok(dist)
+}
+
+fn split_once(text: &str, sep: char, line: usize, what: &str) -> Result<(String, String), DslError> {
+    match text.split_once(sep) {
+        Some((a, b)) => Ok((a.trim().to_owned(), b.trim().to_owned())),
+        None => Err(DslError::new(line, format!("malformed {what}: {text:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DTMC_SRC: &str = r#"
+# gambler's chain
+dtmc
+states 3
+initial 1
+label "rich" = 2
+label "broke" = 0
+reward "steps" 1 = 1.0
+0 -> 0: 1.0
+1 -> 0: 0.5, 2: 0.5
+2 -> 2: 1.0
+"#;
+
+    const MDP_SRC: &str = r#"
+mdp
+states 2
+label "goal" = 1
+reward "cost" 0 = 1.0
+reward "cost" 0 [1] = 0.5
+0 [go]   -> 1: 1.0
+0 [stay] -> 0: 1.0
+1 [stay] -> 1: 1.0
+"#;
+
+    #[test]
+    fn parses_dtmc() {
+        let m = parse_model(DTMC_SRC).unwrap();
+        assert_eq!(m.kind(), "dtmc");
+        let ModelFile::Dtmc(d) = m else { panic!("expected dtmc") };
+        assert_eq!(d.num_states(), 3);
+        assert_eq!(d.initial_state(), 1);
+        assert_eq!(d.probability(1, 2), 0.5);
+        assert!(d.labeling().has(2, "rich"));
+        assert_eq!(d.reward_structure("steps").unwrap().state_reward(1), 1.0);
+    }
+
+    #[test]
+    fn parses_mdp() {
+        let m = parse_model(MDP_SRC).unwrap();
+        let ModelFile::Mdp(m) = m else { panic!("expected mdp") };
+        assert_eq!(m.num_choices(0), 2);
+        assert_eq!(m.action_id("go"), Some(0));
+        assert_eq!(m.reward_structure("cost").unwrap().choice_reward(0, 1), 0.5);
+        assert!(m.labeling().has(1, "goal"));
+    }
+
+    #[test]
+    fn dtmc_roundtrip() {
+        let ModelFile::Dtmc(d) = parse_model(DTMC_SRC).unwrap() else { panic!() };
+        let printed = dtmc_to_dsl(&d);
+        let ModelFile::Dtmc(d2) = parse_model(&printed).unwrap() else { panic!() };
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn mdp_roundtrip() {
+        let ModelFile::Mdp(m) = parse_model(MDP_SRC).unwrap() else { panic!() };
+        let printed = mdp_to_dsl(&m);
+        let ModelFile::Mdp(m2) = parse_model(&printed).unwrap() else { panic!() };
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn error_reporting_includes_lines() {
+        let err = parse_model("dtmc\nstates 1\n0 -> 0: 0.5\n").unwrap_err();
+        assert!(err.to_string().contains("sum"), "{err}");
+
+        let err = parse_model("dtmc\nstates 1\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 3);
+
+        let err = parse_model("chain\n").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = parse_model("").unwrap_err();
+        assert!(err.to_string().contains("empty"));
+
+        let err = parse_model("dtmc\n0 -> 0: 1.0\n").unwrap_err();
+        assert!(err.to_string().contains("states"), "{err}");
+    }
+
+    #[test]
+    fn kind_mismatches_rejected() {
+        let err = parse_model("dtmc\nstates 1\n0 [a] -> 0: 1.0\n").unwrap_err();
+        assert!(err.to_string().contains("dtmc"), "{err}");
+        let err = parse_model("mdp\nstates 1\n0 -> 0: 1.0\n").unwrap_err();
+        assert!(err.to_string().contains("action"), "{err}");
+        let err = parse_model("dtmc\nstates 1\nreward \"r\" 0 [0] = 1.0\n0 -> 0: 1.0\n").unwrap_err();
+        assert!(err.to_string().contains("choice rewards"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let m = parse_model("# header\n\ndtmc # kind\nstates 1 # one\n0 -> 0: 1.0 # loop\n").unwrap();
+        assert_eq!(m.num_states(), 1);
+    }
+
+    #[test]
+    fn malformed_pieces() {
+        assert!(parse_model("dtmc\nstates x\n").is_err());
+        assert!(parse_model("dtmc\nstates 1\nlabel goal = 0\n0 -> 0: 1.0\n").is_err());
+        assert!(parse_model("dtmc\nstates 1\nlabel \"g = 0\n0 -> 0: 1.0\n").is_err());
+        assert!(parse_model("dtmc\nstates 1\n0 -> 0 1.0\n").is_err());
+        assert!(parse_model("dtmc\nstates 1\n0 -> : 1.0\n").is_err());
+        assert!(parse_model("mdp\nstates 1\n0 [] -> 0: 1.0\n").is_err());
+        assert!(parse_model("mdp\nstates 1\n0 [a -> 0: 1.0\n").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or manipulating probabilistic models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A state index exceeded the number of states.
+    StateOutOfBounds {
+        /// The offending state index.
+        state: usize,
+        /// Number of states in the model.
+        num_states: usize,
+    },
+    /// A probability was negative, non-finite, or above one.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Where it occurred, for diagnostics.
+        context: String,
+    },
+    /// The outgoing probabilities of a state (or choice) do not sum to one.
+    NotStochastic {
+        /// The state whose distribution is broken.
+        state: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A state has no outgoing transition (DTMC) or no choice (MDP).
+    MissingDistribution {
+        /// The deadlocked state.
+        state: usize,
+    },
+    /// A reward was negative or non-finite where a non-negative finite value
+    /// is required.
+    InvalidReward {
+        /// The offending value.
+        value: f64,
+        /// Where it occurred.
+        context: String,
+    },
+    /// A named entity (reward structure, action, label) was not found.
+    NotFound {
+        /// What kind of entity was looked up.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A policy is incompatible with the MDP it is applied to.
+    PolicyMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A dataset or trace was malformed.
+    InvalidTrace {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::StateOutOfBounds { state, num_states } => {
+                write!(f, "state {state} out of bounds for model with {num_states} states")
+            }
+            ModelError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} ({context})")
+            }
+            ModelError::NotStochastic { state, sum } => {
+                write!(f, "outgoing probabilities of state {state} sum to {sum}, expected 1")
+            }
+            ModelError::MissingDistribution { state } => {
+                write!(f, "state {state} has no outgoing distribution")
+            }
+            ModelError::InvalidReward { value, context } => {
+                write!(f, "invalid reward {value} ({context})")
+            }
+            ModelError::NotFound { kind, name } => write!(f, "unknown {kind} {name:?}"),
+            ModelError::PolicyMismatch { detail } => write!(f, "policy mismatch: {detail}"),
+            ModelError::InvalidTrace { detail } => write!(f, "invalid trace: {detail}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let errs: Vec<ModelError> = vec![
+            ModelError::StateOutOfBounds { state: 9, num_states: 3 },
+            ModelError::InvalidProbability { value: -0.5, context: "transition".into() },
+            ModelError::NotStochastic { state: 0, sum: 0.9 },
+            ModelError::MissingDistribution { state: 2 },
+            ModelError::InvalidReward { value: f64::NAN, context: "state reward".into() },
+            ModelError::NotFound { kind: "label", name: "goal".into() },
+            ModelError::PolicyMismatch { detail: "choice 4 of 2".into() },
+            ModelError::InvalidTrace { detail: "empty".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,238 @@
+use crate::{Field, NumericsError};
+
+/// A row-major dense matrix over an arbitrary [`Field`].
+///
+/// Dense matrices are used for the (small) linear systems that arise when
+/// solving unbounded-until probabilities and expected rewards on the
+/// "maybe" fragment of a Markov chain, and — instantiated with rational
+/// functions — for parametric state elimination.
+///
+/// # Example
+///
+/// ```
+/// use tml_numerics::DenseMatrix;
+///
+/// # fn main() -> Result<(), tml_numerics::NumericsError> {
+/// let m = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(*m.get(1, 0), 3.0);
+/// let v = m.mat_vec(&[1.0, 1.0])?;
+/// assert_eq!(v, vec![3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Field> DenseMatrix<T> {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![T::zero(); rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, T::one());
+        }
+        m
+    }
+
+    /// Builds a matrix from a vector of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if the rows do not all have
+    /// the same length or if there are zero rows.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Result<Self, NumericsError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(NumericsError::ShapeMismatch {
+                detail: "cannot build a matrix from zero rows".into(),
+            });
+        }
+        let ncols = rows[0].len();
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!("rows have unequal lengths (expected {ncols})"),
+            });
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend(r);
+        }
+        Ok(DenseMatrix { rows: nrows, cols: ncols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()` or `c >= cols()`.
+    pub fn get(&self, r: usize, c: usize) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutably borrow the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()` or `c >= cols()`.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Overwrites the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()` or `c >= cols()`.
+    pub fn set(&mut self, r: usize, c: usize, value: T) {
+        *self.get_mut(r, c) = value;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if `x.len() != cols()`.
+    pub fn mat_vec(&self, x: &[T]) -> Result<Vec<T>, NumericsError> {
+        if x.len() != self.cols {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!("mat_vec: {} columns vs vector of length {}", self.cols, x.len()),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut acc = T::zero();
+            for (a, b) in self.row(r).iter().zip(x) {
+                if !a.is_zero() && !b.is_zero() {
+                    acc = acc.add(&a.mul(b));
+                }
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn mat_mul(&self, rhs: &DenseMatrix<T>) -> Result<DenseMatrix<T>, NumericsError> {
+        if self.cols != rhs.rows {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!("mat_mul: {}x{} times {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+            });
+        }
+        let mut out: DenseMatrix<T> = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let b = rhs.get(k, j);
+                    if b.is_zero() {
+                        continue;
+                    }
+                    let cur = out.get(i, j).clone();
+                    out.set(i, j, cur.add(&aik.mul(b)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c).clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mat_vec_is_identity() {
+        let id: DenseMatrix<f64> = DenseMatrix::identity(3);
+        let x = vec![1.0, -2.0, 0.5];
+        assert_eq!(id.mat_vec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = DenseMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, NumericsError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        let err = DenseMatrix::<f64>::from_rows(vec![]).unwrap_err();
+        assert!(matches!(err, NumericsError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn mat_mul_small() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let c = a.mat_mul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(vec![vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+    }
+
+    #[test]
+    fn mat_vec_shape_error() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(a.mat_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(*a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let a: DenseMatrix<f64> = DenseMatrix::zeros(2, 2);
+        let _ = a.get(2, 0);
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numeric kernels in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A matrix was constructed from rows of unequal length, or with a
+    /// dimension of zero where a non-empty matrix was required.
+    ShapeMismatch {
+        /// Human-readable description of the offending shapes.
+        detail: String,
+    },
+    /// A direct solver hit a (numerically) singular pivot.
+    SingularMatrix {
+        /// Row/column index at which elimination failed.
+        at: usize,
+    },
+    /// An iterative solver did not converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm when the solver gave up.
+        residual: f64,
+    },
+    /// An index was out of bounds for the matrix or vector it addressed.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length/dimension that was exceeded.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::ShapeMismatch { detail } => {
+                write!(f, "shape mismatch: {detail}")
+            }
+            NumericsError::SingularMatrix { at } => {
+                write!(f, "matrix is singular (no usable pivot at index {at})")
+            }
+            NumericsError::NoConvergence { iterations, residual } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            NumericsError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for dimension {len}")
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumericsError::ShapeMismatch { detail: "2x2 vs 3".into() },
+            NumericsError::SingularMatrix { at: 1 },
+            NumericsError::NoConvergence { iterations: 10, residual: 0.5 },
+            NumericsError::IndexOutOfBounds { index: 5, len: 3 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

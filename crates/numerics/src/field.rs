@@ -1,0 +1,137 @@
+/// A field of scalars that the generic linear solvers can operate on.
+///
+/// The direct solvers in [`crate::solve`] are written against this trait so
+/// that the *same* Gaussian-elimination code runs both on `f64` (concrete
+/// model checking) and on symbolic rational functions (parametric model
+/// checking, where elimination over the field of rational functions is
+/// exactly the classic "state elimination" algorithm).
+///
+/// Implementations must satisfy the usual field laws up to the numeric
+/// tolerance inherent in their representation: associativity and
+/// commutativity of [`add`](Field::add)/[`mul`](Field::mul), distributivity,
+/// `x.add(&Field::zero()) == x`, `x.mul(&Field::one()) == x`, and
+/// `x.mul(&y).div(&y) ≈ x` for non-zero `y`.
+///
+/// # Example
+///
+/// ```
+/// use tml_numerics::Field;
+///
+/// let x = 3.0_f64;
+/// let y = 4.0_f64;
+/// assert_eq!(Field::add(&x, &y), 7.0);
+/// assert_eq!(Field::mul(&x, &y), 12.0);
+/// assert!(Field::is_zero(&0.0));
+/// ```
+pub trait Field: Clone + PartialEq + std::fmt::Debug {
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// `self + rhs`.
+    fn add(&self, rhs: &Self) -> Self;
+
+    /// `self - rhs`.
+    fn sub(&self, rhs: &Self) -> Self;
+
+    /// `self * rhs`.
+    fn mul(&self, rhs: &Self) -> Self;
+
+    /// `self / rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `rhs.is_zero()`. Callers inside this
+    /// workspace always guard divisions with [`is_zero`](Field::is_zero).
+    fn div(&self, rhs: &Self) -> Self;
+
+    /// `-self`.
+    fn neg(&self) -> Self;
+
+    /// Whether this element is (recognizably) the additive identity.
+    fn is_zero(&self) -> bool;
+
+    /// A non-negative weight used for pivot selection in Gaussian
+    /// elimination. Larger is a better pivot. Must be `0.0` exactly when
+    /// [`is_zero`](Field::is_zero) holds.
+    fn pivot_weight(&self) -> f64 {
+        if self.is_zero() {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Field for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+
+    fn sub(&self, rhs: &Self) -> Self {
+        self - rhs
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+
+    fn div(&self, rhs: &Self) -> Self {
+        self / rhs
+    }
+
+    fn neg(&self) -> Self {
+        -self
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+
+    fn pivot_weight(&self) -> f64 {
+        self.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_field_laws() {
+        let (x, y, z) = (2.5, -1.25, 4.0);
+        assert_eq!(Field::add(&x, &y), x + y);
+        assert_eq!(Field::sub(&x, &y), x - y);
+        assert_eq!(Field::mul(&x, &z), 10.0);
+        assert_eq!(Field::div(&z, &x), 1.6);
+        assert_eq!(Field::neg(&x), -2.5);
+        assert!(Field::is_zero(&0.0));
+        assert!(!Field::is_zero(&1e-300));
+        assert_eq!(<f64 as Field>::zero(), 0.0);
+        assert_eq!(<f64 as Field>::one(), 1.0);
+    }
+
+    #[test]
+    fn f64_pivot_weight_is_abs() {
+        assert_eq!(Field::pivot_weight(&-3.0), 3.0);
+        assert_eq!(Field::pivot_weight(&0.0), 0.0);
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let x = 7.25_f64;
+        let y = -0.3_f64;
+        let got = Field::div(&Field::mul(&x, &y), &y);
+        assert!((got - x).abs() < 1e-12);
+    }
+}

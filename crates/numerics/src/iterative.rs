@@ -1,0 +1,275 @@
+//! Iterative fixed-point solvers for equations of the form `x = A·x + b`.
+//!
+//! Value iteration, bounded-until unrolling and Gauss–Seidel refinement all
+//! reduce to repeatedly applying an affine operator until the iterates stop
+//! moving. These routines operate on [`CsrMatrix`] so they scale to large
+//! sparse transition systems.
+
+use crate::{CsrMatrix, NumericsError};
+
+/// Options controlling the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterOptions {
+    /// Convergence threshold on the max-norm difference between iterates.
+    pub tolerance: f64,
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for IterOptions {
+    fn default() -> Self {
+        IterOptions { tolerance: 1e-10, max_iterations: 100_000 }
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterSolution {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Number of sweeps performed.
+    pub iterations: usize,
+    /// Max-norm difference of the last two iterates.
+    pub delta: f64,
+}
+
+/// Jacobi iteration for `x = A·x + b`, starting from `x0`.
+///
+/// Converges whenever the spectral radius of `A` is below one — which holds
+/// for the sub-stochastic "maybe-state" fragments that arise in
+/// unbounded-until and expected-reward computations.
+///
+/// # Errors
+///
+/// * [`NumericsError::ShapeMismatch`] on dimension mismatch.
+/// * [`NumericsError::NoConvergence`] if the tolerance is not reached within
+///   the iteration budget.
+///
+/// # Example
+///
+/// ```
+/// use tml_numerics::{CsrMatrix, Triplet};
+/// use tml_numerics::iterative::{jacobi, IterOptions};
+///
+/// # fn main() -> Result<(), tml_numerics::NumericsError> {
+/// // x = 0.5 x + 1 has solution x = 2.
+/// let a = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 0.5)])?;
+/// let sol = jacobi(&a, &[1.0], &[0.0], IterOptions::default())?;
+/// assert!((sol.x[0] - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jacobi(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: IterOptions,
+) -> Result<IterSolution, NumericsError> {
+    check_shapes(a, b, x0)?;
+    let mut x = x0.to_vec();
+    let mut delta = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        let mut next = a.mat_vec(&x)?;
+        for (n, bi) in next.iter_mut().zip(b) {
+            *n += bi;
+        }
+        delta = max_abs_diff(&next, &x);
+        x = next;
+        if delta <= opts.tolerance {
+            return Ok(IterSolution { x, iterations: it, delta });
+        }
+    }
+    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: delta })
+}
+
+/// Gauss–Seidel iteration for `x = A·x + b`, starting from `x0`.
+///
+/// Like [`jacobi`] but updates components in place within each sweep, which
+/// typically roughly halves the iteration count on transition systems.
+///
+/// # Errors
+///
+/// Same conditions as [`jacobi`].
+pub fn gauss_seidel(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: IterOptions,
+) -> Result<IterSolution, NumericsError> {
+    check_shapes(a, b, x0)?;
+    let n = a.rows();
+    let mut x = x0.to_vec();
+    let mut delta = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        delta = 0.0;
+        for r in 0..n {
+            let mut acc = b[r];
+            let mut diag = 0.0;
+            for (c, v) in a.row_entries(r) {
+                if c == r {
+                    diag = v;
+                } else {
+                    acc += v * x[c];
+                }
+            }
+            // Solve x_r = diag * x_r + acc  =>  x_r = acc / (1 - diag).
+            let denom = 1.0 - diag;
+            let new = if denom.abs() < f64::EPSILON { acc } else { acc / denom };
+            let d = (new - x[r]).abs();
+            if d > delta {
+                delta = d;
+            }
+            x[r] = new;
+        }
+        if delta <= opts.tolerance {
+            return Ok(IterSolution { x, iterations: it, delta });
+        }
+    }
+    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: delta })
+}
+
+/// Applies `k` steps of `x ← A·x + b` and returns every intermediate iterate's
+/// final value (used for step-bounded until / cumulative reward).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] on dimension mismatch.
+pub fn affine_power(a: &CsrMatrix, b: &[f64], x0: &[f64], k: usize) -> Result<Vec<f64>, NumericsError> {
+    check_shapes(a, b, x0)?;
+    let mut x = x0.to_vec();
+    for _ in 0..k {
+        let mut next = a.mat_vec(&x)?;
+        for (n, bi) in next.iter_mut().zip(b) {
+            *n += bi;
+        }
+        x = next;
+    }
+    Ok(x)
+}
+
+fn check_shapes(a: &CsrMatrix, b: &[f64], x0: &[f64]) -> Result<(), NumericsError> {
+    if a.rows() != a.cols() {
+        return Err(NumericsError::ShapeMismatch {
+            detail: format!("iterative solver requires square matrix, got {}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != a.rows() || x0.len() != a.rows() {
+        return Err(NumericsError::ShapeMismatch {
+            detail: format!(
+                "dimension mismatch: matrix {}x{}, b {}, x0 {}",
+                a.rows(),
+                a.cols(),
+                b.len(),
+                x0.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+
+    fn chain() -> (CsrMatrix, Vec<f64>) {
+        // Random walk on {0,1,2}: from 1 go to 0 or 2 with prob 1/2 each;
+        // probability of hitting state 2 from 1 is 1/2, from 0 is 0.
+        // maybe-states = {1}; x1 = 0.5*x0(absorbed 0) + 0.5 (to target).
+        let a = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 0.0)]).unwrap();
+        (a, vec![0.5])
+    }
+
+    #[test]
+    fn jacobi_simple() {
+        let (a, b) = chain();
+        let sol = jacobi(&a, &b, &[0.0], IterOptions::default()).unwrap();
+        assert!((sol.x[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_jacobi() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[Triplet::new(0, 1, 0.5), Triplet::new(1, 0, 0.25)],
+        )
+        .unwrap();
+        let b = vec![1.0, 2.0];
+        let j = jacobi(&a, &b, &[0.0, 0.0], IterOptions::default()).unwrap();
+        let g = gauss_seidel(&a, &b, &[0.0, 0.0], IterOptions::default()).unwrap();
+        for (x, y) in j.x.iter().zip(&g.x) {
+            assert!((x - y).abs() < 1e-8, "jacobi {x} vs gauss-seidel {y}");
+        }
+        assert!(g.iterations <= j.iterations);
+    }
+
+    #[test]
+    fn affine_power_counts_steps() {
+        // x <- 0*x + 1 repeated: after any k >= 1, x = 1.
+        let a = CsrMatrix::from_triplets(1, 1, &[]).unwrap();
+        let x = affine_power(&a, &[1.0], &[0.0], 3).unwrap();
+        assert_eq!(x, vec![1.0]);
+        let x0 = affine_power(&a, &[1.0], &[0.0], 0).unwrap();
+        assert_eq!(x0, vec![0.0]);
+    }
+
+    #[test]
+    fn non_convergent_reports_error() {
+        // x = 2x + 1 diverges.
+        let a = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 2.0)]).unwrap();
+        let err = jacobi(&a, &[1.0], &[1.0], IterOptions { tolerance: 1e-12, max_iterations: 50 })
+            .unwrap_err();
+        assert!(matches!(err, NumericsError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = CsrMatrix::from_triplets(2, 1, &[]).unwrap();
+        assert!(jacobi(&a, &[0.0], &[0.0], IterOptions::default()).is_err());
+        let sq = CsrMatrix::from_triplets(2, 2, &[]).unwrap();
+        assert!(gauss_seidel(&sq, &[0.0], &[0.0, 0.0], IterOptions::default()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Triplet;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For random strictly sub-stochastic matrices both solvers converge
+        /// and agree with each other.
+        #[test]
+        fn substochastic_systems_converge(
+            raw in proptest::collection::vec(0.0_f64..1.0, 9),
+            b in proptest::collection::vec(0.0_f64..1.0, 3),
+        ) {
+            let n = 3;
+            let mut triplets = Vec::new();
+            for r in 0..n {
+                let row: Vec<f64> = (0..n).map(|c| raw[r * n + c]).collect();
+                let sum: f64 = row.iter().sum();
+                // scale row sum to 0.9 so the spectral radius is < 1
+                let scale = if sum > 0.0 { 0.9 / sum } else { 0.0 };
+                for (c, v) in row.iter().enumerate() {
+                    if *v > 0.0 {
+                        triplets.push(Triplet::new(r, c, v * scale));
+                    }
+                }
+            }
+            let a = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
+            let opts = IterOptions { tolerance: 1e-12, max_iterations: 200_000 };
+            let j = jacobi(&a, &b, &vec![0.0; n], opts).unwrap();
+            let g = gauss_seidel(&a, &b, &vec![0.0; n], opts).unwrap();
+            for (x, y) in j.x.iter().zip(&g.x) {
+                prop_assert!((x - y).abs() < 1e-8);
+            }
+        }
+    }
+}

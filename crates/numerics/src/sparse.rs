@@ -1,0 +1,215 @@
+use crate::NumericsError;
+
+/// A `(row, col, value)` entry used to assemble a [`CsrMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Entry value.
+    pub value: f64,
+}
+
+impl Triplet {
+    /// Convenience constructor.
+    pub fn new(row: usize, col: usize, value: f64) -> Self {
+        Triplet { row, col, value }
+    }
+}
+
+/// A compressed-sparse-row matrix over `f64`.
+///
+/// Used for the transition matrices of large Markov chains where dense
+/// storage would be wasteful. Duplicate `(row, col)` entries passed to
+/// [`CsrMatrix::from_triplets`] are summed, matching the usual sparse
+/// assembly convention.
+///
+/// # Example
+///
+/// ```
+/// use tml_numerics::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), tml_numerics::NumericsError> {
+/// let m = CsrMatrix::from_triplets(
+///     2,
+///     2,
+///     &[Triplet::new(0, 0, 0.5), Triplet::new(0, 1, 0.5), Triplet::new(1, 1, 1.0)],
+/// )?;
+/// assert_eq!(m.mat_vec(&[1.0, 2.0])?, vec![1.5, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from triplets, summing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::IndexOutOfBounds`] if any triplet addresses
+    /// a position outside `rows × cols`.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[Triplet]) -> Result<Self, NumericsError> {
+        for t in triplets {
+            if t.row >= rows {
+                return Err(NumericsError::IndexOutOfBounds { index: t.row, len: rows });
+            }
+            if t.col >= cols {
+                return Err(NumericsError::IndexOutOfBounds { index: t.col, len: cols });
+            }
+        }
+        // Bucket triplets per row, then sort and merge duplicates per row.
+        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for t in triplets {
+            buckets[t.row].push((t.col, t.value));
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        for bucket in &mut buckets {
+            bucket.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < bucket.len() {
+                let c = bucket[i].0;
+                let mut v = 0.0;
+                while i < bucket.len() && bucket[i].0 == c {
+                    v += bucket[i].1;
+                    i += 1;
+                }
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the `(col, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if `x.len() != cols()`.
+    pub fn mat_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if x.len() != self.cols {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!("mat_vec: {} columns vs vector of length {}", self.cols, x.len()),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row_entries(r) {
+                acc += v * x[c];
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Sum of the entries of row `r` (e.g. to verify row-stochasticity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row_sum(&self, r: usize) -> f64 {
+        self.row_entries(r).map(|(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 2, 2.0),
+                Triplet::new(2, 1, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_assembly() {
+        let m = sample();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_entries(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.row_entries(1).count(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            2,
+            &[Triplet::new(0, 1, 0.25), Triplet::new(0, 1, 0.5)],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row_entries(0).next(), Some((1, 0.75)));
+    }
+
+    #[test]
+    fn mat_vec_matches_dense() {
+        let m = sample();
+        let y = m.mat_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        let err = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(err, NumericsError::IndexOutOfBounds { index: 5, len: 1 }));
+    }
+
+    #[test]
+    fn row_sum_works() {
+        let m = sample();
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.row_sum(1), 0.0);
+    }
+
+    #[test]
+    fn mat_vec_shape_error() {
+        assert!(sample().mat_vec(&[1.0]).is_err());
+    }
+}

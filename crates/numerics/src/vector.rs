@@ -1,0 +1,140 @@
+//! Small vector helpers shared across the workspace.
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tml_numerics::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha·x` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Max-norm `‖a‖∞`.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+/// Euclidean norm `‖a‖₂`.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Max-norm distance `‖a − b‖∞`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dist_inf(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_inf: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Normalizes a non-negative slice so it sums to one.
+///
+/// Returns `false` (leaving the slice untouched) when the sum is zero or
+/// non-finite, since no distribution can be formed.
+pub fn normalize_in_place(a: &mut [f64]) -> bool {
+    let sum: f64 = a.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return false;
+    }
+    for v in a.iter_mut() {
+        *v /= sum;
+    }
+    true
+}
+
+/// Index of the maximum element, breaking ties toward the lower index.
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Numerically stable log-sum-exp of a slice.
+///
+/// Returns negative infinity for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(a: &[f64]) -> f64 {
+    let m = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = a.iter().map(|v| (v - m).exp()).sum();
+    m + s.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(dist_inf(&[1.0, 5.0], &[2.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_ok_and_degenerate() {
+        let mut a = vec![1.0, 3.0];
+        assert!(normalize_in_place(&mut a));
+        assert_eq!(a, vec![0.25, 0.75]);
+        let mut z = vec![0.0, 0.0];
+        assert!(!normalize_in_place(&mut z));
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_tie_break_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        // logsumexp(1000, 1000) = 1000 + ln 2 without overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when a problem is malformed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimizerError {
+    /// A bound pair has `lo > hi`, or a bound is non-finite.
+    InvalidBounds {
+        /// Index of the offending variable.
+        variable: usize,
+        /// The lower bound.
+        lo: f64,
+        /// The upper bound.
+        hi: f64,
+    },
+    /// The problem has no objective function.
+    MissingObjective,
+    /// A starting point has the wrong dimension.
+    DimensionMismatch {
+        /// Expected number of variables.
+        expected: usize,
+        /// Provided number of coordinates.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::InvalidBounds { variable, lo, hi } => {
+                write!(f, "invalid bounds [{lo}, {hi}] for variable {variable}")
+            }
+            OptimizerError::MissingObjective => write!(f, "problem has no objective function"),
+            OptimizerError::DimensionMismatch { expected, got } => {
+                write!(f, "point has {got} coordinates, problem has {expected} variables")
+            }
+        }
+    }
+}
+
+impl Error for OptimizerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OptimizerError::InvalidBounds { variable: 0, lo: 1.0, hi: 0.0 }
+            .to_string()
+            .contains("invalid bounds"));
+        assert!(OptimizerError::MissingObjective.to_string().contains("objective"));
+        assert!(OptimizerError::DimensionMismatch { expected: 2, got: 3 }
+            .to_string()
+            .contains("coordinates"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptimizerError>();
+    }
+}

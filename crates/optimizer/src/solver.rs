@@ -1,0 +1,367 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Nlp, OptimizerError};
+
+/// Options for the [`PenaltySolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyOptions {
+    /// Number of random restarts (in addition to the box center and any
+    /// user-provided starts).
+    pub restarts: usize,
+    /// Initial quadratic penalty weight.
+    pub penalty_init: f64,
+    /// Multiplicative growth of the penalty weight per round.
+    pub penalty_growth: f64,
+    /// Number of penalty-escalation rounds.
+    pub penalty_rounds: usize,
+    /// Projected-gradient iterations per round.
+    pub inner_iterations: usize,
+    /// Central-difference step for numeric gradients.
+    pub gradient_step: f64,
+    /// Initial line-search step size.
+    pub step_init: f64,
+    /// Stop an inner loop when the iterate moves less than this.
+    pub step_tolerance: f64,
+    /// A point is declared feasible when its max violation is below this.
+    pub feasibility_tolerance: f64,
+    /// RNG seed for the restarts (the solver is deterministic given a seed).
+    pub seed: u64,
+}
+
+impl Default for PenaltyOptions {
+    fn default() -> Self {
+        PenaltyOptions {
+            restarts: 8,
+            penalty_init: 10.0,
+            penalty_growth: 10.0,
+            // The quadratic penalty leaves a bias of roughly
+            // ‖∇objective‖ / (2·μ_max) on the infeasible side, so μ_max must
+            // comfortably exceed objective-gradient / feasibility_tolerance.
+            penalty_rounds: 9,
+            inner_iterations: 250,
+            gradient_step: 1e-6,
+            step_init: 0.25,
+            step_tolerance: 1e-12,
+            feasibility_tolerance: 1e-6,
+            seed: 0x7319,
+        }
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Largest constraint violation at `x`.
+    pub max_violation: f64,
+    /// Whether `x` satisfies every constraint within tolerance. When
+    /// `false`, the problem is reported **infeasible** under the explored
+    /// starts — the repair analogue of AMPL's "infeasible problem".
+    pub feasible: bool,
+    /// Total objective/constraint evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Quadratic-penalty solver with a projected-gradient inner loop and
+/// deterministic multi-start.
+///
+/// See the crate docs for the problem class. The solver is derivative-free
+/// from the caller's perspective: gradients are taken by central
+/// differences, so objectives/constraints may be arbitrary closures —
+/// including ones that run a full PCTL model check per evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct PenaltySolver {
+    opts: PenaltyOptions,
+    extra_starts: Vec<Vec<f64>>,
+}
+
+impl PenaltySolver {
+    /// A solver with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A solver with explicit options.
+    pub fn with_options(opts: PenaltyOptions) -> Self {
+        PenaltySolver { opts, extra_starts: Vec::new() }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &PenaltyOptions {
+        &self.opts
+    }
+
+    /// Adds a user-provided starting point (tried before random restarts).
+    pub fn start_from(&mut self, x: Vec<f64>) -> &mut Self {
+        self.extra_starts.push(x);
+        self
+    }
+
+    /// Minimizes the problem.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimizerError::MissingObjective`] if no objective was set.
+    /// * [`OptimizerError::DimensionMismatch`] if a provided start has the
+    ///   wrong dimension.
+    pub fn solve(&self, nlp: &Nlp) -> Result<Solution, OptimizerError> {
+        if !nlp.has_objective() {
+            return Err(OptimizerError::MissingObjective);
+        }
+        for s in &self.extra_starts {
+            if s.len() != nlp.num_vars() {
+                return Err(OptimizerError::DimensionMismatch {
+                    expected: nlp.num_vars(),
+                    got: s.len(),
+                });
+            }
+        }
+        let mut evaluations = 0usize;
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+
+        let mut starts: Vec<Vec<f64>> = Vec::new();
+        starts.push(nlp.center());
+        starts.extend(self.extra_starts.iter().cloned().map(|mut s| {
+            nlp.project(&mut s);
+            s
+        }));
+        for _ in 0..self.opts.restarts {
+            starts.push(
+                nlp.bounds()
+                    .iter()
+                    .map(|&(lo, hi)| if lo == hi { lo } else { rng.random_range(lo..hi) })
+                    .collect(),
+            );
+        }
+
+        let mut best: Option<Solution> = None;
+        for start in starts {
+            let cand = self.solve_from(nlp, start, &mut evaluations);
+            best = Some(match best {
+                None => cand,
+                Some(b) => pick_better(b, cand, self.opts.feasibility_tolerance),
+            });
+        }
+        let mut sol = best.expect("at least one start");
+        sol.evaluations = evaluations;
+        sol.feasible = sol.max_violation <= self.opts.feasibility_tolerance;
+        Ok(sol)
+    }
+
+    fn solve_from(&self, nlp: &Nlp, mut x: Vec<f64>, evaluations: &mut usize) -> Solution {
+        nlp.project(&mut x);
+        let mut mu = self.opts.penalty_init;
+        for _ in 0..self.opts.penalty_rounds {
+            self.projected_gradient(nlp, &mut x, mu, evaluations);
+            if nlp.max_violation(&x) <= self.opts.feasibility_tolerance * 0.1 {
+                // Already comfortably feasible: further escalation only
+                // fights the objective.
+                break;
+            }
+            mu *= self.opts.penalty_growth;
+        }
+        let objective = nlp.objective_value(&x);
+        let max_violation = nlp.max_violation(&x);
+        *evaluations += 2;
+        Solution { x, objective, max_violation, feasible: false, evaluations: 0 }
+    }
+
+    /// Minimizes the penalized merit function with projected gradient
+    /// descent and backtracking line search.
+    fn projected_gradient(&self, nlp: &Nlp, x: &mut Vec<f64>, mu: f64, evaluations: &mut usize) {
+        let n = nlp.num_vars();
+        let merit = |pt: &[f64], evals: &mut usize| -> f64 {
+            *evals += 1 + nlp.constraints().len();
+            let v = nlp.max_violation(pt);
+            if v.is_infinite() {
+                return f64::INFINITY;
+            }
+            let penalty: f64 = nlp.constraints().iter().map(|c| c.violation(pt).powi(2)).sum();
+            nlp.objective_value(pt) + mu * penalty
+        };
+
+        let mut fx = merit(x, evaluations);
+        let mut step = self.opts.step_init;
+        for _ in 0..self.opts.inner_iterations {
+            // Central-difference gradient, clamped to the box.
+            let mut grad = vec![0.0; n];
+            for i in 0..n {
+                let h = self.opts.gradient_step * (1.0 + x[i].abs());
+                let (lo, hi) = nlp.bounds()[i];
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp[i] = (x[i] + h).min(hi);
+                xm[i] = (x[i] - h).max(lo);
+                let denom = xp[i] - xm[i];
+                if denom == 0.0 {
+                    continue;
+                }
+                let fp = merit(&xp, evaluations);
+                let fm = merit(&xm, evaluations);
+                grad[i] = if fp.is_finite() && fm.is_finite() { (fp - fm) / denom } else { 0.0 };
+            }
+            let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < 1e-14 {
+                break;
+            }
+
+            // Backtracking along the projected direction.
+            let mut accepted = false;
+            let mut t = step;
+            for _ in 0..40 {
+                let mut cand: Vec<f64> = x.iter().zip(&grad).map(|(xi, gi)| xi - t * gi / gnorm).collect();
+                nlp.project(&mut cand);
+                let fc = merit(&cand, evaluations);
+                if fc < fx - 1e-12 {
+                    *x = cand;
+                    fx = fc;
+                    accepted = true;
+                    // Mild step growth after success.
+                    step = (t * 1.5).min(self.opts.step_init * 4.0);
+                    break;
+                }
+                t *= 0.5;
+                if t < self.opts.step_tolerance {
+                    break;
+                }
+            }
+            if !accepted {
+                break;
+            }
+        }
+    }
+}
+
+fn pick_better(a: Solution, b: Solution, tol: f64) -> Solution {
+    let fa = a.max_violation <= tol;
+    let fb = b.max_violation <= tol;
+    match (fa, fb) {
+        (true, true) => {
+            if b.objective < a.objective {
+                b
+            } else {
+                a
+            }
+        }
+        (true, false) => a,
+        (false, true) => b,
+        (false, false) => {
+            if b.max_violation < a.max_violation {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintSense;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let mut nlp = Nlp::new(2, vec![(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        nlp.objective(|x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2));
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!(sol.feasible);
+        assert!((sol.x[0] - 1.0).abs() < 1e-4, "x0 = {}", sol.x[0]);
+        assert!((sol.x[1] + 2.0).abs() < 1e-4, "x1 = {}", sol.x[1]);
+        assert!(sol.evaluations > 0);
+    }
+
+    #[test]
+    fn active_constraint_projection() {
+        // min ‖x‖² s.t. x0 + x1 ≥ 1 → (0.5, 0.5).
+        let mut nlp = Nlp::new(2, vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        nlp.minimize_norm2();
+        nlp.constraint("plane", ConstraintSense::Ge, 1.0, |x| x[0] + x[1]);
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!(sol.feasible, "violation {}", sol.max_violation);
+        assert!((sol.x[0] - 0.5).abs() < 2e-3, "x = {:?}", sol.x);
+        assert!((sol.x[1] - 0.5).abs() < 2e-3);
+        assert!((sol.objective - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn box_active_at_optimum() {
+        let mut nlp = Nlp::new(1, vec![(1.0, 3.0)]).unwrap();
+        nlp.objective(|x| x[0] * x[0]);
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        // x ≤ -1 and x ≥ 1 cannot both hold.
+        let mut nlp = Nlp::new(1, vec![(-2.0, 2.0)]).unwrap();
+        nlp.minimize_norm2();
+        nlp.constraint("lo", ConstraintSense::Le, -1.0, |x| x[0]);
+        nlp.constraint("hi", ConstraintSense::Ge, 1.0, |x| x[0]);
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!(!sol.feasible);
+        assert!(sol.max_violation > 0.5);
+    }
+
+    #[test]
+    fn multistart_escapes_poor_basin() {
+        // W-shaped objective with the good basin away from the center:
+        // f(x) = min((x+1)², (x−1)² − 0.5): global min at x = 1.
+        let mut nlp = Nlp::new(1, vec![(-2.0, 2.0)]).unwrap();
+        nlp.objective(|x| ((x[0] + 1.0).powi(2)).min((x[0] - 1.0).powi(2) - 0.5));
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-2, "x = {:?}", sol.x);
+        assert!((sol.objective + 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn user_start_is_respected() {
+        let mut nlp = Nlp::new(1, vec![(-100.0, 100.0)]).unwrap();
+        nlp.objective(|x| (x[0] - 42.0).powi(2));
+        let mut solver = PenaltySolver::with_options(PenaltyOptions { restarts: 0, ..Default::default() });
+        solver.start_from(vec![41.0]);
+        let sol = solver.solve(&nlp).unwrap();
+        assert!((sol.x[0] - 42.0).abs() < 1e-3, "x = {:?}", sol.x);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let nlp = Nlp::new(1, vec![(0.0, 1.0)]).unwrap();
+        assert!(matches!(PenaltySolver::new().solve(&nlp), Err(OptimizerError::MissingObjective)));
+        let mut nlp2 = Nlp::new(2, vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        nlp2.minimize_norm2();
+        let mut solver = PenaltySolver::new();
+        solver.start_from(vec![0.5]);
+        assert!(matches!(solver.solve(&nlp2), Err(OptimizerError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut nlp = Nlp::new(2, vec![(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+            nlp.minimize_norm2();
+            nlp.constraint("c", ConstraintSense::Ge, 0.5, |x| x[0] * x[1] + x[0]);
+            nlp
+        };
+        let s1 = PenaltySolver::new().solve(&build()).unwrap();
+        let s2 = PenaltySolver::new().solve(&build()).unwrap();
+        assert_eq!(s1.x, s2.x);
+    }
+
+    #[test]
+    fn nonconvex_rational_constraint() {
+        // Mimic a repair constraint: f(v) = 0.4 / (0.4 + 0.6 v) ≥ 0.8 with
+        // cost (1-v)². Solution: v ≤ 1/6, cost minimal at v = 1/6.
+        let mut nlp = Nlp::new(1, vec![(0.0, 1.0)]).unwrap();
+        nlp.objective(|x| (1.0 - x[0]).powi(2));
+        nlp.constraint("ratio", ConstraintSense::Ge, 0.8, |x| 0.4 / (0.4 + 0.6 * x[0]));
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!(sol.feasible);
+        assert!((sol.x[0] - 1.0 / 6.0).abs() < 1e-3, "x = {:?}", sol.x);
+    }
+}

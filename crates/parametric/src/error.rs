@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+use tml_models::ModelError;
+
+/// Errors raised by the parametric engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParametricError {
+    /// Two polynomials/rational functions over different variable counts
+    /// were combined.
+    ArityMismatch {
+        /// Variable count of the left operand.
+        left: usize,
+        /// Variable count of the right operand.
+        right: usize,
+    },
+    /// Division by the zero polynomial / rational function.
+    DivisionByZero,
+    /// A rational function was evaluated at a point where its denominator
+    /// vanishes.
+    PoleAtPoint {
+        /// The evaluation point.
+        point: Vec<f64>,
+    },
+    /// An evaluation point had the wrong number of coordinates.
+    PointArityMismatch {
+        /// Expected number of variables.
+        expected: usize,
+        /// Provided number of coordinates.
+        got: usize,
+    },
+    /// A transition row does not sum to one identically in the parameters.
+    NotIdenticallyStochastic {
+        /// The offending state.
+        state: usize,
+    },
+    /// The model layer rejected an operation.
+    Model(ModelError),
+    /// Expected reward is infinite (the target is not reached almost surely
+    /// from this state for parameters in the well-defined region).
+    InfiniteReward {
+        /// The state whose reward is infinite.
+        state: usize,
+    },
+    /// The symbolic linear system was singular.
+    SingularSystem,
+}
+
+impl fmt::Display for ParametricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParametricError::ArityMismatch { left, right } => {
+                write!(f, "cannot combine polynomials over {left} and {right} variables")
+            }
+            ParametricError::DivisionByZero => write!(f, "division by the zero rational function"),
+            ParametricError::PoleAtPoint { point } => {
+                write!(f, "denominator vanishes at evaluation point {point:?}")
+            }
+            ParametricError::PointArityMismatch { expected, got } => {
+                write!(f, "evaluation point has {got} coordinates, expected {expected}")
+            }
+            ParametricError::NotIdenticallyStochastic { state } => {
+                write!(f, "outgoing probabilities of state {state} do not sum to 1 identically")
+            }
+            ParametricError::Model(e) => write!(f, "model error: {e}"),
+            ParametricError::InfiniteReward { state } => {
+                write!(f, "expected reward from state {state} is infinite (target not reached a.s.)")
+            }
+            ParametricError::SingularSystem => write!(f, "symbolic linear system is singular"),
+        }
+    }
+}
+
+impl Error for ParametricError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParametricError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ParametricError {
+    fn from(e: ModelError) -> Self {
+        ParametricError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_nonempty() {
+        let errs = [
+            ParametricError::ArityMismatch { left: 1, right: 2 },
+            ParametricError::DivisionByZero,
+            ParametricError::PoleAtPoint { point: vec![0.5] },
+            ParametricError::PointArityMismatch { expected: 2, got: 1 },
+            ParametricError::NotIdenticallyStochastic { state: 3 },
+            ParametricError::InfiniteReward { state: 0 },
+            ParametricError::SingularSystem,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParametricError>();
+    }
+}

@@ -1,0 +1,414 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ParametricError;
+
+/// Relative magnitude below which a coefficient is considered an artifact of
+/// floating-point cancellation and stripped.
+const COEFF_EPS: f64 = 1e-12;
+
+/// A sparse multivariate polynomial with `f64` coefficients.
+///
+/// Terms map exponent vectors (one exponent per variable) to coefficients.
+/// All arithmetic strips coefficients that are negligibly small relative to
+/// the largest coefficient, which keeps cancellation artifacts from
+/// poisoning zero-tests during symbolic elimination.
+///
+/// # Example
+///
+/// ```
+/// use tml_parametric::Polynomial;
+///
+/// // p(x, y) = 2 + 3·x·y²
+/// let p = Polynomial::constant(2, 2.0)
+///     .add(&Polynomial::var(2, 0).mul(&Polynomial::var(2, 1).mul(&Polynomial::var(2, 1))).scale(3.0));
+/// assert_eq!(p.eval(&[2.0, 3.0]).unwrap(), 2.0 + 3.0 * 2.0 * 9.0);
+/// assert_eq!(p.total_degree(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    nvars: usize,
+    terms: BTreeMap<Vec<u32>, f64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        Polynomial { nvars, terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(nvars: usize, c: f64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c != 0.0 {
+            terms.insert(vec![0; nvars], c);
+        }
+        Polynomial { nvars, terms }
+    }
+
+    /// The monomial `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        assert!(i < nvars, "variable index {i} out of range for {nvars} variables");
+        let mut exp = vec![0; nvars];
+        exp[i] = 1;
+        let mut terms = BTreeMap::new();
+        terms.insert(exp, 1.0);
+        Polynomial { nvars, terms }
+    }
+
+    /// Builds a polynomial from explicit `(exponents, coefficient)` terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParametricError::ArityMismatch`] if any exponent vector has
+    /// the wrong length.
+    pub fn from_terms(nvars: usize, terms: &[(Vec<u32>, f64)]) -> Result<Self, ParametricError> {
+        let mut map: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+        for (exp, c) in terms {
+            if exp.len() != nvars {
+                return Err(ParametricError::ArityMismatch { left: nvars, right: exp.len() });
+            }
+            *map.entry(exp.clone()).or_insert(0.0) += c;
+        }
+        let mut p = Polynomial { nvars, terms: map };
+        p.cleanup();
+        Ok(p)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the polynomial is constant, returns its value.
+    pub fn as_constant(&self) -> Option<f64> {
+        if self.terms.is_empty() {
+            return Some(0.0);
+        }
+        if self.terms.len() == 1 {
+            if let Some((exp, &c)) = self.terms.iter().next() {
+                if exp.iter().all(|&e| e == 0) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// The total degree (max over terms of the exponent sum); zero for the
+    /// zero polynomial.
+    pub fn total_degree(&self) -> u32 {
+        self.terms.keys().map(|e| e.iter().sum()).max().unwrap_or(0)
+    }
+
+    /// The largest coefficient magnitude (zero for the zero polynomial).
+    pub fn max_abs_coeff(&self) -> f64 {
+        self.terms.values().map(|c| c.abs()).fold(0.0, f64::max)
+    }
+
+    /// `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn add(&self, rhs: &Polynomial) -> Polynomial {
+        self.check_arity(rhs);
+        let mut terms = self.terms.clone();
+        for (exp, c) in &rhs.terms {
+            *terms.entry(exp.clone()).or_insert(0.0) += c;
+        }
+        let mut p = Polynomial { nvars: self.nvars, terms };
+        p.cleanup();
+        p
+    }
+
+    /// `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn sub(&self, rhs: &Polynomial) -> Polynomial {
+        self.add(&rhs.neg())
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Polynomial {
+        Polynomial {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(e, c)| (e.clone(), -c)).collect(),
+        }
+    }
+
+    /// `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn mul(&self, rhs: &Polynomial) -> Polynomial {
+        self.check_arity(rhs);
+        let mut terms: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+        for (ea, ca) in &self.terms {
+            for (eb, cb) in &rhs.terms {
+                let exp: Vec<u32> = ea.iter().zip(eb).map(|(x, y)| x + y).collect();
+                *terms.entry(exp).or_insert(0.0) += ca * cb;
+            }
+        }
+        let mut p = Polynomial { nvars: self.nvars, terms };
+        p.cleanup();
+        p
+    }
+
+    /// `self * c` for a scalar `c`.
+    pub fn scale(&self, c: f64) -> Polynomial {
+        let mut p = Polynomial {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(e, v)| (e.clone(), v * c)).collect(),
+        };
+        p.cleanup();
+        p
+    }
+
+    /// Evaluates at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParametricError::PointArityMismatch`] for a wrong-sized
+    /// point.
+    pub fn eval(&self, point: &[f64]) -> Result<f64, ParametricError> {
+        if point.len() != self.nvars {
+            return Err(ParametricError::PointArityMismatch { expected: self.nvars, got: point.len() });
+        }
+        let mut acc = 0.0;
+        for (exp, c) in &self.terms {
+            let mut term = *c;
+            for (x, &e) in point.iter().zip(exp) {
+                term *= x.powi(e as i32);
+            }
+            acc += term;
+        }
+        Ok(acc)
+    }
+
+    /// The partial derivative `∂self/∂x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_vars()`.
+    pub fn partial(&self, i: usize) -> Polynomial {
+        assert!(i < self.nvars, "variable index {i} out of range");
+        let mut terms: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+        for (exp, c) in &self.terms {
+            if exp[i] == 0 {
+                continue;
+            }
+            let mut e = exp.clone();
+            let k = e[i];
+            e[i] -= 1;
+            *terms.entry(e).or_insert(0.0) += c * k as f64;
+        }
+        let mut p = Polynomial { nvars: self.nvars, terms };
+        p.cleanup();
+        p
+    }
+
+    /// Iterates over `(exponents, coefficient)` terms in lexicographic
+    /// exponent order.
+    pub fn terms(&self) -> impl Iterator<Item = (&[u32], f64)> {
+        self.terms.iter().map(|(e, &c)| (e.as_slice(), c))
+    }
+
+    fn check_arity(&self, rhs: &Polynomial) {
+        assert_eq!(
+            self.nvars, rhs.nvars,
+            "polynomial arity mismatch: {} vs {}",
+            self.nvars, rhs.nvars
+        );
+    }
+
+    fn cleanup(&mut self) {
+        let max = self.max_abs_coeff();
+        let threshold = COEFF_EPS * max.max(1.0);
+        self.terms.retain(|_, c| c.abs() > threshold);
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (exp, c) in &self.terms {
+            if !first {
+                f.write_str(if *c >= 0.0 { " + " } else { " - " })?;
+            } else if *c < 0.0 {
+                f.write_str("-")?;
+            }
+            first = false;
+            let mag = c.abs();
+            let has_vars = exp.iter().any(|&e| e > 0);
+            if !has_vars || (mag - 1.0).abs() > 1e-15 {
+                write!(f, "{mag}")?;
+                if has_vars {
+                    f.write_str("*")?;
+                }
+            }
+            let mut first_var = true;
+            for (i, &e) in exp.iter().enumerate() {
+                if e == 0 {
+                    continue;
+                }
+                if !first_var {
+                    f.write_str("*")?;
+                }
+                first_var = false;
+                if e == 1 {
+                    write!(f, "x{i}")?;
+                } else {
+                    write!(f, "x{i}^{e}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Polynomial {
+        Polynomial::var(2, 0)
+    }
+
+    fn y() -> Polynomial {
+        Polynomial::var(2, 1)
+    }
+
+    #[test]
+    fn construction_and_eval() {
+        let p = x().mul(&x()).add(&y().scale(2.0)).add(&Polynomial::constant(2, 1.0));
+        // p = x² + 2y + 1
+        assert_eq!(p.eval(&[3.0, 0.5]).unwrap(), 9.0 + 1.0 + 1.0);
+        assert_eq!(p.num_terms(), 3);
+        assert_eq!(p.total_degree(), 2);
+        assert!(p.eval(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn zero_and_constant_detection() {
+        assert!(Polynomial::zero(3).is_zero());
+        assert_eq!(Polynomial::zero(3).as_constant(), Some(0.0));
+        assert_eq!(Polynomial::constant(2, 4.5).as_constant(), Some(4.5));
+        assert_eq!(x().as_constant(), None);
+        assert!(Polynomial::constant(2, 0.0).is_zero());
+    }
+
+    #[test]
+    fn cancellation_produces_exact_zero() {
+        let p = x().add(&Polynomial::constant(2, 1.0));
+        let q = p.sub(&p);
+        assert!(q.is_zero());
+        // near-cancellation is also cleaned up
+        let r = p.scale(1.0 + 1e-16).sub(&p);
+        assert!(r.is_zero(), "residual terms: {r}");
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let p = x().mul(&y()).add(&Polynomial::constant(2, 3.0));
+        assert_eq!(p.add(&Polynomial::zero(2)), p);
+        assert_eq!(p.mul(&Polynomial::constant(2, 1.0)), p);
+        assert!(p.mul(&Polynomial::zero(2)).is_zero());
+        assert!(p.sub(&p).is_zero());
+        assert_eq!(p.neg().neg(), p);
+    }
+
+    #[test]
+    fn partial_derivatives() {
+        // p = x²y + 3x
+        let p = x().mul(&x()).mul(&y()).add(&x().scale(3.0));
+        let dx = p.partial(0); // 2xy + 3
+        assert_eq!(dx.eval(&[2.0, 5.0]).unwrap(), 23.0);
+        let dy = p.partial(1); // x²
+        assert_eq!(dy.eval(&[2.0, 5.0]).unwrap(), 4.0);
+        assert!(Polynomial::constant(2, 7.0).partial(0).is_zero());
+    }
+
+    #[test]
+    fn from_terms_merges_and_validates() {
+        let p = Polynomial::from_terms(1, &[(vec![1], 2.0), (vec![1], 3.0), (vec![0], 0.0)]).unwrap();
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.eval(&[2.0]).unwrap(), 10.0);
+        assert!(Polynomial::from_terms(1, &[(vec![1, 2], 1.0)]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Polynomial::zero(1).to_string(), "0");
+        assert_eq!(Polynomial::constant(1, 2.5).to_string(), "2.5");
+        let p = Polynomial::var(2, 0).scale(-1.0);
+        assert_eq!(p.to_string(), "-x0");
+        let q = Polynomial::var(1, 0).mul(&Polynomial::var(1, 0)).scale(2.0);
+        assert_eq!(q.to_string(), "2*x0^2");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = Polynomial::var(1, 0).add(&Polynomial::var(2, 0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_poly() -> impl Strategy<Value = Polynomial> {
+        proptest::collection::vec((proptest::collection::vec(0u32..4, 2), -10.0_f64..10.0), 0..6)
+            .prop_map(|terms| Polynomial::from_terms(2, &terms).unwrap())
+    }
+
+    proptest! {
+        /// Ring laws hold under evaluation at random points.
+        #[test]
+        fn eval_is_ring_homomorphism(
+            p in arb_poly(),
+            q in arb_poly(),
+            x in -2.0_f64..2.0,
+            y in -2.0_f64..2.0,
+        ) {
+            let pt = [x, y];
+            let pv = p.eval(&pt).unwrap();
+            let qv = q.eval(&pt).unwrap();
+            let scale = 1.0 + pv.abs().max(qv.abs());
+            prop_assert!((p.add(&q).eval(&pt).unwrap() - (pv + qv)).abs() < 1e-6 * scale);
+            prop_assert!((p.mul(&q).eval(&pt).unwrap() - pv * qv).abs() < 1e-6 * scale * scale);
+            prop_assert!((p.sub(&q).eval(&pt).unwrap() - (pv - qv)).abs() < 1e-6 * scale);
+        }
+
+        /// Differentiation is linear and kills constants.
+        #[test]
+        fn derivative_linearity(p in arb_poly(), q in arb_poly()) {
+            let sum_d = p.add(&q).partial(0);
+            let d_sum = p.partial(0).add(&q.partial(0));
+            let pt = [0.7, -0.3];
+            prop_assert!((sum_d.eval(&pt).unwrap() - d_sum.eval(&pt).unwrap()).abs() < 1e-8);
+        }
+    }
+}

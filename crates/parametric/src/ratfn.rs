@@ -1,0 +1,506 @@
+use std::fmt;
+
+use tml_numerics::Field;
+
+use crate::{ParametricError, Polynomial};
+
+/// A rational function `num / den` over the repair parameters.
+///
+/// Rational functions form the field that symbolic state elimination works
+/// over; [`RationalFunction`] therefore implements
+/// [`tml_numerics::Field`], which lets the *generic* Gaussian elimination
+/// in `tml-numerics` double as a parametric model checker.
+///
+/// Normalization keeps representations small without requiring full
+/// multivariate GCD: denominators are scaled to leading coefficient 1,
+/// common monomial factors are cancelled, and constant denominators are
+/// folded into the numerator.
+///
+/// # Example
+///
+/// ```
+/// use tml_parametric::RationalFunction;
+///
+/// let v = RationalFunction::var(1, 0);
+/// let one = RationalFunction::one_rf(1);
+/// // f(v) = 1 / (1 - v)
+/// let f = one.div(&one.sub(&v)).unwrap();
+/// assert!((f.eval(&[0.5]).unwrap() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RationalFunction {
+    num: Polynomial,
+    den: Polynomial,
+}
+
+impl RationalFunction {
+    /// The zero function over `nvars` variables.
+    pub fn zero_rf(nvars: usize) -> Self {
+        RationalFunction { num: Polynomial::zero(nvars), den: Polynomial::constant(nvars, 1.0) }
+    }
+
+    /// The constant function `1`.
+    pub fn one_rf(nvars: usize) -> Self {
+        Self::constant(nvars, 1.0)
+    }
+
+    /// The constant function `c`.
+    pub fn constant(nvars: usize, c: f64) -> Self {
+        RationalFunction {
+            num: Polynomial::constant(nvars, c),
+            den: Polynomial::constant(nvars, 1.0),
+        }
+    }
+
+    /// The coordinate function `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        RationalFunction { num: Polynomial::var(nvars, i), den: Polynomial::constant(nvars, 1.0) }
+    }
+
+    /// Wraps a polynomial as a rational function.
+    pub fn from_poly(p: Polynomial) -> Self {
+        let nvars = p.num_vars();
+        let mut rf = RationalFunction { num: p, den: Polynomial::constant(nvars, 1.0) };
+        rf.normalize();
+        rf
+    }
+
+    /// Builds `num / den`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ParametricError::ArityMismatch`] if the variable counts differ.
+    /// * [`ParametricError::DivisionByZero`] if `den` is the zero polynomial.
+    pub fn new(num: Polynomial, den: Polynomial) -> Result<Self, ParametricError> {
+        if num.num_vars() != den.num_vars() {
+            return Err(ParametricError::ArityMismatch { left: num.num_vars(), right: den.num_vars() });
+        }
+        if den.is_zero() {
+            return Err(ParametricError::DivisionByZero);
+        }
+        let mut rf = RationalFunction { num, den };
+        rf.normalize();
+        Ok(rf)
+    }
+
+    /// The numerator polynomial.
+    pub fn numerator(&self) -> &Polynomial {
+        &self.num
+    }
+
+    /// The denominator polynomial.
+    pub fn denominator(&self) -> &Polynomial {
+        &self.den
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num.num_vars()
+    }
+
+    /// Whether this is (recognizably) the zero function.
+    pub fn is_zero_rf(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// If the function is constant, returns its value.
+    pub fn as_constant(&self) -> Option<f64> {
+        match (self.num.as_constant(), self.den.as_constant()) {
+            (Some(n), Some(d)) if d != 0.0 => Some(n / d),
+            _ => None,
+        }
+    }
+
+    /// `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn add(&self, rhs: &RationalFunction) -> RationalFunction {
+        if self.den == rhs.den {
+            let mut rf = RationalFunction { num: self.num.add(&rhs.num), den: self.den.clone() };
+            rf.normalize();
+            return rf;
+        }
+        let num = self.num.mul(&rhs.den).add(&rhs.num.mul(&self.den));
+        let den = self.den.mul(&rhs.den);
+        let mut rf = RationalFunction { num, den };
+        rf.normalize();
+        rf
+    }
+
+    /// `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn sub(&self, rhs: &RationalFunction) -> RationalFunction {
+        self.add(&rhs.neg())
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> RationalFunction {
+        RationalFunction { num: self.num.neg(), den: self.den.clone() }
+    }
+
+    /// `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn mul(&self, rhs: &RationalFunction) -> RationalFunction {
+        // Cross-cancel equal factors before multiplying to slow blow-up.
+        if self.num == rhs.den {
+            let mut rf = RationalFunction { num: rhs.num.clone(), den: self.den.clone() };
+            rf.normalize();
+            return rf;
+        }
+        if rhs.num == self.den {
+            let mut rf = RationalFunction { num: self.num.clone(), den: rhs.den.clone() };
+            rf.normalize();
+            return rf;
+        }
+        let mut rf =
+            RationalFunction { num: self.num.mul(&rhs.num), den: self.den.mul(&rhs.den) };
+        rf.normalize();
+        rf
+    }
+
+    /// `self / rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParametricError::DivisionByZero`] if `rhs` is zero.
+    pub fn div(&self, rhs: &RationalFunction) -> Result<RationalFunction, ParametricError> {
+        if rhs.is_zero_rf() {
+            return Err(ParametricError::DivisionByZero);
+        }
+        Ok(self.mul(&RationalFunction { num: rhs.den.clone(), den: rhs.num.clone() }))
+    }
+
+    /// Evaluates at `point`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ParametricError::PointArityMismatch`] for a wrong-sized point.
+    /// * [`ParametricError::PoleAtPoint`] if the denominator vanishes there.
+    pub fn eval(&self, point: &[f64]) -> Result<f64, ParametricError> {
+        let d = self.den.eval(point)?;
+        if d.abs() < 1e-300 {
+            return Err(ParametricError::PoleAtPoint { point: point.to_vec() });
+        }
+        Ok(self.num.eval(point)? / d)
+    }
+
+    /// The gradient at `point`, computed from the exact partial derivatives
+    /// via the quotient rule.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`eval`](Self::eval).
+    pub fn grad(&self, point: &[f64]) -> Result<Vec<f64>, ParametricError> {
+        let d = self.den.eval(point)?;
+        if d.abs() < 1e-300 {
+            return Err(ParametricError::PoleAtPoint { point: point.to_vec() });
+        }
+        let n = self.num.eval(point)?;
+        let mut g = Vec::with_capacity(self.num_vars());
+        for i in 0..self.num_vars() {
+            let dn = self.num.partial(i).eval(point)?;
+            let dd = self.den.partial(i).eval(point)?;
+            g.push((dn * d - n * dd) / (d * d));
+        }
+        Ok(g)
+    }
+
+    /// The combined total degree of numerator and denominator — a measure
+    /// of representation size.
+    pub fn complexity(&self) -> u32 {
+        self.num.total_degree() + self.den.total_degree()
+    }
+
+    fn normalize(&mut self) {
+        if self.num.is_zero() {
+            self.den = Polynomial::constant(self.num.num_vars(), 1.0);
+            return;
+        }
+        // Fold constant denominators into the numerator.
+        if let Some(c) = self.den.as_constant() {
+            if c != 1.0 {
+                self.num = self.num.scale(1.0 / c);
+                self.den = Polynomial::constant(self.num.num_vars(), 1.0);
+            }
+            return;
+        }
+        // Cancel a common monomial factor x^e dividing every term of both.
+        let nvars = self.num.num_vars();
+        let mut common = vec![u32::MAX; nvars];
+        for (exp, _) in self.num.terms().chain(self.den.terms()) {
+            for (c, &e) in common.iter_mut().zip(exp) {
+                *c = (*c).min(e);
+            }
+        }
+        if common.iter().any(|&c| c > 0 && c != u32::MAX) {
+            self.num = divide_monomial(&self.num, &common);
+            self.den = divide_monomial(&self.den, &common);
+        }
+        // Scale so the denominator's largest coefficient is 1 (canonical-ish
+        // and numerically tame).
+        let scale = self.den.max_abs_coeff();
+        if scale != 0.0 && (scale - 1.0).abs() > 1e-15 {
+            self.num = self.num.scale(1.0 / scale);
+            self.den = self.den.scale(1.0 / scale);
+        }
+        // Exact cancellation: identical numerator and denominator.
+        if self.num == self.den {
+            let nv = self.num.num_vars();
+            self.num = Polynomial::constant(nv, 1.0);
+            self.den = Polynomial::constant(nv, 1.0);
+        }
+    }
+}
+
+fn divide_monomial(p: &Polynomial, exps: &[u32]) -> Polynomial {
+    let terms: Vec<(Vec<u32>, f64)> = p
+        .terms()
+        .map(|(e, c)| (e.iter().zip(exps).map(|(&a, &b)| a - b).collect(), c))
+        .collect();
+    Polynomial::from_terms(p.num_vars(), &terms).expect("same arity by construction")
+}
+
+impl Field for RationalFunction {
+    fn zero() -> Self {
+        // Arity is unknowable here; elimination code never calls
+        // `Field::zero()`/`one()` on RationalFunction directly — it clones
+        // existing elements. A zero-arity constant is the safe default; the
+        // arithmetic methods lift it to the partner's arity on demand.
+        RationalFunction::zero_rf(0)
+    }
+
+    fn one() -> Self {
+        RationalFunction::one_rf(0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        self.promote_arity(rhs, |a, b| a.add(b))
+    }
+
+    fn sub(&self, rhs: &Self) -> Self {
+        self.promote_arity(rhs, |a, b| a.sub(b))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        self.promote_arity(rhs, |a, b| a.mul(b))
+    }
+
+    fn div(&self, rhs: &Self) -> Self {
+        self.promote_arity(rhs, |a, b| a.div(b).expect("division by zero rational function"))
+    }
+
+    fn neg(&self) -> Self {
+        RationalFunction::neg(self)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.is_zero_rf()
+    }
+
+    fn pivot_weight(&self) -> f64 {
+        if self.is_zero_rf() {
+            return 0.0;
+        }
+        // Prefer pivots that are (a) numerically large at the origin of the
+        // parameter box — divisions by functions that vanish there create
+        // removable 0/0 singularities the representation cannot cancel —
+        // and (b) of low symbolic complexity, to slow degree blow-up.
+        let origin_mag = {
+            let n0 = constant_term(&self.num);
+            let d0 = constant_term(&self.den);
+            if d0 == 0.0 {
+                0.0
+            } else {
+                (n0 / d0).abs()
+            }
+        };
+        (origin_mag + 1e-9) / (1.0 + self.complexity() as f64)
+    }
+}
+
+impl RationalFunction {
+    /// Lifts zero-arity constants (from `Field::zero`/`one`) to the arity of
+    /// the other operand before applying `f`.
+    fn promote_arity(
+        &self,
+        rhs: &RationalFunction,
+        f: impl Fn(&RationalFunction, &RationalFunction) -> RationalFunction,
+    ) -> RationalFunction {
+        if self.num_vars() == rhs.num_vars() {
+            return f(self, rhs);
+        }
+        if self.num_vars() == 0 {
+            let lifted = RationalFunction::constant(
+                rhs.num_vars(),
+                self.as_constant().expect("zero-arity rational function is constant"),
+            );
+            return f(&lifted, rhs);
+        }
+        if rhs.num_vars() == 0 {
+            let lifted = RationalFunction::constant(
+                self.num_vars(),
+                rhs.as_constant().expect("zero-arity rational function is constant"),
+            );
+            return f(self, &lifted);
+        }
+        panic!("rational function arity mismatch: {} vs {}", self.num_vars(), rhs.num_vars());
+    }
+}
+
+impl fmt::Display for RationalFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.as_constant() == Some(1.0) {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "({}) / ({})", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> RationalFunction {
+        RationalFunction::var(1, 0)
+    }
+
+    fn c(x: f64) -> RationalFunction {
+        RationalFunction::constant(1, x)
+    }
+
+    #[test]
+    fn arithmetic_and_eval() {
+        // f = (1 + v) / (1 - v)
+        let f = c(1.0).add(&v()).div(&c(1.0).sub(&v())).unwrap();
+        assert!((f.eval(&[0.5]).unwrap() - 3.0).abs() < 1e-12);
+        assert!(f.eval(&[1.0]).is_err()); // pole
+        let g = f.mul(&f);
+        assert!((g.eval(&[0.5]).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_division_is_one() {
+        let f = c(2.0).add(&v());
+        let one = f.div(&f).unwrap();
+        assert_eq!(one.as_constant(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        assert!(RationalFunction::zero_rf(1).is_zero_rf());
+        let z = v().sub(&v());
+        assert!(z.is_zero_rf());
+        assert!(c(1.0).div(&z).is_err());
+        assert_eq!(z.as_constant(), Some(0.0));
+    }
+
+    #[test]
+    fn constant_denominator_folds() {
+        let f = RationalFunction::new(Polynomial::var(1, 0), Polynomial::constant(1, 2.0)).unwrap();
+        assert_eq!(f.denominator().as_constant(), Some(1.0));
+        assert!((f.eval(&[3.0]).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monomial_cancellation() {
+        // (x²) / (x) normalizes to x / 1
+        let f = RationalFunction::new(
+            Polynomial::var(1, 0).mul(&Polynomial::var(1, 0)),
+            Polynomial::var(1, 0),
+        )
+        .unwrap();
+        assert_eq!(f.denominator().as_constant(), Some(1.0));
+        assert!((f.eval(&[4.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_quotient_rule() {
+        // f = v / (1 - v); f' = 1/(1-v)²
+        let f = v().div(&c(1.0).sub(&v())).unwrap();
+        let g = f.grad(&[0.5]).unwrap();
+        assert!((g[0] - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn field_impl_promotes_arity() {
+        let zero = <RationalFunction as Field>::zero();
+        let sum = Field::add(&zero, &v());
+        assert!((sum.eval(&[0.3]).unwrap() - 0.3).abs() < 1e-12);
+        let one = <RationalFunction as Field>::one();
+        let prod = Field::mul(&v(), &one);
+        assert!((prod.eval(&[0.3]).unwrap() - 0.3).abs() < 1e-12);
+        assert!(Field::is_zero(&zero));
+        assert!(Field::pivot_weight(&v()) > 0.0);
+        assert_eq!(Field::pivot_weight(&RationalFunction::zero_rf(1)), 0.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(c(2.0).to_string(), "2");
+        let f = c(1.0).div(&c(1.0).sub(&v())).unwrap();
+        assert!(f.to_string().contains('/'));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rf() -> impl Strategy<Value = RationalFunction> {
+        // Build (a + b·v) / (1 + c·v²) with c ≥ 0 so the denominator never
+        // vanishes on [-1, 1].
+        (-3.0_f64..3.0, -3.0_f64..3.0, 0.0_f64..0.9).prop_map(|(a, b, cc)| {
+            let v = RationalFunction::var(1, 0);
+            let num = RationalFunction::constant(1, a).add(&v.mul(&RationalFunction::constant(1, b)));
+            let den = RationalFunction::constant(1, 1.0)
+                .add(&v.mul(&v).mul(&RationalFunction::constant(1, cc)));
+            num.div(&den).unwrap()
+        })
+    }
+
+    proptest! {
+        /// Field laws hold pointwise under evaluation.
+        #[test]
+        fn field_laws_pointwise(f in arb_rf(), g in arb_rf(), x in -0.9_f64..0.9) {
+            let pt = [x];
+            let fv = f.eval(&pt).unwrap();
+            let gv = g.eval(&pt).unwrap();
+            let scale = 1.0 + fv.abs().max(gv.abs());
+            prop_assert!((f.add(&g).eval(&pt).unwrap() - (fv + gv)).abs() < 1e-7 * scale);
+            prop_assert!((f.mul(&g).eval(&pt).unwrap() - fv * gv).abs() < 1e-7 * scale * scale);
+            if gv.abs() > 1e-6 && !g.is_zero_rf() {
+                prop_assert!((f.div(&g).unwrap().eval(&pt).unwrap() - fv / gv).abs() < 1e-5 * scale / gv.abs());
+            }
+        }
+
+        /// The symbolic gradient matches central finite differences.
+        #[test]
+        fn gradient_matches_finite_differences(f in arb_rf(), x in -0.8_f64..0.8) {
+            let h = 1e-6;
+            let fd = (f.eval(&[x + h]).unwrap() - f.eval(&[x - h]).unwrap()) / (2.0 * h);
+            let g = f.grad(&[x]).unwrap()[0];
+            prop_assert!((fd - g).abs() < 1e-4 * (1.0 + g.abs()), "fd {fd} vs grad {g}");
+        }
+    }
+}
+
+fn constant_term(p: &Polynomial) -> f64 {
+    p.terms()
+        .find(|(exp, _)| exp.iter().all(|&e| e == 0))
+        .map(|(_, c)| c)
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,49 @@
+//! The paper's autonomous-car case study: learn a reward from an expert
+//! overtake demonstration by max-entropy IRL, observe that the greedy
+//! policy collides with the van, and repair the reward (§V-B).
+//!
+//! Run with `cargo run --release --example car_overtake`.
+
+use trusted_ml::car;
+use trusted_ml::repair::{RepairStatus, RewardRepair};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mdp = car::build_mdp()?;
+    let features = car::features()?;
+
+    println!("expert demonstration: {:?}", car::expert_path().states);
+
+    // Inverse reinforcement learning on the single demonstration.
+    let irl = car::learn_reward(&mdp)?;
+    println!(
+        "learned reward(s) = {:.3}*lane + {:.3}*dist_unsafe + {:.3}*goal",
+        irl.theta[0], irl.theta[1], irl.theta[2]
+    );
+
+    let policy = car::greedy_policy(&mdp, &irl.theta)?;
+    let trace = car::rollout(&mdp, &policy, 25);
+    println!("greedy rollout under the learned reward: {trace:?}");
+    println!("safe: {}", car::policy_is_safe(&mdp, &policy));
+    assert!(!car::policy_is_safe(&mdp, &policy), "IRL alone learns the unsafe shortcut");
+
+    // Reward repair: force Q(S1, left) > Q(S1, forward).
+    let outcome = RewardRepair::new().q_constraint_repair(
+        &mdp,
+        &features,
+        &irl.theta,
+        &[car::q_repair_constraint()],
+        car::GAMMA,
+        3.0,
+    )?;
+    assert_eq!(outcome.status, RepairStatus::Repaired);
+    println!(
+        "\nrepaired reward(s) = {:.3}*lane + {:.3}*dist_unsafe + {:.3}*goal (cost {:.4})",
+        outcome.theta[0], outcome.theta[1], outcome.theta[2], outcome.cost
+    );
+    let repaired_policy = car::greedy_policy(&mdp, &outcome.theta)?;
+    let repaired_trace = car::rollout(&mdp, &repaired_policy, 25);
+    println!("greedy rollout under the repaired reward: {repaired_trace:?}");
+    println!("safe: {}", car::policy_is_safe(&mdp, &repaired_policy));
+    assert!(car::policy_is_safe(&mdp, &repaired_policy));
+    Ok(())
+}

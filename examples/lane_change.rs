@@ -1,0 +1,72 @@
+//! The introduction's motivating lane-change property:
+//! `P > 0.99 [ F ("changedLane" | "reducedSpeed") ]` — a car that sees a
+//! slow truck must eventually change lanes or slow down with high
+//! probability. We model a small reactive controller, find that a learned
+//! (slightly miscalibrated) version violates the property, and run the
+//! full TML pipeline: verify → model repair → data repair.
+//!
+//! Run with `cargo run --release --example lane_change`.
+
+use trusted_ml::logic::parse_formula;
+use trusted_ml::models::{Path, TraceDataset};
+use trusted_ml::repair::pipeline::{TmlOutcome, TmlPipeline};
+use trusted_ml::repair::{ModelSpec, PerturbationTemplate};
+
+// States: 0 = cruising behind the truck, 1 = changed lane, 2 = reduced
+// speed, 3 = still tailgating after the window closed (bad outcome).
+const CRUISE: usize = 0;
+const CHANGED: usize = 1;
+const REDUCED: usize = 2;
+const TAILGATE: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic driving logs: each trace records what the controller did
+    // when stuck behind the truck. The "sensor-glitch" class records runs
+    // where the controller froze (kept tailgating) — corrupt data that
+    // drags the learned model below the safety bar.
+    let mut logs = TraceDataset::new();
+    let nominal = logs.add_class("nominal");
+    let glitch = logs.add_class("sensor-glitch");
+    logs.push(nominal, Path::from_states(vec![CRUISE, CHANGED, CHANGED]), 70.0)?;
+    logs.push(nominal, Path::from_states(vec![CRUISE, REDUCED, REDUCED]), 26.0)?;
+    logs.push(glitch, Path::from_states(vec![CRUISE, TAILGATE, TAILGATE]), 4.0)?;
+
+    let spec = ModelSpec::new(4)
+        .label(CHANGED, "changedLane")
+        .label(REDUCED, "reducedSpeed");
+    let phi = parse_formula("P>0.99 [ F (\"changedLane\" | \"reducedSpeed\") ]")?;
+    println!("property: {phi}");
+
+    // Allow the controller's reaction probabilities to be nudged a little.
+    let mut template = PerturbationTemplate::new();
+    let v = template.parameter("v", 0.0, 0.008);
+    template.nudge(CRUISE, CHANGED, v, 1.0)?;
+    template.nudge(CRUISE, TAILGATE, v, -1.0)?;
+
+    let outcome = TmlPipeline::new(spec, phi)
+        .with_model_repair(template)
+        .with_data_repair()
+        .run(&logs)?;
+
+    match &outcome {
+        TmlOutcome::Satisfied { .. } => println!("learned model already satisfies the property"),
+        TmlOutcome::ModelRepaired { outcome } => {
+            println!("model repair succeeded: parameters {:?}", outcome.parameters);
+        }
+        TmlOutcome::DataRepaired { outcome, model_repair_status } => {
+            println!("model repair: {model_repair_status:?}; data repair succeeded");
+            for (class, w) in &outcome.keep_weights {
+                println!("  keep weight for {class}: {w:.4}");
+            }
+        }
+        TmlOutcome::Unrepairable { .. } => println!("no configured repair suffices"),
+    }
+    let model = outcome.model().expect("trusted model");
+    println!(
+        "trusted model: P(cruise -> changedLane) = {:.4}, P(cruise -> tailgate) = {:.4}",
+        model.probability(CRUISE, CHANGED),
+        model.probability(CRUISE, TAILGATE),
+    );
+    assert!(outcome.is_trusted());
+    Ok(())
+}

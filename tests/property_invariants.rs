@@ -1,0 +1,156 @@
+//! Property-based invariants across crates: logical dualities of the
+//! finite-trace rule language, DSL round-trips on random models, and
+//! checker invariants on random MDPs.
+
+use proptest::prelude::*;
+use trusted_ml::logic::{SliceTrace, TraceFormula};
+use trusted_ml::models::dsl::{dtmc_to_dsl, parse_model, ModelFile};
+use trusted_ml::models::DtmcBuilder;
+
+fn arb_trace_formula() -> impl Strategy<Value = TraceFormula> {
+    let leaf = prop_oneof![
+        Just(TraceFormula::True),
+        (0usize..3).prop_map(|i| TraceFormula::Atom(format!("a{i}"))),
+        (0usize..3).prop_map(TraceFormula::ActionIs),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| TraceFormula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TraceFormula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TraceFormula::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| TraceFormula::Next(Box::new(f))),
+            inner.clone().prop_map(|f| TraceFormula::Always(Box::new(f))),
+            inner.clone().prop_map(|f| TraceFormula::Eventually(Box::new(f))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| TraceFormula::Until(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = SliceTrace> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0usize..3, 0..3), 0usize..3),
+        1..7,
+    )
+    .prop_map(|positions| {
+        let labels: Vec<Vec<String>> = positions
+            .iter()
+            .map(|(ls, _)| ls.iter().map(|i| format!("a{i}")).collect())
+            .collect();
+        let actions: Vec<usize> = positions.iter().map(|(_, a)| *a).collect();
+        // Final position gets no action: drop the last.
+        let actions = actions[..actions.len() - 1].to_vec();
+        SliceTrace::new(labels, actions)
+    })
+}
+
+proptest! {
+    /// De Morgan-style temporal dualities hold at every position of every
+    /// trace: ¬F¬φ ≡ Gφ and ¬(true U ¬φ) ≡ Gφ.
+    #[test]
+    fn temporal_dualities(f in arb_trace_formula(), t in arb_trace(), pos in 0usize..8) {
+        let g = TraceFormula::Always(Box::new(f.clone()));
+        let not_f_not = TraceFormula::Not(Box::new(TraceFormula::Eventually(Box::new(
+            TraceFormula::Not(Box::new(f.clone())),
+        ))));
+        prop_assert_eq!(g.eval(&t, pos), not_f_not.eval(&t, pos));
+
+        let until_form = TraceFormula::Not(Box::new(TraceFormula::Until(
+            Box::new(TraceFormula::True),
+            Box::new(TraceFormula::Not(Box::new(f.clone()))),
+        )));
+        prop_assert_eq!(g.eval(&t, pos), until_form.eval(&t, pos));
+    }
+
+    /// F distributes over ∨ and G over ∧.
+    #[test]
+    fn distribution_laws(a in arb_trace_formula(), b in arb_trace_formula(), t in arb_trace()) {
+        let f_or = TraceFormula::Eventually(Box::new(TraceFormula::Or(
+            Box::new(a.clone()), Box::new(b.clone()))));
+        let or_f = TraceFormula::Or(
+            Box::new(TraceFormula::Eventually(Box::new(a.clone()))),
+            Box::new(TraceFormula::Eventually(Box::new(b.clone()))),
+        );
+        prop_assert_eq!(f_or.eval(&t, 0), or_f.eval(&t, 0));
+
+        let g_and = TraceFormula::Always(Box::new(TraceFormula::And(
+            Box::new(a.clone()), Box::new(b.clone()))));
+        let and_g = TraceFormula::And(
+            Box::new(TraceFormula::Always(Box::new(a.clone()))),
+            Box::new(TraceFormula::Always(Box::new(b.clone()))),
+        );
+        prop_assert_eq!(g_and.eval(&t, 0), and_g.eval(&t, 0));
+    }
+
+    /// Random DTMCs round-trip through the textual model format.
+    #[test]
+    fn dsl_roundtrip_random_chains(
+        seed in proptest::collection::vec((0usize..5, 0usize..5, 0.05f64..0.95), 5),
+        labels in proptest::collection::vec(0usize..5, 0..3),
+    ) {
+        let n = 5;
+        let mut b = DtmcBuilder::new(n);
+        for (s, &(t1, t2, p)) in seed.iter().enumerate() {
+            if t1 == t2 {
+                b.transition(s, t1, 1.0).unwrap();
+            } else {
+                // Round to keep the text form lossless in f64.
+                let p = (p * 1024.0).round() / 1024.0;
+                b.transition(s, t1, p).unwrap();
+                b.transition(s, t2, 1.0 - p).unwrap();
+            }
+        }
+        for (i, &s) in labels.iter().enumerate() {
+            b.label(s, &format!("l{i}")).unwrap();
+        }
+        let d = b.build().unwrap();
+        let text = dtmc_to_dsl(&d);
+        let ModelFile::Dtmc(back) = parse_model(&text).unwrap() else {
+            return Err(TestCaseError::fail("kind flip"));
+        };
+        prop_assert_eq!(d, back);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On random MDPs: Pmin ≤ Pmax everywhere, both in [0,1], and the
+    /// uniform-policy DTMC sits between them.
+    #[test]
+    fn random_mdp_optima_bracket_uniform_policy(
+        seed in proptest::collection::vec((0usize..4, 0usize..4, 0.1f64..0.9), 8),
+    ) {
+        use trusted_ml::checker::{dtmc as cdtmc, mdp as cmdp, CheckOptions};
+        use trusted_ml::logic::Opt;
+        use trusted_ml::models::{MdpBuilder, StochasticPolicy};
+        let n = 4;
+        let mut b = MdpBuilder::new(n);
+        for (i, &(t1, t2, p)) in seed.iter().enumerate() {
+            let s = i % n;
+            let name = format!("a{}", i / n);
+            if t1 == t2 {
+                b.choice(s, &name, &[(t1, 1.0)]).unwrap();
+            } else {
+                b.choice(s, &name, &[(t1, p), (t2, 1.0 - p)]).unwrap();
+            }
+        }
+        b.label(n - 1, "goal").unwrap();
+        let m = b.build().unwrap();
+        let opts = CheckOptions::default();
+        let phi = vec![true; n];
+        let target = m.labeling().mask("goal");
+        let pmax = cmdp::until_probabilities(&m, &phi, &target, Opt::Max, &opts).unwrap();
+        let pmin = cmdp::until_probabilities(&m, &phi, &target, Opt::Min, &opts).unwrap();
+        let uniform = StochasticPolicy::uniform(&m).induce(&m).unwrap();
+        let pu = cdtmc::until_probabilities(&uniform, &phi, &target, &opts).unwrap();
+        for s in 0..n {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pmax[s]));
+            prop_assert!(pmin[s] <= pmax[s] + 1e-9, "state {}", s);
+            prop_assert!(pmin[s] - 1e-7 <= pu[s] && pu[s] <= pmax[s] + 1e-7,
+                "state {}: {} not in [{}, {}]", s, pu[s], pmin[s], pmax[s]);
+        }
+    }
+}
