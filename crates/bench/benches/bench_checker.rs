@@ -15,9 +15,13 @@ fn bench_dtmc_reward(c: &mut Criterion) {
     for n in [3, 5, 8, 12] {
         let config = WsnConfig { n, ..Default::default() };
         let chain = build_dtmc(&config).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &chain, |b, chain| {
-            b.iter(|| checker.query_dtmc(black_box(chain), &q).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &chain,
+            |b, chain| {
+                b.iter(|| checker.query_dtmc(black_box(chain), &q).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -29,9 +33,13 @@ fn bench_dtmc_reachability(c: &mut Criterion) {
     for n in [3, 8, 12] {
         let config = WsnConfig { n, ..Default::default() };
         let chain = build_dtmc(&config).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &chain, |b, chain| {
-            b.iter(|| checker.query_dtmc(black_box(chain), &q).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &chain,
+            |b, chain| {
+                b.iter(|| checker.query_dtmc(black_box(chain), &q).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -17,13 +17,19 @@ fn bench_irl(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("maxent_100_iters", |b| {
         let opts = IrlOptions { iterations: 100, ..car::irl_options() };
-        b.iter(|| maxent_irl(black_box(&mdp), &features, &[demo.clone()], opts).unwrap());
+        b.iter(|| {
+            maxent_irl(black_box(&mdp), &features, std::slice::from_ref(&demo), opts).unwrap()
+        });
     });
     group.bench_function("value_iteration", |b| {
         let rewards = features.rewards(&[0.5, -0.3, 1.0]);
         b.iter(|| {
-            value_iteration(black_box(&mdp), &rewards, ViOptions { gamma: car::GAMMA, ..Default::default() })
-                .unwrap()
+            value_iteration(
+                black_box(&mdp),
+                &rewards,
+                ViOptions { gamma: car::GAMMA, ..Default::default() },
+            )
+            .unwrap()
         });
     });
     group.finish();

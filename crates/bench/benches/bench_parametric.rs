@@ -64,5 +64,10 @@ fn bench_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_symbolic_elimination, bench_symbolic_reachability, bench_evaluation);
+criterion_group!(
+    benches,
+    bench_symbolic_elimination,
+    bench_symbolic_reachability,
+    bench_evaluation
+);
 criterion_main!(benches);

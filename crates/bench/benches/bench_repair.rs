@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tml_core::{DataRepair, ModelRepair};
 use tml_wsn::{
-    attempts_property, build_dtmc, classes, generate_traces, model_spec, repair_template,
-    WsnConfig,
+    attempts_property, build_dtmc, classes, generate_traces, model_spec, repair_template, WsnConfig,
 };
 
 fn bench_model_repair(c: &mut Criterion) {

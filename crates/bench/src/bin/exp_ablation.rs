@@ -61,7 +61,11 @@ fn backend_ablation() {
             format!("{}", f.complexity()),
             format!("{t_symbolic:.2?}"),
             format!("{t_oracle:.2?}"),
-            if f.complexity() <= 16 { "symbolic (exact)".into() } else { "oracle (f64-fragile symbolic)".into() },
+            if f.complexity() <= 16 {
+                "symbolic (exact)".into()
+            } else {
+                "oracle (f64-fragile symbolic)".into()
+            },
         ]);
     }
     print_table(
@@ -120,8 +124,18 @@ fn planner_ablation() {
     print_table(
         &["planner", "iterations", "wall time", "V(S0)"],
         &[
-            vec!["value iteration".into(), format!("{}", vi.iterations), format!("{t_vi:.2?}"), fmt(vi.values[0])],
-            vec!["policy iteration".into(), format!("{}", pi.iterations), format!("{t_pi:.2?}"), fmt(pi.values[0])],
+            vec![
+                "value iteration".into(),
+                format!("{}", vi.iterations),
+                format!("{t_vi:.2?}"),
+                fmt(vi.values[0]),
+            ],
+            vec![
+                "policy iteration".into(),
+                format!("{}", pi.iterations),
+                format!("{t_pi:.2?}"),
+                fmt(pi.values[0]),
+            ],
         ],
     );
 }

@@ -29,14 +29,29 @@ fn main() {
 
     // E6: repair the reward.
     let outcome = RewardRepair::new()
-        .q_constraint_repair(&mdp, &features, &irl.theta, &[car::q_repair_constraint()], car::GAMMA, 3.0)
+        .q_constraint_repair(
+            &mdp,
+            &features,
+            &irl.theta,
+            &[car::q_repair_constraint()],
+            car::GAMMA,
+            3.0,
+        )
         .expect("repair run");
     let repaired_policy = car::greedy_policy(&mdp, &outcome.theta).expect("vi");
     let repaired_rollout = car::rollout(&mdp, &repaired_policy, 25);
     let repaired_safe = car::policy_is_safe(&mdp, &repaired_policy);
 
     print_table(
-        &["reward", "θ1 (lane)", "θ2 (dist-unsafe)", "θ3 (goal)", "action at S1", "rollout from S0", "safe"],
+        &[
+            "reward",
+            "θ1 (lane)",
+            "θ2 (dist-unsafe)",
+            "θ3 (goal)",
+            "action at S1",
+            "rollout from S0",
+            "safe",
+        ],
         &[
             vec![
                 "learned (IRL)".into(),

@@ -65,7 +65,11 @@ fn main() {
     println!("\nprojection-based reward repair over {} trajectories:", out.num_trajectories);
     println!("  θ before: {:?}", out.base_theta.iter().map(|v| fmt(*v)).collect::<Vec<_>>());
     println!("  θ after:  {:?}", out.theta.iter().map(|v| fmt(*v)).collect::<Vec<_>>());
-    println!("  violating mass: {} → {}", fmt(out.violation_mass_before), fmt(out.violation_mass_after));
+    println!(
+        "  violating mass: {} → {}",
+        fmt(out.violation_mass_before),
+        fmt(out.violation_mass_after)
+    );
     println!("  KL(Q ‖ P) = {}", fmt(out.kl_divergence));
     assert!(out.violation_mass_after < out.violation_mass_before);
 }

@@ -24,11 +24,15 @@ fn main() {
     let checker = Checker::new();
     let attempts_query = parse_query("R{\"attempts\"}=? [ F \"delivered\" ]").expect("query");
 
-    println!("WSN data repair (paper §V-A.2): {} traces in {} classes", dataset.num_traces(), dataset.num_classes());
+    println!(
+        "WSN data repair (paper §V-A.2): {} traces in {} classes",
+        dataset.num_traces(),
+        dataset.num_classes()
+    );
 
     // The model learned from ALL data (including corrupt observations).
-    let mut base = learn::ml_dtmc(spec.num_states, &dataset, None, MlOptions::default())
-        .expect("learnable");
+    let mut base =
+        learn::ml_dtmc(spec.num_states, &dataset, None, MlOptions::default()).expect("learnable");
     base.initial_state(spec.initial).expect("state");
     for (s, l) in &spec.labels {
         base.label(*s, l).expect("label");
@@ -52,7 +56,11 @@ fn main() {
             name.clone(),
             fmt(*w),
             fmt(1.0 - *w),
-            if name == classes::FORWARD_SUCCESS { "pinned (reliable)".into() } else { "droppable".into() },
+            if name == classes::FORWARD_SUCCESS {
+                "pinned (reliable)".into()
+            } else {
+                "droppable".into()
+            },
         ]);
     }
     print_table(&["trace class", "keep weight w", "drop fraction 1-w", "role"], &rows);

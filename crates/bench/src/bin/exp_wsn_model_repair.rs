@@ -34,9 +34,8 @@ fn main() {
     let mut rows = Vec::new();
     for x in [100.0, 40.0, 19.0] {
         let property = attempts_property(x);
-        let outcome = ModelRepair::new()
-            .repair_dtmc(&chain, &property, &template)
-            .expect("repair run");
+        let outcome =
+            ModelRepair::new().repair_dtmc(&chain, &property, &template).expect("repair run");
         let (p, q) = match outcome.parameters.as_slice() {
             [(_, p), (_, q)] => (*p, *q),
             _ => (f64::NAN, f64::NAN),
@@ -56,7 +55,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["property (E1/E2/E3)", "status", "p", "q", "cost ||Z||_F^2", "attempts after", "verified"],
+        &[
+            "property (E1/E2/E3)",
+            "status",
+            "p",
+            "q",
+            "cost ||Z||_F^2",
+            "attempts after",
+            "verified",
+        ],
         &rows,
     );
 

@@ -65,9 +65,9 @@ pub fn build_mdp() -> Result<Mdp, RepairError> {
     let mut b = MdpBuilder::new(NUM_STATES);
     let forward_to = |s: usize| -> usize {
         match s {
-            0..=3 => s + 1,       // right lane advances
-            5..=8 => s + 1,       // left lane advances
-            9 => OFFROAD,         // ran out of road in the left lane
+            0..=3 => s + 1, // right lane advances
+            5..=8 => s + 1, // left lane advances
+            9 => OFFROAD,   // ran out of road in the left lane
             GOAL => GOAL,
             _ => OFFROAD,
         }
@@ -175,14 +175,17 @@ pub fn features() -> Result<FeatureMap, RepairError> {
         let goal = if s == GOAL { 1.0 } else { 0.0 };
         rows.push(vec![lane, d_unsafe, goal]);
     }
-    Ok(FeatureMap::new(rows).map_err(tml_core::RepairError::Irl)?)
+    FeatureMap::new(rows).map_err(tml_core::RepairError::Irl)
 }
 
 /// The expert demonstration from the paper:
 /// `(S0,0),(S1,1),(S6,0),(S7,0),(S8,2),(S3,0)` ending in `S4`.
 pub fn expert_path() -> Path {
-    Path::with_actions(vec![0, 1, 6, 7, 8, 3, 4], vec![FORWARD, LEFT, FORWARD, FORWARD, RIGHT, FORWARD])
-        .expect("well-formed expert path")
+    Path::with_actions(
+        vec![0, 1, 6, 7, 8, 3, 4],
+        vec![FORWARD, LEFT, FORWARD, FORWARD, RIGHT, FORWARD],
+    )
+    .expect("well-formed expert path")
 }
 
 /// IRL options tuned for this case study (moderate training, mild
@@ -200,7 +203,7 @@ pub fn irl_options() -> IrlOptions {
 /// Propagates IRL failures (never for this fixed setup).
 pub fn learn_reward(mdp: &Mdp) -> Result<IrlResult, RepairError> {
     let fm = features()?;
-    Ok(maxent_irl(mdp, &fm, &[expert_path()], irl_options()).map_err(RepairError::Irl)?)
+    maxent_irl(mdp, &fm, &[expert_path()], irl_options()).map_err(RepairError::Irl)
 }
 
 /// The greedy deterministic policy (choice indices) under reward weights
@@ -211,8 +214,9 @@ pub fn learn_reward(mdp: &Mdp) -> Result<IrlResult, RepairError> {
 /// Propagates value-iteration failures.
 pub fn greedy_policy(mdp: &Mdp, theta: &[f64]) -> Result<Vec<usize>, RepairError> {
     let fm = features()?;
-    let vi = value_iteration(mdp, &fm.rewards(theta), ViOptions { gamma: GAMMA, ..Default::default() })
-        .map_err(RepairError::Irl)?;
+    let vi =
+        value_iteration(mdp, &fm.rewards(theta), ViOptions { gamma: GAMMA, ..Default::default() })
+            .map_err(RepairError::Irl)?;
     Ok(vi.policy)
 }
 

@@ -6,11 +6,12 @@
 
 use tml_logic::{PathFormula, Query, RewardKind, StateFormula};
 use tml_models::{graph, Dtmc, RewardStructure};
-use tml_numerics::iterative::{gauss_seidel, IterOptions};
+use tml_numerics::iterative::{gauss_seidel_budgeted, jacobi_budgeted, IterOptions, IterRun};
 use tml_numerics::solve::solve_dense;
-use tml_numerics::{CsrMatrix, DenseMatrix, Triplet};
+use tml_numerics::{Budget, CsrMatrix, DenseMatrix, Diagnostics, NumericsError, Triplet};
 
-use crate::{CheckError, CheckOptions, CheckResult};
+use crate::run::CheckRun;
+use crate::{CheckError, CheckOptions, CheckResult, LinearSolver};
 
 /// Checks a state formula, returning the satisfying set (plus numeric values
 /// when the top-level operator is `P` or `R`).
@@ -19,21 +20,36 @@ use crate::{CheckError, CheckOptions, CheckResult};
 ///
 /// Returns a [`CheckError`] for unknown reward structures or numeric
 /// failures.
-pub fn check(model: &Dtmc, formula: &StateFormula, opts: &CheckOptions) -> Result<CheckResult, CheckError> {
-    let values = top_level_values(model, formula, opts)?;
-    let sat = evaluate(model, formula, opts)?;
+pub fn check(
+    model: &Dtmc,
+    formula: &StateFormula,
+    opts: &CheckOptions,
+) -> Result<CheckResult, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    let result = check_run(model, formula, &run)?;
+    Ok(result.with_diagnostics(run.finish()))
+}
+
+pub(crate) fn check_run(
+    model: &Dtmc,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<CheckResult, CheckError> {
+    let values = top_level_values(model, formula, run)?;
+    let sat = evaluate_run(model, formula, run)?;
     Ok(CheckResult::new(sat, values, model.initial_state()))
 }
 
 fn top_level_values(
     model: &Dtmc,
     formula: &StateFormula,
-    opts: &CheckOptions,
+    run: &CheckRun<'_>,
 ) -> Result<Option<Vec<f64>>, CheckError> {
     match formula {
-        StateFormula::Prob { path, .. } => Ok(Some(path_probabilities(model, path, opts)?)),
+        StateFormula::Prob { path, .. } => Ok(Some(path_probabilities_run(model, path, run)?)),
         StateFormula::Reward { structure, kind, .. } => {
-            Ok(Some(reward_values(model, structure.as_deref(), kind, opts)?))
+            Ok(Some(reward_values(model, structure.as_deref(), kind, run)?))
         }
         _ => Ok(None),
     }
@@ -45,25 +61,44 @@ fn top_level_values(
 ///
 /// Returns a [`CheckError`] for unknown reward structures or numeric
 /// failures.
-pub fn evaluate(model: &Dtmc, formula: &StateFormula, opts: &CheckOptions) -> Result<Vec<bool>, CheckError> {
+pub fn evaluate(
+    model: &Dtmc,
+    formula: &StateFormula,
+    opts: &CheckOptions,
+) -> Result<Vec<bool>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    evaluate_run(model, formula, &run)
+}
+
+pub(crate) fn evaluate_run(
+    model: &Dtmc,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<Vec<bool>, CheckError> {
     let n = model.num_states();
+    let opts = run.opts;
     Ok(match formula {
         StateFormula::True => vec![true; n],
         StateFormula::False => vec![false; n],
         StateFormula::Atom(a) => model.labeling().mask(a),
-        StateFormula::Not(f) => evaluate(model, f, opts)?.iter().map(|b| !b).collect(),
-        StateFormula::And(a, b) => zip_masks(evaluate(model, a, opts)?, evaluate(model, b, opts)?, |x, y| x && y),
-        StateFormula::Or(a, b) => zip_masks(evaluate(model, a, opts)?, evaluate(model, b, opts)?, |x, y| x || y),
+        StateFormula::Not(f) => evaluate_run(model, f, run)?.iter().map(|b| !b).collect(),
+        StateFormula::And(a, b) => {
+            zip_masks(evaluate_run(model, a, run)?, evaluate_run(model, b, run)?, |x, y| x && y)
+        }
+        StateFormula::Or(a, b) => {
+            zip_masks(evaluate_run(model, a, run)?, evaluate_run(model, b, run)?, |x, y| x || y)
+        }
         StateFormula::Implies(a, b) => {
-            zip_masks(evaluate(model, a, opts)?, evaluate(model, b, opts)?, |x, y| !x || y)
+            zip_masks(evaluate_run(model, a, run)?, evaluate_run(model, b, run)?, |x, y| !x || y)
         }
         StateFormula::Prob { op, bound, path, .. } => {
             // A DTMC has no schedulers: min/max annotations are vacuous.
-            let probs = path_probabilities(model, path, opts)?;
+            let probs = path_probabilities_run(model, path, run)?;
             probs.iter().map(|&p| opts.test_bound(*op, p, *bound)).collect()
         }
         StateFormula::Reward { structure, op, bound, kind, .. } => {
-            let values = reward_values(model, structure.as_deref(), kind, opts)?;
+            let values = reward_values(model, structure.as_deref(), kind, run)?;
             values.iter().map(|&v| opts.test_bound(*op, v, *bound)).collect()
         }
     })
@@ -76,9 +111,21 @@ pub fn evaluate(model: &Dtmc, formula: &StateFormula, opts: &CheckOptions) -> Re
 /// Returns a [`CheckError`] for unknown reward structures or numeric
 /// failures.
 pub fn query(model: &Dtmc, q: &Query, opts: &CheckOptions) -> Result<Vec<f64>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    query_run(model, q, &run)
+}
+
+pub(crate) fn query_run(
+    model: &Dtmc,
+    q: &Query,
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
     match q {
-        Query::Prob { path, .. } => path_probabilities(model, path, opts),
-        Query::Reward { structure, kind, .. } => reward_values(model, structure.as_deref(), kind, opts),
+        Query::Prob { path, .. } => path_probabilities_run(model, path, run),
+        Query::Reward { structure, kind, .. } => {
+            reward_values(model, structure.as_deref(), kind, run)
+        }
     }
 }
 
@@ -86,19 +133,22 @@ fn reward_values(
     model: &Dtmc,
     structure: Option<&str>,
     kind: &RewardKind,
-    opts: &CheckOptions,
+    run: &CheckRun<'_>,
 ) -> Result<Vec<f64>, CheckError> {
     let rewards = lookup_rewards(model, structure)?;
     match kind {
         RewardKind::Reach(target) => {
-            let target_mask = evaluate(model, target, opts)?;
-            reach_rewards(model, rewards, &target_mask, opts)
+            let target_mask = evaluate_run(model, target, run)?;
+            reach_rewards_run(model, rewards, &target_mask, run)
         }
         RewardKind::Cumulative(k) => Ok(cumulative_rewards(model, rewards, *k)),
     }
 }
 
-fn lookup_rewards<'a>(model: &'a Dtmc, structure: Option<&str>) -> Result<&'a RewardStructure, CheckError> {
+fn lookup_rewards<'a>(
+    model: &'a Dtmc,
+    structure: Option<&str>,
+) -> Result<&'a RewardStructure, CheckError> {
     match structure {
         Some(name) => Ok(model.reward_structure(name)?),
         None => model.default_reward_structure().ok_or_else(|| {
@@ -115,37 +165,51 @@ fn lookup_rewards<'a>(model: &'a Dtmc, structure: Option<&str>) -> Result<&'a Re
 /// # Errors
 ///
 /// Returns a [`CheckError`] on numeric failures.
-pub fn path_probabilities(model: &Dtmc, path: &PathFormula, opts: &CheckOptions) -> Result<Vec<f64>, CheckError> {
+pub fn path_probabilities(
+    model: &Dtmc,
+    path: &PathFormula,
+    opts: &CheckOptions,
+) -> Result<Vec<f64>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    path_probabilities_run(model, path, &run)
+}
+
+pub(crate) fn path_probabilities_run(
+    model: &Dtmc,
+    path: &PathFormula,
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
     let n = model.num_states();
     match path {
         PathFormula::Next(f) => {
-            let target = evaluate(model, f, opts)?;
+            let target = evaluate_run(model, f, run)?;
             Ok(next_probabilities(model, &target))
         }
         PathFormula::Until { lhs, rhs, bound } => {
-            let phi = evaluate(model, lhs, opts)?;
-            let target = evaluate(model, rhs, opts)?;
+            let phi = evaluate_run(model, lhs, run)?;
+            let target = evaluate_run(model, rhs, run)?;
             match bound {
                 Some(k) => Ok(bounded_until_probabilities(model, &phi, &target, *k)),
-                None => until_probabilities(model, &phi, &target, opts),
+                None => until_probabilities_run(model, &phi, &target, run),
             }
         }
         PathFormula::Eventually { sub, bound } => {
-            let target = evaluate(model, sub, opts)?;
+            let target = evaluate_run(model, sub, run)?;
             let phi = vec![true; n];
             match bound {
                 Some(k) => Ok(bounded_until_probabilities(model, &phi, &target, *k)),
-                None => until_probabilities(model, &phi, &target, opts),
+                None => until_probabilities_run(model, &phi, &target, run),
             }
         }
         PathFormula::Globally { sub, bound } => {
             // P(G φ) = 1 − P(F ¬φ), valid for both bounded and unbounded
             // horizons on Markov chains.
-            let inv: Vec<bool> = evaluate(model, sub, opts)?.iter().map(|b| !b).collect();
+            let inv: Vec<bool> = evaluate_run(model, sub, run)?.iter().map(|b| !b).collect();
             let phi = vec![true; n];
             let f_not = match bound {
                 Some(k) => bounded_until_probabilities(model, &phi, &inv, *k),
-                None => until_probabilities(model, &phi, &inv, opts)?,
+                None => until_probabilities_run(model, &phi, &inv, run)?,
             };
             Ok(f_not.iter().map(|p| 1.0 - p).collect())
         }
@@ -160,7 +224,12 @@ pub fn next_probabilities(model: &Dtmc, target: &[bool]) -> Vec<f64> {
 }
 
 /// `P(φ U≤k ψ)` per state, by `k`-fold backward unrolling.
-pub fn bounded_until_probabilities(model: &Dtmc, phi: &[bool], target: &[bool], k: u64) -> Vec<f64> {
+pub fn bounded_until_probabilities(
+    model: &Dtmc,
+    phi: &[bool],
+    target: &[bool],
+    k: u64,
+) -> Vec<f64> {
     let n = model.num_states();
     let mut x: Vec<f64> = target.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect();
     for _ in 0..k {
@@ -190,6 +259,35 @@ pub fn until_probabilities(
     phi: &[bool],
     target: &[bool],
     opts: &CheckOptions,
+) -> Result<Vec<f64>, CheckError> {
+    Ok(until_probabilities_diag(model, phi, target, opts, &Budget::unlimited())?.0)
+}
+
+/// Budget-aware [`until_probabilities`]: stops at the budget (returning the
+/// best iterate found) and reports the [`Diagnostics`] of the solve —
+/// including any solver fallbacks taken under [`LinearSolver::Auto`].
+///
+/// # Errors
+///
+/// Same conditions as [`until_probabilities`]; budget exhaustion is *not*
+/// an error (it is reported via [`Diagnostics::exhausted`]).
+pub fn until_probabilities_diag(
+    model: &Dtmc,
+    phi: &[bool],
+    target: &[bool],
+    opts: &CheckOptions,
+    budget: &Budget,
+) -> Result<(Vec<f64>, Diagnostics), CheckError> {
+    let run = CheckRun::new(opts, budget);
+    let x = until_probabilities_run(model, phi, target, &run)?;
+    Ok((x, run.finish()))
+}
+
+pub(crate) fn until_probabilities_run(
+    model: &Dtmc,
+    phi: &[bool],
+    target: &[bool],
+    run: &CheckRun<'_>,
 ) -> Result<Vec<f64>, CheckError> {
     let n = model.num_states();
     let zero = graph::prob0(model, phi, target);
@@ -222,7 +320,7 @@ pub fn until_probabilities(
         }
     }
 
-    let sol = solve_restricted(&triplets, &b, m, opts)?;
+    let sol = solve_restricted(&triplets, &b, m, run)?;
     for (i, &s) in maybe.iter().enumerate() {
         x[s] = sol[i].clamp(0.0, 1.0);
     }
@@ -242,14 +340,24 @@ pub fn reach_rewards(
     target: &[bool],
     opts: &CheckOptions,
 ) -> Result<Vec<f64>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    reach_rewards_run(model, rewards, target, &run)
+}
+
+pub(crate) fn reach_rewards_run(
+    model: &Dtmc,
+    rewards: &RewardStructure,
+    target: &[bool],
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
     let n = model.num_states();
     let phi = vec![true; n];
     let one = graph::prob1(model, &phi, target);
     let maybe: Vec<usize> = (0..n).filter(|&s| one[s] && !target[s]).collect();
 
-    let mut x: Vec<f64> = (0..n)
-        .map(|s| if target[s] || one[s] { 0.0 } else { f64::INFINITY })
-        .collect();
+    let mut x: Vec<f64> =
+        (0..n).map(|s| if target[s] || one[s] { 0.0 } else { f64::INFINITY }).collect();
     if maybe.is_empty() {
         return Ok(x);
     }
@@ -273,7 +381,7 @@ pub fn reach_rewards(
             // `one` are unreachable from a prob1 state.
         }
     }
-    let sol = solve_restricted(&triplets, &b, m, opts)?;
+    let sol = solve_restricted(&triplets, &b, m, run)?;
     for (i, &s) in maybe.iter().enumerate() {
         x[s] = sol[i].max(0.0);
     }
@@ -286,40 +394,112 @@ pub fn cumulative_rewards(model: &Dtmc, rewards: &RewardStructure, k: u64) -> Ve
     let mut x = vec![0.0; n];
     for _ in 0..k {
         let mut next = vec![0.0; n];
-        for s in 0..n {
-            next[s] = rewards.state_reward(s) + model.successors(s).map(|(t, p)| p * x[t]).sum::<f64>();
+        for (s, nx) in next.iter_mut().enumerate() {
+            *nx = rewards.state_reward(s) + model.successors(s).map(|(t, p)| p * x[t]).sum::<f64>();
         }
         x = next;
     }
     x
 }
 
+/// Under [`LinearSolver::Auto`], systems up to this many states may fall
+/// back to the dense direct solver as a last resort even when they exceed
+/// the configured `direct_solver_limit`.
+const LAST_RESORT_DIRECT_LIMIT: usize = 2048;
+
 /// Solves `x = A·x + b` on the maybe-state fragment, picking the solver per
 /// the options.
+///
+/// Under [`LinearSolver::Auto`] a failed Gauss–Seidel solve degrades
+/// gracefully instead of erroring: first Jacobi (warm-started from the
+/// Gauss–Seidel iterate, at 100× relaxed tolerance), then — for systems up
+/// to [`LAST_RESORT_DIRECT_LIMIT`] states — dense Gaussian elimination, and
+/// finally the best iterate seen, with its residual recorded in the run's
+/// diagnostics. An explicitly requested [`LinearSolver::GaussSeidel`] keeps
+/// the strict `NoConvergence` error contract. Budget exhaustion always
+/// yields the best iterate (never an error), marked in the diagnostics.
 fn solve_restricted(
     triplets: &[Triplet],
     b: &[f64],
     m: usize,
-    opts: &CheckOptions,
+    run: &CheckRun<'_>,
 ) -> Result<Vec<f64>, CheckError> {
+    let opts = run.opts;
     if opts.use_direct(m) {
-        // (I − A) x = b as a dense system.
-        let mut a = DenseMatrix::<f64>::identity(m);
-        for t in triplets {
-            let cur = *a.get(t.row, t.col);
-            a.set(t.row, t.col, cur - t.value);
-        }
-        Ok(solve_dense(&a, b)?)
-    } else {
-        let a = CsrMatrix::from_triplets(m, m, triplets)?;
-        let sol = gauss_seidel(
-            &a,
-            b,
-            &vec![0.0; m],
-            IterOptions { tolerance: opts.tolerance, max_iterations: opts.max_iterations },
-        )?;
-        Ok(sol.x)
+        return solve_direct_dense(triplets, b, m);
     }
+    let a = CsrMatrix::from_triplets(m, m, triplets)?;
+    let iter_opts = IterOptions { tolerance: opts.tolerance, max_iterations: opts.max_iterations };
+    let gs = gauss_seidel_budgeted(&a, b, &vec![0.0; m], iter_opts, &run.remaining_budget())?;
+    run.spend(gs.iterations as u64);
+    if gs.converged {
+        return Ok(gs.x);
+    }
+    if let Some(cause) = gs.stopped {
+        run.mark_exhausted(cause);
+        run.record_residual(gs.delta);
+        return Ok(gs.x);
+    }
+    if opts.solver == LinearSolver::GaussSeidel {
+        // Explicitly requested solver: keep the strict error contract.
+        return Err(
+            NumericsError::NoConvergence { iterations: gs.iterations, residual: gs.delta }.into()
+        );
+    }
+    // Auto: retry with Jacobi, warm-started from the Gauss–Seidel iterate
+    // at a relaxed tolerance.
+    run.record_fallback(format!(
+        "gauss-seidel stalled (residual {:.3e}); retrying with jacobi at relaxed tolerance",
+        gs.delta
+    ));
+    let relaxed =
+        IterOptions { tolerance: opts.tolerance * 100.0, max_iterations: opts.max_iterations };
+    let jac = jacobi_budgeted(&a, b, &gs.x, relaxed, &run.remaining_budget())?;
+    run.spend(jac.iterations as u64);
+    if jac.converged {
+        run.record_residual(jac.delta);
+        return Ok(jac.x);
+    }
+    if let Some(cause) = jac.stopped {
+        run.mark_exhausted(cause);
+        let best = best_iterate(gs, jac);
+        run.record_residual(best.delta);
+        return Ok(best.x);
+    }
+    // Jacobi stalled too: last resort is a dense direct solve for systems
+    // of manageable size, otherwise the best iterate seen.
+    if m <= opts.direct_solver_limit.max(LAST_RESORT_DIRECT_LIMIT) {
+        run.record_fallback("jacobi stalled; solving directly (dense gaussian elimination)");
+        return solve_direct_dense(triplets, b, m);
+    }
+    let best = best_iterate(gs, jac);
+    run.record_fallback(format!(
+        "all iterative solvers stalled on {m}-state system; accepting best iterate (residual {:.3e})",
+        best.delta
+    ));
+    run.record_residual(best.delta);
+    Ok(best.x)
+}
+
+/// The iterate with the smaller residual (NaN counts as worst).
+fn best_iterate(a: IterRun, b: IterRun) -> IterRun {
+    let ra = if a.delta.is_nan() { f64::INFINITY } else { a.delta };
+    let rb = if b.delta.is_nan() { f64::INFINITY } else { b.delta };
+    if rb <= ra {
+        b
+    } else {
+        a
+    }
+}
+
+/// Solves `(I − A) x = b` densely.
+fn solve_direct_dense(triplets: &[Triplet], b: &[f64], m: usize) -> Result<Vec<f64>, CheckError> {
+    let mut a = DenseMatrix::<f64>::identity(m);
+    for t in triplets {
+        let cur = *a.get(t.row, t.col);
+        a.set(t.row, t.col, cur - t.value);
+    }
+    Ok(solve_dense(&a, b)?)
 }
 
 fn zip_masks(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
@@ -467,7 +647,9 @@ mod tests {
     #[test]
     fn full_formula_checking() {
         let d = gambler();
-        let c = check(&d, &parse_formula("P>=0.5 [ F \"rich\" ]").unwrap(), &CheckOptions::default()).unwrap();
+        let c =
+            check(&d, &parse_formula("P>=0.5 [ F \"rich\" ]").unwrap(), &CheckOptions::default())
+                .unwrap();
         assert!(c.holds()); // initial state 2 has probability exactly 0.5
         assert_eq!(c.sat_states(), vec![2, 3, 4]);
         assert!((c.value_at_initial().unwrap() - 0.5).abs() < 1e-9);
@@ -523,6 +705,81 @@ mod tests {
         let d = gambler();
         let f = parse_formula("R{\"nope\"}<=1 [ F \"rich\" ]").unwrap();
         assert!(check(&d, &f, &CheckOptions::default()).is_err());
+    }
+
+    #[test]
+    fn fallback_chain_recovers_stalled_gauss_seidel() {
+        // Starve Gauss–Seidel of iterations so it stalls; under Auto the
+        // chain (jacobi -> dense direct) must still produce the exact
+        // answer, with the fallbacks recorded.
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let starved = CheckOptions {
+            solver: crate::LinearSolver::Auto,
+            direct_solver_limit: 0, // force the iterative path
+            max_iterations: 2,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let (p, diag) =
+            until_probabilities_diag(&d, &phi, &target, &starved, &Budget::unlimited()).unwrap();
+        let exact = until_probabilities(
+            &d,
+            &phi,
+            &target,
+            &CheckOptions { solver: crate::LinearSolver::Direct, ..Default::default() },
+        )
+        .unwrap();
+        for (a, b) in p.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(diag.fallbacks.len(), 2, "both fallback stages fire: {:?}", diag.fallbacks);
+        assert!(diag.fallbacks[0].contains("jacobi"));
+        assert!(diag.fallbacks[1].contains("direct"));
+        assert!(diag.degraded());
+        assert!(diag.exhausted.is_none(), "no budget was exhausted");
+    }
+
+    #[test]
+    fn explicit_gauss_seidel_keeps_strict_error() {
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let starved = CheckOptions {
+            solver: crate::LinearSolver::GaussSeidel,
+            max_iterations: 2,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let err = until_probabilities(&d, &phi, &target, &starved).unwrap_err();
+        match err {
+            CheckError::Numerics(NumericsError::NoConvergence { residual, .. }) => {
+                assert!(!residual.is_nan(), "real residual must be reported");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_best_effort() {
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let opts = CheckOptions {
+            solver: crate::LinearSolver::GaussSeidel,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let budget = Budget::unlimited().with_max_evaluations(1);
+        let (p, diag) = until_probabilities_diag(&d, &phi, &target, &opts, &budget).unwrap();
+        assert_eq!(diag.exhausted, Some(tml_numerics::Exhaustion::Evaluations));
+        assert!(diag.evaluations <= 1);
+        assert!(diag.degraded());
+        // Probabilities remain well-formed even when degraded.
+        for v in &p {
+            assert!((0.0..=1.0).contains(v));
+        }
     }
 
     #[test]
@@ -626,12 +883,12 @@ pub fn transient_distribution(model: &Dtmc, k: u64) -> Vec<f64> {
     dist[model.initial_state()] = 1.0;
     for _ in 0..k {
         let mut next = vec![0.0; n];
-        for s in 0..n {
-            if dist[s] == 0.0 {
+        for (s, &d) in dist.iter().enumerate() {
+            if d == 0.0 {
                 continue;
             }
             for (t, p) in model.successors(s) {
-                next[t] += dist[s] * p;
+                next[t] += d * p;
             }
         }
         dist = next;
@@ -650,24 +907,22 @@ pub fn transient_distribution(model: &Dtmc, k: u64) -> Vec<f64> {
 pub fn steady_state(model: &Dtmc, opts: &CheckOptions) -> Result<Vec<f64>, CheckError> {
     let n = model.num_states();
     let mut dist = vec![1.0 / n as f64; n];
+    let mut last_delta = f64::INFINITY;
     for _ in 0..opts.max_iterations {
         let mut next = vec![0.0; n];
-        for s in 0..n {
+        for (s, &d) in dist.iter().enumerate() {
             for (t, p) in model.successors(s) {
-                next[t] += dist[s] * p;
+                next[t] += d * p;
             }
         }
-        let delta = dist.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        last_delta = dist.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         dist = next;
-        if delta <= opts.tolerance {
+        if last_delta <= opts.tolerance {
             return Ok(dist);
         }
     }
-    Err(tml_numerics::NumericsError::NoConvergence {
-        iterations: opts.max_iterations,
-        residual: f64::NAN,
-    }
-    .into())
+    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: last_delta }
+        .into())
 }
 
 #[cfg(test)]
@@ -699,8 +954,9 @@ mod distribution_tests {
         assert!((pi[0] - 2.0 / 3.0).abs() < 1e-8, "pi = {pi:?}");
         assert!((pi[1] - 1.0 / 3.0).abs() < 1e-8);
         // It is a fixed point of the transition operator.
-        let stepped: f64 = d.successors(0).map(|(t, p)| if t == 0 { p * pi[0] } else { 0.0 }).sum::<f64>()
-            + d.successors(1).map(|(t, p)| if t == 0 { p * pi[1] } else { 0.0 }).sum::<f64>();
+        let stepped: f64 =
+            d.successors(0).map(|(t, p)| if t == 0 { p * pi[0] } else { 0.0 }).sum::<f64>()
+                + d.successors(1).map(|(t, p)| if t == 0 { p * pi[1] } else { 0.0 }).sum::<f64>();
         assert!((stepped - pi[0]).abs() < 1e-8);
     }
 
@@ -795,7 +1051,11 @@ pub fn most_probable_path(model: &Dtmc, from: usize, target: &[bool]) -> Option<
 /// # Errors
 ///
 /// Returns a [`CheckError`] if the linear solver fails.
-pub fn expected_visits(model: &Dtmc, target: &[bool], _opts: &CheckOptions) -> Result<Vec<f64>, CheckError> {
+pub fn expected_visits(
+    model: &Dtmc,
+    target: &[bool],
+    _opts: &CheckOptions,
+) -> Result<Vec<f64>, CheckError> {
     let n = model.num_states();
     assert_eq!(target.len(), n, "target mask length");
     let phi = vec![true; n];
@@ -915,7 +1175,8 @@ mod witness_tests {
         let opts = CheckOptions::default();
         let target = d.labeling().mask("goal");
         let visits = expected_visits(&d, &target, &opts).unwrap();
-        let reward = reach_rewards(&d, d.reward_structure("steps").unwrap(), &target, &opts).unwrap();
+        let reward =
+            reach_rewards(&d, d.reward_structure("steps").unwrap(), &target, &opts).unwrap();
         let via_visits: f64 = visits.iter().take(3).sum();
         assert!(
             (via_visits - reward[0]).abs() < 1e-9,

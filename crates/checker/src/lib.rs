@@ -45,37 +45,58 @@ mod error;
 pub mod mdp;
 mod options;
 mod result;
+mod run;
 
 pub use error::CheckError;
 pub use options::{CheckOptions, LinearSolver};
 pub use result::CheckResult;
+// Budgets and diagnostics are part of the checking API surface.
+pub use tml_numerics::{Budget, CancelToken, Diagnostics, Exhaustion};
 
+use run::CheckRun;
 use tml_logic::{Opt, Query, StateFormula};
 use tml_models::{Dtmc, Mdp};
 
 /// The model-checking façade: construct once (optionally with custom
-/// [`CheckOptions`]) and call the `check_*` / `query_*` methods.
+/// [`CheckOptions`] and a [`Budget`]) and call the `check_*` / `query_*`
+/// methods.
 ///
-/// The checker is stateless between calls and cheap to clone.
+/// The checker is stateless between calls and cheap to clone. When a budget
+/// is attached, every call polls it and returns best-effort results with
+/// [`CheckResult::diagnostics`] describing what was spent instead of
+/// hanging or erroring on exhaustion.
 #[derive(Debug, Clone, Default)]
 pub struct Checker {
     opts: CheckOptions,
+    budget: Budget,
 }
 
 impl Checker {
-    /// A checker with default numeric options.
+    /// A checker with default numeric options and no budget.
     pub fn new() -> Self {
-        Checker { opts: CheckOptions::default() }
+        Checker::default()
     }
 
     /// A checker with explicit numeric options.
     pub fn with_options(opts: CheckOptions) -> Self {
-        Checker { opts }
+        Checker { opts, budget: Budget::unlimited() }
+    }
+
+    /// Attaches an effort budget shared by every subsequent call.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The numeric options in effect.
     pub fn options(&self) -> &CheckOptions {
         &self.opts
+    }
+
+    /// The budget in effect (unlimited by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Checks a PCTL state formula on a DTMC, returning the satisfying
@@ -85,8 +106,14 @@ impl Checker {
     ///
     /// Returns a [`CheckError`] for unknown reward structures or numeric
     /// failures.
-    pub fn check_dtmc(&self, model: &Dtmc, formula: &StateFormula) -> Result<CheckResult, CheckError> {
-        dtmc::check(model, formula, &self.opts)
+    pub fn check_dtmc(
+        &self,
+        model: &Dtmc,
+        formula: &StateFormula,
+    ) -> Result<CheckResult, CheckError> {
+        let run = CheckRun::new(&self.opts, &self.budget);
+        let result = dtmc::check_run(model, formula, &run)?;
+        Ok(result.with_diagnostics(run.finish()))
     }
 
     /// Checks a PCTL state formula on an MDP.
@@ -100,8 +127,14 @@ impl Checker {
     ///
     /// Returns a [`CheckError`] for unknown reward structures or numeric
     /// failures.
-    pub fn check_mdp(&self, model: &Mdp, formula: &StateFormula) -> Result<CheckResult, CheckError> {
-        mdp::check(model, formula, &self.opts)
+    pub fn check_mdp(
+        &self,
+        model: &Mdp,
+        formula: &StateFormula,
+    ) -> Result<CheckResult, CheckError> {
+        let run = CheckRun::new(&self.opts, &self.budget);
+        let result = mdp::check_run(model, formula, &run)?;
+        Ok(result.with_diagnostics(run.finish()))
     }
 
     /// Evaluates a numeric query (`P=?`, `R=?`, …) on a DTMC, returning one
@@ -113,7 +146,24 @@ impl Checker {
     /// Returns a [`CheckError`] for unknown reward structures or numeric
     /// failures.
     pub fn query_dtmc(&self, model: &Dtmc, query: &Query) -> Result<Vec<f64>, CheckError> {
-        dtmc::query(model, query, &self.opts)
+        Ok(self.query_dtmc_diag(model, query)?.0)
+    }
+
+    /// Like [`query_dtmc`](Self::query_dtmc), also reporting the
+    /// [`Diagnostics`] of the solve (budget spend, fallbacks, residuals).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`query_dtmc`](Self::query_dtmc); budget
+    /// exhaustion is reported in the diagnostics, never as an error.
+    pub fn query_dtmc_diag(
+        &self,
+        model: &Dtmc,
+        query: &Query,
+    ) -> Result<(Vec<f64>, Diagnostics), CheckError> {
+        let run = CheckRun::new(&self.opts, &self.budget);
+        let values = dtmc::query_run(model, query, &run)?;
+        Ok((values, run.finish()))
     }
 
     /// Evaluates a numeric query on an MDP, returning one value per state.
@@ -124,7 +174,24 @@ impl Checker {
     /// `min` or `max` (an MDP query is ambiguous without it), plus the usual
     /// conditions.
     pub fn query_mdp(&self, model: &Mdp, query: &Query) -> Result<Vec<f64>, CheckError> {
-        mdp::query(model, query, &self.opts)
+        Ok(self.query_mdp_diag(model, query)?.0)
+    }
+
+    /// Like [`query_mdp`](Self::query_mdp), also reporting the
+    /// [`Diagnostics`] of the solve.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`query_mdp`](Self::query_mdp); budget exhaustion
+    /// is reported in the diagnostics, never as an error.
+    pub fn query_mdp_diag(
+        &self,
+        model: &Mdp,
+        query: &Query,
+    ) -> Result<(Vec<f64>, Diagnostics), CheckError> {
+        let run = CheckRun::new(&self.opts, &self.budget);
+        let values = mdp::query_run(model, query, &run)?;
+        Ok((values, run.finish()))
     }
 
     /// Convenience: the value of `query` in the model's initial state.

@@ -15,8 +15,9 @@
 
 use tml_logic::{Opt, PathFormula, Query, RewardKind, StateFormula};
 use tml_models::{graph, Mdp, RewardStructure};
-use tml_numerics::NumericsError;
+use tml_numerics::{Budget, Diagnostics, NumericsError};
 
+use crate::run::CheckRun;
 use crate::{resolve_opt, CheckError, CheckOptions, CheckResult};
 
 /// Checks a state formula on an MDP.
@@ -25,21 +26,36 @@ use crate::{resolve_opt, CheckError, CheckOptions, CheckResult};
 ///
 /// Returns a [`CheckError`] for unknown reward structures or numeric
 /// failures.
-pub fn check(model: &Mdp, formula: &StateFormula, opts: &CheckOptions) -> Result<CheckResult, CheckError> {
+pub fn check(
+    model: &Mdp,
+    formula: &StateFormula,
+    opts: &CheckOptions,
+) -> Result<CheckResult, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    let result = check_run(model, formula, &run)?;
+    Ok(result.with_diagnostics(run.finish()))
+}
+
+pub(crate) fn check_run(
+    model: &Mdp,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<CheckResult, CheckError> {
     let values = match formula {
         StateFormula::Prob { opt, op, path, .. } => {
-            Some(path_probabilities(model, path, resolve_opt(*opt, *op, false), opts)?)
+            Some(path_probabilities_run(model, path, resolve_opt(*opt, *op, false), run)?)
         }
         StateFormula::Reward { structure, opt, op, kind, .. } => Some(reward_values(
             model,
             structure.as_deref(),
             kind,
             resolve_opt(*opt, *op, true),
-            opts,
+            run,
         )?),
         _ => None,
     };
-    let sat = evaluate(model, formula, opts)?;
+    let sat = evaluate_run(model, formula, run)?;
     Ok(CheckResult::new(sat, values, model.initial_state()))
 }
 
@@ -49,29 +65,49 @@ pub fn check(model: &Mdp, formula: &StateFormula, opts: &CheckOptions) -> Result
 ///
 /// Returns a [`CheckError`] for unknown reward structures or numeric
 /// failures.
-pub fn evaluate(model: &Mdp, formula: &StateFormula, opts: &CheckOptions) -> Result<Vec<bool>, CheckError> {
+pub fn evaluate(
+    model: &Mdp,
+    formula: &StateFormula,
+    opts: &CheckOptions,
+) -> Result<Vec<bool>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    evaluate_run(model, formula, &run)
+}
+
+pub(crate) fn evaluate_run(
+    model: &Mdp,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<Vec<bool>, CheckError> {
     let n = model.num_states();
+    let opts = run.opts;
     Ok(match formula {
         StateFormula::True => vec![true; n],
         StateFormula::False => vec![false; n],
         StateFormula::Atom(a) => model.labeling().mask(a),
-        StateFormula::Not(f) => evaluate(model, f, opts)?.iter().map(|b| !b).collect(),
+        StateFormula::Not(f) => evaluate_run(model, f, run)?.iter().map(|b| !b).collect(),
         StateFormula::And(a, b) => {
-            zip(evaluate(model, a, opts)?, evaluate(model, b, opts)?, |x, y| x && y)
+            zip(evaluate_run(model, a, run)?, evaluate_run(model, b, run)?, |x, y| x && y)
         }
         StateFormula::Or(a, b) => {
-            zip(evaluate(model, a, opts)?, evaluate(model, b, opts)?, |x, y| x || y)
+            zip(evaluate_run(model, a, run)?, evaluate_run(model, b, run)?, |x, y| x || y)
         }
         StateFormula::Implies(a, b) => {
-            zip(evaluate(model, a, opts)?, evaluate(model, b, opts)?, |x, y| !x || y)
+            zip(evaluate_run(model, a, run)?, evaluate_run(model, b, run)?, |x, y| !x || y)
         }
         StateFormula::Prob { opt, op, bound, path } => {
-            let probs = path_probabilities(model, path, resolve_opt(*opt, *op, false), opts)?;
+            let probs = path_probabilities_run(model, path, resolve_opt(*opt, *op, false), run)?;
             probs.iter().map(|&p| opts.test_bound(*op, p, *bound)).collect()
         }
         StateFormula::Reward { structure, opt, op, bound, kind } => {
-            let values =
-                reward_values(model, structure.as_deref(), kind, resolve_opt(*opt, *op, true), opts)?;
+            let values = reward_values(
+                model,
+                structure.as_deref(),
+                kind,
+                resolve_opt(*opt, *op, true),
+                run,
+            )?;
             values.iter().map(|&v| opts.test_bound(*op, v, *bound)).collect()
         }
     })
@@ -84,14 +120,24 @@ pub fn evaluate(model: &Mdp, formula: &StateFormula, opts: &CheckOptions) -> Res
 /// Returns [`CheckError::MissingOpt`] if the quantification is absent, plus
 /// the usual conditions.
 pub fn query(model: &Mdp, q: &Query, opts: &CheckOptions) -> Result<Vec<f64>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    query_run(model, q, &run)
+}
+
+pub(crate) fn query_run(
+    model: &Mdp,
+    q: &Query,
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
     match q {
         Query::Prob { opt, path } => {
             let opt = opt.ok_or_else(|| CheckError::MissingOpt { query: q.to_string() })?;
-            path_probabilities(model, path, opt, opts)
+            path_probabilities_run(model, path, opt, run)
         }
         Query::Reward { structure, opt, kind } => {
             let opt = opt.ok_or_else(|| CheckError::MissingOpt { query: q.to_string() })?;
-            reward_values(model, structure.as_deref(), kind, opt, opts)
+            reward_values(model, structure.as_deref(), kind, opt, run)
         }
     }
 }
@@ -101,7 +147,7 @@ fn reward_values(
     structure: Option<&str>,
     kind: &RewardKind,
     opt: Opt,
-    opts: &CheckOptions,
+    run: &CheckRun<'_>,
 ) -> Result<Vec<f64>, CheckError> {
     let rewards = match structure {
         Some(name) => model.reward_structure(name)?,
@@ -114,8 +160,8 @@ fn reward_values(
     };
     match kind {
         RewardKind::Reach(target) => {
-            let target_mask = evaluate(model, target, opts)?;
-            reach_rewards(model, rewards, &target_mask, opt, opts)
+            let target_mask = evaluate_run(model, target, run)?;
+            reach_rewards_run(model, rewards, &target_mask, opt, run)
         }
         RewardKind::Cumulative(k) => Ok(cumulative_rewards(model, rewards, *k, opt)),
     }
@@ -132,31 +178,42 @@ pub fn path_probabilities(
     opt: Opt,
     opts: &CheckOptions,
 ) -> Result<Vec<f64>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    path_probabilities_run(model, path, opt, &run)
+}
+
+pub(crate) fn path_probabilities_run(
+    model: &Mdp,
+    path: &PathFormula,
+    opt: Opt,
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
     let n = model.num_states();
     match path {
         PathFormula::Next(f) => {
-            let target = evaluate(model, f, opts)?;
+            let target = evaluate_run(model, f, run)?;
             Ok(next_probabilities(model, &target, opt))
         }
         PathFormula::Until { lhs, rhs, bound } => {
-            let phi = evaluate(model, lhs, opts)?;
-            let target = evaluate(model, rhs, opts)?;
+            let phi = evaluate_run(model, lhs, run)?;
+            let target = evaluate_run(model, rhs, run)?;
             match bound {
                 Some(k) => Ok(bounded_until_probabilities(model, &phi, &target, *k, opt)),
-                None => until_probabilities(model, &phi, &target, opt, opts),
+                None => until_probabilities_run(model, &phi, &target, opt, run),
             }
         }
         PathFormula::Eventually { sub, bound } => {
-            let target = evaluate(model, sub, opts)?;
+            let target = evaluate_run(model, sub, run)?;
             let phi = vec![true; n];
             match bound {
                 Some(k) => Ok(bounded_until_probabilities(model, &phi, &target, *k, opt)),
-                None => until_probabilities(model, &phi, &target, opt, opts),
+                None => until_probabilities_run(model, &phi, &target, opt, run),
             }
         }
         PathFormula::Globally { sub, bound } => {
             // Optimal G-probabilities dualize: max P(G φ) = 1 − min P(F ¬φ).
-            let inv: Vec<bool> = evaluate(model, sub, opts)?.iter().map(|b| !b).collect();
+            let inv: Vec<bool> = evaluate_run(model, sub, run)?.iter().map(|b| !b).collect();
             let phi = vec![true; n];
             let dual = match opt {
                 Opt::Max => Opt::Min,
@@ -164,7 +221,7 @@ pub fn path_probabilities(
             };
             let f_not = match bound {
                 Some(k) => bounded_until_probabilities(model, &phi, &inv, *k, dual),
-                None => until_probabilities(model, &phi, &inv, dual, opts)?,
+                None => until_probabilities_run(model, &phi, &inv, dual, run)?,
             };
             Ok(f_not.iter().map(|p| 1.0 - p).collect())
         }
@@ -227,6 +284,38 @@ pub fn until_probabilities(
     opt: Opt,
     opts: &CheckOptions,
 ) -> Result<Vec<f64>, CheckError> {
+    Ok(until_probabilities_diag(model, phi, target, opt, opts, &Budget::unlimited())?.0)
+}
+
+/// Budget-aware [`until_probabilities`]: value iteration stops at the
+/// budget, returning the best iterate so far with [`Diagnostics`]
+/// describing the exhaustion and the residual accepted.
+///
+/// # Errors
+///
+/// Same conditions as [`until_probabilities`]; budget exhaustion is *not*
+/// an error.
+pub fn until_probabilities_diag(
+    model: &Mdp,
+    phi: &[bool],
+    target: &[bool],
+    opt: Opt,
+    opts: &CheckOptions,
+    budget: &Budget,
+) -> Result<(Vec<f64>, Diagnostics), CheckError> {
+    let run = CheckRun::new(opts, budget);
+    let x = until_probabilities_run(model, phi, target, opt, &run)?;
+    Ok((x, run.finish()))
+}
+
+pub(crate) fn until_probabilities_run(
+    model: &Mdp,
+    phi: &[bool],
+    target: &[bool],
+    opt: Opt,
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
+    let opts = run.opts;
     let n = model.num_states();
     let (zero, one) = match opt {
         Opt::Max => (graph::prob0a(model, phi, target), graph::prob1e(model, phi, target)),
@@ -237,7 +326,16 @@ pub fn until_probabilities(
     if maybe.is_empty() {
         return Ok(x);
     }
+    let mut last_delta = f64::INFINITY;
     for _ in 0..opts.max_iterations {
+        if let Some(cause) = run.exhausted() {
+            // Out of budget: the current iterate is a sound lower (Max) /
+            // upper-progress approximation — return it, marked degraded.
+            run.mark_exhausted(cause);
+            run.record_residual(last_delta);
+            return Ok(x);
+        }
+        run.spend(1);
         let mut delta: f64 = 0.0;
         for &s in &maybe {
             let per_choice = model
@@ -248,11 +346,13 @@ pub fn until_probabilities(
             delta = delta.max((v - x[s]).abs());
             x[s] = v;
         }
+        last_delta = delta;
         if delta <= opts.tolerance {
             return Ok(x);
         }
     }
-    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: f64::NAN }.into())
+    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: last_delta }
+        .into())
 }
 
 /// Optimal expected reward until reaching `target` (`R[F target]`).
@@ -272,20 +372,39 @@ pub fn reach_rewards(
     opt: Opt,
     opts: &CheckOptions,
 ) -> Result<Vec<f64>, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    reach_rewards_run(model, rewards, target, opt, &run)
+}
+
+pub(crate) fn reach_rewards_run(
+    model: &Mdp,
+    rewards: &RewardStructure,
+    target: &[bool],
+    opt: Opt,
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
+    let opts = run.opts;
     let n = model.num_states();
     let phi = vec![true; n];
     let finite = match opt {
         Opt::Max => graph::prob1a(model, &phi, target),
         Opt::Min => graph::prob1e(model, &phi, target),
     };
-    let mut x: Vec<f64> = (0..n)
-        .map(|s| if target[s] || finite[s] { 0.0 } else { f64::INFINITY })
-        .collect();
+    let mut x: Vec<f64> =
+        (0..n).map(|s| if target[s] || finite[s] { 0.0 } else { f64::INFINITY }).collect();
     let maybe: Vec<usize> = (0..n).filter(|&s| finite[s] && !target[s]).collect();
     if maybe.is_empty() {
         return Ok(x);
     }
+    let mut last_delta = f64::INFINITY;
     for _ in 0..opts.max_iterations {
+        if let Some(cause) = run.exhausted() {
+            run.mark_exhausted(cause);
+            run.record_residual(last_delta);
+            return Ok(x);
+        }
+        run.spend(1);
         let mut delta: f64 = 0.0;
         for &s in &maybe {
             let per_choice = model.choices(s).iter().enumerate().map(|(ci, c)| {
@@ -301,11 +420,13 @@ pub fn reach_rewards(
             delta = delta.max(d);
             x[s] = v;
         }
+        last_delta = delta;
         if delta <= opts.tolerance {
             return Ok(x);
         }
     }
-    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: f64::NAN }.into())
+    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: last_delta }
+        .into())
 }
 
 /// Optimal expected reward over the first `k` steps (`R[C<=k]`).
@@ -314,12 +435,12 @@ pub fn cumulative_rewards(model: &Mdp, rewards: &RewardStructure, k: u64, opt: O
     let mut x = vec![0.0; n];
     for _ in 0..k {
         let mut next = vec![0.0; n];
-        for s in 0..n {
+        for (s, nx) in next.iter_mut().enumerate() {
             let per_choice = model.choices(s).iter().enumerate().map(|(ci, c)| {
                 rewards.step_reward(s, ci)
                     + c.transitions.iter().map(|&(t, p)| p * x[t]).sum::<f64>()
             });
-            next[s] = opt_fold(per_choice, opt);
+            *nx = opt_fold(per_choice, opt);
         }
         x = next;
     }
@@ -508,6 +629,57 @@ mod tests {
         assert_eq!(pi[0], 0, "optimal policy takes the safe route");
     }
 
+    /// A genuinely quantitative maybe-state: state 0 spins on itself with
+    /// probability 0.9 and splits the rest between goal and trap, so value
+    /// iteration contracts slowly (rate 0.9) towards Pmax = 0.5.
+    fn slow() -> Mdp {
+        let mut b = MdpBuilder::new(3);
+        b.choice(0, "spin", &[(0, 0.9), (1, 0.05), (2, 0.05)]).unwrap();
+        b.choice(1, "stay", &[(1, 1.0)]).unwrap();
+        b.choice(2, "stay", &[(2, 1.0)]).unwrap();
+        b.label(1, "goal").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn value_iteration_budget_exhaustion_is_best_effort() {
+        let m = slow();
+        let phi = vec![true; 3];
+        let target = m.labeling().mask("goal");
+        let opts = CheckOptions { tolerance: 1e-12, ..Default::default() };
+        let budget = Budget::unlimited().with_max_evaluations(1);
+        let (p, diag) =
+            until_probabilities_diag(&m, &phi, &target, Opt::Max, &opts, &budget).unwrap();
+        assert_eq!(diag.exhausted, Some(tml_numerics::Exhaustion::Evaluations));
+        assert!(diag.degraded());
+        for v in &p {
+            assert!((0.0..=1.0).contains(v), "degraded VI stays well-formed: {v}");
+        }
+        // Unlimited budget on the same options converges fully.
+        let (full, diag2) =
+            until_probabilities_diag(&m, &phi, &target, Opt::Max, &opts, &Budget::unlimited())
+                .unwrap();
+        assert!(diag2.exhausted.is_none());
+        assert!((full[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_iteration_exhaustion_reports_real_residual() {
+        let m = slow();
+        let phi = vec![true; 3];
+        let target = m.labeling().mask("goal");
+        // One sweep is not enough at this tolerance: iteration exhaustion
+        // must carry the genuine last residual, not NaN.
+        let opts = CheckOptions { tolerance: 1e-15, max_iterations: 1, ..Default::default() };
+        match until_probabilities(&m, &phi, &target, Opt::Max, &opts) {
+            Err(CheckError::Numerics(NumericsError::NoConvergence { residual, .. })) => {
+                assert!(!residual.is_nan(), "residual must be the last delta, got NaN");
+                assert!(residual.is_finite());
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
     #[test]
     fn induced_dtmc_matches_mdp_under_policy() {
         let m = routes();
@@ -515,8 +687,7 @@ mod tests {
         let chain = m.induce(&[0, 0, 0, 0]).unwrap();
         let phi = vec![true; 4];
         let target = m.labeling().mask("goal");
-        let via_dtmc =
-            crate::dtmc::until_probabilities(&chain, &phi, &target, &opts).unwrap();
+        let via_dtmc = crate::dtmc::until_probabilities(&chain, &phi, &target, &opts).unwrap();
         let pmax = until_probabilities(&m, &phi, &target, Opt::Max, &opts).unwrap();
         // The safe policy is optimal, so the induced chain attains Pmax.
         for (a, b) in via_dtmc.iter().zip(&pmax) {

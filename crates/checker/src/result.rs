@@ -1,3 +1,5 @@
+use tml_numerics::Diagnostics;
+
 /// Outcome of checking a PCTL state formula: the set of states satisfying
 /// it, plus — when the top-level operator was `P` or `R` — the underlying
 /// numeric values for diagnostics.
@@ -6,11 +8,17 @@ pub struct CheckResult {
     sat: Vec<bool>,
     values: Option<Vec<f64>>,
     initial: usize,
+    diagnostics: Diagnostics,
 }
 
 impl CheckResult {
     pub(crate) fn new(sat: Vec<bool>, values: Option<Vec<f64>>, initial: usize) -> Self {
-        CheckResult { sat, values, initial }
+        CheckResult { sat, values, initial, diagnostics: Diagnostics::new() }
+    }
+
+    pub(crate) fn with_diagnostics(mut self, diagnostics: Diagnostics) -> Self {
+        self.diagnostics = diagnostics;
+        self
     }
 
     /// Whether the formula holds in `state` (out-of-range states do not
@@ -49,6 +57,18 @@ impl CheckResult {
     /// The numeric value at the initial state, when available.
     pub fn value_at_initial(&self) -> Option<f64> {
         self.values.as_ref().map(|v| v[self.initial])
+    }
+
+    /// What the check spent and which degradation paths (solver fallbacks,
+    /// accepted residuals, budget exhaustion) it took.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
+    }
+
+    /// Whether this result is best-effort rather than fully converged —
+    /// shorthand for [`Diagnostics::degraded`].
+    pub fn degraded(&self) -> bool {
+        self.diagnostics.degraded()
     }
 }
 

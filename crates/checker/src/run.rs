@@ -1,0 +1,103 @@
+//! Per-invocation checking context: options + budget + diagnostics.
+//!
+//! A [`CheckRun`] is created at every public entry point and threaded
+//! through the recursive evaluation internals so that all numeric work in
+//! one check shares a single [`Budget`] and accumulates into a single
+//! [`Diagnostics`] record. The evaluation unit is *solver sweeps* (one
+//! Gauss–Seidel/Jacobi sweep or one value-iteration sweep each count 1).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use tml_numerics::{Budget, Diagnostics, Exhaustion};
+
+use crate::CheckOptions;
+
+/// Context for one checking invocation.
+pub(crate) struct CheckRun<'a> {
+    pub(crate) opts: &'a CheckOptions,
+    budget: &'a Budget,
+    diag: RefCell<Diagnostics>,
+    start: Instant,
+}
+
+impl<'a> CheckRun<'a> {
+    pub(crate) fn new(opts: &'a CheckOptions, budget: &'a Budget) -> Self {
+        CheckRun { opts, budget, diag: RefCell::new(Diagnostics::new()), start: Instant::now() }
+    }
+
+    /// Polls the shared budget against the sweeps spent so far.
+    pub(crate) fn exhausted(&self) -> Option<Exhaustion> {
+        self.budget.check(self.diag.borrow().evaluations)
+    }
+
+    /// Charges `sweeps` sweeps to the run.
+    pub(crate) fn spend(&self, sweeps: u64) {
+        self.diag.borrow_mut().evaluations += sweeps;
+    }
+
+    /// The budget with its evaluation cap reduced by what this run has
+    /// already spent — handed to the numerics-layer budgeted solvers, whose
+    /// iteration counts start from zero.
+    pub(crate) fn remaining_budget(&self) -> Budget {
+        let mut b = self.budget.clone();
+        if let Some(cap) = self.budget.max_evaluations() {
+            b = b.with_max_evaluations(cap.saturating_sub(self.diag.borrow().evaluations));
+        }
+        b
+    }
+
+    pub(crate) fn record_fallback(&self, event: impl Into<String>) {
+        self.diag.borrow_mut().record_fallback(event);
+    }
+
+    pub(crate) fn record_residual(&self, residual: f64) {
+        self.diag.borrow_mut().record_residual(residual);
+    }
+
+    pub(crate) fn mark_exhausted(&self, cause: Exhaustion) {
+        self.diag.borrow_mut().mark_exhausted(cause);
+    }
+
+    /// Finalizes the run, stamping the elapsed wall-clock time.
+    pub(crate) fn finish(self) -> Diagnostics {
+        let mut diag = self.diag.into_inner();
+        diag.elapsed = self.start.elapsed();
+        diag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_counts_against_the_cap() {
+        let opts = CheckOptions::default();
+        let budget = Budget::unlimited().with_max_evaluations(10);
+        let run = CheckRun::new(&opts, &budget);
+        assert!(run.exhausted().is_none());
+        run.spend(4);
+        assert_eq!(run.remaining_budget().max_evaluations(), Some(6));
+        run.spend(6);
+        assert_eq!(run.exhausted(), Some(Exhaustion::Evaluations));
+        assert_eq!(run.remaining_budget().max_evaluations(), Some(0));
+        let diag = run.finish();
+        assert_eq!(diag.evaluations, 10);
+    }
+
+    #[test]
+    fn finish_stamps_elapsed_and_events() {
+        let opts = CheckOptions::default();
+        let budget = Budget::unlimited();
+        let run = CheckRun::new(&opts, &budget);
+        run.record_fallback("gauss-seidel -> jacobi");
+        run.record_residual(1e-4);
+        run.mark_exhausted(Exhaustion::Deadline);
+        let diag = run.finish();
+        assert_eq!(diag.fallbacks, vec!["gauss-seidel -> jacobi".to_string()]);
+        assert_eq!(diag.worst_residual, 1e-4);
+        assert_eq!(diag.exhausted, Some(Exhaustion::Deadline));
+        assert!(diag.degraded());
+    }
+}

@@ -11,10 +11,11 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tml_checker::Checker;
+use tml_checker::{Budget, Checker, Diagnostics};
 use tml_logic::{parse_formula, parse_query};
 use tml_models::dsl::{parse_model, ModelFile};
 use tml_models::StochasticPolicy;
@@ -38,7 +39,12 @@ const USAGE: &str = "usage:
   tml query    MODEL QUERY      evaluate a numeric query (P=?, Rmax=?, ...)
   tml simulate MODEL [STEPS] [SEED]
                                 sample one trajectory (MDPs use the uniform policy)
-  tml witness  MODEL LABEL      most probable path to a LABEL state (DTMCs)";
+  tml witness  MODEL LABEL      most probable path to a LABEL state (DTMCs)
+
+options (check/query):
+  --deadline-ms MS   wall-clock budget; past it, a best-effort result is
+                     returned and marked degraded instead of running on
+  --max-evals N      cap on solver sweeps/iterations, same best-effort rule";
 
 struct UsageError(String);
 
@@ -48,19 +54,70 @@ impl From<String> for UsageError {
     }
 }
 
-fn run(args: &[String]) -> Result<(), UsageError> {
+fn run(raw: &[String]) -> Result<(), UsageError> {
+    let (args, budget) = parse_budget_flags(raw)?;
     let cmd = args.first().ok_or_else(|| UsageError("missing command".into()))?;
     match cmd.as_str() {
-        "info" => info(arg(args, 1, "MODEL")?),
-        "check" => check(arg(args, 1, "MODEL")?, arg(args, 2, "PROPERTY")?),
-        "query" => query(arg(args, 1, "MODEL")?, arg(args, 2, "QUERY")?),
+        "info" => info(arg(&args, 1, "MODEL")?),
+        "check" => check(arg(&args, 1, "MODEL")?, arg(&args, 2, "PROPERTY")?, budget),
+        "query" => query(arg(&args, 1, "MODEL")?, arg(&args, 2, "QUERY")?, budget),
         "simulate" => simulate(
-            arg(args, 1, "MODEL")?,
+            arg(&args, 1, "MODEL")?,
             args.get(2).map(String::as_str),
             args.get(3).map(String::as_str),
         ),
-        "witness" => witness(arg(args, 1, "MODEL")?, arg(args, 2, "LABEL")?),
+        "witness" => witness(arg(&args, 1, "MODEL")?, arg(&args, 2, "LABEL")?),
         other => Err(UsageError(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Strips `--deadline-ms MS` and `--max-evals N` (accepted anywhere on the
+/// command line) and folds them into a [`Budget`].
+fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), UsageError> {
+    let mut args = Vec::with_capacity(raw.len());
+    let mut budget = Budget::unlimited();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or_else(|| UsageError("--deadline-ms needs a value".into()))?
+                    .parse()
+                    .map_err(|_| UsageError("--deadline-ms must be an integer".into()))?;
+                budget = budget.with_deadline(Duration::from_millis(ms));
+            }
+            "--max-evals" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or_else(|| UsageError("--max-evals needs a value".into()))?
+                    .parse()
+                    .map_err(|_| UsageError("--max-evals must be an integer".into()))?;
+                budget = budget.with_max_evaluations(n);
+            }
+            other if other.starts_with("--") => {
+                return Err(UsageError(format!("unknown option {other:?}")));
+            }
+            _ => args.push(a.clone()),
+        }
+    }
+    Ok((args, budget))
+}
+
+/// Prints how a budgeted run degraded, if it did.
+fn report_degradation(diag: &Diagnostics) {
+    if !diag.degraded() {
+        return;
+    }
+    println!("degraded: result is best-effort, not exact");
+    for event in &diag.fallbacks {
+        println!("  fallback: {event}");
+    }
+    if diag.worst_residual > 0.0 {
+        println!("  worst accepted residual: {:.3e}", diag.worst_residual);
+    }
+    if let Some(cause) = diag.exhausted {
+        println!("  stopped early: {cause}");
     }
 }
 
@@ -100,10 +157,10 @@ fn info(path: &str) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn check(path: &str, property: &str) -> Result<(), UsageError> {
+fn check(path: &str, property: &str, budget: Budget) -> Result<(), UsageError> {
     let model = load(path)?;
     let phi = parse_formula(property).map_err(|e| UsageError(e.to_string()))?;
-    let checker = Checker::new();
+    let checker = Checker::new().with_budget(budget);
     let result = match &model {
         ModelFile::Dtmc(m) => checker.check_dtmc(m, &phi),
         ModelFile::Mdp(m) => checker.check_mdp(m, &phi),
@@ -115,6 +172,7 @@ fn check(path: &str, property: &str) -> Result<(), UsageError> {
     if let Some(v) = result.value_at_initial() {
         println!("value at initial state: {v}");
     }
+    report_degradation(result.diagnostics());
     if result.holds() {
         Ok(())
     } else {
@@ -123,13 +181,13 @@ fn check(path: &str, property: &str) -> Result<(), UsageError> {
     }
 }
 
-fn query(path: &str, q: &str) -> Result<(), UsageError> {
+fn query(path: &str, q: &str, budget: Budget) -> Result<(), UsageError> {
     let model = load(path)?;
     let parsed = parse_query(q).map_err(|e| UsageError(e.to_string()))?;
-    let checker = Checker::new();
-    let values = match &model {
-        ModelFile::Dtmc(m) => checker.query_dtmc(m, &parsed),
-        ModelFile::Mdp(m) => checker.query_mdp(m, &parsed),
+    let checker = Checker::new().with_budget(budget);
+    let (values, diag) = match &model {
+        ModelFile::Dtmc(m) => checker.query_dtmc_diag(m, &parsed),
+        ModelFile::Mdp(m) => checker.query_mdp_diag(m, &parsed),
     }
     .map_err(|e| UsageError(e.to_string()))?;
     println!("query: {parsed}");
@@ -141,6 +199,7 @@ fn query(path: &str, q: &str) -> Result<(), UsageError> {
         ModelFile::Mdp(m) => m.initial_state(),
     };
     println!("value at initial state {initial}: {}", values[initial]);
+    report_degradation(&diag);
     Ok(())
 }
 
@@ -164,8 +223,7 @@ fn simulate(path: &str, steps: Option<&str>, seed: Option<&str>) -> Result<(), U
             let uniform = StochasticPolicy::uniform(m);
             let path = m.sample_path(&mut rng, steps, |r, s| uniform.sample(r, s), |_| false);
             println!("states:  {:?}", path.states);
-            let actions: Vec<&str> =
-                path.actions.iter().map(|&a| m.action_name(a)).collect();
+            let actions: Vec<&str> = path.actions.iter().map(|&a| m.action_name(a)).collect();
             println!("actions: {actions:?}");
         }
     }
@@ -244,6 +302,25 @@ mod tests {
         let pm = mdp.to_str().unwrap();
         assert!(run(&s(&["witness", pm, "done"])).is_err());
         let _ = std::fs::remove_file(mdp);
+    }
+
+    #[test]
+    fn budget_flags_are_accepted_and_stripped() {
+        let chain = write_temp("chain-budget", CHAIN);
+        let p = chain.to_str().unwrap();
+        // Generous budgets change nothing about the verdict.
+        assert!(run(&s(&["check", p, "P>=0.5 [ F \"done\" ]", "--deadline-ms", "10000"])).is_ok());
+        assert!(run(&s(&["--max-evals", "100000", "query", p, "P=? [ F \"done\" ]"])).is_ok());
+        // A zero evaluation budget still returns (best-effort), no hang.
+        assert!(run(&s(&["query", p, "P=? [ F \"done\" ]", "--max-evals", "0"])).is_ok());
+        let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
+    fn budget_flag_errors() {
+        assert!(run(&s(&["check", "--deadline-ms"])).is_err());
+        assert!(run(&s(&["check", "--deadline-ms", "soon"])).is_err());
+        assert!(run(&s(&["check", "--max-evals", "-3"])).is_err());
     }
 
     #[test]

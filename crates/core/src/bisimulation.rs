@@ -143,8 +143,7 @@ mod tests {
         let v_star = out.parameters[0].1.abs();
         assert!((eps - v_star).abs() < 1e-9, "eps {eps} vs |v| {v_star}");
 
-        let dev =
-            reachability_deviation(&base, &repaired, "ok", &CheckOptions::default()).unwrap();
+        let dev = reachability_deviation(&base, &repaired, "ok", &CheckOptions::default()).unwrap();
         // This chain decides in one step, so the deviation equals ε exactly.
         assert!((dev - eps).abs() < 1e-9, "deviation {dev} vs eps {eps}");
     }

@@ -136,11 +136,7 @@ pub fn compile_constraint(
                     unsupported("reward operator must name a reward structure for symbolic repair")
                 })?;
                 let values = pdtmc.expected_reward(name, &mask)?;
-                Ok(SymbolicConstraint {
-                    function: values[init].clone(),
-                    op: *op,
-                    bound: *bound,
-                })
+                Ok(SymbolicConstraint { function: values[init].clone(), op: *op, bound: *bound })
             }
             RewardKind::Cumulative(_) => Err(unsupported("cumulative rewards are not symbolic")),
         },

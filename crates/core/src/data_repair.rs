@@ -18,11 +18,12 @@
 use tml_checker::Checker;
 use tml_logic::StateFormula;
 use tml_models::{learn, Dtmc, DtmcBuilder, MlOptions, TraceDataset};
+use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{Nlp, PenaltySolver};
 use tml_parametric::{ParametricDtmc, Polynomial, RationalFunction};
 
 use crate::constraint::compile_constraint;
-use crate::model_repair::RepairStatus;
+use crate::model_repair::{absorb_solution, infeasible_status, repaired_status, RepairStatus};
 use crate::{RepairError, RepairOptions};
 
 /// Static decoration applied to learned models: labels, rewards and the
@@ -92,6 +93,9 @@ pub struct DataRepairOutcome {
     pub verified: bool,
     /// Optimizer evaluations spent.
     pub evaluations: usize,
+    /// What the repair spent and which degradation paths (solver
+    /// fallbacks, accepted residuals, budget exhaustion) were taken.
+    pub diagnostics: Diagnostics,
 }
 
 /// The Data Repair algorithm.
@@ -106,11 +110,17 @@ pub struct DataRepair {
     /// box — e.g. pinning a class to `[1, 1]` marks it as known-reliable
     /// data that must be kept (the paper's "certain pᵢ values must be 1").
     class_bounds: Vec<(String, f64, f64)>,
+    budget: Budget,
 }
 
 impl Default for DataRepair {
     fn default() -> Self {
-        DataRepair { opts: RepairOptions::default(), min_keep: 1e-3, class_bounds: Vec::new() }
+        DataRepair {
+            opts: RepairOptions::default(),
+            min_keep: 1e-3,
+            class_bounds: Vec::new(),
+            budget: Budget::unlimited(),
+        }
     }
 }
 
@@ -123,6 +133,21 @@ impl DataRepair {
     /// A repairer with explicit options.
     pub fn with_options(opts: RepairOptions) -> Self {
         DataRepair { opts, ..Default::default() }
+    }
+
+    /// Bounds the whole repair — checker runs and optimizer included — by
+    /// an execution budget. When it runs out, the repair returns the best
+    /// point found so far with [`RepairStatus::BudgetExhausted`] instead of
+    /// erroring or hanging.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Sets the minimum keep-weight (default `1e-3`).
@@ -158,9 +183,12 @@ impl DataRepair {
         if dataset.num_traces() == 0 || dataset.num_classes() == 0 {
             return Err(RepairError::InvalidInput { detail: "empty dataset".into() });
         }
-        let checker = Checker::with_options(self.opts.check);
+        let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
+        let mut diag = Diagnostics::new();
         let base = self.learn(dataset, spec, None)?;
-        if checker.check_dtmc(&base, formula)?.holds() {
+        let initial = checker.check_dtmc(&base, formula)?;
+        diag.absorb(initial.diagnostics());
+        if initial.holds() {
             return Ok(DataRepairOutcome {
                 status: RepairStatus::AlreadySatisfied,
                 keep_weights: dataset.class_names().iter().map(|n| (n.clone(), 1.0)).collect(),
@@ -169,6 +197,7 @@ impl DataRepair {
                 model: Some(base),
                 verified: true,
                 evaluations: 0,
+                diagnostics: diag,
             });
         }
 
@@ -217,10 +246,12 @@ impl DataRepair {
                 let sp = spec.clone();
                 let phi = formula.clone();
                 let check_opts = self.opts.check;
+                let inner = self.budget.without_evaluation_cap();
                 let this = self.clone();
                 nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |w| {
                     match this.learn(&ds, &sp, Some(w)) {
                         Ok(m) => Checker::with_options(check_opts)
+                            .with_budget(inner.clone())
                             .check_dtmc(&m, &phi)
                             .ok()
                             .and_then(|r| r.value_at_initial())
@@ -233,38 +264,40 @@ impl DataRepair {
         }
 
         // Start from "keep everything".
-        let mut solver = PenaltySolver::with_options(self.opts.solver);
+        let mut solver =
+            PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
         solver.start_from(vec![1.0; g]);
         let sol = solver.solve(&nlp)?;
-        let keep_weights: Vec<(String, f64)> = dataset
-            .class_names()
-            .iter()
-            .cloned()
-            .zip(sol.x.iter().copied())
-            .collect();
+        absorb_solution(&mut diag, &sol);
+        let keep_weights: Vec<(String, f64)> =
+            dataset.class_names().iter().cloned().zip(sol.x.iter().copied()).collect();
         let effort: f64 = sol.x.iter().zip(&masses).map(|(&w, &m)| m * (1.0 - w).powi(2)).sum();
         let dropped: f64 = sol.x.iter().zip(&masses).map(|(&w, &m)| m * (1.0 - w)).sum();
         if !sol.feasible {
             return Ok(DataRepairOutcome {
-                status: RepairStatus::Infeasible,
+                status: infeasible_status(&sol),
                 keep_weights,
                 effort,
                 dropped_mass: dropped,
                 model: None,
                 verified: false,
                 evaluations: sol.evaluations,
+                diagnostics: diag,
             });
         }
         let model = self.learn(dataset, spec, Some(&sol.x))?;
-        let verified = checker.check_dtmc(&model, formula)?.holds();
+        let verdict = checker.check_dtmc(&model, formula)?;
+        diag.absorb(verdict.diagnostics());
+        let verified = verdict.holds();
         Ok(DataRepairOutcome {
-            status: RepairStatus::Repaired,
+            status: repaired_status(verified, &diag),
             keep_weights,
             effort,
             dropped_mass: dropped,
             model: Some(model),
             verified,
             evaluations: sol.evaluations,
+            diagnostics: diag,
         })
     }
 
@@ -474,6 +507,27 @@ mod tests {
         let ws = out.keep_weights[0].1;
         let wf = out.keep_weights[1].1;
         assert!(7.0 * wf <= 3.0 * ws + 1e-2, "ws {ws} wf {wf}");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_status_instead_of_erroring() {
+        let mut ds = TraceDataset::new();
+        let g = ds.add_class("good");
+        let n = ds.add_class("noisy");
+        ds.push(g, Path::from_states(vec![0, 1]), 5.0).unwrap();
+        ds.push(n, Path::from_states(vec![0, 2]), 5.0).unwrap();
+        ds.push(g, Path::from_states(vec![1, 1]), 1.0).unwrap();
+        ds.push(n, Path::from_states(vec![2, 2]), 1.0).unwrap();
+        let sp = ModelSpec::new(3).label(1, "ok");
+        let phi = parse_formula("P>=0.8 [ F \"ok\" ]").unwrap();
+        let out = DataRepair::new()
+            .with_budget(Budget::unlimited().with_max_evaluations(0))
+            .repair(&ds, &sp, &phi)
+            .unwrap();
+        assert_eq!(out.status, RepairStatus::BudgetExhausted);
+        assert!(out.diagnostics.exhausted.is_some());
+        // Best-effort keep-weights are still reported, one per class.
+        assert_eq!(out.keep_weights.len(), 2);
     }
 
     #[test]

@@ -109,7 +109,8 @@ mod tests {
         let e: RepairError = ModelError::MissingDistribution { state: 0 }.into();
         assert!(e.to_string().contains("model error"));
         assert!(e.source().is_some());
-        let u = RepairError::UnsupportedProperty { property: "P=?".into(), reason: "nested".into() };
+        let u =
+            RepairError::UnsupportedProperty { property: "P=?".into(), reason: "nested".into() };
         assert!(u.to_string().contains("unsupported"));
         assert!(u.source().is_none());
     }

@@ -71,10 +71,12 @@ pub use error::RepairError;
 pub use model_repair::{MdpPerturbationTemplate, ModelRepair, ModelRepairOutcome, RepairStatus};
 pub use reward_repair::{
     enumerate_trajectories, project_distribution, sample_trajectories, trajectory_log_weight,
-    MdpTraceView, QConstraint, QConstraintOutcome, RewardRepair, RewardRepairOutcome,
-    WeightedRule,
+    MdpTraceView, QConstraint, QConstraintOutcome, RewardRepair, RewardRepairOutcome, WeightedRule,
 };
 pub use template::{LinearExpr, PerturbationTemplate};
+// Budgets bound every repair; re-exported so callers need not depend on
+// tml-numerics directly.
+pub use tml_numerics::{Budget, CancelToken, Diagnostics, Exhaustion};
 
 /// Options shared by the repair algorithms.
 #[derive(Debug, Clone, Copy, PartialEq)]

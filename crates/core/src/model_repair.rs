@@ -4,7 +4,8 @@
 use tml_checker::Checker;
 use tml_logic::StateFormula;
 use tml_models::{Dtmc, Mdp};
-use tml_optimizer::{ConstraintSense, Nlp, PenaltySolver};
+use tml_numerics::{Budget, Diagnostics};
+use tml_optimizer::{ConstraintSense, Nlp, PenaltySolver, Solution};
 
 use crate::constraint::compile_constraint;
 use crate::{LinearExpr, PerturbationTemplate, RepairError, RepairOptions};
@@ -19,6 +20,11 @@ pub enum RepairStatus {
     /// No admissible perturbation satisfies the property (the paper's
     /// "Model Repair gives infeasible solution" outcome).
     Infeasible,
+    /// The execution budget (deadline, evaluation cap or cancellation) ran
+    /// out before a verified repair was found. The outcome still carries
+    /// the best point reached and [`Diagnostics`] describing what was
+    /// spent; it is a *best-effort* answer, not a proof of infeasibility.
+    BudgetExhausted,
 }
 
 /// Outcome of a model repair.
@@ -39,6 +45,9 @@ pub struct ModelRepairOutcome<M = Dtmc> {
     pub verified: bool,
     /// Objective/constraint evaluations spent by the optimizer.
     pub evaluations: usize,
+    /// What the repair spent and which degradation paths (solver
+    /// fallbacks, accepted residuals, budget exhaustion) were taken.
+    pub diagnostics: Diagnostics,
 }
 
 /// The Model Repair algorithm.
@@ -56,6 +65,7 @@ pub struct ModelRepairOutcome<M = Dtmc> {
 #[derive(Debug, Clone, Default)]
 pub struct ModelRepair {
     opts: RepairOptions,
+    budget: Budget,
 }
 
 impl ModelRepair {
@@ -66,7 +76,22 @@ impl ModelRepair {
 
     /// A repairer with explicit options.
     pub fn with_options(opts: RepairOptions) -> Self {
-        ModelRepair { opts }
+        ModelRepair { opts, budget: Budget::unlimited() }
+    }
+
+    /// Bounds the whole repair — checker runs and optimizer included — by
+    /// an execution budget. When it runs out, the repair returns the best
+    /// point found so far with [`RepairStatus::BudgetExhausted`] instead of
+    /// erroring or hanging.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Repairs a DTMC (Definition 1 / Proposition 2).
@@ -84,8 +109,11 @@ impl ModelRepair {
         formula: &StateFormula,
         template: &PerturbationTemplate,
     ) -> Result<ModelRepairOutcome<Dtmc>, RepairError> {
-        let checker = Checker::with_options(self.opts.check);
-        if checker.check_dtmc(base, formula)?.holds() {
+        let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
+        let mut diag = Diagnostics::new();
+        let initial = checker.check_dtmc(base, formula)?;
+        diag.absorb(initial.diagnostics());
+        if initial.holds() {
             return Ok(ModelRepairOutcome {
                 status: RepairStatus::AlreadySatisfied,
                 parameters: Vec::new(),
@@ -93,6 +121,7 @@ impl ModelRepair {
                 model: Some(base.clone()),
                 verified: true,
                 evaluations: 0,
+                diagnostics: diag,
             });
         }
 
@@ -129,8 +158,9 @@ impl ModelRepair {
                 let pd = pdtmc.clone();
                 let phi = formula.clone();
                 let check_opts = self.opts.check;
+                let inner = self.budget.without_evaluation_cap();
                 nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
-                    oracle_value_dtmc(&pd, &phi, v, &check_opts)
+                    oracle_value_dtmc(&pd, &phi, v, &check_opts, &inner)
                 });
             }
             Err(RepairError::UnsupportedProperty { .. }) => {
@@ -139,34 +169,40 @@ impl ModelRepair {
                 let pd = pdtmc.clone();
                 let phi = formula.clone();
                 let check_opts = self.opts.check;
+                let inner = self.budget.without_evaluation_cap();
                 nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
-                    oracle_value_dtmc(&pd, &phi, v, &check_opts)
+                    oracle_value_dtmc(&pd, &phi, v, &check_opts, &inner)
                 });
             }
             Err(other) => return Err(other),
         }
 
-        let solver = PenaltySolver::with_options(self.opts.solver);
+        let solver = PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
         let sol = solver.solve(&nlp)?;
+        absorb_solution(&mut diag, &sol);
         if !sol.feasible {
             return Ok(ModelRepairOutcome {
-                status: RepairStatus::Infeasible,
+                status: infeasible_status(&sol),
                 parameters: name_params(template, &sol.x),
                 cost: frobenius_cost(template, &sol.x),
                 model: None,
                 verified: false,
                 evaluations: sol.evaluations,
+                diagnostics: diag,
             });
         }
         let repaired = pdtmc.instantiate(&sol.x)?;
-        let verified = checker.check_dtmc(&repaired, formula)?.holds();
+        let verdict = checker.check_dtmc(&repaired, formula)?;
+        diag.absorb(verdict.diagnostics());
+        let verified = verdict.holds();
         Ok(ModelRepairOutcome {
-            status: RepairStatus::Repaired,
+            status: repaired_status(verified, &diag),
             parameters: name_params(template, &sol.x),
             cost: frobenius_cost(template, &sol.x),
             model: Some(repaired),
             verified,
             evaluations: sol.evaluations,
+            diagnostics: diag,
         })
     }
 
@@ -186,8 +222,11 @@ impl ModelRepair {
         formula: &StateFormula,
         template: &MdpPerturbationTemplate,
     ) -> Result<ModelRepairOutcome<Mdp>, RepairError> {
-        let checker = Checker::with_options(self.opts.check);
-        if checker.check_mdp(base, formula)?.holds() {
+        let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
+        let mut diag = Diagnostics::new();
+        let initial = checker.check_mdp(base, formula)?;
+        diag.absorb(initial.diagnostics());
+        if initial.holds() {
             return Ok(ModelRepairOutcome {
                 status: RepairStatus::AlreadySatisfied,
                 parameters: Vec::new(),
@@ -195,6 +234,7 @@ impl ModelRepair {
                 model: Some(base.clone()),
                 verified: true,
                 evaluations: 0,
+                diagnostics: diag,
             });
         }
         template.validate(base)?;
@@ -202,9 +242,7 @@ impl ModelRepair {
         let mut nlp = Nlp::new(template.num_params(), template.bounds())?;
         {
             let entries = template.entries.clone();
-            nlp.objective(move |v| {
-                entries.iter().map(|(_, e)| e.eval(v).powi(2)).sum()
-            });
+            nlp.objective(move |v| entries.values().map(|e| e.eval(v).powi(2)).sum());
         }
         // Validity: perturbed probabilities stay inside (0, 1).
         for (&(s, c, t), expr) in &template.entries {
@@ -215,9 +253,12 @@ impl ModelRepair {
             nlp.constraint(&format!("p({s},{c}->{t})>=m"), ConstraintSense::Ge, m, move |v| {
                 base_p + e1.eval(v)
             });
-            nlp.constraint(&format!("p({s},{c}->{t})<=1-m"), ConstraintSense::Le, 1.0 - m, move |v| {
-                base_p + e2.eval(v)
-            });
+            nlp.constraint(
+                &format!("p({s},{c}->{t})<=1-m"),
+                ConstraintSense::Le,
+                1.0 - m,
+                move |v| base_p + e2.eval(v),
+            );
         }
         {
             let t = template.clone();
@@ -225,9 +266,11 @@ impl ModelRepair {
             let phi = formula.clone();
             let check_opts = self.opts.check;
             let margin = self.margin(op);
+            let inner = self.budget.without_evaluation_cap();
             nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
                 match t.instantiate(&b, v) {
                     Ok(m) => Checker::with_options(check_opts)
+                        .with_budget(inner.clone())
                         .check_mdp(&m, &phi)
                         .ok()
                         .and_then(|r| r.value_at_initial())
@@ -236,27 +279,32 @@ impl ModelRepair {
                 }
             });
         }
-        let solver = PenaltySolver::with_options(self.opts.solver);
+        let solver = PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
         let sol = solver.solve(&nlp)?;
+        absorb_solution(&mut diag, &sol);
         if !sol.feasible {
             return Ok(ModelRepairOutcome {
-                status: RepairStatus::Infeasible,
+                status: infeasible_status(&sol),
                 parameters: template.name_params(&sol.x),
                 cost: template.cost(&sol.x),
                 model: None,
                 verified: false,
                 evaluations: sol.evaluations,
+                diagnostics: diag,
             });
         }
         let repaired = template.instantiate(base, &sol.x)?;
-        let verified = checker.check_mdp(&repaired, formula)?.holds();
+        let verdict = checker.check_mdp(&repaired, formula)?;
+        diag.absorb(verdict.diagnostics());
+        let verified = verdict.holds();
         Ok(ModelRepairOutcome {
-            status: RepairStatus::Repaired,
+            status: repaired_status(verified, &diag),
             parameters: template.name_params(&sol.x),
             cost: template.cost(&sol.x),
             model: Some(repaired),
             verified,
             evaluations: sol.evaluations,
+            diagnostics: diag,
         })
     }
 
@@ -269,7 +317,9 @@ impl ModelRepair {
         let m = self.opts.support_margin;
         for (name, base_p, expr) in template.probability_exprs(base) {
             let e1 = expr.clone();
-            nlp.constraint(&format!("{name}>=m"), ConstraintSense::Ge, m, move |v| base_p + e1.eval(v));
+            nlp.constraint(&format!("{name}>=m"), ConstraintSense::Ge, m, move |v| {
+                base_p + e1.eval(v)
+            });
             let e2 = expr;
             nlp.constraint(&format!("{name}<=1-m"), ConstraintSense::Le, 1.0 - m, move |v| {
                 base_p + e2.eval(v)
@@ -323,7 +373,9 @@ impl MdpPerturbationTemplate {
         coeff: f64,
     ) -> Result<&mut Self, RepairError> {
         if param >= self.params.len() {
-            return Err(RepairError::InvalidTemplate { detail: format!("unknown parameter {param}") });
+            return Err(RepairError::InvalidTemplate {
+                detail: format!("unknown parameter {param}"),
+            });
         }
         let e = self.entries.entry((state, choice, succ)).or_default();
         *e = std::mem::take(e).plus(param, coeff);
@@ -397,11 +449,7 @@ impl MdpPerturbationTemplate {
                     .transitions
                     .iter()
                     .map(|&(t, p)| {
-                        let delta = self
-                            .entries
-                            .get(&(s, c, t))
-                            .map(|e| e.eval(v))
-                            .unwrap_or(0.0);
+                        let delta = self.entries.get(&(s, c, t)).map(|e| e.eval(v)).unwrap_or(0.0);
                         (t, p + delta)
                     })
                     .collect();
@@ -459,14 +507,46 @@ fn oracle_value_dtmc(
     formula: &StateFormula,
     v: &[f64],
     check_opts: &tml_checker::CheckOptions,
+    budget: &Budget,
 ) -> f64 {
     match pdtmc.instantiate(v) {
         Ok(m) => Checker::with_options(*check_opts)
+            .with_budget(budget.clone())
             .check_dtmc(&m, formula)
             .ok()
             .and_then(|r| r.value_at_initial())
             .unwrap_or(f64::NAN),
         Err(_) => f64::NAN,
+    }
+}
+
+/// Folds an optimizer solution's spend and stop cause into the diagnostics.
+pub(crate) fn absorb_solution(diag: &mut Diagnostics, sol: &Solution) {
+    diag.evaluations += sol.evaluations as u64;
+    if let Some(cause) = sol.stopped {
+        diag.mark_exhausted(cause);
+    }
+}
+
+/// Status of an optimizer-infeasible attempt: a full search proves
+/// infeasibility, a truncated one only reports budget exhaustion.
+pub(crate) fn infeasible_status(sol: &Solution) -> RepairStatus {
+    if sol.stopped.is_some() {
+        RepairStatus::BudgetExhausted
+    } else {
+        RepairStatus::Infeasible
+    }
+}
+
+/// Status of a feasible attempt: verified repairs are `Repaired` even if
+/// the budget ran out afterwards; an unverified repair under an exhausted
+/// budget is only `BudgetExhausted` (the verification itself may have been
+/// truncated).
+pub(crate) fn repaired_status(verified: bool, diag: &Diagnostics) -> RepairStatus {
+    if !verified && diag.exhausted.is_some() {
+        RepairStatus::BudgetExhausted
+    } else {
+        RepairStatus::Repaired
     }
 }
 
@@ -587,6 +667,32 @@ mod tests {
         t2.nudge(0, 0, 0, v2, 1.0).unwrap(); // support change: p(0,a,0)=0
         t2.nudge(0, 0, 1, v2, -1.0).unwrap();
         assert!(t2.validate(&m).is_err());
+    }
+
+    #[test]
+    fn exhausted_budget_reports_status_instead_of_erroring() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let out = ModelRepair::new()
+            .with_budget(Budget::unlimited().with_max_evaluations(0))
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(out.status, RepairStatus::BudgetExhausted);
+        assert!(out.diagnostics.exhausted.is_some());
+        assert!(out.diagnostics.degraded());
+        assert!(!out.verified);
+    }
+
+    #[test]
+    fn unlimited_budget_keeps_exact_semantics() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let out = ModelRepair::new()
+            .with_budget(Budget::unlimited())
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.diagnostics.exhausted.is_none());
     }
 
     #[test]

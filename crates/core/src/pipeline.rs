@@ -15,6 +15,7 @@
 use tml_checker::Checker;
 use tml_logic::StateFormula;
 use tml_models::{learn, Dtmc, MlOptions, TraceDataset};
+use tml_numerics::{Budget, Diagnostics};
 
 use crate::{
     DataRepair, DataRepairOutcome, ModelRepair, ModelRepairOutcome, ModelSpec,
@@ -28,6 +29,8 @@ pub enum TmlOutcome {
     Satisfied {
         /// The learned model.
         model: Dtmc,
+        /// What the verification spent.
+        diagnostics: Diagnostics,
     },
     /// Model Repair succeeded.
     ModelRepaired {
@@ -42,12 +45,16 @@ pub enum TmlOutcome {
         /// was configured.
         model_repair_status: Option<RepairStatus>,
     },
-    /// No configured repair can satisfy the property.
+    /// No configured repair can satisfy the property — or, when
+    /// `diagnostics.exhausted` is set, the budget ran out before any stage
+    /// could produce a verified model.
     Unrepairable {
         /// Status of the model-repair attempt, if configured.
         model_repair_status: Option<RepairStatus>,
         /// Status of the data-repair attempt, if configured.
         data_repair_status: Option<RepairStatus>,
+        /// Aggregated spend across every stage that ran.
+        diagnostics: Diagnostics,
     },
 }
 
@@ -55,7 +62,7 @@ impl TmlOutcome {
     /// The final trusted model, when one exists.
     pub fn model(&self) -> Option<&Dtmc> {
         match self {
-            TmlOutcome::Satisfied { model } => Some(model),
+            TmlOutcome::Satisfied { model, .. } => Some(model),
             TmlOutcome::ModelRepaired { outcome } => outcome.model.as_ref(),
             TmlOutcome::DataRepaired { outcome, .. } => outcome.model.as_ref(),
             TmlOutcome::Unrepairable { .. } => None,
@@ -65,6 +72,22 @@ impl TmlOutcome {
     /// Whether the pipeline produced a property-satisfying model.
     pub fn is_trusted(&self) -> bool {
         self.model().is_some()
+    }
+
+    /// What the concluding stage spent and which degradation paths it took.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        match self {
+            TmlOutcome::Satisfied { diagnostics, .. } => diagnostics,
+            TmlOutcome::ModelRepaired { outcome } => &outcome.diagnostics,
+            TmlOutcome::DataRepaired { outcome, .. } => &outcome.diagnostics,
+            TmlOutcome::Unrepairable { diagnostics, .. } => diagnostics,
+        }
+    }
+
+    /// Whether any stage degraded (fallbacks, accepted residuals or an
+    /// exhausted budget).
+    pub fn degraded(&self) -> bool {
+        self.diagnostics().degraded()
     }
 }
 
@@ -101,6 +124,7 @@ pub struct TmlPipeline {
     opts: RepairOptions,
     template: Option<PerturbationTemplate>,
     data_repair: bool,
+    budget: Budget,
 }
 
 impl TmlPipeline {
@@ -113,6 +137,7 @@ impl TmlPipeline {
             opts: RepairOptions::default(),
             template: None,
             data_repair: false,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -120,6 +145,22 @@ impl TmlPipeline {
     pub fn with_options(mut self, opts: RepairOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Bounds the whole pipeline — verification and every configured repair
+    /// stage — by one execution budget. The deadline and the cancellation
+    /// token are shared by all stages; when the budget runs out, the
+    /// pipeline concludes with its best-effort outcome instead of erroring
+    /// or hanging.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Enables Model Repair with the given perturbation template.
@@ -153,43 +194,50 @@ impl TmlPipeline {
         let model = b.build()?;
 
         // 2. Verify.
-        let checker = Checker::with_options(self.opts.check);
-        if checker.check_dtmc(&model, &self.formula)?.holds() {
-            return Ok(TmlOutcome::Satisfied { model });
+        let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
+        let mut diag = Diagnostics::new();
+        let initial = checker.check_dtmc(&model, &self.formula)?;
+        diag.absorb(initial.diagnostics());
+        if initial.holds() {
+            return Ok(TmlOutcome::Satisfied { model, diagnostics: diag });
         }
+
+        // A repair stage concludes the pipeline when it produced a model;
+        // `Infeasible` falls through to the next stage, `BudgetExhausted`
+        // falls through too because its model (if any) is unverified.
+        let concludes = |status: RepairStatus| {
+            !matches!(status, RepairStatus::Infeasible | RepairStatus::BudgetExhausted)
+        };
 
         // 3. Model Repair.
         let mut model_repair_status = None;
         if let Some(template) = &self.template {
-            let out = ModelRepair::with_options(self.opts.clone_for_repair())
+            let out = ModelRepair::with_options(self.opts)
+                .with_budget(self.budget.clone())
                 .repair_dtmc(&model, &self.formula, template)?;
             model_repair_status = Some(out.status);
-            if out.status != RepairStatus::Infeasible {
+            if concludes(out.status) {
                 return Ok(TmlOutcome::ModelRepaired { outcome: out });
             }
+            diag.absorb(&out.diagnostics);
         }
 
         // 4. Data Repair.
         let mut data_repair_status = None;
         if self.data_repair {
-            let out = DataRepair::with_options(self.opts.clone_for_repair()).repair(
+            let out = DataRepair::with_options(self.opts).with_budget(self.budget.clone()).repair(
                 dataset,
                 &self.spec,
                 &self.formula,
             )?;
             data_repair_status = Some(out.status);
-            if out.status != RepairStatus::Infeasible {
+            if concludes(out.status) {
                 return Ok(TmlOutcome::DataRepaired { outcome: out, model_repair_status });
             }
+            diag.absorb(&out.diagnostics);
         }
 
-        Ok(TmlOutcome::Unrepairable { model_repair_status, data_repair_status })
-    }
-}
-
-impl RepairOptions {
-    fn clone_for_repair(&self) -> RepairOptions {
-        *self
+        Ok(TmlOutcome::Unrepairable { model_repair_status, data_repair_status, diagnostics: diag })
     }
 }
 
@@ -277,18 +325,61 @@ mod tests {
         // ask for F within ZERO mass on bad... use min_keep default with
         // overwhelming bad data and a harsh bound.
         let phi = parse_formula("P>=0.9999 [ F \"goal\" ]").unwrap();
-        let out = TmlPipeline::new(spec(), phi)
-            .with_model_repair(t)
-            .run(&dataset(1.0, 99.0))
-            .unwrap();
+        let out =
+            TmlPipeline::new(spec(), phi).with_model_repair(t).run(&dataset(1.0, 99.0)).unwrap();
         match out {
-            TmlOutcome::Unrepairable { model_repair_status, data_repair_status } => {
+            TmlOutcome::Unrepairable { model_repair_status, data_repair_status, .. } => {
                 assert_eq!(model_repair_status, Some(RepairStatus::Infeasible));
                 assert_eq!(data_repair_status, None); // not configured
             }
             other => panic!("expected unrepairable, got {other:?}"),
         }
-        assert!(!TmlOutcome::Unrepairable { model_repair_status: None, data_repair_status: None }
-            .is_trusted());
+        assert!(!TmlOutcome::Unrepairable {
+            model_repair_status: None,
+            data_repair_status: None,
+            diagnostics: Diagnostics::new(),
+        }
+        .is_trusted());
+    }
+
+    #[test]
+    fn exhausted_budget_concludes_best_effort() {
+        // A zero evaluation budget: every stage stops immediately, the
+        // pipeline still returns an outcome (no error, no hang) with the
+        // exhaustion recorded in the aggregated diagnostics.
+        let phi = parse_formula("P>=0.7 [ F \"goal\" ]").unwrap();
+        let out = TmlPipeline::new(spec(), phi)
+            .with_model_repair(shift_template())
+            .with_data_repair()
+            .with_budget(Budget::unlimited().with_max_evaluations(0))
+            .run(&dataset(5.0, 5.0))
+            .unwrap();
+        match &out {
+            TmlOutcome::Unrepairable { model_repair_status, data_repair_status, .. } => {
+                assert_eq!(*model_repair_status, Some(RepairStatus::BudgetExhausted));
+                assert_eq!(*data_repair_status, Some(RepairStatus::BudgetExhausted));
+            }
+            other => panic!("expected best-effort unrepairable, got {other:?}"),
+        }
+        assert!(out.degraded());
+        assert!(out.diagnostics().exhausted.is_some());
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_the_answer() {
+        let phi = parse_formula("P>=0.7 [ F \"goal\" ]").unwrap();
+        let out = TmlPipeline::new(spec(), phi)
+            .with_model_repair(shift_template())
+            .with_budget(Budget::unlimited().with_max_evaluations(1_000_000))
+            .run(&dataset(5.0, 5.0))
+            .unwrap();
+        match &out {
+            TmlOutcome::ModelRepaired { outcome } => {
+                assert_eq!(outcome.status, RepairStatus::Repaired);
+                assert!(outcome.verified);
+            }
+            other => panic!("expected model repair, got {other:?}"),
+        }
+        assert!(out.diagnostics().exhausted.is_none());
     }
 }

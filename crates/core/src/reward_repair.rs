@@ -15,9 +15,10 @@
 use tml_irl::{q_values, value_iteration, FeatureMap, ViOptions};
 use tml_logic::{TraceContext, TraceFormula};
 use tml_models::{Mdp, Path};
+use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{ConstraintSense, Nlp, PenaltySolver};
 
-use crate::model_repair::RepairStatus;
+use crate::model_repair::{absorb_solution, infeasible_status, RepairStatus};
 use crate::{RepairError, RepairOptions};
 
 /// A rule with its importance weight `λ` (paper Eq. 17–18; `λ → ∞` drives
@@ -153,10 +154,8 @@ pub fn project_distribution(
         .zip(base_probs)
         .map(|(path, &p)| {
             let view = MdpTraceView::new(mdp, path);
-            let penalty: f64 = rules
-                .iter()
-                .map(|r| if r.rule.eval(&view, 0) { 0.0 } else { r.lambda })
-                .sum();
+            let penalty: f64 =
+                rules.iter().map(|r| if r.rule.eval(&view, 0) { 0.0 } else { r.lambda }).sum();
             p * (-penalty).exp()
         })
         .collect();
@@ -185,6 +184,9 @@ pub struct RewardRepairOutcome {
     pub kl_divergence: f64,
     /// Number of trajectories the distributions were computed over.
     pub num_trajectories: usize,
+    /// What the repair spent and whether the feature-matching fit was
+    /// truncated by the budget.
+    pub diagnostics: Diagnostics,
 }
 
 /// Outcome of the Q-constraint reward repair.
@@ -201,6 +203,8 @@ pub struct QConstraintOutcome {
     pub verified: bool,
     /// Optimizer evaluations spent.
     pub evaluations: usize,
+    /// What the repair spent and which degradation paths were taken.
+    pub diagnostics: Diagnostics,
 }
 
 /// One Q-value ordering constraint: in `state`, the Q-value of choice
@@ -221,6 +225,7 @@ pub struct QConstraint {
 #[derive(Debug, Clone, Default)]
 pub struct RewardRepair {
     opts: RepairOptions,
+    budget: Budget,
 }
 
 impl RewardRepair {
@@ -231,7 +236,22 @@ impl RewardRepair {
 
     /// A repairer with explicit options.
     pub fn with_options(opts: RepairOptions) -> Self {
-        RewardRepair { opts }
+        RewardRepair { opts, budget: Budget::unlimited() }
+    }
+
+    /// Bounds the repair by an execution budget. When it runs out, the
+    /// repair returns the best `θ` found so far (with
+    /// [`RepairStatus::BudgetExhausted`] on the Q-constraint path) instead
+    /// of erroring or hanging.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Projection-based repair (Proposition 4): enumerate trajectories,
@@ -258,7 +278,11 @@ impl RewardRepair {
         }
         if features.dim() != theta0.len() {
             return Err(RepairError::InvalidInput {
-                detail: format!("theta has {} entries, features have dim {}", theta0.len(), features.dim()),
+                detail: format!(
+                    "theta has {} entries, features have dim {}",
+                    theta0.len(),
+                    features.dim()
+                ),
             });
         }
         let paths = enumerate_trajectories(mdp, mdp.initial_state(), horizon);
@@ -274,7 +298,8 @@ impl RewardRepair {
             .sum();
 
         // Re-fit θ to Q by feature matching: maximize Σ_U Q(U) log P_θ(U).
-        let theta = fit_theta(mdp, features, theta0, &paths, &q);
+        let mut diag = Diagnostics::new();
+        let theta = fit_theta(mdp, features, theta0, &paths, &q, &self.budget, &mut diag);
 
         let p_after = normalized_weights(mdp, features, &theta, &paths);
         let violation = |dist: &[f64]| -> f64 {
@@ -295,6 +320,7 @@ impl RewardRepair {
             violation_mass_after: violation(&p_after),
             kl_divergence: kl,
             num_trajectories: paths.len(),
+            diagnostics: diag,
         })
     }
 
@@ -318,7 +344,11 @@ impl RewardRepair {
     ) -> Result<QConstraintOutcome, RepairError> {
         if features.dim() != theta0.len() {
             return Err(RepairError::InvalidInput {
-                detail: format!("theta has {} entries, features have dim {}", theta0.len(), features.dim()),
+                detail: format!(
+                    "theta has {} entries, features have dim {}",
+                    theta0.len(),
+                    features.dim()
+                ),
             });
         }
         for c in constraints {
@@ -339,6 +369,7 @@ impl RewardRepair {
                 cost: 0.0,
                 verified: true,
                 evaluations: 0,
+                diagnostics: Diagnostics::new(),
             });
         }
 
@@ -357,17 +388,21 @@ impl RewardRepair {
                 q_gap(&m, &fm, theta, &qc, gamma)
             });
         }
-        let mut solver = PenaltySolver::with_options(self.opts.solver);
+        let mut solver =
+            PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
         solver.start_from(theta0.to_vec());
         let sol = solver.solve(&nlp)?;
+        let mut diag = Diagnostics::new();
+        absorb_solution(&mut diag, &sol);
         let cost: f64 = sol.x.iter().zip(theta0).map(|(a, b)| (a - b).powi(2)).sum();
         if !sol.feasible {
             return Ok(QConstraintOutcome {
-                status: RepairStatus::Infeasible,
+                status: infeasible_status(&sol),
                 theta: sol.x,
                 cost,
                 verified: false,
                 evaluations: sol.evaluations,
+                diagnostics: diag,
             });
         }
         let verified = q_constraints_hold(mdp, features, &sol.x, constraints, gamma);
@@ -377,6 +412,7 @@ impl RewardRepair {
             cost,
             verified,
             evaluations: sol.evaluations,
+            diagnostics: diag,
         })
     }
 }
@@ -414,6 +450,7 @@ impl RewardRepair {
     /// # Errors
     ///
     /// Same conditions as [`RewardRepair::project_and_fit`].
+    #[allow(clippy::too_many_arguments)]
     pub fn project_and_fit_sampled<R: rand::Rng + ?Sized>(
         &self,
         mdp: &Mdp,
@@ -451,7 +488,8 @@ impl RewardRepair {
             .filter(|(&qi, &pi)| qi > 0.0 && pi > 0.0)
             .map(|(&qi, &pi)| qi * (qi / pi).ln())
             .sum();
-        let theta = fit_theta(mdp, features, theta0, &paths, &q);
+        let mut diag = Diagnostics::new();
+        let theta = fit_theta(mdp, features, theta0, &paths, &q, &self.budget, &mut diag);
         let p_after = normalized_weights(mdp, features, &theta, &paths);
         let violation = |dist: &[f64]| -> f64 {
             paths
@@ -471,6 +509,7 @@ impl RewardRepair {
             violation_mass_after: violation(&p_after),
             kl_divergence: kl,
             num_trajectories: paths.len(),
+            diagnostics: diag,
         })
     }
 }
@@ -500,14 +539,25 @@ fn q_constraints_hold(
 }
 
 fn normalized_weights(mdp: &Mdp, features: &FeatureMap, theta: &[f64], paths: &[Path]) -> Vec<f64> {
-    let logw: Vec<f64> = paths.iter().map(|u| trajectory_log_weight(mdp, features, theta, u)).collect();
+    let logw: Vec<f64> =
+        paths.iter().map(|u| trajectory_log_weight(mdp, features, theta, u)).collect();
     let z = tml_numerics::vector::log_sum_exp(&logw);
     logw.iter().map(|lw| (lw - z).exp()).collect()
 }
 
 /// Feature matching: gradient ascent on `Σ_U Q(U) log P_θ(U)` over the
-/// enumerated trajectory set.
-fn fit_theta(mdp: &Mdp, features: &FeatureMap, theta0: &[f64], paths: &[Path], q: &[f64]) -> Vec<f64> {
+/// enumerated trajectory set. Budget-aware: stops at the current iterate
+/// when the budget runs out, recording the cause and the last gradient
+/// norm in `diag`.
+fn fit_theta(
+    mdp: &Mdp,
+    features: &FeatureMap,
+    theta0: &[f64],
+    paths: &[Path],
+    q: &[f64],
+    budget: &Budget,
+    diag: &mut Diagnostics,
+) -> Vec<f64> {
     let d = features.dim();
     // Per-path summed features F(U).
     let path_features: Vec<Vec<f64>> = paths
@@ -531,7 +581,14 @@ fn fit_theta(mdp: &Mdp, features: &FeatureMap, theta0: &[f64], paths: &[Path], q
     }
     let mut theta = theta0.to_vec();
     let lr = 0.05;
-    for _ in 0..600 {
+    let mut last_norm = f64::INFINITY;
+    for it in 0..600u64 {
+        if let Some(cause) = budget.check(it) {
+            diag.mark_exhausted(cause);
+            diag.record_residual(last_norm);
+            break;
+        }
+        diag.evaluations += 1;
         let p = normalized_weights(mdp, features, &theta, paths);
         let mut expect = vec![0.0; d];
         for (f, &pi) in path_features.iter().zip(&p) {
@@ -545,7 +602,8 @@ fn fit_theta(mdp: &Mdp, features: &FeatureMap, theta0: &[f64], paths: &[Path], q
             theta[i] += lr * g;
             norm += g * g;
         }
-        if norm.sqrt() < 1e-8 {
+        last_norm = norm.sqrt();
+        if last_norm < 1e-8 {
             break;
         }
     }
@@ -595,10 +653,7 @@ mod tests {
         let rules = vec![WeightedRule::hard(TraceFormula::never("unsafe"))];
         let q = project_distribution(&m, &paths, &base, &rules);
         // The risky path's mass collapses to ~0; the safe one to ~1.
-        let safe_idx = paths
-            .iter()
-            .position(|p| p.states.contains(&1))
-            .expect("safe path present");
+        let safe_idx = paths.iter().position(|p| p.states.contains(&1)).expect("safe path present");
         assert!(q[safe_idx] > 0.999, "q = {q:?}");
         let total: f64 = q.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
@@ -651,7 +706,8 @@ mod tests {
         assert!(out.cost > 0.0);
         // Check the greedy policy now takes "safe".
         let rewards = fm.rewards(&out.theta);
-        let vi = value_iteration(&m, &rewards, ViOptions { gamma: 0.9, ..Default::default() }).unwrap();
+        let vi =
+            value_iteration(&m, &rewards, ViOptions { gamma: 0.9, ..Default::default() }).unwrap();
         assert_eq!(vi.policy[0], 0);
     }
 
@@ -679,6 +735,36 @@ mod tests {
             .q_constraint_repair(&m, &fm, &theta0, &constraints, 0.9, 0.5)
             .unwrap();
         assert_eq!(out.status, RepairStatus::Infeasible);
+    }
+
+    #[test]
+    fn exhausted_budget_truncates_the_fit_to_theta0() {
+        let m = hazard();
+        let fm = hazard_features();
+        let theta0 = vec![1.0, 0.0];
+        let rules = vec![WeightedRule::hard(TraceFormula::never("unsafe"))];
+        let out = RewardRepair::new()
+            .with_budget(Budget::unlimited().with_max_evaluations(0))
+            .project_and_fit(&m, &fm, &theta0, &rules, 3)
+            .unwrap();
+        // No fit iterations ran: best effort is the original θ.
+        assert_eq!(out.theta, theta0);
+        assert!(out.diagnostics.exhausted.is_some());
+        assert!(out.diagnostics.degraded());
+    }
+
+    #[test]
+    fn q_constraint_budget_exhaustion_is_reported() {
+        let m = hazard();
+        let fm = hazard_features();
+        let theta0 = vec![1.0, 0.0];
+        let constraints = vec![QConstraint { state: 0, better: 0, worse: 1, margin: 0.05 }];
+        let out = RewardRepair::new()
+            .with_budget(Budget::unlimited().with_max_evaluations(0))
+            .q_constraint_repair(&m, &fm, &theta0, &constraints, 0.9, 3.0)
+            .unwrap();
+        assert_eq!(out.status, RepairStatus::BudgetExhausted);
+        assert!(out.diagnostics.exhausted.is_some());
     }
 
     #[test]
@@ -767,9 +853,7 @@ mod sampling_tests {
         let sampled = RewardRepair::new()
             .project_and_fit_sampled(&m, &features, &theta0, &rules, 3, 400, &mut rng)
             .unwrap();
-        let exact = RewardRepair::new()
-            .project_and_fit(&m, &features, &theta0, &rules, 3)
-            .unwrap();
+        let exact = RewardRepair::new().project_and_fit(&m, &features, &theta0, &rules, 3).unwrap();
         assert!(sampled.violation_mass_after < sampled.violation_mass_before);
         // Both repairs point the reward the same way: goal beats unsafe.
         assert!(sampled.theta[1] > sampled.theta[0], "sampled theta {:?}", sampled.theta);
@@ -783,9 +867,17 @@ mod sampling_tests {
         let mut rng = StdRng::seed_from_u64(1);
         let rules = vec![WeightedRule::hard(tml_logic::TraceFormula::True)];
         let rr = RewardRepair::new();
-        assert!(rr.project_and_fit_sampled(&m, &features, &[0.0, 0.0], &[], 3, 10, &mut rng).is_err());
-        assert!(rr.project_and_fit_sampled(&m, &features, &[0.0, 0.0], &rules, 0, 10, &mut rng).is_err());
-        assert!(rr.project_and_fit_sampled(&m, &features, &[0.0, 0.0], &rules, 3, 0, &mut rng).is_err());
-        assert!(rr.project_and_fit_sampled(&m, &features, &[0.0], &rules, 3, 10, &mut rng).is_err());
+        assert!(rr
+            .project_and_fit_sampled(&m, &features, &[0.0, 0.0], &[], 3, 10, &mut rng)
+            .is_err());
+        assert!(rr
+            .project_and_fit_sampled(&m, &features, &[0.0, 0.0], &rules, 0, 10, &mut rng)
+            .is_err());
+        assert!(rr
+            .project_and_fit_sampled(&m, &features, &[0.0, 0.0], &rules, 3, 0, &mut rng)
+            .is_err());
+        assert!(rr
+            .project_and_fit_sampled(&m, &features, &[0.0], &rules, 3, 10, &mut rng)
+            .is_err());
     }
 }

@@ -98,7 +98,13 @@ impl PerturbationTemplate {
     ///
     /// Returns [`RepairError::InvalidTemplate`] if the parameter index is
     /// unknown.
-    pub fn nudge(&mut self, from: usize, to: usize, param: usize, coeff: f64) -> Result<&mut Self, RepairError> {
+    pub fn nudge(
+        &mut self,
+        from: usize,
+        to: usize,
+        param: usize,
+        coeff: f64,
+    ) -> Result<&mut Self, RepairError> {
         if param >= self.params.len() {
             return Err(RepairError::InvalidTemplate {
                 detail: format!("unknown parameter index {param}"),

@@ -43,4 +43,7 @@ mod vi;
 pub use error::IrlError;
 pub use features::FeatureMap;
 pub use maxent::{maxent_irl, soft_policy, visitation_frequencies, IrlOptions, IrlResult};
-pub use vi::{greedy_policy, policy_evaluation, policy_iteration, q_values, value_iteration, ViOptions, ViResult};
+pub use vi::{
+    greedy_policy, policy_evaluation, policy_iteration, q_values, value_iteration, ViOptions,
+    ViResult,
+};

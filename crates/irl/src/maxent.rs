@@ -117,9 +117,9 @@ pub fn maxent_irl(
         let policy = soft_policy_internal(mdp, &features.rewards(&theta), horizon);
         let d = visitation_from(mdp, &policy, &d0, horizon);
         let mut grad = vec![0.0; dim];
-        for s in 0..mdp.num_states() {
+        for (s, &ds) in d.iter().enumerate() {
             for (g, &f) in grad.iter_mut().zip(features.state_features(s)) {
-                *g -= d[s] * f;
+                *g -= ds * f;
             }
         }
         for ((g, &fe), &t) in grad.iter_mut().zip(&f_expert).zip(&theta) {
@@ -145,7 +145,11 @@ pub fn maxent_irl(
 ///
 /// Returns [`IrlError::FeatureShape`] if `state_rewards` has the wrong
 /// length.
-pub fn soft_policy(mdp: &Mdp, state_rewards: &[f64], horizon: usize) -> Result<StochasticPolicy, IrlError> {
+pub fn soft_policy(
+    mdp: &Mdp,
+    state_rewards: &[f64],
+    horizon: usize,
+) -> Result<StochasticPolicy, IrlError> {
     if state_rewards.len() != mdp.num_states() {
         return Err(IrlError::FeatureShape {
             detail: format!("{} rewards for {} states", state_rewards.len(), mdp.num_states()),
@@ -277,12 +281,8 @@ mod tests {
     }
 
     fn one_hot_features() -> FeatureMap {
-        FeatureMap::new(vec![
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ])
-        .unwrap()
+        FeatureMap::new(vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]])
+            .unwrap()
     }
 
     #[test]
@@ -290,8 +290,9 @@ mod tests {
         let m = corridor();
         let fm = one_hot_features();
         let demo = Path::with_actions(vec![0, 1, 2, 2, 2], vec![0, 0, 1, 1]).unwrap();
-        let res = maxent_irl(&m, &fm, &[demo], IrlOptions { iterations: 300, ..Default::default() })
-            .unwrap();
+        let res =
+            maxent_irl(&m, &fm, &[demo], IrlOptions { iterations: 300, ..Default::default() })
+                .unwrap();
         // Goal state weight dominates.
         assert!(res.theta[2] > res.theta[0], "theta = {:?}", res.theta);
         assert!(res.theta[2] > res.theta[1], "theta = {:?}", res.theta);
@@ -306,8 +307,9 @@ mod tests {
         let m = corridor();
         let fm = one_hot_features();
         let demo = Path::with_actions(vec![0, 1, 2], vec![0, 0]).unwrap();
-        let res = maxent_irl(&m, &fm, &[demo], IrlOptions { iterations: 200, ..Default::default() })
-            .unwrap();
+        let res =
+            maxent_irl(&m, &fm, &[demo], IrlOptions { iterations: 200, ..Default::default() })
+                .unwrap();
         let first = res.gradient_norms.first().copied().unwrap();
         let last = res.gradient_norms.last().copied().unwrap();
         assert!(last < first, "gradient norms did not decrease: {first} -> {last}");

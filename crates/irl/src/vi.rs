@@ -41,9 +41,15 @@ pub struct ViResult {
 ///
 /// * [`IrlError::InvalidOption`] if `gamma ∉ (0, 1)` or shapes mismatch.
 /// * [`IrlError::NoConvergence`] if the budget is exhausted.
-pub fn value_iteration(mdp: &Mdp, state_rewards: &[f64], opts: ViOptions) -> Result<ViResult, IrlError> {
+pub fn value_iteration(
+    mdp: &Mdp,
+    state_rewards: &[f64],
+    opts: ViOptions,
+) -> Result<ViResult, IrlError> {
     if !(0.0 < opts.gamma && opts.gamma < 1.0) {
-        return Err(IrlError::InvalidOption { detail: format!("gamma {} not in (0,1)", opts.gamma) });
+        return Err(IrlError::InvalidOption {
+            detail: format!("gamma {} not in (0,1)", opts.gamma),
+        });
     }
     let n = mdp.num_states();
     if state_rewards.len() != n {
@@ -182,7 +188,9 @@ mod tests {
     #[test]
     fn option_validation() {
         let m = corridor();
-        assert!(value_iteration(&m, &[0.0; 3], ViOptions { gamma: 1.5, ..Default::default() }).is_err());
+        assert!(
+            value_iteration(&m, &[0.0; 3], ViOptions { gamma: 1.5, ..Default::default() }).is_err()
+        );
         assert!(value_iteration(&m, &[0.0; 2], ViOptions::default()).is_err());
     }
 
@@ -210,18 +218,27 @@ pub fn policy_evaluation(
     opts: ViOptions,
 ) -> Result<Vec<f64>, IrlError> {
     if !(0.0 < opts.gamma && opts.gamma < 1.0) {
-        return Err(IrlError::InvalidOption { detail: format!("gamma {} not in (0,1)", opts.gamma) });
+        return Err(IrlError::InvalidOption {
+            detail: format!("gamma {} not in (0,1)", opts.gamma),
+        });
     }
     let n = mdp.num_states();
     if policy.len() != n || state_rewards.len() != n {
         return Err(IrlError::InvalidOption {
-            detail: format!("policy/rewards cover {}/{} states, model has {n}", policy.len(), state_rewards.len()),
+            detail: format!(
+                "policy/rewards cover {}/{} states, model has {n}",
+                policy.len(),
+                state_rewards.len()
+            ),
         });
     }
     for (s, &c) in policy.iter().enumerate() {
         if c >= mdp.num_choices(s) {
             return Err(IrlError::InvalidOption {
-                detail: format!("policy picks choice {c} in state {s} with {} choices", mdp.num_choices(s)),
+                detail: format!(
+                    "policy picks choice {c} in state {s} with {} choices",
+                    mdp.num_choices(s)
+                ),
             });
         }
     }
@@ -250,7 +267,11 @@ pub fn policy_evaluation(
 /// # Errors
 ///
 /// Same conditions as [`policy_evaluation`].
-pub fn policy_iteration(mdp: &Mdp, state_rewards: &[f64], opts: ViOptions) -> Result<ViResult, IrlError> {
+pub fn policy_iteration(
+    mdp: &Mdp,
+    state_rewards: &[f64],
+    opts: ViOptions,
+) -> Result<ViResult, IrlError> {
     let n = mdp.num_states();
     if state_rewards.len() != n {
         return Err(IrlError::InvalidOption {
@@ -303,8 +324,9 @@ mod pi_tests {
     fn policy_evaluation_fixed_point() {
         let m = corridor();
         let r = vec![0.0, 0.0, 1.0];
-        let v = policy_evaluation(&m, &[1, 0, 0], &r, ViOptions { gamma: 0.5, ..Default::default() })
-            .unwrap();
+        let v =
+            policy_evaluation(&m, &[1, 0, 0], &r, ViOptions { gamma: 0.5, ..Default::default() })
+                .unwrap();
         // Policy: stay at 0 forever → V(0) = 0. At 1: go to 2 → 0.5·V(2).
         assert!((v[0] - 0.0).abs() < 1e-9);
         assert!((v[2] - 2.0).abs() < 1e-8); // 1/(1-0.5)

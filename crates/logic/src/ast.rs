@@ -220,7 +220,12 @@ mod tests {
     fn convenience_constructors() {
         let f = StateFormula::eventually(CmpOp::Ge, 0.9, "goal");
         match f {
-            StateFormula::Prob { op: CmpOp::Ge, bound, path: PathFormula::Eventually { sub, bound: None }, .. } => {
+            StateFormula::Prob {
+                op: CmpOp::Ge,
+                bound,
+                path: PathFormula::Eventually { sub, bound: None },
+                ..
+            } => {
                 assert_eq!(bound, 0.9);
                 assert_eq!(*sub, StateFormula::Atom("goal".into()));
             }

@@ -155,10 +155,7 @@ mod tests {
             kind: RewardKind::Cumulative(10),
         };
         assert_eq!(q.to_string(), "Rmin=? [ C<=10 ]");
-        let q2 = Query::Prob {
-            opt: None,
-            path: PathFormula::Next(Box::new(StateFormula::False)),
-        };
+        let q2 = Query::Prob { opt: None, path: PathFormula::Next(Box::new(StateFormula::False)) };
         assert_eq!(q2.to_string(), "P=? [ X false ]");
     }
 }

@@ -560,7 +560,12 @@ mod tests {
     fn parses_paper_lane_change_property() {
         let f = parse_formula("P>0.99 [ F (\"changedLane\" | \"reducedSpeed\") ]").unwrap();
         match f {
-            StateFormula::Prob { opt: None, op: CmpOp::Gt, bound, path: PathFormula::Eventually { sub, .. } } => {
+            StateFormula::Prob {
+                opt: None,
+                op: CmpOp::Gt,
+                bound,
+                path: PathFormula::Eventually { sub, .. },
+            } => {
                 assert_eq!(bound, 0.99);
                 assert!(matches!(*sub, StateFormula::Or(_, _)));
             }
@@ -607,7 +612,11 @@ mod tests {
         assert!(matches!(q, Query::Prob { opt: Some(Opt::Max), .. }));
         let q2 = parse_query("R{\"attempts\"}max=? [ F \"delivered\" ]").unwrap();
         match q2 {
-            Query::Reward { structure: Some(s), opt: Some(Opt::Max), kind: RewardKind::Reach(_) } => {
+            Query::Reward {
+                structure: Some(s),
+                opt: Some(Opt::Max),
+                kind: RewardKind::Reach(_),
+            } => {
                 assert_eq!(s, "attempts");
             }
             other => panic!("bad shape: {other:?}"),
@@ -668,7 +677,9 @@ mod tests {
 
     #[test]
     fn query_display_roundtrip() {
-        for src in ["P=? [ F \"g\" ]", "Pmin=? [ X \"g\" ]", "Rmax=? [ F \"g\" ]", "R{\"c\"}=? [ C<=5 ]"] {
+        for src in
+            ["P=? [ F \"g\" ]", "Pmin=? [ X \"g\" ]", "Rmax=? [ F \"g\" ]", "R{\"c\"}=? [ C<=5 ]"]
+        {
             let q = parse_query(src).unwrap();
             assert_eq!(parse_query(&q.to_string()).unwrap(), q, "round-trip failed for {src}");
         }
@@ -695,13 +706,14 @@ mod proptests {
                     .prop_map(|(a, b)| StateFormula::Or(Box::new(a), Box::new(b))),
                 (inner.clone(), inner.clone())
                     .prop_map(|(a, b)| StateFormula::Implies(Box::new(a), Box::new(b))),
-                (inner.clone(), 0.0_f64..=1.0, proptest::option::of(0u64..20))
-                    .prop_map(|(f, b, k)| StateFormula::Prob {
+                (inner.clone(), 0.0_f64..=1.0, proptest::option::of(0u64..20)).prop_map(
+                    |(f, b, k)| StateFormula::Prob {
                         opt: None,
                         op: CmpOp::Ge,
                         bound: (b * 100.0).round() / 100.0,
                         path: PathFormula::Eventually { sub: Box::new(f), bound: k },
-                    }),
+                    }
+                ),
                 (inner, 0.0_f64..=100.0).prop_map(|(f, b)| StateFormula::Reward {
                     structure: None,
                     opt: Some(Opt::Max),

@@ -96,9 +96,8 @@ impl TraceFormula {
             TraceFormula::Next(f) => position + 1 < n && f.eval(trace, position + 1),
             TraceFormula::Always(f) => (position..n).all(|i| f.eval(trace, i)),
             TraceFormula::Eventually(f) => (position..n).any(|i| f.eval(trace, i)),
-            TraceFormula::Until(lhs, rhs) => (position..n).any(|k| {
-                rhs.eval(trace, k) && (position..k).all(|j| lhs.eval(trace, j))
-            }),
+            TraceFormula::Until(lhs, rhs) => (position..n)
+                .any(|k| rhs.eval(trace, k) && (position..k).all(|j| lhs.eval(trace, j))),
         }
     }
 
@@ -167,10 +166,7 @@ mod tests {
 
     fn t() -> SliceTrace {
         // positions: 0:{s0} 1:{s1} 2:{unsafe} 3:{goal}; actions 0,1,2
-        SliceTrace::new(
-            vec![vec!["s0"], vec!["s1"], vec!["unsafe"], vec!["goal"]],
-            vec![0, 1, 2],
-        )
+        SliceTrace::new(vec![vec!["s0"], vec!["s1"], vec!["unsafe"], vec!["goal"]], vec![0, 1, 2])
     }
 
     #[test]
@@ -187,7 +183,9 @@ mod tests {
     fn temporal_operators() {
         let tr = t();
         assert!(TraceFormula::eventually("goal").eval(&tr, 0));
-        assert!(!TraceFormula::eventually("goal").eval(&SliceTrace::new(vec![vec!["s0"]], vec![]), 0));
+        assert!(
+            !TraceFormula::eventually("goal").eval(&SliceTrace::new(vec![vec!["s0"]], vec![]), 0)
+        );
         assert!(!TraceFormula::never("unsafe").eval(&tr, 0));
         assert!(TraceFormula::never("unsafe").eval(&tr, 3));
         let next = TraceFormula::Next(Box::new(TraceFormula::Atom("s1".into())));

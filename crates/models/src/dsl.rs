@@ -84,6 +84,11 @@ impl fmt::Display for DslError {
 
 impl Error for DslError {}
 
+/// `(line, from, [(to, prob)])` — one parsed DTMC transition row.
+type DtmcRow = (usize, usize, Vec<(usize, f64)>);
+/// `(line, from, action, [(to, prob)])` — one parsed MDP choice row.
+type MdpRow = (usize, usize, String, Vec<(usize, f64)>);
+
 /// Parses a model description.
 ///
 /// # Errors
@@ -109,8 +114,8 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
     let mut labels: Vec<(usize, String, usize)> = Vec::new(); // (line, name, state)
     let mut state_rewards: Vec<(usize, String, usize, f64)> = Vec::new();
     let mut choice_rewards: Vec<(usize, String, usize, usize, f64)> = Vec::new();
-    let mut dtmc_rows: Vec<(usize, usize, Vec<(usize, f64)>)> = Vec::new();
-    let mut mdp_rows: Vec<(usize, usize, String, Vec<(usize, f64)>)> = Vec::new();
+    let mut dtmc_rows: Vec<DtmcRow> = Vec::new();
+    let mut mdp_rows: Vec<MdpRow> = Vec::new();
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -146,7 +151,8 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
             continue;
         } else if line.contains("->") {
             let (lhs, rhs) = split_once(line, '-', lineno, "transition row")?;
-            let rhs = rhs.strip_prefix('>').ok_or_else(|| DslError::new(lineno, "expected '->'"))?;
+            let rhs =
+                rhs.strip_prefix('>').ok_or_else(|| DslError::new(lineno, "expected '->'"))?;
             let lhs = lhs.trim();
             let dist = parse_distribution(rhs, lineno)?;
             if let Some(open) = lhs.find('[') {
@@ -320,12 +326,9 @@ fn parse_f64(text: &str, line: usize, what: &str) -> Result<f64, DslError> {
 /// Parses `"name" = rest` returning `(name, rest)`.
 fn parse_named_assignment(rest: &str, line: usize) -> Result<(String, String), DslError> {
     let rest = rest.trim();
-    let inner = rest
-        .strip_prefix('"')
-        .ok_or_else(|| DslError::new(line, "expected a quoted name"))?;
-    let close = inner
-        .find('"')
-        .ok_or_else(|| DslError::new(line, "unterminated quoted name"))?;
+    let inner =
+        rest.strip_prefix('"').ok_or_else(|| DslError::new(line, "expected a quoted name"))?;
+    let close = inner.find('"').ok_or_else(|| DslError::new(line, "unterminated quoted name"))?;
     let name = inner[..close].to_owned();
     let after = inner[close + 1..].trim();
     let value = after
@@ -342,9 +345,7 @@ fn parse_reward(rest: &str, line: usize) -> Result<(String, usize, Option<usize>
     let inner = rest
         .strip_prefix('"')
         .ok_or_else(|| DslError::new(line, "expected a quoted reward structure name"))?;
-    let close = inner
-        .find('"')
-        .ok_or_else(|| DslError::new(line, "unterminated quoted name"))?;
+    let close = inner.find('"').ok_or_else(|| DslError::new(line, "unterminated quoted name"))?;
     let name = inner[..close].to_owned();
     let after = inner[close + 1..].trim();
     let (lhs, value) = split_once(after, '=', line, "reward assignment")?;
@@ -376,7 +377,12 @@ fn parse_distribution(text: &str, line: usize) -> Result<Vec<(usize, f64)>, DslE
     Ok(dist)
 }
 
-fn split_once(text: &str, sep: char, line: usize, what: &str) -> Result<(String, String), DslError> {
+fn split_once(
+    text: &str,
+    sep: char,
+    line: usize,
+    what: &str,
+) -> Result<(String, String), DslError> {
     match text.split_once(sep) {
         Some((a, b)) => Ok((a.trim().to_owned(), b.trim().to_owned())),
         None => Err(DslError::new(line, format!("malformed {what}: {text:?}"))),
@@ -473,13 +479,15 @@ reward "cost" 0 [1] = 0.5
         assert!(err.to_string().contains("dtmc"), "{err}");
         let err = parse_model("mdp\nstates 1\n0 -> 0: 1.0\n").unwrap_err();
         assert!(err.to_string().contains("action"), "{err}");
-        let err = parse_model("dtmc\nstates 1\nreward \"r\" 0 [0] = 1.0\n0 -> 0: 1.0\n").unwrap_err();
+        let err =
+            parse_model("dtmc\nstates 1\nreward \"r\" 0 [0] = 1.0\n0 -> 0: 1.0\n").unwrap_err();
         assert!(err.to_string().contains("choice rewards"), "{err}");
     }
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let m = parse_model("# header\n\ndtmc # kind\nstates 1 # one\n0 -> 0: 1.0 # loop\n").unwrap();
+        let m =
+            parse_model("# header\n\ndtmc # kind\nstates 1 # one\n0 -> 0: 1.0 # loop\n").unwrap();
         assert_eq!(m.num_states(), 1);
     }
 

@@ -164,7 +164,10 @@ impl Dtmc {
         let mut sum = 0.0;
         for &(succ, p) in &row {
             if succ >= self.num_states() {
-                return Err(ModelError::StateOutOfBounds { state: succ, num_states: self.num_states() });
+                return Err(ModelError::StateOutOfBounds {
+                    state: succ,
+                    num_states: self.num_states(),
+                });
             }
             if !(0.0..=1.0 + STOCHASTIC_TOLERANCE).contains(&p) || !p.is_finite() {
                 return Err(ModelError::InvalidProbability {
@@ -260,7 +263,12 @@ impl DtmcBuilder {
     /// # Errors
     ///
     /// Propagates [`RewardStructure::set_state_reward`] errors.
-    pub fn state_reward(&mut self, structure: &str, state: usize, value: f64) -> Result<&mut Self, ModelError> {
+    pub fn state_reward(
+        &mut self,
+        structure: &str,
+        state: usize,
+        value: f64,
+    ) -> Result<&mut Self, ModelError> {
         let n = self.num_states;
         self.rewards
             .entry(structure.to_owned())

@@ -525,14 +525,10 @@ pub fn maximal_end_components(mdp: &Mdp) -> Vec<EndComponent> {
             }
             // Stable: this is a MEC provided it can actually dwell (a
             // one-state component needs a self-looping allowed choice).
-            let closed_choices: std::collections::BTreeMap<usize, Vec<usize>> = states
-                .iter()
-                .map(|&s| (s, allowed[s].clone()))
-                .collect();
-            let dwells = states.len() > 1
-                || closed_choices
-                    .get(&states[0])
-                    .is_some_and(|cs| !cs.is_empty());
+            let closed_choices: std::collections::BTreeMap<usize, Vec<usize>> =
+                states.iter().map(|&s| (s, allowed[s].clone())).collect();
+            let dwells =
+                states.len() > 1 || closed_choices.get(&states[0]).is_some_and(|cs| !cs.is_empty());
             if dwells {
                 result.push(EndComponent { states, choices: closed_choices });
             }

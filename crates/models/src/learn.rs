@@ -70,10 +70,14 @@ impl TraceDataset {
     /// the weight is negative/non-finite.
     pub fn push(&mut self, class: usize, path: Path, weight: f64) -> Result<(), ModelError> {
         if class >= self.class_names.len() {
-            return Err(ModelError::InvalidTrace { detail: format!("unknown class index {class}") });
+            return Err(ModelError::InvalidTrace {
+                detail: format!("unknown class index {class}"),
+            });
         }
         if !weight.is_finite() || weight < 0.0 {
-            return Err(ModelError::InvalidTrace { detail: format!("invalid trace weight {weight}") });
+            return Err(ModelError::InvalidTrace {
+                detail: format!("invalid trace weight {weight}"),
+            });
         }
         self.traces.push(WeightedTrace { path, weight, class });
         Ok(())
@@ -127,7 +131,10 @@ impl TraceDataset {
                 let (s, t) = (win[0], win[1]);
                 if s >= num_states || t >= num_states {
                     return Err(ModelError::InvalidTrace {
-                        detail: format!("trace mentions state {} but model has {num_states}", s.max(t)),
+                        detail: format!(
+                            "trace mentions state {} but model has {num_states}",
+                            s.max(t)
+                        ),
                     });
                 }
                 counts[s][t] += w;
@@ -165,7 +172,10 @@ impl TraceDataset {
                 let (s, a, t) = (tr.path.states[i], tr.path.actions[i], tr.path.states[i + 1]);
                 if s >= num_states || t >= num_states {
                     return Err(ModelError::InvalidTrace {
-                        detail: format!("trace mentions state {} but model has {num_states}", s.max(t)),
+                        detail: format!(
+                            "trace mentions state {} but model has {num_states}",
+                            s.max(t)
+                        ),
                     });
                 }
                 if a >= num_actions {
@@ -183,11 +193,17 @@ impl TraceDataset {
         if let Some(cw) = class_weights {
             if cw.len() != self.class_names.len() {
                 return Err(ModelError::InvalidTrace {
-                    detail: format!("{} class weights for {} classes", cw.len(), self.class_names.len()),
+                    detail: format!(
+                        "{} class weights for {} classes",
+                        cw.len(),
+                        self.class_names.len()
+                    ),
                 });
             }
             if let Some(&w) = cw.iter().find(|w| !w.is_finite() || **w < 0.0) {
-                return Err(ModelError::InvalidTrace { detail: format!("invalid class weight {w}") });
+                return Err(ModelError::InvalidTrace {
+                    detail: format!("invalid class weight {w}"),
+                });
             }
         }
         Ok(())
@@ -301,7 +317,8 @@ pub fn ml_mdp(
             if total == 0.0 {
                 continue;
             }
-            let dist: Vec<(usize, f64)> = smoothed.into_iter().map(|(t, c)| (t, c / total)).collect();
+            let dist: Vec<(usize, f64)> =
+                smoothed.into_iter().map(|(t, c)| (t, c / total)).collect();
             b.choice(s, &action_names[a], &dist)?;
             any = true;
         }
@@ -362,10 +379,8 @@ mod tests {
     fn ml_dtmc_class_weights_reweight() {
         let ds = dataset();
         // dropping the "bad" class entirely makes 0 -> 1 certain
-        let chain = ml_dtmc(2, &ds, Some(&[1.0, 0.0]), MlOptions::default())
-            .unwrap()
-            .build()
-            .unwrap();
+        let chain =
+            ml_dtmc(2, &ds, Some(&[1.0, 0.0]), MlOptions::default()).unwrap().build().unwrap();
         assert_eq!(chain.probability(0, 1), 1.0);
     }
 

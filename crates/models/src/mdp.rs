@@ -142,7 +142,11 @@ impl Mdp {
     pub fn induce(&self, choice_of: &[usize]) -> Result<Dtmc, ModelError> {
         if choice_of.len() != self.num_states() {
             return Err(ModelError::PolicyMismatch {
-                detail: format!("policy covers {} states, model has {}", choice_of.len(), self.num_states()),
+                detail: format!(
+                    "policy covers {} states, model has {}",
+                    choice_of.len(),
+                    self.num_states()
+                ),
             });
         }
         let mut b = DtmcBuilder::new(self.num_states());
@@ -162,8 +166,8 @@ impl Mdp {
             }
         }
         for rs in self.rewards.values() {
-            for s in 0..self.num_states() {
-                b.state_reward(rs.name(), s, rs.step_reward(s, choice_of[s]))?;
+            for (s, &choice) in choice_of.iter().enumerate() {
+                b.state_reward(rs.name(), s, rs.step_reward(s, choice))?;
             }
         }
         b.build()
@@ -251,7 +255,12 @@ impl MdpBuilder {
     /// * [`ModelError::StateOutOfBounds`] for bad indices.
     /// * [`ModelError::InvalidProbability`] for probabilities outside `[0,1]`.
     /// * [`ModelError::NotStochastic`] if the distribution does not sum to 1.
-    pub fn choice(&mut self, state: usize, action: &str, dist: &[(usize, f64)]) -> Result<usize, ModelError> {
+    pub fn choice(
+        &mut self,
+        state: usize,
+        action: &str,
+        dist: &[(usize, f64)],
+    ) -> Result<usize, ModelError> {
         self.check_state(state)?;
         let mut row = BTreeMap::new();
         let mut sum = 0.0;
@@ -297,7 +306,12 @@ impl MdpBuilder {
     /// # Errors
     ///
     /// Propagates [`RewardStructure::set_state_reward`] errors.
-    pub fn state_reward(&mut self, structure: &str, state: usize, value: f64) -> Result<&mut Self, ModelError> {
+    pub fn state_reward(
+        &mut self,
+        structure: &str,
+        state: usize,
+        value: f64,
+    ) -> Result<&mut Self, ModelError> {
         let n = self.num_states;
         self.rewards
             .entry(structure.to_owned())

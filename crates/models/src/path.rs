@@ -43,7 +43,9 @@ impl Path {
     /// `actions.len() + 1 == states.len()`.
     pub fn with_actions(states: Vec<usize>, actions: Vec<usize>) -> Result<Self, ModelError> {
         if states.is_empty() {
-            return Err(ModelError::InvalidTrace { detail: "path must contain at least one state".into() });
+            return Err(ModelError::InvalidTrace {
+                detail: "path must contain at least one state".into(),
+            });
         }
         if actions.len() + 1 != states.len() {
             return Err(ModelError::InvalidTrace {
@@ -90,10 +92,7 @@ impl Path {
     /// Iterates over `(state, Some(action))` pairs followed by the terminal
     /// `(state, None)`.
     pub fn steps(&self) -> impl Iterator<Item = (usize, Option<usize>)> + '_ {
-        self.states
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (s, self.actions.get(i).copied()))
+        self.states.iter().enumerate().map(|(i, &s)| (s, self.actions.get(i).copied()))
     }
 }
 

@@ -80,15 +80,24 @@ impl DeterministicPolicy {
     pub fn action_ids(&self, mdp: &Mdp) -> Result<Vec<usize>, ModelError> {
         if self.choices.len() != mdp.num_states() {
             return Err(ModelError::PolicyMismatch {
-                detail: format!("policy covers {} states, model has {}", self.choices.len(), mdp.num_states()),
+                detail: format!(
+                    "policy covers {} states, model has {}",
+                    self.choices.len(),
+                    mdp.num_states()
+                ),
             });
         }
         self.choices
             .iter()
             .enumerate()
             .map(|(s, &c)| {
-                mdp.choices(s).get(c).map(|ch| ch.action).ok_or_else(|| ModelError::PolicyMismatch {
-                    detail: format!("state {s} has {} choices, policy picked {c}", mdp.num_choices(s)),
+                mdp.choices(s).get(c).map(|ch| ch.action).ok_or_else(|| {
+                    ModelError::PolicyMismatch {
+                        detail: format!(
+                            "state {s} has {} choices, policy picked {c}",
+                            mdp.num_choices(s)
+                        ),
+                    }
                 })
             })
             .collect()
@@ -180,7 +189,11 @@ impl StochasticPolicy {
     pub fn induce(&self, mdp: &Mdp) -> Result<Dtmc, ModelError> {
         if self.probs.len() != mdp.num_states() {
             return Err(ModelError::PolicyMismatch {
-                detail: format!("policy covers {} states, model has {}", self.probs.len(), mdp.num_states()),
+                detail: format!(
+                    "policy covers {} states, model has {}",
+                    self.probs.len(),
+                    mdp.num_states()
+                ),
             });
         }
         let mut b = crate::DtmcBuilder::new(mdp.num_states());

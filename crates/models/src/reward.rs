@@ -59,7 +59,10 @@ impl RewardStructure {
     /// * [`ModelError::InvalidReward`] if `value` is negative or non-finite.
     pub fn set_state_reward(&mut self, state: usize, value: f64) -> Result<(), ModelError> {
         if state >= self.state_rewards.len() {
-            return Err(ModelError::StateOutOfBounds { state, num_states: self.state_rewards.len() });
+            return Err(ModelError::StateOutOfBounds {
+                state,
+                num_states: self.state_rewards.len(),
+            });
         }
         validate_reward(value, "state reward")?;
         self.state_rewards[state] = value;
@@ -72,9 +75,17 @@ impl RewardStructure {
     /// # Errors
     ///
     /// Same conditions as [`set_state_reward`](Self::set_state_reward).
-    pub fn set_choice_reward(&mut self, state: usize, choice: usize, value: f64) -> Result<(), ModelError> {
+    pub fn set_choice_reward(
+        &mut self,
+        state: usize,
+        choice: usize,
+        value: f64,
+    ) -> Result<(), ModelError> {
         if state >= self.choice_rewards.len() {
-            return Err(ModelError::StateOutOfBounds { state, num_states: self.choice_rewards.len() });
+            return Err(ModelError::StateOutOfBounds {
+                state,
+                num_states: self.choice_rewards.len(),
+            });
         }
         validate_reward(value, "choice reward")?;
         let row = &mut self.choice_rewards[state];

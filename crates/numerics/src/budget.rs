@@ -1,0 +1,321 @@
+//! Execution budgets and degradation diagnostics.
+//!
+//! Every long-running routine in the workspace — iterative linear solvers,
+//! value iteration, the penalty optimizer, the repair pipelines — accepts a
+//! [`Budget`]: a wall-clock deadline, a cap on evaluations/iterations and a
+//! shareable [`CancelToken`]. Routines poll the budget and, instead of
+//! aborting, return the **best result found so far** together with a
+//! [`Diagnostics`] record describing what was spent and which degradation
+//! paths (solver fallbacks, accepted residuals, exhaustion) were taken.
+//!
+//! The evaluation cap is interpreted in the consumer's local unit: sweeps
+//! for iterative solvers and value iteration, merit-function evaluations
+//! for the penalty solver. The deadline and the cancellation token are
+//! global — the same `Budget` (and its clones) can be handed to every layer
+//! of a pipeline and a single `cancel()` stops them all.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag.
+///
+/// Cloning the token shares the underlying flag: cancelling any clone
+/// cancels them all. This is how a server front-end aborts an in-flight
+/// repair from another thread.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; observed by every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a budgeted computation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The evaluation/iteration cap was reached.
+    Evaluations,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exhaustion::Deadline => f.write_str("deadline exceeded"),
+            Exhaustion::Evaluations => f.write_str("evaluation cap reached"),
+            Exhaustion::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+/// An effort bound for a computation: optional wall-clock deadline,
+/// optional evaluation cap and optional cancellation token.
+///
+/// The default budget is unlimited, so budget-aware code behaves exactly
+/// like its unbudgeted predecessor unless a caller opts in.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use tml_numerics::budget::Budget;
+///
+/// let budget = Budget::unlimited()
+///     .with_deadline(Duration::from_millis(50))
+///     .with_max_evaluations(10_000);
+/// assert!(budget.check(0).is_none());
+/// assert!(budget.check(10_000).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_evaluations: Option<u64>,
+    cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget with no limits (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps wall-clock time at `duration` from **now**.
+    #[must_use]
+    pub fn with_deadline(mut self, duration: Duration) -> Self {
+        self.deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Caps wall-clock time at an absolute instant.
+    #[must_use]
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Caps the number of evaluations (consumer-local unit: solver sweeps,
+    /// merit evaluations, …).
+    #[must_use]
+    pub fn with_max_evaluations(mut self, n: u64) -> Self {
+        self.max_evaluations = Some(n);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// A copy of this budget with the evaluation cap removed, keeping the
+    /// deadline and the cancellation token.
+    ///
+    /// Evaluation caps are consumer-local (sweeps, merit evaluations, …),
+    /// so a budget handed down to a *nested* computation with a different
+    /// evaluation unit should carry only the global limits.
+    #[must_use]
+    pub fn without_evaluation_cap(&self) -> Budget {
+        Budget { deadline: self.deadline, max_evaluations: None, cancel: self.cancel.clone() }
+    }
+
+    /// Whether this budget imposes no limit at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_evaluations.is_none() && self.cancel.is_none()
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The evaluation cap, if any.
+    pub fn max_evaluations(&self) -> Option<u64> {
+        self.max_evaluations
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set; zero
+    /// once it has passed).
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Polls the budget: given the evaluations spent so far, reports why
+    /// the computation must stop, or `None` to continue.
+    ///
+    /// Cancellation is reported first, then the deadline, then the
+    /// evaluation cap.
+    pub fn check(&self, evaluations: u64) -> Option<Exhaustion> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(Exhaustion::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Exhaustion::Deadline);
+            }
+        }
+        if let Some(cap) = self.max_evaluations {
+            if evaluations >= cap {
+                return Some(Exhaustion::Evaluations);
+            }
+        }
+        None
+    }
+}
+
+/// What a budgeted computation spent and which degradation paths it took.
+///
+/// Attached to checker results, optimizer solutions and repair outcomes so
+/// callers can distinguish a pristine answer from a best-effort one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    /// Evaluations spent (consumer-local unit: sweeps, merit evaluations…).
+    pub evaluations: u64,
+    /// Human-readable fallback events, in the order they fired.
+    pub fallbacks: Vec<String>,
+    /// Worst residual accepted in lieu of full convergence (zero when every
+    /// solve converged to tolerance).
+    pub worst_residual: f64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Why the computation stopped early, if it did.
+    pub exhausted: Option<Exhaustion>,
+}
+
+impl Diagnostics {
+    /// Fresh, empty diagnostics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fallback event (e.g. a solver switch).
+    pub fn record_fallback(&mut self, event: impl Into<String>) {
+        self.fallbacks.push(event.into());
+    }
+
+    /// Records a residual accepted without full convergence; keeps the
+    /// worst (NaN residuals are recorded as infinite).
+    pub fn record_residual(&mut self, residual: f64) {
+        let r = if residual.is_nan() { f64::INFINITY } else { residual };
+        if r > self.worst_residual {
+            self.worst_residual = r;
+        }
+    }
+
+    /// Marks the computation as stopped early; the first cause sticks.
+    pub fn mark_exhausted(&mut self, cause: Exhaustion) {
+        self.exhausted.get_or_insert(cause);
+    }
+
+    /// Whether the result is degraded — produced via fallbacks, accepted
+    /// residuals or an exhausted budget.
+    pub fn degraded(&self) -> bool {
+        self.exhausted.is_some() || !self.fallbacks.is_empty() || self.worst_residual > 0.0
+    }
+
+    /// Folds another diagnostics record into this one (evaluations add,
+    /// fallbacks append, residuals take the max, elapsed adds, the first
+    /// exhaustion cause sticks).
+    pub fn absorb(&mut self, other: &Diagnostics) {
+        self.evaluations += other.evaluations;
+        self.fallbacks.extend(other.fallbacks.iter().cloned());
+        self.record_residual(other.worst_residual);
+        self.elapsed += other.elapsed;
+        if let Some(cause) = other.exhausted {
+            self.mark_exhausted(cause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check(u64::MAX).is_none());
+        assert!(b.remaining_time().is_none());
+    }
+
+    #[test]
+    fn evaluation_cap() {
+        let b = Budget::unlimited().with_max_evaluations(10);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.check(9), None);
+        assert_eq!(b.check(10), Some(Exhaustion::Evaluations));
+    }
+
+    #[test]
+    fn deadline_in_the_past_stops_immediately() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(b.check(0), Some(Exhaustion::Deadline));
+        assert_eq!(b.remaining_time(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancellation_is_shared_and_wins() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel_token(token.clone()).with_max_evaluations(0);
+        // Evaluation cap already hit, but not cancelled yet.
+        assert_eq!(b.check(0), Some(Exhaustion::Evaluations));
+        token.clone().cancel();
+        assert_eq!(b.check(0), Some(Exhaustion::Cancelled));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn diagnostics_merge() {
+        let mut a = Diagnostics::new();
+        a.evaluations = 5;
+        a.record_fallback("gauss-seidel -> jacobi");
+        a.record_residual(1e-3);
+        let mut b = Diagnostics::new();
+        b.evaluations = 7;
+        b.record_residual(1e-2);
+        b.mark_exhausted(Exhaustion::Deadline);
+        a.absorb(&b);
+        assert_eq!(a.evaluations, 12);
+        assert_eq!(a.fallbacks.len(), 1);
+        assert_eq!(a.worst_residual, 1e-2);
+        assert_eq!(a.exhausted, Some(Exhaustion::Deadline));
+        assert!(a.degraded());
+        // First cause sticks.
+        a.mark_exhausted(Exhaustion::Cancelled);
+        assert_eq!(a.exhausted, Some(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn nan_residual_recorded_as_infinite() {
+        let mut d = Diagnostics::new();
+        d.record_residual(f64::NAN);
+        assert!(d.worst_residual.is_infinite());
+        assert!(d.degraded());
+    }
+}

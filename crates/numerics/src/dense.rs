@@ -150,7 +150,10 @@ impl<T: Field> DenseMatrix<T> {
     pub fn mat_mul(&self, rhs: &DenseMatrix<T>) -> Result<DenseMatrix<T>, NumericsError> {
         if self.cols != rhs.rows {
             return Err(NumericsError::ShapeMismatch {
-                detail: format!("mat_mul: {}x{} times {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
+                detail: format!(
+                    "mat_mul: {}x{} times {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
             });
         }
         let mut out: DenseMatrix<T> = DenseMatrix::zeros(self.rows, rhs.cols);

@@ -5,6 +5,7 @@
 //! moving. These routines operate on [`CsrMatrix`] so they scale to large
 //! sparse transition systems.
 
+use crate::budget::{Budget, Exhaustion};
 use crate::{CsrMatrix, NumericsError};
 
 /// Options controlling the iterative solvers.
@@ -31,6 +32,26 @@ pub struct IterSolution {
     pub iterations: usize,
     /// Max-norm difference of the last two iterates.
     pub delta: f64,
+}
+
+/// Best-effort outcome of a budgeted iterative solve.
+///
+/// Unlike [`IterSolution`]-returning entry points, the budgeted solvers
+/// never turn non-convergence into an error: they hand back the last
+/// iterate with `converged == false` and, when the [`Budget`] cut the run
+/// short, the [`Exhaustion`] cause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterRun {
+    /// The final iterate (best effort when not converged).
+    pub x: Vec<f64>,
+    /// Number of sweeps performed.
+    pub iterations: usize,
+    /// Max-norm difference of the last two iterates.
+    pub delta: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Why the budget stopped the run early, if it did.
+    pub stopped: Option<Exhaustion>,
 }
 
 /// Jacobi iteration for `x = A·x + b`, starting from `x0`.
@@ -65,10 +86,37 @@ pub fn jacobi(
     x0: &[f64],
     opts: IterOptions,
 ) -> Result<IterSolution, NumericsError> {
+    let run = jacobi_budgeted(a, b, x0, opts, &Budget::unlimited())?;
+    finish_unbudgeted(run)
+}
+
+/// Budget-aware [`jacobi`]: polls `budget` once per sweep and returns the
+/// best-effort iterate instead of erroring on non-convergence.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] on dimension mismatch — never
+/// `NoConvergence`.
+pub fn jacobi_budgeted(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: IterOptions,
+    budget: &Budget,
+) -> Result<IterRun, NumericsError> {
     check_shapes(a, b, x0)?;
     let mut x = x0.to_vec();
     let mut delta = f64::INFINITY;
     for it in 1..=opts.max_iterations {
+        if let Some(cause) = budget.check(it as u64 - 1) {
+            return Ok(IterRun {
+                x,
+                iterations: it - 1,
+                delta,
+                converged: false,
+                stopped: Some(cause),
+            });
+        }
         let mut next = a.mat_vec(&x)?;
         for (n, bi) in next.iter_mut().zip(b) {
             *n += bi;
@@ -76,10 +124,10 @@ pub fn jacobi(
         delta = max_abs_diff(&next, &x);
         x = next;
         if delta <= opts.tolerance {
-            return Ok(IterSolution { x, iterations: it, delta });
+            return Ok(IterRun { x, iterations: it, delta, converged: true, stopped: None });
         }
     }
-    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: delta })
+    Ok(IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None })
 }
 
 /// Gauss–Seidel iteration for `x = A·x + b`, starting from `x0`.
@@ -96,11 +144,38 @@ pub fn gauss_seidel(
     x0: &[f64],
     opts: IterOptions,
 ) -> Result<IterSolution, NumericsError> {
+    let run = gauss_seidel_budgeted(a, b, x0, opts, &Budget::unlimited())?;
+    finish_unbudgeted(run)
+}
+
+/// Budget-aware [`gauss_seidel`]: polls `budget` once per sweep and returns
+/// the best-effort iterate instead of erroring on non-convergence.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] on dimension mismatch — never
+/// `NoConvergence`.
+pub fn gauss_seidel_budgeted(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: IterOptions,
+    budget: &Budget,
+) -> Result<IterRun, NumericsError> {
     check_shapes(a, b, x0)?;
     let n = a.rows();
     let mut x = x0.to_vec();
     let mut delta = f64::INFINITY;
     for it in 1..=opts.max_iterations {
+        if let Some(cause) = budget.check(it as u64 - 1) {
+            return Ok(IterRun {
+                x,
+                iterations: it - 1,
+                delta,
+                converged: false,
+                stopped: Some(cause),
+            });
+        }
         delta = 0.0;
         for r in 0..n {
             let mut acc = b[r];
@@ -122,10 +197,21 @@ pub fn gauss_seidel(
             x[r] = new;
         }
         if delta <= opts.tolerance {
-            return Ok(IterSolution { x, iterations: it, delta });
+            return Ok(IterRun { x, iterations: it, delta, converged: true, stopped: None });
         }
     }
-    Err(NumericsError::NoConvergence { iterations: opts.max_iterations, residual: delta })
+    Ok(IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None })
+}
+
+/// Converts a budgeted run into the legacy strict result: non-convergence
+/// (for any reason) becomes [`NumericsError::NoConvergence`] carrying the
+/// genuine last residual.
+fn finish_unbudgeted(run: IterRun) -> Result<IterSolution, NumericsError> {
+    if run.converged {
+        Ok(IterSolution { x: run.x, iterations: run.iterations, delta: run.delta })
+    } else {
+        Err(NumericsError::NoConvergence { iterations: run.iterations, residual: run.delta })
+    }
 }
 
 /// Applies `k` steps of `x ← A·x + b` and returns every intermediate iterate's
@@ -134,7 +220,12 @@ pub fn gauss_seidel(
 /// # Errors
 ///
 /// Returns [`NumericsError::ShapeMismatch`] on dimension mismatch.
-pub fn affine_power(a: &CsrMatrix, b: &[f64], x0: &[f64], k: usize) -> Result<Vec<f64>, NumericsError> {
+pub fn affine_power(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    k: usize,
+) -> Result<Vec<f64>, NumericsError> {
     check_shapes(a, b, x0)?;
     let mut x = x0.to_vec();
     for _ in 0..k {
@@ -150,7 +241,11 @@ pub fn affine_power(a: &CsrMatrix, b: &[f64], x0: &[f64], k: usize) -> Result<Ve
 fn check_shapes(a: &CsrMatrix, b: &[f64], x0: &[f64]) -> Result<(), NumericsError> {
     if a.rows() != a.cols() {
         return Err(NumericsError::ShapeMismatch {
-            detail: format!("iterative solver requires square matrix, got {}x{}", a.rows(), a.cols()),
+            detail: format!(
+                "iterative solver requires square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            ),
         });
     }
     if b.len() != a.rows() || x0.len() != a.rows() {
@@ -193,12 +288,9 @@ mod tests {
 
     #[test]
     fn gauss_seidel_matches_jacobi() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[Triplet::new(0, 1, 0.5), Triplet::new(1, 0, 0.25)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 1, 0.5), Triplet::new(1, 0, 0.25)])
+                .unwrap();
         let b = vec![1.0, 2.0];
         let j = jacobi(&a, &b, &[0.0, 0.0], IterOptions::default()).unwrap();
         let g = gauss_seidel(&a, &b, &[0.0, 0.0], IterOptions::default()).unwrap();
@@ -225,6 +317,45 @@ mod tests {
         let err = jacobi(&a, &[1.0], &[1.0], IterOptions { tolerance: 1e-12, max_iterations: 50 })
             .unwrap_err();
         assert!(matches!(err, NumericsError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn budgeted_solvers_return_best_effort() {
+        // x = 2x + 1 diverges; the budgeted API must not error.
+        let a = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 2.0)]).unwrap();
+        let opts = IterOptions { tolerance: 1e-12, max_iterations: 50 };
+        let run = jacobi_budgeted(&a, &[1.0], &[1.0], opts, &Budget::unlimited()).unwrap();
+        assert!(!run.converged);
+        assert!(run.stopped.is_none());
+        assert_eq!(run.iterations, 50);
+        assert!(run.delta.is_finite() || run.delta.is_infinite()); // real residual, not NaN
+        assert!(!run.delta.is_nan());
+    }
+
+    #[test]
+    fn evaluation_cap_stops_sweeps() {
+        // Off-diagonal coupling so Gauss–Seidel converges slowly (rate ~0.998).
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 1, 0.999), Triplet::new(1, 0, 0.999)])
+                .unwrap();
+        let opts = IterOptions { tolerance: 1e-14, max_iterations: 1_000_000 };
+        let budget = Budget::unlimited().with_max_evaluations(7);
+        let run = gauss_seidel_budgeted(&a, &[1.0, 1.0], &[0.0, 0.0], opts, &budget).unwrap();
+        assert_eq!(run.stopped, Some(crate::Exhaustion::Evaluations));
+        assert!(run.iterations <= 7);
+        assert!(!run.converged);
+    }
+
+    #[test]
+    fn cancelled_solve_stops_immediately() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel_token(token);
+        let a = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 0.5)]).unwrap();
+        let run = jacobi_budgeted(&a, &[1.0], &[0.0], IterOptions::default(), &budget).unwrap();
+        assert_eq!(run.stopped, Some(crate::Exhaustion::Cancelled));
+        assert_eq!(run.iterations, 0);
+        assert_eq!(run.x, vec![0.0]); // untouched start vector
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod dense;
 mod error;
 mod field;
@@ -44,6 +45,7 @@ pub mod solve;
 mod sparse;
 pub mod vector;
 
+pub use budget::{Budget, CancelToken, Diagnostics, Exhaustion};
 pub use dense::DenseMatrix;
 pub use error::NumericsError;
 pub use field::Field;

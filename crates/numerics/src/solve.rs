@@ -73,6 +73,9 @@ pub fn solve_dense<T: Field>(a: &DenseMatrix<T>, b: &[T]) -> Result<Vec<T>, Nume
                 continue;
             }
             let factor = m[r][col].div(&pivot);
+            // Rows `col` and `r` of `m` are read and written together, so an
+            // iterator form would need split borrows.
+            #[allow(clippy::needless_range_loop)]
             for c in col..n {
                 if m[col][c].is_zero() {
                     continue;

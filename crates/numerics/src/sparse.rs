@@ -56,7 +56,11 @@ impl CsrMatrix {
     ///
     /// Returns [`NumericsError::IndexOutOfBounds`] if any triplet addresses
     /// a position outside `rows × cols`.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[Triplet]) -> Result<Self, NumericsError> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<Self, NumericsError> {
         for t in triplets {
             if t.row >= rows {
                 return Err(NumericsError::IndexOutOfBounds { index: t.row, len: rows });
@@ -131,12 +135,12 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row_entries(r) {
                 acc += v * x[c];
             }
-            out[r] = acc;
+            *o = acc;
         }
         Ok(out)
     }
@@ -159,11 +163,7 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[
-                Triplet::new(0, 0, 1.0),
-                Triplet::new(0, 2, 2.0),
-                Triplet::new(2, 1, 3.0),
-            ],
+            &[Triplet::new(0, 0, 1.0), Triplet::new(0, 2, 2.0), Triplet::new(2, 1, 3.0)],
         )
         .unwrap()
     }
@@ -178,12 +178,9 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let m = CsrMatrix::from_triplets(
-            1,
-            2,
-            &[Triplet::new(0, 1, 0.25), Triplet::new(0, 1, 0.5)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(1, 2, &[Triplet::new(0, 1, 0.25), Triplet::new(0, 1, 0.5)])
+                .unwrap();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.row_entries(0).next(), Some((1, 0.75)));
     }

@@ -47,3 +47,5 @@ mod solver;
 pub use error::OptimizerError;
 pub use problem::{Constraint, ConstraintSense, Nlp};
 pub use solver::{PenaltyOptions, PenaltySolver, Solution};
+// Budgets are part of the solver API surface.
+pub use tml_numerics::{Budget, CancelToken, Diagnostics, Exhaustion};

@@ -9,10 +9,13 @@ pub enum ConstraintSense {
     Ge,
 }
 
+/// A boxed scalar merit/constraint function over the decision vector.
+type ScalarFn = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
 /// One inequality constraint of an [`Nlp`].
 pub struct Constraint {
     name: String,
-    f: Box<dyn Fn(&[f64]) -> f64 + Send + Sync>,
+    f: ScalarFn,
     sense: ConstraintSense,
     rhs: f64,
     margin: f64,
@@ -73,7 +76,7 @@ impl std::fmt::Debug for Constraint {
 pub struct Nlp {
     n: usize,
     bounds: Vec<(f64, f64)>,
-    objective: Option<Box<dyn Fn(&[f64]) -> f64 + Send + Sync>>,
+    objective: Option<ScalarFn>,
     constraints: Vec<Constraint>,
 }
 
@@ -142,7 +145,13 @@ impl Nlp {
         margin: f64,
         f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
     ) -> &mut Self {
-        self.constraints.push(Constraint { name: name.to_owned(), f: Box::new(f), sense, rhs, margin });
+        self.constraints.push(Constraint {
+            name: name.to_owned(),
+            f: Box::new(f),
+            sense,
+            rhs,
+            margin,
+        });
         self
     }
 

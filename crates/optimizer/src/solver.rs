@@ -1,5 +1,6 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use tml_numerics::{Budget, Exhaustion};
 
 use crate::{Nlp, OptimizerError};
 
@@ -64,6 +65,9 @@ pub struct Solution {
     pub feasible: bool,
     /// Total objective/constraint evaluations spent.
     pub evaluations: usize,
+    /// Why the solve stopped early, if a [`Budget`] ran out. The solution
+    /// is still the best point found up to that moment.
+    pub stopped: Option<Exhaustion>,
 }
 
 /// Quadratic-penalty solver with a projected-gradient inner loop and
@@ -77,6 +81,7 @@ pub struct Solution {
 pub struct PenaltySolver {
     opts: PenaltyOptions,
     extra_starts: Vec<Vec<f64>>,
+    budget: Budget,
 }
 
 impl PenaltySolver {
@@ -87,12 +92,27 @@ impl PenaltySolver {
 
     /// A solver with explicit options.
     pub fn with_options(opts: PenaltyOptions) -> Self {
-        PenaltySolver { opts, extra_starts: Vec::new() }
+        PenaltySolver { opts, extra_starts: Vec::new(), budget: Budget::unlimited() }
+    }
+
+    /// Attaches an effort budget. The evaluation unit is merit/objective
+    /// evaluations (the same count reported in [`Solution::evaluations`]).
+    /// On exhaustion the solver returns the best point found so far with
+    /// [`Solution::stopped`] set — never an error.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The options in effect.
     pub fn options(&self) -> &PenaltyOptions {
         &self.opts
+    }
+
+    /// The budget in effect (unlimited by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Adds a user-provided starting point (tried before random restarts).
@@ -139,24 +159,52 @@ impl PenaltySolver {
         }
 
         let mut best: Option<Solution> = None;
+        let mut stopped: Option<Exhaustion> = None;
         for start in starts {
+            if let Some(cause) = self.budget.check(evaluations as u64) {
+                stopped.get_or_insert(cause);
+                break;
+            }
             let cand = self.solve_from(nlp, start, &mut evaluations);
+            if let Some(cause) = cand.stopped {
+                stopped.get_or_insert(cause);
+            }
             best = Some(match best {
                 None => cand,
                 Some(b) => pick_better(b, cand, self.opts.feasibility_tolerance),
             });
         }
-        let mut sol = best.expect("at least one start");
+        let mut sol = match best {
+            Some(b) => b,
+            None => {
+                // The budget was spent before any start ran: fall back to
+                // the evaluated box center so callers still get a point.
+                let x = nlp.center();
+                let objective = nlp.objective_value(&x);
+                let max_violation = nlp.max_violation(&x);
+                evaluations += 2;
+                Solution { x, objective, max_violation, feasible: false, evaluations: 0, stopped }
+            }
+        };
         sol.evaluations = evaluations;
         sol.feasible = sol.max_violation <= self.opts.feasibility_tolerance;
+        sol.stopped = stopped;
         Ok(sol)
     }
 
     fn solve_from(&self, nlp: &Nlp, mut x: Vec<f64>, evaluations: &mut usize) -> Solution {
         nlp.project(&mut x);
         let mut mu = self.opts.penalty_init;
+        let mut stopped = None;
         for _ in 0..self.opts.penalty_rounds {
-            self.projected_gradient(nlp, &mut x, mu, evaluations);
+            if let Some(cause) = self.budget.check(*evaluations as u64) {
+                stopped = Some(cause);
+                break;
+            }
+            if let Some(cause) = self.projected_gradient(nlp, &mut x, mu, evaluations) {
+                stopped = Some(cause);
+                break;
+            }
             if nlp.max_violation(&x) <= self.opts.feasibility_tolerance * 0.1 {
                 // Already comfortably feasible: further escalation only
                 // fights the objective.
@@ -167,12 +215,20 @@ impl PenaltySolver {
         let objective = nlp.objective_value(&x);
         let max_violation = nlp.max_violation(&x);
         *evaluations += 2;
-        Solution { x, objective, max_violation, feasible: false, evaluations: 0 }
+        Solution { x, objective, max_violation, feasible: false, evaluations: 0, stopped }
     }
 
     /// Minimizes the penalized merit function with projected gradient
-    /// descent and backtracking line search.
-    fn projected_gradient(&self, nlp: &Nlp, x: &mut Vec<f64>, mu: f64, evaluations: &mut usize) {
+    /// descent and backtracking line search. Returns the exhaustion cause
+    /// if the budget ran out mid-descent (leaving `x` at the best accepted
+    /// iterate).
+    fn projected_gradient(
+        &self,
+        nlp: &Nlp,
+        x: &mut Vec<f64>,
+        mu: f64,
+        evaluations: &mut usize,
+    ) -> Option<Exhaustion> {
         let n = nlp.num_vars();
         let merit = |pt: &[f64], evals: &mut usize| -> f64 {
             *evals += 1 + nlp.constraints().len();
@@ -181,15 +237,28 @@ impl PenaltySolver {
                 return f64::INFINITY;
             }
             let penalty: f64 = nlp.constraints().iter().map(|c| c.violation(pt).powi(2)).sum();
-            nlp.objective_value(pt) + mu * penalty
+            let m = nlp.objective_value(pt) + mu * penalty;
+            // A NaN merit (e.g. ∞ − ∞ from a pathological oracle) would
+            // poison every comparison below; treat it as worst-possible.
+            if m.is_nan() {
+                f64::INFINITY
+            } else {
+                m
+            }
         };
 
         let mut fx = merit(x, evaluations);
         let mut step = self.opts.step_init;
         for _ in 0..self.opts.inner_iterations {
+            if let Some(cause) = self.budget.check(*evaluations as u64) {
+                return Some(cause);
+            }
             // Central-difference gradient, clamped to the box.
             let mut grad = vec![0.0; n];
             for i in 0..n {
+                if let Some(cause) = self.budget.check(*evaluations as u64) {
+                    return Some(cause);
+                }
                 let h = self.opts.gradient_step * (1.0 + x[i].abs());
                 let (lo, hi) = nlp.bounds()[i];
                 let mut xp = x.clone();
@@ -213,7 +282,11 @@ impl PenaltySolver {
             let mut accepted = false;
             let mut t = step;
             for _ in 0..40 {
-                let mut cand: Vec<f64> = x.iter().zip(&grad).map(|(xi, gi)| xi - t * gi / gnorm).collect();
+                if let Some(cause) = self.budget.check(*evaluations as u64) {
+                    return Some(cause);
+                }
+                let mut cand: Vec<f64> =
+                    x.iter().zip(&grad).map(|(xi, gi)| xi - t * gi / gnorm).collect();
                 nlp.project(&mut cand);
                 let fc = merit(&cand, evaluations);
                 if fc < fx - 1e-12 {
@@ -233,6 +306,7 @@ impl PenaltySolver {
                 break;
             }
         }
+        None
     }
 }
 
@@ -323,7 +397,8 @@ mod tests {
     fn user_start_is_respected() {
         let mut nlp = Nlp::new(1, vec![(-100.0, 100.0)]).unwrap();
         nlp.objective(|x| (x[0] - 42.0).powi(2));
-        let mut solver = PenaltySolver::with_options(PenaltyOptions { restarts: 0, ..Default::default() });
+        let mut solver =
+            PenaltySolver::with_options(PenaltyOptions { restarts: 0, ..Default::default() });
         solver.start_from(vec![41.0]);
         let sol = solver.solve(&nlp).unwrap();
         assert!((sol.x[0] - 42.0).abs() < 1e-3, "x = {:?}", sol.x);
@@ -351,6 +426,53 @@ mod tests {
         let s1 = PenaltySolver::new().solve(&build()).unwrap();
         let s2 = PenaltySolver::new().solve(&build()).unwrap();
         assert_eq!(s1.x, s2.x);
+    }
+
+    #[test]
+    fn evaluation_budget_yields_best_effort_solution() {
+        let mut nlp = Nlp::new(2, vec![(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        nlp.objective(|x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2));
+        let solver = PenaltySolver::new().with_budget(Budget::unlimited().with_max_evaluations(25));
+        let sol = solver.solve(&nlp).unwrap();
+        assert_eq!(sol.stopped, Some(Exhaustion::Evaluations));
+        assert!(sol.evaluations <= 50, "polling granularity keeps overshoot small");
+        assert!(sol.objective.is_finite());
+        assert_eq!(sol.x.len(), 2);
+    }
+
+    #[test]
+    fn zero_budget_still_returns_a_point() {
+        let mut nlp = Nlp::new(1, vec![(0.0, 2.0)]).unwrap();
+        nlp.objective(|x| x[0]);
+        let solver = PenaltySolver::new().with_budget(Budget::unlimited().with_max_evaluations(0));
+        let sol = solver.solve(&nlp).unwrap();
+        assert_eq!(sol.stopped, Some(Exhaustion::Evaluations));
+        // Falls back to the evaluated box center.
+        assert_eq!(sol.x, vec![1.0]);
+        assert!((sol.objective - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancellation_stops_the_solver() {
+        let token = tml_numerics::CancelToken::new();
+        token.cancel();
+        let mut nlp = Nlp::new(1, vec![(-1.0, 1.0)]).unwrap();
+        nlp.minimize_norm2();
+        let solver = PenaltySolver::new().with_budget(Budget::unlimited().with_cancel_token(token));
+        let sol = solver.solve(&nlp).unwrap();
+        assert_eq!(sol.stopped, Some(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn nan_objective_does_not_poison_the_solve() {
+        // The oracle returns NaN on half the domain; the solver must keep
+        // working with the finite half and still find the minimum there.
+        let mut nlp = Nlp::new(1, vec![(-2.0, 2.0)]).unwrap();
+        nlp.objective(|x| if x[0] < 0.0 { f64::NAN } else { (x[0] - 1.0).powi(2) });
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!(sol.stopped.is_none());
+        assert!(sol.objective.is_finite(), "solution must land in the finite region");
+        assert!((sol.x[0] - 1.0).abs() < 1e-3, "x = {:?}", sol.x);
     }
 
     #[test]

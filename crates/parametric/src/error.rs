@@ -65,7 +65,10 @@ impl fmt::Display for ParametricError {
             }
             ParametricError::Model(e) => write!(f, "model error: {e}"),
             ParametricError::InfiniteReward { state } => {
-                write!(f, "expected reward from state {state} is infinite (target not reached a.s.)")
+                write!(
+                    f,
+                    "expected reward from state {state} is infinite (target not reached a.s.)"
+                )
             }
             ParametricError::SingularSystem => write!(f, "symbolic linear system is singular"),
         }

@@ -142,7 +142,11 @@ impl ParametricDtmc {
     /// # Errors
     ///
     /// Same conditions as [`ParametricDtmc::reachability`].
-    pub fn until(&self, phi: &[bool], target: &[bool]) -> Result<Vec<RationalFunction>, ParametricError> {
+    pub fn until(
+        &self,
+        phi: &[bool],
+        target: &[bool],
+    ) -> Result<Vec<RationalFunction>, ParametricError> {
         let n = self.num_states();
         assert_eq!(target.len(), n, "target mask length");
         assert_eq!(phi.len(), n, "phi mask length");
@@ -150,9 +154,16 @@ impl ParametricDtmc {
         let (zero, one) = self.qualitative(phi, target);
         let maybe: Vec<usize> = (0..n).filter(|&s| !zero[s] && !one[s]).collect();
 
-        let mut result: Vec<RationalFunction> = (0..n)
-            .map(|s| if one[s] { RationalFunction::one_rf(nv) } else { RationalFunction::zero_rf(nv) })
-            .collect();
+        let mut result: Vec<RationalFunction> =
+            (0..n)
+                .map(|s| {
+                    if one[s] {
+                        RationalFunction::one_rf(nv)
+                    } else {
+                        RationalFunction::zero_rf(nv)
+                    }
+                })
+                .collect();
         if maybe.is_empty() {
             return Ok(result);
         }
@@ -347,7 +358,10 @@ impl ParametricDtmcBuilder {
     ) -> Result<&mut Self, ParametricError> {
         self.check_state(state)?;
         if value.num_vars() != self.nvars {
-            return Err(ParametricError::ArityMismatch { left: self.nvars, right: value.num_vars() });
+            return Err(ParametricError::ArityMismatch {
+                left: self.nvars,
+                right: value.num_vars(),
+            });
         }
         let row = self
             .state_rewards
@@ -413,7 +427,11 @@ fn identity_rf(m: usize, nvars: usize) -> DenseMatrix<RationalFunction> {
             a.set(
                 i,
                 j,
-                if i == j { RationalFunction::one_rf(nvars) } else { RationalFunction::zero_rf(nvars) },
+                if i == j {
+                    RationalFunction::one_rf(nvars)
+                } else {
+                    RationalFunction::zero_rf(nvars)
+                },
             );
         }
     }
@@ -485,7 +503,8 @@ mod tests {
             let concrete = p.instantiate(&[val]).unwrap();
             let opts = tml_checker::CheckOptions::default();
             let phi = vec![true; 3];
-            let exact = tml_checker::dtmc::until_probabilities(&concrete, &phi, &target, &opts).unwrap();
+            let exact =
+                tml_checker::dtmc::until_probabilities(&concrete, &phi, &target, &opts).unwrap();
             for s in 0..3 {
                 let sym = reach[s].eval(&[val]).unwrap();
                 assert!((sym - exact[s]).abs() < 1e-9, "state {s} v={val}: {sym} vs {}", exact[s]);
@@ -613,7 +632,7 @@ mod proptests {
             let sym = p.reachability(&target).unwrap();
             let concrete = p.instantiate(&[vval]).unwrap();
             let exact = tml_checker::dtmc::until_probabilities(
-                &concrete, &vec![true; 4], &target, &tml_checker::CheckOptions::default()).unwrap();
+                &concrete, &[true; 4], &target, &tml_checker::CheckOptions::default()).unwrap();
             for s in 0..4 {
                 let got = sym[s].eval(&[vval]).unwrap();
                 prop_assert!((got - exact[s]).abs() < 1e-8,

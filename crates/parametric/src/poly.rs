@@ -190,7 +190,10 @@ impl Polynomial {
     /// point.
     pub fn eval(&self, point: &[f64]) -> Result<f64, ParametricError> {
         if point.len() != self.nvars {
-            return Err(ParametricError::PointArityMismatch { expected: self.nvars, got: point.len() });
+            return Err(ParametricError::PointArityMismatch {
+                expected: self.nvars,
+                got: point.len(),
+            });
         }
         let mut acc = 0.0;
         for (exp, c) in &self.terms {
@@ -351,7 +354,8 @@ mod tests {
 
     #[test]
     fn from_terms_merges_and_validates() {
-        let p = Polynomial::from_terms(1, &[(vec![1], 2.0), (vec![1], 3.0), (vec![0], 0.0)]).unwrap();
+        let p =
+            Polynomial::from_terms(1, &[(vec![1], 2.0), (vec![1], 3.0), (vec![0], 0.0)]).unwrap();
         assert_eq!(p.num_terms(), 1);
         assert_eq!(p.eval(&[2.0]).unwrap(), 10.0);
         assert!(Polynomial::from_terms(1, &[(vec![1, 2], 1.0)]).is_err());

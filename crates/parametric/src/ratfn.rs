@@ -77,7 +77,10 @@ impl RationalFunction {
     /// * [`ParametricError::DivisionByZero`] if `den` is the zero polynomial.
     pub fn new(num: Polynomial, den: Polynomial) -> Result<Self, ParametricError> {
         if num.num_vars() != den.num_vars() {
-            return Err(ParametricError::ArityMismatch { left: num.num_vars(), right: den.num_vars() });
+            return Err(ParametricError::ArityMismatch {
+                left: num.num_vars(),
+                right: den.num_vars(),
+            });
         }
         if den.is_zero() {
             return Err(ParametricError::DivisionByZero);
@@ -164,8 +167,7 @@ impl RationalFunction {
             rf.normalize();
             return rf;
         }
-        let mut rf =
-            RationalFunction { num: self.num.mul(&rhs.num), den: self.den.mul(&rhs.den) };
+        let mut rf = RationalFunction { num: self.num.mul(&rhs.num), den: self.den.mul(&rhs.den) };
         rf.normalize();
         rf
     }
@@ -265,10 +267,8 @@ impl RationalFunction {
 }
 
 fn divide_monomial(p: &Polynomial, exps: &[u32]) -> Polynomial {
-    let terms: Vec<(Vec<u32>, f64)> = p
-        .terms()
-        .map(|(e, c)| (e.iter().zip(exps).map(|(&a, &b)| a - b).collect(), c))
-        .collect();
+    let terms: Vec<(Vec<u32>, f64)> =
+        p.terms().map(|(e, c)| (e.iter().zip(exps).map(|(&a, &b)| a - b).collect(), c)).collect();
     Polynomial::from_terms(p.num_vars(), &terms).expect("same arity by construction")
 }
 
@@ -465,7 +465,8 @@ mod proptests {
         // vanishes on [-1, 1].
         (-3.0_f64..3.0, -3.0_f64..3.0, 0.0_f64..0.9).prop_map(|(a, b, cc)| {
             let v = RationalFunction::var(1, 0);
-            let num = RationalFunction::constant(1, a).add(&v.mul(&RationalFunction::constant(1, b)));
+            let num =
+                RationalFunction::constant(1, a).add(&v.mul(&RationalFunction::constant(1, b)));
             let den = RationalFunction::constant(1, 1.0)
                 .add(&v.mul(&v).mul(&RationalFunction::constant(1, cc)));
             num.div(&den).unwrap()
@@ -499,8 +500,5 @@ mod proptests {
 }
 
 fn constant_term(p: &Polynomial) -> f64 {
-    p.terms()
-        .find(|(exp, _)| exp.iter().all(|&e| e == 0))
-        .map(|(_, c)| c)
-        .unwrap_or(0.0)
+    p.terms().find(|(exp, _)| exp.iter().all(|&e| e == 0)).map(|(_, c)| c).unwrap_or(0.0)
 }

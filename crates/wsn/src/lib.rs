@@ -135,7 +135,9 @@ impl WsnConfig {
 
     fn validate(&self) -> Result<(), RepairError> {
         if self.n < 2 {
-            return Err(RepairError::InvalidInput { detail: "grid side must be at least 2".into() });
+            return Err(RepairError::InvalidInput {
+                detail: "grid side must be at least 2".into(),
+            });
         }
         for p in [self.ignore_edge, self.ignore_interior] {
             if !(0.0..1.0).contains(&p) {
@@ -434,13 +436,9 @@ mod tests {
         assert_eq!(ds.num_classes(), 4);
         assert!(ds.num_traces() > 100);
         // ML from the traces approximates the ground truth somewhat.
-        let learned = tml_models::learn::ml_dtmc(
-            c.num_states(),
-            &ds,
-            None,
-            tml_models::MlOptions::default(),
-        )
-        .unwrap();
+        let learned =
+            tml_models::learn::ml_dtmc(c.num_states(), &ds, None, tml_models::MlOptions::default())
+                .unwrap();
         let mut b = learned;
         b.initial_state(c.source()).unwrap();
         b.label(c.delivered(), "delivered").unwrap();

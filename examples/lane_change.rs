@@ -31,9 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     logs.push(nominal, Path::from_states(vec![CRUISE, REDUCED, REDUCED]), 26.0)?;
     logs.push(glitch, Path::from_states(vec![CRUISE, TAILGATE, TAILGATE]), 4.0)?;
 
-    let spec = ModelSpec::new(4)
-        .label(CHANGED, "changedLane")
-        .label(REDUCED, "reducedSpeed");
+    let spec = ModelSpec::new(4).label(CHANGED, "changedLane").label(REDUCED, "reducedSpeed");
     let phi = parse_formula("P>0.99 [ F (\"changedLane\" | \"reducedSpeed\") ]")?;
     println!("property: {phi}");
 
@@ -43,10 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     template.nudge(CRUISE, CHANGED, v, 1.0)?;
     template.nudge(CRUISE, TAILGATE, v, -1.0)?;
 
-    let outcome = TmlPipeline::new(spec, phi)
-        .with_model_repair(template)
-        .with_data_repair()
-        .run(&logs)?;
+    let outcome =
+        TmlPipeline::new(spec, phi).with_model_repair(template).with_data_repair().run(&logs)?;
 
     match &outcome {
         TmlOutcome::Satisfied { .. } => println!("learned model already satisfies the property"),

@@ -23,10 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("expected routing attempts as a rational function of (p, q):");
     println!("  f(p, q) = {f}");
-    println!("  numerator terms: {}, denominator terms: {}, combined degree: {}",
+    println!(
+        "  numerator terms: {}, denominator terms: {}, combined degree: {}",
         f.numerator().num_terms(),
         f.denominator().num_terms(),
-        f.complexity());
+        f.complexity()
+    );
 
     // On the 2×2 grid every node lies on an edge row, so the interior
     // correction q has no effect — the closed form depends on p alone and

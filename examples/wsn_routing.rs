@@ -8,8 +8,7 @@ use trusted_ml::checker::Checker;
 use trusted_ml::logic::parse_query;
 use trusted_ml::repair::{DataRepair, ModelRepair, RepairStatus};
 use trusted_ml::wsn::{
-    attempts_property, build_dtmc, classes, generate_traces, model_spec, repair_template,
-    WsnConfig,
+    attempts_property, build_dtmc, classes, generate_traces, model_spec, repair_template, WsnConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,9 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Data repair: noisy traces inflate the learned ignore rates; drop
     // the corrupt classes so the re-learned model meets X = 19.
     let dataset = generate_traces(&config, 120, 40.0, 42)?;
-    let out_data = DataRepair::new()
-        .keep_class(classes::FORWARD_SUCCESS)
-        .repair(&dataset, &model_spec(&config), &attempts_property(19.0))?;
+    let out_data = DataRepair::new().keep_class(classes::FORWARD_SUCCESS).repair(
+        &dataset,
+        &model_spec(&config),
+        &attempts_property(19.0),
+    )?;
     println!("\ndata repair for X = 19: {:?} (verified {})", out_data.status, out_data.verified);
     for (class, w) in &out_data.keep_weights {
         println!("  keep weight for {class}: {w:.4}");

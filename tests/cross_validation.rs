@@ -41,8 +41,7 @@ fn parametric_constant_lift_matches_checker() {
         let target = d.labeling().mask("goal");
         let symbolic = p.reachability(&target).unwrap();
         let exact =
-            cdtmc::until_probabilities(&d, &vec![true; 7], &target, &CheckOptions::default())
-                .unwrap();
+            cdtmc::until_probabilities(&d, &[true; 7], &target, &CheckOptions::default()).unwrap();
         for s in 0..7 {
             let sym = symbolic[s].eval(&[0.0]).unwrap();
             assert!((sym - exact[s]).abs() < 1e-8, "seed {seed} state {s}: {sym} vs {}", exact[s]);
@@ -57,7 +56,7 @@ fn bounded_until_matches_path_enumeration() {
     let d = random_dtmc(3, 5);
     let target = d.labeling().mask("goal");
     let k = 4;
-    let exact = cdtmc::bounded_until_probabilities(&d, &vec![true; 5], &target, k);
+    let exact = cdtmc::bounded_until_probabilities(&d, &[true; 5], &target, k);
 
     // Brute force from each state.
     for s0 in 0..5 {
@@ -129,12 +128,9 @@ fn mdp_optima_bracket_all_policies() {
 fn cumulative_converges_to_reachability_reward() {
     let d = random_dtmc(11, 6);
     let checker = Checker::new();
-    let reach = checker
-        .query_dtmc(&d, &parse_query("R{\"cost\"}=? [ F \"goal\" ]").unwrap())
-        .unwrap();
-    let cum = checker
-        .query_dtmc(&d, &parse_query("R{\"cost\"}=? [ C<=4000 ]").unwrap())
-        .unwrap();
+    let reach =
+        checker.query_dtmc(&d, &parse_query("R{\"cost\"}=? [ F \"goal\" ]").unwrap()).unwrap();
+    let cum = checker.query_dtmc(&d, &parse_query("R{\"cost\"}=? [ C<=4000 ]").unwrap()).unwrap();
     for s in 0..6 {
         if reach[s].is_finite() {
             assert!(

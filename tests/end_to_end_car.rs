@@ -2,14 +2,14 @@
 //! integration tests spanning models → IRL → repair.
 
 use trusted_ml::car;
+use trusted_ml::checker::Checker;
 use trusted_ml::irl::{value_iteration, ViOptions};
 use trusted_ml::logic::{parse_formula, TraceFormula};
+use trusted_ml::models::DeterministicPolicy;
 use trusted_ml::repair::{
     enumerate_trajectories, project_distribution, MdpTraceView, RepairStatus, RewardRepair,
     WeightedRule,
 };
-use trusted_ml::checker::Checker;
-use trusted_ml::models::DeterministicPolicy;
 
 /// E5: IRL on the expert demonstration learns a reward whose optimal
 /// policy takes action 0 (forward) in S1 — colliding with the van.
@@ -32,7 +32,14 @@ fn e6_reward_repair_restores_safety() {
     let features = car::features().unwrap();
     let irl = car::learn_reward(&mdp).unwrap();
     let out = RewardRepair::new()
-        .q_constraint_repair(&mdp, &features, &irl.theta, &[car::q_repair_constraint()], car::GAMMA, 3.0)
+        .q_constraint_repair(
+            &mdp,
+            &features,
+            &irl.theta,
+            &[car::q_repair_constraint()],
+            car::GAMMA,
+            3.0,
+        )
         .unwrap();
     assert_eq!(out.status, RepairStatus::Repaired);
     assert!(out.verified);
@@ -104,7 +111,14 @@ fn repaired_policy_chain_satisfies_pctl() {
     let features = car::features().unwrap();
     let irl = car::learn_reward(&mdp).unwrap();
     let out = RewardRepair::new()
-        .q_constraint_repair(&mdp, &features, &irl.theta, &[car::q_repair_constraint()], car::GAMMA, 3.0)
+        .q_constraint_repair(
+            &mdp,
+            &features,
+            &irl.theta,
+            &[car::q_repair_constraint()],
+            car::GAMMA,
+            3.0,
+        )
         .unwrap();
     let pi = car::greedy_policy(&mdp, &out.theta).unwrap();
     let chain = DeterministicPolicy::new(pi).induce(&mdp).unwrap();
@@ -127,7 +141,14 @@ fn repaired_policy_matches_expert_on_demo_states() {
     let features = car::features().unwrap();
     let irl = car::learn_reward(&mdp).unwrap();
     let out = RewardRepair::new()
-        .q_constraint_repair(&mdp, &features, &irl.theta, &[car::q_repair_constraint()], car::GAMMA, 3.0)
+        .q_constraint_repair(
+            &mdp,
+            &features,
+            &irl.theta,
+            &[car::q_repair_constraint()],
+            car::GAMMA,
+            3.0,
+        )
         .unwrap();
     let rewards = features.rewards(&out.theta);
     let vi = value_iteration(&mdp, &rewards, ViOptions { gamma: car::GAMMA, ..Default::default() })

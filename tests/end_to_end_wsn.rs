@@ -45,8 +45,10 @@ fn e2_model_repair_feasible_x40() {
     let repaired = out.model.unwrap();
     assert!(expected_attempts(&repaired, config.source()) <= 40.0 + 1e-6);
     // The repair must actually lower the ignore rates (raise forwarding).
-    assert!(repaired.probability(config.source(), config.source())
-        < chain.probability(config.source(), config.source()));
+    assert!(
+        repaired.probability(config.source(), config.source())
+            < chain.probability(config.source(), config.source())
+    );
 }
 
 /// E3: `X = 19` is infeasible under the small-perturbation class.
@@ -190,9 +192,10 @@ fn mdp_model_repair_worst_case_bound() {
     }
     // R{attempts} <= bound resolves to Rmax <= bound on MDPs.
     let bound = base_worst * 0.85;
-    let property =
-        trusted_ml::logic::parse_formula(&format!("R{{\"attempts\"}}<={bound} [ F \"delivered\" ]"))
-            .unwrap();
+    let property = trusted_ml::logic::parse_formula(&format!(
+        "R{{\"attempts\"}}<={bound} [ F \"delivered\" ]"
+    ))
+    .unwrap();
     let out = ModelRepair::new().repair_mdp(&mdp, &property, &template).unwrap();
     assert_eq!(out.status, trusted_ml::repair::RepairStatus::Repaired);
     assert!(out.verified);

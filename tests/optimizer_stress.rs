@@ -70,20 +70,19 @@ proptest! {
 #[test]
 fn survives_partial_nan_regions() {
     let mut nlp = Nlp::new(1, vec![(-2.0, 2.0)]).unwrap();
-    nlp.objective(|x| {
-        if x[0] < -1.0 {
-            f64::NAN
-        } else {
-            (x[0] - 0.5).powi(2)
-        }
-    });
-    nlp.constraint("c", ConstraintSense::Ge, 0.0, |x| {
-        if x[0] > 1.5 {
-            f64::INFINITY
-        } else {
-            x[0]
-        }
-    });
+    nlp.objective(|x| if x[0] < -1.0 { f64::NAN } else { (x[0] - 0.5).powi(2) });
+    nlp.constraint(
+        "c",
+        ConstraintSense::Ge,
+        0.0,
+        |x| {
+            if x[0] > 1.5 {
+                f64::INFINITY
+            } else {
+                x[0]
+            }
+        },
+    );
     let sol = PenaltySolver::new().solve(&nlp).unwrap();
     assert!(sol.feasible, "violation {}", sol.max_violation);
     assert!((sol.x[0] - 0.5).abs() < 1e-3, "x = {:?}", sol.x);

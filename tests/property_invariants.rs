@@ -23,27 +23,23 @@ fn arb_trace_formula() -> impl Strategy<Value = TraceFormula> {
             inner.clone().prop_map(|f| TraceFormula::Next(Box::new(f))),
             inner.clone().prop_map(|f| TraceFormula::Always(Box::new(f))),
             inner.clone().prop_map(|f| TraceFormula::Eventually(Box::new(f))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| TraceFormula::Until(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| TraceFormula::Until(Box::new(a), Box::new(b))),
         ]
     })
 }
 
 fn arb_trace() -> impl Strategy<Value = SliceTrace> {
-    proptest::collection::vec(
-        (proptest::collection::vec(0usize..3, 0..3), 0usize..3),
-        1..7,
-    )
-    .prop_map(|positions| {
-        let labels: Vec<Vec<String>> = positions
-            .iter()
-            .map(|(ls, _)| ls.iter().map(|i| format!("a{i}")).collect())
-            .collect();
-        let actions: Vec<usize> = positions.iter().map(|(_, a)| *a).collect();
-        // Final position gets no action: drop the last.
-        let actions = actions[..actions.len() - 1].to_vec();
-        SliceTrace::new(labels, actions)
-    })
+    proptest::collection::vec((proptest::collection::vec(0usize..3, 0..3), 0usize..3), 1..7)
+        .prop_map(|positions| {
+            let labels: Vec<Vec<String>> = positions
+                .iter()
+                .map(|(ls, _)| ls.iter().map(|i| format!("a{i}")).collect())
+                .collect();
+            let actions: Vec<usize> = positions.iter().map(|(_, a)| *a).collect();
+            // Final position gets no action: drop the last.
+            let actions = actions[..actions.len() - 1].to_vec();
+            SliceTrace::new(labels, actions)
+        })
 }
 
 proptest! {

@@ -1,0 +1,662 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the subset of proptest it uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_recursive`, range / tuple / `Just` / collection / option
+//! / regex-literal strategies, the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!` and `prop_oneof!` macros, and [`ProptestConfig`].
+//!
+//! Differences from the real crate: generation is driven by a deterministic
+//! per-test SplitMix64 stream (seeded from the test name), there is **no
+//! shrinking**, and failure reports show the case number instead of a
+//! minimized input. That is sufficient for the workspace's property tests,
+//! which all assert numeric invariants on freshly generated inputs.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic random source used to generate test cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream seeded from a test name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9007199254740992.0)
+    }
+
+    /// Uniform index in `[0, n)`; panics when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty set");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Error produced by `prop_assert!`-style macros inside a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy for the
+    /// previous depth level and returns the strategy for the next one.
+    /// `depth` bounds the recursion; the size/branch hints of the real
+    /// proptest API are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(ArcStrategy<Self::Value>) -> S2,
+    {
+        let mut current = ArcStrategy::new(self);
+        for _ in 0..depth {
+            current = ArcStrategy::new(f(current.clone()));
+        }
+        current
+    }
+}
+
+/// Type-erased, cheaply clonable strategy handle (used by
+/// [`Strategy::prop_recursive`] and `prop_oneof!`).
+pub struct ArcStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for ArcStrategy<T> {
+    fn clone(&self) -> Self {
+        ArcStrategy { generate: Rc::clone(&self.generate) }
+    }
+}
+
+impl<T> ArcStrategy<T> {
+    /// Erases a concrete strategy.
+    pub fn new<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        ArcStrategy { generate: Rc::new(move |rng| strategy.generate(rng)) }
+    }
+}
+
+impl<T> Strategy for ArcStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between erased alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<ArcStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics when `arms` is empty.
+    pub fn new(arms: Vec<ArcStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// A `&str` strategy interprets the string as a simplified regular
+/// expression (character classes with ranges plus `{m,n}` / `?` / `*` / `+`
+/// quantifiers) and generates matching strings — enough for patterns like
+/// `"[a-z][a-z0-9_]{0,6}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = regex_lite::parse(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below(atom.max - atom.min + 1)
+            };
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+mod regex_lite {
+    pub struct Atom {
+        pub chars: Vec<char>,
+        pub min: usize,
+        pub max: usize,
+    }
+
+    /// Parses a pattern of literal characters and `[...]` classes, each
+    /// optionally followed by `{n}`, `{m,n}`, `?`, `*` or `+`.
+    pub fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let set = parse_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).unwrap_or_else(|| panic!("dangling \\ in {pattern:?}"));
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            atoms.push(Atom { chars: set, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if j + 2 < body.len() && body[j + 1] == '-' {
+                let (lo, hi) = (body[j], body[j + 2]);
+                assert!(lo <= hi, "bad class range {lo}-{hi}");
+                for c in lo..=hi {
+                    set.push(c);
+                }
+                j += 3;
+            } else {
+                set.push(body[j]);
+                j += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 4)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 4)
+            }
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| *i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("bad {m,n} quantifier");
+                        let hi: usize = hi.trim().parse().expect("bad {m,n} quantifier");
+                        assert!(lo <= hi, "bad quantifier bounds");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+/// `proptest::collection` — sized collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Number-of-elements specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                self.size.min + rng.below(self.size.max - self.size.min + 1)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — optional-value strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy generating `None` about a quarter of the time and `Some`
+    /// of the inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ArcStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Uniformly picks one of the listed strategies (all must share a value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::ArcStrategy::new($arm)),+])
+    };
+}
+
+/// Fails the current test case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current test case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` != `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: `{:?}` == `{:?}`", lhs, rhs);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        let s = crate::collection::vec(0.0_f64..1.0, 3..6);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((3..6).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+        let t = (0usize..3, 10u32..=12);
+        for _ in 0..50 {
+            let (a, b) = Strategy::generate(&t, &mut rng);
+            assert!(a < 3);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_subset_strategy() {
+        let mut rng = crate::TestRng::from_name("regex");
+        let s = "[a-z][a-z0-9_]{0,6}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(!v.is_empty() && v.len() <= 7, "bad length: {v:?}");
+            let mut cs = v.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(usize),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0usize..4).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (0usize..4).prop_map(Tree::Leaf),
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut rng = crate::TestRng::from_name("trees");
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_smoke(x in 0.0_f64..1.0, v in crate::collection::vec(0usize..5, 2)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(v.len(), 2);
+            prop_assert_ne!(v.len(), 3);
+        }
+    }
+}

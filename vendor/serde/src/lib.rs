@@ -1,0 +1,470 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors a minimal data-model-based replacement: values serialize into a
+//! [`Content`] tree, and `serde_json` renders/parses that tree. The
+//! companion `serde_derive` proc-macro generates [`Serialize`] /
+//! [`Deserialize`] impls for the plain (non-generic, attribute-free)
+//! structs and enums used by the workspace, following serde's externally
+//! tagged enum convention so the JSON shape matches the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Serialized value tree (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys (preserves insertion order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Interprets the content as a sequence of exactly `n` elements.
+    pub fn as_seq(&self, n: usize) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) if items.len() == n => Ok(items),
+            Content::Seq(items) => Err(DeError::custom(format!(
+                "expected sequence of {n} elements, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+
+    /// Looks up a struct field in a map.
+    pub fn field(&self, name: &str) -> Result<&Content, DeError> {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+            other => Err(DeError::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+
+    /// Decodes an externally tagged enum: a bare string is a unit variant,
+    /// a single-entry map is a variant with a payload.
+    pub fn variant(&self) -> Result<(&str, Option<&Content>), DeError> {
+        match self {
+            Content::Str(tag) => Ok((tag, None)),
+            Content::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(DeError::custom(format!("expected enum variant, got {other:?}"))),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from the data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::UInt(u) => *u,
+                    Content::Int(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::UInt(v as u64)
+                } else {
+                    Content::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw: i64 = match content {
+                    Content::Int(i) => *i,
+                    Content::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| DeError::custom(format!("integer {u} out of range")))?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = f64::from(*self);
+                if v.is_finite() {
+                    Content::Float(v)
+                } else if v.is_nan() {
+                    Content::Str("NaN".to_string())
+                } else if v > 0.0 {
+                    Content::Str("inf".to_string())
+                } else {
+                    Content::Str("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::Float(f) => *f,
+                    Content::UInt(u) => *u as f64,
+                    Content::Int(i) => *i as f64,
+                    Content::Str(s) if s == "NaN" => f64::NAN,
+                    Content::Str(s) if s == "inf" => f64::INFINITY,
+                    Content::Str(s) if s == "-inf" => f64::NEG_INFINITY,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected number, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(v as $t)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_content(content)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = content.as_seq(LEN)?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys that can be represented as JSON object keys.
+pub trait MapKey: Sized {
+    /// Renders the key as a string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a string.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError::custom(format!("invalid integer key {key:?}")))
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?))).collect()
+            }
+            other => Err(DeError::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: MapKey + Ord + std::hash::Hash + Eq,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn to_content(&self) -> Content {
+        // Sort for a deterministic rendering.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(entries.into_iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?))).collect()
+            }
+            other => Err(DeError::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let c = 42usize.to_content();
+        assert_eq!(usize::from_content(&c).unwrap(), 42);
+        let c = (-3i64).to_content();
+        assert_eq!(i64::from_content(&c).unwrap(), -3);
+        let c = 0.25f64.to_content();
+        assert_eq!(f64::from_content(&c).unwrap(), 0.25);
+        let c = f64::NAN.to_content();
+        assert!(f64::from_content(&c).unwrap().is_nan());
+        let c = "hi".to_string().to_content();
+        assert_eq!(String::from_content(&c).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(usize, f64)> = vec![(0, 0.5), (3, 0.25)];
+        let back: Vec<(usize, f64)> = Deserialize::from_content(&v.to_content()).unwrap();
+        assert_eq!(v, back);
+
+        let mut m: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        m.insert("a".into(), vec![1, 2]);
+        let back: BTreeMap<String, Vec<u64>> = Deserialize::from_content(&m.to_content()).unwrap();
+        assert_eq!(m, back);
+
+        let s: BTreeSet<usize> = [3, 1, 4].into_iter().collect();
+        let back: BTreeSet<usize> = Deserialize::from_content(&s.to_content()).unwrap();
+        assert_eq!(s, back);
+
+        let o: Option<u64> = None;
+        assert_eq!(o.to_content(), Content::Null);
+        let back: Option<u64> = Deserialize::from_content(&Content::Null).unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn enum_variant_decoding() {
+        let unit = Content::Str("Min".into());
+        assert_eq!(unit.variant().unwrap(), ("Min", None));
+        let tagged = Content::Map(vec![("Atom".into(), Content::Str("x".into()))]);
+        let (tag, payload) = tagged.variant().unwrap();
+        assert_eq!(tag, "Atom");
+        assert_eq!(payload.unwrap(), &Content::Str("x".into()));
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls for the vendored `serde`
+//! data model. Supports exactly what the workspace needs: non-generic
+//! structs (named or tuple fields) and enums with unit, tuple and struct
+//! variants, following serde's externally tagged representation. Field
+//! attributes (`#[serde(...)]`) and generics are intentionally not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Map(vec![{}]) }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            if *arity == 1 {
+                format!("fn to_content(&self) -> ::serde::Content {{ {} }}", items[0])
+            } else {
+                format!(
+                    "fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Seq(vec![{}]) }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(&item.name, v)).collect();
+            format!(
+                "fn to_content(&self) -> ::serde::Content {{ match self {{ {} }} }}",
+                arms.join(" ")
+            )
+        }
+    };
+    let out = format!("impl ::serde::Serialize for {} {{ {} }}", item.name, body);
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_content(content.field(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 ::std::result::Result::Ok({} {{ {} }}) }}",
+                item.name,
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let inits = tuple_payload_inits(*arity, "content");
+            format!(
+                "fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 {} ::std::result::Result::Ok({}({})) }}",
+                tuple_payload_prelude(*arity, "content"),
+                item.name,
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| deserialize_arm(&item.name, v)).collect();
+            format!(
+                "fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 let (tag, payload) = content.variant()?; \
+                 match tag {{ {} _ => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"unknown variant {{tag}} for {}\"))) }} }}",
+                arms.join(" "),
+                item.name
+            )
+        }
+    };
+    let out = format!("impl ::serde::Deserialize for {} {{ {} }}", item.name, body);
+    out.parse().expect("generated Deserialize impl must parse")
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\")),",
+            v = v.name
+        ),
+        VariantShape::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let payload = if *arity == 1 {
+                "::serde::Serialize::to_content(f0)".to_string()
+            } else {
+                let items: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_content({b})")).collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{v}({binds}) => ::serde::Content::Map(vec![(::std::string::String::from(\"{v}\"), {payload})]),",
+                v = v.name,
+                binds = binds.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{v} {{ {fields} }} => ::serde::Content::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Content::Map(vec![{entries}]))]),",
+                v = v.name,
+                fields = fields.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_arm(name: &str, v: &Variant) -> String {
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),", v = v.name)
+        }
+        VariantShape::Tuple(arity) => {
+            let inits = tuple_payload_inits(*arity, "p");
+            format!(
+                "\"{v}\" => {{ let p = payload.ok_or_else(|| ::serde::DeError::custom(\
+                 \"variant {v} expects a payload\"))?; {prelude} ::std::result::Result::Ok({name}::{v}({inits})) }}",
+                v = v.name,
+                prelude = tuple_payload_prelude(*arity, "p"),
+                inits = inits.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_content(p.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "\"{v}\" => {{ let p = payload.ok_or_else(|| ::serde::DeError::custom(\
+                 \"variant {v} expects a payload\"))?; ::std::result::Result::Ok({name}::{v} {{ {inits} }}) }}",
+                v = v.name,
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+/// For a tuple payload of `arity` read from content expression `src`:
+/// statements binding `items` when more than one element is present.
+fn tuple_payload_prelude(arity: usize, src: &str) -> String {
+    if arity == 1 {
+        String::new()
+    } else {
+        format!("let items = {src}.as_seq({arity})?;")
+    }
+}
+
+fn tuple_payload_inits(arity: usize, src: &str) -> Vec<String> {
+    if arity == 1 {
+        vec![format!("::serde::Deserialize::from_content({src})?")]
+    } else {
+        (0..arity).map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?")).collect()
+    }
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored) does not support generic types: {name}");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_segments(g.stream()))
+            }
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts comma-separated segments at angle-bracket depth zero (used for
+/// tuple fields: `Box<A>, f64` → 2).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_segment = false,
+            _ => {
+                if !in_segment {
+                    segments += 1;
+                    in_segment = true;
+                }
+            }
+        }
+    }
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field {name}, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the `,` that ends it (or at the end
+/// of the stream). Tracks `<`/`>` nesting so commas inside generics don't
+/// terminate the field.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_segments(g.stream());
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
