@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tml_parametric::{Polynomial, RationalFunction};
 use tml_wsn::{build_dtmc, repair_template, WsnConfig};
 
 fn bench_symbolic_elimination(c: &mut Criterion) {
@@ -64,10 +65,53 @@ fn bench_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_compiled_evaluation(c: &mut Criterion) {
+    // Interpreted (BTreeMap walk + powi) vs. compiled-tape evaluation of
+    // the same rational function — the repair hot path before and after
+    // tape compilation. See also `bin/bench_report.rs`, which records the
+    // same comparison as a machine-readable baseline.
+    let mut affine = Polynomial::constant(4, 1.0);
+    for i in 0..4 {
+        affine = affine.add(&Polynomial::var(4, i).scale(0.5 + 0.25 * i as f64));
+    }
+    let mut num = Polynomial::constant(4, 1.0);
+    for _ in 0..5 {
+        num = num.mul(&affine);
+    }
+    let mut den = Polynomial::constant(4, 1.0);
+    for i in 0..4 {
+        let v = Polynomial::var(4, i);
+        den = den.add(&v.mul(&v).scale(0.5));
+    }
+    let f = RationalFunction::new(num, den).unwrap();
+    let compiled = f.compile();
+    let pt = [0.3, 0.7, 0.2, 0.5];
+
+    let mut group = c.benchmark_group("compiled_vs_interpreted");
+    group.bench_function("interpreted_eval", |b| {
+        b.iter(|| f.eval(black_box(&pt)).unwrap());
+    });
+    group.bench_function("compiled_eval", |b| {
+        b.iter(|| compiled.eval(black_box(&pt)).unwrap());
+    });
+    group.bench_function("interpreted_value_and_grad", |b| {
+        b.iter(|| {
+            let v = f.eval(black_box(&pt)).unwrap();
+            (v, f.grad(black_box(&pt)).unwrap())
+        });
+    });
+    group.bench_function("compiled_value_and_grad", |b| {
+        let mut g = [0.0; 4];
+        b.iter(|| compiled.eval_grad(black_box(&pt), &mut g).unwrap());
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_symbolic_elimination,
     bench_symbolic_reachability,
-    bench_evaluation
+    bench_evaluation,
+    bench_compiled_evaluation
 );
 criterion_main!(benches);

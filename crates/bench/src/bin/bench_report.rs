@@ -1,0 +1,330 @@
+//! Machine-readable performance baseline for the repair hot path.
+//!
+//! Times the scenarios the compiled-tape + parallel-restart work targets
+//! and writes them as JSON (`BENCH_PR2.json` by default) so perf changes
+//! are reviewable in diffs rather than anecdotes:
+//!
+//! * compiled-tape vs. interpreted rational-function evaluation (value and
+//!   value+gradient) on a synthetic degree-5, 4-variable function and on
+//!   the WSN symbolic attempts function;
+//! * symbolic state elimination on the WSN grid;
+//! * end-to-end WSN Model Repair (symbolic path);
+//! * penalty-solver restarts, parallel vs. serial, with an exact-match
+//!   determinism check;
+//! * sparse mat-vec at a size above the parallel threshold;
+//! * max-ent IRL training on the car model.
+//!
+//! Run with `cargo run --release -p tml-bench --bin bench_report -- --quick`.
+//! `--quick` keeps every scenario deterministic and under a second; `--full`
+//! multiplies the iteration counts by 10. `--out PATH` overrides the output
+//! file.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+use tml_car as car;
+use tml_core::ModelRepair;
+use tml_irl::maxent_irl;
+use tml_numerics::{CsrMatrix, Triplet, PAR_NNZ_THRESHOLD};
+use tml_optimizer::{ConstraintSense, Nlp, PenaltyOptions, PenaltySolver};
+use tml_parametric::{Polynomial, RationalFunction};
+use tml_wsn::{attempts_property, build_dtmc, repair_template, WsnConfig};
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    threads: usize,
+    /// The headline number: interpreted / compiled ns-per-eval on the
+    /// synthetic degree-5, 4-variable rational function.
+    compiled_eval_speedup: f64,
+    scenarios: Vec<Scenario>,
+}
+
+#[derive(Serialize, Default)]
+struct Scenario {
+    name: String,
+    wall_ms: f64,
+    ops_per_sec: Option<f64>,
+    metrics: BTreeMap<String, f64>,
+    notes: BTreeMap<String, String>,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR2.json");
+    let mut quick = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: bench_report [--quick|--full] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale: usize = if quick { 1 } else { 10 };
+
+    let mut scenarios = Vec::new();
+
+    // --- compiled vs. interpreted evaluation -----------------------------
+    let headline =
+        eval_scenario("compiled_vs_interpreted_synthetic_4var_deg5", &synthetic_ratfn(4, 5), scale);
+    let headline_speedup = headline.metrics.get("eval_speedup").copied().unwrap_or(f64::NAN);
+    scenarios.push(headline);
+    {
+        let config = WsnConfig::default();
+        let chain = build_dtmc(&config).expect("wsn chain");
+        let template = repair_template(&config).expect("wsn template");
+        let pdtmc = template.apply(&chain).expect("parametric chain");
+        let target = pdtmc.labeling().mask("delivered");
+        let f =
+            pdtmc.expected_reward("attempts", &target).expect("symbolic")[config.source()].clone();
+        scenarios.push(eval_scenario("compiled_vs_interpreted_wsn_attempts", &f, scale));
+    }
+
+    // --- symbolic elimination --------------------------------------------
+    {
+        let config = WsnConfig { n: 3, ..Default::default() };
+        let chain = build_dtmc(&config).expect("wsn chain");
+        let template = repair_template(&config).expect("wsn template");
+        let pdtmc = template.apply(&chain).expect("parametric chain");
+        let target = pdtmc.labeling().mask("delivered");
+        let (ms, _) =
+            time(|| black_box(pdtmc.expected_reward("attempts", &target).expect("symbolic")));
+        scenarios.push(Scenario {
+            name: "symbolic_elimination_wsn_3x3".into(),
+            wall_ms: ms,
+            ..Default::default()
+        });
+    }
+
+    // --- end-to-end model repair (symbolic path) -------------------------
+    {
+        let config = WsnConfig::default();
+        let chain = build_dtmc(&config).expect("wsn chain");
+        let template = repair_template(&config).expect("wsn template");
+        let (ms, outcome) = time(|| {
+            ModelRepair::new()
+                .repair_dtmc(&chain, &attempts_property(40.0), &template)
+                .expect("repair run")
+        });
+        let mut s =
+            Scenario { name: "model_repair_wsn_x40".into(), wall_ms: ms, ..Default::default() };
+        s.metrics.insert("evaluations".into(), outcome.evaluations as f64);
+        s.notes.insert("status".into(), format!("{:?}", outcome.status));
+        s.notes.insert("verified".into(), outcome.verified.to_string());
+        scenarios.push(s);
+    }
+
+    // --- solver restarts: parallel vs. serial ----------------------------
+    {
+        let nlp = restart_nlp();
+        let solver = |parallel| {
+            PenaltySolver::with_options(PenaltyOptions {
+                restarts: 8 * scale,
+                parallel,
+                ..Default::default()
+            })
+        };
+        let (serial_ms, serial) = time(|| solver(false).solve(&nlp).expect("serial solve"));
+        let (parallel_ms, parallel) = time(|| solver(true).solve(&nlp).expect("parallel solve"));
+        let identical = serial.x == parallel.x
+            && serial.objective == parallel.objective
+            && serial.evaluations == parallel.evaluations;
+        assert!(identical, "parallel solve diverged from serial solve");
+        let mut s = Scenario {
+            name: "solver_parallel_vs_serial".into(),
+            wall_ms: serial_ms + parallel_ms,
+            ..Default::default()
+        };
+        s.metrics.insert("serial_ms".into(), serial_ms);
+        s.metrics.insert("parallel_ms".into(), parallel_ms);
+        s.metrics.insert("evaluations".into(), serial.evaluations as f64);
+        s.notes.insert("identical_solution".into(), identical.to_string());
+        scenarios.push(s);
+    }
+
+    // --- sparse mat-vec above the parallel threshold ---------------------
+    {
+        let n = 20_000;
+        let mut triplets = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            triplets.push(Triplet { row: i, col: i, value: 2.0 });
+            if i + 1 < n {
+                triplets.push(Triplet { row: i, col: i + 1, value: -0.5 });
+                triplets.push(Triplet { row: i + 1, col: i, value: -0.25 });
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &triplets).expect("csr");
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.1).collect();
+        let reps = 50 * scale;
+        let (ms, _) = time(|| {
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                acc += a.mat_vec(black_box(&x)).expect("shape")[n / 2];
+            }
+            acc
+        });
+        let mut s = Scenario {
+            name: "sparse_mat_vec_20k_tridiagonal".into(),
+            wall_ms: ms,
+            ops_per_sec: Some(reps as f64 / (ms / 1e3)),
+            ..Default::default()
+        };
+        s.metrics.insert("rows".into(), n as f64);
+        s.metrics.insert("nnz".into(), a.nnz() as f64);
+        s.metrics.insert("par_nnz_threshold".into(), PAR_NNZ_THRESHOLD as f64);
+        scenarios.push(s);
+    }
+
+    // --- max-ent IRL -----------------------------------------------------
+    {
+        let mdp = car::build_mdp().expect("car mdp");
+        let features = car::features().expect("car features");
+        let demo = car::expert_path();
+        let opts = tml_irl::IrlOptions { iterations: 50 * scale, ..car::irl_options() };
+        let (ms, _) = time(|| {
+            maxent_irl(black_box(&mdp), &features, std::slice::from_ref(&demo), opts)
+                .expect("irl run")
+        });
+        scenarios.push(Scenario {
+            name: "maxent_irl_car_50_iters".into(),
+            wall_ms: ms,
+            ..Default::default()
+        });
+    }
+
+    let report = Report {
+        schema: "tml-bench-report/v1".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        compiled_eval_speedup: headline_speedup,
+        scenarios,
+    };
+    let body = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out_path, format!("{body}\n")).expect("write report");
+    println!("{body}");
+    println!("\nwrote {out_path}");
+}
+
+/// Times `f`, returning (wall milliseconds, result).
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+/// Best-of-`reps` per-op cost in nanoseconds: each rep runs `iters` calls
+/// of `op` and the minimum per-op time across reps is reported. The min is
+/// robust against scheduler noise, and the first rep doubles as warmup.
+fn bench_ns(reps: usize, iters: usize, mut op: impl FnMut(usize) -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut acc = 0.0;
+        for i in 0..iters {
+            acc += op(i);
+        }
+        black_box(acc);
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+/// Times interpreted vs. compiled evaluation (and value+gradient) of `f`
+/// over a deterministic point set, reporting best-of-`reps` per-op costs
+/// and speedups.
+fn eval_scenario(name: &str, f: &RationalFunction, scale: usize) -> Scenario {
+    let start = Instant::now();
+    let nvars = f.num_vars();
+    let points = lcg_points(64, nvars);
+    let compiled = f.compile();
+    let reps = 7;
+    let pt = |i: usize| &points[i % points.len()];
+
+    let interp_ns =
+        bench_ns(reps, 10_000 * scale, |i| f.eval(black_box(pt(i))).unwrap_or(f64::NAN));
+    let compiled_ns =
+        bench_ns(reps, 100_000 * scale, |i| compiled.eval(black_box(pt(i))).unwrap_or(f64::NAN));
+
+    // Gradient: the interpreted quotient rule (`RationalFunction::grad`,
+    // allocating a Vec per call) vs. the one-pass compiled tape. The
+    // interpreted side also pays one `eval` since the solver needs value
+    // and gradient together.
+    let interp_grad_ns = bench_ns(reps, 2_000 * scale, |i| {
+        let p = black_box(pt(i));
+        f.eval(p).unwrap_or(f64::NAN) + f.grad(p).map(|g| g[0]).unwrap_or(f64::NAN)
+    });
+    let mut g = vec![0.0; nvars];
+    let compiled_grad_ns = bench_ns(reps, 50_000 * scale, |i| {
+        compiled.eval_grad(black_box(pt(i)), &mut g).unwrap_or(f64::NAN) + g[0]
+    });
+
+    let mut s = Scenario {
+        name: name.into(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        ops_per_sec: Some(1e9 / compiled_ns),
+        ..Default::default()
+    };
+    s.metrics.insert("nvars".into(), nvars as f64);
+    s.metrics.insert("degree".into(), f.complexity() as f64);
+    s.metrics.insert("interpreted_ns_per_eval".into(), interp_ns);
+    s.metrics.insert("compiled_ns_per_eval".into(), compiled_ns);
+    s.metrics.insert("eval_speedup".into(), interp_ns / compiled_ns);
+    s.metrics.insert("interpreted_ns_per_value_grad".into(), interp_grad_ns);
+    s.metrics.insert("compiled_ns_per_value_grad".into(), compiled_grad_ns);
+    s.metrics.insert("value_grad_speedup".into(), interp_grad_ns / compiled_grad_ns);
+    s
+}
+
+/// A degree-`degree` rational function in `nvars` variables with a dense
+/// numerator ((1 + Σ cᵢxᵢ)^degree) and a quadratic denominator.
+fn synthetic_ratfn(nvars: usize, degree: u32) -> RationalFunction {
+    let mut affine = Polynomial::constant(nvars, 1.0);
+    for i in 0..nvars {
+        affine = affine.add(&Polynomial::var(nvars, i).scale(0.5 + 0.25 * i as f64));
+    }
+    let mut num = Polynomial::constant(nvars, 1.0);
+    for _ in 0..degree {
+        num = num.mul(&affine);
+    }
+    let mut den = Polynomial::constant(nvars, 1.0);
+    for i in 0..nvars {
+        let v = Polynomial::var(nvars, i);
+        den = den.add(&v.mul(&v).scale(0.5));
+    }
+    RationalFunction::new(num, den).expect("nonzero denominator")
+}
+
+/// A small constrained NLP with enough structure that every restart does
+/// real work: minimize ‖x‖² subject to x0 + x1 + x2 ≥ 1 on [−1, 1]³.
+fn restart_nlp() -> Nlp {
+    let mut nlp = Nlp::new(3, vec![(-1.0, 1.0); 3]).expect("valid box");
+    nlp.minimize_norm2();
+    nlp.constraint("sum>=1", ConstraintSense::Ge, 1.0, |x| x.iter().sum());
+    nlp
+}
+
+/// Deterministic quasi-random points in `[0.1, 0.9]^dim` (fixed LCG seed).
+fn lcg_points(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut state = 0x243F_6A88_85A3_08D3_u64;
+    (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    ((state >> 11) as f64) / ((1u64 << 53) as f64) * 0.8 + 0.1
+                })
+                .collect()
+        })
+        .collect()
+}

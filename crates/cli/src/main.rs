@@ -44,7 +44,9 @@ const USAGE: &str = "usage:
 options (check/query):
   --deadline-ms MS   wall-clock budget; past it, a best-effort result is
                      returned and marked degraded instead of running on
-  --max-evals N      cap on solver sweeps/iterations, same best-effort rule";
+  --max-evals N      cap on solver sweeps/iterations, same best-effort rule
+  --serial           run single-threaded (disables the parallel numerics
+                     sweeps; results are identical either way)";
 
 struct UsageError(String);
 
@@ -71,14 +73,17 @@ fn run(raw: &[String]) -> Result<(), UsageError> {
     }
 }
 
-/// Strips `--deadline-ms MS` and `--max-evals N` (accepted anywhere on the
-/// command line) and folds them into a [`Budget`].
+/// Strips `--deadline-ms MS`, `--max-evals N` and `--serial` (accepted
+/// anywhere on the command line); budget flags fold into a [`Budget`],
+/// `--serial` caps the rayon stand-in's thread count at one for the rest
+/// of the process.
 fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), UsageError> {
     let mut args = Vec::with_capacity(raw.len());
     let mut budget = Budget::unlimited();
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--serial" => std::env::set_var("RAYON_NUM_THREADS", "1"),
             "--deadline-ms" => {
                 let ms: u64 = it
                     .next()
@@ -313,6 +318,8 @@ mod tests {
         assert!(run(&s(&["--max-evals", "100000", "query", p, "P=? [ F \"done\" ]"])).is_ok());
         // A zero evaluation budget still returns (best-effort), no hang.
         assert!(run(&s(&["query", p, "P=? [ F \"done\" ]", "--max-evals", "0"])).is_ok());
+        // --serial is accepted anywhere and changes no verdict.
+        assert!(run(&s(&["--serial", "check", p, "P>=0.5 [ F \"done\" ]"])).is_ok());
         let _ = std::fs::remove_file(chain);
     }
 

@@ -219,9 +219,16 @@ impl DataRepair {
         let mut nlp = Nlp::new(g, boxes)?;
         {
             let m = masses.clone();
-            nlp.objective(move |w| {
-                w.iter().zip(&m).map(|(&wg, &mg)| mg * (1.0 - wg).powi(2)).sum()
-            });
+            let m_grad = masses.clone();
+            // ∂/∂w_g Σ m·(1−w)² = −2·m_g·(1−w_g).
+            nlp.objective_with_grad(
+                move |w| w.iter().zip(&m).map(|(&wg, &mg)| mg * (1.0 - wg).powi(2)).sum(),
+                move |w, grad| {
+                    for ((gi, &wg), &mg) in grad.iter_mut().zip(w).zip(&m_grad) {
+                        *gi = -2.0 * mg * (1.0 - wg);
+                    }
+                },
+            );
         }
         // Same symbolic-degree guard as Model Repair: high-degree rational
         // functions are numerically fragile in f64, so fall back to
@@ -229,14 +236,23 @@ impl DataRepair {
         const MAX_SYMBOLIC_DEGREE: u32 = 16;
         match compile_constraint(&pdtmc, formula) {
             Ok(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
-                let f = sc.function.clone();
+                // Flatten the symbolic rational function to an evaluation
+                // tape and register its quotient-rule gradient, so the
+                // solver's analytic merit path applies (no differencing).
+                let f = sc.function.compile();
+                let f_grad = f.clone();
                 let margin = self.margin(sc.op);
-                nlp.constraint_with_margin(
+                nlp.constraint_with_grad(
                     "property",
                     sense_of(sc.op),
                     sc.bound,
                     margin,
                     move |w| f.eval(w).unwrap_or(f64::NAN),
+                    move |w, grad| {
+                        if f_grad.eval_grad(w, grad).is_err() {
+                            grad.fill(0.0);
+                        }
+                    },
                 );
             }
             Ok(_) | Err(RepairError::UnsupportedProperty { .. }) => {

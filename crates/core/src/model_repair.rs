@@ -5,7 +5,8 @@ use tml_checker::Checker;
 use tml_logic::StateFormula;
 use tml_models::{Dtmc, Mdp};
 use tml_numerics::{Budget, Diagnostics};
-use tml_optimizer::{ConstraintSense, Nlp, PenaltySolver, Solution};
+use tml_optimizer::{BlockRow, ConstraintSense, Nlp, PenaltySolver, Solution};
+use tml_parametric::{CompiledConstraintSet, Polynomial, RationalFunction};
 
 use crate::constraint::compile_constraint;
 use crate::{LinearExpr, PerturbationTemplate, RepairError, RepairOptions};
@@ -128,7 +129,6 @@ impl ModelRepair {
         let pdtmc = template.apply(base)?;
         let mut nlp = Nlp::new(template.num_params(), template.bounds())?;
         self.frobenius_objective(&mut nlp, template);
-        self.validity_constraints(&mut nlp, template, base);
 
         // Property constraint: symbolic when possible, oracle otherwise.
         // Rational functions of non-trivial degree lose f64 precision when
@@ -141,29 +141,10 @@ impl ModelRepair {
         const MAX_SYMBOLIC_DEGREE: u32 = 16;
         match compile_constraint(&pdtmc, formula) {
             Ok(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
-                let f = sc.function.clone();
-                let margin = self.margin(sc.op);
-                nlp.constraint_with_margin(
-                    "property",
-                    sense_of(sc.op),
-                    sc.bound,
-                    margin,
-                    move |v| f.eval(v).unwrap_or(f64::NAN),
-                );
+                self.compiled_constraints(&mut nlp, template, base, &sc)?;
             }
-            Ok(sc) => {
-                let _ = sc;
-                let (op, bound) = top_level_bound(formula)?;
-                let margin = self.margin(op);
-                let pd = pdtmc.clone();
-                let phi = formula.clone();
-                let check_opts = self.opts.check;
-                let inner = self.budget.without_evaluation_cap();
-                nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
-                    oracle_value_dtmc(&pd, &phi, v, &check_opts, &inner)
-                });
-            }
-            Err(RepairError::UnsupportedProperty { .. }) => {
+            Ok(_) | Err(RepairError::UnsupportedProperty { .. }) => {
+                self.validity_constraints(&mut nlp, template, base);
                 let (op, bound) = top_level_bound(formula)?;
                 let margin = self.margin(op);
                 let pd = pdtmc.clone();
@@ -310,7 +291,64 @@ impl ModelRepair {
 
     fn frobenius_objective(&self, nlp: &mut Nlp, template: &PerturbationTemplate) {
         let exprs: Vec<LinearExpr> = template.entries().map(|(_, e)| e.clone()).collect();
-        nlp.objective(move |v| exprs.iter().map(|e| e.eval(v).powi(2)).sum());
+        // ∇‖Z‖²_F = Σ 2·e(v)·∇e, with ∇e the (constant) coefficient vector.
+        let coeffs: Vec<Vec<f64>> =
+            exprs.iter().map(|e| e.coefficients(template.num_params())).collect();
+        let exprs_g = exprs.clone();
+        nlp.objective_with_grad(
+            move |v| exprs.iter().map(|e| e.eval(v).powi(2)).sum(),
+            move |v, g| {
+                for (e, cs) in exprs_g.iter().zip(&coeffs) {
+                    let scale = 2.0 * e.eval(v);
+                    for (gi, c) in g.iter_mut().zip(cs) {
+                        *gi += scale * c;
+                    }
+                }
+            },
+        );
+    }
+
+    /// Registers the property and every `[m, 1−m]` validity constraint as a
+    /// single compiled block: all rational functions are flattened to
+    /// evaluation tapes ([`CompiledConstraintSet`]) that share one power
+    /// table per point, and the block carries an analytic Jacobian so the
+    /// penalty solver never needs finite differences on the symbolic path.
+    fn compiled_constraints(
+        &self,
+        nlp: &mut Nlp,
+        template: &PerturbationTemplate,
+        base: &Dtmc,
+        sc: &crate::constraint::SymbolicConstraint,
+    ) -> Result<(), RepairError> {
+        let np = template.num_params();
+        let m = self.opts.support_margin;
+        let mut fns = vec![sc.function.clone()];
+        let mut rows =
+            vec![BlockRow::new("property", sense_of(sc.op), sc.bound, self.margin(sc.op))];
+        for (name, base_p, expr) in template.probability_exprs(base) {
+            let rf = affine_probability(np, base_p, &expr);
+            fns.push(rf.clone());
+            rows.push(BlockRow::new(&format!("{name}>=m"), ConstraintSense::Ge, m, 0.0));
+            fns.push(rf);
+            rows.push(BlockRow::new(&format!("{name}<=1-m"), ConstraintSense::Le, 1.0 - m, 0.0));
+        }
+        let set = CompiledConstraintSet::compile(&fns)?;
+        let set_jac = set.clone();
+        nlp.constraint_block_with_jacobian(
+            rows,
+            move |v, out| {
+                if set.eval_all(v, out).is_err() {
+                    out.fill(f64::NAN);
+                }
+            },
+            move |v, out, jac| {
+                if set_jac.eval_all_grad(v, out, jac).is_err() {
+                    out.fill(f64::NAN);
+                    jac.fill(0.0);
+                }
+            },
+        );
+        Ok(())
     }
 
     fn validity_constraints(&self, nlp: &mut Nlp, template: &PerturbationTemplate, base: &Dtmc) {
@@ -472,6 +510,19 @@ impl MdpPerturbationTemplate {
         }
         Ok(b.build()?)
     }
+}
+
+/// The perturbed probability `base_p + Σᵢ cᵢ·vᵢ` as a (polynomial) rational
+/// function, so validity constraints compile into the same tape set as the
+/// symbolic property function.
+fn affine_probability(np: usize, base_p: f64, expr: &LinearExpr) -> RationalFunction {
+    let mut p = Polynomial::constant(np, base_p);
+    for (i, c) in expr.coefficients(np).into_iter().enumerate() {
+        if c != 0.0 {
+            p = p.add(&Polynomial::var(np, i).scale(c));
+        }
+    }
+    RationalFunction::from_poly(p)
 }
 
 fn choice_prob(mdp: &Mdp, s: usize, c: usize, t: usize) -> f64 {

@@ -14,6 +14,27 @@ use tml_numerics::vector::log_sum_exp;
 
 use crate::{FeatureMap, IrlError};
 
+/// Minimum number of independent work items (states in a backward sweep,
+/// expert trajectories) before the per-item loops are distributed over
+/// threads; below this the thread-dispatch overhead dominates.
+const PAR_ITEM_THRESHOLD: usize = 256;
+
+/// Maps `f` over `0..n`, on parallel threads when the sweep is large
+/// enough. Output order is always the input order, so the parallel sweep
+/// returns exactly what the serial one would.
+fn par_map_indices<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    if n >= PAR_ITEM_THRESHOLD && rayon::current_num_threads() > 1 {
+        use rayon::prelude::*;
+        (0..n).into_par_iter().map(f).collect()
+    } else {
+        (0..n).map(f).collect()
+    }
+}
+
 /// Options for [`maxent_irl`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IrlOptions {
@@ -91,13 +112,23 @@ pub fn maxent_irl(
     // state (they end in absorbing states in all our case studies), so the
     // empirical and model-side expectations cover the same trajectory
     // length — otherwise the feature-matching gradient has a constant bias.
-    let mut f_expert = vec![0.0; dim];
-    for path in expert {
+    // Per-trajectory feature sums are independent, so they are computed in
+    // parallel and folded in trajectory order (deterministic merge).
+    let per_path: Vec<Vec<f64>> = par_map_indices(expert.len(), |p| {
+        let path = &expert[p];
+        let mut acc = vec![0.0; dim];
         for i in 0..=horizon {
             let s = path.states[i.min(path.states.len() - 1)];
-            for (acc, &f) in f_expert.iter_mut().zip(features.state_features(s)) {
-                *acc += f;
+            for (a, &f) in acc.iter_mut().zip(features.state_features(s)) {
+                *a += f;
             }
+        }
+        acc
+    });
+    let mut f_expert = vec![0.0; dim];
+    for acc in &per_path {
+        for (t, &a) in f_expert.iter_mut().zip(acc) {
+            *t += a;
         }
     }
     for v in f_expert.iter_mut() {
@@ -161,36 +192,25 @@ pub fn soft_policy(
 
 fn soft_policy_internal(mdp: &Mdp, state_rewards: &[f64], horizon: usize) -> Vec<Vec<f64>> {
     let n = mdp.num_states();
-    // Soft backward pass: V(s) ← logsumexp_a [ r(s) + Σ P V(s') ].
+    let soft_q = |s: usize, v: &[f64]| -> Vec<f64> {
+        mdp.choices(s)
+            .iter()
+            .map(|c| state_rewards[s] + c.transitions.iter().map(|&(t, p)| p * v[t]).sum::<f64>())
+            .collect()
+    };
+    // Soft backward pass: V(s) ← logsumexp_a [ r(s) + Σ P V(s') ]. The
+    // per-state backups within a sweep are independent, so each sweep is
+    // distributed over threads on large models.
     let mut v = vec![0.0; n];
     for _ in 0..horizon {
-        let mut next = vec![0.0; n];
-        for s in 0..n {
-            let qs: Vec<f64> = mdp
-                .choices(s)
-                .iter()
-                .map(|c| {
-                    state_rewards[s] + c.transitions.iter().map(|&(t, p)| p * v[t]).sum::<f64>()
-                })
-                .collect();
-            next[s] = log_sum_exp(&qs);
-        }
-        v = next;
+        v = par_map_indices(n, |s| log_sum_exp(&soft_q(s, &v)));
     }
     // Policy from the final backup.
-    (0..n)
-        .map(|s| {
-            let qs: Vec<f64> = mdp
-                .choices(s)
-                .iter()
-                .map(|c| {
-                    state_rewards[s] + c.transitions.iter().map(|&(t, p)| p * v[t]).sum::<f64>()
-                })
-                .collect();
-            let z = log_sum_exp(&qs);
-            qs.iter().map(|q| (q - z).exp()).collect()
-        })
-        .collect()
+    par_map_indices(n, |s| {
+        let qs = soft_q(s, &v);
+        let z = log_sum_exp(&qs);
+        qs.iter().map(|q| (q - z).exp()).collect()
+    })
 }
 
 /// Expected state-visitation frequencies over `horizon` steps starting from

@@ -13,8 +13,35 @@
 //! for the penalty solver. The deadline and the cancellation token are
 //! global — the same `Budget` (and its clones) can be handed to every layer
 //! of a pipeline and a single `cancel()` stops them all.
+//!
+//! # Thread-safety contract
+//!
+//! A [`Budget`] and its clones may be shared freely across threads:
+//!
+//! * The [`CancelToken`] is an `Arc<AtomicBool>` — `cancel()` on any clone
+//!   is observed by every other clone on every thread (relaxed ordering;
+//!   cancellation is best-effort and needs no synchronizing side effects).
+//! * The **shared evaluation counter** is an `Arc<AtomicU64>` that clones
+//!   share, exactly like the token. Parallel workers call
+//!   [`Budget::charge`] to add their evaluations and atomically compare the
+//!   running total against the cap, so one cap governs the *sum* of work
+//!   across all threads rather than each thread individually.
+//! * The deadline is an immutable `Instant`; reading it is trivially safe.
+//!
+//! Two polling styles coexist:
+//!
+//! * [`Budget::check`]`(local_count)` — for single-threaded consumers that
+//!   keep their own counter (iterative solvers, value iteration, the
+//!   checker). The shared counter is not involved.
+//! * [`Budget::charge`]`(n)` / [`Budget::spent`] — for parallel consumers
+//!   (the penalty solver's restarts). Exhaustion is detected against the
+//!   shared total.
+//!
+//! Under a finite cap, *which* parallel worker observes exhaustion first is
+//! scheduling-dependent; determinism across serial and parallel execution
+//! is guaranteed only for unlimited evaluation budgets (see DESIGN.md §8).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -89,6 +116,9 @@ pub struct Budget {
     deadline: Option<Instant>,
     max_evaluations: Option<u64>,
     cancel: Option<CancelToken>,
+    // Shared across clones (like the cancel token) so parallel workers
+    // charging the same budget are governed by one cumulative total.
+    spent: Arc<AtomicU64>,
 }
 
 impl Budget {
@@ -134,7 +164,30 @@ impl Budget {
     /// evaluation unit should carry only the global limits.
     #[must_use]
     pub fn without_evaluation_cap(&self) -> Budget {
-        Budget { deadline: self.deadline, max_evaluations: None, cancel: self.cancel.clone() }
+        Budget {
+            deadline: self.deadline,
+            max_evaluations: None,
+            cancel: self.cancel.clone(),
+            spent: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A copy of this budget with the **same limits** but a fresh shared
+    /// counter.
+    ///
+    /// Use this to scope cumulative [`charge`](Self::charge) accounting to
+    /// one run: a solver that forks the caller's budget per `solve` gives
+    /// every solve the full evaluation cap, while clones *within* the run
+    /// still share one counter across worker threads. The deadline and the
+    /// cancellation token remain shared with the original.
+    #[must_use]
+    pub fn fork(&self) -> Budget {
+        Budget {
+            deadline: self.deadline,
+            max_evaluations: self.max_evaluations,
+            cancel: self.cancel.clone(),
+            spent: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Whether this budget imposes no limit at all.
@@ -185,6 +238,41 @@ impl Budget {
             }
         }
         None
+    }
+
+    /// Atomically adds `n` evaluations to the **shared** counter and polls
+    /// the budget against the new cumulative total.
+    ///
+    /// The counter is shared by every clone of this budget (like the
+    /// cancellation token), so parallel workers charging concurrently are
+    /// governed by a single cap on their combined work. Cancellation is
+    /// reported first, then the deadline, then the evaluation cap —
+    /// matching [`check`](Self::check).
+    pub fn charge(&self, n: u64) -> Option<Exhaustion> {
+        let total = self.spent.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(Exhaustion::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Exhaustion::Deadline);
+            }
+        }
+        if let Some(cap) = self.max_evaluations {
+            if total >= cap {
+                return Some(Exhaustion::Evaluations);
+            }
+        }
+        None
+    }
+
+    /// The cumulative total charged to the shared counter (across all
+    /// clones and threads). Does not reflect counts polled via
+    /// [`check`](Self::check), which is local-counter based.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
     }
 }
 
@@ -309,6 +397,56 @@ mod tests {
         // First cause sticks.
         a.mark_exhausted(Exhaustion::Cancelled);
         assert_eq!(a.exhausted, Some(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn charge_accumulates_across_clones() {
+        let b = Budget::unlimited().with_max_evaluations(10);
+        let c = b.clone();
+        assert!(b.charge(4).is_none());
+        assert!(c.charge(4).is_none());
+        // 4 + 4 + 2 = 10 hits the cap, even though no single clone did.
+        assert_eq!(b.charge(2), Some(Exhaustion::Evaluations));
+        assert_eq!(b.spent(), 10);
+        assert_eq!(c.spent(), 10);
+        // The local-counter API remains independent of the shared total.
+        assert!(b.check(9).is_none());
+    }
+
+    #[test]
+    fn charge_is_sound_under_concurrency() {
+        let b = Budget::unlimited().with_max_evaluations(1000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        b.charge(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.spent(), 1000);
+        assert_eq!(b.charge(1), Some(Exhaustion::Evaluations));
+    }
+
+    #[test]
+    fn without_evaluation_cap_gets_a_fresh_counter() {
+        let b = Budget::unlimited().with_max_evaluations(5);
+        b.charge(5);
+        let nested = b.without_evaluation_cap();
+        assert_eq!(nested.spent(), 0);
+        assert!(nested.charge(1_000_000).is_none());
+        // The parent's shared total is untouched by the nested budget.
+        assert_eq!(b.spent(), 5);
+    }
+
+    #[test]
+    fn charge_reports_cancellation_first() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel_token(token.clone()).with_max_evaluations(0);
+        token.cancel();
+        assert_eq!(b.charge(1), Some(Exhaustion::Cancelled));
     }
 
     #[test]

@@ -117,10 +117,7 @@ pub fn jacobi_budgeted(
                 stopped: Some(cause),
             });
         }
-        let mut next = a.mat_vec(&x)?;
-        for (n, bi) in next.iter_mut().zip(b) {
-            *n += bi;
-        }
+        let next = affine_apply(a, b, &x);
         delta = max_abs_diff(&next, &x);
         x = next;
         if delta <= opts.tolerance {
@@ -128,6 +125,30 @@ pub fn jacobi_budgeted(
         }
     }
     Ok(IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None })
+}
+
+/// One Jacobi sweep `A·x + b`, with rows distributed over threads for large
+/// matrices. Each output element folds its row's entries in natural order
+/// and then adds `b[r]` — the exact floating-point order of the serial
+/// sweep — so parallel and serial sweeps are bitwise identical.
+///
+/// Shapes must have been validated by the caller.
+fn affine_apply(a: &CsrMatrix, b: &[f64], x: &[f64]) -> Vec<f64> {
+    let row = |r: usize| -> f64 {
+        let mut acc = 0.0;
+        for (c, v) in a.row_entries(r) {
+            acc += v * x[c];
+        }
+        acc + b[r]
+    };
+    if a.nnz() >= crate::sparse::PAR_NNZ_THRESHOLD
+        && a.rows() >= 2
+        && rayon::current_num_threads() > 1
+    {
+        use rayon::prelude::*;
+        return (0..a.rows()).into_par_iter().map(row).collect();
+    }
+    (0..a.rows()).map(row).collect()
 }
 
 /// Gauss–Seidel iteration for `x = A·x + b`, starting from `x0`.
@@ -229,11 +250,7 @@ pub fn affine_power(
     check_shapes(a, b, x0)?;
     let mut x = x0.to_vec();
     for _ in 0..k {
-        let mut next = a.mat_vec(&x)?;
-        for (n, bi) in next.iter_mut().zip(b) {
-            *n += bi;
-        }
-        x = next;
+        x = affine_apply(a, b, &x);
     }
     Ok(x)
 }

@@ -49,4 +49,4 @@ pub use budget::{Budget, CancelToken, Diagnostics, Exhaustion};
 pub use dense::DenseMatrix;
 pub use error::NumericsError;
 pub use field::Field;
-pub use sparse::{CsrMatrix, Triplet};
+pub use sparse::{CsrMatrix, Triplet, PAR_NNZ_THRESHOLD};

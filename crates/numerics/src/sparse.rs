@@ -18,6 +18,11 @@ impl Triplet {
     }
 }
 
+/// Minimum number of stored entries before [`CsrMatrix::mat_vec`]
+/// distributes rows over threads; below this the per-dispatch overhead of
+/// spawning workers exceeds the multiply itself.
+pub const PAR_NNZ_THRESHOLD: usize = 16_384;
+
 /// A compressed-sparse-row matrix over `f64`.
 ///
 /// Used for the transition matrices of large Markov chains where dense
@@ -125,6 +130,12 @@ impl CsrMatrix {
 
     /// Matrix–vector product `A·x`.
     ///
+    /// Rows are distributed over threads when the matrix is large enough
+    /// to amortize the dispatch (see [`PAR_NNZ_THRESHOLD`]). Each output
+    /// element is the dot product of one row computed in its natural entry
+    /// order, so the parallel product is **bitwise identical** to the
+    /// serial one.
+    ///
     /// # Errors
     ///
     /// Returns [`NumericsError::ShapeMismatch`] if `x.len() != cols()`.
@@ -134,15 +145,18 @@ impl CsrMatrix {
                 detail: format!("mat_vec: {} columns vs vector of length {}", self.cols, x.len()),
             });
         }
-        let mut out = vec![0.0; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
+        let dot = |r: usize| -> f64 {
             let mut acc = 0.0;
             for (c, v) in self.row_entries(r) {
                 acc += v * x[c];
             }
-            *o = acc;
+            acc
+        };
+        if self.nnz() >= PAR_NNZ_THRESHOLD && self.rows >= 2 && rayon::current_num_threads() > 1 {
+            use rayon::prelude::*;
+            return Ok((0..self.rows).into_par_iter().map(dot).collect());
         }
-        Ok(out)
+        Ok((0..self.rows).map(dot).collect())
     }
 
     /// Sum of the entries of row `r` (e.g. to verify row-stochasticity).
@@ -208,5 +222,31 @@ mod tests {
     #[test]
     fn mat_vec_shape_error() {
         assert!(sample().mat_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn large_mat_vec_parallel_path_matches_serial_reference() {
+        // A tridiagonal matrix big enough to cross PAR_NNZ_THRESHOLD; the
+        // row-parallel product must be bitwise identical to a hand-rolled
+        // serial dot per row.
+        let n = 8_000;
+        let mut trips = Vec::new();
+        for i in 0..n {
+            trips.push(Triplet::new(i, i, 2.0 + (i % 7) as f64 * 0.125));
+            if i > 0 {
+                trips.push(Triplet::new(i, i - 1, -0.5));
+            }
+            if i + 1 < n {
+                trips.push(Triplet::new(i, i + 1, -0.25));
+            }
+        }
+        let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+        assert!(m.nnz() >= PAR_NNZ_THRESHOLD);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let got = m.mat_vec(&x).unwrap();
+        for (r, &g) in got.iter().enumerate() {
+            let want: f64 = m.row_entries(r).map(|(c, v)| v * x[c]).sum();
+            assert_eq!(g, want, "row {r}");
+        }
     }
 }

@@ -45,7 +45,7 @@ mod problem;
 mod solver;
 
 pub use error::OptimizerError;
-pub use problem::{Constraint, ConstraintSense, Nlp};
+pub use problem::{BlockRow, Constraint, ConstraintBlock, ConstraintSense, Nlp, ViolationStats};
 pub use solver::{PenaltyOptions, PenaltySolver, Solution};
 // Budgets are part of the solver API surface.
 pub use tml_numerics::{Budget, CancelToken, Diagnostics, Exhaustion};

@@ -28,6 +28,11 @@ pub struct PenaltyOptions {
     pub feasibility_tolerance: f64,
     /// RNG seed for the restarts (the solver is deterministic given a seed).
     pub seed: u64,
+    /// Run the restarts on parallel threads. Restarts are independent and
+    /// merged in start order, so with an unlimited evaluation budget the
+    /// parallel solve returns **exactly** the serial solution; under a
+    /// finite budget the exhaustion point depends on thread scheduling.
+    pub parallel: bool,
 }
 
 impl Default for PenaltyOptions {
@@ -46,6 +51,7 @@ impl Default for PenaltyOptions {
             step_tolerance: 1e-12,
             feasibility_tolerance: 1e-6,
             seed: 0x7319,
+            parallel: true,
         }
     }
 }
@@ -140,7 +146,6 @@ impl PenaltySolver {
                 });
             }
         }
-        let mut evaluations = 0usize;
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
 
         let mut starts: Vec<Vec<f64>> = Vec::new();
@@ -158,21 +163,39 @@ impl PenaltySolver {
             );
         }
 
+        // Fork the caller's budget: every solve gets the full evaluation
+        // cap, while all restarts *within* this solve charge one shared
+        // atomic counter (see the thread-safety contract in
+        // tml_numerics::budget).
+        let run_budget = self.budget.fork();
+        let outcomes: Vec<StartOutcome> = if self.opts.parallel && starts.len() > 1 {
+            use rayon::prelude::*;
+            starts.into_par_iter().map(|s| self.run_start(nlp, s, &run_budget)).collect()
+        } else {
+            starts.into_iter().map(|s| self.run_start(nlp, s, &run_budget)).collect()
+        };
+
+        // Merge strictly in start order: with an unlimited budget this
+        // makes the parallel solve bitwise-identical to the serial one.
+        let mut evaluations = 0usize;
         let mut best: Option<Solution> = None;
         let mut stopped: Option<Exhaustion> = None;
-        for start in starts {
-            if let Some(cause) = self.budget.check(evaluations as u64) {
-                stopped.get_or_insert(cause);
-                break;
+        for outcome in outcomes {
+            match outcome {
+                StartOutcome::Skipped(cause) => {
+                    stopped.get_or_insert(cause);
+                }
+                StartOutcome::Ran(cand, local_evals) => {
+                    evaluations += local_evals;
+                    if let Some(cause) = cand.stopped {
+                        stopped.get_or_insert(cause);
+                    }
+                    best = Some(match best {
+                        None => cand,
+                        Some(b) => pick_better(b, cand, self.opts.feasibility_tolerance),
+                    });
+                }
             }
-            let cand = self.solve_from(nlp, start, &mut evaluations);
-            if let Some(cause) = cand.stopped {
-                stopped.get_or_insert(cause);
-            }
-            best = Some(match best {
-                None => cand,
-                Some(b) => pick_better(b, cand, self.opts.feasibility_tolerance),
-            });
         }
         let mut sol = match best {
             Some(b) => b,
@@ -192,16 +215,27 @@ impl PenaltySolver {
         Ok(sol)
     }
 
-    fn solve_from(&self, nlp: &Nlp, mut x: Vec<f64>, evaluations: &mut usize) -> Solution {
+    /// Runs one restart, charging the run's shared budget. Returns
+    /// [`StartOutcome::Skipped`] when the budget is already exhausted.
+    fn run_start(&self, nlp: &Nlp, start: Vec<f64>, budget: &Budget) -> StartOutcome {
+        let mut gauge = EvalGauge { budget, local: 0, charged: 0 };
+        if let Some(cause) = gauge.poll() {
+            return StartOutcome::Skipped(cause);
+        }
+        let sol = self.solve_from(nlp, start, &mut gauge);
+        StartOutcome::Ran(sol, gauge.local)
+    }
+
+    fn solve_from(&self, nlp: &Nlp, mut x: Vec<f64>, gauge: &mut EvalGauge<'_>) -> Solution {
         nlp.project(&mut x);
         let mut mu = self.opts.penalty_init;
         let mut stopped = None;
         for _ in 0..self.opts.penalty_rounds {
-            if let Some(cause) = self.budget.check(*evaluations as u64) {
+            if let Some(cause) = gauge.poll() {
                 stopped = Some(cause);
                 break;
             }
-            if let Some(cause) = self.projected_gradient(nlp, &mut x, mu, evaluations) {
+            if let Some(cause) = self.projected_gradient(nlp, &mut x, mu, gauge) {
                 stopped = Some(cause);
                 break;
             }
@@ -214,7 +248,7 @@ impl PenaltySolver {
         }
         let objective = nlp.objective_value(&x);
         let max_violation = nlp.max_violation(&x);
-        *evaluations += 2;
+        gauge.add(2);
         Solution { x, objective, max_violation, feasible: false, evaluations: 0, stopped }
     }
 
@@ -222,22 +256,31 @@ impl PenaltySolver {
     /// descent and backtracking line search. Returns the exhaustion cause
     /// if the budget ran out mid-descent (leaving `x` at the best accepted
     /// iterate).
+    ///
+    /// The merit gradient is analytic when the problem provides full
+    /// gradients ([`Nlp::has_full_gradients`]); otherwise it falls back to
+    /// central differences (`2n` merit evaluations per step).
     fn projected_gradient(
         &self,
         nlp: &Nlp,
         x: &mut Vec<f64>,
         mu: f64,
-        evaluations: &mut usize,
+        gauge: &mut EvalGauge<'_>,
     ) -> Option<Exhaustion> {
         let n = nlp.num_vars();
-        let merit = |pt: &[f64], evals: &mut usize| -> f64 {
-            *evals += 1 + nlp.constraints().len();
-            let v = nlp.max_violation(pt);
-            if v.is_infinite() {
+        let rows = nlp.num_constraint_rows();
+        let analytic = nlp.has_full_gradients();
+        let mut scratch = Vec::new();
+        let mut scratch_jac = Vec::new();
+        let merit = |pt: &[f64], gauge: &mut EvalGauge<'_>, scratch: &mut Vec<f64>| -> f64 {
+            gauge.add(1 + rows);
+            // One pass over all constraints: max violation and the penalty
+            // term together.
+            let stats = nlp.violation_stats(pt, scratch);
+            if stats.max.is_infinite() {
                 return f64::INFINITY;
             }
-            let penalty: f64 = nlp.constraints().iter().map(|c| c.violation(pt).powi(2)).sum();
-            let m = nlp.objective_value(pt) + mu * penalty;
+            let m = nlp.objective_value(pt) + mu * stats.sum_sq;
             // A NaN merit (e.g. ∞ − ∞ from a pathological oracle) would
             // poison every comparison below; treat it as worst-possible.
             if m.is_nan() {
@@ -247,34 +290,43 @@ impl PenaltySolver {
             }
         };
 
-        let mut fx = merit(x, evaluations);
+        let mut fx = merit(x, gauge, &mut scratch);
         let mut step = self.opts.step_init;
+        let mut grad = vec![0.0; n];
         for _ in 0..self.opts.inner_iterations {
-            if let Some(cause) = self.budget.check(*evaluations as u64) {
+            if let Some(cause) = gauge.poll() {
                 return Some(cause);
             }
-            // Central-difference gradient, clamped to the box.
-            let mut grad = vec![0.0; n];
-            for i in 0..n {
-                if let Some(cause) = self.budget.check(*evaluations as u64) {
-                    return Some(cause);
+            if analytic {
+                // One tape pass yields the merit value and full gradient;
+                // charge it like a value+gradient evaluation.
+                gauge.add(2 * (1 + rows));
+                nlp.merit_value_grad(x, mu, &mut grad, &mut scratch, &mut scratch_jac);
+            } else {
+                // Central-difference gradient, clamped to the box.
+                grad.fill(0.0);
+                for i in 0..n {
+                    if let Some(cause) = gauge.poll() {
+                        return Some(cause);
+                    }
+                    let h = self.opts.gradient_step * (1.0 + x[i].abs());
+                    let (lo, hi) = nlp.bounds()[i];
+                    let mut xp = x.clone();
+                    let mut xm = x.clone();
+                    xp[i] = (x[i] + h).min(hi);
+                    xm[i] = (x[i] - h).max(lo);
+                    let denom = xp[i] - xm[i];
+                    if denom == 0.0 {
+                        continue;
+                    }
+                    let fp = merit(&xp, gauge, &mut scratch);
+                    let fm = merit(&xm, gauge, &mut scratch);
+                    grad[i] =
+                        if fp.is_finite() && fm.is_finite() { (fp - fm) / denom } else { 0.0 };
                 }
-                let h = self.opts.gradient_step * (1.0 + x[i].abs());
-                let (lo, hi) = nlp.bounds()[i];
-                let mut xp = x.clone();
-                let mut xm = x.clone();
-                xp[i] = (x[i] + h).min(hi);
-                xm[i] = (x[i] - h).max(lo);
-                let denom = xp[i] - xm[i];
-                if denom == 0.0 {
-                    continue;
-                }
-                let fp = merit(&xp, evaluations);
-                let fm = merit(&xm, evaluations);
-                grad[i] = if fp.is_finite() && fm.is_finite() { (fp - fm) / denom } else { 0.0 };
             }
             let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
-            if gnorm < 1e-14 {
+            if gnorm < 1e-14 || !gnorm.is_finite() {
                 break;
             }
 
@@ -282,13 +334,13 @@ impl PenaltySolver {
             let mut accepted = false;
             let mut t = step;
             for _ in 0..40 {
-                if let Some(cause) = self.budget.check(*evaluations as u64) {
+                if let Some(cause) = gauge.poll() {
                     return Some(cause);
                 }
                 let mut cand: Vec<f64> =
                     x.iter().zip(&grad).map(|(xi, gi)| xi - t * gi / gnorm).collect();
                 nlp.project(&mut cand);
-                let fc = merit(&cand, evaluations);
+                let fc = merit(&cand, gauge, &mut scratch);
                 if fc < fx - 1e-12 {
                     *x = cand;
                     fx = fc;
@@ -307,6 +359,36 @@ impl PenaltySolver {
             }
         }
         None
+    }
+}
+
+/// Per-restart outcome, merged in start order by [`PenaltySolver::solve`].
+enum StartOutcome {
+    /// The shared budget was exhausted before this start could run.
+    Skipped(Exhaustion),
+    /// The restart ran; carries its local evaluation count.
+    Ran(Solution, usize),
+}
+
+/// Couples a restart's **local** evaluation counter with the run's shared
+/// atomic budget: `add` records work, `poll` charges the delta since the
+/// last poll and reports exhaustion against the cumulative total of all
+/// restarts.
+struct EvalGauge<'a> {
+    budget: &'a Budget,
+    local: usize,
+    charged: usize,
+}
+
+impl EvalGauge<'_> {
+    fn add(&mut self, n: usize) {
+        self.local += n;
+    }
+
+    fn poll(&mut self) -> Option<Exhaustion> {
+        let delta = (self.local - self.charged) as u64;
+        self.charged = self.local;
+        self.budget.charge(delta)
     }
 }
 
@@ -426,6 +508,80 @@ mod tests {
         let s1 = PenaltySolver::new().solve(&build()).unwrap();
         let s2 = PenaltySolver::new().solve(&build()).unwrap();
         assert_eq!(s1.x, s2.x);
+    }
+
+    #[test]
+    fn parallel_solve_matches_serial_for_fixed_seed() {
+        // Satellite: same seed ⇒ identical Solution whether the restarts
+        // run serially or on parallel threads (unlimited budget).
+        let build = || {
+            let mut nlp = Nlp::new(3, vec![(-1.0, 1.0), (-1.0, 1.0), (0.0, 2.0)]).unwrap();
+            nlp.minimize_norm2();
+            nlp.constraint("c1", ConstraintSense::Ge, 0.5, |x| x[0] * x[1] + x[2]);
+            nlp.constraint("c2", ConstraintSense::Le, 1.5, |x| x[0] + x[1] + x[2]);
+            nlp
+        };
+        let serial =
+            PenaltySolver::with_options(PenaltyOptions { parallel: false, ..Default::default() })
+                .solve(&build())
+                .unwrap();
+        let parallel =
+            PenaltySolver::with_options(PenaltyOptions { parallel: true, ..Default::default() })
+                .solve(&build())
+                .unwrap();
+        assert_eq!(serial.x, parallel.x);
+        assert_eq!(serial.objective, parallel.objective);
+        assert_eq!(serial.max_violation, parallel.max_violation);
+        assert_eq!(serial.feasible, parallel.feasible);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+        assert_eq!(serial.stopped, parallel.stopped);
+    }
+
+    #[test]
+    fn constraint_block_matches_scalar_constraints() {
+        // The same plane constraint registered as a block must steer the
+        // solve to the same optimum as the scalar form.
+        let mut scalar = Nlp::new(2, vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        scalar.minimize_norm2();
+        scalar.constraint("plane", ConstraintSense::Ge, 1.0, |x| x[0] + x[1]);
+
+        let mut block = Nlp::new(2, vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        block.minimize_norm2();
+        block.constraint_block(
+            vec![crate::BlockRow::new("plane", ConstraintSense::Ge, 1.0, 0.0)],
+            |x, out| out[0] = x[0] + x[1],
+        );
+        assert_eq!(block.num_constraint_rows(), 1);
+        assert!(!block.has_full_gradients(), "block lacks a jacobian");
+
+        let a = PenaltySolver::new().solve(&scalar).unwrap();
+        let b = PenaltySolver::new().solve(&block).unwrap();
+        assert!(b.feasible);
+        assert!((a.x[0] - b.x[0]).abs() < 1e-6, "{:?} vs {:?}", a.x, b.x);
+        assert!((a.x[1] - b.x[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn analytic_gradients_reach_the_same_optimum() {
+        // min ‖x‖² s.t. x0 + x1 ≥ 1 with full analytic gradients: the
+        // solver takes the one-pass merit-gradient path and still lands on
+        // (0.5, 0.5).
+        let mut nlp = Nlp::new(2, vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        nlp.minimize_norm2();
+        nlp.constraint_block_with_jacobian(
+            vec![crate::BlockRow::new("plane", ConstraintSense::Ge, 1.0, 0.0)],
+            |x, out| out[0] = x[0] + x[1],
+            |_x, out, jac| {
+                out[0] = _x[0] + _x[1];
+                jac[0] = 1.0;
+                jac[1] = 1.0;
+            },
+        );
+        assert!(nlp.has_full_gradients());
+        let sol = PenaltySolver::new().solve(&nlp).unwrap();
+        assert!(sol.feasible, "violation {}", sol.max_violation);
+        assert!((sol.x[0] - 0.5).abs() < 2e-3, "x = {:?}", sol.x);
+        assert!((sol.x[1] - 0.5).abs() < 2e-3);
     }
 
     #[test]

@@ -55,11 +55,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod error;
 mod pdtmc;
 mod poly;
 mod ratfn;
 
+pub use compiled::{CompiledConstraintSet, CompiledPoly, CompiledRatFn};
 pub use error::ParametricError;
 pub use pdtmc::{ParametricDtmc, ParametricDtmcBuilder};
 pub use poly::Polynomial;

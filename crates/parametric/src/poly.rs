@@ -353,6 +353,19 @@ mod tests {
     }
 
     #[test]
+    fn products_and_sums_prune_zero_terms() {
+        // (x + 1)(x − 1) = x² − 1: the cross terms ±x cancel and must not
+        // linger as explicit zero-coefficient entries (they would bloat the
+        // compiled tapes and defeat `is_zero` during elimination).
+        let p = x().add(&Polynomial::constant(2, 1.0));
+        let q = x().sub(&Polynomial::constant(2, 1.0));
+        let prod = p.mul(&q);
+        assert_eq!(prod.num_terms(), 2, "surviving terms: {prod}");
+        assert_eq!(y().add(&y().neg()).num_terms(), 0);
+        assert!(p.scale(0.0).is_zero());
+    }
+
+    #[test]
     fn from_terms_merges_and_validates() {
         let p =
             Polynomial::from_terms(1, &[(vec![1], 2.0), (vec![1], 3.0), (vec![0], 0.0)]).unwrap();
@@ -404,6 +417,19 @@ mod proptests {
             prop_assert!((p.add(&q).eval(&pt).unwrap() - (pv + qv)).abs() < 1e-6 * scale);
             prop_assert!((p.mul(&q).eval(&pt).unwrap() - pv * qv).abs() < 1e-6 * scale * scale);
             prop_assert!((p.sub(&q).eval(&pt).unwrap() - (pv - qv)).abs() < 1e-6 * scale);
+        }
+
+        /// Arithmetic never leaves explicit (near-)zero terms behind: every
+        /// surviving coefficient clears the relative cleanup threshold.
+        #[test]
+        fn no_zero_terms_survive_arithmetic(p in arb_poly(), q in arb_poly()) {
+            for r in [p.add(&q), p.sub(&q), p.mul(&q)] {
+                let threshold = 1e-12 * r.max_abs_coeff().max(1.0);
+                for (_, c) in r.terms() {
+                    prop_assert!(c.abs() > threshold, "zero-ish term {c} in {r}");
+                }
+            }
+            prop_assert!(p.sub(&p).is_zero());
         }
 
         /// Differentiation is linear and kills constants.

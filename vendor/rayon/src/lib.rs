@@ -1,0 +1,291 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors the slice of the `rayon` API it actually uses:
+//! [`join`], [`current_num_threads`], and a `par_iter`/`into_par_iter` →
+//! `map` → `collect`/`for_each`/`sum`/`reduce` pipeline over slices, `Vec`s
+//! and `usize` ranges.
+//!
+//! Instead of a work-stealing pool, parallel stages run on
+//! [`std::thread::scope`] threads: the item list is split into one
+//! contiguous chunk per available CPU and each chunk is mapped on its own
+//! thread, results being reassembled **in input order**. This keeps the
+//! implementation `forbid(unsafe_code)`-clean and makes every pipeline
+//! deterministic: outputs are ordered exactly as the sequential map would
+//! order them, whatever the thread interleaving. On a single-CPU host (or
+//! for tiny inputs) stages degrade to a plain sequential map with no thread
+//! spawn at all, so callers may use the parallel API unconditionally.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Number of threads a parallel stage may use (the available CPU
+/// parallelism; rayon reports its pool size here).
+///
+/// Like real rayon's global pool, the count can be overridden with the
+/// `RAYON_NUM_THREADS` environment variable (`1` forces every parallel
+/// stage sequential). The variable is read once, at the first call.
+pub fn current_num_threads() -> usize {
+    static CONFIGURED: OnceLock<Option<usize>> = OnceLock::new();
+    let configured = *CONFIGURED.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    configured
+        .unwrap_or_else(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Maps `f` over `items` on up to `current_num_threads()` scoped threads,
+/// preserving input order in the output.
+fn par_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous chunks of near-equal size.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in per_chunk {
+        out.extend(c);
+    }
+    out
+}
+
+/// The parallel-iterator pipeline: a lazily composed `map` chain executed
+/// by a terminal operation ([`collect`](ParallelIterator::collect),
+/// [`for_each`](ParallelIterator::for_each), …).
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced by the pipeline.
+    type Item: Send;
+
+    /// Executes the pipeline, returning all items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` (applied in parallel at execution).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs the pipeline and collects the items.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Runs the pipeline for its effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).run();
+    }
+
+    /// Sums the pipeline's items (reduction order is the input order).
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Folds pairs of items with `op`, in input order (deterministic).
+    fn reduce_with<F>(self, op: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.run().into_iter().reduce(op)
+    }
+}
+
+/// A materialized item list acting as the pipeline source.
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBridge<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A `map` stage; applied on scoped threads when the pipeline runs.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+/// Types convertible into a parallel pipeline by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Builds the pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterBridge<T>;
+
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IterBridge<usize>;
+
+    fn into_par_iter(self) -> IterBridge<usize> {
+        IterBridge { items: self.collect() }
+    }
+}
+
+/// Types whose references iterate in parallel (mirrors
+/// `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Builds the pipeline over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IterBridge<&'a T>;
+
+    fn par_iter(&'a self) -> IterBridge<&'a T> {
+        IterBridge { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IterBridge<&'a T>;
+
+    fn par_iter(&'a self) -> IterBridge<&'a T> {
+        IterBridge { items: self.iter().collect() }
+    }
+}
+
+/// The usual glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slices_and_vecs() {
+        let v = vec![1.0, 2.0, 3.0];
+        let s: f64 = v.par_iter().map(|x| x * x).sum();
+        assert_eq!(s, 14.0);
+        let doubled: Vec<i32> = [1, 2, 3].par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn reduce_and_for_each() {
+        let m = (1..10).collect::<Vec<usize>>().into_par_iter().reduce_with(|a, b| a.max(b));
+        assert_eq!(m, Some(9));
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        (0..10).into_par_iter().for_each(|i| {
+            total.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let one: Vec<usize> = (7..8).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
