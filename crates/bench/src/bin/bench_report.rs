@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the repair hot path.
 //!
 //! Times the scenarios the compiled-tape + parallel-restart work targets
-//! and writes them as JSON (`BENCH_PR2.json` by default) so perf changes
+//! and writes them as JSON (`BENCH_PR3.json` by default) so perf changes
 //! are reviewable in diffs rather than anecdotes:
 //!
 //! * compiled-tape vs. interpreted rational-function evaluation (value and
@@ -12,7 +12,10 @@
 //! * penalty-solver restarts, parallel vs. serial, with an exact-match
 //!   determinism check;
 //! * sparse mat-vec at a size above the parallel threshold;
-//! * max-ent IRL training on the car model.
+//! * max-ent IRL training on the car model;
+//! * WSN Model Repair with the telemetry subscriber installed: per-phase
+//!   wall-time breakdown from span histograms, plus the overhead of the
+//!   enabled vs. disabled (no-subscriber) telemetry path.
 //!
 //! Run with `cargo run --release -p tml-bench --bin bench_report -- --quick`.
 //! `--quick` keeps every scenario deterministic and under a second; `--full`
@@ -30,6 +33,7 @@ use tml_irl::maxent_irl;
 use tml_numerics::{CsrMatrix, Triplet, PAR_NNZ_THRESHOLD};
 use tml_optimizer::{ConstraintSense, Nlp, PenaltyOptions, PenaltySolver};
 use tml_parametric::{Polynomial, RationalFunction};
+use tml_telemetry::Subscriber;
 use tml_wsn::{attempts_property, build_dtmc, repair_template, WsnConfig};
 
 #[derive(Serialize)]
@@ -53,7 +57,7 @@ struct Scenario {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR2.json");
+    let mut out_path = String::from("BENCH_PR3.json");
     let mut quick = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -120,6 +124,45 @@ fn main() {
         s.metrics.insert("evaluations".into(), outcome.evaluations as f64);
         s.notes.insert("status".into(), format!("{:?}", outcome.status));
         s.notes.insert("verified".into(), outcome.verified.to_string());
+        scenarios.push(s);
+    }
+
+    // --- model repair: telemetry per-phase breakdown + overhead ----------
+    {
+        let config = WsnConfig::default();
+        let chain = build_dtmc(&config).expect("wsn chain");
+        let template = repair_template(&config).expect("wsn template");
+        let run = || {
+            ModelRepair::new()
+                .repair_dtmc(&chain, &attempts_property(40.0), &template)
+                .expect("repair run")
+        };
+        // Telemetry fully disabled: the no-subscriber path every library
+        // call takes when no one asked for a trace (one atomic load per
+        // would-be span).
+        let (disabled_ms, _) = time(run);
+        // The same repair with a metrics-only subscriber installed.
+        let sub = std::sync::Arc::new(Subscriber::builder().build());
+        assert!(tml_telemetry::install_global(sub.clone()), "telemetry slot free");
+        let (enabled_ms, _) = time(run);
+        tml_telemetry::uninstall_global();
+        let snapshot = sub.metrics_snapshot();
+        let mut s = Scenario {
+            name: "model_repair_wsn_x40_telemetry".into(),
+            wall_ms: enabled_ms,
+            ..Default::default()
+        };
+        s.metrics.insert("disabled_ms".into(), disabled_ms);
+        s.metrics.insert("enabled_ms".into(), enabled_ms);
+        s.metrics.insert("overhead_pct".into(), (enabled_ms - disabled_ms) / disabled_ms * 100.0);
+        for (name, hist) in &snapshot.histograms {
+            if let Some(phase) = name.strip_prefix("span.") {
+                s.metrics.insert(format!("phase_ms.{phase}"), hist.sum_ns as f64 / 1e6);
+            }
+        }
+        for (name, value) in &snapshot.counters {
+            s.metrics.insert(format!("count.{name}"), *value as f64);
+        }
         scenarios.push(s);
     }
 

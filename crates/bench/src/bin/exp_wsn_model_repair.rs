@@ -8,14 +8,43 @@
 //! * `X = 19`  — no admissible small perturbation suffices (infeasible).
 //!
 //! Run with `cargo run --release -p tml-bench --bin exp_wsn_model_repair`.
+//! Pass `--trace-json PATH` to stream a `tml-trace/v1` JSONL trace of the
+//! repair spans and counters to PATH (validated in CI by the
+//! `telemetry_schema_check` binary).
+
+use std::sync::Arc;
 
 use tml_bench::{fmt, print_table};
 use tml_checker::Checker;
 use tml_core::{ModelRepair, RepairStatus};
 use tml_logic::parse_query;
+use tml_telemetry::sink::JsonlSink;
+use tml_telemetry::Subscriber;
 use tml_wsn::{attempts_property, build_dtmc, build_mdp, repair_template, WsnConfig};
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_json = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-json" => trace_json = Some(args.next().expect("--trace-json needs a path")),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: exp_wsn_model_repair [--trace-json PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let subscriber = trace_json.map(|path| {
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let sink = JsonlSink::new(std::io::BufWriter::new(file), "exp_wsn_model_repair")
+            .expect("write trace meta line");
+        let sub = Arc::new(Subscriber::builder().sink(Arc::new(sink)).build());
+        assert!(tml_telemetry::install_global(sub.clone()), "telemetry slot free");
+        sub
+    });
+
     let config = WsnConfig::default();
     let chain = build_dtmc(&config).expect("valid config");
     let template = repair_template(&config).expect("valid template");
@@ -76,4 +105,12 @@ fn main() {
     println!(
         "\nMDP variant (routing choice nondeterministic): Rmin = {best:.2}, Rmax = {worst:.2} attempts"
     );
+
+    if let Some(sub) = subscriber {
+        tml_telemetry::uninstall_global();
+        let table = tml_telemetry::summary::render_metrics(&sub.metrics_snapshot());
+        if !table.is_empty() {
+            println!("\ntelemetry metrics:\n{table}");
+        }
+    }
 }

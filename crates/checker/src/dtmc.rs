@@ -425,7 +425,9 @@ fn solve_restricted(
     run: &CheckRun<'_>,
 ) -> Result<Vec<f64>, CheckError> {
     let opts = run.opts;
+    let _span = tml_telemetry::span!("checker.linear_solve", states = m);
     if opts.use_direct(m) {
+        tml_telemetry::counter!("checker.direct_solves", 1);
         return solve_direct_dense(triplets, b, m);
     }
     let a = CsrMatrix::from_triplets(m, m, triplets)?;

@@ -56,6 +56,7 @@ pub use tml_numerics::{Budget, CancelToken, Diagnostics, Exhaustion};
 use run::CheckRun;
 use tml_logic::{Opt, Query, StateFormula};
 use tml_models::{Dtmc, Mdp};
+use tml_telemetry::span;
 
 /// The model-checking façade: construct once (optionally with custom
 /// [`CheckOptions`] and a [`Budget`]) and call the `check_*` / `query_*`
@@ -111,6 +112,7 @@ impl Checker {
         model: &Dtmc,
         formula: &StateFormula,
     ) -> Result<CheckResult, CheckError> {
+        let _span = span!("checker.check", model = "dtmc", states = model.num_states());
         let run = CheckRun::new(&self.opts, &self.budget);
         let result = dtmc::check_run(model, formula, &run)?;
         Ok(result.with_diagnostics(run.finish()))
@@ -132,6 +134,7 @@ impl Checker {
         model: &Mdp,
         formula: &StateFormula,
     ) -> Result<CheckResult, CheckError> {
+        let _span = span!("checker.check", model = "mdp", states = model.num_states());
         let run = CheckRun::new(&self.opts, &self.budget);
         let result = mdp::check_run(model, formula, &run)?;
         Ok(result.with_diagnostics(run.finish()))
@@ -161,6 +164,7 @@ impl Checker {
         model: &Dtmc,
         query: &Query,
     ) -> Result<(Vec<f64>, Diagnostics), CheckError> {
+        let _span = span!("checker.query", model = "dtmc", states = model.num_states());
         let run = CheckRun::new(&self.opts, &self.budget);
         let values = dtmc::query_run(model, query, &run)?;
         Ok((values, run.finish()))
@@ -189,6 +193,7 @@ impl Checker {
         model: &Mdp,
         query: &Query,
     ) -> Result<(Vec<f64>, Diagnostics), CheckError> {
+        let _span = span!("checker.query", model = "mdp", states = model.num_states());
         let run = CheckRun::new(&self.opts, &self.budget);
         let values = mdp::query_run(model, query, &run)?;
         Ok((values, run.finish()))

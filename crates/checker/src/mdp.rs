@@ -317,6 +317,7 @@ pub(crate) fn until_probabilities_run(
 ) -> Result<Vec<f64>, CheckError> {
     let opts = run.opts;
     let n = model.num_states();
+    let _span = tml_telemetry::span!("checker.value_iteration", states = n);
     let (zero, one) = match opt {
         Opt::Max => (graph::prob0a(model, phi, target), graph::prob1e(model, phi, target)),
         Opt::Min => (graph::prob0e(model, phi, target), graph::prob1a(model, phi, target)),
@@ -387,6 +388,7 @@ pub(crate) fn reach_rewards_run(
     let opts = run.opts;
     let n = model.num_states();
     let phi = vec![true; n];
+    let _span = tml_telemetry::span!("checker.value_iteration", states = n);
     let finite = match opt {
         Opt::Max => graph::prob1a(model, &phi, target),
         Opt::Min => graph::prob1e(model, &phi, target),

@@ -31,8 +31,10 @@ impl<'a> CheckRun<'a> {
         self.budget.check(self.diag.borrow().evaluations)
     }
 
-    /// Charges `sweeps` sweeps to the run.
+    /// Charges `sweeps` sweeps to the run (one call per solve, so the live
+    /// telemetry counter stays an aggregate-level event, not per-sweep).
     pub(crate) fn spend(&self, sweeps: u64) {
+        tml_telemetry::counter!("checker.sweeps", sweeps);
         self.diag.borrow_mut().evaluations += sweeps;
     }
 
@@ -48,6 +50,7 @@ impl<'a> CheckRun<'a> {
     }
 
     pub(crate) fn record_fallback(&self, event: impl Into<String>) {
+        tml_telemetry::counter!("checker.fallbacks", 1);
         self.diag.borrow_mut().record_fallback(event);
     }
 
@@ -59,10 +62,14 @@ impl<'a> CheckRun<'a> {
         self.diag.borrow_mut().mark_exhausted(cause);
     }
 
-    /// Finalizes the run, stamping the elapsed wall-clock time.
+    /// Finalizes the run, stamping the elapsed wall-clock time and filling
+    /// the diagnostics' telemetry snapshot with this run's totals (so the
+    /// `*_diag` APIs surface the same numbers a live subscriber would see).
     pub(crate) fn finish(self) -> Diagnostics {
         let mut diag = self.diag.into_inner();
         diag.elapsed = self.start.elapsed();
+        diag.telemetry.incr("checker.sweeps", diag.evaluations);
+        diag.telemetry.incr("checker.fallbacks", diag.fallbacks.len() as u64);
         diag
     }
 }

@@ -9,21 +9,28 @@
 //! tml simulate MODEL.tml [STEPS] [SEED]
 //! tml witness  MODEL.tml goal
 //! ```
+//!
+//! Every command accepts `--trace-json PATH` (stream a `tml-trace/v1`
+//! JSONL trace of spans and counters) and `--metrics` (print a metrics
+//! summary table when the command finishes).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tml_checker::{Budget, Checker, Diagnostics};
+use tml_checker::{Budget, Checker};
 use tml_logic::{parse_formula, parse_query};
 use tml_models::dsl::{parse_model, ModelFile};
 use tml_models::StochasticPolicy;
+use tml_telemetry::sink::JsonlSink;
+use tml_telemetry::{summary, Subscriber};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(UsageError(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -40,6 +47,15 @@ const USAGE: &str = "usage:
   tml simulate MODEL [STEPS] [SEED]
                                 sample one trajectory (MDPs use the uniform policy)
   tml witness  MODEL LABEL      most probable path to a LABEL state (DTMCs)
+  tml help                      print this help
+
+global options:
+  -h, --help         print this help and exit
+  --trace-json PATH  stream a structured trace (schema tml-trace/v1, one
+                     JSON object per line: spans with timing and parent
+                     linkage, counters) to PATH
+  --metrics          print a metrics summary table (counters, per-span
+                     durations) after the command finishes
 
 options (check/query):
   --deadline-ms MS   wall-clock budget; past it, a best-effort result is
@@ -48,6 +64,7 @@ options (check/query):
   --serial           run single-threaded (disables the parallel numerics
                      sweeps; results are identical either way)";
 
+#[derive(Debug)]
 struct UsageError(String);
 
 impl From<String> for UsageError {
@@ -56,41 +73,81 @@ impl From<String> for UsageError {
     }
 }
 
-fn run(raw: &[String]) -> Result<(), UsageError> {
-    let (args, budget) = parse_budget_flags(raw)?;
+/// Flags shared by every command, parsed off the raw argument list.
+struct CliOptions {
+    budget: Budget,
+    trace_json: Option<String>,
+    metrics: bool,
+    help: bool,
+}
+
+/// Runs the CLI; the `Ok` value is the process exit code (0 success,
+/// 1 property violated).
+fn run(raw: &[String]) -> Result<u8, UsageError> {
+    let (args, opts) = parse_flags(raw)?;
+    if opts.help || args.first().map(String::as_str) == Some("help") {
+        println!("{USAGE}");
+        return Ok(0);
+    }
+    let subscriber = install_telemetry(&opts)?;
+    let result = dispatch(&args, &opts);
+    if let Some(sub) = subscriber {
+        // Flushes the JSONL sink; spans recorded after this are dropped.
+        tml_telemetry::uninstall_global();
+        if opts.metrics {
+            let table = summary::render_metrics(&sub.metrics_snapshot());
+            if table.is_empty() {
+                println!("no metrics recorded");
+            } else {
+                print!("{table}");
+            }
+        }
+    }
+    result
+}
+
+fn dispatch(args: &[String], opts: &CliOptions) -> Result<u8, UsageError> {
     let cmd = args.first().ok_or_else(|| UsageError("missing command".into()))?;
     match cmd.as_str() {
-        "info" => info(arg(&args, 1, "MODEL")?),
-        "check" => check(arg(&args, 1, "MODEL")?, arg(&args, 2, "PROPERTY")?, budget),
-        "query" => query(arg(&args, 1, "MODEL")?, arg(&args, 2, "QUERY")?, budget),
+        "info" => info(arg(args, 1, "MODEL")?).map(|()| 0),
+        "check" => check(arg(args, 1, "MODEL")?, arg(args, 2, "PROPERTY")?, &opts.budget),
+        "query" => query(arg(args, 1, "MODEL")?, arg(args, 2, "QUERY")?, &opts.budget).map(|()| 0),
         "simulate" => simulate(
-            arg(&args, 1, "MODEL")?,
+            arg(args, 1, "MODEL")?,
             args.get(2).map(String::as_str),
             args.get(3).map(String::as_str),
-        ),
-        "witness" => witness(arg(&args, 1, "MODEL")?, arg(&args, 2, "LABEL")?),
+        )
+        .map(|()| 0),
+        "witness" => witness(arg(args, 1, "MODEL")?, arg(args, 2, "LABEL")?).map(|()| 0),
         other => Err(UsageError(format!("unknown command {other:?}"))),
     }
 }
 
-/// Strips `--deadline-ms MS`, `--max-evals N` and `--serial` (accepted
-/// anywhere on the command line); budget flags fold into a [`Budget`],
-/// `--serial` caps the rayon stand-in's thread count at one for the rest
-/// of the process.
-fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), UsageError> {
+/// Strips the global flags (accepted anywhere on the command line); budget
+/// flags fold into a [`Budget`], `--serial` caps the rayon stand-in's
+/// thread count at one for the rest of the process.
+fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> {
     let mut args = Vec::with_capacity(raw.len());
-    let mut budget = Budget::unlimited();
+    let mut opts =
+        CliOptions { budget: Budget::unlimited(), trace_json: None, metrics: false, help: false };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "-h" | "--help" => opts.help = true,
+            "--metrics" => opts.metrics = true,
             "--serial" => std::env::set_var("RAYON_NUM_THREADS", "1"),
+            "--trace-json" => {
+                let path =
+                    it.next().ok_or_else(|| UsageError("--trace-json needs a path".into()))?;
+                opts.trace_json = Some(path.clone());
+            }
             "--deadline-ms" => {
                 let ms: u64 = it
                     .next()
                     .ok_or_else(|| UsageError("--deadline-ms needs a value".into()))?
                     .parse()
                     .map_err(|_| UsageError("--deadline-ms must be an integer".into()))?;
-                budget = budget.with_deadline(Duration::from_millis(ms));
+                opts.budget = opts.budget.with_deadline(Duration::from_millis(ms));
             }
             "--max-evals" => {
                 let n: u64 = it
@@ -98,7 +155,7 @@ fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), UsageErro
                     .ok_or_else(|| UsageError("--max-evals needs a value".into()))?
                     .parse()
                     .map_err(|_| UsageError("--max-evals must be an integer".into()))?;
-                budget = budget.with_max_evaluations(n);
+                opts.budget = opts.budget.with_max_evaluations(n);
             }
             other if other.starts_with("--") => {
                 return Err(UsageError(format!("unknown option {other:?}")));
@@ -106,24 +163,29 @@ fn parse_budget_flags(raw: &[String]) -> Result<(Vec<String>, Budget), UsageErro
             _ => args.push(a.clone()),
         }
     }
-    Ok((args, budget))
+    Ok((args, opts))
 }
 
-/// Prints how a budgeted run degraded, if it did.
-fn report_degradation(diag: &Diagnostics) {
-    if !diag.degraded() {
-        return;
+/// Installs the global telemetry subscriber when `--trace-json` or
+/// `--metrics` asks for one. Returns `None` (telemetry stays disabled, one
+/// atomic load per would-be span) when neither flag is given.
+fn install_telemetry(opts: &CliOptions) -> Result<Option<Arc<Subscriber>>, UsageError> {
+    if opts.trace_json.is_none() && !opts.metrics {
+        return Ok(None);
     }
-    println!("degraded: result is best-effort, not exact");
-    for event in &diag.fallbacks {
-        println!("  fallback: {event}");
+    let mut builder = Subscriber::builder();
+    if let Some(path) = &opts.trace_json {
+        let file = std::fs::File::create(path)
+            .map_err(|e| UsageError(format!("cannot create trace file {path:?}: {e}")))?;
+        let sink = JsonlSink::new(std::io::BufWriter::new(file), "tml")
+            .map_err(|e| UsageError(format!("cannot write trace file {path:?}: {e}")))?;
+        builder = builder.sink(Arc::new(sink));
     }
-    if diag.worst_residual > 0.0 {
-        println!("  worst accepted residual: {:.3e}", diag.worst_residual);
+    let sub = Arc::new(builder.build());
+    if !tml_telemetry::install_global(sub.clone()) {
+        return Err(UsageError("a telemetry subscriber is already installed".into()));
     }
-    if let Some(cause) = diag.exhausted {
-        println!("  stopped early: {cause}");
-    }
+    Ok(Some(sub))
 }
 
 fn arg<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, UsageError> {
@@ -162,10 +224,10 @@ fn info(path: &str) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn check(path: &str, property: &str, budget: Budget) -> Result<(), UsageError> {
+fn check(path: &str, property: &str, budget: &Budget) -> Result<u8, UsageError> {
     let model = load(path)?;
     let phi = parse_formula(property).map_err(|e| UsageError(e.to_string()))?;
-    let checker = Checker::new().with_budget(budget);
+    let checker = Checker::new().with_budget(budget.clone());
     let result = match &model {
         ModelFile::Dtmc(m) => checker.check_dtmc(m, &phi),
         ModelFile::Mdp(m) => checker.check_mdp(m, &phi),
@@ -177,19 +239,15 @@ fn check(path: &str, property: &str, budget: Budget) -> Result<(), UsageError> {
     if let Some(v) = result.value_at_initial() {
         println!("value at initial state: {v}");
     }
-    report_degradation(result.diagnostics());
-    if result.holds() {
-        Ok(())
-    } else {
-        // Distinguish "property violated" (exit 1) from usage errors (2).
-        std::process::exit(1);
-    }
+    print!("{}", result.diagnostics().render_degradation());
+    // Distinguish "property violated" (exit 1) from usage errors (2).
+    Ok(if result.holds() { 0 } else { 1 })
 }
 
-fn query(path: &str, q: &str, budget: Budget) -> Result<(), UsageError> {
+fn query(path: &str, q: &str, budget: &Budget) -> Result<(), UsageError> {
     let model = load(path)?;
     let parsed = parse_query(q).map_err(|e| UsageError(e.to_string()))?;
-    let checker = Checker::new().with_budget(budget);
+    let checker = Checker::new().with_budget(budget.clone());
     let (values, diag) = match &model {
         ModelFile::Dtmc(m) => checker.query_dtmc_diag(m, &parsed),
         ModelFile::Mdp(m) => checker.query_mdp_diag(m, &parsed),
@@ -204,7 +262,7 @@ fn query(path: &str, q: &str, budget: Budget) -> Result<(), UsageError> {
         ModelFile::Mdp(m) => m.initial_state(),
     };
     println!("value at initial state {initial}: {}", values[initial]);
-    report_degradation(&diag);
+    print!("{}", diag.render_degradation());
     Ok(())
 }
 
@@ -310,6 +368,25 @@ mod tests {
     }
 
     #[test]
+    fn exit_codes_distinguish_holds_from_violated() {
+        let chain = write_temp("chain-exit", CHAIN);
+        let p = chain.to_str().unwrap();
+        assert_eq!(run(&s(&["check", p, "P>=0.5 [ F \"done\" ]"])).unwrap(), 0);
+        // F "done" holds with probability 1, so the <= 0.5 bound is violated.
+        assert_eq!(run(&s(&["check", p, "P<=0.5 [ F \"done\" ]"])).unwrap(), 1);
+        let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
+    fn help_flag_and_command() {
+        assert_eq!(run(&s(&["--help"])).unwrap(), 0);
+        assert_eq!(run(&s(&["-h"])).unwrap(), 0);
+        assert_eq!(run(&s(&["help"])).unwrap(), 0);
+        // --help anywhere wins over the command, even an incomplete one.
+        assert_eq!(run(&s(&["check", "--help"])).unwrap(), 0);
+    }
+
+    #[test]
     fn budget_flags_are_accepted_and_stripped() {
         let chain = write_temp("chain-budget", CHAIN);
         let p = chain.to_str().unwrap();
@@ -324,10 +401,56 @@ mod tests {
     }
 
     #[test]
+    fn trace_json_writes_a_valid_trace_and_metrics_summarize() {
+        // The global subscriber is process-wide state; serialize with every
+        // other test that installs one.
+        let _lock = tml_telemetry::TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let chain = write_temp("chain-trace", CHAIN);
+        let p = chain.to_str().unwrap();
+        let trace =
+            std::env::temp_dir().join(format!("tml-cli-trace-{}.jsonl", std::process::id()));
+        let t = trace.to_str().unwrap();
+        let code = run(&s(&["check", p, "P>=0.5 [ F \"done\" ]", "--trace-json", t, "--metrics"]))
+            .unwrap();
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&trace).expect("trace file written");
+        let mut lines = text.lines();
+        let meta = lines.next().expect("meta line");
+        assert!(meta.contains("tml-trace/v1"), "first line is the schema meta: {meta}");
+        assert!(text.contains("checker.check"), "checker span recorded");
+        for line in text.lines() {
+            tml_telemetry::json::parse(line).expect("every trace line is valid JSON");
+        }
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
+    fn metrics_without_trace_runs_standalone() {
+        let _lock = tml_telemetry::TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let chain = write_temp("chain-metrics", CHAIN);
+        let p = chain.to_str().unwrap();
+        assert_eq!(run(&s(&["--metrics", "query", p, "P=? [ F \"done\" ]"])).unwrap(), 0);
+        let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
     fn budget_flag_errors() {
         assert!(run(&s(&["check", "--deadline-ms"])).is_err());
         assert!(run(&s(&["check", "--deadline-ms", "soon"])).is_err());
         assert!(run(&s(&["check", "--max-evals", "-3"])).is_err());
+        assert!(run(&s(&["check", "--trace-json"])).is_err());
+        assert!(run(&s(&["check", "--no-such-flag"])).is_err());
+    }
+
+    #[test]
+    fn trace_json_rejects_unwritable_path() {
+        let _lock = tml_telemetry::TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let chain = write_temp("chain-badtrace", CHAIN);
+        let p = chain.to_str().unwrap();
+        let bad = "/no/such/dir/trace.jsonl";
+        assert!(run(&s(&["check", p, "P>=0.5 [ F \"done\" ]", "--trace-json", bad])).is_err());
+        let _ = std::fs::remove_file(chain);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use tml_models::{learn, Dtmc, DtmcBuilder, MlOptions, TraceDataset};
 use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{Nlp, PenaltySolver};
 use tml_parametric::{ParametricDtmc, Polynomial, RationalFunction};
+use tml_telemetry::span;
 
 use crate::constraint::compile_constraint;
 use crate::model_repair::{absorb_solution, infeasible_status, repaired_status, RepairStatus};
@@ -183,6 +184,8 @@ impl DataRepair {
         if dataset.num_traces() == 0 || dataset.num_classes() == 0 {
             return Err(RepairError::InvalidInput { detail: "empty dataset".into() });
         }
+        let _span =
+            span!("data_repair", traces = dataset.num_traces(), classes = dataset.num_classes());
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
         let mut diag = Diagnostics::new();
         let base = self.learn(dataset, spec, None)?;

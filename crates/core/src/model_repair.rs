@@ -7,6 +7,7 @@ use tml_models::{Dtmc, Mdp};
 use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{BlockRow, ConstraintSense, Nlp, PenaltySolver, Solution};
 use tml_parametric::{CompiledConstraintSet, Polynomial, RationalFunction};
+use tml_telemetry::span;
 
 use crate::constraint::compile_constraint;
 use crate::{LinearExpr, PerturbationTemplate, RepairError, RepairOptions};
@@ -110,9 +111,13 @@ impl ModelRepair {
         formula: &StateFormula,
         template: &PerturbationTemplate,
     ) -> Result<ModelRepairOutcome<Dtmc>, RepairError> {
+        let _span = span!("model_repair", model = "dtmc", params = template.num_params());
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
         let mut diag = Diagnostics::new();
-        let initial = checker.check_dtmc(base, formula)?;
+        let initial = {
+            let _s = span!("model_repair.verify_initial");
+            checker.check_dtmc(base, formula)?
+        };
         diag.absorb(initial.diagnostics());
         if initial.holds() {
             return Ok(ModelRepairOutcome {
@@ -126,6 +131,7 @@ impl ModelRepair {
             });
         }
 
+        let compile_span = span!("model_repair.compile");
         let pdtmc = template.apply(base)?;
         let mut nlp = Nlp::new(template.num_params(), template.bounds())?;
         self.frobenius_objective(&mut nlp, template);
@@ -157,9 +163,13 @@ impl ModelRepair {
             }
             Err(other) => return Err(other),
         }
+        drop(compile_span);
 
         let solver = PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
-        let sol = solver.solve(&nlp)?;
+        let sol = {
+            let _s = span!("model_repair.solve");
+            solver.solve(&nlp)?
+        };
         absorb_solution(&mut diag, &sol);
         if !sol.feasible {
             return Ok(ModelRepairOutcome {
@@ -172,6 +182,7 @@ impl ModelRepair {
                 diagnostics: diag,
             });
         }
+        let _recheck = span!("model_repair.recheck");
         let repaired = pdtmc.instantiate(&sol.x)?;
         let verdict = checker.check_dtmc(&repaired, formula)?;
         diag.absorb(verdict.diagnostics());
@@ -203,9 +214,13 @@ impl ModelRepair {
         formula: &StateFormula,
         template: &MdpPerturbationTemplate,
     ) -> Result<ModelRepairOutcome<Mdp>, RepairError> {
+        let _span = span!("model_repair", model = "mdp", params = template.num_params());
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
         let mut diag = Diagnostics::new();
-        let initial = checker.check_mdp(base, formula)?;
+        let initial = {
+            let _s = span!("model_repair.verify_initial");
+            checker.check_mdp(base, formula)?
+        };
         diag.absorb(initial.diagnostics());
         if initial.holds() {
             return Ok(ModelRepairOutcome {
@@ -219,6 +234,7 @@ impl ModelRepair {
             });
         }
         template.validate(base)?;
+        let compile_span = span!("model_repair.compile");
         let (op, bound) = top_level_bound(formula)?;
         let mut nlp = Nlp::new(template.num_params(), template.bounds())?;
         {
@@ -260,8 +276,12 @@ impl ModelRepair {
                 }
             });
         }
+        drop(compile_span);
         let solver = PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
-        let sol = solver.solve(&nlp)?;
+        let sol = {
+            let _s = span!("model_repair.solve");
+            solver.solve(&nlp)?
+        };
         absorb_solution(&mut diag, &sol);
         if !sol.feasible {
             return Ok(ModelRepairOutcome {
@@ -274,6 +294,7 @@ impl ModelRepair {
                 diagnostics: diag,
             });
         }
+        let _recheck = span!("model_repair.recheck");
         let repaired = template.instantiate(base, &sol.x)?;
         let verdict = checker.check_mdp(&repaired, formula)?;
         diag.absorb(verdict.diagnostics());
@@ -574,6 +595,7 @@ fn oracle_value_dtmc(
 /// Folds an optimizer solution's spend and stop cause into the diagnostics.
 pub(crate) fn absorb_solution(diag: &mut Diagnostics, sol: &Solution) {
     diag.evaluations += sol.evaluations as u64;
+    diag.telemetry.incr("solver.evaluations", sol.evaluations as u64);
     if let Some(cause) = sol.stopped {
         diag.mark_exhausted(cause);
     }

@@ -16,6 +16,7 @@ use tml_checker::Checker;
 use tml_logic::StateFormula;
 use tml_models::{learn, Dtmc, MlOptions, TraceDataset};
 use tml_numerics::{Budget, Diagnostics};
+use tml_telemetry::span;
 
 use crate::{
     DataRepair, DataRepairOutcome, ModelRepair, ModelRepairOutcome, ModelSpec,
@@ -182,7 +183,9 @@ impl TmlPipeline {
     /// Propagates learning, checking and repair errors; an *infeasible*
     /// repair is not an error (it yields [`TmlOutcome::Unrepairable`]).
     pub fn run(&self, dataset: &TraceDataset) -> Result<TmlOutcome, RepairError> {
+        let _span = span!("pipeline.run", states = self.spec.num_states);
         // 1. Learn.
+        let learn_span = span!("pipeline.learn");
         let mut b = learn::ml_dtmc(self.spec.num_states, dataset, None, MlOptions::default())?;
         b.initial_state(self.spec.initial)?;
         for (s, l) in &self.spec.labels {
@@ -192,11 +195,15 @@ impl TmlPipeline {
             b.state_reward(structure, *s, *r)?;
         }
         let model = b.build()?;
+        drop(learn_span);
 
         // 2. Verify.
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
         let mut diag = Diagnostics::new();
-        let initial = checker.check_dtmc(&model, &self.formula)?;
+        let initial = {
+            let _s = span!("pipeline.verify");
+            checker.check_dtmc(&model, &self.formula)?
+        };
         diag.absorb(initial.diagnostics());
         if initial.holds() {
             return Ok(TmlOutcome::Satisfied { model, diagnostics: diag });
@@ -212,6 +219,7 @@ impl TmlPipeline {
         // 3. Model Repair.
         let mut model_repair_status = None;
         if let Some(template) = &self.template {
+            let _s = span!("pipeline.model_repair");
             let out = ModelRepair::with_options(self.opts)
                 .with_budget(self.budget.clone())
                 .repair_dtmc(&model, &self.formula, template)?;
@@ -225,6 +233,7 @@ impl TmlPipeline {
         // 4. Data Repair.
         let mut data_repair_status = None;
         if self.data_repair {
+            let _s = span!("pipeline.data_repair");
             let out = DataRepair::with_options(self.opts).with_budget(self.budget.clone()).repair(
                 dataset,
                 &self.spec,

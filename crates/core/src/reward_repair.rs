@@ -17,6 +17,7 @@ use tml_logic::{TraceContext, TraceFormula};
 use tml_models::{Mdp, Path};
 use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{ConstraintSense, Nlp, PenaltySolver};
+use tml_telemetry::span;
 
 use crate::model_repair::{absorb_solution, infeasible_status, RepairStatus};
 use crate::{RepairError, RepairOptions};
@@ -276,6 +277,7 @@ impl RewardRepair {
         if horizon == 0 {
             return Err(RepairError::InvalidInput { detail: "horizon must be positive".into() });
         }
+        let _span = span!("reward_repair.project_and_fit", rules = rules.len(), horizon = horizon);
         if features.dim() != theta0.len() {
             return Err(RepairError::InvalidInput {
                 detail: format!(
@@ -361,6 +363,11 @@ impl RewardRepair {
                 });
             }
         }
+        let _span = span!(
+            "reward_repair.q_constraint",
+            constraints = constraints.len(),
+            dim = theta0.len()
+        );
         // Short-circuit when θ₀ already satisfies everything.
         if q_constraints_hold(mdp, features, theta0, constraints, gamma) {
             return Ok(QConstraintOutcome {
@@ -486,6 +493,11 @@ impl RewardRepair {
                 ),
             });
         }
+        let _span = span!(
+            "reward_repair.project_and_fit_sampled",
+            rules = rules.len(),
+            samples = num_samples
+        );
         let paths = sample_trajectories(mdp, features, theta0, num_samples, horizon, rng)?;
         // Empirical draws from (approximately) P(·|θ₀): uniform weights.
         let p = vec![1.0 / paths.len() as f64; paths.len()];

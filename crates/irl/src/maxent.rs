@@ -11,6 +11,7 @@
 
 use tml_models::{Mdp, Path, StochasticPolicy};
 use tml_numerics::vector::log_sum_exp;
+use tml_telemetry::{counter, span};
 
 use crate::{FeatureMap, IrlError};
 
@@ -104,6 +105,12 @@ pub fn maxent_irl(
     opts: IrlOptions,
 ) -> Result<IrlResult, IrlError> {
     validate(mdp, features, expert)?;
+    let _span = span!(
+        "irl.maxent",
+        states = mdp.num_states(),
+        demonstrations = expert.len(),
+        dim = features.dim()
+    );
     let dim = features.dim();
     let horizon = opts.horizon.max(expert.iter().map(Path::len).max().unwrap_or(0));
 
@@ -144,7 +151,9 @@ pub fn maxent_irl(
     let mut theta = vec![0.0; dim];
     let mut gradient_norms = Vec::new();
     let mut converged = false;
+    let mut passes: u64 = 0;
     for _ in 0..opts.iterations {
+        passes += 1;
         let policy = soft_policy_internal(mdp, &features.rewards(&theta), horizon);
         let d = visitation_from(mdp, &policy, &d0, horizon);
         let mut grad = vec![0.0; dim];
@@ -166,6 +175,7 @@ pub fn maxent_irl(
             *t += opts.learning_rate * g;
         }
     }
+    counter!("irl.gradient_passes", passes);
     Ok(IrlResult { theta, gradient_norms, converged })
 }
 

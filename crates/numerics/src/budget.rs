@@ -45,6 +45,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use tml_telemetry::summary::DegradationReport;
+use tml_telemetry::MetricsSnapshot;
+
 /// A shareable cancellation flag.
 ///
 /// Cloning the token shares the underlying flag: cancelling any clone
@@ -81,6 +84,21 @@ pub enum Exhaustion {
     Evaluations,
     /// The [`CancelToken`] was triggered.
     Cancelled,
+}
+
+impl Exhaustion {
+    /// Merge priority when combining diagnostics from parallel workers:
+    /// an explicit cancellation outranks a deadline, which outranks an
+    /// evaluation cap. Using a total order (rather than "first seen wins")
+    /// makes [`Diagnostics::absorb`] commutative, so per-thread diagnostics
+    /// merged in any order agree with a serial run.
+    fn severity(self) -> u8 {
+        match self {
+            Exhaustion::Evaluations => 0,
+            Exhaustion::Deadline => 1,
+            Exhaustion::Cancelled => 2,
+        }
+    }
 }
 
 impl std::fmt::Display for Exhaustion {
@@ -293,6 +311,10 @@ pub struct Diagnostics {
     pub elapsed: Duration,
     /// Why the computation stopped early, if it did.
     pub exhausted: Option<Exhaustion>,
+    /// Aggregated telemetry (named counters and span-duration histograms)
+    /// for the producing computation. Empty unless the producer records
+    /// metrics; merged commutatively by [`absorb`](Self::absorb).
+    pub telemetry: MetricsSnapshot,
 }
 
 impl Diagnostics {
@@ -326,17 +348,46 @@ impl Diagnostics {
         self.exhausted.is_some() || !self.fallbacks.is_empty() || self.worst_residual > 0.0
     }
 
-    /// Folds another diagnostics record into this one (evaluations add,
-    /// fallbacks append, residuals take the max, elapsed adds, the first
-    /// exhaustion cause sticks).
+    /// Folds another diagnostics record into this one: evaluations add,
+    /// fallbacks append, residuals take the max, elapsed adds, telemetry
+    /// merges, and exhaustion causes combine by severity (Cancelled >
+    /// Deadline > Evaluations).
+    ///
+    /// Every component is commutative and associative up to fallback
+    /// *ordering* (the fallback multiset is order-independent), so
+    /// absorbing per-thread diagnostics from parallel restarts in any order
+    /// yields the same evaluation counts, worst residual, fallback set and
+    /// exhaustion cause as a serial run. The previous "first cause sticks"
+    /// rule made the merged cause depend on thread completion order.
     pub fn absorb(&mut self, other: &Diagnostics) {
         self.evaluations += other.evaluations;
         self.fallbacks.extend(other.fallbacks.iter().cloned());
         self.record_residual(other.worst_residual);
         self.elapsed += other.elapsed;
+        self.telemetry.merge(&other.telemetry);
         if let Some(cause) = other.exhausted {
-            self.mark_exhausted(cause);
+            match self.exhausted {
+                Some(existing) if existing.severity() >= cause.severity() => {}
+                _ => self.exhausted = Some(cause),
+            }
         }
+    }
+
+    /// Renders the degradation block (fallbacks, worst residual, early-stop
+    /// cause) through the telemetry summary renderer — the same code path
+    /// that formats JSONL-derived summaries, so the two can never disagree.
+    /// Returns an empty string when the run was clean.
+    pub fn render_degradation(&self) -> String {
+        DegradationReport {
+            fallbacks: &self.fallbacks,
+            worst_residual: if self.worst_residual > 0.0 {
+                Some(self.worst_residual)
+            } else {
+                None
+            },
+            exhausted: self.exhausted.map(|e| e.to_string()),
+        }
+        .render()
     }
 }
 
@@ -397,6 +448,65 @@ mod tests {
         // First cause sticks.
         a.mark_exhausted(Exhaustion::Cancelled);
         assert_eq!(a.exhausted, Some(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn absorb_exhaustion_merge_is_commutative() {
+        let causes = [
+            None,
+            Some(Exhaustion::Evaluations),
+            Some(Exhaustion::Deadline),
+            Some(Exhaustion::Cancelled),
+        ];
+        for &ca in &causes {
+            for &cb in &causes {
+                let mut a = Diagnostics::new();
+                if let Some(c) = ca {
+                    a.mark_exhausted(c);
+                }
+                let mut b = Diagnostics::new();
+                if let Some(c) = cb {
+                    b.mark_exhausted(c);
+                }
+                let mut ab = a.clone();
+                ab.absorb(&b);
+                let mut ba = b.clone();
+                ba.absorb(&a);
+                assert_eq!(ab.exhausted, ba.exhausted, "absorb({ca:?}, {cb:?})");
+            }
+        }
+        // Severity: a cancellation is never masked by a deadline.
+        let mut d = Diagnostics::new();
+        d.mark_exhausted(Exhaustion::Deadline);
+        let mut c = Diagnostics::new();
+        c.mark_exhausted(Exhaustion::Cancelled);
+        d.absorb(&c);
+        assert_eq!(d.exhausted, Some(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn absorb_merges_telemetry_snapshots() {
+        let mut a = Diagnostics::new();
+        a.telemetry.incr("checker.sweeps", 3);
+        let mut b = Diagnostics::new();
+        b.telemetry.incr("checker.sweeps", 4);
+        b.telemetry.incr("checker.fallbacks", 1);
+        a.absorb(&b);
+        assert_eq!(a.telemetry.counter("checker.sweeps"), 7);
+        assert_eq!(a.telemetry.counter("checker.fallbacks"), 1);
+    }
+
+    #[test]
+    fn degradation_rendering_matches_diagnostics() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.render_degradation(), "");
+        d.record_fallback("jacobi stalled; solving directly");
+        d.record_residual(2e-6);
+        d.mark_exhausted(Exhaustion::Deadline);
+        let text = d.render_degradation();
+        assert!(text.starts_with("degraded:"));
+        assert!(text.contains("jacobi stalled; solving directly"));
+        assert!(text.contains("deadline exceeded"));
     }
 
     #[test]

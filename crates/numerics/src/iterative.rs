@@ -5,6 +5,8 @@
 //! moving. These routines operate on [`CsrMatrix`] so they scale to large
 //! sparse transition systems.
 
+use tml_telemetry::{counter, span};
+
 use crate::budget::{Budget, Exhaustion};
 use crate::{CsrMatrix, NumericsError};
 
@@ -105,26 +107,31 @@ pub fn jacobi_budgeted(
     budget: &Budget,
 ) -> Result<IterRun, NumericsError> {
     check_shapes(a, b, x0)?;
+    let _span = span!("numerics.jacobi", states = a.rows(), nnz = a.nnz());
     let mut x = x0.to_vec();
     let mut delta = f64::INFINITY;
-    for it in 1..=opts.max_iterations {
-        if let Some(cause) = budget.check(it as u64 - 1) {
-            return Ok(IterRun {
-                x,
-                iterations: it - 1,
-                delta,
-                converged: false,
-                stopped: Some(cause),
-            });
+    let run = 'solve: {
+        for it in 1..=opts.max_iterations {
+            if let Some(cause) = budget.check(it as u64 - 1) {
+                break 'solve IterRun {
+                    x,
+                    iterations: it - 1,
+                    delta,
+                    converged: false,
+                    stopped: Some(cause),
+                };
+            }
+            let next = affine_apply(a, b, &x);
+            delta = max_abs_diff(&next, &x);
+            x = next;
+            if delta <= opts.tolerance {
+                break 'solve IterRun { x, iterations: it, delta, converged: true, stopped: None };
+            }
         }
-        let next = affine_apply(a, b, &x);
-        delta = max_abs_diff(&next, &x);
-        x = next;
-        if delta <= opts.tolerance {
-            return Ok(IterRun { x, iterations: it, delta, converged: true, stopped: None });
-        }
-    }
-    Ok(IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None })
+        IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None }
+    };
+    counter!("numerics.sweeps", run.iterations);
+    Ok(run)
 }
 
 /// One Jacobi sweep `A·x + b`, with rows distributed over threads for large
@@ -184,44 +191,49 @@ pub fn gauss_seidel_budgeted(
     budget: &Budget,
 ) -> Result<IterRun, NumericsError> {
     check_shapes(a, b, x0)?;
+    let _span = span!("numerics.gauss_seidel", states = a.rows(), nnz = a.nnz());
     let n = a.rows();
     let mut x = x0.to_vec();
     let mut delta = f64::INFINITY;
-    for it in 1..=opts.max_iterations {
-        if let Some(cause) = budget.check(it as u64 - 1) {
-            return Ok(IterRun {
-                x,
-                iterations: it - 1,
-                delta,
-                converged: false,
-                stopped: Some(cause),
-            });
-        }
-        delta = 0.0;
-        for r in 0..n {
-            let mut acc = b[r];
-            let mut diag = 0.0;
-            for (c, v) in a.row_entries(r) {
-                if c == r {
-                    diag = v;
-                } else {
-                    acc += v * x[c];
+    let run = 'solve: {
+        for it in 1..=opts.max_iterations {
+            if let Some(cause) = budget.check(it as u64 - 1) {
+                break 'solve IterRun {
+                    x,
+                    iterations: it - 1,
+                    delta,
+                    converged: false,
+                    stopped: Some(cause),
+                };
+            }
+            delta = 0.0;
+            for r in 0..n {
+                let mut acc = b[r];
+                let mut diag = 0.0;
+                for (c, v) in a.row_entries(r) {
+                    if c == r {
+                        diag = v;
+                    } else {
+                        acc += v * x[c];
+                    }
                 }
+                // Solve x_r = diag * x_r + acc  =>  x_r = acc / (1 - diag).
+                let denom = 1.0 - diag;
+                let new = if denom.abs() < f64::EPSILON { acc } else { acc / denom };
+                let d = (new - x[r]).abs();
+                if d > delta {
+                    delta = d;
+                }
+                x[r] = new;
             }
-            // Solve x_r = diag * x_r + acc  =>  x_r = acc / (1 - diag).
-            let denom = 1.0 - diag;
-            let new = if denom.abs() < f64::EPSILON { acc } else { acc / denom };
-            let d = (new - x[r]).abs();
-            if d > delta {
-                delta = d;
+            if delta <= opts.tolerance {
+                break 'solve IterRun { x, iterations: it, delta, converged: true, stopped: None };
             }
-            x[r] = new;
         }
-        if delta <= opts.tolerance {
-            return Ok(IterRun { x, iterations: it, delta, converged: true, stopped: None });
-        }
-    }
-    Ok(IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None })
+        IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None }
+    };
+    counter!("numerics.sweeps", run.iterations);
+    Ok(run)
 }
 
 /// Converts a budgeted run into the legacy strict result: non-convergence

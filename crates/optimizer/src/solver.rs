@@ -1,6 +1,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tml_numerics::{Budget, Exhaustion};
+use tml_telemetry::{counter, span};
 
 use crate::{Nlp, OptimizerError};
 
@@ -163,16 +164,24 @@ impl PenaltySolver {
             );
         }
 
+        let _span = span!(
+            "solver.solve",
+            starts = starts.len(),
+            vars = nlp.num_vars(),
+            parallel = self.opts.parallel
+        );
+
         // Fork the caller's budget: every solve gets the full evaluation
         // cap, while all restarts *within* this solve charge one shared
         // atomic counter (see the thread-safety contract in
         // tml_numerics::budget).
         let run_budget = self.budget.fork();
-        let outcomes: Vec<StartOutcome> = if self.opts.parallel && starts.len() > 1 {
+        let indexed: Vec<(usize, Vec<f64>)> = starts.into_iter().enumerate().collect();
+        let outcomes: Vec<StartOutcome> = if self.opts.parallel && indexed.len() > 1 {
             use rayon::prelude::*;
-            starts.into_par_iter().map(|s| self.run_start(nlp, s, &run_budget)).collect()
+            indexed.into_par_iter().map(|(i, s)| self.run_start(nlp, i, s, &run_budget)).collect()
         } else {
-            starts.into_iter().map(|s| self.run_start(nlp, s, &run_budget)).collect()
+            indexed.into_iter().map(|(i, s)| self.run_start(nlp, i, s, &run_budget)).collect()
         };
 
         // Merge strictly in start order: with an unlimited budget this
@@ -212,16 +221,24 @@ impl PenaltySolver {
         sol.evaluations = evaluations;
         sol.feasible = sol.max_violation <= self.opts.feasibility_tolerance;
         sol.stopped = stopped;
+        counter!("solver.evaluations", sol.evaluations);
         Ok(sol)
     }
 
     /// Runs one restart, charging the run's shared budget. Returns
     /// [`StartOutcome::Skipped`] when the budget is already exhausted.
-    fn run_start(&self, nlp: &Nlp, start: Vec<f64>, budget: &Budget) -> StartOutcome {
+    ///
+    /// Note on traces: in a parallel solve this span runs on a worker
+    /// thread, so its `parent` link is the worker's innermost span (usually
+    /// none) rather than `solver.solve` — correlate via the `restart` field.
+    fn run_start(&self, nlp: &Nlp, index: usize, start: Vec<f64>, budget: &Budget) -> StartOutcome {
+        let _span = span!("solver.restart", restart = index);
         let mut gauge = EvalGauge { budget, local: 0, charged: 0 };
         if let Some(cause) = gauge.poll() {
+            counter!("solver.restarts_skipped", 1);
             return StartOutcome::Skipped(cause);
         }
+        counter!("solver.restarts", 1);
         let sol = self.solve_from(nlp, start, &mut gauge);
         StartOutcome::Ran(sol, gauge.local)
     }

@@ -390,6 +390,8 @@ impl CompiledConstraintSet {
     /// Returns [`ParametricError::ArityMismatch`] if the functions disagree
     /// on the number of variables.
     pub fn compile(fns: &[RationalFunction]) -> Result<Self, ParametricError> {
+        let _span = tml_telemetry::span!("parametric.compile_tapes", functions = fns.len());
+        tml_telemetry::counter!("tape.compiles", fns.len());
         let nvars = fns.first().map(RationalFunction::num_vars).unwrap_or(0);
         let mut compiled = Vec::with_capacity(fns.len());
         let mut stride = 1;

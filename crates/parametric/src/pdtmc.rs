@@ -150,6 +150,7 @@ impl ParametricDtmc {
         let n = self.num_states();
         assert_eq!(target.len(), n, "target mask length");
         assert_eq!(phi.len(), n, "phi mask length");
+        let _span = tml_telemetry::span!("parametric.eliminate", states = n);
         let nv = self.params.len();
         let (zero, one) = self.qualitative(phi, target);
         let maybe: Vec<usize> = (0..n).filter(|&s| !zero[s] && !one[s]).collect();

@@ -1,0 +1,237 @@
+//! `telemetry_schema_check` — validates a `tml-trace/v1` JSONL file.
+//!
+//! Usage: `telemetry_schema_check <trace.jsonl>`
+//!
+//! Checks, line by line:
+//! * line 1 is a `meta` record declaring `"schema":"tml-trace/v1"`;
+//! * every line is valid JSON with a known `type`
+//!   (`span_start`/`span_end`/`counter`) and that type's required fields;
+//! * every `span_end` matches an open `span_start` with the same name,
+//!   every `parent` refers to a previously started span, and spans on a
+//!   given thread close in LIFO order;
+//! * `at_ns` is non-decreasing per thread.
+//!
+//! Exits 0 and prints a one-line summary on success; exits 1 with the first
+//! offending line number otherwise. CI runs this against the trace produced
+//! by the bench-smoke WSN model repair.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use tml_telemetry::json::{self, Value};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: telemetry_schema_check <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&content) {
+        Ok(stats) => {
+            println!(
+                "ok: {} events ({} spans, {} counters), {} threads",
+                stats.events, stats.spans, stats.counters, stats.threads
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Stats {
+    events: usize,
+    spans: usize,
+    counters: usize,
+    threads: usize,
+}
+
+fn field_u64(v: &Value, key: &str, line: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("line {line}: missing or non-integer \"{key}\""))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| format!("line {line}: missing or non-string \"{key}\""))
+}
+
+fn validate(content: &str) -> Result<Stats, String> {
+    let mut lines = content.lines().enumerate();
+    let (_, meta_line) = lines.next().ok_or("empty trace")?;
+    let meta = json::parse(meta_line).map_err(|e| format!("line 1: {e}"))?;
+    if meta.get("type").and_then(|v| v.as_str()) != Some("meta") {
+        return Err("line 1: first record must have type \"meta\"".into());
+    }
+    if meta.get("schema").and_then(|v| v.as_str()) != Some("tml-trace/v1") {
+        return Err("line 1: schema must be \"tml-trace/v1\"".into());
+    }
+
+    // Per-span-id: (name, thread). Per-thread: open-span stack + last at_ns.
+    let mut started: HashMap<u64, (String, u64)> = HashMap::new();
+    let mut closed: HashMap<u64, ()> = HashMap::new();
+    let mut stacks: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut last_at: HashMap<u64, u64> = HashMap::new();
+    let mut stats = Stats { events: 0, spans: 0, counters: 0, threads: 0 };
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(raw).map_err(|e| format!("line {line_no}: {e}"))?;
+        let ty = field_str(&v, "type", line_no)?;
+        let thread = field_u64(&v, "thread", line_no)?;
+        let at_ns = field_u64(&v, "at_ns", line_no)?;
+        if let Some(&prev) = last_at.get(&thread) {
+            if at_ns < prev {
+                return Err(format!(
+                    "line {line_no}: at_ns {at_ns} goes backwards on thread {thread} (prev {prev})"
+                ));
+            }
+        }
+        last_at.insert(thread, at_ns);
+        stats.events += 1;
+        match ty {
+            "span_start" => {
+                let id = field_u64(&v, "id", line_no)?;
+                let name = field_str(&v, "name", line_no)?.to_owned();
+                let parent = v
+                    .get("parent")
+                    .ok_or_else(|| format!("line {line_no}: span_start missing \"parent\""))?;
+                if !parent.is_null() {
+                    let pid = parent
+                        .as_u64()
+                        .ok_or_else(|| format!("line {line_no}: parent must be null or an id"))?;
+                    if !started.contains_key(&pid) && !closed.contains_key(&pid) {
+                        return Err(format!("line {line_no}: parent {pid} was never started"));
+                    }
+                }
+                v.get("fields")
+                    .and_then(|f| f.as_object())
+                    .ok_or_else(|| format!("line {line_no}: span_start missing \"fields\""))?;
+                if started.insert(id, (name, thread)).is_some() {
+                    return Err(format!("line {line_no}: duplicate span id {id}"));
+                }
+                stacks.entry(thread).or_default().push(id);
+                stats.spans += 1;
+            }
+            "span_end" => {
+                let id = field_u64(&v, "id", line_no)?;
+                let name = field_str(&v, "name", line_no)?;
+                field_u64(&v, "dur_ns", line_no)?;
+                let Some((start_name, _)) = started.remove(&id) else {
+                    return Err(format!(
+                        "line {line_no}: span_end for id {id} without a matching span_start"
+                    ));
+                };
+                if start_name != name {
+                    return Err(format!(
+                        "line {line_no}: span {id} started as \"{start_name}\" but ended as \"{name}\""
+                    ));
+                }
+                let stack = stacks.entry(thread).or_default();
+                if stack.last() == Some(&id) {
+                    stack.pop();
+                } else {
+                    // A guard may legitimately close on a different thread
+                    // than it opened on (moved across a scope boundary);
+                    // remove it from whichever stack holds it.
+                    for s in stacks.values_mut() {
+                        s.retain(|&x| x != id);
+                    }
+                }
+                closed.insert(id, ());
+            }
+            "counter" => {
+                field_str(&v, "name", line_no)?;
+                field_u64(&v, "value", line_no)?;
+                stats.counters += 1;
+            }
+            other => {
+                return Err(format!("line {line_no}: unknown event type \"{other}\""));
+            }
+        }
+    }
+    if !started.is_empty() {
+        let mut ids: Vec<&u64> = started.keys().collect();
+        ids.sort();
+        return Err(format!("trace ended with {} unclosed span(s): {ids:?}", started.len()));
+    }
+    stats.threads = last_at.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    const META: &str = "{\"type\":\"meta\",\"schema\":\"tml-trace/v1\",\"tool\":\"t\"}";
+
+    fn trace(lines: &[&str]) -> String {
+        let mut out = String::from(META);
+        for l in lines {
+            out.push('\n');
+            out.push_str(l);
+        }
+        out
+    }
+
+    #[test]
+    fn accepts_well_formed_trace() {
+        let t = trace(&[
+            r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+            r#"{"type":"span_start","id":2,"parent":1,"name":"b","thread":1,"at_ns":5,"fields":{"k":3}}"#,
+            r#"{"type":"counter","name":"c","value":2,"thread":1,"at_ns":6}"#,
+            r#"{"type":"span_end","id":2,"name":"b","thread":1,"at_ns":9,"dur_ns":4}"#,
+            r#"{"type":"span_end","id":1,"name":"a","thread":1,"at_ns":10,"dur_ns":10}"#,
+        ]);
+        let stats = validate(&t).unwrap();
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.counters, 1);
+    }
+
+    #[test]
+    fn rejects_bad_meta_and_structural_errors() {
+        assert!(validate("").is_err());
+        assert!(validate("{\"type\":\"meta\",\"schema\":\"other\"}").is_err());
+        // End without start.
+        let t =
+            trace(&[r#"{"type":"span_end","id":9,"name":"x","thread":1,"at_ns":1,"dur_ns":1}"#]);
+        assert!(validate(&t).is_err());
+        // Unknown parent.
+        let t = trace(&[
+            r#"{"type":"span_start","id":1,"parent":77,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+        ]);
+        assert!(validate(&t).is_err());
+        // Unclosed span.
+        let t = trace(&[
+            r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+        ]);
+        assert!(validate(&t).is_err());
+        // Name mismatch between start and end.
+        let t = trace(&[
+            r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+            r#"{"type":"span_end","id":1,"name":"z","thread":1,"at_ns":2,"dur_ns":2}"#,
+        ]);
+        assert!(validate(&t).is_err());
+        // Time going backwards on a thread.
+        let t = trace(&[
+            r#"{"type":"counter","name":"c","value":1,"thread":1,"at_ns":5}"#,
+            r#"{"type":"counter","name":"c","value":1,"thread":1,"at_ns":4}"#,
+        ]);
+        assert!(validate(&t).is_err());
+    }
+}

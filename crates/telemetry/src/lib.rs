@@ -1,0 +1,505 @@
+//! Structured tracing, metrics and profiling hooks for the repair pipeline.
+//!
+//! The workspace's long-running routines — model checking, parametric
+//! elimination, tape compilation, penalty-solver restarts, IRL gradient
+//! passes — are instrumented with three primitives:
+//!
+//! * **spans** ([`span!`]) — hierarchical timed regions with monotonic
+//!   timestamps, thread ids and parent linkage, closed in LIFO order by
+//!   RAII guards (early `return`/`?` included);
+//! * **counters** ([`counter!`]) — named monotonic totals (constraint
+//!   evaluations, solver sweeps, fallback events, …);
+//! * **histograms** — per-span wall time recorded automatically into fixed
+//!   log-scale buckets (see [`metrics`]).
+//!
+//! Everything funnels into a [`Subscriber`], which fans events out to
+//! pluggable [`sink::Sink`]s (an in-memory ring buffer, a JSONL event
+//! writer, …) and aggregates metrics for an end-of-run summary
+//! ([`summary`]).
+//!
+//! # Overhead contract
+//!
+//! When no subscriber is installed, every instrumentation point reduces to
+//! **one relaxed atomic load** and performs **zero heap allocations** (this
+//! is asserted by a counting-allocator test). Instrumentation is therefore
+//! safe to leave in release binaries and hot paths; only *aggregate* points
+//! (one per solve/restart/phase, never per inner iteration) are
+//! instrumented.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tml_telemetry::{counter, span, sink::RingSink, Subscriber};
+//!
+//! let ring = Arc::new(RingSink::with_capacity(64));
+//! let sub = Arc::new(Subscriber::builder().sink(ring.clone()).build());
+//! let _scope = tml_telemetry::install_scoped(sub.clone());
+//! {
+//!     let _solve = span!("solver.solve", restarts = 4_u64);
+//!     counter!("solver.evaluations", 123);
+//! }
+//! let events = ring.drain();
+//! assert_eq!(events.len(), 3); // span start, counter, span end
+//! let snap = sub.metrics_snapshot();
+//! assert_eq!(snap.counter("solver.evaluations"), 123);
+//! assert_eq!(snap.histogram("span.solver.solve").unwrap().count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod summary;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+pub use event::{Event, FieldValue};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot};
+
+use metrics::Registry;
+use sink::Sink;
+
+// ------------------------------------------------------------- global state
+
+/// Number of currently installed subscribers (global + scoped). The
+/// disabled fast path is exactly one relaxed load of this counter.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// The globally installed subscriber, if any.
+static GLOBAL: RwLock<Option<Arc<Subscriber>>> = RwLock::new(None);
+
+/// Process-wide source of compact thread ids (`std::thread::ThreadId` has
+/// no stable integer accessor).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Scoped subscribers for this thread (innermost last).
+    static SCOPED: RefCell<Vec<Arc<Subscriber>>> = const { RefCell::new(Vec::new()) };
+    /// The stack of open span ids on this thread (parent linkage).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's compact id.
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Whether any subscriber (global or scoped) is installed. This is the
+/// no-op fast path: a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// The subscriber instrumentation should dispatch to on this thread: the
+/// innermost scoped subscriber if one is active here, the global one
+/// otherwise.
+fn current() -> Option<Arc<Subscriber>> {
+    if !enabled() {
+        return None;
+    }
+    if let Some(sub) = SCOPED.with(|s| s.borrow().last().cloned()) {
+        return Some(sub);
+    }
+    GLOBAL.read().ok().and_then(|g| g.clone())
+}
+
+/// This thread's compact telemetry id (small, stable per thread).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// Installs `sub` as the process-wide subscriber, visible from every
+/// thread. Returns `false` (and leaves the existing subscriber in place) if
+/// one is already installed.
+pub fn install_global(sub: Arc<Subscriber>) -> bool {
+    let mut g = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+    if g.is_some() {
+        return false;
+    }
+    *g = Some(sub);
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Removes and returns the process-wide subscriber, if any. Sinks are
+/// flushed before the subscriber is handed back.
+pub fn uninstall_global() -> Option<Arc<Subscriber>> {
+    let mut g = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+    let sub = g.take();
+    if let Some(sub) = &sub {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        sub.flush();
+    }
+    sub
+}
+
+/// Installs `sub` for the current thread only, until the returned guard is
+/// dropped. Scoped subscribers shadow the global one on this thread;
+/// instrumentation on *other* threads (e.g. parallel restarts) still sees
+/// the global subscriber, so cross-thread tests should prefer
+/// [`install_global`].
+#[must_use]
+pub fn install_scoped(sub: Arc<Subscriber>) -> ScopedGuard {
+    SCOPED.with(|s| s.borrow_mut().push(sub));
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    ScopedGuard { _private: () }
+}
+
+/// RAII guard for [`install_scoped`]; uninstalls on drop.
+pub struct ScopedGuard {
+    _private: (),
+}
+
+impl Drop for ScopedGuard {
+    fn drop(&mut self) {
+        if let Some(sub) = SCOPED.with(|s| s.borrow_mut().pop()) {
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+            sub.flush();
+        }
+    }
+}
+
+// -------------------------------------------------------------- subscriber
+
+/// Receives every event from the instrumentation layer, fans it out to the
+/// configured sinks and aggregates counters and span-duration histograms.
+pub struct Subscriber {
+    epoch: Instant,
+    sinks: Vec<Arc<dyn Sink>>,
+    metrics: Registry,
+    next_span: AtomicU64,
+}
+
+impl std::fmt::Debug for Subscriber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscriber").field("sinks", &self.sinks.len()).finish()
+    }
+}
+
+impl Default for Subscriber {
+    fn default() -> Self {
+        Subscriber::builder().build()
+    }
+}
+
+impl Subscriber {
+    /// Starts building a subscriber.
+    pub fn builder() -> SubscriberBuilder {
+        SubscriberBuilder { sinks: Vec::new() }
+    }
+
+    /// Monotonic nanoseconds since this subscriber was created.
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn dispatch(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    /// Records a named counter increment (also emitted to sinks).
+    pub fn record_counter(&self, name: &str, value: u64) {
+        self.metrics.incr_counter(name, value);
+        self.dispatch(&Event::Counter {
+            name: name.to_owned(),
+            value,
+            thread: thread_id(),
+            at_ns: self.now_ns(),
+        });
+    }
+
+    /// Records `dur_ns` into the named histogram (no sink event; histograms
+    /// surface through [`Subscriber::metrics_snapshot`]).
+    pub fn record_duration_ns(&self, name: &str, dur_ns: u64) {
+        self.metrics.record_ns(name, dur_ns);
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Flushes every sink (e.g. the JSONL writer's buffer).
+    pub fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// Builder for [`Subscriber`].
+pub struct SubscriberBuilder {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl SubscriberBuilder {
+    /// Adds a sink.
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Finalizes the subscriber.
+    pub fn build(self) -> Subscriber {
+        Subscriber {
+            epoch: Instant::now(),
+            sinks: self.sinks,
+            metrics: Registry::new(),
+            next_span: AtomicU64::new(1),
+        }
+    }
+}
+
+// ------------------------------------------------------------------- spans
+
+/// An open span; closing (dropping) it emits the end event and records the
+/// wall time into the `span.<name>` histogram.
+///
+/// Guards close in LIFO order by Rust's drop rules, including on early
+/// `return` and `?` — this is what makes the parent linkage sound.
+#[must_use = "a span guard measures the region it is alive in"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    sub: Arc<Subscriber>,
+    id: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// The no-op guard used when telemetry is disabled. Allocates nothing.
+    #[inline]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { inner: None }
+    }
+
+    /// The span id, when the span is live (useful in tests).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let dur_ns = inner.start.elapsed().as_nanos() as u64;
+        // Pop this span from the thread's stack. Guards drop LIFO, so the
+        // top is ours; a retain keeps the stack sound even if a guard was
+        // moved across threads.
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&inner.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != inner.id);
+            }
+        });
+        inner.sub.dispatch(&Event::SpanEnd {
+            id: inner.id,
+            name: inner.name.to_owned(),
+            thread: thread_id(),
+            at_ns: inner.sub.now_ns(),
+            dur_ns,
+        });
+        inner.sub.record_duration_ns(&format!("span.{}", inner.name), dur_ns);
+    }
+}
+
+/// Opens a span with explicit fields. Prefer the [`span!`] macro, which
+/// skips field construction entirely when telemetry is disabled.
+pub fn enter_span(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+    let Some(sub) = current() else { return SpanGuard::disabled() };
+    let id = sub.next_span.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    sub.dispatch(&Event::SpanStart {
+        id,
+        parent,
+        name: name.to_owned(),
+        thread: thread_id(),
+        at_ns: sub.now_ns(),
+        fields: fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+    });
+    SpanGuard { inner: Some(SpanInner { sub, id, name, start: Instant::now() }) }
+}
+
+/// Records a named counter increment through the current subscriber.
+/// Prefer the [`counter!`] macro, which is a no-op load when disabled.
+pub fn record_counter(name: &str, value: u64) {
+    if let Some(sub) = current() {
+        sub.record_counter(name, value);
+    }
+}
+
+/// Records a duration into the named histogram through the current
+/// subscriber.
+pub fn record_duration(name: &str, dur: std::time::Duration) {
+    if let Some(sub) = current() {
+        sub.record_duration_ns(name, dur.as_nanos() as u64);
+    }
+}
+
+/// Opens a timed, named span. Returns a [`SpanGuard`] that must be bound to
+/// a local (`let _span = span!(...)`) so it lives for the region.
+///
+/// ```
+/// # use tml_telemetry::span;
+/// let _solve = span!("model_repair.solve");
+/// let _restart = span!("solver.restart", restart = 3_u64, dims = 2_u64);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::enter_span($name, ::std::vec::Vec::new())
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::enter_span(
+                $name,
+                ::std::vec![$((::std::stringify!($k), $crate::FieldValue::from($v))),+],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Increments a named counter (no-op atomic load when disabled).
+///
+/// ```
+/// # use tml_telemetry::counter;
+/// counter!("checker.sweeps", 42);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $n:expr) => {
+        if $crate::enabled() {
+            $crate::record_counter($name, $n as u64);
+        }
+    };
+}
+
+// A process-wide test lock so integration tests that install the global
+// subscriber do not race each other (cargo runs tests concurrently).
+#[doc(hidden)]
+pub static TEST_MUTEX: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sink::RingSink;
+
+    fn scoped() -> (Arc<RingSink>, Arc<Subscriber>, ScopedGuard) {
+        let ring = Arc::new(RingSink::with_capacity(256));
+        let sub = Arc::new(Subscriber::builder().sink(ring.clone()).build());
+        let guard = install_scoped(sub.clone());
+        (ring, sub, guard)
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        // No subscriber installed on this thread and (in this test binary)
+        // no global one: spans carry no id and emit nothing.
+        let g = span!("nothing");
+        assert_eq!(g.id(), None);
+        drop(g);
+        counter!("nothing.count", 5);
+    }
+
+    #[test]
+    fn span_parentage_and_events() {
+        let (ring, sub, _guard) = scoped();
+        {
+            let outer = span!("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = span!("inner", idx = 7_u64);
+                assert_ne!(inner.id().unwrap(), outer_id);
+            }
+            counter!("c", 2);
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 5, "{events:?}");
+        match &events[0] {
+            Event::SpanStart { name, parent, .. } => {
+                assert_eq!(name, "outer");
+                assert_eq!(*parent, None);
+            }
+            other => panic!("expected outer start, got {other:?}"),
+        }
+        match &events[1] {
+            Event::SpanStart { name, parent, fields, .. } => {
+                assert_eq!(name, "inner");
+                assert!(parent.is_some(), "inner span must link to outer");
+                assert_eq!(fields[0].0, "idx");
+            }
+            other => panic!("expected inner start, got {other:?}"),
+        }
+        assert!(matches!(&events[2], Event::SpanEnd { name, .. } if name == "inner"));
+        assert!(matches!(&events[3], Event::Counter { name, value: 2, .. } if name == "c"));
+        assert!(matches!(&events[4], Event::SpanEnd { name, .. } if name == "outer"));
+        let snap = sub.metrics_snapshot();
+        assert_eq!(snap.counter("c"), 2);
+        assert_eq!(snap.histogram("span.outer").unwrap().count, 1);
+        assert_eq!(snap.histogram("span.inner").unwrap().count, 1);
+    }
+
+    #[test]
+    fn scoped_subscriber_uninstalls_on_drop() {
+        assert!(!enabled() || GLOBAL.read().unwrap().is_some());
+        {
+            let (_ring, _sub, _guard) = scoped();
+            assert!(enabled());
+        }
+        // After the guard drops, this thread no longer dispatches anywhere.
+        let g = span!("after");
+        assert_eq!(g.id(), None);
+    }
+
+    #[test]
+    fn global_install_is_exclusive() {
+        let _lock = TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let a = Arc::new(Subscriber::default());
+        let b = Arc::new(Subscriber::default());
+        assert!(install_global(a));
+        assert!(!install_global(b), "second install must be rejected");
+        assert!(uninstall_global().is_some());
+        assert!(uninstall_global().is_none());
+    }
+
+    #[test]
+    fn spans_on_spawned_threads_see_the_global_subscriber() {
+        let _lock = TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = Arc::new(RingSink::with_capacity(64));
+        let sub = Arc::new(Subscriber::builder().sink(ring.clone()).build());
+        assert!(install_global(sub));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let g = span!("worker");
+                assert!(g.id().is_some());
+            });
+        });
+        assert!(uninstall_global().is_some());
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+    }
+}

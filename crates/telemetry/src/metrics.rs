@@ -1,0 +1,334 @@
+//! Counters and log-scale histograms, plus their point-in-time snapshots.
+//!
+//! Live metrics (`Registry`) are lock-light: each counter/histogram is an
+//! `Arc` of atomics, registered once under a `RwLock`-protected name map,
+//! so the steady state touches only atomics. Snapshots
+//! ([`MetricsSnapshot`]) are plain owned data suitable for embedding in
+//! `Diagnostics` and for commutative merging across parallel restarts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of log2 duration buckets: bucket `i` holds samples with
+/// `floor(log2(ns)) == i`, so 64 buckets cover every `u64` nanosecond value
+/// (bucket 0 is `0..2ns`, bucket 63 caps out near 585 years).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+fn bucket_index(value_ns: u64) -> usize {
+    if value_ns == 0 {
+        0
+    } else {
+        63 - value_ns.leading_zeros() as usize
+    }
+}
+
+/// A fixed log2-bucket histogram with atomic recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value_ns: u64) {
+        self.buckets[bucket_index(value_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value_ns, Ordering::Relaxed);
+        self.max.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            max_ns: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Live counter/histogram store owned by a `Subscriber`.
+#[derive(Debug)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            counters: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `value` to the named monotonic counter, creating it at zero on
+    /// first use.
+    pub fn incr_counter(&self, name: &str, value: u64) {
+        if let Some(c) = self.counters.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+            c.fetch_add(value, Ordering::Relaxed);
+            return;
+        }
+        let mut map = self.counters.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records `value_ns` into the named histogram, creating it on first
+    /// use.
+    pub fn record_ns(&self, name: &str, value_ns: u64) {
+        if let Some(h) = self.histograms.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+            h.record(value_ns);
+            return;
+        }
+        let mut map = self.histograms.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned()).or_insert_with(|| Arc::new(Histogram::new())).record(value_ns);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (log2 buckets; see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values, in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest recorded value, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges `other` into `self`. Commutative and associative: counts and
+    /// sums add, max takes the max.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Mean recorded value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// An upper bound on the p`q` quantile, computed from bucket edges
+    /// (`q` in `0.0..=1.0`).
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // Upper edge of bucket i is 2^(i+1)-1 ns.
+                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Point-in-time copy of every counter and histogram a subscriber has
+/// aggregated. Plain data: cloneable, comparable, mergeable — suitable for
+/// embedding in `Diagnostics` and absorbing across threads.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Duration histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Whether no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Adds to a counter in the snapshot (used when filling `Diagnostics`
+    /// without a live subscriber).
+    pub fn incr(&mut self, name: &str, value: u64) {
+        if value > 0 {
+            *self.counters.entry(name.to_owned()).or_insert(0) += value;
+        }
+    }
+
+    /// Merges `other` into `self`. Commutative and associative (counters
+    /// and histogram counts/sums add; maxima take the max), so absorbing
+    /// per-thread snapshots in any order yields the same result.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let reg = Registry::new();
+        reg.incr_counter("a", 2);
+        reg.incr_counter("a", 3);
+        reg.incr_counter("b", 1);
+        reg.record_ns("h", 100);
+        reg.record_ns("h", 900);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("b"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_ns, 1000);
+        assert_eq!(h.max_ns, 900);
+        assert_eq!(h.mean_ns(), 500);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let reg = Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.incr_counter("n", 1);
+                        reg.record_ns("d", 7);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("n"), 4000);
+        assert_eq!(snap.histogram("d").unwrap().count, 4000);
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_independent() {
+        let mut a = MetricsSnapshot::new();
+        a.incr("x", 3);
+        let mut ha = HistogramSnapshot::default();
+        ha.buckets[4] = 2;
+        ha.count = 2;
+        ha.sum_ns = 40;
+        ha.max_ns = 25;
+        a.histograms.insert("h".into(), ha);
+
+        let mut b = MetricsSnapshot::new();
+        b.incr("x", 4);
+        b.incr("y", 1);
+        let mut hb = HistogramSnapshot::default();
+        hb.buckets[6] = 1;
+        hb.count = 1;
+        hb.sum_ns = 70;
+        hb.max_ns = 70;
+        b.histograms.insert("h".into(), hb);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 7);
+        assert_eq!(ab.histogram("h").unwrap().count, 3);
+        assert_eq!(ab.histogram("h").unwrap().max_ns, 70);
+    }
+
+    #[test]
+    fn quantile_upper_bound_covers_samples() {
+        let mut h = HistogramSnapshot::default();
+        for v in [1u64, 2, 4, 8, 1024] {
+            h.buckets[if v == 0 { 0 } else { 63 - v.leading_zeros() as usize }] += 1;
+            h.count += 1;
+            h.sum_ns += v;
+            h.max_ns = h.max_ns.max(v);
+        }
+        assert!(h.quantile_upper_ns(0.5) >= 4);
+        assert!(h.quantile_upper_ns(1.0) >= 1024);
+        assert_eq!(HistogramSnapshot::default().quantile_upper_ns(0.5), 0);
+    }
+}

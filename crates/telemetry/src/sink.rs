@@ -1,0 +1,176 @@
+//! Event sinks: where dispatched events go.
+//!
+//! Two built-ins: [`RingSink`] (bounded in-memory buffer for tests and
+//! post-hoc inspection) and [`JsonlSink`] (streams `tml-trace/v1` lines to
+//! any `Write`). Custom sinks implement [`Sink`].
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Receives every event a subscriber dispatches. Implementations must be
+/// thread-safe; `record` is called from whichever thread the span/counter
+/// fired on.
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// A bounded in-memory buffer of the most recent events.
+///
+/// Writers claim a slot with one atomic fetch-add on the head counter and
+/// then take only that slot's own mutex, so concurrent recorders on
+/// different slots never contend. When the buffer wraps, the oldest events
+/// are overwritten (the total count keeps growing, so `dropped()` reports
+/// how many were lost).
+pub struct RingSink {
+    slots: Vec<Mutex<Option<Event>>>,
+    head: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding up to `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.total().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::new();
+        for seq in start..head {
+            let slot = &self.slots[(seq % cap) as usize];
+            if let Some(ev) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let seq = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(event.clone());
+    }
+}
+
+/// Streams events as `tml-trace/v1` JSON lines to a writer, starting with
+/// the schema meta line.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer` and immediately emits the meta line identifying the
+    /// producing tool.
+    pub fn new(mut writer: W, tool: &str) -> std::io::Result<Self> {
+        writeln!(writer, "{}", Event::meta_line(tool))?;
+        Ok(JsonlSink { writer: Mutex::new(writer) })
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Trace output is best-effort: a full disk must not abort a repair.
+        let _ = writeln!(w, "{}", event.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn counter_event(value: u64) -> Event {
+        Event::Counter { name: "c".into(), value, thread: 1, at_ns: value }
+    }
+
+    #[test]
+    fn ring_preserves_order_and_wraps() {
+        let ring = RingSink::with_capacity(4);
+        for i in 0..6 {
+            ring.record(&counter_event(i));
+        }
+        assert_eq!(ring.total(), 6);
+        assert_eq!(ring.dropped(), 2);
+        let values: Vec<u64> = ring
+            .drain()
+            .into_iter()
+            .map(|e| match e {
+                Event::Counter { value, .. } => value,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(values, vec![2, 3, 4, 5]);
+        assert!(ring.drain().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn ring_handles_concurrent_writers() {
+        let ring = Arc::new(RingSink::with_capacity(1024));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.record(&counter_event(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.total(), 400);
+        assert_eq!(ring.drain().len(), 400);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_meta_then_valid_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = JsonlSink::new(buf, "test-tool").unwrap();
+        sink.record(&counter_event(9));
+        sink.record(&Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "s".into(),
+            thread: 1,
+            at_ns: 0,
+            fields: vec![],
+        });
+        let buf = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let meta = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(meta.get("schema").and_then(|v| v.as_str()), Some("tml-trace/v1"));
+        assert_eq!(meta.get("tool").and_then(|v| v.as_str()), Some("test-tool"));
+        for line in &lines[1..] {
+            crate::json::parse(line).expect("every event line is valid JSON");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Human-readable end-of-run summaries.
+//!
+//! Both the CLI degradation block and the metrics table render through this
+//! module, so what a user reads on stderr and what lands in a JSONL trace
+//! are derived from the same data and can never disagree.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Degradation facts extracted from a `Diagnostics` (kept as plain fields
+/// so this crate stays below `tml-numerics` in the dependency graph).
+#[derive(Debug, Clone, Default)]
+pub struct DegradationReport<'a> {
+    /// Fallback messages, in the order they fired.
+    pub fallbacks: &'a [String],
+    /// Worst residual observed across linear solves, if any.
+    pub worst_residual: Option<f64>,
+    /// Budget-exhaustion cause (human-readable), if the run stopped early.
+    pub exhausted: Option<String>,
+}
+
+impl DegradationReport<'_> {
+    /// Whether there is anything worth telling the user.
+    pub fn is_degraded(&self) -> bool {
+        !self.fallbacks.is_empty() || self.worst_residual.is_some() || self.exhausted.is_some()
+    }
+
+    /// Renders the degradation block, one line per fact, or an empty string
+    /// when the run was clean.
+    pub fn render(&self) -> String {
+        if !self.is_degraded() {
+            return String::new();
+        }
+        let mut out = String::from("degraded: result is best-effort, not exact\n");
+        for fb in self.fallbacks {
+            out.push_str("  fallback: ");
+            out.push_str(fb);
+            out.push('\n');
+        }
+        if let Some(r) = self.worst_residual {
+            out.push_str(&format!("  worst residual: {r:.3e}\n"));
+        }
+        if let Some(cause) = &self.exhausted {
+            out.push_str("  stopped early: ");
+            out.push_str(cause);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders counters and span histograms as an aligned table. Returns an
+/// empty string when the snapshot is empty.
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    for (name, hist) in &snapshot.histograms {
+        rows.push([
+            name.clone(),
+            hist.count.to_string(),
+            fmt_ns(hist.sum_ns),
+            fmt_ns(hist.mean_ns()),
+            fmt_ns(hist.max_ns),
+        ]);
+    }
+    for (name, value) in &snapshot.counters {
+        rows.push([name.clone(), value.to_string(), "-".into(), "-".into(), "-".into()]);
+    }
+    let header = ["metric", "count", "total", "mean", "max"];
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[&str]| {
+        for (i, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..*w {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    render_row(&mut out, &header);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    render_row(&mut out, &rule.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for row in &rows {
+        render_row(&mut out, &row.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    #[test]
+    fn clean_report_renders_empty() {
+        let rep = DegradationReport::default();
+        assert!(!rep.is_degraded());
+        assert_eq!(rep.render(), "");
+    }
+
+    #[test]
+    fn degraded_report_lists_all_facts() {
+        let fallbacks = vec!["gauss-seidel stalled".to_string()];
+        let rep = DegradationReport {
+            fallbacks: &fallbacks,
+            worst_residual: Some(1.5e-7),
+            exhausted: Some("deadline exceeded".into()),
+        };
+        let text = rep.render();
+        assert!(text.starts_with("degraded:"));
+        assert!(text.contains("fallback: gauss-seidel stalled"));
+        assert!(text.contains("worst residual: 1.500e-7"));
+        assert!(text.contains("stopped early: deadline exceeded"));
+    }
+
+    #[test]
+    fn metrics_table_aligns_and_covers_all_entries() {
+        let mut snap = MetricsSnapshot::new();
+        snap.incr("checker.sweeps", 42);
+        let h = HistogramSnapshot {
+            count: 3,
+            sum_ns: 3_600_000,
+            max_ns: 2_000_000,
+            ..Default::default()
+        };
+        snap.histograms.insert("span.solver.solve".into(), h);
+        let table = render_metrics(&snap);
+        assert!(table.contains("metric"));
+        assert!(table.contains("span.solver.solve"));
+        assert!(table.contains("checker.sweeps"));
+        assert!(table.contains("42"));
+        assert!(table.contains("3.60ms"));
+        assert_eq!(render_metrics(&MetricsSnapshot::new()), "");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

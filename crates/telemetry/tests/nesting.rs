@@ -1,0 +1,136 @@
+//! Span-nesting guarantees: guards close in LIFO order even on early
+//! `return` and `?`, and parent linkage always points at the innermost
+//! open span on the thread.
+
+use std::sync::Arc;
+
+use tml_telemetry::sink::RingSink;
+use tml_telemetry::{span, Event, Subscriber};
+
+fn with_ring<R>(f: impl FnOnce() -> R) -> (Vec<Event>, R) {
+    let ring = Arc::new(RingSink::with_capacity(256));
+    let sub = Arc::new(Subscriber::builder().sink(ring.clone()).build());
+    let guard = tml_telemetry::install_scoped(sub);
+    let result = f();
+    drop(guard);
+    (ring.drain(), result)
+}
+
+fn names_in_order(events: &[Event]) -> Vec<(String, String)> {
+    events
+        .iter()
+        .map(|e| match e {
+            Event::SpanStart { name, .. } => ("start".to_string(), name.clone()),
+            Event::SpanEnd { name, .. } => ("end".to_string(), name.clone()),
+            Event::Counter { name, .. } => ("counter".to_string(), name.clone()),
+        })
+        .collect()
+}
+
+#[test]
+fn early_return_closes_spans_lifo() {
+    fn inner_with_early_return(flag: bool) -> u32 {
+        let _a = span!("a");
+        let _b = span!("b");
+        if flag {
+            return 1; // both guards must close here, b before a
+        }
+        2
+    }
+
+    let (events, out) = with_ring(|| inner_with_early_return(true));
+    assert_eq!(out, 1);
+    assert_eq!(
+        names_in_order(&events),
+        vec![
+            ("start".into(), "a".into()),
+            ("start".into(), "b".into()),
+            ("end".into(), "b".into()),
+            ("end".into(), "a".into()),
+        ]
+    );
+}
+
+#[test]
+fn question_mark_closes_spans_lifo() {
+    fn fallible(fail: bool) -> Result<(), String> {
+        let _outer = span!("outer");
+        let step = |ok: bool| -> Result<(), String> {
+            let _inner = span!("inner");
+            if ok {
+                Ok(())
+            } else {
+                Err("boom".into())
+            }
+        };
+        step(true)?;
+        step(!fail)?; // on fail=true this `?` propagates; spans still close
+        step(true)?;
+        Ok(())
+    }
+
+    let (events, out) = with_ring(|| fallible(true));
+    assert!(out.is_err());
+    assert_eq!(
+        names_in_order(&events),
+        vec![
+            ("start".into(), "outer".into()),
+            ("start".into(), "inner".into()),
+            ("end".into(), "inner".into()),
+            ("start".into(), "inner".into()),
+            ("end".into(), "inner".into()),
+            ("end".into(), "outer".into()),
+        ]
+    );
+}
+
+#[test]
+fn parent_linkage_follows_the_open_stack() {
+    let (events, _) = with_ring(|| {
+        let _a = span!("a");
+        {
+            let _b = span!("b");
+            let _c = span!("c");
+        }
+        let _d = span!("d");
+    });
+    let mut ids = std::collections::HashMap::new();
+    for e in &events {
+        if let Event::SpanStart { id, name, parent, .. } = e {
+            ids.insert(name.clone(), (*id, *parent));
+        }
+    }
+    let (a_id, a_parent) = ids["a"];
+    let (b_id, b_parent) = ids["b"];
+    let (_c_id, c_parent) = ids["c"];
+    let (_d_id, d_parent) = ids["d"];
+    assert_eq!(a_parent, None);
+    assert_eq!(b_parent, Some(a_id));
+    assert_eq!(c_parent, Some(b_id));
+    assert_eq!(d_parent, Some(a_id), "after b/c close, a is innermost again");
+}
+
+#[test]
+fn sibling_spans_reuse_the_same_parent() {
+    let (events, _) = with_ring(|| {
+        let _root = span!("root");
+        for i in 0..3_u64 {
+            let _restart = span!("solver.restart", restart = i);
+        }
+    });
+    let mut root_id = None;
+    let mut restart_parents = Vec::new();
+    for e in &events {
+        if let Event::SpanStart { id, name, parent, .. } = e {
+            if name == "root" {
+                root_id = Some(*id);
+            } else {
+                restart_parents.push(*parent);
+            }
+        }
+    }
+    assert_eq!(restart_parents.len(), 3);
+    for p in restart_parents {
+        assert_eq!(p, Some(root_id.unwrap()));
+    }
+}

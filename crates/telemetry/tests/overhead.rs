@@ -1,0 +1,67 @@
+//! Disabled-path overhead guarantee: with no subscriber installed, opening
+//! and dropping a span performs ZERO heap allocations, and a counter
+//! increment likewise. This is the contract that makes it safe to leave
+//! instrumentation in hot paths (solver inner loops, per-operator PCTL
+//! evaluation) in release builds.
+//!
+//! This lives in its own integration-test binary because (a) it needs a
+//! process-global counting allocator, which the `#![forbid(unsafe_code)]`
+//! library itself must not contain, and (b) no other test in this binary
+//! may install a subscriber.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tml_telemetry::{counter, span};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter update
+// is a relaxed atomic add with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn disabled_spans_and_counters_allocate_nothing() {
+    assert!(!tml_telemetry::enabled(), "no subscriber may be installed in this binary");
+
+    // Warm up thread-locals (lazy init may allocate once, legitimately).
+    {
+        let _g = span!("warmup", i = 1_u64);
+        counter!("warmup.count", 1);
+    }
+
+    let (allocs, _) = allocations_during(|| {
+        for i in 0..1000_u64 {
+            let _outer = span!("model_repair.solve", restart = i);
+            let _inner = span!("solver.restart", restart = i, dims = 4_u64);
+            counter!("solver.evaluations", i);
+        }
+    });
+    assert_eq!(allocs, 0, "disabled telemetry fast path must not allocate");
+}
+
+#[test]
+fn disabled_span_guard_is_inert() {
+    let g = span!("nothing");
+    assert_eq!(g.id(), None);
+}

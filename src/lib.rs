@@ -19,6 +19,7 @@
 //! | [`optimizer`] | non-linear constrained optimization |
 //! | [`irl`] | maximum-entropy inverse reinforcement learning |
 //! | [`repair`] | the paper's contribution: Model / Data / Reward repair + TML pipeline |
+//! | [`telemetry`] | structured tracing, metrics and profiling hooks (see DESIGN.md §9) |
 //! | [`wsn`] | wireless-sensor-network query-routing case study |
 //! | [`car`] | autonomous-car obstacle-avoidance case study |
 //!
@@ -58,4 +59,5 @@ pub use tml_models as models;
 pub use tml_numerics as numerics;
 pub use tml_optimizer as optimizer;
 pub use tml_parametric as parametric;
+pub use tml_telemetry as telemetry;
 pub use tml_wsn as wsn;

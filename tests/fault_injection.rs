@@ -288,6 +288,92 @@ mod fallback_chain_properties {
     }
 }
 
+// ------------------------------------------- parallel diagnostics merging
+
+mod diagnostics_absorb_properties {
+    use proptest::prelude::*;
+    use trusted_ml::checker::{Diagnostics, Exhaustion};
+
+    /// One per-thread diagnostics record, as a parallel restart would
+    /// produce it: some evaluations, maybe a residual, maybe a fallback,
+    /// maybe an exhaustion cause, and a telemetry counter.
+    fn build(evals: u64, resid: f64, cause: u8, fallback: u8) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        d.evaluations = evals;
+        d.record_residual(resid);
+        d.exhausted = match cause {
+            1 => Some(Exhaustion::Evaluations),
+            2 => Some(Exhaustion::Deadline),
+            3 => Some(Exhaustion::Cancelled),
+            _ => None,
+        };
+        if fallback == 1 {
+            d.record_fallback(format!("fallback-{evals}"));
+        }
+        d.telemetry.incr("solver.evaluations", evals);
+        d
+    }
+
+    /// The order-independent fingerprint of a merged record: totals, worst
+    /// residual, exhaustion cause, the fallback *multiset* and telemetry.
+    fn fingerprint(d: &Diagnostics) -> (u64, f64, Option<Exhaustion>, Vec<String>, u64) {
+        let mut fallbacks = d.fallbacks.clone();
+        fallbacks.sort();
+        (
+            d.evaluations,
+            d.worst_residual,
+            d.exhausted,
+            fallbacks,
+            d.telemetry.counter("solver.evaluations"),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Absorbing per-thread diagnostics in any order yields the same
+        /// evaluation totals, worst residual, fallback multiset and
+        /// exhaustion cause as the serial order — the property the
+        /// parallel-restart merge relies on.
+        #[test]
+        fn absorb_is_order_independent(
+            parts in proptest::collection::vec((0_u64..1000, 0.0_f64..1e-3, 0_u8..4, 0_u8..2), 1..6),
+            keys in proptest::collection::vec(0.0_f64..1.0, 8),
+        ) {
+            let records: Vec<Diagnostics> =
+                parts.iter().map(|&(e, r, c, f)| build(e, r, c, f)).collect();
+
+            // Serial order.
+            let mut serial = Diagnostics::new();
+            for d in &records {
+                serial.absorb(d);
+            }
+
+            // A permutation derived from the key vector (argsort).
+            let mut order: Vec<usize> = (0..records.len()).collect();
+            order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap());
+            let mut permuted = Diagnostics::new();
+            for &i in &order {
+                permuted.absorb(&records[i]);
+            }
+
+            prop_assert_eq!(fingerprint(&serial), fingerprint(&permuted));
+
+            // Associativity under a tree-shaped merge (threads absorbing
+            // into intermediate accumulators before the final fold).
+            let mut left = Diagnostics::new();
+            let mut right = Diagnostics::new();
+            for (i, d) in records.iter().enumerate() {
+                if i % 2 == 0 { left.absorb(d) } else { right.absorb(d) }
+            }
+            let mut tree = Diagnostics::new();
+            tree.absorb(&left);
+            tree.absorb(&right);
+            prop_assert_eq!(fingerprint(&serial), fingerprint(&tree));
+        }
+    }
+}
+
 // -------------------------------------------------- budget exhaustion paths
 
 /// Every exhaustion cause yields a best-effort answer from the checker

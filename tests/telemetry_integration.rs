@@ -1,0 +1,135 @@
+//! End-to-end telemetry integration: a WSN model repair with the JSONL
+//! sink installed must emit a `tml-trace/v1` stream whose spans balance,
+//! whose phase durations sum to the parent repair span (within tolerance —
+//! the phases cover everything but loop glue), and whose root span agrees
+//! with externally measured wall time.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use trusted_ml::repair::ModelRepair;
+use trusted_ml::telemetry::json::{self, Value};
+use trusted_ml::telemetry::sink::JsonlSink;
+use trusted_ml::telemetry::Subscriber;
+use trusted_ml::wsn::{attempts_property, build_dtmc, repair_template, WsnConfig};
+
+/// A `Write` target the test can read back after the sink is done with it.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn wsn_repair_trace_phases_sum_to_the_parent_span() {
+    let _lock = trusted_ml::telemetry::TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let sink = JsonlSink::new(buf.clone(), "telemetry-integration-test").expect("meta line");
+    let sub = Arc::new(Subscriber::builder().sink(Arc::new(sink)).build());
+    assert!(trusted_ml::telemetry::install_global(sub.clone()), "telemetry slot free");
+
+    let config = WsnConfig::default();
+    let chain = build_dtmc(&config).expect("wsn chain");
+    let template = repair_template(&config).expect("wsn template");
+    let start = Instant::now();
+    let outcome = ModelRepair::new()
+        .repair_dtmc(&chain, &attempts_property(40.0), &template)
+        .expect("repair run");
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    trusted_ml::telemetry::uninstall_global();
+    assert!(outcome.verified, "the x=40 WSN repair verifies");
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("utf-8 trace");
+    let mut lines = text.lines();
+    let meta = json::parse(lines.next().expect("meta line first")).expect("meta parses");
+    assert_eq!(meta.get("schema").and_then(Value::as_str), Some("tml-trace/v1"));
+
+    // Replay the event stream: every line valid JSON, every span balanced.
+    let mut started: HashMap<u64, (String, Option<u64>)> = HashMap::new();
+    let mut durations: HashMap<u64, u64> = HashMap::new();
+    let mut counters = 0u64;
+    for line in lines {
+        let v = json::parse(line).expect("every trace line is valid JSON");
+        match v.get("type").and_then(Value::as_str) {
+            Some("span_start") => {
+                let id = v.get("id").and_then(Value::as_u64).expect("span id");
+                let name = v.get("name").and_then(Value::as_str).expect("span name").to_owned();
+                let parent = v.get("parent").and_then(Value::as_u64);
+                started.insert(id, (name, parent));
+            }
+            Some("span_end") => {
+                let id = v.get("id").and_then(Value::as_u64).expect("span id");
+                assert!(started.contains_key(&id), "span_end for unknown span {id}");
+                durations.insert(id, v.get("dur_ns").and_then(Value::as_u64).expect("dur_ns"));
+            }
+            Some("counter") => counters += 1,
+            other => panic!("unexpected event type {other:?}"),
+        }
+    }
+    assert_eq!(started.len(), durations.len(), "every span start has a matching end");
+    assert!(counters > 0, "counter events were recorded");
+
+    // The root repair span and its phase children.
+    let (&root_id, _) = started
+        .iter()
+        .find(|(_, (name, _))| name == "model_repair")
+        .expect("root model_repair span");
+    let root_dur = durations[&root_id];
+    let phases: Vec<(&str, u64)> = started
+        .iter()
+        .filter(|(_, (_, parent))| *parent == Some(root_id))
+        .map(|(id, (name, _))| (name.as_str(), durations[id]))
+        .collect();
+    for expected in ["model_repair.verify_initial", "model_repair.compile", "model_repair.solve"] {
+        assert!(
+            phases.iter().any(|(name, _)| *name == expected),
+            "missing phase {expected}; saw {phases:?}"
+        );
+    }
+    let phase_sum: u64 = phases.iter().map(|(_, d)| d).sum();
+    assert!(
+        phase_sum <= root_dur,
+        "sequential phases cannot exceed their parent: {phase_sum} > {root_dur}"
+    );
+    assert!(
+        phase_sum >= root_dur - root_dur / 5,
+        "phases should cover >=80% of the repair span: {phase_sum} of {root_dur}"
+    );
+    assert!(root_dur <= wall_ns, "span duration exceeds measured wall time");
+    assert!(
+        root_dur >= wall_ns / 2,
+        "root span misses most of the repair: {root_dur} of {wall_ns}"
+    );
+
+    // The metrics registry saw the same activity the trace did.
+    let snapshot = sub.metrics_snapshot();
+    assert!(snapshot.counter("solver.evaluations") > 0, "solver evaluations counted");
+    assert!(
+        snapshot.histogram("span.model_repair").is_some(),
+        "root span recorded a duration histogram"
+    );
+}
+
+#[test]
+fn disabled_telemetry_changes_no_repair_outcome() {
+    // No subscriber installed: the instrumented repair must behave exactly
+    // as before telemetry existed.
+    let config = WsnConfig::default();
+    let chain = build_dtmc(&config).expect("wsn chain");
+    let template = repair_template(&config).expect("wsn template");
+    let outcome = ModelRepair::new()
+        .repair_dtmc(&chain, &attempts_property(40.0), &template)
+        .expect("repair run");
+    assert!(outcome.verified);
+    assert_eq!(outcome.parameters.len(), 2);
+}
