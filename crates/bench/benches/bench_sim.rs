@@ -1,0 +1,59 @@
+//! Benchmarks for the conformance Monte Carlo simulator: trajectory
+//! throughput on the generator families (scaling with state count and
+//! trajectory budget) and the differential-oracle hot path of simulating
+//! the WSN case-study chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tml_conformance::gen::ModelFamily;
+use tml_conformance::sim::{SimOptions, Simulator};
+use tml_logic::parse_formula;
+use tml_wsn::{build_dtmc, WsnConfig};
+
+fn bench_reachability_families(c: &mut Criterion) {
+    let phi = parse_formula("P>=0.05 [ F \"goal\" ]").unwrap();
+    let mut group = c.benchmark_group("sim_reachability");
+    group.sample_size(10);
+    for family in [ModelFamily::Layered, ModelFamily::Grid, ModelFamily::Dense] {
+        let model = family.generate_sized(7, 64);
+        let sim = Simulator::new(SimOptions { trajectories: 5_000, ..SimOptions::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &model, |b, m| {
+            b.iter(|| sim.check_formula(black_box(m), &phi).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory_scaling(c: &mut Criterion) {
+    let phi = parse_formula("P>=0.05 [ F \"goal\" ]").unwrap();
+    let model = ModelFamily::Layered.generate_sized(11, 48);
+    let mut group = c.benchmark_group("sim_trajectories");
+    group.sample_size(10);
+    for n in [1_000u64, 10_000, 50_000] {
+        let sim = Simulator::new(SimOptions { trajectories: n, ..SimOptions::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sim, |b, sim| {
+            b.iter(|| sim.check_formula(black_box(&model), &phi).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_wsn_cross_check(c: &mut Criterion) {
+    // The shape used by pipeline cross-checks: simulate the delivered
+    // property of the learned WSN chain.
+    let config = WsnConfig { n: 5, ..Default::default() };
+    let chain = build_dtmc(&config).unwrap();
+    let phi = parse_formula("P>=0.5 [ F \"delivered\" ]").unwrap();
+    let sim = Simulator::new(SimOptions { trajectories: 2_000, ..SimOptions::default() });
+    c.bench_function("sim_wsn_cross_check", |b| {
+        b.iter(|| sim.check_formula(black_box(&chain), &phi).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reachability_families,
+    bench_trajectory_scaling,
+    bench_wsn_cross_check
+);
+criterion_main!(benches);

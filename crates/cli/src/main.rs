@@ -21,6 +21,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tml_checker::{Budget, Checker};
+use tml_conformance::sim::{SimOptions, Simulator};
 use tml_logic::{parse_formula, parse_query};
 use tml_models::dsl::{parse_model, ModelFile};
 use tml_models::StochasticPolicy;
@@ -62,7 +63,12 @@ options (check/query):
                      returned and marked degraded instead of running on
   --max-evals N      cap on solver sweeps/iterations, same best-effort rule
   --serial           run single-threaded (disables the parallel numerics
-                     sweeps; results are identical either way)";
+                     sweeps; results are identical either way)
+
+options (check):
+  --simulate N       cross-check the verdict with N seeded Monte Carlo
+                     trajectories (DTMC models; prints the confidence
+                     interval and whether it corroborates the checker)";
 
 #[derive(Debug)]
 struct UsageError(String);
@@ -79,6 +85,7 @@ struct CliOptions {
     trace_json: Option<String>,
     metrics: bool,
     help: bool,
+    simulate: Option<u64>,
 }
 
 /// Runs the CLI; the `Ok` value is the process exit code (0 success,
@@ -110,7 +117,7 @@ fn dispatch(args: &[String], opts: &CliOptions) -> Result<u8, UsageError> {
     let cmd = args.first().ok_or_else(|| UsageError("missing command".into()))?;
     match cmd.as_str() {
         "info" => info(arg(args, 1, "MODEL")?).map(|()| 0),
-        "check" => check(arg(args, 1, "MODEL")?, arg(args, 2, "PROPERTY")?, &opts.budget),
+        "check" => check(arg(args, 1, "MODEL")?, arg(args, 2, "PROPERTY")?, opts),
         "query" => query(arg(args, 1, "MODEL")?, arg(args, 2, "QUERY")?, &opts.budget).map(|()| 0),
         "simulate" => simulate(
             arg(args, 1, "MODEL")?,
@@ -128,8 +135,13 @@ fn dispatch(args: &[String], opts: &CliOptions) -> Result<u8, UsageError> {
 /// thread count at one for the rest of the process.
 fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> {
     let mut args = Vec::with_capacity(raw.len());
-    let mut opts =
-        CliOptions { budget: Budget::unlimited(), trace_json: None, metrics: false, help: false };
+    let mut opts = CliOptions {
+        budget: Budget::unlimited(),
+        trace_json: None,
+        metrics: false,
+        help: false,
+        simulate: None,
+    };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -156,6 +168,17 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
                     .parse()
                     .map_err(|_| UsageError("--max-evals must be an integer".into()))?;
                 opts.budget = opts.budget.with_max_evaluations(n);
+            }
+            "--simulate" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or_else(|| UsageError("--simulate needs a trajectory count".into()))?
+                    .parse()
+                    .map_err(|_| UsageError("--simulate must be an integer".into()))?;
+                if n == 0 {
+                    return Err(UsageError("--simulate needs at least one trajectory".into()));
+                }
+                opts.simulate = Some(n);
             }
             other if other.starts_with("--") => {
                 return Err(UsageError(format!("unknown option {other:?}")));
@@ -224,10 +247,10 @@ fn info(path: &str) -> Result<(), UsageError> {
     Ok(())
 }
 
-fn check(path: &str, property: &str, budget: &Budget) -> Result<u8, UsageError> {
+fn check(path: &str, property: &str, opts: &CliOptions) -> Result<u8, UsageError> {
     let model = load(path)?;
     let phi = parse_formula(property).map_err(|e| UsageError(e.to_string()))?;
-    let checker = Checker::new().with_budget(budget.clone());
+    let checker = Checker::new().with_budget(opts.budget.clone());
     let result = match &model {
         ModelFile::Dtmc(m) => checker.check_dtmc(m, &phi),
         ModelFile::Mdp(m) => checker.check_mdp(m, &phi),
@@ -240,8 +263,40 @@ fn check(path: &str, property: &str, budget: &Budget) -> Result<u8, UsageError> 
         println!("value at initial state: {v}");
     }
     print!("{}", result.diagnostics().render_degradation());
+    if let Some(trajectories) = opts.simulate {
+        simulate_cross_check(&model, &phi, trajectories)?;
+    }
     // Distinguish "property violated" (exit 1) from usage errors (2).
     Ok(if result.holds() { 0 } else { 1 })
+}
+
+/// Monte Carlo cross-check for `check --simulate N`: re-estimates the
+/// property on the same model with the conformance simulator and prints
+/// the confidence interval next to the exact verdict.
+fn simulate_cross_check(
+    model: &ModelFile,
+    phi: &tml_logic::StateFormula,
+    trajectories: u64,
+) -> Result<(), UsageError> {
+    let ModelFile::Dtmc(m) = model else {
+        println!("simulation cross-check: skipped (MDP models need a fixed policy; simulation is defined for dtmc)");
+        return Ok(());
+    };
+    let sim = Simulator::new(SimOptions { trajectories, ..SimOptions::default() });
+    match sim.check_formula(m, phi) {
+        Ok(check) => {
+            let iv = check.interval();
+            println!(
+                "simulation cross-check ({trajectories} trajectories): estimate {} in [{}, {}]",
+                iv.estimate, iv.low, iv.high
+            );
+            println!("simulation verdict: {:?}", check.verdict());
+        }
+        Err(e) => {
+            println!("simulation cross-check: unavailable ({e})");
+        }
+    }
+    Ok(())
 }
 
 fn query(path: &str, q: &str, budget: &Budget) -> Result<(), UsageError> {
@@ -432,6 +487,35 @@ mod tests {
         let p = chain.to_str().unwrap();
         assert_eq!(run(&s(&["--metrics", "query", p, "P=? [ F \"done\" ]"])).unwrap(), 0);
         let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
+    fn simulate_flag_cross_checks_dtmcs_and_skips_mdps() {
+        let chain = write_temp("chain-simulate", CHAIN);
+        let p = chain.to_str().unwrap();
+        // F "done" has probability 1; simulation cannot refute it and the
+        // exact verdict is unchanged.
+        assert_eq!(
+            run(&s(&["check", p, "P>=0.5 [ F \"done\" ]", "--simulate", "500"])).unwrap(),
+            0
+        );
+        assert_eq!(
+            run(&s(&["check", p, "P<=0.5 [ F \"done\" ]", "--simulate", "500"])).unwrap(),
+            1
+        );
+        let _ = std::fs::remove_file(chain);
+        // MDPs print a note instead of simulating; the command still works.
+        let mdp = write_temp("mdp-simulate", MDP);
+        let pm = mdp.to_str().unwrap();
+        assert_eq!(
+            run(&s(&["check", pm, "Pmax>=1 [ F \"done\" ]", "--simulate", "100"])).unwrap(),
+            0
+        );
+        let _ = std::fs::remove_file(mdp);
+        // Flag validation.
+        assert!(run(&s(&["check", "--simulate"])).is_err());
+        assert!(run(&s(&["check", "--simulate", "0"])).is_err());
+        assert!(run(&s(&["check", "--simulate", "many"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Conformance layer for the trusted-ml engines: seeded Monte Carlo
+//! simulation, structured model generators, and a differential oracle.
+//!
+//! The paper's promise is *trust* — a repaired model provably satisfies its
+//! specification — which is only as good as the engines doing the proving.
+//! This crate institutionalizes independent verification:
+//!
+//! * [`sim`] — a seed-deterministic Monte Carlo simulator for DTMCs and
+//!   MDPs-under-policy with statistical verdicts (Wilson/Hoeffding
+//!   confidence intervals from [`stats`]);
+//! * [`gen`] — structured random model generators shared by tests, the
+//!   oracle and benchmarks (layered, absorbing, grid, dense, near-singular
+//!   chains; branching MDPs; bounded-degree parametric chains);
+//! * [`oracle`] — a differential harness comparing engine pairs across a
+//!   seed sweep, with automatic shrinking of disagreeing models;
+//! * [`report`] — JSONL reports (`tml-conformance/v1`) in the same
+//!   line-framing as the telemetry layer's `tml-trace/v1`.
+//!
+//! The `conformance` binary fans the oracle out over a seed range; see
+//! `DESIGN.md` §10 for the CI sweep policy and how to reproduce a reported
+//! disagreement.
+//!
+//! # Example
+//!
+//! ```
+//! use tml_conformance::gen::ModelFamily;
+//! use tml_conformance::sim::{SimOptions, Simulator};
+//! use tml_logic::parse_formula;
+//!
+//! let model = ModelFamily::Layered.generate(42);
+//! let formula = parse_formula("P>=0.05 [ F \"goal\" ]").unwrap();
+//! let sim = Simulator::new(SimOptions { trajectories: 2_000, ..Default::default() });
+//! let check = sim.check_formula(&model, &formula).unwrap();
+//! assert!(check.verdict().acceptable());
+//! ```
+
+pub mod gen;
+pub mod oracle;
+pub mod report;
+pub mod sim;
+pub mod stats;
+
+/// Flat re-exports for test harnesses (`test-support` feature): the
+/// generators that used to be copy-pasted into integration tests, plus the
+/// simulator types those tests assert with.
+#[cfg(feature = "test-support")]
+pub mod test_support {
+    pub use crate::gen::{
+        absorbing_dtmc, dense_dtmc, grid_dtmc, layered_dtmc, near_singular_dtmc, parametric_dtmc,
+        random_dtmc, random_mdp, GeneratedPdtmc, ModelFamily, GOAL_LABEL,
+    };
+    pub use crate::sim::{SimCheck, SimOptions, Simulator};
+    pub use crate::stats::{hoeffding_half_width, Interval, Verdict};
+}
+
+use std::sync::Arc;
+
+use tml_logic::StateFormula;
+use tml_models::Dtmc;
+
+use sim::{SimOptions, Simulator};
+use stats::Verdict;
+
+/// A simulation cross-check hook, structurally identical to
+/// `tml_core::pipeline::SimulationCrossCheck` (the two crates are kept
+/// dependency-free of each other; callers pass the hook by value).
+pub type CrossCheckHook = Arc<dyn Fn(&Dtmc, &StateFormula) -> Option<bool> + Send + Sync>;
+
+/// Builds a simulation cross-check hook for
+/// `TmlPipeline::with_simulation_cross_check`: the returned closure
+/// simulates the formula on a (repaired) model and reports whether the
+/// simulation could *not* refute it at the stated confidence.
+///
+/// Returns `None` from the closure when the formula is outside the
+/// simulable fragment (nested operators, missing reward structures) — the
+/// pipeline records that as "cross-check unavailable", not as a failure.
+///
+/// Boundary-optimal repairs land exactly on the bound, so the acceptance
+/// criterion is [`Verdict::acceptable`] (not-refuted), never
+/// "corroborated".
+pub fn simulation_cross_check(trajectories: u64, seed: u64) -> CrossCheckHook {
+    Arc::new(move |model, formula| {
+        let sim = Simulator::new(SimOptions { trajectories, seed, ..SimOptions::default() });
+        match sim.check_formula(model, formula) {
+            Ok(check) => Some(check.verdict() != Verdict::Refuted),
+            Err(_) => None,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen::ModelFamily;
+    use tml_logic::parse_formula;
+
+    #[test]
+    fn cross_check_hook_accepts_true_properties_and_refutes_false_ones() {
+        let model = ModelFamily::Absorbing.generate(1);
+        let hook = simulation_cross_check(4_000, 99);
+        let truthy = parse_formula("P>=0.000001 [ F \"goal\" ]").unwrap();
+        assert_eq!(hook(&model, &truthy), Some(true));
+        let falsy = parse_formula("P<=0.000001 [ F \"goal\" ]").unwrap();
+        assert_eq!(hook(&model, &falsy), Some(false));
+        let unsupported = parse_formula("P>=0.5 [ F (P>=0.5 [ X \"goal\" ]) ]").unwrap();
+        assert_eq!(hook(&model, &unsupported), None);
+    }
+}

@@ -1,0 +1,762 @@
+//! The differential oracle harness: engine pairs, seed sweeps, and
+//! automatic shrinking of disagreeing models.
+//!
+//! Every *engine pair* computes the same quantity two independent ways and
+//! compares within a tolerance:
+//!
+//! | pair | left engine | right engine |
+//! |------|-------------|--------------|
+//! | `dense-vs-gs` | dense LU solve | Gauss–Seidel iteration |
+//! | `jacobi-vs-dense` | Jacobi on the reachability system | dense LU solve |
+//! | `tape-vs-interp` | compiled rational-function tapes | interpreted evaluation |
+//! | `tape-vs-instantiate` | compiled tapes | instantiate + concrete checker |
+//! | `checker-vs-sim` | bounded-until checker | Monte Carlo confidence interval |
+//! | `repair-recheck` | model repair verdict | simulation of the repaired model |
+//!
+//! On disagreement the harness *shrinks* the model while the pair still
+//! disagrees — halving the state space (out-of-range transitions are
+//! redirected to a fresh absorbing goal) and dropping low-probability
+//! edges — so the report points at a minimal reproducer instead of the
+//! original haystack. The `--inject` debug flag biases one engine
+//! conditioned on model size, which exercises exactly this machinery:
+//! the shrinker must converge to the smallest model above the bias
+//! threshold.
+
+use tml_checker::dtmc as checker_dtmc;
+use tml_checker::{Budget, CheckOptions, LinearSolver};
+use tml_logic::{CmpOp, PathFormula, StateFormula};
+use tml_models::{graph, Dtmc, DtmcBuilder};
+use tml_numerics::iterative::{jacobi_budgeted, IterOptions};
+use tml_numerics::{CsrMatrix, Triplet};
+use tml_parametric::CompiledRatFn;
+use tml_telemetry::{counter, span};
+
+use crate::gen::{self, ModelFamily, GOAL_LABEL};
+use crate::sim::{SimOptions, Simulator};
+use crate::stats::{hoeffding_half_width, Verdict};
+use tml_core::{ModelRepair, PerturbationTemplate, RepairStatus};
+
+/// A deliberate fault for validating the harness end-to-end: one engine's
+/// output is biased, *conditioned on model size*, so a correct shrinker
+/// must converge to the smallest model at or above the threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Injection {
+    /// Bias fires only when the model has at least this many states.
+    pub min_states: usize,
+    /// Additive bias applied to the Gauss–Seidel engine's answer.
+    pub bias: f64,
+}
+
+impl Default for Injection {
+    fn default() -> Self {
+        Injection { min_states: 9, bias: 1e-3 }
+    }
+}
+
+/// Oracle configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleOptions {
+    /// Trajectories for the simulation pairs.
+    pub trajectories: u64,
+    /// `α` for simulation confidence intervals (small: a CI miss is a bug).
+    pub alpha: f64,
+    /// Numeric agreement tolerance between exact engines.
+    pub tolerance: f64,
+    /// Whether to shrink disagreeing models.
+    pub shrink: bool,
+    /// Optional injected fault (debug).
+    pub inject: Option<Injection>,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            trajectories: 20_000,
+            alpha: 1e-9,
+            tolerance: 1e-6,
+            shrink: true,
+            inject: None,
+        }
+    }
+}
+
+/// The engine pairs the oracle exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePair {
+    /// Dense LU vs Gauss–Seidel on unbounded reachability.
+    DenseVsGaussSeidel,
+    /// Jacobi on the reachability fixed-point system vs dense LU.
+    JacobiVsDense,
+    /// Compiled tapes vs interpreted rational functions, all states.
+    TapeVsInterpreted,
+    /// Compiled tapes vs instantiate-then-check at the initial state.
+    TapeVsInstantiated,
+    /// Bounded-until checker value vs Monte Carlo confidence interval.
+    CheckerVsSimulation,
+    /// Model repair outcome re-verified by independent simulation.
+    RepairRecheck,
+}
+
+impl EnginePair {
+    /// All pairs in reporting order.
+    pub fn all() -> &'static [EnginePair] {
+        &[
+            EnginePair::DenseVsGaussSeidel,
+            EnginePair::JacobiVsDense,
+            EnginePair::TapeVsInterpreted,
+            EnginePair::TapeVsInstantiated,
+            EnginePair::CheckerVsSimulation,
+            EnginePair::RepairRecheck,
+        ]
+    }
+
+    /// Stable kebab-case identifier (used in reports and CLI filters).
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePair::DenseVsGaussSeidel => "dense-vs-gs",
+            EnginePair::JacobiVsDense => "jacobi-vs-dense",
+            EnginePair::TapeVsInterpreted => "tape-vs-interp",
+            EnginePair::TapeVsInstantiated => "tape-vs-instantiate",
+            EnginePair::CheckerVsSimulation => "checker-vs-sim",
+            EnginePair::RepairRecheck => "repair-recheck",
+        }
+    }
+
+    /// Parses the output of [`name`](Self::name).
+    pub fn parse(name: &str) -> Option<EnginePair> {
+        EnginePair::all().iter().copied().find(|p| p.name() == name)
+    }
+}
+
+/// One agreement check that ran (pass or fail).
+#[derive(Debug, Clone)]
+pub struct CheckRecord {
+    /// Which engine pair.
+    pub pair: EnginePair,
+    /// Which model family (None for parametric-only pairs).
+    pub family: Option<ModelFamily>,
+    /// The generating seed.
+    pub seed: u64,
+    /// Whether the engines agreed.
+    pub agreed: bool,
+    /// Human-readable context (values compared, sizes, skips).
+    pub detail: String,
+}
+
+/// The minimal reproducer the shrinker converged to.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// States of the minimal failing model.
+    pub num_states: usize,
+    /// Edges of the minimal failing model.
+    pub num_edges: usize,
+    /// The disagreement magnitude on the minimal model.
+    pub delta: f64,
+}
+
+/// A confirmed engine disagreement.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Which engine pair disagreed.
+    pub pair: EnginePair,
+    /// Which family produced the model (None for parametric pairs).
+    pub family: Option<ModelFamily>,
+    /// The generating seed (reproduce with `--seeds S..S+1`).
+    pub seed: u64,
+    /// States of the original disagreeing model.
+    pub num_states: usize,
+    /// Left engine's value.
+    pub lhs: f64,
+    /// Right engine's value.
+    pub rhs: f64,
+    /// `|lhs − rhs|` (or distance to the CI for simulation pairs).
+    pub delta: f64,
+    /// Human-readable context.
+    pub detail: String,
+    /// Minimal reproducer, when shrinking was enabled and made progress.
+    pub shrunk: Option<Shrunk>,
+}
+
+/// Everything the oracle learned from one seed.
+#[derive(Debug, Clone, Default)]
+pub struct SeedOutcome {
+    /// The seed.
+    pub seed: u64,
+    /// Every check that ran.
+    pub checks: Vec<CheckRecord>,
+    /// Every confirmed disagreement.
+    pub disagreements: Vec<Disagreement>,
+}
+
+/// The numeric outcome of running one engine pair on one model: engine
+/// values plus the disagreement magnitude (`None` = agreement).
+type PairEval = Option<(f64, f64, f64)>;
+
+/// The differential oracle.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    opts: OracleOptions,
+}
+
+impl Oracle {
+    /// An oracle with the given options.
+    pub fn new(opts: OracleOptions) -> Self {
+        Oracle { opts }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &OracleOptions {
+        &self.opts
+    }
+
+    /// Runs every engine pair for one seed across the selected families.
+    pub fn run_seed(&self, seed: u64, families: &[ModelFamily]) -> SeedOutcome {
+        let _span = span!("oracle.seed", seed = seed);
+        let mut out = SeedOutcome { seed, ..Default::default() };
+        for &family in families {
+            let model = family.generate(seed);
+            self.run_pair_on_model(EnginePair::DenseVsGaussSeidel, family, seed, &model, &mut out);
+            self.run_pair_on_model(EnginePair::JacobiVsDense, family, seed, &model, &mut out);
+            self.run_pair_on_model(EnginePair::CheckerVsSimulation, family, seed, &model, &mut out);
+            self.run_pair_on_model(EnginePair::RepairRecheck, family, seed, &model, &mut out);
+        }
+        self.run_parametric_pairs(seed, &mut out);
+        counter!("oracle.seeds", 1);
+        out
+    }
+
+    /// Evaluates one model-based pair, recording the check and (after
+    /// shrinking) any disagreement.
+    fn run_pair_on_model(
+        &self,
+        pair: EnginePair,
+        family: ModelFamily,
+        seed: u64,
+        model: &Dtmc,
+        out: &mut SeedOutcome,
+    ) {
+        let eval = |d: &Dtmc| -> PairEval {
+            match pair {
+                EnginePair::DenseVsGaussSeidel => self.eval_dense_vs_gs(d),
+                EnginePair::JacobiVsDense => self.eval_jacobi_vs_dense(d),
+                EnginePair::CheckerVsSimulation => self.eval_checker_vs_sim(d, seed),
+                EnginePair::RepairRecheck => self.eval_repair_recheck(d, seed),
+                _ => None,
+            }
+        };
+        match eval(model) {
+            None => out.checks.push(CheckRecord {
+                pair,
+                family: Some(family),
+                seed,
+                agreed: true,
+                detail: format!("{} states agree", model.num_states()),
+            }),
+            Some((lhs, rhs, delta)) => {
+                counter!("oracle.disagreements", 1);
+                let shrunk = if self.opts.shrink {
+                    let minimal = shrink_model(model, &|d| eval(d).is_some());
+                    eval(&minimal).map(|(_, _, d)| Shrunk {
+                        num_states: minimal.num_states(),
+                        num_edges: count_edges(&minimal),
+                        delta: d,
+                    })
+                } else {
+                    None
+                };
+                out.checks.push(CheckRecord {
+                    pair,
+                    family: Some(family),
+                    seed,
+                    agreed: false,
+                    detail: format!("lhs={lhs} rhs={rhs}"),
+                });
+                out.disagreements.push(Disagreement {
+                    pair,
+                    family: Some(family),
+                    seed,
+                    num_states: model.num_states(),
+                    lhs,
+                    rhs,
+                    delta,
+                    detail: format!(
+                        "{} on family {} seed {seed}: |{lhs} - {rhs}| = {delta}",
+                        pair.name(),
+                        family.name()
+                    ),
+                    shrunk,
+                });
+            }
+        }
+    }
+
+    /// Dense LU vs Gauss–Seidel on `P(F goal)` from the initial state.
+    fn eval_dense_vs_gs(&self, d: &Dtmc) -> PairEval {
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; d.num_states()];
+        let lhs = self.direct_value(d, &phi, &target)?;
+        let gs = CheckOptions {
+            solver: LinearSolver::GaussSeidel,
+            tolerance: 1e-12,
+            max_iterations: 2_000_000,
+            ..CheckOptions::default()
+        };
+        let mut rhs = checker_dtmc::until_probabilities(d, &phi, &target, &gs)
+            .ok()
+            .map(|v| v[d.initial_state()])?;
+        if let Some(inj) = self.opts.inject {
+            if d.num_states() >= inj.min_states {
+                rhs += inj.bias;
+            }
+        }
+        disagreement(lhs, rhs, self.opts.tolerance)
+    }
+
+    /// Jacobi on the reachability fixed-point system vs dense LU. Gated to
+    /// models where the goal is reachable from every state (all generator
+    /// families guarantee this), because the plain Jacobi splitting only
+    /// contracts there.
+    fn eval_jacobi_vs_dense(&self, d: &Dtmc) -> PairEval {
+        let n = d.num_states();
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; n];
+        let dead = graph::prob0(d, &phi, &target);
+        if dead.iter().any(|&b| b) {
+            return None; // outside the pair's contract; skip silently
+        }
+        let rhs = self.direct_value(d, &phi, &target)?;
+        // The numerics Jacobi iterates the fixed point `x = A·x + b`; for
+        // reachability, A is the transition matrix restricted to non-goal
+        // columns and b(s) = Σ_{t ∈ goal} P(s,t) (goal rows: empty, b = 1).
+        // The iteration contracts because goal is reachable from everywhere.
+        let mut triplets = Vec::new();
+        let mut b = vec![0.0; n];
+        for s in 0..n {
+            if target[s] {
+                b[s] = 1.0;
+                continue;
+            }
+            for (t, p) in d.successors(s) {
+                if target[t] {
+                    b[s] += p;
+                } else {
+                    triplets.push(Triplet { row: s, col: t, value: p });
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &triplets).ok()?;
+        let x0 = vec![0.0; n];
+        let run = jacobi_budgeted(
+            &a,
+            &b,
+            &x0,
+            IterOptions { tolerance: 1e-13, max_iterations: 4_000_000 },
+            &Budget::unlimited(),
+        )
+        .ok()?;
+        // A non-converged iterate that nevertheless matches the dense value
+        // is agreement; only the values decide.
+        disagreement(run.x[d.initial_state()], rhs, self.opts.tolerance)
+    }
+
+    /// Bounded-until checker value vs a Monte Carlo confidence interval.
+    /// The bounded horizon makes the simulation estimate unbiased (no
+    /// truncation), so at `α = 1e-9` an exact value outside the CI is
+    /// evidence of a bug, not noise.
+    fn eval_checker_vs_sim(&self, d: &Dtmc, seed: u64) -> PairEval {
+        let n = d.num_states();
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; n];
+        let k = (4 * n) as u64;
+        let exact =
+            checker_dtmc::bounded_until_probabilities(d, &phi, &target, k)[d.initial_state()];
+        let sim = Simulator::new(SimOptions {
+            trajectories: self.opts.trajectories,
+            alpha: self.opts.alpha,
+            seed: seed ^ 0x5151_5151,
+            ..SimOptions::default()
+        });
+        let path = PathFormula::Eventually {
+            sub: Box::new(StateFormula::Atom(GOAL_LABEL.to_owned())),
+            bound: Some(k),
+        };
+        let est = sim.path_probability(d, &path).ok()?;
+        // The Wilson interval is what users see, but its normal
+        // approximation under-covers near p = 0 or 1 (one miss in 20 000
+        // trajectories puts the upper limit *below* an exact value of
+        // 1 − 1e-6). The oracle must not flag statistical bad luck as an
+        // engine bug, so the acceptance region is the union of Wilson and
+        // the distribution-free Hoeffding band, whose coverage is a hard
+        // finite-sample guarantee at the configured alpha.
+        let hw = hoeffding_half_width(est.trajectories, self.opts.alpha);
+        let low = est.interval.low.min(est.interval.estimate - hw);
+        let high = est.interval.high.max(est.interval.estimate + hw);
+        if exact < low - 1e-12 || exact > high + 1e-12 {
+            let delta = if exact < low { low - exact } else { exact - high };
+            Some((exact, est.interval.estimate, delta))
+        } else {
+            None
+        }
+    }
+
+    /// Repairs the model toward a tightened reachability bound and
+    /// re-verifies the repaired chain by independent simulation: a repair
+    /// the checker calls verified must never be *refuted* by simulation.
+    fn eval_repair_recheck(&self, d: &Dtmc, seed: u64) -> PairEval {
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; d.num_states()];
+        let current = self.direct_value(d, &phi, &target)?;
+        // Ask for a little more than the model delivers so repair is
+        // non-trivial but feasible for mass-shifting templates.
+        let bound = (current + 0.02).min(0.999);
+        if bound <= current {
+            return None; // already at the ceiling; nothing to repair
+        }
+        let template = mass_shift_template(d, &phi, &target)?;
+        let formula = StateFormula::Prob {
+            opt: None,
+            op: CmpOp::Ge,
+            bound,
+            path: PathFormula::Eventually {
+                sub: Box::new(StateFormula::Atom(GOAL_LABEL.to_owned())),
+                bound: None,
+            },
+        };
+        let outcome = ModelRepair::new().repair_dtmc(d, &formula, &template).ok()?;
+        if outcome.status != RepairStatus::Repaired || !outcome.verified {
+            return None; // infeasible/budget cases are not engine disagreements
+        }
+        let repaired = outcome.model.as_ref()?;
+        let sim = Simulator::new(SimOptions {
+            trajectories: self.opts.trajectories,
+            alpha: self.opts.alpha,
+            seed: seed ^ 0xC0C0_C0C0,
+            ..SimOptions::default()
+        });
+        let check = sim.check_formula(repaired, &formula).ok()?;
+        if check.verdict() == Verdict::Refuted {
+            let iv = check.interval();
+            let delta = if iv.high < bound { bound - iv.high } else { iv.low - bound };
+            Some((bound, iv.estimate, delta))
+        } else {
+            None
+        }
+    }
+
+    /// Compiled tapes vs interpreted evaluation vs instantiate-and-check on
+    /// a generated parametric DTMC.
+    fn run_parametric_pairs(&self, seed: u64, out: &mut SeedOutcome) {
+        let n = 6 + (seed as usize % 5) * 2;
+        let nparams = 1 + (seed as usize % 3);
+        let generated = gen::parametric_dtmc(seed, n, nparams);
+        let target: Vec<bool> = {
+            // The parametric builder has no labeling; goal is the last state.
+            let mut m = vec![false; generated.pdtmc.num_states()];
+            m[generated.pdtmc.num_states() - 1] = true;
+            m
+        };
+        let Ok(fns) = generated.pdtmc.reachability(&target) else {
+            out.checks.push(CheckRecord {
+                pair: EnginePair::TapeVsInterpreted,
+                family: None,
+                seed,
+                agreed: true,
+                detail: "state elimination failed; skipped".to_owned(),
+            });
+            return;
+        };
+        let tapes: Vec<CompiledRatFn> = fns.iter().map(CompiledRatFn::compile).collect();
+        let points: Vec<Vec<f64>> = [0.0, 0.5, 1.0].iter().map(|&f| generated.point(f)).collect();
+
+        // Pair: tapes vs interpreted, every state, every point.
+        let mut worst: PairEval = None;
+        'outer: for point in &points {
+            for (rf, tape) in fns.iter().zip(&tapes) {
+                let (Ok(interp), Ok(compiled)) = (rf.eval(point), tape.eval(point)) else {
+                    continue;
+                };
+                if let Some(found) = disagreement(compiled, interp, 1e-9) {
+                    worst = Some(found);
+                    break 'outer;
+                }
+            }
+        }
+        self.record_parametric(EnginePair::TapeVsInterpreted, seed, n, worst, out);
+
+        // Pair: tapes vs instantiate + concrete checker, initial state.
+        let mut worst: PairEval = None;
+        for point in &points {
+            let Ok(tape_val) = tapes[generated.pdtmc.initial_state()].eval(point) else {
+                continue;
+            };
+            let Ok(inst) = generated.pdtmc.instantiate(point) else { continue };
+            let phi = vec![true; inst.num_states()];
+            let Some(checked) = self.direct_value(&inst, &phi, &target) else { continue };
+            if let Some(found) = disagreement(tape_val, checked, self.opts.tolerance) {
+                worst = Some(found);
+                break;
+            }
+        }
+        self.record_parametric(EnginePair::TapeVsInstantiated, seed, n, worst, out);
+    }
+
+    fn record_parametric(
+        &self,
+        pair: EnginePair,
+        seed: u64,
+        n: usize,
+        eval: PairEval,
+        out: &mut SeedOutcome,
+    ) {
+        match eval {
+            None => out.checks.push(CheckRecord {
+                pair,
+                family: None,
+                seed,
+                agreed: true,
+                detail: format!("{n} states agree"),
+            }),
+            Some((lhs, rhs, delta)) => {
+                counter!("oracle.disagreements", 1);
+                out.checks.push(CheckRecord {
+                    pair,
+                    family: None,
+                    seed,
+                    agreed: false,
+                    detail: format!("lhs={lhs} rhs={rhs}"),
+                });
+                out.disagreements.push(Disagreement {
+                    pair,
+                    family: None,
+                    seed,
+                    num_states: n,
+                    lhs,
+                    rhs,
+                    delta,
+                    detail: format!(
+                        "{} on parametric seed {seed}: |{lhs} - {rhs}| = {delta}",
+                        pair.name()
+                    ),
+                    shrunk: None, // parametric models shrink by regenerating smaller seeds
+                });
+            }
+        }
+    }
+
+    /// The reference engine: dense LU via the checker's `Direct` solver.
+    fn direct_value(&self, d: &Dtmc, phi: &[bool], target: &[bool]) -> Option<f64> {
+        let direct = CheckOptions {
+            solver: LinearSolver::Direct,
+            direct_solver_limit: usize::MAX,
+            ..CheckOptions::default()
+        };
+        checker_dtmc::until_probabilities(d, phi, target, &direct)
+            .ok()
+            .map(|v| v[d.initial_state()])
+    }
+}
+
+/// `Some((lhs, rhs, |lhs − rhs|))` when the values differ beyond `tol`
+/// (NaN on either side always disagrees).
+fn disagreement(lhs: f64, rhs: f64, tol: f64) -> PairEval {
+    let delta = (lhs - rhs).abs();
+    if delta.is_nan() || delta > tol {
+        Some((lhs, rhs, if delta.is_nan() { f64::INFINITY } else { delta }))
+    } else {
+        None
+    }
+}
+
+/// Builds a mass-shifting repair template: for up to three states with at
+/// least two successors of different reachability value, one bounded
+/// parameter moves probability mass from the worst successor toward the
+/// best. Returns `None` when the model offers no such freedom.
+fn mass_shift_template(d: &Dtmc, phi: &[bool], target: &[bool]) -> Option<PerturbationTemplate> {
+    let values = checker_dtmc::until_probabilities(
+        d,
+        phi,
+        target,
+        &CheckOptions {
+            solver: LinearSolver::Direct,
+            direct_solver_limit: usize::MAX,
+            ..CheckOptions::default()
+        },
+    )
+    .ok()?;
+    let mut template = PerturbationTemplate::new();
+    let mut added = 0;
+    for s in 0..d.num_states() {
+        if added == 3 {
+            break;
+        }
+        let row: Vec<(usize, f64)> = d.successors(s).collect();
+        if row.len() < 2 {
+            continue;
+        }
+        let hi =
+            row.iter().copied().max_by(|a, b| values[a.0].partial_cmp(&values[b.0]).unwrap())?;
+        let lo =
+            row.iter().copied().min_by(|a, b| values[a.0].partial_cmp(&values[b.0]).unwrap())?;
+        if hi.0 == lo.0 || values[hi.0] - values[lo.0] < 1e-9 {
+            continue;
+        }
+        // Headroom: keep the donor edge positive and the receiver below 1.
+        let cap = (lo.1 * 0.9).min(1.0 - hi.1).max(0.0);
+        if cap < 1e-6 {
+            continue;
+        }
+        let p = template.parameter(&format!("shift{s}"), 0.0, cap);
+        template.nudge(s, hi.0, p, 1.0).ok()?;
+        template.nudge(s, lo.0, p, -1.0).ok()?;
+        added += 1;
+    }
+    if added == 0 {
+        None
+    } else {
+        Some(template)
+    }
+}
+
+/// Number of transitions with positive probability.
+fn count_edges(d: &Dtmc) -> usize {
+    (0..d.num_states()).map(|s| d.successors(s).count()).sum()
+}
+
+/// Greedily shrinks `model` while `fails` stays true: halve the state
+/// space, then drop low-probability edges, until neither reduction
+/// preserves the failure. Bounded work: at most 64 accepted reductions.
+pub fn shrink_model(model: &Dtmc, fails: &dyn Fn(&Dtmc) -> bool) -> Dtmc {
+    let _span = span!("oracle.shrink", states = model.num_states());
+    let mut cur = model.clone();
+    for _ in 0..64 {
+        let mut reduced = None;
+        if cur.num_states() > 2 {
+            if let Some(h) = halve(&cur) {
+                if fails(&h) {
+                    reduced = Some(h);
+                }
+            }
+        }
+        if reduced.is_none() {
+            'edges: for s in 0..cur.num_states() {
+                if cur.successors(s).count() > 1 {
+                    if let Some(e) = drop_smallest_edge(&cur, s) {
+                        if fails(&e) {
+                            reduced = Some(e);
+                            break 'edges;
+                        }
+                    }
+                }
+            }
+        }
+        match reduced {
+            Some(m) => cur = m,
+            None => break,
+        }
+    }
+    cur
+}
+
+/// Keeps the first `⌈n/2⌉` states; transitions leaving the kept prefix are
+/// redirected to the last kept state, which becomes an absorbing goal.
+/// Always yields a valid chain (rows keep their total mass).
+fn halve(d: &Dtmc) -> Option<Dtmc> {
+    let n = d.num_states();
+    let m = (n / 2).max(2);
+    if m >= n {
+        return None;
+    }
+    let sink = m - 1;
+    let mut b = DtmcBuilder::new(m);
+    b.initial_state(if d.initial_state() < m { d.initial_state() } else { 0 }).ok()?;
+    for s in 0..m {
+        if s == sink {
+            continue; // forced absorbing below
+        }
+        for (t, p) in d.successors(s) {
+            let t = if t < m { t } else { sink };
+            b.transition(s, t, p).ok()?;
+        }
+        for label in d.labeling().labels_of(s) {
+            b.label(s, label).ok()?;
+        }
+    }
+    b.transition(sink, sink, 1.0).ok()?;
+    b.label(sink, GOAL_LABEL).ok()?;
+    b.build().ok()
+}
+
+/// Drops the smallest-probability edge of `state` and renormalizes the
+/// remaining row (only valid when the state has at least two successors).
+fn drop_smallest_edge(d: &Dtmc, state: usize) -> Option<Dtmc> {
+    let mut row: Vec<(usize, f64)> = d.successors(state).collect();
+    if row.len() < 2 {
+        return None;
+    }
+    let (drop_idx, _) =
+        row.iter().enumerate().min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())?;
+    row.remove(drop_idx);
+    let total: f64 = row.iter().map(|&(_, p)| p).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    for entry in &mut row {
+        entry.1 /= total;
+    }
+    d.with_row(state, row).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pairs_agree_on_a_fixed_seed() {
+        let oracle = Oracle::new(OracleOptions { trajectories: 4_000, ..Default::default() });
+        let out = oracle.run_seed(7, ModelFamily::all());
+        assert!(out.disagreements.is_empty(), "unexpected disagreements: {:?}", out.disagreements);
+        // Every family ran the four model pairs, plus the two parametric pairs.
+        assert!(out.checks.len() >= ModelFamily::all().len() * 4);
+    }
+
+    #[test]
+    fn injected_bias_is_caught_and_shrunk() {
+        let inject = Injection { min_states: 5, bias: 1e-3 };
+        let oracle = Oracle::new(OracleOptions {
+            trajectories: 2_000,
+            inject: Some(inject),
+            ..Default::default()
+        });
+        let out = oracle.run_seed(3, &[ModelFamily::Layered]);
+        let hit: Vec<_> =
+            out.disagreements.iter().filter(|d| d.pair == EnginePair::DenseVsGaussSeidel).collect();
+        assert_eq!(hit.len(), 1, "the injected bias must surface exactly once");
+        let d = hit[0];
+        assert!(d.delta > 5e-4, "delta reflects the bias: {}", d.delta);
+        let shrunk = d.shrunk.as_ref().expect("shrinker must make progress");
+        assert!(shrunk.num_states < d.num_states);
+        assert!(shrunk.num_states >= inject.min_states, "cannot shrink below the bias threshold");
+    }
+
+    #[test]
+    fn shrinker_respects_predicate() {
+        // Predicate: fails while the model has ≥ 6 states. The shrinker
+        // must converge to exactly the smallest failing size it can reach.
+        let d = ModelFamily::Dense.generate(11);
+        let n0 = d.num_states();
+        assert!(n0 >= 12);
+        let minimal = shrink_model(&d, &|m| m.num_states() >= 6);
+        assert!(minimal.num_states() >= 6);
+        assert!(minimal.num_states() < n0);
+        // Halving floors at ⌈n/2⌉ ≥ 6, so one more halving would go below.
+        assert!(minimal.num_states() / 2 < 6);
+    }
+
+    #[test]
+    fn engine_pair_names_round_trip() {
+        for &p in EnginePair::all() {
+            assert_eq!(EnginePair::parse(p.name()), Some(p));
+        }
+        assert_eq!(EnginePair::parse("nope"), None);
+    }
+}

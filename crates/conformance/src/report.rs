@@ -1,0 +1,230 @@
+//! JSONL conformance reports (`tml-conformance/v1`).
+//!
+//! The report mirrors the shape of the `tml-trace/v1` stream the
+//! telemetry layer emits — one self-describing JSON object per line, a
+//! `meta` line first, a `summary` line last — so the same line-oriented
+//! tooling (`jq`, the schema checker's framing rules) applies:
+//!
+//! ```text
+//! {"type":"meta","schema":"tml-conformance/v1","seeds":"0..64",...}
+//! {"type":"check","pair":"dense-vs-gs","family":"layered","seed":3,"agreed":true,...}
+//! {"type":"disagreement","pair":"dense-vs-gs","seed":9,"lhs":...,"rhs":...,"shrunk_states":5,...}
+//! {"type":"summary","checks":384,"disagreements":0}
+//! ```
+
+use std::io::{self, Write};
+
+use tml_telemetry::json::{self, write_f64, write_string, Value};
+
+use crate::oracle::SeedOutcome;
+
+/// Writes the `meta` header line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_meta(
+    out: &mut dyn Write,
+    seeds: &str,
+    families: &[&str],
+    trajectories: u64,
+    injected: bool,
+) -> io::Result<()> {
+    let mut line = String::from("{\"type\":\"meta\",\"schema\":\"tml-conformance/v1\",\"seeds\":");
+    write_string(&mut line, seeds);
+    line.push_str(",\"families\":[");
+    for (i, f) in families.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        write_string(&mut line, f);
+    }
+    line.push_str("],\"trajectories\":");
+    line.push_str(&trajectories.to_string());
+    line.push_str(",\"injected\":");
+    line.push_str(if injected { "true" } else { "false" });
+    line.push('}');
+    writeln!(out, "{line}")
+}
+
+/// Writes every `check` and `disagreement` line for one seed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_seed(out: &mut dyn Write, outcome: &SeedOutcome) -> io::Result<()> {
+    for check in &outcome.checks {
+        let mut line = String::from("{\"type\":\"check\",\"pair\":");
+        write_string(&mut line, check.pair.name());
+        line.push_str(",\"family\":");
+        match check.family {
+            Some(f) => write_string(&mut line, f.name()),
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"seed\":");
+        line.push_str(&check.seed.to_string());
+        line.push_str(",\"agreed\":");
+        line.push_str(if check.agreed { "true" } else { "false" });
+        line.push_str(",\"detail\":");
+        write_string(&mut line, &check.detail);
+        line.push('}');
+        writeln!(out, "{line}")?;
+    }
+    for d in &outcome.disagreements {
+        let mut line = String::from("{\"type\":\"disagreement\",\"pair\":");
+        write_string(&mut line, d.pair.name());
+        line.push_str(",\"family\":");
+        match d.family {
+            Some(f) => write_string(&mut line, f.name()),
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"seed\":");
+        line.push_str(&d.seed.to_string());
+        line.push_str(",\"num_states\":");
+        line.push_str(&d.num_states.to_string());
+        line.push_str(",\"lhs\":");
+        write_f64(&mut line, d.lhs);
+        line.push_str(",\"rhs\":");
+        write_f64(&mut line, d.rhs);
+        line.push_str(",\"delta\":");
+        write_f64(&mut line, d.delta);
+        if let Some(s) = &d.shrunk {
+            line.push_str(",\"shrunk_states\":");
+            line.push_str(&s.num_states.to_string());
+            line.push_str(",\"shrunk_edges\":");
+            line.push_str(&s.num_edges.to_string());
+            line.push_str(",\"shrunk_delta\":");
+            write_f64(&mut line, s.delta);
+        }
+        line.push_str(",\"detail\":");
+        write_string(&mut line, &d.detail);
+        line.push('}');
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Writes the trailing `summary` line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_summary(
+    out: &mut dyn Write,
+    checks: u64,
+    disagreements: u64,
+    elapsed_ms: u64,
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "{{\"type\":\"summary\",\"checks\":{checks},\"disagreements\":{disagreements},\
+         \"elapsed_ms\":{elapsed_ms}}}"
+    )
+}
+
+/// Summary statistics recovered from a report (for tests and CI gating).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReportSummary {
+    /// Whether the meta line carried the expected schema identifier.
+    pub schema_ok: bool,
+    /// `check` lines seen.
+    pub checks: u64,
+    /// `disagreement` lines seen.
+    pub disagreements: u64,
+    /// Whether a trailing `summary` line was present and self-consistent.
+    pub summary_ok: bool,
+}
+
+/// Parses a full JSONL report back into summary statistics, validating the
+/// framing: `meta` first, `summary` last, every line self-describing.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first malformed line.
+pub fn parse_report(text: &str) -> Result<ReportSummary, String> {
+    let mut out = ReportSummary::default();
+    let mut saw_summary = false;
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(raw).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let obj = value.as_object().ok_or_else(|| format!("line {}: not an object", i + 1))?;
+        let ty = obj
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing type", i + 1))?;
+        if saw_summary {
+            return Err(format!("line {}: content after summary", i + 1));
+        }
+        match ty {
+            "meta" => {
+                if i != 0 {
+                    return Err(format!("line {}: meta must be the first line", i + 1));
+                }
+                out.schema_ok =
+                    obj.get("schema").and_then(Value::as_str) == Some("tml-conformance/v1");
+            }
+            "check" => out.checks += 1,
+            "disagreement" => out.disagreements += 1,
+            "summary" => {
+                saw_summary = true;
+                let checks = obj.get("checks").and_then(Value::as_u64).unwrap_or(u64::MAX);
+                let disagreements =
+                    obj.get("disagreements").and_then(Value::as_u64).unwrap_or(u64::MAX);
+                out.summary_ok = checks == out.checks && disagreements == out.disagreements;
+            }
+            other => return Err(format!("line {}: unknown record type {other:?}", i + 1)),
+        }
+    }
+    if !saw_summary {
+        return Err("report has no summary line".to_owned());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ModelFamily;
+    use crate::oracle::{Oracle, OracleOptions};
+
+    #[test]
+    fn report_round_trips() {
+        let oracle = Oracle::new(OracleOptions { trajectories: 1_000, ..Default::default() });
+        let outcome = oracle.run_seed(2, &[ModelFamily::Layered, ModelFamily::Absorbing]);
+        let mut buf = Vec::new();
+        write_meta(&mut buf, "2..3", &["layered", "absorbing"], 1_000, false).unwrap();
+        write_seed(&mut buf, &outcome).unwrap();
+        let checks = outcome.checks.len() as u64;
+        let disagreements = outcome.disagreements.len() as u64;
+        write_summary(&mut buf, checks, disagreements, 12).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let summary = parse_report(&text).unwrap();
+        assert!(summary.schema_ok);
+        assert!(summary.summary_ok);
+        assert_eq!(summary.checks, checks);
+        assert_eq!(summary.disagreements, disagreements);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_framing() {
+        assert!(parse_report("").is_err(), "empty report has no summary");
+        let no_meta = "{\"type\":\"summary\",\"checks\":0,\"disagreements\":0}\n";
+        assert!(parse_report(no_meta).unwrap().checks == 0, "meta is recommended, not required");
+        let trailing =
+            "{\"type\":\"summary\",\"checks\":0,\"disagreements\":0}\n{\"type\":\"check\"}\n";
+        assert!(parse_report(trailing).is_err(), "content after summary is rejected");
+        assert!(parse_report("not json\n").is_err());
+    }
+
+    #[test]
+    fn summary_consistency_is_checked() {
+        let text = "{\"type\":\"check\",\"pair\":\"dense-vs-gs\",\"family\":null,\"seed\":0,\
+                    \"agreed\":true,\"detail\":\"\"}\n\
+                    {\"type\":\"summary\",\"checks\":5,\"disagreements\":0}\n";
+        let summary = parse_report(text).unwrap();
+        assert_eq!(summary.checks, 1);
+        assert!(!summary.summary_ok, "summary line contradicts the body");
+    }
+}

@@ -1,0 +1,834 @@
+//! Seed-deterministic Monte Carlo trajectory simulation with statistical
+//! verdicts.
+//!
+//! The simulator is the *independent* verification backend of the
+//! conformance layer: it shares no numeric code with the checker (no
+//! linear solves, no value iteration) — only the model representation and
+//! the graph-theoretic prob0/prob1 classification, which lets most
+//! trajectories reach a **definitive** outcome instead of an inconclusive
+//! truncation:
+//!
+//! * a trajectory *hits* as soon as the path formula is decided positively;
+//! * it *misses* definitively when it can no longer satisfy the formula
+//!   (bounded horizon exceeded, or an `P(…)=0` state entered);
+//! * only trajectories truncated at `max_steps` in a genuinely undecided
+//!   state count as *inconclusive*.
+//!
+//! The reported [`Interval`] brackets the truth regardless of
+//! inconclusives: its lower limit is the Wilson bound counting only hits,
+//! its upper limit counts hits + inconclusives. Reward estimates use
+//! Hoeffding intervals over the bounded per-trajectory accumulation.
+//!
+//! Trajectories run in fixed-size batches, each batch seeded from
+//! `(seed, batch_index)` by a SplitMix-style mix, and batches are mapped in
+//! parallel with the vendored scope-parallelism. Results are **bitwise
+//! identical** for any thread count, because the batch decomposition — not
+//! the schedule — determines every random draw.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tml_checker::{Budget, Diagnostics, Exhaustion};
+use tml_logic::{CmpOp, PathFormula, RewardKind, StateFormula};
+use tml_models::{graph, Dtmc, Mdp, StochasticPolicy};
+use tml_telemetry::{counter, span};
+
+use crate::stats::{hoeffding_interval, wilson_interval, Interval, Verdict};
+
+/// Why a simulation request could not be answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The formula contains a nested probabilistic/reward operator; the
+    /// simulator only evaluates propositional state subformulas so that it
+    /// stays independent of the numeric engines.
+    NestedOperator,
+    /// The named reward structure does not exist on the model.
+    UnknownRewardStructure(String),
+    /// The formula shape has no simulation semantics here (e.g. a
+    /// top-level propositional formula with no quantitative operator).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NestedOperator => {
+                write!(f, "nested P/R operators are outside the simulable fragment")
+            }
+            SimError::UnknownRewardStructure(name) => {
+                write!(f, "unknown reward structure {name:?}")
+            }
+            SimError::Unsupported(what) => write!(f, "cannot simulate {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Number of trajectories to sample.
+    pub trajectories: u64,
+    /// Hard per-trajectory step cap; undecided trajectories at the cap
+    /// count as inconclusive (they widen the interval, never bias it).
+    pub max_steps: usize,
+    /// `α = 1 − confidence` for the reported intervals. The default
+    /// (`1e-9`) makes a CI-vs-exact disagreement evidence of a bug.
+    pub alpha: f64,
+    /// Trajectories per batch (the parallel work unit and the randomness
+    /// granule: estimates depend on the batch size, never on thread count).
+    pub batch_size: u64,
+    /// Base seed; batch `i` draws from a generator seeded by `(seed, i)`.
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            trajectories: 10_000,
+            max_steps: 10_000,
+            alpha: 1e-9,
+            batch_size: 512,
+            seed: 0,
+        }
+    }
+}
+
+/// A reachability (Bernoulli) estimate.
+#[derive(Debug, Clone)]
+pub struct ReachEstimate {
+    /// Trajectories that satisfied the path formula.
+    pub hits: u64,
+    /// Trajectories that definitively violated it.
+    pub misses: u64,
+    /// Trajectories truncated while still undecided.
+    pub inconclusive: u64,
+    /// Total trajectories sampled (may be short of the request when the
+    /// budget ran out; see `diagnostics.exhausted`).
+    pub trajectories: u64,
+    /// Confidence interval bracketing the true probability: Wilson lower
+    /// limit on hits, Wilson upper limit on hits + inconclusives.
+    pub interval: Interval,
+    /// Spend/degradation record (each trajectory counts one evaluation).
+    pub diagnostics: Diagnostics,
+}
+
+impl ReachEstimate {
+    /// Statistical verdict for `P ⋈ bound [ψ]`.
+    pub fn verdict(&self, op: CmpOp, bound: f64) -> Verdict {
+        Verdict::classify(op, &self.interval, bound)
+    }
+}
+
+/// A reward (bounded-mean) estimate.
+#[derive(Debug, Clone)]
+pub struct RewardEstimate {
+    /// Empirical mean of the per-trajectory accumulated reward.
+    pub mean: f64,
+    /// Hoeffding interval at the configured confidence.
+    pub interval: Interval,
+    /// Trajectories that reached the target (reach-reward only).
+    pub completed: u64,
+    /// Trajectories truncated before reaching the target; their partial
+    /// accumulation enters the mean, so a non-zero count biases the
+    /// estimate low and the verdict should be treated as inconclusive.
+    pub truncated: u64,
+    /// Total trajectories sampled.
+    pub trajectories: u64,
+    /// Spend/degradation record.
+    pub diagnostics: Diagnostics,
+}
+
+impl RewardEstimate {
+    /// Statistical verdict for `R ⋈ bound [·]`; truncated trajectories
+    /// demote `Corroborated` to `Consistent` (the mean is biased low).
+    pub fn verdict(&self, op: CmpOp, bound: f64) -> Verdict {
+        let v = Verdict::classify(op, &self.interval, bound);
+        if self.truncated > 0 && v == Verdict::Corroborated && matches!(op, CmpOp::Le | CmpOp::Lt) {
+            Verdict::Consistent
+        } else {
+            v
+        }
+    }
+}
+
+/// Result of simulating a top-level PCTL operator: the quantitative
+/// estimate plus the verdict against the formula's bound.
+#[derive(Debug, Clone)]
+pub enum SimCheck {
+    /// A `P ⋈ b [ψ]` check.
+    Probability {
+        /// The estimate.
+        estimate: ReachEstimate,
+        /// The verdict against the bound.
+        verdict: Verdict,
+        /// The bound from the formula.
+        bound: f64,
+    },
+    /// An `R ⋈ c [·]` check.
+    Reward {
+        /// The estimate.
+        estimate: RewardEstimate,
+        /// The verdict against the bound.
+        verdict: Verdict,
+        /// The bound from the formula.
+        bound: f64,
+    },
+}
+
+impl SimCheck {
+    /// The verdict of the check.
+    pub fn verdict(&self) -> Verdict {
+        match self {
+            SimCheck::Probability { verdict, .. } | SimCheck::Reward { verdict, .. } => *verdict,
+        }
+    }
+
+    /// The interval of the underlying estimate.
+    pub fn interval(&self) -> &Interval {
+        match self {
+            SimCheck::Probability { estimate, .. } => &estimate.interval,
+            SimCheck::Reward { estimate, .. } => &estimate.interval,
+        }
+    }
+}
+
+/// One trajectory's outcome against a path property.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Hit,
+    Miss,
+    Undecided,
+}
+
+/// A step source the simulator can walk: a DTMC, or an MDP resolved by a
+/// policy. Implementations must be `Sync` so batches parallelize.
+trait Walk: Sync {
+    fn initial(&self) -> usize;
+    fn step(&self, rng: &mut StdRng, state: usize) -> usize;
+    fn state_reward(&self, structure: &str, state: usize) -> Option<f64>;
+}
+
+impl Walk for Dtmc {
+    fn initial(&self) -> usize {
+        self.initial_state()
+    }
+    fn step(&self, rng: &mut StdRng, state: usize) -> usize {
+        self.sample_successor(rng, state)
+    }
+    fn state_reward(&self, structure: &str, state: usize) -> Option<f64> {
+        self.reward_structure(structure).ok().map(|r| r.state_reward(state))
+    }
+}
+
+/// An MDP with its nondeterminism resolved by a stochastic memoryless
+/// policy — the "MDP under policy" simulation target.
+struct PolicyWalk<'a> {
+    mdp: &'a Mdp,
+    policy: &'a StochasticPolicy,
+}
+
+impl Walk for PolicyWalk<'_> {
+    fn initial(&self) -> usize {
+        self.mdp.initial_state()
+    }
+    fn step(&self, rng: &mut StdRng, state: usize) -> usize {
+        let c = self.policy.sample(rng, state);
+        let choice = &self.mdp.choices(state)[c];
+        let mut u: f64 = rng.random_range(0.0..1.0);
+        for &(succ, p) in choice.transitions.iter() {
+            if u < p {
+                return succ;
+            }
+            u -= p;
+        }
+        choice.transitions.last().map(|&(s, _)| s).unwrap_or(state)
+    }
+    fn state_reward(&self, structure: &str, state: usize) -> Option<f64> {
+        self.mdp.reward_structure(structure).ok().map(|r| r.state_reward(state))
+    }
+}
+
+/// Derives the deterministic per-batch seed: a SplitMix64-style finalizer
+/// over `(seed, batch)`, so batches are decorrelated but reproducible.
+fn batch_seed(seed: u64, batch: u64) -> u64 {
+    let mut z =
+        seed ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The compiled form of a simulable path property: per-state masks plus the
+/// horizon and the definitive-failure classification.
+struct PathSpec {
+    /// States satisfying the left ("safe") operand; `Next` ignores it.
+    lhs: Vec<bool>,
+    /// States satisfying the right ("target") operand.
+    rhs: Vec<bool>,
+    /// Step bound (`None` = unbounded, truncated at `max_steps`).
+    bound: Option<u64>,
+    /// For unbounded properties: states from which the formula can no
+    /// longer be satisfied (entering one decides the trajectory negatively).
+    dead: Vec<bool>,
+    /// For unbounded `G`: states from which the formula is already decided
+    /// positively (never leaves the invariant).
+    alive: Vec<bool>,
+    kind: PathKind,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PathKind {
+    Next,
+    Until,
+    Globally,
+}
+
+/// Evaluates a propositional state formula to a mask; rejects nested
+/// quantitative operators (the simulator must stay engine-independent).
+fn propositional_mask(
+    model_states: usize,
+    labels: &tml_models::Labeling,
+    f: &StateFormula,
+) -> Result<Vec<bool>, SimError> {
+    Ok(match f {
+        StateFormula::True => vec![true; model_states],
+        StateFormula::False => vec![false; model_states],
+        StateFormula::Atom(a) => labels.mask(a),
+        StateFormula::Not(g) => {
+            propositional_mask(model_states, labels, g)?.into_iter().map(|b| !b).collect()
+        }
+        StateFormula::And(a, b) => zip(
+            propositional_mask(model_states, labels, a)?,
+            propositional_mask(model_states, labels, b)?,
+            |x, y| x && y,
+        ),
+        StateFormula::Or(a, b) => zip(
+            propositional_mask(model_states, labels, a)?,
+            propositional_mask(model_states, labels, b)?,
+            |x, y| x || y,
+        ),
+        StateFormula::Implies(a, b) => zip(
+            propositional_mask(model_states, labels, a)?,
+            propositional_mask(model_states, labels, b)?,
+            |x, y| !x || y,
+        ),
+        StateFormula::Prob { .. } | StateFormula::Reward { .. } => {
+            return Err(SimError::NestedOperator)
+        }
+    })
+}
+
+fn zip(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+/// The Monte Carlo simulator: construct with [`SimOptions`], optionally
+/// attach a [`Budget`], then estimate reachability probabilities and
+/// expected rewards on DTMCs or MDPs-under-policy.
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    opts: SimOptions,
+    budget: Budget,
+}
+
+impl Simulator {
+    /// A simulator with the given options and no budget.
+    pub fn new(opts: SimOptions) -> Self {
+        Simulator { opts, budget: Budget::unlimited() }
+    }
+
+    /// Attaches an execution budget: each trajectory charges one
+    /// evaluation, and deadline/cancellation are polled between batches.
+    /// On exhaustion the estimate is computed from the trajectories
+    /// sampled so far and `diagnostics.exhausted` is set.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    fn path_spec(&self, d: &Dtmc, path: &PathFormula) -> Result<PathSpec, SimError> {
+        let n = d.num_states();
+        let labels = d.labeling();
+        let (lhs, rhs, bound, kind) = match path {
+            PathFormula::Next(sub) => {
+                (vec![true; n], propositional_mask(n, labels, sub)?, Some(1), PathKind::Next)
+            }
+            PathFormula::Until { lhs, rhs, bound } => (
+                propositional_mask(n, labels, lhs)?,
+                propositional_mask(n, labels, rhs)?,
+                *bound,
+                PathKind::Until,
+            ),
+            PathFormula::Eventually { sub, bound } => {
+                (vec![true; n], propositional_mask(n, labels, sub)?, *bound, PathKind::Until)
+            }
+            PathFormula::Globally { sub, bound } => (
+                propositional_mask(n, labels, sub)?,
+                propositional_mask(n, labels, sub)?,
+                *bound,
+                PathKind::Globally,
+            ),
+        };
+        // Definitive classification for unbounded walks: for `U`, a state
+        // with P(lhs U rhs) = 0 decides the trajectory negatively; for `G`,
+        // a state that almost-never leaves the invariant decides positively.
+        let (dead, alive) = if bound.is_none() {
+            match kind {
+                PathKind::Until => (graph::prob0(d, &lhs, &rhs), vec![false; n]),
+                PathKind::Globally => {
+                    let not_sub: Vec<bool> = rhs.iter().map(|&b| !b).collect();
+                    let phi = vec![true; n];
+                    // P(G sub) from s is 1 iff P(F ¬sub) = 0.
+                    (not_sub.clone(), graph::prob0(d, &phi, &not_sub))
+                }
+                PathKind::Next => (vec![false; n], vec![false; n]),
+            }
+        } else {
+            (vec![false; n], vec![false; n])
+        };
+        Ok(PathSpec { lhs, rhs, bound, dead, alive, kind })
+    }
+
+    /// Walks one trajectory against a compiled path spec.
+    fn walk_one(&self, w: &impl Walk, spec: &PathSpec, rng: &mut StdRng) -> Outcome {
+        let horizon = spec.bound.map(|b| b as usize).unwrap_or(self.opts.max_steps);
+        let mut s = w.initial();
+        match spec.kind {
+            PathKind::Next => {
+                let s1 = w.step(rng, s);
+                if spec.rhs[s1] {
+                    Outcome::Hit
+                } else {
+                    Outcome::Miss
+                }
+            }
+            PathKind::Until => {
+                for step in 0..=horizon {
+                    if spec.rhs[s] {
+                        return Outcome::Hit;
+                    }
+                    if !spec.lhs[s] || spec.dead[s] {
+                        return Outcome::Miss;
+                    }
+                    if step == horizon {
+                        break;
+                    }
+                    s = w.step(rng, s);
+                }
+                if spec.bound.is_some() {
+                    Outcome::Miss // horizon exhausted: definitively not "until within k"
+                } else {
+                    Outcome::Undecided
+                }
+            }
+            PathKind::Globally => {
+                for step in 0..=horizon {
+                    if !spec.rhs[s] {
+                        return Outcome::Miss;
+                    }
+                    if spec.alive[s] {
+                        return Outcome::Hit;
+                    }
+                    if step == horizon {
+                        break;
+                    }
+                    s = w.step(rng, s);
+                }
+                if spec.bound.is_some() {
+                    Outcome::Hit // survived the whole bounded window
+                } else {
+                    Outcome::Undecided
+                }
+            }
+        }
+    }
+
+    /// Shared batched driver for Bernoulli estimation.
+    fn run_reach(&self, w: &impl Walk, spec: &PathSpec) -> ReachEstimate {
+        let _span = span!("sim.reach", trajectories = self.opts.trajectories);
+        let start = std::time::Instant::now();
+        let mut diag = Diagnostics::new();
+        let batch = self.opts.batch_size.max(1);
+        let batches = self.opts.trajectories.div_ceil(batch);
+        // Pre-check the budget so a spent budget yields zero work (but
+        // still a well-formed, maximally wide estimate).
+        let results: Vec<(u64, u64, u64, u64, Option<Exhaustion>)> = {
+            use rayon::prelude::*;
+            (0..batches as usize)
+                .into_par_iter()
+                .map(|bi| {
+                    let _bspan = span!("sim.batch");
+                    let bi = bi as u64;
+                    let todo = batch.min(self.opts.trajectories - bi * batch);
+                    let mut rng = StdRng::seed_from_u64(batch_seed(self.opts.seed, bi));
+                    let (mut h, mut m, mut u, mut done) = (0u64, 0u64, 0u64, 0u64);
+                    let mut stopped = None;
+                    for _ in 0..todo {
+                        if let Some(cause) = self.budget.charge(1) {
+                            stopped = Some(cause);
+                            break;
+                        }
+                        match self.walk_one(w, spec, &mut rng) {
+                            Outcome::Hit => h += 1,
+                            Outcome::Miss => m += 1,
+                            Outcome::Undecided => u += 1,
+                        }
+                        done += 1;
+                    }
+                    counter!("sim.trajectories", done);
+                    (h, m, u, done, stopped)
+                })
+                .collect()
+        };
+        let (mut hits, mut misses, mut inconclusive, mut total) = (0, 0, 0, 0);
+        for (h, m, u, done, stopped) in results {
+            hits += h;
+            misses += m;
+            inconclusive += u;
+            total += done;
+            if let Some(cause) = stopped {
+                diag.mark_exhausted(cause);
+            }
+        }
+        diag.evaluations = total;
+        diag.elapsed = start.elapsed();
+        diag.telemetry.incr("sim.trajectories", total);
+        let interval = if total == 0 {
+            Interval { estimate: f64::NAN, low: 0.0, high: 1.0 }
+        } else {
+            let low = wilson_interval(hits, total, self.opts.alpha).low;
+            let high = wilson_interval(hits + inconclusive, total, self.opts.alpha).high;
+            Interval { estimate: hits as f64 / total as f64, low, high }
+        };
+        ReachEstimate {
+            hits,
+            misses,
+            inconclusive,
+            trajectories: total,
+            interval,
+            diagnostics: diag,
+        }
+    }
+
+    /// Shared batched driver for bounded-accumulation estimation.
+    /// `horizon` caps steps; `until` (if given) stops accumulation at the
+    /// target. Returns `(sum, completed, truncated, total, diag, cap)`.
+    fn run_reward(
+        &self,
+        w: &impl Walk,
+        structure: &str,
+        rmax: f64,
+        horizon: usize,
+        until: Option<&[bool]>,
+    ) -> RewardEstimate {
+        let _span = span!("sim.reward", trajectories = self.opts.trajectories);
+        let start = std::time::Instant::now();
+        let mut diag = Diagnostics::new();
+        let batch = self.opts.batch_size.max(1);
+        let batches = self.opts.trajectories.div_ceil(batch);
+        let cap = rmax * horizon as f64;
+        let results: Vec<(f64, u64, u64, u64, Option<Exhaustion>)> = {
+            use rayon::prelude::*;
+            (0..batches as usize)
+                .into_par_iter()
+                .map(|bi| {
+                    let _bspan = span!("sim.batch");
+                    let bi = bi as u64;
+                    let todo = batch.min(self.opts.trajectories - bi * batch);
+                    let mut rng = StdRng::seed_from_u64(batch_seed(self.opts.seed, bi));
+                    let (mut sum, mut completed, mut truncated, mut done) = (0.0, 0u64, 0u64, 0u64);
+                    let mut stopped = None;
+                    for _ in 0..todo {
+                        if let Some(cause) = self.budget.charge(1) {
+                            stopped = Some(cause);
+                            break;
+                        }
+                        let mut s = w.initial();
+                        let mut acc = 0.0;
+                        let mut finished = until.is_none();
+                        for _ in 0..horizon {
+                            if let Some(target) = until {
+                                if target[s] {
+                                    finished = true;
+                                    break;
+                                }
+                            }
+                            acc += w.state_reward(structure, s).unwrap_or(0.0);
+                            s = w.step(&mut rng, s);
+                        }
+                        if let Some(target) = until {
+                            if !finished && target[s] {
+                                finished = true;
+                            }
+                        }
+                        sum += acc;
+                        if finished {
+                            completed += 1;
+                        } else {
+                            truncated += 1;
+                        }
+                        done += 1;
+                    }
+                    counter!("sim.trajectories", done);
+                    (sum, completed, truncated, done, stopped)
+                })
+                .collect()
+        };
+        let (mut sum, mut completed, mut truncated, mut total) = (0.0, 0, 0, 0);
+        for (s, c, t, d, stopped) in results {
+            sum += s;
+            completed += c;
+            truncated += t;
+            total += d;
+            if let Some(cause) = stopped {
+                diag.mark_exhausted(cause);
+            }
+        }
+        diag.evaluations = total;
+        diag.elapsed = start.elapsed();
+        diag.telemetry.incr("sim.trajectories", total);
+        let (mean, interval) = if total == 0 {
+            (f64::NAN, Interval { estimate: f64::NAN, low: 0.0, high: cap })
+        } else {
+            let mean = sum / total as f64;
+            (mean, hoeffding_interval(mean, total, 0.0, cap, self.opts.alpha))
+        };
+        RewardEstimate {
+            mean,
+            interval,
+            completed,
+            truncated,
+            trajectories: total,
+            diagnostics: diag,
+        }
+    }
+
+    /// Estimates `P(ψ)` from the initial state of a DTMC.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NestedOperator`] when `ψ` contains nested `P`/`R`.
+    pub fn path_probability(
+        &self,
+        d: &Dtmc,
+        path: &PathFormula,
+    ) -> Result<ReachEstimate, SimError> {
+        let spec = self.path_spec(d, path)?;
+        Ok(self.run_reach(d, &spec))
+    }
+
+    /// Estimates `P(ψ)` from the initial state of an MDP whose choices are
+    /// resolved by `policy` (trajectories sample the policy natively — the
+    /// induced chain is never constructed, keeping this an independent
+    /// oracle for [`StochasticPolicy::induce`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NestedOperator`] when `ψ` contains nested `P`/`R`.
+    pub fn path_probability_mdp(
+        &self,
+        mdp: &Mdp,
+        policy: &StochasticPolicy,
+        path: &PathFormula,
+    ) -> Result<ReachEstimate, SimError> {
+        // Masks and prob0 classification are computed on the induced chain
+        // (the only sound classifier for a fixed policy), but trajectories
+        // walk the MDP directly.
+        let induced = policy
+            .induce(mdp)
+            .map_err(|_| SimError::Unsupported("policy does not match the MDP shape"))?;
+        let spec = self.path_spec(&induced, path)?;
+        let walk = PolicyWalk { mdp, policy };
+        Ok(self.run_reach(&walk, &spec))
+    }
+
+    /// Estimates the expected reward accumulated until first reaching
+    /// `target` (PRISM `R[F target]` semantics: the target state's reward
+    /// is not counted).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownRewardStructure`] for a bad structure name.
+    pub fn reach_reward(
+        &self,
+        d: &Dtmc,
+        structure: &str,
+        target: &[bool],
+    ) -> Result<RewardEstimate, SimError> {
+        let rmax = max_state_reward(d, structure)?;
+        Ok(self.run_reward(d, structure, rmax, self.opts.max_steps, Some(target)))
+    }
+
+    /// Estimates the expected reward accumulated over the first `k` steps
+    /// (PRISM `R[C<=k]` semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownRewardStructure`] for a bad structure name.
+    pub fn cumulative_reward(
+        &self,
+        d: &Dtmc,
+        structure: &str,
+        k: u64,
+    ) -> Result<RewardEstimate, SimError> {
+        let rmax = max_state_reward(d, structure)?;
+        Ok(self.run_reward(d, structure, rmax, k as usize, None))
+    }
+
+    /// Simulates a top-level `P ⋈ b [ψ]` or `R ⋈ c [·]` formula on a DTMC,
+    /// returning the estimate and the statistical verdict against the
+    /// bound.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Unsupported`] for formulas without a top-level
+    ///   quantitative operator.
+    /// * [`SimError::NestedOperator`] for nested quantitative operators.
+    /// * [`SimError::UnknownRewardStructure`] for bad structure names.
+    pub fn check_formula(&self, d: &Dtmc, formula: &StateFormula) -> Result<SimCheck, SimError> {
+        match formula {
+            StateFormula::Prob { op, bound, path, .. } => {
+                let estimate = self.path_probability(d, path)?;
+                let verdict = estimate.verdict(*op, *bound);
+                Ok(SimCheck::Probability { estimate, verdict, bound: *bound })
+            }
+            StateFormula::Reward { structure, op, bound, kind, .. } => {
+                let name = match structure {
+                    Some(s) => s.clone(),
+                    None => d
+                        .default_reward_structure()
+                        .map(|r| r.name().to_owned())
+                        .ok_or(SimError::Unsupported("reward query without a reward structure"))?,
+                };
+                let estimate = match kind {
+                    RewardKind::Reach(sub) => {
+                        let target = propositional_mask(d.num_states(), d.labeling(), sub)?;
+                        self.reach_reward(d, &name, &target)?
+                    }
+                    RewardKind::Cumulative(k) => self.cumulative_reward(d, &name, *k)?,
+                };
+                let verdict = estimate.verdict(*op, *bound);
+                Ok(SimCheck::Reward { estimate, verdict, bound: *bound })
+            }
+            _ => Err(SimError::Unsupported("a formula without a top-level P/R operator")),
+        }
+    }
+}
+
+fn max_state_reward(d: &Dtmc, structure: &str) -> Result<f64, SimError> {
+    let rs = d
+        .reward_structure(structure)
+        .map_err(|_| SimError::UnknownRewardStructure(structure.to_owned()))?;
+    let mut rmax = 0.0f64;
+    for s in 0..d.num_states() {
+        rmax = rmax.max(rs.state_reward(s));
+    }
+    Ok(rmax.max(f64::MIN_POSITIVE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_logic::parse_formula;
+    use tml_models::DtmcBuilder;
+
+    fn two_state(p: f64) -> Dtmc {
+        let mut b = DtmcBuilder::new(3);
+        b.transition(0, 1, p).unwrap();
+        b.transition(0, 2, 1.0 - p).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.transition(2, 2, 1.0).unwrap();
+        b.label(1, "goal").unwrap();
+        b.state_reward("cost", 0, 2.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_interval_brackets_truth() {
+        let d = two_state(0.7);
+        let sim = Simulator::new(SimOptions { trajectories: 20_000, ..Default::default() });
+        let phi = parse_formula("P>=0.5 [ F \"goal\" ]").unwrap();
+        let StateFormula::Prob { path, .. } = &phi else { unreachable!() };
+        let est = sim.path_probability(&d, path).unwrap();
+        assert_eq!(est.trajectories, 20_000);
+        assert_eq!(est.inconclusive, 0, "prob0 classification decides every trajectory");
+        assert!(est.interval.contains(0.7), "interval {:?}", est.interval);
+        assert_eq!(est.verdict(CmpOp::Ge, 0.5), Verdict::Corroborated);
+        assert_eq!(est.verdict(CmpOp::Ge, 0.99), Verdict::Refuted);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let d = two_state(0.4);
+        let phi = parse_formula("P>=0.5 [ F \"goal\" ]").unwrap();
+        let StateFormula::Prob { path, .. } = &phi else { unreachable!() };
+        let opts = SimOptions { trajectories: 5_000, batch_size: 64, ..Default::default() };
+        let a = Simulator::new(opts).path_probability(&d, path).unwrap();
+        let b = Simulator::new(opts).path_probability(&d, path).unwrap();
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.interval, b.interval);
+    }
+
+    #[test]
+    fn bounded_until_and_next_and_globally() {
+        let d = two_state(0.5);
+        let sim = Simulator::new(SimOptions { trajectories: 4_000, ..Default::default() });
+        let f = parse_formula("P>=0.4 [ X \"goal\" ]").unwrap();
+        let StateFormula::Prob { path, .. } = &f else { unreachable!() };
+        let est = sim.path_probability(&d, path).unwrap();
+        assert!(est.interval.contains(0.5), "{:?}", est.interval);
+
+        let f = parse_formula("P>=0.4 [ F<=1 \"goal\" ]").unwrap();
+        let StateFormula::Prob { path, .. } = &f else { unreachable!() };
+        let est = sim.path_probability(&d, path).unwrap();
+        assert!(est.interval.contains(0.5), "{:?}", est.interval);
+
+        // G !goal holds exactly when the first step goes to the sink.
+        let f = parse_formula("P>=0.4 [ G !\"goal\" ]").unwrap();
+        let StateFormula::Prob { path, .. } = &f else { unreachable!() };
+        let est = sim.path_probability(&d, path).unwrap();
+        assert_eq!(est.inconclusive, 0, "alive/dead classification decides G");
+        assert!(est.interval.contains(0.5), "{:?}", est.interval);
+    }
+
+    #[test]
+    fn reward_estimate_matches_geometric_mean() {
+        // From state 0 with self-less chain: E[visits of 0] = 1, cost 2.
+        let d = two_state(0.3);
+        let sim = Simulator::new(SimOptions { trajectories: 5_000, ..Default::default() });
+        let f = parse_formula("R{\"cost\"}<=3 [ C<=10 ]").unwrap();
+        let check = sim.check_formula(&d, &f).unwrap();
+        let SimCheck::Reward { estimate, verdict, .. } = &check else { unreachable!() };
+        assert!((estimate.mean - 2.0).abs() < 1e-9, "cost accrues exactly once: {}", estimate.mean);
+        assert_eq!(*verdict, Verdict::Corroborated);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_best_effort() {
+        let d = two_state(0.5);
+        let sim = Simulator::new(SimOptions { trajectories: 10_000, ..Default::default() })
+            .with_budget(Budget::unlimited().with_max_evaluations(100));
+        let f = parse_formula("P>=0.1 [ F \"goal\" ]").unwrap();
+        let StateFormula::Prob { path, .. } = &f else { unreachable!() };
+        let est = sim.path_probability(&d, path).unwrap();
+        assert!(est.trajectories <= 100);
+        assert_eq!(est.diagnostics.exhausted, Some(Exhaustion::Evaluations));
+        assert!(est.diagnostics.degraded());
+    }
+
+    #[test]
+    fn nested_operators_are_rejected() {
+        let d = two_state(0.5);
+        let sim = Simulator::new(SimOptions::default());
+        let f = parse_formula("P>=0.5 [ F (P>=0.5 [ X \"goal\" ]) ]").unwrap();
+        let StateFormula::Prob { path, .. } = &f else { unreachable!() };
+        assert_eq!(sim.path_probability(&d, path).unwrap_err(), SimError::NestedOperator);
+    }
+}

@@ -92,6 +92,11 @@ pub struct DataRepairOutcome {
     pub model: Option<Dtmc>,
     /// Whether the re-learned model was re-verified by the checker.
     pub verified: bool,
+    /// Whether a Monte Carlo simulation cross-check (when attached to the
+    /// pipeline; see `TmlPipeline::with_simulation_cross_check`) could not
+    /// refute the property on the returned model. `None` when no
+    /// cross-check ran or the property is outside the simulable fragment.
+    pub verified_by_simulation: Option<bool>,
     /// Optimizer evaluations spent.
     pub evaluations: usize,
     /// What the repair spent and which degradation paths (solver
@@ -199,6 +204,7 @@ impl DataRepair {
                 dropped_mass: 0.0,
                 model: Some(base),
                 verified: true,
+                verified_by_simulation: None,
                 evaluations: 0,
                 diagnostics: diag,
             });
@@ -300,6 +306,7 @@ impl DataRepair {
                 dropped_mass: dropped,
                 model: None,
                 verified: false,
+                verified_by_simulation: None,
                 evaluations: sol.evaluations,
                 diagnostics: diag,
             });
@@ -315,6 +322,7 @@ impl DataRepair {
             dropped_mass: dropped,
             model: Some(model),
             verified,
+            verified_by_simulation: None,
             evaluations: sol.evaluations,
             diagnostics: diag,
         })

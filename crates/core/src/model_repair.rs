@@ -45,6 +45,11 @@ pub struct ModelRepairOutcome<M = Dtmc> {
     /// Whether the returned model was independently re-verified against the
     /// property by the concrete checker.
     pub verified: bool,
+    /// Whether a Monte Carlo simulation cross-check (when one is attached
+    /// to the pipeline; see `TmlPipeline::with_simulation_cross_check`)
+    /// could not refute the property on the returned model. `None` when no
+    /// cross-check ran or the property is outside the simulable fragment.
+    pub verified_by_simulation: Option<bool>,
     /// Objective/constraint evaluations spent by the optimizer.
     pub evaluations: usize,
     /// What the repair spent and which degradation paths (solver
@@ -126,6 +131,7 @@ impl ModelRepair {
                 cost: 0.0,
                 model: Some(base.clone()),
                 verified: true,
+                verified_by_simulation: None,
                 evaluations: 0,
                 diagnostics: diag,
             });
@@ -178,6 +184,7 @@ impl ModelRepair {
                 cost: frobenius_cost(template, &sol.x),
                 model: None,
                 verified: false,
+                verified_by_simulation: None,
                 evaluations: sol.evaluations,
                 diagnostics: diag,
             });
@@ -193,6 +200,7 @@ impl ModelRepair {
             cost: frobenius_cost(template, &sol.x),
             model: Some(repaired),
             verified,
+            verified_by_simulation: None,
             evaluations: sol.evaluations,
             diagnostics: diag,
         })
@@ -229,6 +237,7 @@ impl ModelRepair {
                 cost: 0.0,
                 model: Some(base.clone()),
                 verified: true,
+                verified_by_simulation: None,
                 evaluations: 0,
                 diagnostics: diag,
             });
@@ -290,6 +299,7 @@ impl ModelRepair {
                 cost: template.cost(&sol.x),
                 model: None,
                 verified: false,
+                verified_by_simulation: None,
                 evaluations: sol.evaluations,
                 diagnostics: diag,
             });
@@ -305,6 +315,7 @@ impl ModelRepair {
             cost: template.cost(&sol.x),
             model: Some(repaired),
             verified,
+            verified_by_simulation: None,
             evaluations: sol.evaluations,
             diagnostics: diag,
         })

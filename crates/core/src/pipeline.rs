@@ -12,6 +12,9 @@
 //! 5. otherwise report that `φ` cannot be satisfied under the configured
 //!    feasibility classes.
 
+use std::fmt;
+use std::sync::Arc;
+
 use tml_checker::Checker;
 use tml_logic::StateFormula;
 use tml_models::{learn, Dtmc, MlOptions, TraceDataset};
@@ -32,6 +35,12 @@ pub enum TmlOutcome {
         model: Dtmc,
         /// What the verification spent.
         diagnostics: Diagnostics,
+        /// Result of the independent simulation cross-check, when one was
+        /// configured via [`TmlPipeline::with_simulation_cross_check`]:
+        /// `Some(true)` if simulation could not refute the property,
+        /// `Some(false)` if it refuted it, `None` if no hook was configured
+        /// or the property is outside the simulable fragment.
+        verified_by_simulation: Option<bool>,
     },
     /// Model Repair succeeded.
     ModelRepaired {
@@ -90,7 +99,24 @@ impl TmlOutcome {
     pub fn degraded(&self) -> bool {
         self.diagnostics().degraded()
     }
+
+    /// Result of the independent simulation cross-check on the concluding
+    /// model, when a hook was configured (see
+    /// [`TmlPipeline::with_simulation_cross_check`]).
+    pub fn verified_by_simulation(&self) -> Option<bool> {
+        match self {
+            TmlOutcome::Satisfied { verified_by_simulation, .. } => *verified_by_simulation,
+            TmlOutcome::ModelRepaired { outcome } => outcome.verified_by_simulation,
+            TmlOutcome::DataRepaired { outcome, .. } => outcome.verified_by_simulation,
+            TmlOutcome::Unrepairable { .. } => None,
+        }
+    }
 }
+
+/// Independent re-verification hook: given a candidate trusted model and
+/// the property, report `Some(acceptable)` or `None` when the check does
+/// not apply (e.g. the property is outside the hook's fragment).
+pub type SimulationCrossCheck = Arc<dyn Fn(&Dtmc, &StateFormula) -> Option<bool> + Send + Sync>;
 
 /// Configurable TML pipeline.
 ///
@@ -118,7 +144,7 @@ impl TmlOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TmlPipeline {
     spec: ModelSpec,
     formula: StateFormula,
@@ -126,6 +152,21 @@ pub struct TmlPipeline {
     template: Option<PerturbationTemplate>,
     data_repair: bool,
     budget: Budget,
+    cross_check: Option<SimulationCrossCheck>,
+}
+
+impl fmt::Debug for TmlPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TmlPipeline")
+            .field("spec", &self.spec)
+            .field("formula", &self.formula)
+            .field("opts", &self.opts)
+            .field("template", &self.template)
+            .field("data_repair", &self.data_repair)
+            .field("budget", &self.budget)
+            .field("cross_check", &self.cross_check.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl TmlPipeline {
@@ -139,6 +180,7 @@ impl TmlPipeline {
             template: None,
             data_repair: false,
             budget: Budget::unlimited(),
+            cross_check: None,
         }
     }
 
@@ -176,6 +218,21 @@ impl TmlPipeline {
         self
     }
 
+    /// Installs an independent re-verification hook that is run on every
+    /// concluding model (learned-and-satisfied, model-repaired or
+    /// data-repaired). Its answer is recorded as `verified_by_simulation`
+    /// on the outcome; it never changes the pipeline's control flow — a
+    /// refuting cross-check is a red flag for the *engines*, not for the
+    /// repair, and is surfaced to the caller to act on.
+    ///
+    /// The conformance layer provides a ready-made hook:
+    /// `tml_conformance::simulation_cross_check(trajectories, seed)`.
+    #[must_use]
+    pub fn with_simulation_cross_check(mut self, hook: SimulationCrossCheck) -> Self {
+        self.cross_check = Some(hook);
+        self
+    }
+
     /// Runs the pipeline on a dataset.
     ///
     /// # Errors
@@ -205,8 +262,17 @@ impl TmlPipeline {
             checker.check_dtmc(&model, &self.formula)?
         };
         diag.absorb(initial.diagnostics());
+        // Independent re-verification of whichever model concludes the
+        // pipeline (simulation-based when wired to the conformance layer).
+        let cross_check = |m: &Dtmc| {
+            self.cross_check.as_ref().and_then(|hook| {
+                let _s = span!("pipeline.cross_check");
+                hook(m, &self.formula)
+            })
+        };
         if initial.holds() {
-            return Ok(TmlOutcome::Satisfied { model, diagnostics: diag });
+            let verified_by_simulation = cross_check(&model);
+            return Ok(TmlOutcome::Satisfied { model, diagnostics: diag, verified_by_simulation });
         }
 
         // A repair stage concludes the pipeline when it produced a model;
@@ -220,11 +286,12 @@ impl TmlPipeline {
         let mut model_repair_status = None;
         if let Some(template) = &self.template {
             let _s = span!("pipeline.model_repair");
-            let out = ModelRepair::with_options(self.opts)
+            let mut out = ModelRepair::with_options(self.opts)
                 .with_budget(self.budget.clone())
                 .repair_dtmc(&model, &self.formula, template)?;
             model_repair_status = Some(out.status);
             if concludes(out.status) {
+                out.verified_by_simulation = out.model.as_ref().and_then(&cross_check);
                 return Ok(TmlOutcome::ModelRepaired { outcome: out });
             }
             diag.absorb(&out.diagnostics);
@@ -234,13 +301,12 @@ impl TmlPipeline {
         let mut data_repair_status = None;
         if self.data_repair {
             let _s = span!("pipeline.data_repair");
-            let out = DataRepair::with_options(self.opts).with_budget(self.budget.clone()).repair(
-                dataset,
-                &self.spec,
-                &self.formula,
-            )?;
+            let mut out = DataRepair::with_options(self.opts)
+                .with_budget(self.budget.clone())
+                .repair(dataset, &self.spec, &self.formula)?;
             data_repair_status = Some(out.status);
             if concludes(out.status) {
+                out.verified_by_simulation = out.model.as_ref().and_then(&cross_check);
                 return Ok(TmlOutcome::DataRepaired { outcome: out, model_repair_status });
             }
             diag.absorb(&out.diagnostics);
@@ -372,6 +438,46 @@ mod tests {
         }
         assert!(out.degraded());
         assert!(out.diagnostics().exhausted.is_some());
+    }
+
+    #[test]
+    fn simulation_cross_check_is_recorded_on_every_concluding_stage() {
+        // A deterministic stand-in hook: "re-verify" by checking the
+        // property holds in the model with a fresh checker.
+        let hook: SimulationCrossCheck = Arc::new(|model: &Dtmc, phi: &StateFormula| {
+            Checker::new().check_dtmc(model, phi).ok().map(|r| r.holds())
+        });
+
+        // Satisfied immediately.
+        let phi = parse_formula("P>=0.7 [ F \"goal\" ]").unwrap();
+        let out = TmlPipeline::new(spec(), phi.clone())
+            .with_simulation_cross_check(hook.clone())
+            .run(&dataset(8.0, 2.0))
+            .unwrap();
+        assert!(matches!(out, TmlOutcome::Satisfied { .. }));
+        assert_eq!(out.verified_by_simulation(), Some(true));
+
+        // Model repair concludes.
+        let out = TmlPipeline::new(spec(), phi.clone())
+            .with_model_repair(shift_template())
+            .with_simulation_cross_check(hook.clone())
+            .run(&dataset(5.0, 5.0))
+            .unwrap();
+        assert!(matches!(out, TmlOutcome::ModelRepaired { .. }));
+        assert_eq!(out.verified_by_simulation(), Some(true));
+
+        // Data repair concludes.
+        let out = TmlPipeline::new(spec(), phi.clone())
+            .with_data_repair()
+            .with_simulation_cross_check(hook)
+            .run(&dataset(5.0, 5.0))
+            .unwrap();
+        assert!(matches!(out, TmlOutcome::DataRepaired { .. }));
+        assert_eq!(out.verified_by_simulation(), Some(true));
+
+        // Without a hook, the field stays unset.
+        let out = TmlPipeline::new(spec(), phi).run(&dataset(8.0, 2.0)).unwrap();
+        assert_eq!(out.verified_by_simulation(), None);
     }
 
     #[test]

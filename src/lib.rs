@@ -20,6 +20,7 @@
 //! | [`irl`] | maximum-entropy inverse reinforcement learning |
 //! | [`repair`] | the paper's contribution: Model / Data / Reward repair + TML pipeline |
 //! | [`telemetry`] | structured tracing, metrics and profiling hooks (see DESIGN.md §9) |
+//! | `conformance` | seeded simulation, model generators, differential oracle (feature `test-support`; see DESIGN.md §10) |
 //! | [`wsn`] | wireless-sensor-network query-routing case study |
 //! | [`car`] | autonomous-car obstacle-avoidance case study |
 //!
@@ -52,6 +53,8 @@
 
 pub use tml_car as car;
 pub use tml_checker as checker;
+#[cfg(feature = "test-support")]
+pub use tml_conformance as conformance;
 pub use tml_core as repair;
 pub use tml_irl as irl;
 pub use tml_logic as logic;

@@ -1,0 +1,83 @@
+//! The checker's solver degradation chain, driven end to end on a
+//! near-singular chain from the shared generator library: Gauss–Seidel is
+//! starved of iterations so it stalls, the relaxed Jacobi retry stalls
+//! too, and the dense direct solve concludes — with every step recorded in
+//! the diagnostics and the final values matching an unconstrained direct
+//! solve.
+
+use tml_conformance::test_support::near_singular_dtmc;
+use trusted_ml::checker::{CheckOptions, Checker, LinearSolver};
+use trusted_ml::logic::parse_query;
+
+/// Options that force the full chain: Auto solver, a zero direct-solver
+/// limit (so the first attempt is iterative), an iteration budget far too
+/// small for a near-singular system, and a tolerance it cannot reach.
+fn starved() -> CheckOptions {
+    CheckOptions {
+        solver: LinearSolver::Auto,
+        direct_solver_limit: 0,
+        max_iterations: 10,
+        tolerance: 1e-14,
+        ..CheckOptions::default()
+    }
+}
+
+#[test]
+fn degradation_chain_falls_back_to_direct_and_matches_it() {
+    // Self-loop probabilities of 1 − δ with δ ~ 1e-4 make I − P nearly
+    // singular: ten sweeps cannot move the iterate anywhere near 1e-14.
+    // (Reachability itself is qualitative on this family — the goal is hit
+    // almost surely — so the expected-cost query is what actually solves
+    // the near-singular linear system.)
+    let d = near_singular_dtmc(17, 24);
+    let q = parse_query("R{\"cost\"}=? [ F \"goal\" ]").unwrap();
+
+    let (degraded, diag) =
+        Checker::with_options(starved()).query_dtmc_diag(&d, &q).expect("degraded solve succeeds");
+    let exact = Checker::with_options(CheckOptions {
+        solver: LinearSolver::Direct,
+        ..CheckOptions::default()
+    })
+    .query_dtmc(&d, &q)
+    .expect("direct solve succeeds");
+
+    // Both stalls are on record, in order.
+    assert_eq!(
+        diag.fallbacks.len(),
+        2,
+        "expected gs→jacobi and jacobi→direct fallbacks, got {:?}",
+        diag.fallbacks
+    );
+    assert!(
+        diag.fallbacks[0].contains("jacobi"),
+        "first fallback retries with jacobi: {:?}",
+        diag.fallbacks[0]
+    );
+    assert!(
+        diag.fallbacks[1].contains("directly"),
+        "second fallback is the dense direct solve: {:?}",
+        diag.fallbacks[1]
+    );
+    assert!(diag.degraded(), "a fallback chain marks the run degraded");
+
+    // The last-resort direct solve is exact, so the degraded run agrees
+    // with the explicitly-direct one to rounding (relative: the expected
+    // costs are of order 1/δ ≈ 1e4).
+    for s in 0..d.num_states() {
+        assert!(
+            (degraded[s] - exact[s]).abs() < 1e-9 * (1.0 + exact[s].abs()),
+            "state {s}: degraded {} vs direct {}",
+            degraded[s],
+            exact[s]
+        );
+    }
+}
+
+#[test]
+fn explicit_gauss_seidel_keeps_the_strict_error_contract() {
+    let d = near_singular_dtmc(17, 24);
+    let q = parse_query("R{\"cost\"}=? [ F \"goal\" ]").unwrap();
+    let opts = CheckOptions { solver: LinearSolver::GaussSeidel, ..starved() };
+    let err = Checker::with_options(opts).query_dtmc(&d, &q);
+    assert!(err.is_err(), "explicitly requested GS must error instead of degrading");
+}

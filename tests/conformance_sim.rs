@@ -1,0 +1,67 @@
+//! Statistical conformance of the Monte Carlo simulator against closed
+//! forms: on a two-state chain the empirical bounded-reachability estimate
+//! must land within the Hoeffding half-width of `1 − (1−p)^k`, at the
+//! simulator's stated confidence — and be bit-identical across runs.
+
+use proptest::prelude::*;
+use tml_conformance::test_support::{hoeffding_half_width, SimCheck, SimOptions, Simulator};
+use trusted_ml::logic::parse_formula;
+use trusted_ml::models::{Dtmc, DtmcBuilder};
+
+/// `0 → 1` with probability `p` per step, state 1 absorbing and labeled.
+fn two_state_chain(p: f64) -> Dtmc {
+    let mut b = DtmcBuilder::new(2);
+    b.transition(0, 1, p).unwrap();
+    b.transition(0, 0, 1.0 - p).unwrap();
+    b.transition(1, 1, 1.0).unwrap();
+    b.label(1, "goal").unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Empirical P(F<=k goal) converges to the geometric closed form
+    /// within the Hoeffding bound at the simulator's confidence level.
+    #[test]
+    fn bounded_reachability_matches_closed_form(
+        p in 0.05f64..0.95, k in 1u64..12, seed in 0u64..1_000_000,
+    ) {
+        let chain = two_state_chain(p);
+        let opts = SimOptions { trajectories: 4_000, seed, ..SimOptions::default() };
+        let sim = Simulator::new(opts);
+        let phi = parse_formula(&format!("P>=0.0 [ F<={k} \"goal\" ]")).unwrap();
+        let check = sim.check_formula(&chain, &phi).unwrap();
+        let SimCheck::Probability { estimate, .. } = &check else {
+            return Err(TestCaseError::fail("probability check expected"));
+        };
+        // Bounded queries always decide within the horizon: no trajectory
+        // is inconclusive, so the estimate is a plain Bernoulli mean.
+        prop_assert_eq!(estimate.inconclusive, 0);
+        let truth = 1.0 - (1.0 - p).powi(k as i32);
+        let slack = hoeffding_half_width(opts.trajectories, opts.alpha);
+        prop_assert!(
+            (estimate.interval.estimate - truth).abs() <= slack,
+            "p={} k={} seed={}: estimate {} vs closed form {} (slack {})",
+            p, k, seed, estimate.interval.estimate, truth, slack
+        );
+        // And the statistical interval brackets the truth at this
+        // confidence (the proptest sweep would expose systematic bias).
+        prop_assert!(estimate.interval.low <= truth + 1e-12);
+        prop_assert!(estimate.interval.high >= truth - 1e-12);
+    }
+
+    /// The simulator is a pure function of its seed: re-running the same
+    /// query yields the identical estimate, bit for bit.
+    #[test]
+    fn estimates_are_seed_deterministic(p in 0.1f64..0.9, seed in 0u64..1_000_000) {
+        let chain = two_state_chain(p);
+        let opts = SimOptions { trajectories: 1_000, seed, ..SimOptions::default() };
+        let phi = parse_formula("P>=0.5 [ F<=8 \"goal\" ]").unwrap();
+        let a = Simulator::new(opts).check_formula(&chain, &phi).unwrap();
+        let b = Simulator::new(opts).check_formula(&chain, &phi).unwrap();
+        prop_assert_eq!(a.interval().estimate.to_bits(), b.interval().estimate.to_bits());
+        prop_assert_eq!(a.interval().low.to_bits(), b.interval().low.to_bits());
+        prop_assert_eq!(a.interval().high.to_bits(), b.interval().high.to_bits());
+    }
+}

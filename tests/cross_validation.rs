@@ -2,33 +2,14 @@
 //! engine against the concrete checker, the MDP checker against induced
 //! DTMCs, and PCTL semantics against brute-force path enumeration.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+// The shared generator library replaces the ad-hoc helper this file used
+// to carry; `random_dtmc` is seed-compatible, so all the seeds below keep
+// producing the exact same chains.
+use tml_conformance::test_support::random_dtmc;
 use trusted_ml::checker::{dtmc as cdtmc, mdp as cmdp, CheckOptions, Checker};
 use trusted_ml::logic::{parse_formula, parse_query, Opt};
-use trusted_ml::models::{DtmcBuilder, MdpBuilder};
+use trusted_ml::models::MdpBuilder;
 use trusted_ml::parametric::ParametricDtmc;
-
-fn random_dtmc(seed: u64, n: usize) -> trusted_ml::models::Dtmc {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = DtmcBuilder::new(n);
-    for s in 0..n - 1 {
-        let t1 = rng.random_range(0..n);
-        let mut t2 = rng.random_range(0..n);
-        if t2 == t1 {
-            t2 = (t1 + 1) % n;
-        }
-        let p = rng.random_range(0.1..0.9);
-        b.transition(s, t1, p).unwrap();
-        b.transition(s, t2, 1.0 - p).unwrap();
-    }
-    b.transition(n - 1, n - 1, 1.0).unwrap();
-    b.label(n - 1, "goal").unwrap();
-    for s in 0..n - 1 {
-        b.state_reward("cost", s, 1.0 + (s as f64) * 0.5).unwrap();
-    }
-    b.build().unwrap()
-}
 
 /// Lifting a DTMC into a (trivially constant) parametric chain and running
 /// symbolic reachability reproduces the concrete checker on 20 random

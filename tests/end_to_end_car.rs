@@ -133,6 +133,55 @@ fn repaired_policy_chain_satisfies_pctl() {
     assert!(!res0.holds());
 }
 
+/// Simulation cross-check on the repaired controller: the induced chain is
+/// deterministic, so collision probability is exactly zero and the Monte
+/// Carlo verdicts are genuinely *corroborated* (the confidence interval
+/// sits strictly on the safe side of both bounds), not merely consistent.
+#[test]
+fn repaired_policy_chain_passes_simulation_cross_check() {
+    use tml_conformance::test_support::{SimCheck, SimOptions, Simulator, Verdict};
+    let mdp = car::build_mdp().unwrap();
+    let features = car::features().unwrap();
+    let irl = car::learn_reward(&mdp).unwrap();
+    let out = RewardRepair::new()
+        .q_constraint_repair(
+            &mdp,
+            &features,
+            &irl.theta,
+            &[car::q_repair_constraint()],
+            car::GAMMA,
+            3.0,
+        )
+        .unwrap();
+    assert_eq!(out.status, RepairStatus::Repaired);
+    let pi = car::greedy_policy(&mdp, &out.theta).unwrap();
+    let chain = DeterministicPolicy::new(pi).induce(&mdp).unwrap();
+
+    // Sanity: the exact collision probability really is zero, so the
+    // Corroborated assertions below are about the simulator, not luck.
+    let exact = Checker::new()
+        .query_dtmc(&chain, &trusted_ml::logic::parse_query("P=? [ F \"unsafe\" ]").unwrap())
+        .unwrap()[chain.initial_state()];
+    assert!(exact.abs() < 1e-12, "repaired chain reaches unsafe with P = {exact}");
+
+    let sim = Simulator::new(SimOptions { trajectories: 20_000, seed: 3, ..SimOptions::default() });
+    // 0 hits out of 20 000 puts the Wilson upper bound near 1.9e-3 at the
+    // simulator's 1e-9 confidence, safely inside a 1e-2 safety budget.
+    let safety = parse_formula("P<=0.01 [ F \"unsafe\" ]").unwrap();
+    let check = sim.check_formula(&chain, &safety).unwrap();
+    assert_eq!(check.verdict(), Verdict::Corroborated, "{check:?}");
+    let SimCheck::Probability { estimate, .. } = &check else {
+        panic!("probability check expected")
+    };
+    assert_eq!(estimate.hits, 0);
+    assert!(estimate.interval.high < 0.01, "CI upper {}", estimate.interval.high);
+
+    let reach = parse_formula("P>=0.99 [ !\"unsafe\" U \"goal\" ]").unwrap();
+    let check = sim.check_formula(&chain, &reach).unwrap();
+    assert_eq!(check.verdict(), Verdict::Corroborated, "{check:?}");
+    assert!(check.interval().low > 0.99, "CI lower {}", check.interval().low);
+}
+
 /// Value iteration under the expert-matching reward reproduces the expert's
 /// actions along the expert's own trajectory after repair.
 #[test]

@@ -248,6 +248,63 @@ fn tml_pipeline_on_wsn_traces() {
     assert!(outcome.is_trusted());
 }
 
+/// Every repair outcome of the case study survives an independent
+/// simulation cross-check: the Monte Carlo estimate of the repaired
+/// quantity cannot refute the bound the checker certified. The E2 repair
+/// is boundary-optimal (expected attempts land exactly on X = 40), so the
+/// acceptance criterion is "not refuted", never "corroborated".
+#[test]
+fn repair_outcomes_pass_simulation_cross_check() {
+    use tml_conformance::test_support::{SimCheck, SimOptions, Simulator};
+    let config = WsnConfig::default();
+    let chain = build_dtmc(&config).unwrap();
+    let property = attempts_property(40.0);
+    let out = ModelRepair::new()
+        .repair_dtmc(&chain, &property, &repair_template(&config).unwrap())
+        .unwrap();
+    assert!(out.verified);
+    let repaired = out.model.unwrap();
+
+    let sim = Simulator::new(SimOptions { trajectories: 20_000, seed: 7, ..SimOptions::default() });
+    let check = sim.check_formula(&repaired, &property).unwrap();
+    assert!(check.verdict().acceptable(), "simulation refuted the certified repair: {check:?}");
+    let SimCheck::Reward { estimate, .. } = &check else {
+        panic!("attempts property is a reward check");
+    };
+    // Delivery is almost sure and far faster than the step cap: every
+    // trajectory completes, so the mean is unbiased and must sit at the
+    // boundary the repair targeted (within sampling error).
+    assert_eq!(estimate.truncated, 0);
+    let analytic = expected_attempts(&repaired, config.source());
+    let rel = (estimate.mean - analytic).abs() / analytic;
+    assert!(rel < 0.05, "simulated {} vs analytic {analytic}", estimate.mean);
+    assert!(estimate.mean <= 40.0 * 1.05, "mean {} strays past the bound", estimate.mean);
+}
+
+/// The pipeline's simulation cross-check hook, wired to the real
+/// conformance simulator, corroborates the data-repaired WSN model
+/// end to end.
+#[test]
+fn tml_pipeline_simulation_cross_check_on_wsn() {
+    use trusted_ml::repair::pipeline::{TmlOutcome, TmlPipeline};
+    let config = WsnConfig::default();
+    let dataset = generate_traces(&config, 120, 40.0, 42).unwrap();
+    let spec = model_spec(&config);
+    let outcome = TmlPipeline::new(spec, attempts_property(19.0))
+        .with_data_repair()
+        .with_simulation_cross_check(tml_conformance::simulation_cross_check(8_000, 11))
+        .run(&dataset)
+        .unwrap();
+    match &outcome {
+        TmlOutcome::DataRepaired { outcome, .. } => {
+            assert!(outcome.verified);
+            assert_eq!(outcome.verified_by_simulation, Some(true));
+        }
+        other => panic!("expected data repair to fire, got {other:?}"),
+    }
+    assert_eq!(outcome.verified_by_simulation(), Some(true));
+}
+
 /// Proposition 1 instrumentation on the real WSN repair: the repaired
 /// model's perturbation radius matches the optimizer's parameters and the
 /// reachability deviation is bounded.

@@ -111,6 +111,37 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same bracketing invariant on the shared seeded generator
+    /// (`tml_conformance::gen::random_mdp`), which reaches larger models
+    /// and denser branching than the inline strategy above.
+    #[test]
+    fn generated_mdp_optima_bracket_uniform_policy(
+        seed in 0u64..1024, n in 3usize..9, max_choices in 1usize..4,
+    ) {
+        use tml_conformance::test_support::random_mdp;
+        use trusted_ml::checker::{dtmc as cdtmc, mdp as cmdp, CheckOptions};
+        use trusted_ml::logic::Opt;
+        use trusted_ml::models::StochasticPolicy;
+        let m = random_mdp(seed, n, max_choices);
+        let opts = CheckOptions::default();
+        let phi = vec![true; n];
+        let target = m.labeling().mask("goal");
+        let pmax = cmdp::until_probabilities(&m, &phi, &target, Opt::Max, &opts).unwrap();
+        let pmin = cmdp::until_probabilities(&m, &phi, &target, Opt::Min, &opts).unwrap();
+        let uniform = StochasticPolicy::uniform(&m).induce(&m).unwrap();
+        let pu = cdtmc::until_probabilities(&uniform, &phi, &target, &opts).unwrap();
+        for s in 0..n {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pmax[s]));
+            prop_assert!(pmin[s] <= pmax[s] + 1e-9, "state {}", s);
+            prop_assert!(pmin[s] - 1e-7 <= pu[s] && pu[s] <= pmax[s] + 1e-7,
+                "state {}: {} not in [{}, {}]", s, pu[s], pmin[s], pmax[s]);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// On random MDPs: Pmin ≤ Pmax everywhere, both in [0,1], and the
