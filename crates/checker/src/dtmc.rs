@@ -428,20 +428,26 @@ fn solve_restricted(
     let _span = tml_telemetry::span!("checker.linear_solve", states = m);
     if opts.use_direct(m) {
         tml_telemetry::counter!("checker.direct_solves", 1);
-        return solve_direct_dense(triplets, b, m);
+        let sol = solve_direct_dense(triplets, b, m);
+        run.record_backend("direct", sol.is_ok());
+        return sol;
     }
     let a = CsrMatrix::from_triplets(m, m, triplets)?;
     let iter_opts = IterOptions { tolerance: opts.tolerance, max_iterations: opts.max_iterations };
     let gs = gauss_seidel_budgeted(&a, b, &vec![0.0; m], iter_opts, &run.remaining_budget())?;
     run.spend(gs.iterations as u64);
     if gs.converged {
+        run.record_backend("gauss-seidel", true);
         return Ok(gs.x);
     }
     if let Some(cause) = gs.stopped {
+        // Budget exhaustion is the caller's cap, not a backend fault — it
+        // must not count against the backend's circuit-breaker health.
         run.mark_exhausted(cause);
         run.record_residual(gs.delta);
         return Ok(gs.x);
     }
+    run.record_backend("gauss-seidel", false);
     if opts.solver == LinearSolver::GaussSeidel {
         // Explicitly requested solver: keep the strict error contract.
         return Err(
@@ -459,6 +465,7 @@ fn solve_restricted(
     let jac = jacobi_budgeted(&a, b, &gs.x, relaxed, &run.remaining_budget())?;
     run.spend(jac.iterations as u64);
     if jac.converged {
+        run.record_backend("jacobi", true);
         run.record_residual(jac.delta);
         return Ok(jac.x);
     }
@@ -468,11 +475,14 @@ fn solve_restricted(
         run.record_residual(best.delta);
         return Ok(best.x);
     }
+    run.record_backend("jacobi", false);
     // Jacobi stalled too: last resort is a dense direct solve for systems
     // of manageable size, otherwise the best iterate seen.
     if m <= opts.direct_solver_limit.max(LAST_RESORT_DIRECT_LIMIT) {
         run.record_fallback("jacobi stalled; solving directly (dense gaussian elimination)");
-        return solve_direct_dense(triplets, b, m);
+        let sol = solve_direct_dense(triplets, b, m);
+        run.record_backend("direct", sol.is_ok());
+        return sol;
     }
     let best = best_iterate(gs, jac);
     run.record_fallback(format!(

@@ -54,6 +54,15 @@ impl<'a> CheckRun<'a> {
         self.diag.borrow_mut().record_fallback(event);
     }
 
+    /// Records one backend attempt (`checker.backend.<name>.<ok|fail>`), both
+    /// to the live subscriber and into this run's diagnostics snapshot —
+    /// callers feeding circuit breakers read the latter off `Diagnostics`.
+    pub(crate) fn record_backend(&self, backend: &str, ok: bool) {
+        let name = format!("checker.backend.{backend}.{}", if ok { "ok" } else { "fail" });
+        tml_telemetry::counter!(name.as_str(), 1);
+        self.diag.borrow_mut().telemetry.incr(&name, 1);
+    }
+
     pub(crate) fn record_residual(&self, residual: f64) {
         self.diag.borrow_mut().record_residual(residual);
     }

@@ -8,6 +8,8 @@
 //! tml query    MODEL.tml 'Rmax=? [ F "done" ]'
 //! tml simulate MODEL.tml [STEPS] [SEED]
 //! tml witness  MODEL.tml goal
+//! tml batch    32 --journal batch.jsonl --report report.jsonl
+//! tml batch    --resume batch.jsonl --report report.jsonl
 //! ```
 //!
 //! Every command accepts `--trace-json PATH` (stream a `tml-trace/v1`
@@ -48,6 +50,12 @@ const USAGE: &str = "usage:
   tml simulate MODEL [STEPS] [SEED]
                                 sample one trajectory (MDPs use the uniform policy)
   tml witness  MODEL LABEL      most probable path to a LABEL state (DTMCs)
+  tml batch    COUNT            run COUNT seeded learn/verify/repair jobs with
+                                per-job isolation, retries and a write-ahead
+                                journal (schema tml-journal/v1)
+  tml batch    --resume JOURNAL continue an interrupted batch from its journal;
+                                the final report is byte-identical to an
+                                uninterrupted run
   tml help                      print this help
 
 global options:
@@ -68,7 +76,20 @@ options (check/query):
 options (check):
   --simulate N       cross-check the verdict with N seeded Monte Carlo
                      trajectories (DTMC models; prints the confidence
-                     interval and whether it corroborates the checker)";
+                     interval and whether it corroborates the checker)
+
+options (batch):
+  --corpus-seed S    seed deriving every job (default 0)
+  --journal PATH     write-ahead journal file (flushed per record; required
+                     for --resume and --kill-after)
+  --report PATH      write the deterministic final report here (default:
+                     printed to stdout)
+  --retries N        attempts per job before it is reported failed (default 3)
+  --workers N        worker threads (default 2; the report does not depend
+                     on this)
+  --chaos SPEC       deterministic fault plan, e.g. 'panic=0.2,nan=0.1,seed=7'
+  --kill-after N     simulate a crash: exit(137) after N jobs conclude
+  --resume JOURNAL   replay a journal and finish the interrupted batch";
 
 #[derive(Debug)]
 struct UsageError(String);
@@ -86,6 +107,34 @@ struct CliOptions {
     metrics: bool,
     help: bool,
     simulate: Option<u64>,
+    batch: BatchFlags,
+}
+
+/// Flags specific to `tml batch`.
+struct BatchFlags {
+    corpus_seed: u64,
+    journal: Option<String>,
+    report: Option<String>,
+    retries: u32,
+    workers: u32,
+    chaos: Option<String>,
+    kill_after: Option<u64>,
+    resume: Option<String>,
+}
+
+impl Default for BatchFlags {
+    fn default() -> Self {
+        BatchFlags {
+            corpus_seed: 0,
+            journal: None,
+            report: None,
+            retries: 3,
+            workers: 2,
+            chaos: None,
+            kill_after: None,
+            resume: None,
+        }
+    }
 }
 
 /// Runs the CLI; the `Ok` value is the process exit code (0 success,
@@ -126,6 +175,7 @@ fn dispatch(args: &[String], opts: &CliOptions) -> Result<u8, UsageError> {
         )
         .map(|()| 0),
         "witness" => witness(arg(args, 1, "MODEL")?, arg(args, 2, "LABEL")?).map(|()| 0),
+        "batch" => batch(args.get(1).map(String::as_str), &opts.batch),
         other => Err(UsageError(format!("unknown command {other:?}"))),
     }
 }
@@ -141,6 +191,7 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
         metrics: false,
         help: false,
         simulate: None,
+        batch: BatchFlags::default(),
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -168,6 +219,46 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
                     .parse()
                     .map_err(|_| UsageError("--max-evals must be an integer".into()))?;
                 opts.budget = opts.budget.with_max_evaluations(n);
+            }
+            "--corpus-seed" => {
+                opts.batch.corpus_seed = parse_num(it.next(), "--corpus-seed")?;
+            }
+            "--retries" => {
+                let n: u32 = parse_num(it.next(), "--retries")?;
+                if n == 0 {
+                    return Err(UsageError("--retries needs at least one attempt".into()));
+                }
+                opts.batch.retries = n;
+            }
+            "--workers" => {
+                let n: u32 = parse_num(it.next(), "--workers")?;
+                if n == 0 {
+                    return Err(UsageError("--workers needs at least one thread".into()));
+                }
+                opts.batch.workers = n;
+            }
+            "--kill-after" => {
+                let n: u64 = parse_num(it.next(), "--kill-after")?;
+                if n == 0 {
+                    return Err(UsageError("--kill-after needs at least one job".into()));
+                }
+                opts.batch.kill_after = Some(n);
+            }
+            "--journal" => {
+                let path = it.next().ok_or_else(|| UsageError("--journal needs a path".into()))?;
+                opts.batch.journal = Some(path.clone());
+            }
+            "--report" => {
+                let path = it.next().ok_or_else(|| UsageError("--report needs a path".into()))?;
+                opts.batch.report = Some(path.clone());
+            }
+            "--chaos" => {
+                let spec = it.next().ok_or_else(|| UsageError("--chaos needs a spec".into()))?;
+                opts.batch.chaos = Some(spec.clone());
+            }
+            "--resume" => {
+                let path = it.next().ok_or_else(|| UsageError("--resume needs a path".into()))?;
+                opts.batch.resume = Some(path.clone());
             }
             "--simulate" => {
                 let n: u64 = it
@@ -209,6 +300,13 @@ fn install_telemetry(opts: &CliOptions) -> Result<Option<Arc<Subscriber>>, Usage
         return Err(UsageError("a telemetry subscriber is already installed".into()));
     }
     Ok(Some(sub))
+}
+
+fn parse_num<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> Result<T, UsageError> {
+    value
+        .ok_or_else(|| UsageError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| UsageError(format!("{flag} must be a non-negative integer")))
 }
 
 fn arg<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, UsageError> {
@@ -368,6 +466,111 @@ fn witness(path: &str, label: &str) -> Result<(), UsageError> {
             Ok(())
         }
     }
+}
+
+/// `tml batch`: run (or resume) a crash-consistent batch of seeded
+/// learn/verify/repair jobs. See `tml_runtime` for the executor and
+/// DESIGN.md §11 for the journal format and the resume contract.
+fn batch(count: Option<&str>, flags: &BatchFlags) -> Result<u8, UsageError> {
+    use tml_runtime::journal::{parse_journal, render_report, Journal};
+    use tml_runtime::{run_batch, BatchOptions, ChaosSpec};
+
+    if flags.kill_after.is_some() && flags.journal.is_none() {
+        return Err(UsageError(
+            "--kill-after needs --journal (there is nothing to resume from otherwise)".into(),
+        ));
+    }
+
+    // Resolve the options either from flags (fresh run) or from the
+    // journal's meta record (resume — no flags need repeating).
+    let (mut opts, resume_state) = match &flags.resume {
+        Some(path) => {
+            if count.is_some() {
+                return Err(UsageError(
+                    "--resume takes the job count from the journal; drop COUNT".into(),
+                ));
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| UsageError(format!("cannot read journal {path:?}: {e}")))?;
+            let state = parse_journal(&text).map_err(UsageError)?;
+            let cfg = &state.config;
+            let mut opts = BatchOptions::new(cfg.corpus_seed, cfg.jobs);
+            opts.retry.max_attempts = cfg.max_attempts;
+            opts.workers = cfg.workers;
+            opts.chaos = match &cfg.chaos {
+                Some(spec) => Some(ChaosSpec::parse(spec).map_err(UsageError)?),
+                None => None,
+            };
+            (opts, Some(state))
+        }
+        None => {
+            let count: u64 = count
+                .ok_or_else(|| UsageError("missing COUNT argument".into()))?
+                .parse()
+                .map_err(|_| UsageError("COUNT must be a positive integer".into()))?;
+            if count == 0 {
+                return Err(UsageError("COUNT must be a positive integer".into()));
+            }
+            let mut opts = BatchOptions::new(flags.corpus_seed, count);
+            opts.retry.max_attempts = flags.retries;
+            opts.workers = flags.workers;
+            opts.chaos = match &flags.chaos {
+                Some(spec) => Some(ChaosSpec::parse(spec).map_err(UsageError)?),
+                None => None,
+            };
+            (opts, None)
+        }
+    };
+    opts.kill_after = flags.kill_after;
+    opts.hard_kill = flags.kill_after.is_some();
+    let config = opts.config();
+
+    let outcomes = if resume_state.as_ref().is_some_and(|s| s.complete) {
+        // Nothing to re-run: the journal already holds the whole batch.
+        resume_state.as_ref().map(|s| s.outcomes.clone()).unwrap_or_default()
+    } else {
+        // A fresh run creates its journal; a resume appends to it. With no
+        // --journal the WAL lives (uselessly but harmlessly) in memory.
+        let result = match (&flags.resume, &flags.journal) {
+            (Some(path), _) | (None, Some(path)) => {
+                let file = if resume_state.is_some() {
+                    std::fs::OpenOptions::new().append(true).open(path)
+                } else {
+                    std::fs::File::create(path)
+                }
+                .map_err(|e| UsageError(format!("cannot open journal {path:?}: {e}")))?;
+                let journal = match &resume_state {
+                    Some(state) => Journal::reopen(file, state.outcomes.len() as u64),
+                    None => Journal::create(file, &config),
+                }
+                .map_err(|e| UsageError(format!("cannot write journal {path:?}: {e}")))?;
+                run_batch(&opts, &journal, resume_state.as_ref())
+            }
+            (None, None) => {
+                let journal = Journal::create(Vec::new(), &config)
+                    .map_err(|e| UsageError(format!("journal: {e}")))?;
+                run_batch(&opts, &journal, None)
+            }
+        }
+        .map_err(|e| UsageError(format!("journal write failed: {e}")))?;
+        result.outcomes
+    };
+
+    let report = render_report(&config, &outcomes);
+    match &flags.report {
+        Some(path) => std::fs::write(path, &report)
+            .map_err(|e| UsageError(format!("cannot write report {path:?}: {e}")))?,
+        None => print!("{report}"),
+    }
+
+    let failed = outcomes.iter().filter(|o| o.status == tml_runtime::JobStatus::Failed).count();
+    let retries: u64 = outcomes.iter().map(|o| u64::from(o.attempts.saturating_sub(1))).sum();
+    eprintln!(
+        "batch: {} jobs concluded ({failed} failed, {retries} retries){}",
+        outcomes.len(),
+        if resume_state.is_some() { " [resumed]" } else { "" },
+    );
+    Ok(0)
 }
 
 #[cfg(test)]

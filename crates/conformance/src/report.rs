@@ -14,7 +14,8 @@
 
 use std::io::{self, Write};
 
-use tml_telemetry::json::{self, write_f64, write_string, Value};
+use tml_telemetry::json::{self, write_string, Value};
+use tml_telemetry::jsonl::{schema, LineBuilder};
 
 use crate::oracle::SeedOutcome;
 
@@ -30,20 +31,20 @@ pub fn write_meta(
     trajectories: u64,
     injected: bool,
 ) -> io::Result<()> {
-    let mut line = String::from("{\"type\":\"meta\",\"schema\":\"tml-conformance/v1\",\"seeds\":");
-    write_string(&mut line, seeds);
-    line.push_str(",\"families\":[");
+    let mut family_list = String::from("[");
     for (i, f) in families.iter().enumerate() {
         if i > 0 {
-            line.push(',');
+            family_list.push(',');
         }
-        write_string(&mut line, f);
+        write_string(&mut family_list, f);
     }
-    line.push_str("],\"trajectories\":");
-    line.push_str(&trajectories.to_string());
-    line.push_str(",\"injected\":");
-    line.push_str(if injected { "true" } else { "false" });
-    line.push('}');
+    family_list.push(']');
+    let line = LineBuilder::meta(schema::CONFORMANCE)
+        .str("seeds", seeds)
+        .raw("families", &family_list)
+        .u64("trajectories", trajectories)
+        .bool("injected", injected)
+        .finish();
     writeln!(out, "{line}")
 }
 
@@ -54,52 +55,31 @@ pub fn write_meta(
 /// Propagates I/O errors from `out`.
 pub fn write_seed(out: &mut dyn Write, outcome: &SeedOutcome) -> io::Result<()> {
     for check in &outcome.checks {
-        let mut line = String::from("{\"type\":\"check\",\"pair\":");
-        write_string(&mut line, check.pair.name());
-        line.push_str(",\"family\":");
-        match check.family {
-            Some(f) => write_string(&mut line, f.name()),
-            None => line.push_str("null"),
-        }
-        line.push_str(",\"seed\":");
-        line.push_str(&check.seed.to_string());
-        line.push_str(",\"agreed\":");
-        line.push_str(if check.agreed { "true" } else { "false" });
-        line.push_str(",\"detail\":");
-        write_string(&mut line, &check.detail);
-        line.push('}');
+        let line = LineBuilder::record("check")
+            .str("pair", check.pair.name())
+            .opt_str("family", check.family.map(|f| f.name()))
+            .u64("seed", check.seed)
+            .bool("agreed", check.agreed)
+            .str("detail", &check.detail)
+            .finish();
         writeln!(out, "{line}")?;
     }
     for d in &outcome.disagreements {
-        let mut line = String::from("{\"type\":\"disagreement\",\"pair\":");
-        write_string(&mut line, d.pair.name());
-        line.push_str(",\"family\":");
-        match d.family {
-            Some(f) => write_string(&mut line, f.name()),
-            None => line.push_str("null"),
-        }
-        line.push_str(",\"seed\":");
-        line.push_str(&d.seed.to_string());
-        line.push_str(",\"num_states\":");
-        line.push_str(&d.num_states.to_string());
-        line.push_str(",\"lhs\":");
-        write_f64(&mut line, d.lhs);
-        line.push_str(",\"rhs\":");
-        write_f64(&mut line, d.rhs);
-        line.push_str(",\"delta\":");
-        write_f64(&mut line, d.delta);
+        let mut line = LineBuilder::record("disagreement")
+            .str("pair", d.pair.name())
+            .opt_str("family", d.family.map(|f| f.name()))
+            .u64("seed", d.seed)
+            .u64("num_states", d.num_states as u64)
+            .f64("lhs", d.lhs)
+            .f64("rhs", d.rhs)
+            .f64("delta", d.delta);
         if let Some(s) = &d.shrunk {
-            line.push_str(",\"shrunk_states\":");
-            line.push_str(&s.num_states.to_string());
-            line.push_str(",\"shrunk_edges\":");
-            line.push_str(&s.num_edges.to_string());
-            line.push_str(",\"shrunk_delta\":");
-            write_f64(&mut line, s.delta);
+            line = line
+                .u64("shrunk_states", s.num_states as u64)
+                .u64("shrunk_edges", s.num_edges as u64)
+                .f64("shrunk_delta", s.delta);
         }
-        line.push_str(",\"detail\":");
-        write_string(&mut line, &d.detail);
-        line.push('}');
-        writeln!(out, "{line}")?;
+        writeln!(out, "{}", line.str("detail", &d.detail).finish())?;
     }
     Ok(())
 }
@@ -115,11 +95,12 @@ pub fn write_summary(
     disagreements: u64,
     elapsed_ms: u64,
 ) -> io::Result<()> {
-    writeln!(
-        out,
-        "{{\"type\":\"summary\",\"checks\":{checks},\"disagreements\":{disagreements},\
-         \"elapsed_ms\":{elapsed_ms}}}"
-    )
+    let line = LineBuilder::record("summary")
+        .u64("checks", checks)
+        .u64("disagreements", disagreements)
+        .u64("elapsed_ms", elapsed_ms)
+        .finish();
+    writeln!(out, "{line}")
 }
 
 /// Summary statistics recovered from a report (for tests and CI gating).
@@ -163,7 +144,7 @@ pub fn parse_report(text: &str) -> Result<ReportSummary, String> {
                     return Err(format!("line {}: meta must be the first line", i + 1));
                 }
                 out.schema_ok =
-                    obj.get("schema").and_then(Value::as_str) == Some("tml-conformance/v1");
+                    obj.get("schema").and_then(Value::as_str) == Some(schema::CONFORMANCE);
             }
             "check" => out.checks += 1,
             "disagreement" => out.disagreements += 1,

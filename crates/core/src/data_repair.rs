@@ -99,6 +99,10 @@ pub struct DataRepairOutcome {
     pub verified_by_simulation: Option<bool>,
     /// Optimizer evaluations spent.
     pub evaluations: usize,
+    /// The best keep-weight point the penalty solver reached, regardless of
+    /// feasibility — a warm start for a retry of the same job (see
+    /// [`DataRepair::start_from`]). `None` when no solver ran.
+    pub solver_point: Option<Vec<f64>>,
     /// What the repair spent and which degradation paths (solver
     /// fallbacks, accepted residuals, budget exhaustion) were taken.
     pub diagnostics: Diagnostics,
@@ -117,6 +121,7 @@ pub struct DataRepair {
     /// data that must be kept (the paper's "certain pᵢ values must be 1").
     class_bounds: Vec<(String, f64, f64)>,
     budget: Budget,
+    warm_starts: Vec<Vec<f64>>,
 }
 
 impl Default for DataRepair {
@@ -126,6 +131,7 @@ impl Default for DataRepair {
             min_keep: 1e-3,
             class_bounds: Vec::new(),
             budget: Budget::unlimited(),
+            warm_starts: Vec::new(),
         }
     }
 }
@@ -173,6 +179,17 @@ impl DataRepair {
         self.class_bound(class, 1.0, 1.0)
     }
 
+    /// Adds a warm-start point for the penalty solver, tried after the
+    /// built-in "keep everything" start but before random restarts.
+    /// Retrying runtimes feed the previous attempt's
+    /// [`DataRepairOutcome::solver_point`] back through this so a retry
+    /// resumes the search instead of repeating it.
+    #[must_use]
+    pub fn start_from(mut self, w: Vec<f64>) -> Self {
+        self.warm_starts.push(w);
+        self
+    }
+
     /// Runs data repair: find class keep-weights such that the model
     /// re-learned from the re-weighted dataset satisfies `formula`.
     ///
@@ -206,6 +223,7 @@ impl DataRepair {
                 verified: true,
                 verified_by_simulation: None,
                 evaluations: 0,
+                solver_point: None,
                 diagnostics: diag,
             });
         }
@@ -288,10 +306,13 @@ impl DataRepair {
             Err(other) => return Err(other),
         }
 
-        // Start from "keep everything".
+        // Start from "keep everything", then any caller-provided points.
         let mut solver =
             PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
         solver.start_from(vec![1.0; g]);
+        for w in &self.warm_starts {
+            solver.start_from(w.clone());
+        }
         let sol = solver.solve(&nlp)?;
         absorb_solution(&mut diag, &sol);
         let keep_weights: Vec<(String, f64)> =
@@ -308,6 +329,7 @@ impl DataRepair {
                 verified: false,
                 verified_by_simulation: None,
                 evaluations: sol.evaluations,
+                solver_point: Some(sol.x.clone()),
                 diagnostics: diag,
             });
         }
@@ -324,6 +346,7 @@ impl DataRepair {
             verified,
             verified_by_simulation: None,
             evaluations: sol.evaluations,
+            solver_point: Some(sol.x.clone()),
             diagnostics: diag,
         })
     }

@@ -52,6 +52,10 @@ pub struct ModelRepairOutcome<M = Dtmc> {
     pub verified_by_simulation: Option<bool>,
     /// Objective/constraint evaluations spent by the optimizer.
     pub evaluations: usize,
+    /// The best parameter point the penalty solver reached, regardless of
+    /// feasibility — a warm start for a retry of the same job (see
+    /// [`ModelRepair::start_from`]). `None` when no solver ran.
+    pub solver_point: Option<Vec<f64>>,
     /// What the repair spent and which degradation paths (solver
     /// fallbacks, accepted residuals, budget exhaustion) were taken.
     pub diagnostics: Diagnostics,
@@ -73,6 +77,7 @@ pub struct ModelRepairOutcome<M = Dtmc> {
 pub struct ModelRepair {
     opts: RepairOptions,
     budget: Budget,
+    warm_starts: Vec<Vec<f64>>,
 }
 
 impl ModelRepair {
@@ -83,7 +88,7 @@ impl ModelRepair {
 
     /// A repairer with explicit options.
     pub fn with_options(opts: RepairOptions) -> Self {
-        ModelRepair { opts, budget: Budget::unlimited() }
+        ModelRepair { opts, budget: Budget::unlimited(), warm_starts: Vec::new() }
     }
 
     /// Bounds the whole repair — checker runs and optimizer included — by
@@ -99,6 +104,16 @@ impl ModelRepair {
     /// The configured budget.
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Adds a warm-start point for the penalty solver, tried before its
+    /// deterministic random restarts. Retrying runtimes feed the previous
+    /// attempt's [`ModelRepairOutcome::solver_point`] back through this so
+    /// a retry resumes the search instead of repeating it.
+    #[must_use]
+    pub fn start_from(mut self, x: Vec<f64>) -> Self {
+        self.warm_starts.push(x);
+        self
     }
 
     /// Repairs a DTMC (Definition 1 / Proposition 2).
@@ -133,6 +148,7 @@ impl ModelRepair {
                 verified: true,
                 verified_by_simulation: None,
                 evaluations: 0,
+                solver_point: None,
                 diagnostics: diag,
             });
         }
@@ -171,7 +187,11 @@ impl ModelRepair {
         }
         drop(compile_span);
 
-        let solver = PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
+        let mut solver =
+            PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
+        for w in &self.warm_starts {
+            solver.start_from(w.clone());
+        }
         let sol = {
             let _s = span!("model_repair.solve");
             solver.solve(&nlp)?
@@ -186,6 +206,7 @@ impl ModelRepair {
                 verified: false,
                 verified_by_simulation: None,
                 evaluations: sol.evaluations,
+                solver_point: Some(sol.x.clone()),
                 diagnostics: diag,
             });
         }
@@ -202,6 +223,7 @@ impl ModelRepair {
             verified,
             verified_by_simulation: None,
             evaluations: sol.evaluations,
+            solver_point: Some(sol.x.clone()),
             diagnostics: diag,
         })
     }
@@ -239,6 +261,7 @@ impl ModelRepair {
                 verified: true,
                 verified_by_simulation: None,
                 evaluations: 0,
+                solver_point: None,
                 diagnostics: diag,
             });
         }
@@ -286,7 +309,11 @@ impl ModelRepair {
             });
         }
         drop(compile_span);
-        let solver = PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
+        let mut solver =
+            PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
+        for w in &self.warm_starts {
+            solver.start_from(w.clone());
+        }
         let sol = {
             let _s = span!("model_repair.solve");
             solver.solve(&nlp)?
@@ -301,6 +328,7 @@ impl ModelRepair {
                 verified: false,
                 verified_by_simulation: None,
                 evaluations: sol.evaluations,
+                solver_point: Some(sol.x.clone()),
                 diagnostics: diag,
             });
         }
@@ -317,6 +345,7 @@ impl ModelRepair {
             verified,
             verified_by_simulation: None,
             evaluations: sol.evaluations,
+            solver_point: Some(sol.x.clone()),
             diagnostics: diag,
         })
     }

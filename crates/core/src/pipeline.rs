@@ -118,6 +118,59 @@ impl TmlOutcome {
 /// not apply (e.g. the property is outside the hook's fragment).
 pub type SimulationCrossCheck = Arc<dyn Fn(&Dtmc, &StateFormula) -> Option<bool> + Send + Sync>;
 
+/// The pipeline's stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// Maximum-likelihood learning from the trace dataset.
+    Learn,
+    /// Initial verification of the learned model.
+    Verify,
+    /// The Model Repair stage.
+    ModelRepair,
+    /// The Data Repair stage.
+    DataRepair,
+}
+
+impl PipelineStage {
+    /// Stable lowercase name (journal/report wire form).
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStage::Learn => "learn",
+            PipelineStage::Verify => "verify",
+            PipelineStage::ModelRepair => "model_repair",
+            PipelineStage::DataRepair => "data_repair",
+        }
+    }
+
+    /// Parses a name produced by [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "learn" => Some(PipelineStage::Learn),
+            "verify" => Some(PipelineStage::Verify),
+            "model_repair" => Some(PipelineStage::ModelRepair),
+            "data_repair" => Some(PipelineStage::DataRepair),
+            _ => None,
+        }
+    }
+}
+
+/// Progress report fired by [`TmlPipeline::run`] after each stage
+/// completes, carrying whatever restart state the stage produced.
+#[derive(Debug, Clone)]
+pub struct PipelineCheckpoint {
+    /// The stage that just completed.
+    pub stage: PipelineStage,
+    /// The best solver point the stage's optimizer reached (`None` for
+    /// stages that run no optimizer). Feeding it back through
+    /// [`TmlPipeline::with_warm_start`] lets a retry resume the search.
+    pub solver_point: Option<Vec<f64>>,
+}
+
+/// Observer invoked synchronously on the pipeline thread after each stage.
+/// A panic inside the hook propagates out of `run` — batch executors rely
+/// on this to inject stage-targeted faults.
+pub type CheckpointHook = Arc<dyn Fn(&PipelineCheckpoint) + Send + Sync>;
+
 /// Configurable TML pipeline.
 ///
 /// # Example
@@ -153,6 +206,8 @@ pub struct TmlPipeline {
     data_repair: bool,
     budget: Budget,
     cross_check: Option<SimulationCrossCheck>,
+    checkpoint_hook: Option<CheckpointHook>,
+    warm_starts: Vec<(PipelineStage, Vec<f64>)>,
 }
 
 impl fmt::Debug for TmlPipeline {
@@ -165,6 +220,8 @@ impl fmt::Debug for TmlPipeline {
             .field("data_repair", &self.data_repair)
             .field("budget", &self.budget)
             .field("cross_check", &self.cross_check.as_ref().map(|_| "<fn>"))
+            .field("checkpoint_hook", &self.checkpoint_hook.as_ref().map(|_| "<fn>"))
+            .field("warm_starts", &self.warm_starts)
             .finish()
     }
 }
@@ -181,6 +238,8 @@ impl TmlPipeline {
             data_repair: false,
             budget: Budget::unlimited(),
             cross_check: None,
+            checkpoint_hook: None,
+            warm_starts: Vec::new(),
         }
     }
 
@@ -233,6 +292,26 @@ impl TmlPipeline {
         self
     }
 
+    /// Installs a checkpoint observer, called after each stage completes
+    /// with the stage name and any solver restart state it produced. Batch
+    /// executors journal these so a retry (or a resumed run) can warm-start
+    /// the surviving stages instead of repeating them.
+    #[must_use]
+    pub fn with_checkpoint_hook(mut self, hook: CheckpointHook) -> Self {
+        self.checkpoint_hook = Some(hook);
+        self
+    }
+
+    /// Seeds a stage's optimizer with a previously checkpointed solver
+    /// point (see [`PipelineCheckpoint::solver_point`]). Points for stages
+    /// without an optimizer ([`PipelineStage::Learn`],
+    /// [`PipelineStage::Verify`]) are ignored.
+    #[must_use]
+    pub fn with_warm_start(mut self, stage: PipelineStage, x: Vec<f64>) -> Self {
+        self.warm_starts.push((stage, x));
+        self
+    }
+
     /// Runs the pipeline on a dataset.
     ///
     /// # Errors
@@ -253,6 +332,12 @@ impl TmlPipeline {
         }
         let model = b.build()?;
         drop(learn_span);
+        let checkpoint = |stage: PipelineStage, solver_point: Option<Vec<f64>>| {
+            if let Some(hook) = &self.checkpoint_hook {
+                hook(&PipelineCheckpoint { stage, solver_point });
+            }
+        };
+        checkpoint(PipelineStage::Learn, None);
 
         // 2. Verify.
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
@@ -262,6 +347,7 @@ impl TmlPipeline {
             checker.check_dtmc(&model, &self.formula)?
         };
         diag.absorb(initial.diagnostics());
+        checkpoint(PipelineStage::Verify, None);
         // Independent re-verification of whichever model concludes the
         // pipeline (simulation-based when wired to the conformance layer).
         let cross_check = |m: &Dtmc| {
@@ -286,10 +372,15 @@ impl TmlPipeline {
         let mut model_repair_status = None;
         if let Some(template) = &self.template {
             let _s = span!("pipeline.model_repair");
-            let mut out = ModelRepair::with_options(self.opts)
-                .with_budget(self.budget.clone())
-                .repair_dtmc(&model, &self.formula, template)?;
+            let mut repair = ModelRepair::with_options(self.opts).with_budget(self.budget.clone());
+            for (stage, x) in &self.warm_starts {
+                if *stage == PipelineStage::ModelRepair {
+                    repair = repair.start_from(x.clone());
+                }
+            }
+            let mut out = repair.repair_dtmc(&model, &self.formula, template)?;
             model_repair_status = Some(out.status);
+            checkpoint(PipelineStage::ModelRepair, out.solver_point.clone());
             if concludes(out.status) {
                 out.verified_by_simulation = out.model.as_ref().and_then(&cross_check);
                 return Ok(TmlOutcome::ModelRepaired { outcome: out });
@@ -301,10 +392,15 @@ impl TmlPipeline {
         let mut data_repair_status = None;
         if self.data_repair {
             let _s = span!("pipeline.data_repair");
-            let mut out = DataRepair::with_options(self.opts)
-                .with_budget(self.budget.clone())
-                .repair(dataset, &self.spec, &self.formula)?;
+            let mut repair = DataRepair::with_options(self.opts).with_budget(self.budget.clone());
+            for (stage, x) in &self.warm_starts {
+                if *stage == PipelineStage::DataRepair {
+                    repair = repair.start_from(x.clone());
+                }
+            }
+            let mut out = repair.repair(dataset, &self.spec, &self.formula)?;
             data_repair_status = Some(out.status);
+            checkpoint(PipelineStage::DataRepair, out.solver_point.clone());
             if concludes(out.status) {
                 out.verified_by_simulation = out.model.as_ref().and_then(&cross_check);
                 return Ok(TmlOutcome::DataRepaired { outcome: out, model_repair_status });
@@ -478,6 +574,69 @@ mod tests {
         // Without a hook, the field stays unset.
         let out = TmlPipeline::new(spec(), phi).run(&dataset(8.0, 2.0)).unwrap();
         assert_eq!(out.verified_by_simulation(), None);
+    }
+
+    #[test]
+    fn checkpoints_fire_in_stage_order_with_solver_state() {
+        use std::sync::Mutex;
+        type Seen = Vec<(PipelineStage, Option<Vec<f64>>)>;
+        let seen: Arc<Mutex<Seen>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let hook: CheckpointHook = Arc::new(move |cp: &PipelineCheckpoint| {
+            sink.lock().unwrap().push((cp.stage, cp.solver_point.clone()));
+        });
+        let phi = parse_formula("P>=0.7 [ F \"goal\" ]").unwrap();
+        let out = TmlPipeline::new(spec(), phi)
+            .with_model_repair(shift_template())
+            .with_checkpoint_hook(hook)
+            .run(&dataset(5.0, 5.0))
+            .unwrap();
+        assert!(matches!(out, TmlOutcome::ModelRepaired { .. }));
+        let seen = seen.lock().unwrap();
+        let stages: Vec<PipelineStage> = seen.iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            stages,
+            vec![PipelineStage::Learn, PipelineStage::Verify, PipelineStage::ModelRepair]
+        );
+        let point = seen[2].1.as_ref().expect("model repair checkpoints its solver point");
+        assert_eq!(point.len(), 1, "one template parameter");
+    }
+
+    #[test]
+    fn warm_start_reproduces_the_checkpointed_answer() {
+        // Run once, harvest the checkpointed solver point, then re-run with
+        // it as a warm start: same verified conclusion.
+        let phi = parse_formula("P>=0.7 [ F \"goal\" ]").unwrap();
+        let first = TmlPipeline::new(spec(), phi.clone())
+            .with_model_repair(shift_template())
+            .run(&dataset(5.0, 5.0))
+            .unwrap();
+        let point = match &first {
+            TmlOutcome::ModelRepaired { outcome } => outcome.solver_point.clone().unwrap(),
+            other => panic!("expected model repair, got {other:?}"),
+        };
+        let second = TmlPipeline::new(spec(), phi)
+            .with_model_repair(shift_template())
+            .with_warm_start(PipelineStage::ModelRepair, point)
+            .run(&dataset(5.0, 5.0))
+            .unwrap();
+        match &second {
+            TmlOutcome::ModelRepaired { outcome } => assert!(outcome.verified),
+            other => panic!("expected model repair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in [
+            PipelineStage::Learn,
+            PipelineStage::Verify,
+            PipelineStage::ModelRepair,
+            PipelineStage::DataRepair,
+        ] {
+            assert_eq!(PipelineStage::parse(stage.name()), Some(stage));
+        }
+        assert_eq!(PipelineStage::parse("nope"), None);
     }
 
     #[test]

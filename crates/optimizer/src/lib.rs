@@ -42,6 +42,7 @@
 
 mod error;
 mod problem;
+pub mod restart;
 mod solver;
 
 pub use error::OptimizerError;

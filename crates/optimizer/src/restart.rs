@@ -1,0 +1,102 @@
+//! Bit-exact serialization of solver restart points.
+//!
+//! The batch runtime checkpoints the best penalty-solver iterate between
+//! retry attempts and replays it on resume. A resumed run must be bitwise
+//! identical to an uninterrupted one, so restart points round-trip through
+//! the journal **exactly**: each `f64` is encoded as the fixed-width hex
+//! spelling of its IEEE-754 bit pattern (`f64::to_bits`), never through a
+//! decimal formatter. NaN payloads, signed zeros and infinities all
+//! survive unchanged.
+//!
+//! The wire form is a JSON array of 16-digit hex strings:
+//!
+//! ```text
+//! ["3ff0000000000000","bfe0000000000000"]   // [1.0, -0.5]
+//! ```
+
+/// Encodes a restart point as a JSON array of hex bit patterns.
+pub fn encode_point(x: &[f64]) -> String {
+    let mut out = String::with_capacity(2 + 19 * x.len());
+    out.push('[');
+    for (i, v) in x.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&format!("{:016x}", v.to_bits()));
+        out.push('"');
+    }
+    out.push(']');
+    out
+}
+
+/// Decodes a point produced by [`encode_point`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed element. Accepts the
+/// already-parsed JSON strings (use a JSON parser for the array framing).
+pub fn decode_hex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("bad f64 bit pattern {s:?}: want 16 hex digits"));
+    }
+    let bits = u64::from_str_radix(s, 16).map_err(|e| format!("bad f64 bit pattern {s:?}: {e}"));
+    Ok(f64::from_bits(bits?))
+}
+
+/// Decodes a full point from a slice of hex strings.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed element.
+pub fn decode_point<S: AsRef<str>>(parts: &[S]) -> Result<Vec<f64>, String> {
+    parts.iter().map(|s| decode_hex(s.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_parts(encoded: &str) -> Vec<String> {
+        encoded
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim_matches('"').to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let points = vec![
+            vec![1.0, -0.5, 0.1 + 0.2],
+            vec![0.0, -0.0, f64::MIN_POSITIVE, f64::MAX],
+            vec![f64::INFINITY, f64::NEG_INFINITY, f64::NAN],
+            vec![],
+        ];
+        for x in points {
+            let encoded = encode_point(&x);
+            let decoded = decode_point(&hex_parts(&encoded)).unwrap();
+            assert_eq!(decoded.len(), x.len());
+            for (a, b) in x.iter().zip(&decoded) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} must survive bit-exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_fixed_width_hex() {
+        assert_eq!(encode_point(&[1.0]), "[\"3ff0000000000000\"]");
+        assert_eq!(encode_point(&[0.0]), "[\"0000000000000000\"]");
+        assert_eq!(encode_point(&[]), "[]");
+    }
+
+    #[test]
+    fn rejects_malformed_patterns() {
+        assert!(decode_hex("3ff").is_err(), "too short");
+        assert!(decode_hex("3ff000000000000g").is_err(), "non-hex digit");
+        assert!(decode_hex("3ff00000000000000").is_err(), "too long");
+        assert!(decode_point(&["3ff0000000000000", "nope"]).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-backend circuit breakers for the checker's linear solvers.
+//!
+//! The checker records one `checker.backend.<name>.{ok,fail}` counter pair
+//! per solve attempt (gauss–seidel, jacobi, direct). The batch executor
+//! folds each finished job's counters into a [`SolverBreakers`] set; a
+//! backend that fails `threshold` consecutive jobs trips **open** and is
+//! skipped — under `LinearSolver::Auto` an open Gauss–Seidel breaker
+//! routes jobs straight to the dense direct solver — until `cooldown`
+//! subsequent jobs have passed, when a single half-open probe decides
+//! whether it closes again.
+//!
+//! Breakers adapt in job-*completion* order, which depends on scheduling
+//! when `workers > 1`; like PR 2's budget exhaustion they are therefore a
+//! *performance* mechanism, documented as scheduling-dependent, and the
+//! deterministic-report contract keeps them out of the final report (the
+//! standard corpus solves small models directly, so they never trip
+//! there).
+
+use tml_checker::{CheckOptions, LinearSolver};
+use tml_numerics::Diagnostics;
+
+/// Where a breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are rerouted until the cooldown expires.
+    Open,
+    /// Cooldown expired: one probe request is allowed through.
+    HalfOpen,
+}
+
+/// A count-based circuit breaker (no clocks — deterministic under replay).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u32,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// half-opens after `cooldown` skipped observations.
+    pub fn new(threshold: u32, cooldown: u32) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown: cooldown.max(1),
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the next request may use this backend. While open, each
+    /// call counts down the cooldown; when it reaches zero the breaker
+    /// half-opens and admits one probe.
+    pub fn allows(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// Feeds one observation (a job's aggregate verdict for this backend).
+    pub fn record(&mut self, ok: bool) {
+        if ok {
+            self.consecutive_failures = 0;
+            self.state = BreakerState::Closed;
+            return;
+        }
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= self.threshold {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.cooldown;
+        }
+    }
+}
+
+/// The three checker backends, each behind its own breaker.
+#[derive(Debug, Clone)]
+pub struct SolverBreakers {
+    gauss_seidel: CircuitBreaker,
+    jacobi: CircuitBreaker,
+    direct: CircuitBreaker,
+}
+
+impl Default for SolverBreakers {
+    fn default() -> Self {
+        SolverBreakers {
+            gauss_seidel: CircuitBreaker::new(3, 8),
+            jacobi: CircuitBreaker::new(3, 8),
+            direct: CircuitBreaker::new(5, 16),
+        }
+    }
+}
+
+impl SolverBreakers {
+    /// Folds a finished job's diagnostics into the breakers: a backend
+    /// with any failure this job counts as one failed observation, one
+    /// with only successes as one healthy observation, untouched backends
+    /// are not observed.
+    pub fn observe(&mut self, diag: &Diagnostics) {
+        for (name, breaker) in [
+            ("gauss-seidel", &mut self.gauss_seidel),
+            ("jacobi", &mut self.jacobi),
+            ("direct", &mut self.direct),
+        ] {
+            let ok = diag.telemetry.counter(&format!("checker.backend.{name}.ok"));
+            let fail = diag.telemetry.counter(&format!("checker.backend.{name}.fail"));
+            if fail > 0 {
+                breaker.record(false);
+            } else if ok > 0 {
+                breaker.record(true);
+            }
+        }
+    }
+
+    /// Adjusts a job's check options before it runs: with the
+    /// Gauss–Seidel breaker open under [`LinearSolver::Auto`], iterative
+    /// solves are skipped in favor of the dense direct backend.
+    pub fn adjust(&mut self, opts: &mut CheckOptions) {
+        if opts.solver == LinearSolver::Auto && !self.gauss_seidel.allows() {
+            tml_telemetry::counter!("runtime.breaker.reroutes", 1);
+            opts.solver = LinearSolver::Direct;
+        }
+    }
+
+    /// State triple (gauss-seidel, jacobi, direct) for journaling.
+    pub fn states(&self) -> (BreakerState, BreakerState, BreakerState) {
+        (self.gauss_seidel.state(), self.jacobi.state(), self.direct.state())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_recovers_through_probe() {
+        let mut b = CircuitBreaker::new(3, 2);
+        assert!(b.allows());
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(), "cooldown tick 1");
+        assert!(!b.allows(), "cooldown tick 2 half-opens");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allows(), "probe admitted");
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let mut b = CircuitBreaker::new(3, 1);
+        for _ in 0..3 {
+            b.record(false);
+        }
+        assert!(!b.allows(), "single cooldown tick");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open, "one half-open failure re-trips");
+    }
+
+    #[test]
+    fn gs_breaker_reroutes_auto_to_direct() {
+        let mut set = SolverBreakers::default();
+        let mut diag = Diagnostics::new();
+        diag.telemetry.incr("checker.backend.gauss-seidel.fail", 2);
+        for _ in 0..3 {
+            set.observe(&diag);
+        }
+        let mut opts = CheckOptions::default();
+        assert_eq!(opts.solver, LinearSolver::Auto);
+        set.adjust(&mut opts);
+        assert_eq!(opts.solver, LinearSolver::Direct);
+        // An explicitly pinned solver is never overridden.
+        let mut pinned = CheckOptions { solver: LinearSolver::GaussSeidel, ..Default::default() };
+        let mut set2 = SolverBreakers::default();
+        for _ in 0..3 {
+            set2.observe(&diag);
+        }
+        set2.adjust(&mut pinned);
+        assert_eq!(pinned.solver, LinearSolver::GaussSeidel);
+    }
+
+    #[test]
+    fn healthy_observations_keep_breakers_closed() {
+        let mut set = SolverBreakers::default();
+        let mut diag = Diagnostics::new();
+        diag.telemetry.incr("checker.backend.direct.ok", 4);
+        for _ in 0..20 {
+            set.observe(&diag);
+        }
+        let (gs, jac, direct) = set.states();
+        assert_eq!(gs, BreakerState::Closed, "unobserved backend stays closed");
+        assert_eq!(jac, BreakerState::Closed);
+        assert_eq!(direct, BreakerState::Closed);
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic fault injection for batch runs.
+//!
+//! A [`ChaosSpec`] is a seeded fault *plan*, not a random fault source:
+//! whether (and how) attempt `k` of job `j` is sabotaged is a pure
+//! function of `(spec.seed, j, k)`. A control run, a `kill -9`'d run and
+//! its resume therefore all see identical faults at identical points,
+//! which is what lets CI assert their final reports byte-compare equal.
+//!
+//! Three fault shapes cover the failure modes the executor defends
+//! against:
+//!
+//! * [`Fault::Panic`] — panic at a chosen pipeline checkpoint (exercises
+//!   `catch_unwind` isolation and warm-started retries);
+//! * [`Fault::PoisonNan`] — poison a trace weight with NaN before the run
+//!   (exercises structured-error retries: `TraceDataset::push` rejects
+//!   non-finite weights deterministically);
+//! * [`Fault::Slow`] — sleep before the run (exercises deadline clamping
+//!   and gives mid-batch kills something to land on).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tml_core::pipeline::PipelineStage;
+
+use crate::corpus::mix;
+
+/// One injected fault for a specific `(job, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic when the pipeline reaches this stage's checkpoint.
+    Panic(PipelineStage),
+    /// Replace one trace weight with NaN before running.
+    PoisonNan,
+    /// Sleep this long before running.
+    Slow(Duration),
+}
+
+/// A seeded fault plan: independent per-attempt probabilities for each
+/// fault shape. Probabilities are evaluated in the fixed order panic →
+/// nan → slow from a single uniform draw, so at most one fault fires per
+/// attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Probability an attempt panics at a checkpoint.
+    pub panic: f64,
+    /// Probability an attempt's dataset is NaN-poisoned.
+    pub nan: f64,
+    /// Probability an attempt is delayed.
+    pub slow: f64,
+    /// Fault-plan seed (independent of the corpus seed).
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// Parses `"panic=0.2,nan=0.1,slow=0.1,seed=7"`. Keys may appear in
+    /// any order; omitted keys default to zero. Probabilities must lie in
+    /// `[0, 1]` and sum to at most 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut spec = ChaosSpec { panic: 0.0, nan: 0.0, slow: 0.0, seed: 0 };
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos field `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    spec.seed =
+                        value.parse().map_err(|_| format!("chaos seed `{value}` is not a u64"))?;
+                }
+                "panic" | "nan" | "slow" => {
+                    let p: f64 = value
+                        .parse()
+                        .map_err(|_| format!("chaos {key} `{value}` is not a number"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("chaos {key} {p} outside [0, 1]"));
+                    }
+                    match key {
+                        "panic" => spec.panic = p,
+                        "nan" => spec.nan = p,
+                        _ => spec.slow = p,
+                    }
+                }
+                _ => return Err(format!("unknown chaos key `{key}`")),
+            }
+        }
+        if spec.panic + spec.nan + spec.slow > 1.0 {
+            return Err("chaos probabilities sum past 1".into());
+        }
+        Ok(spec)
+    }
+
+    /// Canonical string form — `parse(canonical())` round-trips, and the
+    /// journal stores this form so `--resume` replays the same plan.
+    pub fn canonical(&self) -> String {
+        format!("panic={},nan={},slow={},seed={}", self.panic, self.nan, self.slow, self.seed)
+    }
+
+    /// The fault (if any) struck onto attempt `attempt` of `job` — a pure
+    /// function of the plan and the coordinates.
+    pub fn fault(&self, job: u64, attempt: u32) -> Option<Fault> {
+        let mut rng =
+            StdRng::seed_from_u64(mix(mix(self.seed, job ^ 0x6368_616f), u64::from(attempt)));
+        let u: f64 = rng.random_range(0.0..1.0);
+        if u < self.panic {
+            // Panic at a checkpoint that exists on every code path:
+            // learn and verify always fire; data_repair only fires for
+            // jobs whose model repair failed first, so it is excluded.
+            let stages = [PipelineStage::Learn, PipelineStage::Verify];
+            return Some(Fault::Panic(stages[rng.random_range(0..stages.len())]));
+        }
+        if u < self.panic + self.nan {
+            return Some(Fault::PoisonNan);
+        }
+        if u < self.panic + self.nan + self.slow {
+            return Some(Fault::Slow(Duration::from_millis(rng.random_range(5..=25u64))));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_any_order_and_defaults_missing_keys() {
+        let spec = ChaosSpec::parse("seed=9,panic=0.25").unwrap();
+        assert_eq!(spec, ChaosSpec { panic: 0.25, nan: 0.0, slow: 0.0, seed: 9 });
+        let spec = ChaosSpec::parse("nan=0.1, slow=0.2").unwrap();
+        assert_eq!(spec.nan, 0.1);
+        assert_eq!(spec.slow, 0.2);
+        assert_eq!(spec.seed, 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(ChaosSpec::parse("panic").is_err(), "missing value");
+        assert!(ChaosSpec::parse("panic=nope").is_err(), "non-numeric");
+        assert!(ChaosSpec::parse("panic=1.5").is_err(), "out of range");
+        assert!(ChaosSpec::parse("panic=0.6,nan=0.6").is_err(), "sum past 1");
+        assert!(ChaosSpec::parse("boom=0.5").is_err(), "unknown key");
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let spec = ChaosSpec { panic: 0.2, nan: 0.1, slow: 0.05, seed: 42 };
+        assert_eq!(ChaosSpec::parse(&spec.canonical()).unwrap(), spec);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_calibrated() {
+        let spec = ChaosSpec { panic: 0.2, nan: 0.2, slow: 0.2, seed: 7 };
+        let mut counts = [0u32; 3];
+        for job in 0..200u64 {
+            for attempt in 1..=3u32 {
+                assert_eq!(spec.fault(job, attempt), spec.fault(job, attempt), "pure function");
+                match spec.fault(job, attempt) {
+                    Some(Fault::Panic(stage)) => {
+                        counts[0] += 1;
+                        assert!(
+                            matches!(stage, PipelineStage::Learn | PipelineStage::Verify),
+                            "panics only at unconditional checkpoints"
+                        );
+                    }
+                    Some(Fault::PoisonNan) => counts[1] += 1,
+                    Some(Fault::Slow(d)) => {
+                        counts[2] += 1;
+                        assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(25));
+                    }
+                    None => {}
+                }
+            }
+        }
+        // 600 draws at p=0.2 each: all three shapes should appear often.
+        for (i, count) in counts.iter().enumerate() {
+            assert!(*count > 60, "fault shape {i} fired only {count}/600 times");
+        }
+        let quiet = ChaosSpec { panic: 0.0, nan: 0.0, slow: 0.0, seed: 7 };
+        assert_eq!(quiet.fault(3, 1), None, "zero plan injects nothing");
+    }
+}

@@ -1,0 +1,202 @@
+//! Job identities, failures and terminal outcomes.
+//!
+//! Everything here is part of the `tml-journal/v1` wire contract: the
+//! string forms of [`JobStatus`] and [`FailureKind`] appear verbatim in
+//! journal and report lines, and [`fingerprint_dtmc`] is the
+//! deterministic digest by which a resumed run proves it reproduced the
+//! same trusted model as the interrupted one.
+
+use tml_conformance::gen::ModelFamily;
+use tml_models::Dtmc;
+
+/// Deterministic description of one batch job, fully derived from
+/// `(corpus_seed, id)` by [`crate::corpus::job_spec`] — the journal never
+/// needs to persist job inputs, only the corpus seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Position in the batch (0-based).
+    pub id: u64,
+    /// Generator family for the ground-truth model.
+    pub family: ModelFamily,
+    /// Seed for the model generator and the trajectory sampler.
+    pub seed: u64,
+    /// Requested model size (families may round, e.g. grids).
+    pub num_states: usize,
+    /// Trajectories sampled into the job's trace dataset.
+    pub trajectories: u32,
+    /// Maximum trajectory length.
+    pub depth: u32,
+    /// Shift applied to the empirical goal-reaching rate to form the
+    /// property bound: negative shifts give already-satisfied jobs,
+    /// moderate positive ones repairable jobs, large ones unrepairable.
+    pub bound_shift: f64,
+}
+
+/// How a job concluded (terminal; one `outcome` journal record each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The learned model already satisfied the property.
+    Satisfied,
+    /// Model Repair produced the trusted model.
+    ModelRepaired,
+    /// Data Repair produced the trusted model.
+    DataRepaired,
+    /// No configured repair could satisfy the property.
+    Unrepairable,
+    /// Every attempt failed (panic or error); the batch moved on.
+    Failed,
+}
+
+impl JobStatus {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Satisfied => "satisfied",
+            JobStatus::ModelRepaired => "model_repaired",
+            JobStatus::DataRepaired => "data_repaired",
+            JobStatus::Unrepairable => "unrepairable",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses a name produced by [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "satisfied" => Some(JobStatus::Satisfied),
+            "model_repaired" => Some(JobStatus::ModelRepaired),
+            "data_repaired" => Some(JobStatus::DataRepaired),
+            "unrepairable" => Some(JobStatus::Unrepairable),
+            "failed" => Some(JobStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// What kind of fault ended an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The attempt panicked (caught at the isolation boundary).
+    Panic,
+    /// The attempt returned a structured error.
+    Error,
+}
+
+impl FailureKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Error => "error",
+        }
+    }
+
+    /// Parses a name produced by [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(FailureKind::Panic),
+            "error" => Some(FailureKind::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One failed attempt, as journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptFailure {
+    /// The job the attempt belonged to.
+    pub job: u64,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Panic or structured error.
+    pub kind: FailureKind,
+    /// Human-readable cause (panic payload or error rendering).
+    pub detail: String,
+}
+
+/// A job's terminal outcome, as journaled and reported.
+///
+/// Every field is deterministic for a fixed batch configuration — no
+/// timestamps, no elapsed durations — which is what lets a resumed run's
+/// report be byte-compared against an uninterrupted control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job id.
+    pub job: u64,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// How the job concluded.
+    pub status: JobStatus,
+    /// Short deterministic description (property for trusted outcomes,
+    /// last failure for [`JobStatus::Failed`]).
+    pub detail: String,
+    /// [`fingerprint_dtmc`] of the trusted model, when one was produced.
+    pub fingerprint: Option<u64>,
+    /// Optimizer/checker evaluations spent by the concluding stage.
+    pub evaluations: u64,
+}
+
+/// FNV-1a digest over a DTMC's exact structure: state count, initial
+/// state, and every transition's `(from, to, f64::to_bits(p))`. Two models
+/// fingerprint equal iff they are bitwise-identical chains, so this is the
+/// resume contract's witness that a re-run reproduced the same model.
+pub fn fingerprint_dtmc(model: &Dtmc) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(model.num_states() as u64);
+    eat(model.initial_state() as u64);
+    for s in 0..model.num_states() {
+        for (t, p) in model.successors(s) {
+            eat(s as u64);
+            eat(t as u64);
+            eat(p.to_bits());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_models::DtmcBuilder;
+
+    #[test]
+    fn status_and_kind_names_round_trip() {
+        for s in [
+            JobStatus::Satisfied,
+            JobStatus::ModelRepaired,
+            JobStatus::DataRepaired,
+            JobStatus::Unrepairable,
+            JobStatus::Failed,
+        ] {
+            assert_eq!(JobStatus::parse(s.name()), Some(s));
+        }
+        assert_eq!(JobStatus::parse("nope"), None);
+        for k in [FailureKind::Panic, FailureKind::Error] {
+            assert_eq!(FailureKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FailureKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_models() {
+        let chain = |p: f64| {
+            let mut b = DtmcBuilder::new(2);
+            b.transition(0, 1, p).unwrap();
+            b.transition(0, 0, 1.0 - p).unwrap();
+            b.transition(1, 1, 1.0).unwrap();
+            b.build().unwrap()
+        };
+        let a = fingerprint_dtmc(&chain(0.5));
+        let b = fingerprint_dtmc(&chain(0.5));
+        let c = fingerprint_dtmc(&chain(0.5 + 1e-15));
+        assert_eq!(a, b, "identical chains fingerprint equal");
+        assert_ne!(a, c, "one ulp of difference is visible");
+    }
+}

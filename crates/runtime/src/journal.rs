@@ -1,0 +1,585 @@
+//! The `tml-journal/v1` write-ahead journal and the batch report.
+//!
+//! Every batch state transition is appended — and flushed — *before* the
+//! work it describes proceeds, so after a `kill -9` the journal holds
+//! every completed record plus at most one torn trailing line:
+//!
+//! ```text
+//! {"type":"meta","schema":"tml-journal/v1","corpus_seed":"7","jobs":4,...}
+//! {"type":"attempt","job":0,"attempt":1}
+//! {"type":"checkpoint","job":0,"attempt":1,"stage":"model_repair","x":["3fe0000000000000"]}
+//! {"type":"failure","job":0,"attempt":1,"kind":"panic","detail":"injected panic at verify"}
+//! {"type":"attempt","job":0,"attempt":2}
+//! {"type":"outcome","job":0,"attempts":2,"status":"model_repaired",...}
+//! {"type":"summary","jobs":4,...}
+//! ```
+//!
+//! [`parse_journal`] reconstructs a [`JournalState`] from such a file
+//! (tolerating the torn tail), and the executor resumes from it: jobs with
+//! an `outcome` record replay verbatim, in-flight jobs re-run from their
+//! next attempt with warm starts taken from the checkpoints of *failed*
+//! attempts only — the same fold-after-failure rule the in-memory path
+//! applies, which is what makes the resumed report byte-identical to an
+//! uninterrupted control run.
+//!
+//! Two encoding rules keep replay exact: 64-bit values that must
+//! round-trip (the corpus seed, model fingerprints) travel as strings
+//! because the JSON number lane is an `f64`, and solver points travel as
+//! arrays of 16-hex-digit `f64::to_bits` words (see
+//! `tml_optimizer::restart`).
+
+use std::io::{self, Write};
+
+use tml_core::pipeline::PipelineStage;
+use tml_optimizer::restart;
+use tml_telemetry::json;
+use tml_telemetry::jsonl::{schema, JsonlWriter, LineBuilder};
+
+use crate::job::{AttemptFailure, FailureKind, JobOutcome, JobStatus};
+
+/// The batch configuration, persisted in the journal's `meta` record so
+/// `--resume` needs no repeated command-line flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Corpus seed: derives every job spec.
+    pub corpus_seed: u64,
+    /// Number of jobs in the batch.
+    pub jobs: u64,
+    /// Retry cap per job.
+    pub max_attempts: u32,
+    /// Worker threads.
+    pub workers: u32,
+    /// Canonical chaos spec, when fault injection is on.
+    pub chaos: Option<String>,
+}
+
+fn meta_line(config: &BatchConfig) -> String {
+    LineBuilder::meta(schema::JOURNAL)
+        .str("corpus_seed", &config.corpus_seed.to_string())
+        .u64("jobs", config.jobs)
+        .u64("max_attempts", u64::from(config.max_attempts))
+        .u64("workers", u64::from(config.workers))
+        .opt_str("chaos", config.chaos.as_deref())
+        .finish()
+}
+
+fn outcome_line(o: &JobOutcome) -> String {
+    let fp = o.fingerprint.map(|f| format!("{f:016x}"));
+    LineBuilder::record("outcome")
+        .u64("job", o.job)
+        .u64("attempts", u64::from(o.attempts))
+        .str("status", o.status.name())
+        .str("detail", &o.detail)
+        .opt_str("fingerprint", fp.as_deref())
+        .u64("evaluations", o.evaluations)
+        .finish()
+}
+
+fn summary_line(config: &BatchConfig, outcomes: &[JobOutcome]) -> String {
+    let count = |s: JobStatus| outcomes.iter().filter(|o| o.status == s).count() as u64;
+    let retries: u64 = outcomes.iter().map(|o| u64::from(o.attempts.saturating_sub(1))).sum();
+    LineBuilder::record("summary")
+        .u64("jobs", config.jobs)
+        .u64("satisfied", count(JobStatus::Satisfied))
+        .u64("model_repaired", count(JobStatus::ModelRepaired))
+        .u64("data_repaired", count(JobStatus::DataRepaired))
+        .u64("unrepairable", count(JobStatus::Unrepairable))
+        .u64("failed", count(JobStatus::Failed))
+        .u64("retries", retries)
+        .finish()
+}
+
+/// Renders the deterministic final report: `meta`, one `outcome` line per
+/// job in id order, and a `summary`. A resumed run and its uninterrupted
+/// control produce byte-identical output — the report carries no
+/// timestamps, durations or resume markers.
+pub fn render_report(config: &BatchConfig, outcomes: &[JobOutcome]) -> String {
+    let mut sorted: Vec<&JobOutcome> = outcomes.iter().collect();
+    sorted.sort_by_key(|o| o.job);
+    let mut out = meta_line(config);
+    out.push('\n');
+    for o in sorted {
+        out.push_str(&outcome_line(o));
+        out.push('\n');
+    }
+    out.push_str(&summary_line(config, outcomes));
+    out.push('\n');
+    out
+}
+
+/// The write side: a durable (flush-per-line) JSONL appender.
+pub struct Journal<W: Write + Send> {
+    writer: JsonlWriter<W>,
+}
+
+impl<W: Write + Send> Journal<W> {
+    /// Starts a fresh journal: writes and flushes the `meta` record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn create(inner: W, config: &BatchConfig) -> io::Result<Self> {
+        let j = Journal { writer: JsonlWriter::durable(inner) };
+        j.writer.line(&meta_line(config))?;
+        Ok(j)
+    }
+
+    /// Reopens an interrupted journal for appending (the caller opens the
+    /// file in append mode): writes a `resume` boundary record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn reopen(inner: W, completed: u64) -> io::Result<Self> {
+        let j = Journal { writer: JsonlWriter::durable(inner) };
+        j.writer.line(&LineBuilder::record("resume").u64("completed", completed).finish())?;
+        Ok(j)
+    }
+
+    /// Journals the start of an attempt (write-ahead: before it runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn attempt(&self, job: u64, attempt: u32) -> io::Result<()> {
+        self.writer.line(
+            &LineBuilder::record("attempt")
+                .u64("job", job)
+                .u64("attempt", u64::from(attempt))
+                .finish(),
+        )
+    }
+
+    /// Journals a pipeline checkpoint with its solver state (when any).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn checkpoint(
+        &self,
+        job: u64,
+        attempt: u32,
+        stage: PipelineStage,
+        point: Option<&[f64]>,
+    ) -> io::Result<()> {
+        let b = LineBuilder::record("checkpoint")
+            .u64("job", job)
+            .u64("attempt", u64::from(attempt))
+            .str("stage", stage.name());
+        let b = match point {
+            Some(x) => b.raw("x", &restart::encode_point(x)),
+            None => b.raw("x", "null"),
+        };
+        self.writer.line(&b.finish())
+    }
+
+    /// Journals a failed attempt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn failure(&self, f: &AttemptFailure) -> io::Result<()> {
+        self.writer.line(
+            &LineBuilder::record("failure")
+                .u64("job", f.job)
+                .u64("attempt", u64::from(f.attempt))
+                .str("kind", f.kind.name())
+                .str("detail", &f.detail)
+                .finish(),
+        )
+    }
+
+    /// Journals a job's terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn outcome(&self, o: &JobOutcome) -> io::Result<()> {
+        self.writer.line(&outcome_line(o))
+    }
+
+    /// Journals the batch summary (marks the journal complete).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn summary(&self, config: &BatchConfig, outcomes: &[JobOutcome]) -> io::Result<()> {
+        self.writer.line(&summary_line(config, outcomes))
+    }
+
+    /// Unwraps the underlying writer (tests: inspect the buffer).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner()
+    }
+}
+
+/// A checkpoint as recovered from the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredCheckpoint {
+    /// The job the checkpoint belongs to.
+    pub job: u64,
+    /// The attempt that reached it.
+    pub attempt: u32,
+    /// The stage that fired it.
+    pub stage: PipelineStage,
+    /// Solver state at the checkpoint, when the stage produced one.
+    pub point: Option<Vec<f64>>,
+}
+
+/// Everything [`parse_journal`] recovers from an interrupted (or
+/// completed) journal.
+#[derive(Debug, Clone)]
+pub struct JournalState {
+    /// The batch configuration from the `meta` record.
+    pub config: BatchConfig,
+    /// Whether the journal already contains a `resume` boundary (the run
+    /// was interrupted and resumed at least once before).
+    pub resumed: bool,
+    /// Whether a `summary` record closed the journal (nothing to resume).
+    pub complete: bool,
+    /// Terminal outcomes, in journal order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Failed attempts, in journal order.
+    pub failures: Vec<AttemptFailure>,
+    /// Checkpoints, in journal order.
+    pub checkpoints: Vec<RecoveredCheckpoint>,
+}
+
+impl JournalState {
+    /// The terminal outcome of `job`, when it concluded before the kill.
+    pub fn outcome(&self, job: u64) -> Option<&JobOutcome> {
+        self.outcomes.iter().find(|o| o.job == job)
+    }
+
+    /// The attempt number a re-run of `job` should start from: one past
+    /// the last *journaled failure* (an in-flight attempt with no failure
+    /// record is re-run under its own number, exactly as the control run
+    /// executed it).
+    pub fn next_attempt(&self, job: u64) -> u32 {
+        self.failures.iter().filter(|f| f.job == job).map(|f| f.attempt).max().unwrap_or(0) + 1
+    }
+
+    /// Warm starts for a re-run of `job`: solver points from checkpoints
+    /// of attempts with a journaled `failure` record, in journal order.
+    /// Checkpoints of the in-flight attempt are excluded — the control run
+    /// never folded them in, and byte-identity requires the resume not to
+    /// either.
+    pub fn warm_starts(&self, job: u64) -> Vec<(PipelineStage, Vec<f64>)> {
+        self.checkpoints
+            .iter()
+            .filter(|c| {
+                c.job == job && self.failures.iter().any(|f| f.job == job && f.attempt == c.attempt)
+            })
+            .filter_map(|c| c.point.clone().map(|x| (c.stage, x)))
+            .collect()
+    }
+}
+
+fn field<'v>(v: &'v json::Value, key: &str, line: usize) -> Result<&'v json::Value, String> {
+    v.get(key).ok_or_else(|| format!("journal line {line}: missing `{key}`"))
+}
+
+fn u64_field(v: &json::Value, key: &str, line: usize) -> Result<u64, String> {
+    field(v, key, line)?
+        .as_u64()
+        .ok_or_else(|| format!("journal line {line}: `{key}` is not an integer"))
+}
+
+fn str_field<'v>(v: &'v json::Value, key: &str, line: usize) -> Result<&'v str, String> {
+    field(v, key, line)?
+        .as_str()
+        .ok_or_else(|| format!("journal line {line}: `{key}` is not a string"))
+}
+
+/// Parses a journal file back into a [`JournalState`].
+///
+/// The final line is allowed to be torn (a `kill -9` can land mid-write);
+/// any earlier malformed line is an error. The first line must be a
+/// `meta` record declaring [`schema::JOURNAL`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed non-trailing line.
+pub fn parse_journal(text: &str) -> Result<JournalState, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut state: Option<JournalState> = None;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        let torn_ok = i == last;
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) if torn_ok => {
+                tml_telemetry::counter!("runtime.journal.torn_tail", 1);
+                let _ = e;
+                break;
+            }
+            Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+        };
+        match parse_record(&parsed, i + 1, &mut state) {
+            Ok(()) => {}
+            Err(_) if torn_ok && i > 0 => {
+                // A structurally-valid JSON prefix of a torn record (e.g.
+                // the line was cut exactly at a `}`): still the tail.
+                tml_telemetry::counter!("runtime.journal.torn_tail", 1);
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    state.ok_or_else(|| "journal has no meta record".into())
+}
+
+fn parse_record(
+    v: &json::Value,
+    line: usize,
+    state: &mut Option<JournalState>,
+) -> Result<(), String> {
+    let ty = str_field(v, "type", line)?;
+    if state.is_none() {
+        if ty != "meta" {
+            return Err(format!("journal line {line}: expected meta record, got `{ty}`"));
+        }
+        let schema_id = str_field(v, "schema", line)?;
+        if schema_id != schema::JOURNAL {
+            return Err(format!(
+                "journal line {line}: schema `{schema_id}` is not `{}`",
+                schema::JOURNAL
+            ));
+        }
+        let corpus_seed: u64 = str_field(v, "corpus_seed", line)?
+            .parse()
+            .map_err(|_| format!("journal line {line}: corpus_seed is not a u64"))?;
+        let chaos = match field(v, "chaos", line)? {
+            json::Value::Null => None,
+            other => Some(
+                other
+                    .as_str()
+                    .ok_or_else(|| format!("journal line {line}: chaos is not a string"))?
+                    .to_string(),
+            ),
+        };
+        *state = Some(JournalState {
+            config: BatchConfig {
+                corpus_seed,
+                jobs: u64_field(v, "jobs", line)?,
+                max_attempts: u64_field(v, "max_attempts", line)? as u32,
+                workers: u64_field(v, "workers", line)? as u32,
+                chaos,
+            },
+            resumed: false,
+            complete: false,
+            outcomes: Vec::new(),
+            failures: Vec::new(),
+            checkpoints: Vec::new(),
+        });
+        return Ok(());
+    }
+    let state = state.as_mut().expect("meta parsed first");
+    match ty {
+        "meta" => Err(format!("journal line {line}: duplicate meta record")),
+        "attempt" => {
+            // Write-ahead marker only; recovery derives in-flight attempts
+            // from the absence of failure/outcome records instead.
+            u64_field(v, "job", line)?;
+            u64_field(v, "attempt", line)?;
+            Ok(())
+        }
+        "checkpoint" => {
+            let stage_name = str_field(v, "stage", line)?;
+            let stage = PipelineStage::parse(stage_name)
+                .ok_or_else(|| format!("journal line {line}: unknown stage `{stage_name}`"))?;
+            let point = match field(v, "x", line)? {
+                json::Value::Null => None,
+                other => {
+                    let items = other
+                        .as_array()
+                        .ok_or_else(|| format!("journal line {line}: `x` is not an array"))?;
+                    let words: Vec<&str> =
+                        items.iter().map(|w| w.as_str()).collect::<Option<_>>().ok_or_else(
+                            || format!("journal line {line}: `x` holds a non-string"),
+                        )?;
+                    Some(
+                        restart::decode_point(&words)
+                            .map_err(|e| format!("journal line {line}: {e}"))?,
+                    )
+                }
+            };
+            state.checkpoints.push(RecoveredCheckpoint {
+                job: u64_field(v, "job", line)?,
+                attempt: u64_field(v, "attempt", line)? as u32,
+                stage,
+                point,
+            });
+            Ok(())
+        }
+        "failure" => {
+            let kind_name = str_field(v, "kind", line)?;
+            let kind = FailureKind::parse(kind_name)
+                .ok_or_else(|| format!("journal line {line}: unknown kind `{kind_name}`"))?;
+            state.failures.push(AttemptFailure {
+                job: u64_field(v, "job", line)?,
+                attempt: u64_field(v, "attempt", line)? as u32,
+                kind,
+                detail: str_field(v, "detail", line)?.to_string(),
+            });
+            Ok(())
+        }
+        "outcome" => {
+            let status_name = str_field(v, "status", line)?;
+            let status = JobStatus::parse(status_name)
+                .ok_or_else(|| format!("journal line {line}: unknown status `{status_name}`"))?;
+            let fingerprint = match field(v, "fingerprint", line)? {
+                json::Value::Null => None,
+                other => {
+                    let hex = other.as_str().ok_or_else(|| {
+                        format!("journal line {line}: fingerprint is not a string")
+                    })?;
+                    Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                        format!("journal line {line}: fingerprint `{hex}` is not hex")
+                    })?)
+                }
+            };
+            state.outcomes.push(JobOutcome {
+                job: u64_field(v, "job", line)?,
+                attempts: u64_field(v, "attempts", line)? as u32,
+                status,
+                detail: str_field(v, "detail", line)?.to_string(),
+                fingerprint,
+                evaluations: u64_field(v, "evaluations", line)?,
+            });
+            Ok(())
+        }
+        "resume" => {
+            state.resumed = true;
+            Ok(())
+        }
+        "summary" => {
+            state.complete = true;
+            Ok(())
+        }
+        other => Err(format!("journal line {line}: unknown record type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BatchConfig {
+        BatchConfig {
+            corpus_seed: 7,
+            jobs: 2,
+            max_attempts: 3,
+            workers: 1,
+            chaos: Some("panic=0.2,nan=0,slow=0,seed=9".into()),
+        }
+    }
+
+    fn outcome(job: u64, attempts: u32, status: JobStatus) -> JobOutcome {
+        JobOutcome {
+            job,
+            attempts,
+            status,
+            detail: format!("job {job}"),
+            fingerprint: Some(0xdead_beef_0000_0000 | job),
+            evaluations: 10 * job,
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_through_parse() {
+        let cfg = config();
+        let j = Journal::create(Vec::new(), &cfg).unwrap();
+        j.attempt(0, 1).unwrap();
+        j.checkpoint(0, 1, PipelineStage::Learn, None).unwrap();
+        j.checkpoint(0, 1, PipelineStage::ModelRepair, Some(&[0.5, -0.0, f64::NAN])).unwrap();
+        j.failure(&AttemptFailure {
+            job: 0,
+            attempt: 1,
+            kind: FailureKind::Panic,
+            detail: "injected panic at verify".into(),
+        })
+        .unwrap();
+        j.attempt(0, 2).unwrap();
+        let o = outcome(0, 2, JobStatus::ModelRepaired);
+        j.outcome(&o).unwrap();
+        let text = String::from_utf8(j.into_inner()).unwrap();
+
+        let state = parse_journal(&text).unwrap();
+        assert_eq!(state.config, cfg);
+        assert!(!state.resumed);
+        assert!(!state.complete);
+        assert_eq!(state.outcomes, vec![o]);
+        assert_eq!(state.failures.len(), 1);
+        assert_eq!(state.next_attempt(1), 1, "untouched job starts at attempt 1");
+        assert_eq!(state.next_attempt(0), 2);
+        let warm = state.warm_starts(0);
+        assert_eq!(warm.len(), 1, "only checkpoints with solver state survive");
+        assert_eq!(warm[0].0, PipelineStage::ModelRepair);
+        assert_eq!(warm[0].1[0], 0.5);
+        assert_eq!(warm[0].1[1].to_bits(), (-0.0f64).to_bits(), "bit-exact recovery");
+        assert!(warm[0].1[2].is_nan());
+    }
+
+    #[test]
+    fn torn_trailing_line_is_tolerated_elsewhere_fatal() {
+        let cfg = config();
+        let j = Journal::create(Vec::new(), &cfg).unwrap();
+        j.attempt(0, 1).unwrap();
+        let mut text = String::from_utf8(j.into_inner()).unwrap();
+        text.push_str("{\"type\":\"outcome\",\"job\":1,\"att");
+        let state = parse_journal(&text).unwrap();
+        assert!(state.outcomes.is_empty(), "torn outcome not recovered");
+
+        let mut broken = String::new();
+        broken.push_str("{\"type\":\"att\n");
+        broken.push_str("{\"type\":\"attempt\",\"job\":0,\"attempt\":1}\n");
+        assert!(parse_journal(&broken).is_err(), "non-trailing garbage is fatal");
+    }
+
+    #[test]
+    fn in_flight_checkpoints_are_not_warm_starts() {
+        let cfg = config();
+        let j = Journal::create(Vec::new(), &cfg).unwrap();
+        j.attempt(0, 1).unwrap();
+        j.checkpoint(0, 1, PipelineStage::ModelRepair, Some(&[1.0])).unwrap();
+        // No failure record: the kill landed mid-attempt.
+        let text = String::from_utf8(j.into_inner()).unwrap();
+        let state = parse_journal(&text).unwrap();
+        assert_eq!(state.next_attempt(0), 1, "in-flight attempt re-runs under its own number");
+        assert!(state.warm_starts(0).is_empty(), "control never folded these in");
+    }
+
+    #[test]
+    fn report_is_sorted_and_deterministic() {
+        let cfg = config();
+        let a = render_report(
+            &cfg,
+            &[outcome(1, 1, JobStatus::Satisfied), outcome(0, 3, JobStatus::Failed)],
+        );
+        let b = render_report(
+            &cfg,
+            &[outcome(0, 3, JobStatus::Failed), outcome(1, 1, JobStatus::Satisfied)],
+        );
+        assert_eq!(a, b, "report independent of completion order");
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 4, "meta + 2 outcomes + summary");
+        assert!(lines[0].contains(schema::JOURNAL));
+        assert!(lines[1].contains("\"job\":0"));
+        assert!(lines[2].contains("\"job\":1"));
+        assert!(lines[3].contains("\"retries\":2"));
+        let state = parse_journal(&a).unwrap();
+        assert!(state.complete, "summary closes the stream");
+    }
+
+    #[test]
+    fn reopen_marks_resume() {
+        let cfg = config();
+        let j = Journal::create(Vec::new(), &cfg).unwrap();
+        let mut text = String::from_utf8(j.into_inner()).unwrap();
+        let j2 = Journal::reopen(Vec::new(), 0).unwrap();
+        text.push_str(&String::from_utf8(j2.into_inner()).unwrap());
+        let state = parse_journal(&text).unwrap();
+        assert!(state.resumed);
+    }
+}

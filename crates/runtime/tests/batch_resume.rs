@@ -1,0 +1,117 @@
+//! Crash-consistency integration tests for the batch runtime, driven
+//! entirely through the public API: kill a chaos batch mid-run (including
+//! with a torn trailing journal line), resume from the parsed journal,
+//! and require the resumed report to be byte-identical to an
+//! uninterrupted control run.
+
+use std::time::Duration;
+
+use tml_runtime::journal::{parse_journal, render_report, Journal};
+use tml_runtime::{run_batch, BatchOptions, BatchResult, ChaosSpec, JobStatus, KillSwitch};
+
+const JOBS: u64 = 10;
+
+fn chaos_options(corpus_seed: u64) -> BatchOptions {
+    let mut opts = BatchOptions::new(corpus_seed, JOBS);
+    opts.chaos = Some(ChaosSpec::parse("panic=0.35,nan=0.15,slow=0.05,seed=13").unwrap());
+    opts.retry.base = Duration::from_millis(1);
+    opts.retry.cap = Duration::from_millis(3);
+    opts.workers = 2;
+    opts
+}
+
+fn run(opts: &BatchOptions, journal_text: Option<&str>) -> (BatchResult, String) {
+    let state = journal_text.map(|t| parse_journal(t).expect("journal parses"));
+    let journal = match &state {
+        Some(s) => Journal::reopen(Vec::new(), s.outcomes.len() as u64),
+        None => Journal::create(Vec::new(), &opts.config()),
+    }
+    .unwrap();
+    let result = run_batch(opts, &journal, state.as_ref()).unwrap();
+    (result, String::from_utf8(journal.into_inner()).unwrap())
+}
+
+#[test]
+fn resume_after_torn_tail_matches_control() {
+    let control = chaos_options(101);
+    let (control_result, _) = run(&control, None);
+    assert_eq!(control_result.outcomes.len() as u64, JOBS);
+    let control_report = render_report(&control.config(), &control_result.outcomes);
+
+    let mut killed = control.clone();
+    killed.kill = KillSwitch::new();
+    killed.kill_after = Some(4);
+    let (killed_result, killed_journal) = run(&killed, None);
+    assert!(killed_result.killed);
+
+    // A kill -9 can cut the last journal line anywhere, including right
+    // after a record boundary; the parser must shrug either way.
+    let torn = {
+        let mut t = killed_journal.clone();
+        t.truncate(t.len() - 17);
+        t
+    };
+    for journal_text in [killed_journal.as_str(), torn.as_str()] {
+        let mut resumed = control.clone();
+        resumed.kill = KillSwitch::new();
+        let (resumed_result, appended) = run(&resumed, Some(journal_text));
+        assert!(!resumed_result.killed);
+        assert_eq!(resumed_result.outcomes.len() as u64, JOBS);
+        let report = render_report(&resumed.config(), &resumed_result.outcomes);
+        assert_eq!(report, control_report, "resume is byte-identical to control");
+        assert!(appended.contains("\"type\":\"resume\""), "resume boundary journaled");
+    }
+}
+
+#[test]
+fn a_twice_killed_batch_still_converges() {
+    let control = chaos_options(202);
+    let (control_result, _) = run(&control, None);
+    let control_report = render_report(&control.config(), &control_result.outcomes);
+
+    // First crash.
+    let mut killed = control.clone();
+    killed.kill = KillSwitch::new();
+    killed.kill_after = Some(3);
+    let (_, first_journal) = run(&killed, None);
+
+    // Second crash, mid-resume. The journal segments concatenate the way
+    // the CLI's append-mode file does.
+    let mut killed_again = control.clone();
+    killed_again.kill = KillSwitch::new();
+    killed_again.kill_after = Some(3);
+    let (_, second_segment) = run(&killed_again, Some(&first_journal));
+    let combined = format!("{first_journal}{second_segment}");
+
+    let parsed = parse_journal(&combined).unwrap();
+    assert!(parsed.resumed, "second segment marked the resume");
+    assert!(!parsed.complete);
+
+    let mut last = control.clone();
+    last.kill = KillSwitch::new();
+    let (final_result, _) = run(&last, Some(&combined));
+    let report = render_report(&last.config(), &final_result.outcomes);
+    assert_eq!(report, control_report, "two crashes later, still byte-identical");
+}
+
+#[test]
+fn chaos_cannot_abort_the_batch() {
+    // Maximum hostility: every attempt draws a fault. Panics are caught,
+    // poisoned datasets error, retries exhaust — but every job reaches a
+    // terminal outcome and the batch completes with a summary.
+    let mut opts = BatchOptions::new(77, 6);
+    opts.chaos = Some(ChaosSpec::parse("panic=0.7,nan=0.3,seed=3").unwrap());
+    opts.retry.base = Duration::from_millis(1);
+    opts.retry.cap = Duration::from_millis(2);
+    let (result, journal_text) = run(&opts, None);
+    assert!(!result.killed);
+    assert_eq!(result.outcomes.len(), 6);
+    assert!(
+        result.outcomes.iter().all(|o| o.status == JobStatus::Failed),
+        "p=1.0 faults on every attempt: every job exhausts its retries"
+    );
+    assert!(result.outcomes.iter().all(|o| o.attempts == opts.retry.max_attempts));
+    let state = parse_journal(&journal_text).unwrap();
+    assert!(state.complete, "the batch itself never dies");
+    assert_eq!(state.failures.len(), 6 * opts.retry.max_attempts as usize);
+}

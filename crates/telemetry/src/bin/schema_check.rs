@@ -74,7 +74,7 @@ fn validate(content: &str) -> Result<Stats, String> {
     if meta.get("type").and_then(|v| v.as_str()) != Some("meta") {
         return Err("line 1: first record must have type \"meta\"".into());
     }
-    if meta.get("schema").and_then(|v| v.as_str()) != Some("tml-trace/v1") {
+    if meta.get("schema").and_then(|v| v.as_str()) != Some(tml_telemetry::jsonl::schema::TRACE) {
         return Err("line 1: schema must be \"tml-trace/v1\"".into());
     }
 

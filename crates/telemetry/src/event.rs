@@ -180,10 +180,7 @@ impl Event {
 
     /// The meta line every `tml-trace/v1` stream starts with.
     pub fn meta_line(tool: &str) -> String {
-        let mut out = String::from("{\"type\":\"meta\",\"schema\":\"tml-trace/v1\",\"tool\":");
-        json::write_string(&mut out, tool);
-        out.push('}');
-        out
+        crate::jsonl::LineBuilder::meta(crate::jsonl::schema::TRACE).str("tool", tool).finish()
     }
 }
 

@@ -108,6 +108,14 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Array accessor.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Object accessor.
     pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
         match self {

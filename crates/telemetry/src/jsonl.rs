@@ -1,0 +1,241 @@
+//! Shared line-framed JSONL infrastructure for every `tml-*/v1` stream.
+//!
+//! Three streams in the workspace speak self-describing JSONL — the
+//! telemetry trace (`tml-trace/v1`), the conformance report
+//! (`tml-conformance/v1`) and the batch-runtime journal
+//! (`tml-journal/v1`). They share one framing contract:
+//!
+//! * one JSON object per line, each carrying a `"type"` discriminator;
+//! * the first line is a `meta` record naming the schema;
+//! * a trailing `summary` record closes well-formed streams (journals that
+//!   were killed mid-run legitimately lack one).
+//!
+//! This module is the single home of that contract: the [`schema`]
+//! constants, a [`LineBuilder`] for constructing record lines without a
+//! serialization dependency, and a [`JsonlWriter`] wrapping any
+//! `Write` with line-atomic (and optionally durable) appends.
+
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// Schema-version identifiers for every JSONL stream the workspace emits.
+/// New readers must match these strings exactly; bumping a version means
+/// adding a new constant, never editing one in place.
+pub mod schema {
+    /// Telemetry trace stream (spans + counters); see DESIGN.md §9.
+    pub const TRACE: &str = "tml-trace/v1";
+    /// Conformance / differential-oracle reports; see DESIGN.md §10.
+    pub const CONFORMANCE: &str = "tml-conformance/v1";
+    /// Batch-repair write-ahead journal and final report; see DESIGN.md §11.
+    pub const JOURNAL: &str = "tml-journal/v1";
+}
+
+/// Builds one JSONL record — a single-line JSON object with a leading
+/// `"type"` field — by appending typed fields in call order.
+///
+/// # Example
+///
+/// ```
+/// use tml_telemetry::jsonl::LineBuilder;
+///
+/// let line = LineBuilder::record("attempt").u64("job", 3).str("stage", "verify").finish();
+/// assert_eq!(line, r#"{"type":"attempt","job":3,"stage":"verify"}"#);
+/// ```
+#[derive(Debug)]
+pub struct LineBuilder {
+    buf: String,
+}
+
+impl LineBuilder {
+    /// Starts a record of the given `type`.
+    pub fn record(ty: &str) -> Self {
+        let mut buf = String::from("{\"type\":");
+        json::write_string(&mut buf, ty);
+        LineBuilder { buf }
+    }
+
+    /// Starts a `meta` record declaring a schema from [`schema`].
+    pub fn meta(schema_id: &str) -> Self {
+        LineBuilder::record("meta").str("schema", schema_id)
+    }
+
+    /// Appends a string field (JSON-escaped).
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        json::write_string(&mut self.buf, value);
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a float field (`null` for non-finite values, matching the
+    /// rest of the workspace's JSON emitters).
+    #[must_use]
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        json::write_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a pre-serialized JSON value verbatim (arrays, nested
+    /// objects, `null`). The caller is responsible for its validity.
+    #[must_use]
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Appends a string field when `value` is `Some`, `null` otherwise.
+    #[must_use]
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Closes the record and returns the line (without a trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        json::write_string(&mut self.buf, key);
+        self.buf.push(':');
+    }
+}
+
+/// A thread-safe line-at-a-time JSONL writer.
+///
+/// Every [`line`](Self::line) call appends exactly one record and a
+/// newline while holding an internal mutex, so concurrent writers never
+/// interleave partial lines. In *durable* mode the writer additionally
+/// flushes after every line — the write-ahead contract the batch journal
+/// relies on: after a `kill -9`, the journal contains every fully-written
+/// record plus at most one torn trailing line.
+pub struct JsonlWriter<W: Write + Send> {
+    inner: Mutex<W>,
+    durable: bool,
+}
+
+impl<W: Write + Send> JsonlWriter<W> {
+    /// A buffered writer (flush on demand / drop of the inner writer).
+    pub fn new(inner: W) -> Self {
+        JsonlWriter { inner: Mutex::new(inner), durable: false }
+    }
+
+    /// A write-ahead writer: every line is flushed before `line` returns.
+    pub fn durable(inner: W) -> Self {
+        JsonlWriter { inner: Mutex::new(inner), durable: true }
+    }
+
+    /// Appends one record line atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn line(&self, record: &str) -> io::Result<()> {
+        debug_assert!(!record.contains('\n'), "JSONL records must be single lines");
+        let mut w = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(w, "{record}")?;
+        if self.durable {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).flush()
+    }
+
+    /// Unwraps the underlying writer (tests: inspect the buffer).
+    pub fn into_inner(self) -> W {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_frames_records() {
+        let line = LineBuilder::meta(schema::JOURNAL)
+            .str("tool", "tml")
+            .u64("jobs", 32)
+            .f64("theta", 0.5)
+            .f64("nan", f64::NAN)
+            .bool("resumed", false)
+            .raw("x", "[1,2]")
+            .opt_str("family", None)
+            .finish();
+        assert_eq!(
+            line,
+            "{\"type\":\"meta\",\"schema\":\"tml-journal/v1\",\"tool\":\"tml\",\"jobs\":32,\
+             \"theta\":0.5,\"nan\":null,\"resumed\":false,\"x\":[1,2],\"family\":null}"
+        );
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(schema::JOURNAL));
+    }
+
+    #[test]
+    fn builder_escapes_strings() {
+        let line = LineBuilder::record("failure").str("detail", "panic: \"boom\"\n").finish();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("detail").and_then(|s| s.as_str()), Some("panic: \"boom\"\n"));
+    }
+
+    #[test]
+    fn writer_appends_lines_atomically() {
+        let w = JsonlWriter::new(Vec::new());
+        w.line("{\"type\":\"a\"}").unwrap();
+        w.line("{\"type\":\"b\"}").unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(text, "{\"type\":\"a\"}\n{\"type\":\"b\"}\n");
+    }
+
+    #[test]
+    fn durable_writer_flushes_every_line() {
+        struct CountingFlush(Vec<u8>, usize);
+        impl Write for CountingFlush {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.1 += 1;
+                Ok(())
+            }
+        }
+        let w = JsonlWriter::durable(CountingFlush(Vec::new(), 0));
+        w.line("{}").unwrap();
+        w.line("{}").unwrap();
+        let inner = w.into_inner();
+        assert_eq!(inner.1, 2, "one flush per line");
+    }
+}

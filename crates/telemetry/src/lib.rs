@@ -51,6 +51,7 @@
 
 pub mod event;
 pub mod json;
+pub mod jsonl;
 pub mod metrics;
 pub mod sink;
 pub mod summary;

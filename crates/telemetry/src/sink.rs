@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::event::Event;
+use crate::jsonl::JsonlWriter;
 
 /// Receives every event a subscriber dispatches. Implementations must be
 /// thread-safe; `record` is called from whichever thread the span/counter
@@ -77,29 +78,30 @@ impl Sink for RingSink {
 }
 
 /// Streams events as `tml-trace/v1` JSON lines to a writer, starting with
-/// the schema meta line.
+/// the schema meta line. Line framing is shared with every other `tml-*/v1`
+/// stream via [`crate::jsonl::JsonlWriter`].
 pub struct JsonlSink<W: Write + Send> {
-    writer: Mutex<W>,
+    writer: JsonlWriter<W>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps `writer` and immediately emits the meta line identifying the
     /// producing tool.
-    pub fn new(mut writer: W, tool: &str) -> std::io::Result<Self> {
-        writeln!(writer, "{}", Event::meta_line(tool))?;
-        Ok(JsonlSink { writer: Mutex::new(writer) })
+    pub fn new(writer: W, tool: &str) -> std::io::Result<Self> {
+        let writer = JsonlWriter::new(writer);
+        writer.line(&Event::meta_line(tool))?;
+        Ok(JsonlSink { writer })
     }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, event: &Event) {
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         // Trace output is best-effort: a full disk must not abort a repair.
-        let _ = writeln!(w, "{}", event.to_json_line());
+        let _ = self.writer.line(&event.to_json_line());
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap_or_else(|e| e.into_inner()).flush();
+        let _ = self.writer.flush();
     }
 }
 
@@ -162,7 +164,7 @@ mod tests {
             at_ns: 0,
             fields: vec![],
         });
-        let buf = sink.writer.into_inner().unwrap();
+        let buf = sink.writer.into_inner();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
