@@ -10,6 +10,7 @@
 //! tml witness  MODEL.tml goal
 //! tml batch    32 --journal batch.jsonl --report report.jsonl
 //! tml batch    --resume batch.jsonl --report report.jsonl
+//! tml serve    --journal serve.jsonl --addr 127.0.0.1:0 --workers 2
 //! ```
 //!
 //! Every command accepts `--trace-json PATH` (stream a `tml-trace/v1`
@@ -56,6 +57,10 @@ const USAGE: &str = "usage:
   tml batch    --resume JOURNAL continue an interrupted batch from its journal;
                                 the final report is byte-identical to an
                                 uninterrupted run
+  tml serve    --journal PATH   run the repair service: HTTP/1.1 JSON admission
+                                (POST /v1/jobs) over the same write-ahead
+                                journal; kill -9 + restart on the journal
+                                resumes byte-identically
   tml help                      print this help
 
 global options:
@@ -89,7 +94,19 @@ options (batch):
                      on this)
   --chaos SPEC       deterministic fault plan, e.g. 'panic=0.2,nan=0.1,seed=7'
   --kill-after N     simulate a crash: exit(137) after N jobs conclude
-  --resume JOURNAL   replay a journal and finish the interrupted batch";
+  --resume JOURNAL   replay a journal and finish the interrupted batch
+
+options (serve; also honours --corpus-seed, --retries, --workers, --chaos,
+--kill-after and the required --journal):
+  --addr ADDR        bind address (default 127.0.0.1:0; the bound address is
+                     printed to stdout on startup)
+  --queue-depth N    bounded admission queue: job N+1 is shed with
+                     429 Retry-After instead of buffering (default 64)
+  --drain-ms MS      graceful-shutdown budget: SIGTERM/SIGINT (or
+                     POST /admin/drain) stops admission, gives in-flight jobs
+                     this long, journals the rest and exits 0 (default 5000)
+  --request-log PATH write a tml-serve/v1 request log (one JSON object per
+                     line, contiguous seq)";
 
 #[derive(Debug)]
 struct UsageError(String);
@@ -108,6 +125,27 @@ struct CliOptions {
     help: bool,
     simulate: Option<u64>,
     batch: BatchFlags,
+    serve: ServeFlags,
+}
+
+/// Flags specific to `tml serve` (the service also reuses most of the
+/// batch flags: seed, retries, workers, chaos, kill-after, journal).
+struct ServeFlags {
+    addr: String,
+    queue_depth: usize,
+    drain_ms: u64,
+    request_log: Option<String>,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        ServeFlags {
+            addr: "127.0.0.1:0".into(),
+            queue_depth: 64,
+            drain_ms: 5000,
+            request_log: None,
+        }
+    }
 }
 
 /// Flags specific to `tml batch`.
@@ -176,6 +214,7 @@ fn dispatch(args: &[String], opts: &CliOptions) -> Result<u8, UsageError> {
         .map(|()| 0),
         "witness" => witness(arg(args, 1, "MODEL")?, arg(args, 2, "LABEL")?).map(|()| 0),
         "batch" => batch(args.get(1).map(String::as_str), &opts.batch),
+        "serve" => serve(&opts.batch, &opts.serve),
         other => Err(UsageError(format!("unknown command {other:?}"))),
     }
 }
@@ -192,6 +231,7 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
         help: false,
         simulate: None,
         batch: BatchFlags::default(),
+        serve: ServeFlags::default(),
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -259,6 +299,25 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
             "--resume" => {
                 let path = it.next().ok_or_else(|| UsageError("--resume needs a path".into()))?;
                 opts.batch.resume = Some(path.clone());
+            }
+            "--addr" => {
+                let addr = it.next().ok_or_else(|| UsageError("--addr needs an address".into()))?;
+                opts.serve.addr = addr.clone();
+            }
+            "--queue-depth" => {
+                let n: usize = parse_num(it.next(), "--queue-depth")?;
+                if n == 0 {
+                    return Err(UsageError("--queue-depth needs at least one slot".into()));
+                }
+                opts.serve.queue_depth = n;
+            }
+            "--drain-ms" => {
+                opts.serve.drain_ms = parse_num(it.next(), "--drain-ms")?;
+            }
+            "--request-log" => {
+                let path =
+                    it.next().ok_or_else(|| UsageError("--request-log needs a path".into()))?;
+                opts.serve.request_log = Some(path.clone());
             }
             "--simulate" => {
                 let n: u64 = it
@@ -472,7 +531,7 @@ fn witness(path: &str, label: &str) -> Result<(), UsageError> {
 /// learn/verify/repair jobs. See `tml_runtime` for the executor and
 /// DESIGN.md §11 for the journal format and the resume contract.
 fn batch(count: Option<&str>, flags: &BatchFlags) -> Result<u8, UsageError> {
-    use tml_runtime::journal::{parse_journal, render_report, Journal};
+    use tml_runtime::journal::{parse_journal_bytes, render_report, Journal};
     use tml_runtime::{run_batch, BatchOptions, ChaosSpec};
 
     if flags.kill_after.is_some() && flags.journal.is_none() {
@@ -490,9 +549,11 @@ fn batch(count: Option<&str>, flags: &BatchFlags) -> Result<u8, UsageError> {
                     "--resume takes the job count from the journal; drop COUNT".into(),
                 ));
             }
-            let text = std::fs::read_to_string(path)
+            // Bytes, not a string: a `kill -9` can tear the final line
+            // mid-UTF-8, which must not make the journal unresumable.
+            let bytes = std::fs::read(path)
                 .map_err(|e| UsageError(format!("cannot read journal {path:?}: {e}")))?;
-            let state = parse_journal(&text).map_err(UsageError)?;
+            let state = parse_journal_bytes(&bytes).map_err(UsageError)?;
             let cfg = &state.config;
             let mut opts = BatchOptions::new(cfg.corpus_seed, cfg.jobs);
             opts.retry.max_attempts = cfg.max_attempts;
@@ -571,6 +632,55 @@ fn batch(count: Option<&str>, flags: &BatchFlags) -> Result<u8, UsageError> {
         if resume_state.is_some() { " [resumed]" } else { "" },
     );
     Ok(0)
+}
+
+/// `tml serve`: run the repair service until a drain (SIGTERM, SIGINT or
+/// `POST /admin/drain`) completes. See `tml_serve` for the admission
+/// pipeline and DESIGN.md §12 for the failure matrix.
+fn serve(batch: &BatchFlags, flags: &ServeFlags) -> Result<u8, UsageError> {
+    use tml_runtime::ChaosSpec;
+    use tml_serve::server::{RunOutcome, ServeOptions, Server};
+
+    let Some(journal) = &batch.journal else {
+        return Err(UsageError(
+            "serve needs --journal (every accepted job is journaled before the \
+             client sees the acceptance)"
+                .into(),
+        ));
+    };
+    let mut opts = ServeOptions::new(journal);
+    opts.addr = flags.addr.clone();
+    opts.workers = batch.workers;
+    opts.queue_depth = flags.queue_depth;
+    opts.drain_ms = flags.drain_ms;
+    opts.request_log = flags.request_log.clone().map(Into::into);
+    opts.corpus_seed = batch.corpus_seed;
+    opts.retry.max_attempts = batch.retries;
+    opts.chaos = match &batch.chaos {
+        Some(spec) => Some(ChaosSpec::parse(spec).map_err(UsageError)?),
+        None => None,
+    };
+    // From the CLI a kill is the real thing: exit(137), like `kill -9`.
+    opts.kill_after = batch.kill_after;
+    opts.hard_kill = true;
+
+    let server =
+        Server::bind(opts).map_err(|e| UsageError(format!("cannot start service: {e}")))?;
+    let addr = server.addr().map_err(|e| UsageError(format!("cannot resolve address: {e}")))?;
+    // Scripts (and the CI smoke) scrape the port from this line.
+    println!("serve: listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    match server.run().map_err(|e| UsageError(format!("service failed: {e}")))? {
+        RunOutcome::Drained => {
+            eprintln!("serve: drained; un-started jobs remain journaled for the next start");
+            Ok(0)
+        }
+        // Unreachable with hard_kill (the process exits 137 instead), but
+        // keep the soft-crash path honest.
+        RunOutcome::Crashed => Ok(137),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! Process-level tests for `tml serve`: a real `SIGKILL` mid-corpus, a
+//! restart on the surviving journal, and a byte-compare of the final
+//! report against an uninterrupted control server — the crate's central
+//! crash-consistency contract, exercised through the shipped binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tml-serve-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+struct Served {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns `tml serve` and scrapes the bound address from its first
+/// stdout line.
+fn spawn_serve(journal: &Path, extra: &[&str]) -> Served {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tml"));
+    cmd.args(["serve", "--journal", journal.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn tml serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+        .to_string();
+    Served { child, addr }
+}
+
+/// One HTTP exchange against the served address.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8(raw).expect("utf8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body");
+    let status: u16 = head.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status");
+    (status, body.to_string())
+}
+
+fn submit_corpus(addr: &str, index: u64) -> u16 {
+    http(addr, "POST", "/v1/jobs", &format!("{{\"kind\":\"corpus\",\"index\":{index}}}")).0
+}
+
+fn await_report(addr: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http(addr, "GET", "/v1/report", "");
+        if status == 200 {
+            return body;
+        }
+        assert_eq!(status, 409, "report while pending: {body}");
+        assert!(Instant::now() < deadline, "jobs did not conclude in 60s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Drains via the admin endpoint and asserts a clean exit 0.
+fn drain(mut served: Served) {
+    let (status, _) = http(&served.addr, "POST", "/admin/drain", "");
+    assert_eq!(status, 200);
+    let exit = served.child.wait().expect("wait");
+    assert_eq!(exit.code(), Some(0), "drained server exits 0");
+}
+
+const JOBS: u64 = 6;
+// Every attempt sleeps 5-25ms: the SIGKILL below reliably lands mid-run,
+// and the fault plan is identical (seeded) across victim and control.
+const CHAOS: &[&str] = &["--chaos", "slow=1.0,seed=3", "--workers", "1", "--retries", "2"];
+
+#[test]
+fn sigkill_then_restart_converges_to_the_control_report() {
+    // Victim: accept the whole corpus, then SIGKILL mid-run.
+    let journal = temp_path("victim.jsonl");
+    let reqlog = temp_path("victim-requests.jsonl");
+    let mut extra: Vec<&str> = CHAOS.to_vec();
+    let reqlog_s = reqlog.to_str().unwrap().to_string();
+    extra.extend_from_slice(&["--request-log", &reqlog_s]);
+    let mut victim = spawn_serve(&journal, &extra);
+    for index in 0..JOBS {
+        assert_eq!(submit_corpus(&victim.addr, index), 202, "every submission journaled");
+    }
+    victim.child.kill().expect("SIGKILL"); // kill(2) with SIGKILL: no drain, no flush
+    victim.child.wait().expect("reap");
+
+    // Restart on the surviving journal. Resubmitting the same corpus is
+    // idempotent: completed jobs answer from the journal, in-flight ones
+    // re-run under the warm-start rule.
+    let revived = spawn_serve(&journal, CHAOS);
+    for index in 0..JOBS {
+        let status = submit_corpus(&revived.addr, index);
+        assert!(
+            status == 200 || status == 202,
+            "resubmission dedups (200) or re-queues (202), got {status}"
+        );
+    }
+    let resumed = await_report(&revived.addr);
+    drain(revived);
+
+    // Control: same corpus, same chaos plan, never killed.
+    let control_journal = temp_path("control.jsonl");
+    let control = spawn_serve(&control_journal, CHAOS);
+    for index in 0..JOBS {
+        assert_eq!(submit_corpus(&control.addr, index), 202);
+    }
+    let uninterrupted = await_report(&control.addr);
+    drain(control);
+
+    assert_eq!(
+        resumed, uninterrupted,
+        "SIGKILL + restart must converge byte-identically to the control report"
+    );
+
+    // The request log survived the kill as far as its last flushed line.
+    let log = std::fs::read_to_string(&reqlog).expect("request log written");
+    assert!(log.starts_with("{\"type\":\"meta\",\"schema\":\"tml-serve/v1\""), "log meta: {log}");
+
+    for p in [journal, control_journal, reqlog] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let journal = temp_path("sigterm.jsonl");
+    let served = spawn_serve(&journal, &["--workers", "1", "--drain-ms", "5000"]);
+    assert_eq!(submit_corpus(&served.addr, 0), 202);
+
+    let ok = Command::new("kill")
+        .args(["-TERM", &served.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM")
+        .success();
+    assert!(ok, "kill -TERM delivered");
+
+    let mut child = served.child;
+    let exit = child.wait().expect("wait");
+    assert_eq!(exit.code(), Some(0), "SIGTERM drain exits 0 (job journaled or finished)");
+
+    // Whatever did not finish inside the drain window is recoverable: the
+    // journal still holds the submission.
+    let text = std::fs::read_to_string(&journal).expect("journal durable");
+    assert!(text.contains("\"type\":\"submit\""), "submission survived: {text}");
+    let _ = std::fs::remove_file(journal);
+}

@@ -5,9 +5,20 @@
 //! folds each finished job's counters into a [`SolverBreakers`] set; a
 //! backend that fails `threshold` consecutive jobs trips **open** and is
 //! skipped — under `LinearSolver::Auto` an open Gauss–Seidel breaker
-//! routes jobs straight to the dense direct solver — until `cooldown`
-//! subsequent jobs have passed, when a single half-open probe decides
-//! whether it closes again.
+//! routes jobs straight to the dense direct solver — until it half-opens
+//! again, when a single probe decides whether it closes.
+//!
+//! Two recovery modes govern the open→half-open transition:
+//!
+//! * **Count-based** (the default): `cooldown` skipped observations
+//!   half-open the breaker. No clocks — deterministic under replay, which
+//!   is what the batch runtime's byte-identity contract needs.
+//! * **Time-based** ([`CircuitBreaker::with_recovery`]): the breaker
+//!   half-opens once `recovery` has elapsed since it tripped, measured on
+//!   an injected [`Clock`] so tests advance time instead of sleeping.
+//!   This is what a long-running service wants — a backend that failed at
+//!   09:00 should get its probe at 09:00:05 whether or not any traffic
+//!   arrived in between.
 //!
 //! Breakers adapt in job-*completion* order, which depends on scheduling
 //! when `workers > 1`; like PR 2's budget exhaustion they are therefore a
@@ -16,8 +27,12 @@
 //! standard corpus solves small models directly, so they never trip
 //! there).
 
+use std::time::{Duration, Instant};
+
 use tml_checker::{CheckOptions, LinearSolver};
 use tml_numerics::Diagnostics;
+
+use crate::clock::SharedClock;
 
 /// Where a breaker currently stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,47 +45,111 @@ pub enum BreakerState {
     HalfOpen,
 }
 
-/// A count-based circuit breaker (no clocks — deterministic under replay).
+impl BreakerState {
+    /// Stable wire name (`/readyz` payloads, journals).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// How an open breaker decides to admit its half-open probe.
+#[derive(Clone)]
+enum Recovery {
+    /// Count `cooldown` skipped observations, then half-open.
+    Count { cooldown: u32, cooldown_left: u32 },
+    /// Half-open once `recovery` has elapsed since the breaker opened.
+    Time { recovery: Duration, clock: SharedClock, opened_at: Option<Instant> },
+}
+
+impl std::fmt::Debug for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Recovery::Count { cooldown, cooldown_left } => f
+                .debug_struct("Count")
+                .field("cooldown", cooldown)
+                .field("cooldown_left", cooldown_left)
+                .finish(),
+            Recovery::Time { recovery, opened_at, .. } => f
+                .debug_struct("Time")
+                .field("recovery", recovery)
+                .field("opened_at", opened_at)
+                .finish(),
+        }
+    }
+}
+
+/// A circuit breaker with pluggable (count- or time-based) recovery.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
     threshold: u32,
-    cooldown: u32,
     consecutive_failures: u32,
-    cooldown_left: u32,
+    recovery: Recovery,
     state: BreakerState,
 }
 
 impl CircuitBreaker {
-    /// A breaker that opens after `threshold` consecutive failures and
-    /// half-opens after `cooldown` skipped observations.
+    /// A count-based breaker that opens after `threshold` consecutive
+    /// failures and half-opens after `cooldown` skipped observations.
     pub fn new(threshold: u32, cooldown: u32) -> Self {
         CircuitBreaker {
             threshold: threshold.max(1),
-            cooldown: cooldown.max(1),
             consecutive_failures: 0,
-            cooldown_left: 0,
+            recovery: Recovery::Count { cooldown: cooldown.max(1), cooldown_left: 0 },
             state: BreakerState::Closed,
         }
     }
 
-    /// Current state.
+    /// A time-based breaker: opens after `threshold` consecutive failures
+    /// and half-opens once `recovery` has elapsed on `clock` since the
+    /// trip. The elapsed check runs inside [`allows`](Self::allows), so an
+    /// idle service still recovers as soon as the next request arrives.
+    pub fn with_recovery(threshold: u32, recovery: Duration, clock: SharedClock) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            consecutive_failures: 0,
+            recovery: Recovery::Time { recovery, clock, opened_at: None },
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// Current state. Time-based breakers report their state lazily: an
+    /// open breaker whose recovery window already elapsed still reads
+    /// `Open` until the next [`allows`](Self::allows) call promotes it.
     pub fn state(&self) -> BreakerState {
         self.state
     }
 
-    /// Whether the next request may use this backend. While open, each
-    /// call counts down the cooldown; when it reaches zero the breaker
-    /// half-opens and admits one probe.
+    /// Whether the next request may use this backend.
+    ///
+    /// While open, a count-based breaker counts down its cooldown (the
+    /// transitioning call still answers `false`; the following one admits
+    /// the probe). A time-based breaker half-opens — and admits the probe
+    /// immediately — once the recovery window has elapsed.
     pub fn allows(&mut self) -> bool {
         match self.state {
             BreakerState::Closed | BreakerState::HalfOpen => true,
-            BreakerState::Open => {
-                self.cooldown_left = self.cooldown_left.saturating_sub(1);
-                if self.cooldown_left == 0 {
-                    self.state = BreakerState::HalfOpen;
+            BreakerState::Open => match &mut self.recovery {
+                Recovery::Count { cooldown_left, .. } => {
+                    *cooldown_left = cooldown_left.saturating_sub(1);
+                    if *cooldown_left == 0 {
+                        self.state = BreakerState::HalfOpen;
+                    }
+                    false
                 }
-                false
-            }
+                Recovery::Time { recovery, clock, opened_at } => {
+                    let elapsed = opened_at.map(|t| clock.now().saturating_duration_since(t));
+                    if elapsed.is_some_and(|e| e >= *recovery) {
+                        self.state = BreakerState::HalfOpen;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
         }
     }
 
@@ -84,8 +163,49 @@ impl CircuitBreaker {
         self.consecutive_failures += 1;
         if self.state == BreakerState::HalfOpen || self.consecutive_failures >= self.threshold {
             self.state = BreakerState::Open;
-            self.cooldown_left = self.cooldown;
+            match &mut self.recovery {
+                Recovery::Count { cooldown, cooldown_left } => *cooldown_left = *cooldown,
+                Recovery::Time { clock, opened_at, .. } => *opened_at = Some(clock.now()),
+            }
         }
+    }
+
+    /// A point-in-time snapshot for readiness endpoints and journals.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot { state: self.state, consecutive_failures: self.consecutive_failures }
+    }
+}
+
+/// Point-in-time view of one breaker, cheap to copy into responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Where the breaker stands.
+    pub state: BreakerState,
+    /// Consecutive failed observations (resets on success).
+    pub consecutive_failures: u32,
+}
+
+/// Point-in-time view of all three backend breakers, in the fixed order
+/// (gauss-seidel, jacobi, direct) — the shape `/readyz` serializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakersSnapshot {
+    /// The Gauss–Seidel backend.
+    pub gauss_seidel: BreakerSnapshot,
+    /// The Jacobi backend.
+    pub jacobi: BreakerSnapshot,
+    /// The dense direct backend (the last-resort solver).
+    pub direct: BreakerSnapshot,
+}
+
+impl BreakersSnapshot {
+    /// `(wire name, snapshot)` pairs in the fixed backend order.
+    pub fn named(&self) -> [(&'static str, BreakerSnapshot); 3] {
+        [("gauss_seidel", self.gauss_seidel), ("jacobi", self.jacobi), ("direct", self.direct)]
+    }
+
+    /// Whether any backend breaker is currently open.
+    pub fn any_open(&self) -> bool {
+        self.named().iter().any(|(_, b)| b.state == BreakerState::Open)
     }
 }
 
@@ -108,6 +228,16 @@ impl Default for SolverBreakers {
 }
 
 impl SolverBreakers {
+    /// A breaker set with time-based recovery on every backend — the
+    /// long-running-service configuration ([`CircuitBreaker::with_recovery`]).
+    pub fn with_recovery(recovery: Duration, clock: SharedClock) -> Self {
+        SolverBreakers {
+            gauss_seidel: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
+            jacobi: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
+            direct: CircuitBreaker::with_recovery(5, recovery, clock),
+        }
+    }
+
     /// Folds a finished job's diagnostics into the breakers: a backend
     /// with any failure this job counts as one failed observation, one
     /// with only successes as one healthy observation, untouched backends
@@ -142,11 +272,29 @@ impl SolverBreakers {
     pub fn states(&self) -> (BreakerState, BreakerState, BreakerState) {
         (self.gauss_seidel.state(), self.jacobi.state(), self.direct.state())
     }
+
+    /// Snapshot of all three breakers for readiness endpoints.
+    pub fn snapshot(&self) -> BreakersSnapshot {
+        BreakersSnapshot {
+            gauss_seidel: self.gauss_seidel.snapshot(),
+            jacobi: self.jacobi.snapshot(),
+            direct: self.direct.snapshot(),
+        }
+    }
+
+    /// Whether the last-resort direct backend is currently open — the
+    /// fail-closed admission signal: with no healthy backend of last
+    /// resort, new work should be refused, not queued.
+    pub fn direct_open(&self) -> bool {
+        self.direct.state() == BreakerState::Open
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::Arc;
 
     #[test]
     fn opens_after_threshold_and_recovers_through_probe() {
@@ -175,6 +323,67 @@ mod tests {
         assert_eq!(b.state(), BreakerState::HalfOpen);
         b.record(false);
         assert_eq!(b.state(), BreakerState::Open, "one half-open failure re-trips");
+    }
+
+    #[test]
+    fn time_based_breaker_half_opens_after_recovery_elapses() {
+        let clock = ManualClock::new();
+        let mut b =
+            CircuitBreaker::with_recovery(2, Duration::from_millis(100), Arc::new(clock.clone()));
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        // No amount of traffic half-opens it before the window elapses.
+        for _ in 0..50 {
+            assert!(!b.allows(), "recovery window not elapsed");
+        }
+        clock.advance(Duration::from_millis(99));
+        assert!(!b.allows(), "1ms short of the window");
+        clock.advance(Duration::from_millis(1));
+        assert!(b.allows(), "window elapsed: probe admitted immediately");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A failed probe re-trips and restarts the window from now.
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows());
+        clock.advance(Duration::from_millis(100));
+        assert!(b.allows(), "second probe after a full new window");
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn time_based_breaker_recovers_while_idle() {
+        // The service shape: the breaker trips, no traffic arrives for a
+        // while, and the very next request gets the probe.
+        let clock = ManualClock::new();
+        let mut b =
+            CircuitBreaker::with_recovery(1, Duration::from_secs(5), Arc::new(clock.clone()));
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        clock.advance(Duration::from_secs(60));
+        assert!(b.allows(), "first request after a long idle period probes");
+    }
+
+    #[test]
+    fn snapshots_reflect_state_and_failure_counts() {
+        let mut set = SolverBreakers::default();
+        let mut diag = Diagnostics::new();
+        diag.telemetry.incr("checker.backend.gauss-seidel.fail", 1);
+        set.observe(&diag);
+        set.observe(&diag);
+        let snap = set.snapshot();
+        assert_eq!(snap.gauss_seidel.state, BreakerState::Closed);
+        assert_eq!(snap.gauss_seidel.consecutive_failures, 2);
+        assert!(!snap.any_open());
+        set.observe(&diag);
+        let snap = set.snapshot();
+        assert_eq!(snap.gauss_seidel.state, BreakerState::Open);
+        assert!(snap.any_open());
+        assert!(!set.direct_open(), "only the GS backend tripped");
+        let names: Vec<&str> = snap.named().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["gauss_seidel", "jacobi", "direct"]);
+        assert_eq!(BreakerState::HalfOpen.name(), "half_open");
     }
 
     #[test]

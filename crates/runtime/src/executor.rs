@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use tml_core::pipeline::{
     CheckpointHook, PipelineCheckpoint, PipelineStage, TmlOutcome, TmlPipeline,
 };
-use tml_core::RepairOptions;
+use tml_core::{Budget, RepairOptions};
 use tml_models::Path;
 
 use crate::breaker::SolverBreakers;
@@ -151,6 +151,23 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Runs `f` under the batch isolation boundary: the quiet panic hook is
+/// armed for the duration, a panic is caught and rendered to its payload
+/// string instead of unwinding into the caller. This is the same boundary
+/// every batch attempt runs under, exported so other executors (the serve
+/// layer's verify jobs) isolate identically.
+///
+/// # Errors
+///
+/// Returns the panic payload, rendered, when `f` panicked.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_panic_hook();
+    QUIET.with(|q| q.set(true));
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(false));
+    out.map_err(|payload| panic_detail(payload.as_ref()))
+}
+
 struct AttemptSuccess {
     status: JobStatus,
     detail: String,
@@ -167,6 +184,7 @@ fn run_attempt(
     warm: &[(PipelineStage, Vec<f64>)],
     fault: Option<Fault>,
     opts: RepairOptions,
+    budget: Option<&Budget>,
 ) -> (Vec<PipelineCheckpoint>, Result<AttemptSuccess, (FailureKind, String)>) {
     let reached: Arc<Mutex<Vec<PipelineCheckpoint>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -198,18 +216,18 @@ fn run_attempt(
         .with_options(opts)
         .with_data_repair()
         .with_checkpoint_hook(hook);
+    if let Some(b) = budget {
+        pipeline = pipeline.with_budget(b.clone());
+    }
     for (stage, x) in warm {
         pipeline = pipeline.with_warm_start(*stage, x.clone());
     }
 
-    install_quiet_panic_hook();
-    QUIET.with(|q| q.set(true));
-    let outcome = panic::catch_unwind(AssertUnwindSafe(|| pipeline.run(&input.dataset)));
-    QUIET.with(|q| q.set(false));
+    let outcome = isolate(move || pipeline.run(&input.dataset));
 
     let checkpoints = std::mem::take(&mut *reached.lock().unwrap_or_else(|e| e.into_inner()));
     let verdict = match outcome {
-        Err(payload) => Err((FailureKind::Panic, panic_detail(payload.as_ref()))),
+        Err(detail) => Err((FailureKind::Panic, detail)),
         Ok(Err(e)) => Err((FailureKind::Error, e.to_string())),
         Ok(Ok(out)) => {
             let fingerprint = out.model().map(fingerprint_dtmc);
@@ -244,8 +262,158 @@ fn run_attempt(
 /// conclusion, not per solve).
 struct Shared {
     outcomes: Vec<JobOutcome>,
-    breakers: SolverBreakers,
     io_error: Option<io::Error>,
+}
+
+/// Everything one job's attempt loop needs besides the job itself — the
+/// executor's library surface. [`run_batch`] builds one per batch; the
+/// serve layer builds one per submission (with a per-request [`Budget`]
+/// and a shared long-lived breaker set).
+pub struct JobContext<'a> {
+    /// Corpus seed: derives job specs and seeds chaos/backoff draws.
+    pub corpus_seed: u64,
+    /// Retry policy (attempt cap + backoff shape).
+    pub retry: RetryPolicy,
+    /// Fault-injection plan, when chaos is on.
+    pub chaos: Option<&'a ChaosSpec>,
+    /// Per-job budget (deadline + eval cap) threaded into the pipeline.
+    /// `None` runs unlimited — the batch path, whose byte-identity
+    /// contract cannot tolerate wall-clock-dependent results.
+    pub budget: Option<Budget>,
+    /// When the enclosing run started (anchors `deadline`).
+    pub started: Instant,
+    /// Wall-clock deadline for the enclosing run, when one is set.
+    pub deadline: Option<Duration>,
+    /// Shared per-backend breaker set, adapted as jobs conclude.
+    pub breakers: &'a Mutex<SolverBreakers>,
+}
+
+impl JobContext<'_> {
+    /// Time left before the run deadline (`None` when no deadline).
+    fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_sub(self.started.elapsed()))
+    }
+}
+
+/// Runs one corpus-derived job's attempt loop to a terminal outcome,
+/// journaling every transition write-ahead. `job` is the journal id the
+/// records carry; `index` derives the job's inputs from the corpus seed
+/// (the batch path passes `job == index`; the serve path assigns ids at
+/// admission). `first_attempt`/`warm`/`prior_failure` come from a parsed
+/// journal on resume (1, empty, and `None` on a fresh run).
+///
+/// When `first_attempt` is past `max_attempts`, every permitted attempt
+/// already failed before the crash and the torn record was the outcome
+/// itself: the job runs **nothing** and the `Failed` outcome is
+/// reconstructed from `prior_failure`
+/// ([`JournalState::last_failure`](crate::journal::JournalState::last_failure)),
+/// keeping the resumed report byte-identical to the control instead of
+/// burning a forbidden extra attempt.
+///
+/// An already-expired deadline yields **zero attempts**: the outcome is
+/// `Failed` with `attempts: 0` and no `attempt` record is journaled —
+/// the fix for the clamped-to-zero-backoff edge case where attempt 1
+/// used to run against a budget that was already spent.
+///
+/// # Errors
+///
+/// Returns the first journal I/O error. The outcome itself is **not**
+/// journaled here — callers write it (or surface the error) so they can
+/// order it against their own bookkeeping.
+pub fn run_corpus_job<W: Write + Send>(
+    journal: &Journal<W>,
+    ctx: &JobContext<'_>,
+    job: u64,
+    index: u64,
+    first_attempt: u32,
+    mut warm: Vec<(PipelineStage, Vec<f64>)>,
+    prior_failure: Option<String>,
+) -> io::Result<JobOutcome> {
+    let failed = |attempts: u32, detail: String| JobOutcome {
+        job,
+        attempts,
+        status: JobStatus::Failed,
+        detail,
+        fingerprint: None,
+        evaluations: 0,
+    };
+
+    if first_attempt > ctx.retry.max_attempts {
+        // Attempts exhausted before the crash; only the outcome record was
+        // torn off. Reconstruct it — running attempt `first_attempt` here
+        // would exceed the budget the control run obeyed.
+        return Ok(failed(ctx.retry.max_attempts, prior_failure.unwrap_or_default()));
+    }
+
+    let spec = job_spec(ctx.corpus_seed, index);
+    let input = match build_job(&spec) {
+        Ok(input) => input,
+        Err(detail) => return Ok(failed(1, format!("corpus construction: {detail}"))),
+    };
+
+    if !ctx.retry.permits_attempt(ctx.remaining()) {
+        tml_telemetry::counter!("runtime.attempt.deadline_skips", 1);
+        return Ok(failed(0, "run deadline exhausted before first attempt".into()));
+    }
+
+    let last_attempt = ctx.retry.max_attempts;
+    let mut last_failure = String::new();
+    for attempt in first_attempt..=last_attempt {
+        journal.attempt(job, attempt)?;
+
+        let fault = ctx.chaos.and_then(|c| c.fault(job, attempt));
+        let repair_opts = {
+            let mut b = ctx.breakers.lock().unwrap_or_else(|e| e.into_inner());
+            let mut r = RepairOptions::default();
+            b.adjust(&mut r.check);
+            r
+        };
+
+        let (checkpoints, verdict) =
+            run_attempt(&input, &warm, fault, repair_opts, ctx.budget.as_ref());
+        for cp in &checkpoints {
+            journal.checkpoint(job, attempt, cp.stage, cp.solver_point.as_deref())?;
+        }
+
+        match verdict {
+            Ok(success) => {
+                let mut b = ctx.breakers.lock().unwrap_or_else(|e| e.into_inner());
+                b.observe(&success.diagnostics);
+                return Ok(JobOutcome {
+                    job,
+                    attempts: attempt,
+                    status: success.status,
+                    detail: success.detail,
+                    fingerprint: success.fingerprint,
+                    evaluations: success.evaluations,
+                });
+            }
+            Err((kind, detail)) => {
+                tml_telemetry::counter!("runtime.attempt.failures", 1);
+                let failure = AttemptFailure { job, attempt, kind, detail };
+                journal.failure(&failure)?;
+                // Fold-after-failure: only now do this attempt's
+                // checkpoints become warm starts. The resume path applies
+                // the same rule when it reads the journal back.
+                warm.extend(
+                    checkpoints.into_iter().filter_map(|cp| cp.solver_point.map(|x| (cp.stage, x))),
+                );
+                last_failure = format!("{}: {}", failure.kind.name(), failure.detail);
+
+                if attempt < ctx.retry.max_attempts {
+                    let remaining = ctx.remaining();
+                    if !ctx.retry.permits_attempt(remaining) {
+                        last_failure =
+                            format!("run deadline exhausted during retries ({last_failure})");
+                        break;
+                    }
+                    std::thread::sleep(ctx.retry.backoff(ctx.corpus_seed, job, attempt, remaining));
+                }
+            }
+        }
+    }
+
+    Ok(failed(last_attempt, last_failure))
 }
 
 /// Runs (or resumes) a batch. Jobs with an `outcome` record in `resume`
@@ -266,16 +434,18 @@ pub fn run_batch<W: Write + Send>(
     let started = Instant::now();
     let next_job = AtomicU64::new(0);
     let concluded = AtomicU64::new(0);
+    let breakers = Mutex::new(SolverBreakers::default());
     let shared = Mutex::new(Shared {
         outcomes: resume.map(|s| s.outcomes.clone()).unwrap_or_default(),
-        breakers: SolverBreakers::default(),
         io_error: None,
     });
     let workers = opts.workers.max(1) as usize;
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker(opts, journal, resume, &next_job, &concluded, &shared, started));
+            scope.spawn(|| {
+                worker(opts, journal, resume, &next_job, &concluded, &shared, &breakers, started);
+            });
         }
     });
 
@@ -299,8 +469,18 @@ fn worker<W: Write + Send>(
     next_job: &AtomicU64,
     concluded: &AtomicU64,
     shared: &Mutex<Shared>,
+    breakers: &Mutex<SolverBreakers>,
     started: Instant,
 ) {
+    let ctx = JobContext {
+        corpus_seed: opts.corpus_seed,
+        retry: opts.retry,
+        chaos: opts.chaos.as_ref(),
+        budget: None,
+        started,
+        deadline: opts.deadline,
+        breakers,
+    };
     loop {
         if opts.kill.armed() {
             return;
@@ -319,18 +499,23 @@ fn worker<W: Write + Send>(
             continue;
         }
 
-        let outcome = drive_job(opts, journal, resume, shared, started, job);
-        let io_result = journal.outcome(&outcome);
+        let first_attempt = resume.map_or(1, |s| s.next_attempt(job));
+        let warm = resume.map(|s| s.warm_starts(job)).unwrap_or_default();
+        let prior = resume.and_then(|s| s.last_failure(job));
+        let io_result = run_corpus_job(journal, &ctx, job, job, first_attempt, warm, prior)
+            .and_then(|outcome| journal.outcome(&outcome).map(|()| outcome));
         {
             let mut s = shared.lock().unwrap_or_else(|e| e.into_inner());
-            if let Err(e) = io_result {
-                if s.io_error.is_none() {
-                    s.io_error = Some(e);
+            match io_result {
+                Ok(outcome) => s.outcomes.push(outcome),
+                Err(e) => {
+                    if s.io_error.is_none() {
+                        s.io_error = Some(e);
+                    }
+                    opts.kill.arm();
+                    return;
                 }
-                opts.kill.arm();
-                return;
             }
-            s.outcomes.push(outcome);
         }
         conclude(opts, concluded);
     }
@@ -346,135 +531,6 @@ fn conclude(opts: &BatchOptions, concluded: &AtomicU64) {
             std::process::exit(137);
         }
         opts.kill.arm();
-    }
-}
-
-/// Runs one job's attempt loop to a terminal outcome.
-fn drive_job<W: Write + Send>(
-    opts: &BatchOptions,
-    journal: &Journal<W>,
-    resume: Option<&JournalState>,
-    shared: &Mutex<Shared>,
-    started: Instant,
-    job: u64,
-) -> JobOutcome {
-    let spec = job_spec(opts.corpus_seed, job);
-    let input = match build_job(&spec) {
-        Ok(input) => input,
-        Err(detail) => {
-            return JobOutcome {
-                job,
-                attempts: 1,
-                status: JobStatus::Failed,
-                detail: format!("corpus construction: {detail}"),
-                fingerprint: None,
-                evaluations: 0,
-            };
-        }
-    };
-
-    let first_attempt = resume.map_or(1, |s| s.next_attempt(job));
-    let mut warm: Vec<(PipelineStage, Vec<f64>)> =
-        resume.map(|s| s.warm_starts(job)).unwrap_or_default();
-    let mut last_failure = String::new();
-
-    for attempt in first_attempt..=opts.retry.max_attempts.max(first_attempt) {
-        if let Err(e) = journal.attempt(job, attempt) {
-            return journal_loss(job, attempt, e, opts, shared);
-        }
-
-        let fault = opts.chaos.as_ref().and_then(|c| c.fault(job, attempt));
-        let repair_opts = {
-            let mut s = shared.lock().unwrap_or_else(|e| e.into_inner());
-            let mut r = RepairOptions::default();
-            s.breakers.adjust(&mut r.check);
-            r
-        };
-
-        let (checkpoints, verdict) = run_attempt(&input, &warm, fault, repair_opts);
-        for cp in &checkpoints {
-            if let Err(e) = journal.checkpoint(job, attempt, cp.stage, cp.solver_point.as_deref()) {
-                return journal_loss(job, attempt, e, opts, shared);
-            }
-        }
-
-        match verdict {
-            Ok(success) => {
-                let mut s = shared.lock().unwrap_or_else(|e| e.into_inner());
-                s.breakers.observe(&success.diagnostics);
-                return JobOutcome {
-                    job,
-                    attempts: attempt,
-                    status: success.status,
-                    detail: success.detail,
-                    fingerprint: success.fingerprint,
-                    evaluations: success.evaluations,
-                };
-            }
-            Err((kind, detail)) => {
-                tml_telemetry::counter!("runtime.attempt.failures", 1);
-                let failure = AttemptFailure { job, attempt, kind, detail };
-                if let Err(e) = journal.failure(&failure) {
-                    return journal_loss(job, attempt, e, opts, shared);
-                }
-                // Fold-after-failure: only now do this attempt's
-                // checkpoints become warm starts. The resume path applies
-                // the same rule when it reads the journal back.
-                warm.extend(
-                    checkpoints.into_iter().filter_map(|cp| cp.solver_point.map(|x| (cp.stage, x))),
-                );
-                last_failure = format!("{}: {}", failure.kind.name(), failure.detail);
-
-                if attempt < opts.retry.max_attempts {
-                    let remaining = opts.deadline.map(|d| d.saturating_sub(started.elapsed()));
-                    if remaining == Some(Duration::ZERO) {
-                        last_failure =
-                            format!("batch deadline exhausted during retries ({last_failure})");
-                        break;
-                    }
-                    std::thread::sleep(opts.retry.backoff(
-                        opts.corpus_seed,
-                        job,
-                        attempt,
-                        remaining,
-                    ));
-                }
-            }
-        }
-    }
-
-    JobOutcome {
-        job,
-        attempts: opts.retry.max_attempts.max(first_attempt),
-        status: JobStatus::Failed,
-        detail: last_failure,
-        fingerprint: None,
-        evaluations: 0,
-    }
-}
-
-/// A journal write failed mid-job: record the error, stop the batch, and
-/// return a placeholder outcome (it is never journaled — the worker loop
-/// sees the stored error first).
-fn journal_loss(
-    job: u64,
-    attempt: u32,
-    e: io::Error,
-    opts: &BatchOptions,
-    shared: &Mutex<Shared>,
-) -> JobOutcome {
-    let mut s = shared.lock().unwrap_or_else(|p| p.into_inner());
-    if s.io_error.is_none() {
-        s.io_error = Some(e);
-    }
-    opts.kill.arm();
-    JobOutcome {
-        job,
-        attempts: attempt,
-        status: JobStatus::Failed,
-        detail: "journal write failed".into(),
-        fingerprint: None,
-        evaluations: 0,
     }
 }
 
@@ -554,6 +610,66 @@ mod tests {
     }
 
     #[test]
+    fn isolate_contains_panics_as_strings() {
+        assert_eq!(isolate(|| 41 + 1).unwrap(), 42);
+        let err = isolate(|| panic!("boom at stage {}", 3)).unwrap_err();
+        assert!(err.contains("boom at stage 3"), "payload rendered: {err}");
+    }
+
+    #[test]
+    fn expired_deadline_yields_zero_attempts() {
+        let opts = batch(3, 1);
+        let breakers = Mutex::new(SolverBreakers::default());
+        let ctx = JobContext {
+            corpus_seed: opts.corpus_seed,
+            retry: opts.retry,
+            chaos: None,
+            budget: None,
+            started: Instant::now(),
+            deadline: Some(Duration::ZERO),
+            breakers: &breakers,
+        };
+        let journal = Journal::create(Vec::new(), &opts.config()).unwrap();
+        let out = run_corpus_job(&journal, &ctx, 0, 0, 1, Vec::new(), None).unwrap();
+        assert_eq!(out.attempts, 0, "expired deadline permits zero attempts");
+        assert_eq!(out.status, JobStatus::Failed);
+        let text = String::from_utf8(journal.into_inner()).unwrap();
+        assert!(
+            !text.contains("\"type\":\"attempt\""),
+            "no attempt record for a job that never ran"
+        );
+    }
+
+    #[test]
+    fn zero_eval_budget_degrades_repairs_to_unrepairable() {
+        let opts = batch(7, 18);
+        let (control, _) = run(&opts, None);
+        let repaired = control
+            .outcomes
+            .iter()
+            .find(|o| o.status == JobStatus::DataRepaired || o.status == JobStatus::ModelRepaired)
+            .expect("corpus has a repairable job");
+        let breakers = Mutex::new(SolverBreakers::default());
+        let ctx = JobContext {
+            corpus_seed: opts.corpus_seed,
+            retry: opts.retry,
+            chaos: None,
+            budget: Some(Budget::unlimited().with_max_evaluations(0)),
+            started: Instant::now(),
+            deadline: None,
+            breakers: &breakers,
+        };
+        let journal = Journal::create(Vec::new(), &opts.config()).unwrap();
+        let out = run_corpus_job(&journal, &ctx, repaired.job, repaired.job, 1, Vec::new(), None)
+            .unwrap();
+        assert_eq!(
+            out.status,
+            JobStatus::Unrepairable,
+            "a cap-0 budget exhausts every repair stage immediately"
+        );
+    }
+
+    #[test]
     fn soft_kill_stops_early_and_resume_matches_control() {
         let mut control = batch(17, 8);
         control.retry.base = Duration::from_millis(1);
@@ -576,5 +692,60 @@ mod tests {
         let (resumed_result, _) = run(&resumed, Some(&state));
         let resumed_report = render_report(&resumed.config(), &resumed_result.outcomes);
         assert_eq!(resumed_report, control_report, "resume is byte-identical to control");
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_parses_and_resumes_identically() {
+        use crate::journal::parse_journal_bytes;
+        use std::collections::HashSet;
+
+        // A chaotic 3-job batch journals attempt, checkpoint, failure,
+        // outcome and summary records, so the cuts below land inside every
+        // record type and at every field boundary.
+        let mut opts = batch(5, 3);
+        opts.retry.base = Duration::from_millis(1);
+        opts.retry.cap = Duration::from_millis(2);
+        opts.chaos = Some(ChaosSpec { panic: 0.5, nan: 0.2, slow: 0.0, seed: 11 });
+        let (control, text) = run(&opts, None);
+        let control_report = render_report(&opts.config(), &control.outcomes);
+        let bytes = text.as_bytes();
+        let meta_end = text.find('\n').expect("meta line") + 1;
+
+        let mut verified: HashSet<String> = HashSet::new();
+        for cut in 0..=bytes.len() {
+            let state = match parse_journal_bytes(&bytes[..cut]) {
+                Ok(state) => state,
+                Err(e) => {
+                    assert!(
+                        cut < meta_end,
+                        "cut at byte {cut}: only a torn meta line may fail to parse, got {e}"
+                    );
+                    continue;
+                }
+            };
+            // Distinct recovered states land one per complete record: a cut
+            // inside a record tears its whole line off, recovering the same
+            // state as the previous record boundary. Resume each distinct
+            // state once — the Debug form is a faithful fingerprint — which
+            // keeps the loop to ~one resume per journal line while still
+            // asserting every single byte offset.
+            if !verified.insert(format!("{state:?}")) {
+                continue;
+            }
+            let mut resumed = opts.clone();
+            resumed.kill = KillSwitch::new();
+            let (result, _) = run(&resumed, Some(&state));
+            assert_eq!(
+                render_report(&resumed.config(), &result.outcomes),
+                control_report,
+                "resume from a journal cut at byte {cut}/{} diverged from the control report",
+                bytes.len()
+            );
+        }
+        assert!(
+            verified.len() > 10,
+            "expected one distinct recovery state per journal record, got {}",
+            verified.len()
+        );
     }
 }

@@ -43,6 +43,9 @@ pub enum JobStatus {
     DataRepaired,
     /// No configured repair could satisfy the property.
     Unrepairable,
+    /// A verify-only job found the property violated (no repair was
+    /// requested — the serve layer's `verify` submissions end here).
+    Violated,
     /// Every attempt failed (panic or error); the batch moved on.
     Failed,
 }
@@ -55,6 +58,7 @@ impl JobStatus {
             JobStatus::ModelRepaired => "model_repaired",
             JobStatus::DataRepaired => "data_repaired",
             JobStatus::Unrepairable => "unrepairable",
+            JobStatus::Violated => "violated",
             JobStatus::Failed => "failed",
         }
     }
@@ -66,6 +70,7 @@ impl JobStatus {
             "model_repaired" => Some(JobStatus::ModelRepaired),
             "data_repaired" => Some(JobStatus::DataRepaired),
             "unrepairable" => Some(JobStatus::Unrepairable),
+            "violated" => Some(JobStatus::Violated),
             "failed" => Some(JobStatus::Failed),
             _ => None,
         }
@@ -173,6 +178,7 @@ mod tests {
             JobStatus::ModelRepaired,
             JobStatus::DataRepaired,
             JobStatus::Unrepairable,
+            JobStatus::Violated,
             JobStatus::Failed,
         ] {
             assert_eq!(JobStatus::parse(s.name()), Some(s));

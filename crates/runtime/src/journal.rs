@@ -84,6 +84,7 @@ fn summary_line(config: &BatchConfig, outcomes: &[JobOutcome]) -> String {
         .u64("model_repaired", count(JobStatus::ModelRepaired))
         .u64("data_repaired", count(JobStatus::DataRepaired))
         .u64("unrepairable", count(JobStatus::Unrepairable))
+        .u64("violated", count(JobStatus::Violated))
         .u64("failed", count(JobStatus::Failed))
         .u64("retries", retries)
         .finish()
@@ -105,6 +106,57 @@ pub fn render_report(config: &BatchConfig, outcomes: &[JobOutcome]) -> String {
     out.push_str(&summary_line(config, outcomes));
     out.push('\n');
     out
+}
+
+/// What a journaled submission asks for (the serve layer's admission
+/// record — batch journals carry no submissions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitKind {
+    /// A corpus-derived repair job: index `index` under the journal's
+    /// corpus seed, exactly the job `tml batch` would derive.
+    Corpus {
+        /// Position in the derived corpus.
+        index: u64,
+    },
+    /// An inline verify-only job: parse the model and property, check,
+    /// report [`JobStatus::Satisfied`] or [`JobStatus::Violated`].
+    Verify {
+        /// Model source text (already validated at admission).
+        model: String,
+        /// PCTL property source text (already validated at admission).
+        property: String,
+    },
+}
+
+impl SubmitKind {
+    /// Stable wire name of the kind discriminator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubmitKind::Corpus { .. } => "corpus",
+            SubmitKind::Verify { .. } => "verify",
+        }
+    }
+}
+
+/// One accepted job, journaled write-ahead at admission: the crash
+/// contract for the serve layer is that every job a client saw accepted
+/// has a `submit` record, so a restart re-runs exactly the accepted set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// Server-assigned job id (also the `job` field of its outcome).
+    pub job: u64,
+    /// What the job asks for.
+    pub kind: SubmitKind,
+}
+
+fn submit_line(s: &Submission) -> String {
+    let b = LineBuilder::record("submit").u64("job", s.job).str("kind", s.kind.name());
+    match &s.kind {
+        SubmitKind::Corpus { index } => b.u64("index", *index).finish(),
+        SubmitKind::Verify { model, property } => {
+            b.str("model", model).str("property", property).finish()
+        }
+    }
 }
 
 /// The write side: a durable (flush-per-line) JSONL appender.
@@ -134,6 +186,16 @@ impl<W: Write + Send> Journal<W> {
         let j = Journal { writer: JsonlWriter::durable(inner) };
         j.writer.line(&LineBuilder::record("resume").u64("completed", completed).finish())?;
         Ok(j)
+    }
+
+    /// Journals an accepted submission (write-ahead: before the client
+    /// sees the acceptance response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn submit(&self, s: &Submission) -> io::Result<()> {
+        self.writer.line(&submit_line(s))
     }
 
     /// Journals the start of an attempt (write-ahead: before it runs).
@@ -243,6 +305,9 @@ pub struct JournalState {
     pub failures: Vec<AttemptFailure>,
     /// Checkpoints, in journal order.
     pub checkpoints: Vec<RecoveredCheckpoint>,
+    /// Accepted submissions, in journal order (serve journals only —
+    /// batch journals derive their job set from `config` instead).
+    pub submissions: Vec<Submission>,
 }
 
 impl JournalState {
@@ -272,6 +337,30 @@ impl JournalState {
             })
             .filter_map(|c| c.point.clone().map(|x| (c.stage, x)))
             .collect()
+    }
+
+    /// The last journaled failure of `job`, rendered exactly as the
+    /// executor's outcome detail (`kind: detail`). A resume needs it when
+    /// the crash tore off the `outcome` record of a job whose final
+    /// permitted attempt had already failed: no attempt is left to run,
+    /// so the outcome is reconstructed from this string instead.
+    pub fn last_failure(&self, job: u64) -> Option<String> {
+        self.failures
+            .iter()
+            .filter(|f| f.job == job)
+            .max_by_key(|f| f.attempt)
+            .map(|f| format!("{}: {}", f.kind.name(), f.detail))
+    }
+
+    /// Submissions that were accepted but have no terminal outcome — the
+    /// set a restarted server must re-run (crash-before-outcome jobs).
+    pub fn pending_submissions(&self) -> Vec<&Submission> {
+        self.submissions.iter().filter(|s| self.outcome(s.job).is_none()).collect()
+    }
+
+    /// The submission with the given job id, when one was journaled.
+    pub fn submission(&self, job: u64) -> Option<&Submission> {
+        self.submissions.iter().find(|s| s.job == job)
     }
 }
 
@@ -329,6 +418,24 @@ pub fn parse_journal(text: &str) -> Result<JournalState, String> {
     state.ok_or_else(|| "journal has no meta record".into())
 }
 
+/// Parses a journal read as raw bytes, tolerating a torn tail that was
+/// cut mid-UTF-8-sequence.
+///
+/// `read_to_string` rejects such files outright even though every
+/// complete line is intact — a `kill -9` can land between any two bytes,
+/// including inside a multi-byte character of a detail string. Lossy
+/// conversion maps the torn bytes to U+FFFD, which at worst makes the
+/// final line unparseable — exactly the torn-tail case [`parse_journal`]
+/// already tolerates. Mid-file corruption still fails, because the
+/// replacement character lands in a non-trailing line.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed non-trailing line.
+pub fn parse_journal_bytes(bytes: &[u8]) -> Result<JournalState, String> {
+    parse_journal(&String::from_utf8_lossy(bytes))
+}
+
 fn parse_record(
     v: &json::Value,
     line: usize,
@@ -371,6 +478,7 @@ fn parse_record(
             outcomes: Vec::new(),
             failures: Vec::new(),
             checkpoints: Vec::new(),
+            submissions: Vec::new(),
         });
         return Ok(());
     }
@@ -447,6 +555,19 @@ fn parse_record(
                 fingerprint,
                 evaluations: u64_field(v, "evaluations", line)?,
             });
+            Ok(())
+        }
+        "submit" => {
+            let job = u64_field(v, "job", line)?;
+            let kind = match str_field(v, "kind", line)? {
+                "corpus" => SubmitKind::Corpus { index: u64_field(v, "index", line)? },
+                "verify" => SubmitKind::Verify {
+                    model: str_field(v, "model", line)?.to_string(),
+                    property: str_field(v, "property", line)?.to_string(),
+                },
+                other => return Err(format!("journal line {line}: unknown submit kind `{other}`")),
+            };
+            state.submissions.push(Submission { job, kind });
             Ok(())
         }
         "resume" => {
@@ -570,6 +691,57 @@ mod tests {
         assert!(lines[3].contains("\"retries\":2"));
         let state = parse_journal(&a).unwrap();
         assert!(state.complete, "summary closes the stream");
+    }
+
+    #[test]
+    fn submissions_round_trip_and_pending_excludes_concluded() {
+        let cfg = config();
+        let j = Journal::create(Vec::new(), &cfg).unwrap();
+        let corpus = Submission { job: 0, kind: SubmitKind::Corpus { index: 5 } };
+        let verify = Submission {
+            job: 1,
+            kind: SubmitKind::Verify {
+                model: "dtmc\nstates 2\ninit 0\n0 1 1.0\n1 1 1.0".into(),
+                property: "P>=0.5 [ F \"goal\" ]".into(),
+            },
+        };
+        j.submit(&corpus).unwrap();
+        j.submit(&verify).unwrap();
+        j.outcome(&outcome(0, 1, JobStatus::Satisfied)).unwrap();
+        let text = String::from_utf8(j.into_inner()).unwrap();
+        let state = parse_journal(&text).unwrap();
+        assert_eq!(state.submissions, vec![corpus, verify.clone()]);
+        assert_eq!(state.submission(1), Some(&verify));
+        let pending = state.pending_submissions();
+        assert_eq!(pending.len(), 1, "concluded job 0 is not pending");
+        assert_eq!(pending[0].job, 1);
+    }
+
+    #[test]
+    fn bytes_parser_tolerates_mid_utf8_torn_tail() {
+        let cfg = config();
+        let j = Journal::create(Vec::new(), &cfg).unwrap();
+        j.failure(&AttemptFailure {
+            job: 0,
+            attempt: 1,
+            kind: FailureKind::Panic,
+            detail: "überfluß — panic".into(),
+        })
+        .unwrap();
+        let full = j.into_inner();
+        // Find a cut point inside the ü (2-byte sequence) of the *last*
+        // line: read_to_string would reject this, the bytes parser must
+        // treat it as a torn tail.
+        let last_line_start = full[..full.len() - 1].iter().rposition(|&b| b == b'\n').unwrap() + 1;
+        let umlaut = full[last_line_start..].iter().position(|&b| b >= 0x80).unwrap();
+        let cut = &full[..last_line_start + umlaut + 1];
+        assert!(std::str::from_utf8(cut).is_err(), "cut really is mid-sequence");
+        let state = parse_journal_bytes(cut).unwrap();
+        assert!(state.failures.is_empty(), "torn failure line not recovered");
+        // The same torn bytes mid-file stay fatal.
+        let mut corrupt = cut.to_vec();
+        corrupt.extend_from_slice(b"\n{\"type\":\"attempt\",\"job\":0,\"attempt\":1}\n");
+        assert!(parse_journal_bytes(&corrupt).is_err(), "mid-file mojibake is fatal");
     }
 
     #[test]

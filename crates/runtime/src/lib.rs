@@ -34,15 +34,21 @@
 
 pub mod breaker;
 pub mod chaos;
+pub mod clock;
 pub mod corpus;
 pub mod executor;
 pub mod job;
 pub mod journal;
 pub mod retry;
 
-pub use breaker::{BreakerState, CircuitBreaker, SolverBreakers};
+pub use breaker::{
+    BreakerSnapshot, BreakerState, BreakersSnapshot, CircuitBreaker, SolverBreakers,
+};
 pub use chaos::{ChaosSpec, Fault};
-pub use executor::{run_batch, BatchOptions, BatchResult, KillSwitch};
+pub use clock::{system_clock, Clock, ManualClock, SharedClock, SystemClock};
+pub use executor::{run_batch, BatchOptions, BatchResult, JobContext, KillSwitch};
 pub use job::{AttemptFailure, FailureKind, JobOutcome, JobSpec, JobStatus};
-pub use journal::{parse_journal, BatchConfig, Journal, JournalState};
+pub use journal::{
+    parse_journal, parse_journal_bytes, BatchConfig, Journal, JournalState, Submission, SubmitKind,
+};
 pub use retry::RetryPolicy;

@@ -37,6 +37,17 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Whether an attempt may start given the remaining batch deadline.
+    ///
+    /// A deadline that has already expired (`Some(Duration::ZERO)`)
+    /// permits **zero** attempts: without this check the executor would
+    /// still run attempt 1 with a clamped-to-zero backoff, burning solver
+    /// time on a job whose budget is already spent. `None` means no
+    /// deadline, which always permits.
+    pub fn permits_attempt(&self, remaining: Option<Duration>) -> bool {
+        remaining != Some(Duration::ZERO)
+    }
+
     /// The backoff delay after attempt `attempt` (1-based) of `job` fails.
     ///
     /// Deterministic in `(batch_seed, job, attempt)`; monotonically
@@ -110,6 +121,22 @@ mod tests {
             prop_assert!(a <= remaining, "deadline clamp respected");
             let unclamped = p.backoff(batch_seed, job, attempt, None);
             prop_assert!(unclamped <= Duration::from_millis(cap_ms));
+        }
+
+        /// Satellite property: an expired deadline yields zero attempts —
+        /// `permits_attempt` refuses exactly when the remaining budget is
+        /// `Some(ZERO)`, and permits any positive remainder or no deadline.
+        #[test]
+        fn expired_deadline_permits_zero_attempts(
+            remaining_ns in proptest::option::of(0u64..5_000_000),
+        ) {
+            let p = RetryPolicy::default();
+            let remaining = remaining_ns.map(Duration::from_nanos);
+            let permitted = p.permits_attempt(remaining);
+            match remaining {
+                Some(Duration::ZERO) => prop_assert!(!permitted, "expired deadline must yield zero attempts"),
+                _ => prop_assert!(permitted, "positive or absent deadline permits the attempt"),
+            }
         }
     }
 }

@@ -1,0 +1,303 @@
+//! A minimal, fail-closed HTTP/1.1 layer over any `Read + Write` stream.
+//!
+//! This is not a general-purpose HTTP implementation — it is the smallest
+//! surface the repair service needs, hardened in the directions that
+//! matter for robustness: hard limits on head and body size, explicit
+//! rejection of chunked transfer encoding, and a parse layer that turns
+//! every malformed input into a structured [`HttpError`] (which the
+//! router maps to a `400`) instead of a panic or a hang. Every response
+//! carries `Connection: close`; the service is short-request-only by
+//! design.
+//!
+//! Generic over the stream so unit tests drive the parser with in-memory
+//! buffers instead of sockets.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Hard cap on a request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The stream failed mid-read.
+    Io(io::Error),
+    /// The request was malformed; the string names the violation.
+    Malformed(String),
+    /// The peer closed the connection before a full request arrived.
+    Closed,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(m) => write!(f, "{m}"),
+            HttpError::Closed => write!(f, "connection closed mid-request"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> HttpError {
+    HttpError::Malformed(msg.into())
+}
+
+/// One parsed request: method, path, selected headers, raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query string stripped).
+    pub path: String,
+    /// `x-tml-client` header, when the client identified itself (the
+    /// token-bucket tenant key).
+    pub client: Option<String>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from the stream, enforcing the head/body limits.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on EOF before a request line,
+/// [`HttpError::Malformed`] on any protocol violation (bad request line,
+/// oversized head or body, chunked encoding, non-numeric length), and
+/// [`HttpError::Io`] on stream failures.
+pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+    if stream.read_line(&mut line)? == 0 {
+        return Err(HttpError::Closed);
+    }
+    head_bytes += line.len();
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(malformed(format!("bad request line: {request_line:?}"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(malformed(format!("unsupported version {version:?}")));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut client = None;
+    loop {
+        let mut header = String::new();
+        if stream.read_line(&mut header)? == 0 {
+            return Err(HttpError::Closed);
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(malformed("request head exceeds 8KiB"));
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(malformed(format!("bad header line: {header:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| malformed(format!("bad content-length: {value:?}")))?;
+            }
+            "transfer-encoding" => {
+                // Fail closed: we never read chunked bodies, and silently
+                // ignoring the header would desynchronize the stream.
+                return Err(malformed("transfer-encoding is not supported"));
+            }
+            "x-tml-client" => client = Some(value.to_string()),
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(malformed("request body exceeds 1MiB"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::Closed
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    Ok(Request { method, path, client, body })
+}
+
+/// One response: status, body, content type and optional `Retry-After`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds, when shedding load.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// Attaches a `Retry-After` header (shed responses).
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` and flushes. Always closes the connection afterwards
+/// (the `Connection: close` contract).
+///
+/// # Errors
+///
+/// Propagates stream I/O errors.
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    )?;
+    if let Some(secs) = response.retry_after {
+        write!(stream, "Retry-After: {secs}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/jobs?x=1 HTTP/1.1\r\nHost: h\r\nX-TML-Client: alice\r\nContent-Length: 4\r\n\r\nbody";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs", "query string stripped");
+        assert_eq!(req.client.as_deref(), Some("alice"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_inputs_fail_closed() {
+        for (raw, why) in [
+            (&b"GARBAGE\r\n\r\n"[..], "no method/target split"),
+            (b"GET /x HTTP/2\r\n\r\n", "unsupported version"),
+            (b"GET x HTTP/1.1\r\n\r\n", "target must start with /"),
+            (b"GET /x HTTP/1.1\r\nbad header\r\n\r\n", "header without colon"),
+            (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", "bad length"),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n", "oversized body"),
+            (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", "chunked rejected"),
+        ] {
+            match parse(raw) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("{why}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_cases_are_closed_not_malformed() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)), "EOF before request line");
+        assert!(matches!(parse(b"GET /x HTTP/1.1\r\n"), Err(HttpError::Closed)), "EOF mid-headers");
+        assert!(
+            matches!(
+                parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+                Err(HttpError::Closed)
+            ),
+            "EOF mid-body"
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..2000 {
+            raw.extend_from_slice(format!("X-Pad-{i}: aaaaaaaa\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn responses_carry_status_length_and_retry_after() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(429, "{}".into()).with_retry_after(3)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 3\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

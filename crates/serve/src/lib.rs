@@ -1,0 +1,40 @@
+//! `tml-serve`: a fault-tolerant, crash-consistent repair service
+//! (DESIGN.md §12).
+//!
+//! The batch runtime answers "run these N jobs and survive a `kill -9`";
+//! this crate turns that into a long-running service: an HTTP/1.1 JSON
+//! API over `std::net` that accepts learn/verify/repair submissions,
+//! runs them on a bounded worker pool, and journals every accepted job
+//! to the same `tml-journal/v1` write-ahead log — so a crashed server
+//! restarted on its journal converges to the same final report,
+//! byte-for-byte, as one that never crashed.
+//!
+//! The robustness surface, by module:
+//!
+//! * [`http`] — minimal fail-closed HTTP layer: hard head/body caps,
+//!   chunked encoding rejected, every malformed input a structured error.
+//! * [`queue`] — bounded admission queue: job `N+1` is an explicit shed
+//!   (`429 Retry-After`), never an unbounded buffer or a hang.
+//! * [`bucket`] — per-client token buckets on an injected clock:
+//!   tenant-level backpressure with bounded memory.
+//! * [`signal`] — SIGTERM/SIGINT to a drain flag (the workspace's only
+//!   unsafe code, one atomic store).
+//! * [`server`] — admission ordering, the worker pool, journal resume,
+//!   graceful drain and the health/metrics endpoints.
+//!
+//! No external dependencies: sockets are `std::net`, JSON is the shared
+//! `tml_telemetry::json` parser, durability is the runtime's journal.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use bucket::{Admit, TokenBuckets, MAX_CLIENTS};
+pub use http::{Request, Response};
+pub use queue::{BudgetSpec, JobQueue, QueuedJob, Shed};
+pub use server::{RunOutcome, ServeOptions, Server};

@@ -1,0 +1,206 @@
+//! The bounded job queue between admission and the worker pool.
+//!
+//! Admission pushes without blocking — a full queue is an explicit
+//! [`Shed`], which the handler turns into `429 Retry-After`, never a
+//! hang. Workers block on [`take`](JobQueue::take) until a job or a
+//! close arrives. [`close`](JobQueue::close) is the drain edge: takers
+//! wake and get `None` even if jobs remain queued (those jobs are
+//! journaled as submissions without outcomes, which is exactly the state
+//! a restart recovers).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use tml_core::pipeline::PipelineStage;
+use tml_core::Budget;
+use tml_runtime::SubmitKind;
+
+/// A per-request budget, stored as the client specified it and anchored
+/// to a wall-clock deadline only when the job actually starts (a job that
+/// waited in the queue still gets its full deadline).
+///
+/// Budgets are admission-time conveniences: they are **not** journaled,
+/// so a job recovered after a crash re-runs unlimited. The byte-identity
+/// contract therefore applies to budget-free submissions — a budget that
+/// fires makes the outcome depend on wall-clock scheduling, which no
+/// journal can replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetSpec {
+    /// Wall-clock deadline, milliseconds from job start.
+    pub deadline_ms: Option<u64>,
+    /// Cap on optimizer/checker evaluations.
+    pub max_evals: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// Whether any limit is set.
+    pub fn is_some(&self) -> bool {
+        self.deadline_ms.is_some() || self.max_evals.is_some()
+    }
+
+    /// Builds the [`Budget`], anchoring the deadline at the current
+    /// instant (call when the job starts, not at admission).
+    pub fn to_budget(self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_evals {
+            b = b.with_max_evaluations(n);
+        }
+        b
+    }
+}
+
+/// One admitted job, carrying everything a worker needs to run it.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Server-assigned job id (the journal id).
+    pub job: u64,
+    /// What to run.
+    pub kind: SubmitKind,
+    /// First attempt number (>1 only for journal-recovered jobs).
+    pub first_attempt: u32,
+    /// Warm starts recovered from the journal (fold-after-failure rule).
+    pub warm: Vec<(PipelineStage, Vec<f64>)>,
+    /// Per-request budget, when the submission carried one.
+    pub budget: Option<BudgetSpec>,
+    /// Last journaled failure (`kind: detail`) for a recovered job whose
+    /// permitted attempts are already exhausted — the executor rebuilds
+    /// the `Failed` outcome from it instead of running an extra attempt.
+    pub prior_failure: Option<String>,
+}
+
+/// The queue was full; the job was **not** admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Queue depth at the time of the shed (== capacity).
+    pub depth: usize,
+}
+
+struct Inner {
+    queue: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// Bounded MPMC job queue (mutex + condvar; the contention unit is a job
+/// submission, not a solve).
+pub struct JobQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    takeable: Condvar,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` waiting jobs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { queue: VecDeque::new(), closed: false }),
+            takeable: Condvar::new(),
+        }
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (not running).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Whether the queue has been closed for draining.
+    pub fn closed(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    /// Enqueues without blocking. Returns the new depth, or [`Shed`] when
+    /// the queue is at capacity (or closed — a draining queue admits
+    /// nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`Shed`] when the job was not admitted.
+    pub fn push(&self, job: QueuedJob) -> Result<usize, Shed> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed || inner.queue.len() >= self.capacity {
+            return Err(Shed { depth: inner.queue.len() });
+        }
+        inner.queue.push_back(job);
+        let depth = inner.queue.len();
+        drop(inner);
+        self.takeable.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available (returns it) or the queue closes
+    /// (returns `None`, even if jobs remain — they stay journaled).
+    pub fn take(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if inner.closed {
+                return None;
+            }
+            if let Some(job) = inner.queue.pop_front() {
+                return Some(job);
+            }
+            inner = self.takeable.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: all current and future [`take`](Self::take)
+    /// calls return `None`, all future pushes shed.
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.takeable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn job(id: u64) -> QueuedJob {
+        QueuedJob {
+            job: id,
+            kind: SubmitKind::Corpus { index: id },
+            first_attempt: 1,
+            warm: Vec::new(),
+            budget: None,
+            prior_failure: None,
+        }
+    }
+
+    #[test]
+    fn push_over_capacity_sheds_explicitly() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push(job(0)), Ok(1));
+        assert_eq!(q.push(job(1)), Ok(2));
+        assert_eq!(q.push(job(2)), Err(Shed { depth: 2 }), "N+1 sheds, never hangs");
+        assert_eq!(q.depth(), 2, "shed job was not admitted");
+        assert_eq!(q.take().unwrap().job, 0, "FIFO");
+        assert_eq!(q.push(job(2)), Ok(2), "capacity freed by the take");
+    }
+
+    #[test]
+    fn close_wakes_blocked_takers_and_preserves_queued_jobs() {
+        let q = Arc::new(JobQueue::new(4));
+        let taker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.take())
+        };
+        // The taker blocks on an empty queue until close() wakes it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(job(7)).unwrap();
+        assert_eq!(taker.join().unwrap().unwrap().job, 7);
+
+        q.push(job(8)).unwrap();
+        q.close();
+        assert!(q.take().is_none(), "closed queue never hands out jobs");
+        assert_eq!(q.depth(), 1, "un-started jobs stay queued (journaled) at drain");
+        assert!(q.push(job(9)).is_err(), "draining queue admits nothing");
+    }
+}

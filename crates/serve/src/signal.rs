@@ -1,0 +1,88 @@
+//! SIGTERM/SIGINT → drain flag.
+//!
+//! The only unsafe code in the workspace: two `libc`-free `signal(2)`
+//! registrations whose handler does nothing but store into a static
+//! `AtomicBool` (async-signal-safe by construction). The accept loop
+//! polls [`drain_requested`] alongside the server-local drain flag (the
+//! `POST /admin/drain` path), and both converge on the same drain
+//! routine. The flag is process-global because signals are; in-process
+//! tests drain through the admin endpoint, which is per-server. Non-unix
+//! builds compile to the flag alone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal (or an admin drain) has been received.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Requests a drain (the `POST /admin/drain` path, and tests).
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests that start several servers in one process).
+pub fn reset_drain() {
+    DRAIN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::DRAIN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            pub fn signal(signum: i32, handler: usize) -> usize;
+        }
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    /// Registers the handlers (idempotent; later registrations no-op).
+    #[allow(unsafe_code)]
+    pub fn install() {
+        use std::sync::Once;
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            // SAFETY: `signal` is the POSIX registration call; the handler
+            // is an `extern "C" fn` performing a single atomic store,
+            // which is async-signal-safe.
+            unsafe {
+                ffi::signal(SIGTERM, on_signal as *const () as usize);
+                ffi::signal(SIGINT, on_signal as *const () as usize);
+            }
+        });
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handlers (no-op off unix).
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_flag_round_trips() {
+        install_handlers();
+        reset_drain();
+        assert!(!drain_requested());
+        request_drain();
+        assert!(drain_requested());
+        reset_drain();
+        assert!(!drain_requested());
+    }
+}

@@ -1,29 +1,38 @@
-//! `telemetry_schema_check` — validates a `tml-trace/v1` JSONL file.
+//! `telemetry_schema_check` — validates the JSONL artifacts this
+//! workspace emits, dispatching on the schema the file declares.
 //!
-//! Usage: `telemetry_schema_check <trace.jsonl>`
+//! Usage: `telemetry_schema_check <file.jsonl>`
 //!
-//! Checks, line by line:
-//! * line 1 is a `meta` record declaring `"schema":"tml-trace/v1"`;
-//! * every line is valid JSON with a known `type`
-//!   (`span_start`/`span_end`/`counter`) and that type's required fields;
-//! * every `span_end` matches an open `span_start` with the same name,
-//!   every `parent` refers to a previously started span, and spans on a
-//!   given thread close in LIFO order;
-//! * `at_ns` is non-decreasing per thread.
+//! Line 1 must be a `meta` record naming a known schema; the rest of the
+//! file is checked against that schema's rules:
 //!
-//! Exits 0 and prints a one-line summary on success; exits 1 with the first
-//! offending line number otherwise. CI runs this against the trace produced
-//! by the bench-smoke WSN model repair.
+//! * `tml-trace/v1` — every line is a `span_start`/`span_end`/`counter`
+//!   with its required fields; every `span_end` matches an open
+//!   `span_start` of the same name; parents exist; spans on a thread
+//!   close LIFO; `at_ns` is non-decreasing per thread.
+//! * `tml-journal/v1` — every record is a known journal transition
+//!   (`submit`/`attempt`/`checkpoint`/`failure`/`outcome`/`resume`/
+//!   `summary`) with its required fields; job ids submit at most once and
+//!   conclude at most once; a torn final line is tolerated (the journal's
+//!   crash contract) but mid-file garbage is not.
+//! * `tml-serve/v1` — every record is a `request` with `seq`, `method`,
+//!   `path` and a sane `status`; `seq` increases strictly from 0 (no
+//!   dropped or duplicated log lines).
+//!
+//! Exits 0 and prints a one-line summary on success; exits 1 with the
+//! first offending line number otherwise. CI runs this against the
+//! bench-smoke trace and the serve-smoke journal and request log.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use tml_telemetry::json::{self, Value};
+use tml_telemetry::jsonl::schema;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: telemetry_schema_check <trace.jsonl>");
+        eprintln!("usage: telemetry_schema_check <file.jsonl>");
         return ExitCode::FAILURE;
     };
     let content = match std::fs::read_to_string(&path) {
@@ -34,11 +43,8 @@ fn main() -> ExitCode {
         }
     };
     match validate(&content) {
-        Ok(stats) => {
-            println!(
-                "ok: {} events ({} spans, {} counters), {} threads",
-                stats.events, stats.spans, stats.counters, stats.threads
-            );
+        Ok(summary) => {
+            println!("ok: {summary}");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -46,13 +52,6 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
-}
-
-struct Stats {
-    events: usize,
-    spans: usize,
-    counters: usize,
-    threads: usize,
 }
 
 fn field_u64(v: &Value, key: &str, line: usize) -> Result<u64, String> {
@@ -67,25 +66,177 @@ fn field_str<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a str, String
         .ok_or_else(|| format!("line {line}: missing or non-string \"{key}\""))
 }
 
-fn validate(content: &str) -> Result<Stats, String> {
-    let mut lines = content.lines().enumerate();
-    let (_, meta_line) = lines.next().ok_or("empty trace")?;
+/// Parses the meta line and dispatches to the schema's validator.
+fn validate(content: &str) -> Result<String, String> {
+    let meta_line = content.lines().next().ok_or("empty file")?;
     let meta = json::parse(meta_line).map_err(|e| format!("line 1: {e}"))?;
     if meta.get("type").and_then(|v| v.as_str()) != Some("meta") {
         return Err("line 1: first record must have type \"meta\"".into());
     }
-    if meta.get("schema").and_then(|v| v.as_str()) != Some(tml_telemetry::jsonl::schema::TRACE) {
-        return Err("line 1: schema must be \"tml-trace/v1\"".into());
+    match meta.get("schema").and_then(|v| v.as_str()) {
+        Some(s) if s == schema::TRACE => validate_trace(content),
+        Some(s) if s == schema::JOURNAL => validate_journal(&meta, content),
+        Some(s) if s == schema::SERVE => validate_serve(content),
+        Some(other) => Err(format!("line 1: unknown schema \"{other}\"")),
+        None => Err("line 1: meta record missing \"schema\"".into()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// tml-journal/v1
+
+const JOURNAL_STATUSES: [&str; 6] =
+    ["satisfied", "model_repaired", "data_repaired", "unrepairable", "violated", "failed"];
+
+fn validate_journal(meta: &Value, content: &str) -> Result<String, String> {
+    field_str(meta, "corpus_seed", 1)?;
+    for key in ["jobs", "max_attempts", "workers"] {
+        field_u64(meta, key, 1)?;
     }
 
+    let mut submitted: HashMap<u64, ()> = HashMap::new();
+    let mut concluded: HashMap<u64, ()> = HashMap::new();
+    let (mut records, mut torn) = (0usize, false);
+    let last_idx = content.lines().count().saturating_sub(1);
+    for (idx, raw) in content.lines().enumerate().skip(1) {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = match json::parse(raw) {
+            Ok(v) => v,
+            // The crash contract: a `kill -9` may tear the final line
+            // mid-write. Anywhere else, garbage is corruption.
+            Err(_) if idx == last_idx => {
+                torn = true;
+                break;
+            }
+            Err(e) => return Err(format!("line {line_no}: {e}")),
+        };
+        records += 1;
+        match field_str(&v, "type", line_no)? {
+            "submit" => {
+                let job = field_u64(&v, "job", line_no)?;
+                match field_str(&v, "kind", line_no)? {
+                    "corpus" => {
+                        field_u64(&v, "index", line_no)?;
+                    }
+                    "verify" => {
+                        field_str(&v, "model", line_no)?;
+                        field_str(&v, "property", line_no)?;
+                    }
+                    other => {
+                        return Err(format!("line {line_no}: unknown submit kind \"{other}\""))
+                    }
+                }
+                if submitted.insert(job, ()).is_some() {
+                    return Err(format!("line {line_no}: job {job} submitted twice"));
+                }
+            }
+            "attempt" => {
+                field_u64(&v, "job", line_no)?;
+                if field_u64(&v, "attempt", line_no)? == 0 {
+                    return Err(format!("line {line_no}: attempts are 1-based"));
+                }
+            }
+            "checkpoint" => {
+                field_u64(&v, "job", line_no)?;
+                field_u64(&v, "attempt", line_no)?;
+                field_str(&v, "stage", line_no)?;
+                v.get("x").ok_or_else(|| format!("line {line_no}: checkpoint missing \"x\""))?;
+            }
+            "failure" => {
+                field_u64(&v, "job", line_no)?;
+                field_u64(&v, "attempt", line_no)?;
+                field_str(&v, "kind", line_no)?;
+                field_str(&v, "detail", line_no)?;
+            }
+            "outcome" => {
+                let job = field_u64(&v, "job", line_no)?;
+                field_u64(&v, "attempts", line_no)?;
+                field_u64(&v, "evaluations", line_no)?;
+                field_str(&v, "detail", line_no)?;
+                let status = field_str(&v, "status", line_no)?;
+                if !JOURNAL_STATUSES.contains(&status) {
+                    return Err(format!("line {line_no}: unknown status \"{status}\""));
+                }
+                if concluded.insert(job, ()).is_some() {
+                    return Err(format!("line {line_no}: job {job} concluded twice"));
+                }
+            }
+            "resume" => {
+                field_u64(&v, "completed", line_no)?;
+            }
+            "summary" => {
+                field_u64(&v, "jobs", line_no)?;
+                for key in JOURNAL_STATUSES {
+                    field_u64(&v, key, line_no)?;
+                }
+                field_u64(&v, "retries", line_no)?;
+            }
+            other => return Err(format!("line {line_no}: unknown record type \"{other}\"")),
+        }
+    }
+    Ok(format!(
+        "{records} journal records ({} submissions, {} outcomes{})",
+        submitted.len(),
+        concluded.len(),
+        if torn { ", torn final line" } else { "" }
+    ))
+}
+
+// ---------------------------------------------------------------------
+// tml-serve/v1
+
+fn validate_serve(content: &str) -> Result<String, String> {
+    let mut requests = 0u64;
+    let last_idx = content.lines().count().saturating_sub(1);
+    for (idx, raw) in content.lines().enumerate().skip(1) {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        // A `kill -9` can land mid-write: the final line may be torn,
+        // exactly as in journals. Earlier malformed lines stay fatal.
+        let v = match json::parse(raw) {
+            Ok(v) => v,
+            Err(_) if idx == last_idx => break,
+            Err(e) => return Err(format!("line {line_no}: {e}")),
+        };
+        match field_str(&v, "type", line_no)? {
+            "request" => {
+                let seq = field_u64(&v, "seq", line_no)?;
+                if seq != requests {
+                    return Err(format!(
+                        "line {line_no}: seq {seq} out of order (expected {requests})"
+                    ));
+                }
+                field_str(&v, "method", line_no)?;
+                field_str(&v, "path", line_no)?;
+                let status = field_u64(&v, "status", line_no)?;
+                if !(100..=599).contains(&status) {
+                    return Err(format!("line {line_no}: implausible status {status}"));
+                }
+                requests += 1;
+            }
+            other => return Err(format!("line {line_no}: unknown record type \"{other}\"")),
+        }
+    }
+    Ok(format!("{requests} request records, seq contiguous"))
+}
+
+// ---------------------------------------------------------------------
+// tml-trace/v1
+
+fn validate_trace(content: &str) -> Result<String, String> {
     // Per-span-id: (name, thread). Per-thread: open-span stack + last at_ns.
     let mut started: HashMap<u64, (String, u64)> = HashMap::new();
     let mut closed: HashMap<u64, ()> = HashMap::new();
     let mut stacks: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut last_at: HashMap<u64, u64> = HashMap::new();
-    let mut stats = Stats { events: 0, spans: 0, counters: 0, threads: 0 };
+    let (mut events, mut spans, mut counters) = (0usize, 0usize, 0usize);
 
-    for (idx, raw) in lines {
+    for (idx, raw) in content.lines().enumerate().skip(1) {
         let line_no = idx + 1;
         if raw.trim().is_empty() {
             continue;
@@ -102,7 +253,7 @@ fn validate(content: &str) -> Result<Stats, String> {
             }
         }
         last_at.insert(thread, at_ns);
-        stats.events += 1;
+        events += 1;
         match ty {
             "span_start" => {
                 let id = field_u64(&v, "id", line_no)?;
@@ -125,7 +276,7 @@ fn validate(content: &str) -> Result<Stats, String> {
                     return Err(format!("line {line_no}: duplicate span id {id}"));
                 }
                 stacks.entry(thread).or_default().push(id);
-                stats.spans += 1;
+                spans += 1;
             }
             "span_end" => {
                 let id = field_u64(&v, "id", line_no)?;
@@ -157,7 +308,7 @@ fn validate(content: &str) -> Result<Stats, String> {
             "counter" => {
                 field_str(&v, "name", line_no)?;
                 field_u64(&v, "value", line_no)?;
-                stats.counters += 1;
+                counters += 1;
             }
             other => {
                 return Err(format!("line {line_no}: unknown event type \"{other}\""));
@@ -169,18 +320,21 @@ fn validate(content: &str) -> Result<Stats, String> {
         ids.sort();
         return Err(format!("trace ended with {} unclosed span(s): {ids:?}", started.len()));
     }
-    stats.threads = last_at.len();
-    Ok(stats)
+    Ok(format!("{events} events ({spans} spans, {counters} counters), {} threads", last_at.len()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::validate;
 
-    const META: &str = "{\"type\":\"meta\",\"schema\":\"tml-trace/v1\",\"tool\":\"t\"}";
+    const TRACE_META: &str = "{\"type\":\"meta\",\"schema\":\"tml-trace/v1\",\"tool\":\"t\"}";
+    const JOURNAL_META: &str = "{\"type\":\"meta\",\"schema\":\"tml-journal/v1\",\
+        \"corpus_seed\":\"7\",\"jobs\":2,\"max_attempts\":3,\"workers\":1}";
+    const SERVE_META: &str =
+        "{\"type\":\"meta\",\"schema\":\"tml-serve/v1\",\"tool\":\"tml-serve\"}";
 
-    fn trace(lines: &[&str]) -> String {
-        let mut out = String::from(META);
+    fn file(meta: &str, lines: &[&str]) -> String {
+        let mut out = String::from(meta);
         for l in lines {
             out.push('\n');
             out.push_str(l);
@@ -190,17 +344,17 @@ mod tests {
 
     #[test]
     fn accepts_well_formed_trace() {
-        let t = trace(&[
-            r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
-            r#"{"type":"span_start","id":2,"parent":1,"name":"b","thread":1,"at_ns":5,"fields":{"k":3}}"#,
-            r#"{"type":"counter","name":"c","value":2,"thread":1,"at_ns":6}"#,
-            r#"{"type":"span_end","id":2,"name":"b","thread":1,"at_ns":9,"dur_ns":4}"#,
-            r#"{"type":"span_end","id":1,"name":"a","thread":1,"at_ns":10,"dur_ns":10}"#,
-        ]);
-        let stats = validate(&t).unwrap();
-        assert_eq!(stats.events, 5);
-        assert_eq!(stats.spans, 2);
-        assert_eq!(stats.counters, 1);
+        let t = file(
+            TRACE_META,
+            &[
+                r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+                r#"{"type":"span_start","id":2,"parent":1,"name":"b","thread":1,"at_ns":5,"fields":{"k":3}}"#,
+                r#"{"type":"counter","name":"c","value":2,"thread":1,"at_ns":6}"#,
+                r#"{"type":"span_end","id":2,"name":"b","thread":1,"at_ns":9,"dur_ns":4}"#,
+                r#"{"type":"span_end","id":1,"name":"a","thread":1,"at_ns":10,"dur_ns":10}"#,
+            ],
+        );
+        assert!(validate(&t).unwrap().starts_with("5 events (2 spans, 1 counters)"));
     }
 
     #[test]
@@ -208,30 +362,134 @@ mod tests {
         assert!(validate("").is_err());
         assert!(validate("{\"type\":\"meta\",\"schema\":\"other\"}").is_err());
         // End without start.
-        let t =
-            trace(&[r#"{"type":"span_end","id":9,"name":"x","thread":1,"at_ns":1,"dur_ns":1}"#]);
+        let t = file(
+            TRACE_META,
+            &[r#"{"type":"span_end","id":9,"name":"x","thread":1,"at_ns":1,"dur_ns":1}"#],
+        );
         assert!(validate(&t).is_err());
         // Unknown parent.
-        let t = trace(&[
-            r#"{"type":"span_start","id":1,"parent":77,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
-        ]);
+        let t = file(
+            TRACE_META,
+            &[
+                r#"{"type":"span_start","id":1,"parent":77,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+            ],
+        );
         assert!(validate(&t).is_err());
         // Unclosed span.
-        let t = trace(&[
-            r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
-        ]);
+        let t = file(
+            TRACE_META,
+            &[
+                r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+            ],
+        );
         assert!(validate(&t).is_err());
         // Name mismatch between start and end.
-        let t = trace(&[
-            r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
-            r#"{"type":"span_end","id":1,"name":"z","thread":1,"at_ns":2,"dur_ns":2}"#,
-        ]);
+        let t = file(
+            TRACE_META,
+            &[
+                r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"fields":{}}"#,
+                r#"{"type":"span_end","id":1,"name":"z","thread":1,"at_ns":2,"dur_ns":2}"#,
+            ],
+        );
         assert!(validate(&t).is_err());
         // Time going backwards on a thread.
-        let t = trace(&[
-            r#"{"type":"counter","name":"c","value":1,"thread":1,"at_ns":5}"#,
-            r#"{"type":"counter","name":"c","value":1,"thread":1,"at_ns":4}"#,
-        ]);
+        let t = file(
+            TRACE_META,
+            &[
+                r#"{"type":"counter","name":"c","value":1,"thread":1,"at_ns":5}"#,
+                r#"{"type":"counter","name":"c","value":1,"thread":1,"at_ns":4}"#,
+            ],
+        );
         assert!(validate(&t).is_err());
+    }
+
+    #[test]
+    fn accepts_journal_with_torn_tail() {
+        let t = file(
+            JOURNAL_META,
+            &[
+                r#"{"type":"submit","job":0,"kind":"corpus","index":4}"#,
+                r#"{"type":"submit","job":1,"kind":"verify","model":"dtmc","property":"p"}"#,
+                r#"{"type":"attempt","job":0,"attempt":1}"#,
+                r#"{"type":"checkpoint","job":0,"attempt":1,"stage":"learn","x":null}"#,
+                r#"{"type":"failure","job":0,"attempt":1,"kind":"panic","detail":"boom"}"#,
+                r#"{"type":"outcome","job":0,"attempts":2,"status":"satisfied","detail":"d","evaluations":3}"#,
+                r#"{"type":"resume","completed":1}"#,
+                r#"{"type":"outcome","job":1,"attempts":1,"status":"viol"#, // torn mid-write
+            ],
+        );
+        let summary = validate(&t).unwrap();
+        assert!(summary.contains("2 submissions"), "{summary}");
+        assert!(summary.contains("torn final line"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_corrupt_journals() {
+        // Mid-file garbage is corruption, not a torn tail.
+        let t = file(
+            JOURNAL_META,
+            &[r#"{"type":"outcome","job":0,"att"#, r#"{"type":"resume","completed":0}"#],
+        );
+        assert!(validate(&t).is_err());
+        // Double submit / double outcome / unknown status.
+        for bad in [
+            &[
+                r#"{"type":"submit","job":0,"kind":"corpus","index":1}"#,
+                r#"{"type":"submit","job":0,"kind":"corpus","index":2}"#,
+            ][..],
+            &[
+                r#"{"type":"outcome","job":0,"attempts":1,"status":"satisfied","detail":"d","evaluations":0}"#,
+                r#"{"type":"outcome","job":0,"attempts":1,"status":"satisfied","detail":"d","evaluations":0}"#,
+            ][..],
+            &[
+                r#"{"type":"outcome","job":0,"attempts":1,"status":"odd","detail":"d","evaluations":0}"#,
+            ][..],
+            &[r#"{"type":"attempt","job":0,"attempt":0}"#][..],
+        ] {
+            assert!(validate(&file(JOURNAL_META, bad)).is_err());
+        }
+    }
+
+    #[test]
+    fn serve_log_requires_contiguous_seq() {
+        let t = file(
+            SERVE_META,
+            &[
+                r#"{"type":"request","seq":0,"method":"POST","path":"/v1/jobs","status":202}"#,
+                r#"{"type":"request","seq":1,"method":"GET","path":"/metrics","status":200}"#,
+            ],
+        );
+        assert_eq!(validate(&t).unwrap(), "2 request records, seq contiguous");
+
+        // kill -9 mid-write: a torn final line is tolerated, like journals.
+        let torn = file(
+            SERVE_META,
+            &[
+                r#"{"type":"request","seq":0,"method":"POST","path":"/v1/jobs","status":202}"#,
+                r#"{"type":"request","seq":1,"meth"#,
+            ],
+        );
+        assert_eq!(validate(&torn).unwrap(), "1 request records, seq contiguous");
+
+        for (lines, why) in [
+            (
+                &[r#"{"type":"request","seq":1,"method":"GET","path":"/","status":200}"#][..],
+                "seq must start at 0",
+            ),
+            (
+                &[
+                    r#"{"type":"request","seq":0,"method":"GET","path":"/","status":200}"#,
+                    r#"{"type":"request","seq":2,"method":"GET","path":"/","status":200}"#,
+                ][..],
+                "gaps mean dropped log lines",
+            ),
+            (
+                &[r#"{"type":"request","seq":0,"method":"GET","path":"/","status":7}"#][..],
+                "implausible status",
+            ),
+            (&[r#"{"type":"shutdown"}"#][..], "unknown record type"),
+        ] {
+            assert!(validate(&file(SERVE_META, lines)).is_err(), "{why}");
+        }
     }
 }

@@ -30,6 +30,9 @@ pub mod schema {
     pub const CONFORMANCE: &str = "tml-conformance/v1";
     /// Batch-repair write-ahead journal and final report; see DESIGN.md §11.
     pub const JOURNAL: &str = "tml-journal/v1";
+    /// Serve-layer request log (one record per HTTP request); see
+    /// DESIGN.md §12.
+    pub const SERVE: &str = "tml-serve/v1";
 }
 
 /// Builds one JSONL record — a single-line JSON object with a leading
