@@ -1,0 +1,209 @@
+//! State-space scaling curve for the checker's linear-solver backends.
+//!
+//! Sweeps the million-state generator families (`long-chain`,
+//! `layered-scc`, `grid`) across a size ladder and times the constrained
+//! reachability `P(φ U goal)` — with a sparse set of states blocked from
+//! φ so the qualitative precomputation cannot collapse the system (with
+//! every state allowed, these families reach the goal almost surely and
+//! `Prob1` swallows everything) — under three solver configurations:
+//!
+//! * `monolithic` — Gauss–Seidel on the whole maybe-state system (the
+//!   pre-decomposition baseline);
+//! * `scc` — the SCC-decomposed block solve (trivial components by
+//!   back-substitution, small blocks dense, large blocks range-GS);
+//! * `interval` — two-sided iteration with sound bounds (run at the
+//!   smaller sizes; it does roughly twice the monolithic work by design).
+//!
+//! Writes the curve as JSON (`BENCH_PR7.json` by default) so scaling
+//! regressions show up in diffs. The headline check — and the CI gate via
+//! `--assert-speedup` — is that the SCC path beats the monolithic solve on
+//! the layered-DAG-of-SCCs family, where the condensation has thousands of
+//! small components in a deep dependency order.
+//!
+//! Run with `cargo run --release -p tml-bench --bin bench_scaling -- --quick`
+//! (sizes 10k/100k) or `--full` (10k → 1M). `--out PATH` overrides the
+//! output file; `--assert-speedup` exits non-zero if the SCC solve is
+//! slower than the monolithic solve on any layered-scc size.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::Serialize;
+use tml_checker::dtmc::until_probabilities;
+use tml_checker::{CheckOptions, LinearSolver};
+use tml_conformance::gen::{self, GOAL_LABEL};
+use tml_models::Dtmc;
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    rows: Vec<Row>,
+    /// Per (family, size): monolithic wall time over SCC wall time.
+    speedups: Vec<Speedup>,
+}
+
+#[derive(Serialize)]
+struct Row {
+    family: String,
+    states: usize,
+    transitions: usize,
+    solver: String,
+    wall_ms: f64,
+    value_at_initial: f64,
+    metrics: BTreeMap<String, f64>,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    family: String,
+    states: usize,
+    scc_over_monolithic: f64,
+}
+
+/// Sizes are approximate: each family rounds to its own lattice.
+const QUICK_SIZES: &[usize] = &[10_000, 100_000];
+const FULL_SIZES: &[usize] = &[10_000, 30_000, 100_000, 300_000, 1_000_000];
+
+/// Interval iteration does two monolithic-shaped sweeps per round, so the
+/// curve only carries it up to this size.
+const INTERVAL_CAP: usize = 100_000;
+
+/// The grid family is one giant SCC (the honest no-win case for the
+/// decomposition); cap it below the million-state tier to keep the sweep's
+/// wall clock dominated by the families the decomposition targets.
+const GRID_CAP: usize = 100_000;
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR7.json");
+    let mut quick = true;
+    let mut assert_speedup = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--assert-speedup" => assert_speedup = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: \
+                     bench_scaling [--quick|--full] [--assert-speedup] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let sizes = if quick { QUICK_SIZES } else { FULL_SIZES };
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut gate_ok = true;
+
+    for &family in &["long-chain", "layered-scc", "grid"] {
+        for &size in sizes {
+            if family == "grid" && size > GRID_CAP {
+                continue;
+            }
+            let model = build(family, size);
+            let n = model.num_states();
+            eprintln!("{family} {n} states: generating done, solving...");
+            let mono = solve(&model, LinearSolver::GaussSeidel);
+            let scc = solve(&model, LinearSolver::Scc);
+            assert!(
+                (mono.1 - scc.1).abs() < 1e-6,
+                "{family} {n}: monolithic {} vs scc {} disagree",
+                mono.1,
+                scc.1
+            );
+            let ratio = mono.0 / scc.0.max(1e-9);
+            eprintln!(
+                "{family} {n} states: monolithic {:.1}ms, scc {:.1}ms ({ratio:.1}x)",
+                mono.0, scc.0
+            );
+            rows.push(row(family, &model, "monolithic-gs", mono));
+            rows.push(row(family, &model, "scc", scc));
+            speedups.push(Speedup { family: family.into(), states: n, scc_over_monolithic: ratio });
+            if family == "layered-scc" && ratio < 1.0 {
+                gate_ok = false;
+            }
+            if size <= INTERVAL_CAP {
+                let iv = solve(&model, LinearSolver::Interval);
+                assert!(
+                    (iv.1 - mono.1).abs() < 1e-6,
+                    "{family} {n}: interval midpoint {} vs monolithic {} disagree",
+                    iv.1,
+                    mono.1
+                );
+                rows.push(row(family, &model, "interval", iv));
+            }
+        }
+    }
+
+    let report = Report {
+        schema: "tml-bench-scaling/v1".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        rows,
+        speedups,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    eprintln!("wrote {out_path}");
+
+    if assert_speedup && !gate_ok {
+        eprintln!("FAIL: scc path slower than monolithic on the layered-scc family");
+        std::process::exit(1);
+    }
+}
+
+/// Builds a family instance with roughly `size` states. The layered-scc
+/// family keeps the layer count fixed at 64 and scales the layer width, so
+/// the dependency depth (what monolithic sweeps pay for) stays constant
+/// while the state count grows.
+fn build(family: &str, size: usize) -> Dtmc {
+    match family {
+        "long-chain" => gen::long_chain_dtmc(7, size),
+        "layered-scc" => {
+            let comps = (size / (64 * 4)).max(1);
+            gen::layered_scc_dtmc(7, 64, comps, 4)
+        }
+        "grid" => gen::grid_dtmc(7, (size as f64).sqrt().ceil() as usize),
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+/// Times one `P(φ U goal)` solve; returns (wall ms, value at initial
+/// state). Every 97th state (offset 13) is blocked from φ, which keeps
+/// almost the whole state space in the "maybe" system the solvers have to
+/// work for.
+fn solve(model: &Dtmc, solver: LinearSolver) -> (f64, f64) {
+    let opts = CheckOptions {
+        solver,
+        tolerance: 1e-10,
+        max_iterations: 5_000_000,
+        ..CheckOptions::default()
+    };
+    let target = model.labeling().mask(GOAL_LABEL);
+    let phi = blocked_phi(model.num_states(), &target);
+    let t0 = Instant::now();
+    let x = until_probabilities(model, &phi, &target, &opts).expect("solve");
+    (t0.elapsed().as_secs_f64() * 1e3, x[model.initial_state()])
+}
+
+/// All states allowed except every 97th (offset 13, so the initial state
+/// stays allowed); goal states are never blocked.
+fn blocked_phi(n: usize, target: &[bool]) -> Vec<bool> {
+    (0..n).map(|s| target[s] || s % 97 != 13).collect()
+}
+
+fn row(family: &str, model: &Dtmc, solver: &str, (wall_ms, value): (f64, f64)) -> Row {
+    Row {
+        family: family.into(),
+        states: model.num_states(),
+        transitions: model.num_transitions(),
+        solver: solver.into(),
+        wall_ms,
+        value_at_initial: value,
+        metrics: BTreeMap::new(),
+    }
+}

@@ -6,7 +6,9 @@
 
 use tml_logic::{PathFormula, Query, RewardKind, StateFormula};
 use tml_models::{graph, Dtmc, RewardStructure};
+use tml_numerics::interval::{certified_upper_bound, interval_iteration_budgeted};
 use tml_numerics::iterative::{gauss_seidel_budgeted, jacobi_budgeted, IterOptions, IterRun};
+use tml_numerics::scc::solve_scc_budgeted;
 use tml_numerics::solve::solve_dense;
 use tml_numerics::{Budget, CsrMatrix, DenseMatrix, Diagnostics, NumericsError, Triplet};
 
@@ -283,21 +285,24 @@ pub fn until_probabilities_diag(
     Ok((x, run.finish()))
 }
 
-pub(crate) fn until_probabilities_run(
-    model: &Dtmc,
-    phi: &[bool],
-    target: &[bool],
-    run: &CheckRun<'_>,
-) -> Result<Vec<f64>, CheckError> {
-    let n = model.num_states();
-    let zero = graph::prob0(model, phi, target);
-    let one = graph::prob1(model, phi, target);
-    let maybe: Vec<usize> = (0..n).filter(|&s| !zero[s] && !one[s]).collect();
+/// The maybe-state linear system of an unbounded-until query: prob0/prob1
+/// resolved values in `x`, plus `x_maybe = A·x_maybe + b` on the rest.
+struct UntilSystem {
+    /// Per-state values with prob0/prob1 states already final.
+    x: Vec<f64>,
+    /// The maybe states, in ascending state order.
+    maybe: Vec<usize>,
+    /// Right-hand side: one-step probability into prob1 states.
+    b: Vec<f64>,
+    /// Restriction of the transition matrix to the maybe states.
+    triplets: Vec<Triplet>,
+}
 
-    let mut x: Vec<f64> = (0..n).map(|s| if one[s] { 1.0 } else { 0.0 }).collect();
-    if maybe.is_empty() {
-        return Ok(x);
-    }
+fn build_until_system(model: &Dtmc, phi: &[bool], target: &[bool]) -> UntilSystem {
+    let n = model.num_states();
+    let (zero, one) = graph::prob01(model, phi, target);
+    let maybe: Vec<usize> = (0..n).filter(|&s| !zero[s] && !one[s]).collect();
+    let x: Vec<f64> = (0..n).map(|s| if one[s] { 1.0 } else { 0.0 }).collect();
 
     let index: Vec<Option<usize>> = {
         let mut idx = vec![None; n];
@@ -309,7 +314,7 @@ pub(crate) fn until_probabilities_run(
     let m = maybe.len();
     // b_i = sum of probabilities into prob1 states; A = restriction to maybe.
     let mut b = vec![0.0; m];
-    let mut triplets = Vec::new();
+    let mut triplets = Vec::with_capacity(model.num_transitions().min(4 * m));
     for (i, &s) in maybe.iter().enumerate() {
         for (t, p) in model.successors(s) {
             if one[t] {
@@ -319,12 +324,83 @@ pub(crate) fn until_probabilities_run(
             }
         }
     }
+    UntilSystem { x, maybe, b, triplets }
+}
 
-    let sol = solve_restricted(&triplets, &b, m, run)?;
+pub(crate) fn until_probabilities_run(
+    model: &Dtmc,
+    phi: &[bool],
+    target: &[bool],
+    run: &CheckRun<'_>,
+) -> Result<Vec<f64>, CheckError> {
+    let UntilSystem { mut x, maybe, b, triplets } = build_until_system(model, phi, target);
+    if maybe.is_empty() {
+        return Ok(x);
+    }
+    let sol = solve_restricted(&triplets, &b, maybe.len(), run, SystemKind::Probability)?;
     for (i, &s) in maybe.iter().enumerate() {
         x[s] = sol[i].clamp(0.0, 1.0);
     }
     Ok(x)
+}
+
+/// `P(φ U ψ)` per state with **sound two-sided bounds**: the true
+/// probability of every state lies in `[lo[s], hi[s]]` (up to floating-point
+/// rounding of individual sweeps), regardless of how tight the iteration
+/// managed to get within its budget.
+///
+/// The maybe-state system is solved by interval iteration from the bracket
+/// `[0, 1]`; prob0/prob1 states carry the exact bounds `[0, 0]` / `[1, 1]`.
+/// When the budget stops the run early the bracket is simply wider — it
+/// never becomes unsound — and the cause lands in
+/// [`Diagnostics::exhausted`].
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] on dimension errors from the numeric layer;
+/// non-convergence is not an error (the bracket reports itself).
+pub fn until_probabilities_bounds(
+    model: &Dtmc,
+    phi: &[bool],
+    target: &[bool],
+    opts: &CheckOptions,
+    budget: &Budget,
+) -> Result<(Vec<f64>, Vec<f64>, Diagnostics), CheckError> {
+    let run = CheckRun::new(opts, budget);
+    let UntilSystem { x, maybe, b, triplets } = build_until_system(model, phi, target);
+    let mut lo = x.clone();
+    let mut hi = x;
+    if maybe.is_empty() {
+        return Ok((lo, hi, run.finish()));
+    }
+    let m = maybe.len();
+    let a = CsrMatrix::from_triplets(m, m, &triplets)?;
+    let iter_opts = IterOptions { tolerance: opts.tolerance, max_iterations: opts.max_iterations };
+    let iv = interval_iteration_budgeted(
+        &a,
+        &b,
+        &vec![0.0; m],
+        &vec![1.0; m],
+        iter_opts,
+        &run.remaining_budget(),
+    )?;
+    run.spend(iv.iterations as u64);
+    if iv.converged {
+        run.record_backend("interval", true);
+    } else if let Some(cause) = iv.stopped {
+        // The caller's budget, not a backend fault; the surviving width is
+        // the honest residual of the wider bracket.
+        run.mark_exhausted(cause);
+        run.record_residual(iv.width);
+    } else {
+        run.record_backend("interval", false);
+        run.record_residual(iv.width);
+    }
+    for (i, &s) in maybe.iter().enumerate() {
+        lo[s] = iv.lo[i].clamp(0.0, 1.0);
+        hi[s] = iv.hi[i].clamp(0.0, 1.0);
+    }
+    Ok((lo, hi, run.finish()))
 }
 
 /// Expected reward accumulated until first reaching `target`
@@ -370,7 +446,7 @@ pub(crate) fn reach_rewards_run(
     };
     let m = maybe.len();
     let mut b = vec![0.0; m];
-    let mut triplets = Vec::new();
+    let mut triplets = Vec::with_capacity(model.num_transitions().min(4 * m));
     for (i, &s) in maybe.iter().enumerate() {
         b[i] = rewards.state_reward(s);
         for (t, p) in model.successors(s) {
@@ -381,7 +457,7 @@ pub(crate) fn reach_rewards_run(
             // `one` are unreachable from a prob1 state.
         }
     }
-    let sol = solve_restricted(&triplets, &b, m, run)?;
+    let sol = solve_restricted(&triplets, &b, m, run, SystemKind::Reward)?;
     for (i, &s) in maybe.iter().enumerate() {
         x[s] = sol[i].max(0.0);
     }
@@ -407,22 +483,37 @@ pub fn cumulative_rewards(model: &Dtmc, rewards: &RewardStructure, k: u64) -> Ve
 /// the configured `direct_solver_limit`.
 const LAST_RESORT_DIRECT_LIMIT: usize = 2048;
 
+/// Which kind of fixed-point system is being solved; interval iteration
+/// needs to know how to seed a sound upper bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SystemKind {
+    /// Reachability probabilities: values live in `[0, 1]`.
+    Probability,
+    /// Expected rewards: unbounded above, the upper bound must be grown
+    /// and certified.
+    Reward,
+}
+
 /// Solves `x = A·x + b` on the maybe-state fragment, picking the solver per
 /// the options.
 ///
-/// Under [`LinearSolver::Auto`] a failed Gauss–Seidel solve degrades
-/// gracefully instead of erroring: first Jacobi (warm-started from the
-/// Gauss–Seidel iterate, at 100× relaxed tolerance), then — for systems up
-/// to [`LAST_RESORT_DIRECT_LIMIT`] states — dense Gaussian elimination, and
+/// Under [`LinearSolver::Auto`] large systems first take the SCC-decomposed
+/// path (unless `scc_enabled` is off — the runtime's circuit breaker clears
+/// it when that backend misbehaves); a stalled SCC solve degrades to
+/// monolithic Gauss–Seidel warm-started from the SCC iterate, then Jacobi
+/// (at 100× relaxed tolerance), then — for systems up to
+/// [`LAST_RESORT_DIRECT_LIMIT`] states — dense Gaussian elimination, and
 /// finally the best iterate seen, with its residual recorded in the run's
-/// diagnostics. An explicitly requested [`LinearSolver::GaussSeidel`] keeps
-/// the strict `NoConvergence` error contract. Budget exhaustion always
-/// yields the best iterate (never an error), marked in the diagnostics.
+/// diagnostics. Explicitly requested solvers ([`LinearSolver::GaussSeidel`],
+/// [`LinearSolver::Scc`], [`LinearSolver::Interval`]) keep the strict
+/// `NoConvergence` error contract. Budget exhaustion always yields the best
+/// iterate (never an error), marked in the diagnostics.
 fn solve_restricted(
     triplets: &[Triplet],
     b: &[f64],
     m: usize,
     run: &CheckRun<'_>,
+    kind: SystemKind,
 ) -> Result<Vec<f64>, CheckError> {
     let opts = run.opts;
     let _span = tml_telemetry::span!("checker.linear_solve", states = m);
@@ -434,7 +525,35 @@ fn solve_restricted(
     }
     let a = CsrMatrix::from_triplets(m, m, triplets)?;
     let iter_opts = IterOptions { tolerance: opts.tolerance, max_iterations: opts.max_iterations };
-    let gs = gauss_seidel_budgeted(&a, b, &vec![0.0; m], iter_opts, &run.remaining_budget())?;
+    match opts.solver {
+        LinearSolver::Scc => return solve_scc_strict(&a, b, run, iter_opts),
+        LinearSolver::Interval => return solve_interval_strict(&a, b, run, iter_opts, kind),
+        _ => {}
+    }
+    // Auto: SCC-decomposed solve first — on layered state spaces it
+    // replaces O(depth) monolithic sweeps with one back-substitution pass.
+    let mut warm = vec![0.0; m];
+    if opts.solver == LinearSolver::Auto && opts.scc_enabled {
+        let scc = solve_scc_budgeted(&a, b, iter_opts, &run.remaining_budget())?;
+        run.spend(scc.run.iterations as u64);
+        if scc.run.converged {
+            run.record_backend("scc", true);
+            return Ok(scc.run.x);
+        }
+        if let Some(cause) = scc.run.stopped {
+            run.mark_exhausted(cause);
+            run.record_residual(scc.run.delta);
+            return Ok(scc.run.x);
+        }
+        run.record_backend("scc", false);
+        run.record_fallback(format!(
+            "scc solve stalled across {} components (residual {:.3e}); \
+             retrying monolithic gauss-seidel",
+            scc.stats.components, scc.run.delta
+        ));
+        warm = scc.run.x;
+    }
+    let gs = gauss_seidel_budgeted(&a, b, &warm, iter_opts, &run.remaining_budget())?;
     run.spend(gs.iterations as u64);
     if gs.converged {
         run.record_backend("gauss-seidel", true);
@@ -491,6 +610,83 @@ fn solve_restricted(
     ));
     run.record_residual(best.delta);
     Ok(best.x)
+}
+
+/// Explicit [`LinearSolver::Scc`]: converged or budget-stopped runs return
+/// the iterate; a stall is a strict `NoConvergence` error (and a breaker
+/// strike against the `scc` backend).
+fn solve_scc_strict(
+    a: &CsrMatrix,
+    b: &[f64],
+    run: &CheckRun<'_>,
+    iter_opts: IterOptions,
+) -> Result<Vec<f64>, CheckError> {
+    let scc = solve_scc_budgeted(a, b, iter_opts, &run.remaining_budget())?;
+    run.spend(scc.run.iterations as u64);
+    if scc.run.converged {
+        run.record_backend("scc", true);
+        return Ok(scc.run.x);
+    }
+    if let Some(cause) = scc.run.stopped {
+        run.mark_exhausted(cause);
+        run.record_residual(scc.run.delta);
+        return Ok(scc.run.x);
+    }
+    run.record_backend("scc", false);
+    Err(NumericsError::NoConvergence { iterations: scc.run.iterations, residual: scc.run.delta }
+        .into())
+}
+
+/// Explicit [`LinearSolver::Interval`]: two-sided iteration whose midpoint
+/// is returned once the bracket is narrower than the tolerance.
+///
+/// Probability systems start from the bracket `[0, 1]`. Reward systems have
+/// no a-priori upper bound: a budgeted Gauss–Seidel approximation seeds a
+/// guess-and-verify certificate ([`certified_upper_bound`]) — if no
+/// certificate exists the backend fails strictly rather than reporting
+/// unsound bounds. A budget stop returns the midpoint of the (still sound,
+/// just wider) bracket.
+fn solve_interval_strict(
+    a: &CsrMatrix,
+    b: &[f64],
+    run: &CheckRun<'_>,
+    iter_opts: IterOptions,
+    kind: SystemKind,
+) -> Result<Vec<f64>, CheckError> {
+    let m = a.rows();
+    let hi0 = match kind {
+        SystemKind::Probability => vec![1.0; m],
+        SystemKind::Reward => {
+            let approx =
+                gauss_seidel_budgeted(a, b, &vec![0.0; m], iter_opts, &run.remaining_budget())?;
+            run.spend(approx.iterations as u64);
+            match certified_upper_bound(a, b, &approx.x) {
+                Some(hi) => hi,
+                None => {
+                    run.record_backend("interval", false);
+                    return Err(NumericsError::NoConvergence {
+                        iterations: approx.iterations,
+                        residual: approx.delta,
+                    }
+                    .into());
+                }
+            }
+        }
+    };
+    let iv =
+        interval_iteration_budgeted(a, b, &vec![0.0; m], &hi0, iter_opts, &run.remaining_budget())?;
+    run.spend(iv.iterations as u64);
+    if iv.converged {
+        run.record_backend("interval", true);
+        return Ok(iv.midpoint());
+    }
+    if let Some(cause) = iv.stopped {
+        run.mark_exhausted(cause);
+        run.record_residual(iv.width);
+        return Ok(iv.midpoint());
+    }
+    run.record_backend("interval", false);
+    Err(NumericsError::NoConvergence { iterations: iv.iterations, residual: iv.width }.into())
 }
 
 /// The iterate with the smaller residual (NaN counts as worst).
@@ -730,6 +926,7 @@ mod tests {
         let starved = CheckOptions {
             solver: crate::LinearSolver::Auto,
             direct_solver_limit: 0, // force the iterative path
+            scc_enabled: false,     // exercise the legacy monolithic chain
             max_iterations: 2,
             tolerance: 1e-12,
             ..Default::default()
@@ -751,6 +948,115 @@ mod tests {
         assert!(diag.fallbacks[1].contains("direct"));
         assert!(diag.degraded());
         assert!(diag.exhausted.is_none(), "no budget was exhausted");
+    }
+
+    #[test]
+    fn scc_solver_matches_direct() {
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let scc = CheckOptions { solver: crate::LinearSolver::Scc, ..Default::default() };
+        let direct = CheckOptions { solver: crate::LinearSolver::Direct, ..Default::default() };
+        let (p, diag) =
+            until_probabilities_diag(&d, &phi, &target, &scc, &Budget::unlimited()).unwrap();
+        let exact = until_probabilities(&d, &phi, &target, &direct).unwrap();
+        for (a, b) in p.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert!(!diag.degraded());
+        assert_eq!(
+            diag.telemetry.counter("checker.backend.scc.ok"),
+            1,
+            "scc backend success must be counted"
+        );
+    }
+
+    #[test]
+    fn auto_routes_large_systems_through_scc() {
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let opts = CheckOptions {
+            direct_solver_limit: 0, // everything is "large"
+            ..Default::default()
+        };
+        let (p, diag) =
+            until_probabilities_diag(&d, &phi, &target, &opts, &Budget::unlimited()).unwrap();
+        assert!((p[2] - 0.5).abs() < 1e-9);
+        assert_eq!(diag.telemetry.counter("checker.backend.scc.ok"), 1);
+        assert!(diag.fallbacks.is_empty(), "scc handled it: {:?}", diag.fallbacks);
+    }
+
+    #[test]
+    fn interval_solver_matches_direct_and_counts() {
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let iv = CheckOptions { solver: crate::LinearSolver::Interval, ..Default::default() };
+        let direct = CheckOptions { solver: crate::LinearSolver::Direct, ..Default::default() };
+        let (p, diag) =
+            until_probabilities_diag(&d, &phi, &target, &iv, &Budget::unlimited()).unwrap();
+        let exact = until_probabilities(&d, &phi, &target, &direct).unwrap();
+        for (a, b) in p.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        assert_eq!(diag.telemetry.counter("checker.backend.interval.ok"), 1);
+    }
+
+    #[test]
+    fn interval_solver_handles_rewards() {
+        let d = gambler();
+        let target =
+            zip_masks(d.labeling().mask("rich"), d.labeling().mask("broke"), |a, b| a || b);
+        let rewards = d.reward_structure("steps").unwrap();
+        let iv = CheckOptions { solver: crate::LinearSolver::Interval, ..Default::default() };
+        let r = reach_rewards(&d, rewards, &target, &iv).unwrap();
+        // Symmetric gambler: expected steps from the middle state is 4.
+        assert!((r[2] - 4.0).abs() < 1e-7, "got {}", r[2]);
+    }
+
+    #[test]
+    fn bounds_bracket_the_direct_solution() {
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let opts = CheckOptions::default();
+        let (lo, hi, diag) =
+            until_probabilities_bounds(&d, &phi, &target, &opts, &Budget::unlimited()).unwrap();
+        let exact = until_probabilities(
+            &d,
+            &phi,
+            &target,
+            &CheckOptions { solver: crate::LinearSolver::Direct, ..Default::default() },
+        )
+        .unwrap();
+        for s in 0..5 {
+            assert!(lo[s] <= exact[s] + 1e-9, "state {s}: lo {} vs exact {}", lo[s], exact[s]);
+            assert!(exact[s] <= hi[s] + 1e-9, "state {s}: exact {} vs hi {}", exact[s], hi[s]);
+            assert!(hi[s] - lo[s] <= opts.tolerance + 1e-12);
+        }
+        assert!(!diag.degraded());
+    }
+
+    #[test]
+    fn starved_bounds_stay_sound_just_wider() {
+        let d = gambler();
+        let phi = vec![true; 5];
+        let target = d.labeling().mask("rich");
+        let opts = CheckOptions::default();
+        let budget = Budget::unlimited().with_max_evaluations(1);
+        let (lo, hi, diag) = until_probabilities_bounds(&d, &phi, &target, &opts, &budget).unwrap();
+        assert_eq!(diag.exhausted, Some(tml_numerics::Exhaustion::Evaluations));
+        let exact = until_probabilities(
+            &d,
+            &phi,
+            &target,
+            &CheckOptions { solver: crate::LinearSolver::Direct, ..Default::default() },
+        )
+        .unwrap();
+        for s in 0..5 {
+            assert!(lo[s] <= exact[s] + 1e-9 && exact[s] <= hi[s] + 1e-9, "state {s}");
+        }
     }
 
     #[test]

@@ -10,6 +10,14 @@ pub enum LinearSolver {
     Direct,
     /// Always use sparse Gauss–Seidel iteration.
     GaussSeidel,
+    /// SCC-decomposed solve: condense the maybe-state graph, solve one
+    /// strongly connected block at a time in dependency order; trivial
+    /// components resolve by back-substitution without iterating.
+    Scc,
+    /// Interval (two-sided) iteration: iterate a lower and an upper bound
+    /// around the fixed point and report their midpoint, so the result
+    /// carries a sound error bracket instead of a heuristic residual.
+    Interval,
 }
 
 /// Numeric options for the checker.
@@ -30,6 +38,11 @@ pub struct CheckOptions {
     /// as equal, so `P>=0.5` holds at a computed `0.4999999999`. Set to zero
     /// for strict comparisons.
     pub bound_tolerance: f64,
+    /// Whether [`LinearSolver::Auto`] may route large systems through the
+    /// SCC-decomposed solver before falling back to monolithic iteration.
+    /// The runtime's circuit breaker clears this when the SCC backend has
+    /// been failing.
+    pub scc_enabled: bool,
 }
 
 impl Default for CheckOptions {
@@ -40,6 +53,7 @@ impl Default for CheckOptions {
             solver: LinearSolver::Auto,
             direct_solver_limit: 512,
             bound_tolerance: 1e-8,
+            scc_enabled: true,
         }
     }
 }
@@ -49,7 +63,7 @@ impl CheckOptions {
     pub fn use_direct(&self, n: usize) -> bool {
         match self.solver {
             LinearSolver::Direct => true,
-            LinearSolver::GaussSeidel => false,
+            LinearSolver::GaussSeidel | LinearSolver::Scc | LinearSolver::Interval => false,
             LinearSolver::Auto => n <= self.direct_solver_limit,
         }
     }
@@ -86,5 +100,10 @@ mod tests {
         assert!(o.use_direct(100_000));
         o.solver = LinearSolver::GaussSeidel;
         assert!(!o.use_direct(1));
+        o.solver = LinearSolver::Scc;
+        assert!(!o.use_direct(1));
+        o.solver = LinearSolver::Interval;
+        assert!(!o.use_direct(1));
+        assert!(CheckOptions::default().scc_enabled);
     }
 }

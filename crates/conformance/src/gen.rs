@@ -17,6 +17,13 @@
 //! * [`near_singular_dtmc`] — heavy self-loops (retry probability close to
 //!   one) make `I − P` nearly singular: Gauss–Seidel converges very slowly,
 //!   which drives the checker's degradation chain;
+//! * [`long_chain_dtmc`] — a forward chain with skip edges to the goal:
+//!   every SCC is trivial, so the SCC-decomposed solver finishes in one
+//!   back-substitution pass while monolithic Gauss–Seidel needs a sweep
+//!   per chain position (scales to millions of states);
+//! * [`layered_scc_dtmc`] — a layered DAG whose nodes are small ring
+//!   SCCs: the condensation has many components in a deep dependency
+//!   order, the stress shape for block-decomposed solves at scale;
 //! * [`random_mdp`] — controllable nondeterministic branching;
 //! * [`parametric_dtmc`] — bounded-degree parametric chains whose rows sum
 //!   to one identically, for the symbolic/compiled/instantiate oracle.
@@ -47,6 +54,10 @@ pub enum ModelFamily {
     Dense,
     /// [`near_singular_dtmc`] instances.
     NearSingular,
+    /// [`long_chain_dtmc`] instances.
+    LongChain,
+    /// [`layered_scc_dtmc`] instances.
+    LayeredScc,
 }
 
 impl ModelFamily {
@@ -58,6 +69,8 @@ impl ModelFamily {
             ModelFamily::Grid,
             ModelFamily::Dense,
             ModelFamily::NearSingular,
+            ModelFamily::LongChain,
+            ModelFamily::LayeredScc,
         ]
     }
 
@@ -69,6 +82,8 @@ impl ModelFamily {
             ModelFamily::Grid => "grid",
             ModelFamily::Dense => "dense",
             ModelFamily::NearSingular => "near-singular",
+            ModelFamily::LongChain => "long-chain",
+            ModelFamily::LayeredScc => "layered-scc",
         }
     }
 
@@ -95,6 +110,8 @@ impl ModelFamily {
             ModelFamily::Grid => grid_dtmc(seed, (n as f64).sqrt().ceil() as usize),
             ModelFamily::Dense => dense_dtmc(seed, n),
             ModelFamily::NearSingular => near_singular_dtmc(seed, n),
+            ModelFamily::LongChain => long_chain_dtmc(seed, n),
+            ModelFamily::LayeredScc => layered_scc_dtmc(seed, (n / 6).max(1), 2, 3),
         }
     }
 }
@@ -305,6 +322,93 @@ pub fn near_singular_dtmc(seed: u64, n: usize) -> Dtmc {
     b.build().unwrap()
 }
 
+/// A forward chain with skip edges: state `s` advances to `s + 1` with
+/// probability `1 − δ` and jumps straight to the absorbing goal with
+/// probability `δ` (`δ ∈ [0.01, 0.05]` per state). The transition graph is
+/// acyclic apart from the goal self-loop, so *every* SCC is trivial: the
+/// SCC-decomposed solver resolves the whole chain in one back-substitution
+/// pass, while monolithic Gauss–Seidel in natural state order propagates
+/// information one position per sweep. Scales to millions of states.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn long_chain_dtmc(seed: u64, n: usize) -> Dtmc {
+    assert!(n >= 2, "long_chain_dtmc needs at least two states");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_0008);
+    let goal = n - 1;
+    let mut b = DtmcBuilder::new(n);
+    for s in 0..goal {
+        let skip = rng.random_range(0.01..0.05);
+        if s + 1 == goal {
+            b.transition(s, goal, 1.0).unwrap();
+        } else {
+            b.transition(s, s + 1, 1.0 - skip).unwrap();
+            b.transition(s, goal, skip).unwrap();
+        }
+        b.state_reward("cost", s, rng.random_range(0.5..1.5)).unwrap();
+    }
+    b.transition(goal, goal, 1.0).unwrap();
+    b.label(goal, GOAL_LABEL).unwrap();
+    b.build().unwrap()
+}
+
+/// A layered DAG whose nodes are small ring SCCs: `layers` layers of
+/// `comps` ring components of `comp_size` states each, plus the absorbing
+/// goal. Within a component, each state cycles to the next ring position
+/// with probability `stay ∈ [0.7, 0.97]` — sticky enough that a global
+/// iterative solve pays hundreds of sweeps for the within-ring mixing a
+/// block solver resolves exactly — and leaks the rest to a random
+/// state of the next layer (the last layer leaks to the goal). The
+/// condensation therefore has `layers · comps` non-trivial components in a
+/// deep dependency order — the stress shape for block-decomposed solves —
+/// and the goal is reached almost surely from every state.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn layered_scc_dtmc(seed: u64, layers: usize, comps: usize, comp_size: usize) -> Dtmc {
+    assert!(
+        layers >= 1 && comps >= 1 && comp_size >= 1,
+        "layered_scc_dtmc needs positive dimensions"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_0009);
+    let per_layer = comps * comp_size;
+    let n = layers * per_layer + 1;
+    let goal = n - 1;
+    let mut b = DtmcBuilder::new(n);
+    for layer in 0..layers {
+        for comp in 0..comps {
+            let base = layer * per_layer + comp * comp_size;
+            for i in 0..comp_size {
+                let s = base + i;
+                let ring = base + (i + 1) % comp_size;
+                let stay = if comp_size == 1 {
+                    // Degenerate ring: a self-loop, resolved in closed form.
+                    rng.random_range(0.2..0.6)
+                } else {
+                    rng.random_range(0.7..0.97)
+                };
+                let leak = if layer + 1 == layers {
+                    goal
+                } else {
+                    (layer + 1) * per_layer + rng.random_range(0..per_layer)
+                };
+                if ring == leak {
+                    b.transition(s, ring, 1.0).unwrap();
+                } else {
+                    b.transition(s, ring, stay).unwrap();
+                    b.transition(s, leak, 1.0 - stay).unwrap();
+                }
+                b.state_reward("cost", s, rng.random_range(0.5..2.0)).unwrap();
+            }
+        }
+    }
+    b.transition(goal, goal, 1.0).unwrap();
+    b.label(goal, GOAL_LABEL).unwrap();
+    b.build().unwrap()
+}
+
 /// A random MDP with controllable branching: each of the `n` states offers
 /// between 1 and `max_choices` actions, each a distribution over up to
 /// three successors; the last state is the absorbing `"goal"`.
@@ -458,6 +562,32 @@ mod tests {
                 assert_eq!(d.num_states(), 6);
             }
         }
+    }
+
+    #[test]
+    fn long_chain_has_only_trivial_sccs() {
+        let d = long_chain_dtmc(5, 40);
+        assert_eq!(d.num_states(), 40);
+        let adj: Vec<Vec<usize>> =
+            (0..d.num_states()).map(|s| d.successors(s).map(|(t, _)| t).collect()).collect();
+        let comps = graph::sccs(&adj);
+        // Every component is a singleton (the goal's self-loop included).
+        assert!(comps.iter().all(|c| c.len() == 1));
+        goal_reachable_everywhere(&d);
+    }
+
+    #[test]
+    fn layered_scc_has_ring_components() {
+        let d = layered_scc_dtmc(2, 3, 2, 4);
+        assert_eq!(d.num_states(), 3 * 2 * 4 + 1);
+        let adj: Vec<Vec<usize>> =
+            (0..d.num_states()).map(|s| d.successors(s).map(|(t, _)| t).collect()).collect();
+        let comps = graph::sccs(&adj);
+        // Rings survive as size-4 components unless a leak edge collapsed
+        // one (possible only when ring == leak forced a rewire).
+        let big = comps.iter().filter(|c| c.len() == 4).count();
+        assert!(big >= 4, "most rings stay intact, got {big} of 6");
+        goal_reachable_everywhere(&d);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! | `tape-vs-instantiate` | compiled tapes | instantiate + concrete checker |
 //! | `checker-vs-sim` | bounded-until checker | Monte Carlo confidence interval |
 //! | `repair-recheck` | model repair verdict | simulation of the repaired model |
+//! | `scc-vs-dense` | SCC-decomposed block solve | dense LU solve |
+//! | `interval-contains-direct` | interval-iteration bounds | dense LU (must lie inside) |
 //!
 //! On disagreement the harness *shrinks* the model while the pair still
 //! disagrees — halving the state space (out-of-range transitions are
@@ -95,6 +97,11 @@ pub enum EnginePair {
     CheckerVsSimulation,
     /// Model repair outcome re-verified by independent simulation.
     RepairRecheck,
+    /// SCC-decomposed block solve vs dense LU on unbounded reachability.
+    SccVsDense,
+    /// Interval-iteration bounds must contain the dense LU value at every
+    /// state (a containment check, not a distance check).
+    IntervalContainsDirect,
 }
 
 impl EnginePair {
@@ -107,6 +114,8 @@ impl EnginePair {
             EnginePair::TapeVsInstantiated,
             EnginePair::CheckerVsSimulation,
             EnginePair::RepairRecheck,
+            EnginePair::SccVsDense,
+            EnginePair::IntervalContainsDirect,
         ]
     }
 
@@ -119,6 +128,8 @@ impl EnginePair {
             EnginePair::TapeVsInstantiated => "tape-vs-instantiate",
             EnginePair::CheckerVsSimulation => "checker-vs-sim",
             EnginePair::RepairRecheck => "repair-recheck",
+            EnginePair::SccVsDense => "scc-vs-dense",
+            EnginePair::IntervalContainsDirect => "interval-contains-direct",
         }
     }
 
@@ -219,6 +230,14 @@ impl Oracle {
             self.run_pair_on_model(EnginePair::JacobiVsDense, family, seed, &model, &mut out);
             self.run_pair_on_model(EnginePair::CheckerVsSimulation, family, seed, &model, &mut out);
             self.run_pair_on_model(EnginePair::RepairRecheck, family, seed, &model, &mut out);
+            self.run_pair_on_model(EnginePair::SccVsDense, family, seed, &model, &mut out);
+            self.run_pair_on_model(
+                EnginePair::IntervalContainsDirect,
+                family,
+                seed,
+                &model,
+                &mut out,
+            );
         }
         self.run_parametric_pairs(seed, &mut out);
         counter!("oracle.seeds", 1);
@@ -241,6 +260,8 @@ impl Oracle {
                 EnginePair::JacobiVsDense => self.eval_jacobi_vs_dense(d),
                 EnginePair::CheckerVsSimulation => self.eval_checker_vs_sim(d, seed),
                 EnginePair::RepairRecheck => self.eval_repair_recheck(d, seed),
+                EnginePair::SccVsDense => self.eval_scc_vs_dense(d),
+                EnginePair::IntervalContainsDirect => self.eval_interval_contains_direct(d),
                 _ => None,
             }
         };
@@ -357,6 +378,55 @@ impl Oracle {
         // A non-converged iterate that nevertheless matches the dense value
         // is agreement; only the values decide.
         disagreement(run.x[d.initial_state()], rhs, self.opts.tolerance)
+    }
+
+    /// SCC-decomposed block solve vs dense LU on `P(F goal)` from the
+    /// initial state.
+    fn eval_scc_vs_dense(&self, d: &Dtmc) -> PairEval {
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; d.num_states()];
+        let lhs = self.direct_value(d, &phi, &target)?;
+        let scc = CheckOptions {
+            solver: LinearSolver::Scc,
+            tolerance: 1e-12,
+            max_iterations: 2_000_000,
+            ..CheckOptions::default()
+        };
+        let rhs = checker_dtmc::until_probabilities(d, &phi, &target, &scc)
+            .ok()
+            .map(|v| v[d.initial_state()])?;
+        disagreement(lhs, rhs, self.opts.tolerance)
+    }
+
+    /// Interval-iteration bounds vs dense LU: the dense value must lie
+    /// inside `[lo, hi]` at *every* state — a soundness (containment)
+    /// property, stronger than pointwise closeness.
+    fn eval_interval_contains_direct(&self, d: &Dtmc) -> PairEval {
+        let n = d.num_states();
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; n];
+        let direct = CheckOptions {
+            solver: LinearSolver::Direct,
+            direct_solver_limit: usize::MAX,
+            ..CheckOptions::default()
+        };
+        let exact = checker_dtmc::until_probabilities(d, &phi, &target, &direct).ok()?;
+        let opts = CheckOptions { max_iterations: 2_000_000, ..CheckOptions::default() };
+        let (lo, hi, _) =
+            checker_dtmc::until_probabilities_bounds(d, &phi, &target, &opts, &Budget::unlimited())
+                .ok()?;
+        // Direct LU carries its own rounding error, so containment is
+        // checked with a hair of slack rather than exactly.
+        const SLACK: f64 = 1e-9;
+        for s in 0..n {
+            if exact[s] < lo[s] - SLACK {
+                return Some((exact[s], lo[s], lo[s] - exact[s]));
+            }
+            if exact[s] > hi[s] + SLACK {
+                return Some((exact[s], hi[s], exact[s] - hi[s]));
+            }
+        }
+        None
     }
 
     /// Bounded-until checker value vs a Monte Carlo confidence interval.
@@ -715,8 +785,8 @@ mod tests {
         let oracle = Oracle::new(OracleOptions { trajectories: 4_000, ..Default::default() });
         let out = oracle.run_seed(7, ModelFamily::all());
         assert!(out.disagreements.is_empty(), "unexpected disagreements: {:?}", out.disagreements);
-        // Every family ran the four model pairs, plus the two parametric pairs.
-        assert!(out.checks.len() >= ModelFamily::all().len() * 4);
+        // Every family ran the six model pairs, plus the two parametric pairs.
+        assert!(out.checks.len() >= ModelFamily::all().len() * 6);
     }
 
     #[test]

@@ -32,24 +32,60 @@ pub fn reach_through(dtmc: &Dtmc, phi: &[bool], target: &[bool]) -> Vec<bool> {
     let n = dtmc.num_states();
     assert_eq!(phi.len(), n, "phi mask length");
     assert_eq!(target.len(), n, "target mask length");
-    // Backward BFS over predecessors; build predecessor lists once.
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for s in 0..n {
-        for (t, _) in dtmc.successors(s) {
-            preds[t].push(s);
-        }
-    }
-    let mut reach = target.to_vec();
-    let mut stack: Vec<usize> = (0..n).filter(|&s| target[s]).collect();
-    while let Some(s) = stack.pop() {
-        for &p in &preds[s] {
-            if !reach[p] && phi[p] {
-                reach[p] = true;
-                stack.push(p);
+    let preds = FlatPreds::build(dtmc);
+    preds.reach_through(phi, target)
+}
+
+/// Flat (CSR-style) predecessor adjacency: one shared edge array instead of
+/// a `Vec` per state, built with a counting pass so million-state graphs
+/// pay two linear scans and three allocations total.
+struct FlatPreds {
+    start: Vec<usize>,
+    edges: Vec<usize>,
+}
+
+impl FlatPreds {
+    fn build(dtmc: &Dtmc) -> FlatPreds {
+        let n = dtmc.num_states();
+        let mut start = vec![0usize; n + 1];
+        for s in 0..n {
+            for (t, _) in dtmc.successors(s) {
+                start[t + 1] += 1;
             }
         }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut cursor = start.clone();
+        let mut edges = vec![0usize; start[n]];
+        for s in 0..n {
+            for (t, _) in dtmc.successors(s) {
+                edges[cursor[t]] = s;
+                cursor[t] += 1;
+            }
+        }
+        FlatPreds { start, edges }
     }
-    reach
+
+    fn preds_of(&self, s: usize) -> &[usize] {
+        &self.edges[self.start[s]..self.start[s + 1]]
+    }
+
+    /// Backward BFS from `target` through `phi` states.
+    fn reach_through(&self, phi: &[bool], target: &[bool]) -> Vec<bool> {
+        let n = self.start.len() - 1;
+        let mut reach = target.to_vec();
+        let mut stack: Vec<usize> = (0..n).filter(|&s| target[s]).collect();
+        while let Some(s) = stack.pop() {
+            for &p in self.preds_of(s) {
+                if !reach[p] && phi[p] {
+                    reach[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        reach
+    }
 }
 
 /// `Prob0`: states where `P(φ U ψ) = 0` in a DTMC.
@@ -62,12 +98,30 @@ pub fn prob0(dtmc: &Dtmc, phi: &[bool], target: &[bool]) -> Vec<bool> {
 /// Standard two-pass algorithm: a state has probability one iff it cannot
 /// reach a `Prob0` state while staying inside `φ ∧ ¬ψ`.
 pub fn prob1(dtmc: &Dtmc, phi: &[bool], target: &[bool]) -> Vec<bool> {
+    prob01(dtmc, phi, target).1
+}
+
+/// `Prob0` and `Prob1` together, sharing one predecessor-list construction
+/// — the qualitative precomputation is two backward BFS passes over the
+/// same reversed graph, so computing the sets separately rebuilds (and
+/// re-allocates) that graph for nothing. This is the entry point the
+/// checker's hot path uses.
+///
+/// # Panics
+///
+/// Panics if the masks do not have one entry per state.
+pub fn prob01(dtmc: &Dtmc, phi: &[bool], target: &[bool]) -> (Vec<bool>, Vec<bool>) {
     let n = dtmc.num_states();
-    let zero = prob0(dtmc, phi, target);
+    assert_eq!(phi.len(), n, "phi mask length");
+    assert_eq!(target.len(), n, "target mask length");
+    let preds = FlatPreds::build(dtmc);
+    let reach = preds.reach_through(phi, target);
+    let zero: Vec<bool> = reach.iter().map(|&r| !r).collect();
     // States that can reach a prob0 state through (phi ∧ ¬target) states.
     let inner: Vec<bool> = (0..n).map(|s| phi[s] && !target[s]).collect();
-    let bad_reach = reach_through(dtmc, &inner, &zero);
-    (0..n).map(|s| !bad_reach[s]).collect()
+    let bad_reach = preds.reach_through(&inner, &zero);
+    let one: Vec<bool> = bad_reach.iter().map(|&b| !b).collect();
+    (zero, one)
 }
 
 /// Existential backward reachability in an MDP: states where **some**

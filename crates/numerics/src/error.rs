@@ -30,6 +30,13 @@ pub enum NumericsError {
         /// The length/dimension that was exceeded.
         len: usize,
     },
+    /// An interval solver requires a monotone (entrywise non-negative)
+    /// operator, but the matrix carries a negative entry — two-sided
+    /// bounds would not be sound.
+    NotMonotone {
+        /// Row containing the offending negative entry.
+        row: usize,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -49,6 +56,9 @@ impl fmt::Display for NumericsError {
             NumericsError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for dimension {len}")
             }
+            NumericsError::NotMonotone { row } => {
+                write!(f, "interval iteration requires a non-negative matrix (row {row})")
+            }
         }
     }
 }
@@ -66,6 +76,7 @@ mod tests {
             NumericsError::SingularMatrix { at: 1 },
             NumericsError::NoConvergence { iterations: 10, residual: 0.5 },
             NumericsError::IndexOutOfBounds { index: 5, len: 3 },
+            NumericsError::NotMonotone { row: 2 },
         ];
         for e in errs {
             let s = e.to_string();

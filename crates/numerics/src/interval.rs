@@ -1,0 +1,346 @@
+//! Interval (two-sided) iteration with sound error bounds.
+//!
+//! Plain value iteration stops when consecutive iterates are close — a
+//! heuristic that is known to report wrong answers on slowly mixing
+//! chains. Interval iteration (Haddad & Monmege) instead maintains *two*
+//! iterates around the fixed point of `x = A·x + b`:
+//!
+//! * a lower iterate started below the fixed point, and
+//! * an upper iterate started above it.
+//!
+//! When `A` is entrywise non-negative the update is monotone, so both
+//! iterates bracket the fixed point after every sweep; the solver stops
+//! once the bracket is narrower than the tolerance, and the reported
+//! bounds are **sound**: the true solution lies between them (up to
+//! floating-point rounding of individual sweeps).
+//!
+//! For reachability probabilities the bracket `[0, 1]` always works. For
+//! expected rewards there is no a-priori upper bound; [`certified_upper_bound`]
+//! grows a candidate from an approximate solution and *verifies* it with a
+//! single sweep — `F(hi) ≤ hi` pointwise implies `hi` dominates the least
+//! fixed point by Knaster–Tarski.
+
+use tml_telemetry::{counter, span};
+
+use crate::budget::{Budget, Exhaustion};
+use crate::iterative::{gs_sweep_range, IterOptions};
+use crate::{CsrMatrix, NumericsError};
+
+/// Outcome of a two-sided iteration: a bracket around the fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalRun {
+    /// Lower iterate: pointwise at most the fixed point.
+    pub lo: Vec<f64>,
+    /// Upper iterate: pointwise at least the fixed point.
+    pub hi: Vec<f64>,
+    /// Number of sweeps performed (each sweep updates both iterates).
+    pub iterations: usize,
+    /// Final max-norm bracket width `max_s (hi_s − lo_s)`.
+    pub width: f64,
+    /// Whether the width reached the tolerance.
+    pub converged: bool,
+    /// Why the budget stopped the run early, if it did.
+    pub stopped: Option<Exhaustion>,
+}
+
+impl IntervalRun {
+    /// The bracket midpoint — the point estimate whose error is at most
+    /// half the final width.
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| 0.5 * (l + h)).collect()
+    }
+}
+
+/// Two-sided Gauss–Seidel iteration for `x = A·x + b`.
+///
+/// Requires `A` entrywise non-negative (the update must be monotone) and
+/// an initial bracket `lo0 ≤ x* ≤ hi0` around the fixed point `x*` — for
+/// sub-stochastic probability systems `lo0 = 0`, `hi0 = 1`; for reward
+/// systems obtain `hi0` from [`certified_upper_bound`]. Both iterates
+/// remain valid bounds after every sweep; convergence is declared when
+/// the bracket width drops to `opts.tolerance`.
+///
+/// # Errors
+///
+/// * [`NumericsError::ShapeMismatch`] on dimension mismatch.
+/// * [`NumericsError::NotMonotone`] if `A` has a negative entry.
+pub fn interval_iteration_budgeted(
+    a: &CsrMatrix,
+    b: &[f64],
+    lo0: &[f64],
+    hi0: &[f64],
+    opts: IterOptions,
+    budget: &Budget,
+) -> Result<IntervalRun, NumericsError> {
+    if a.rows() != a.cols() {
+        return Err(NumericsError::ShapeMismatch {
+            detail: format!(
+                "interval iteration requires square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            ),
+        });
+    }
+    if b.len() != a.rows() || lo0.len() != a.rows() || hi0.len() != a.rows() {
+        return Err(NumericsError::ShapeMismatch {
+            detail: format!(
+                "dimension mismatch: matrix {}x{}, b {}, lo {}, hi {}",
+                a.rows(),
+                a.cols(),
+                b.len(),
+                lo0.len(),
+                hi0.len()
+            ),
+        });
+    }
+    check_nonnegative(a)?;
+    let n = a.rows();
+    let _span = span!("numerics.interval", states = n, nnz = a.nnz());
+    let mut lo = lo0.to_vec();
+    let mut hi = hi0.to_vec();
+    let mut width = bracket_width(&lo, &hi);
+    let run = 'solve: {
+        if width <= opts.tolerance {
+            break 'solve IntervalRun {
+                lo,
+                hi,
+                iterations: 0,
+                width,
+                converged: true,
+                stopped: None,
+            };
+        }
+        for it in 1..=opts.max_iterations {
+            if let Some(cause) = budget.check(it as u64 - 1) {
+                break 'solve IntervalRun {
+                    lo,
+                    hi,
+                    iterations: it - 1,
+                    width,
+                    converged: false,
+                    stopped: Some(cause),
+                };
+            }
+            gs_sweep_range(a, b, &mut lo, 0, n);
+            gs_sweep_range(a, b, &mut hi, 0, n);
+            width = bracket_width(&lo, &hi);
+            if width <= opts.tolerance {
+                break 'solve IntervalRun {
+                    lo,
+                    hi,
+                    iterations: it,
+                    width,
+                    converged: true,
+                    stopped: None,
+                };
+            }
+        }
+        IntervalRun {
+            lo,
+            hi,
+            iterations: opts.max_iterations,
+            width,
+            converged: false,
+            stopped: None,
+        }
+    };
+    counter!("numerics.sweeps", run.iterations);
+    Ok(run)
+}
+
+/// Grows a verified upper bound on the least fixed point of `x = A·x + b`
+/// from an approximate solution.
+///
+/// Starting from `x̃` inflated by a small margin, the candidate is checked
+/// with one matvec: if `A·hi + b ≤ hi` pointwise the candidate dominates
+/// the least fixed point (Knaster–Tarski) and is returned. Otherwise the
+/// margin doubles; after `MAX_GROWTH_STEPS` failures `None` is returned
+/// (the operator is likely not contractive).
+///
+/// Requires `A` entrywise non-negative and `b ≥ 0` for the domination
+/// argument; returns `None` otherwise rather than an unsound bound.
+pub fn certified_upper_bound(a: &CsrMatrix, b: &[f64], x_approx: &[f64]) -> Option<Vec<f64>> {
+    const MAX_GROWTH_STEPS: u32 = 40;
+    if a.rows() != a.cols() || b.len() != a.rows() || x_approx.len() != a.rows() {
+        return None;
+    }
+    if check_nonnegative(a).is_err() || b.iter().any(|&v| v.is_nan() || v < 0.0) {
+        return None;
+    }
+    if x_approx.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = a.rows();
+    let mut margin = 1e-9_f64;
+    let mut candidate = vec![0.0_f64; n];
+    let mut image = vec![0.0_f64; n];
+    for _ in 0..MAX_GROWTH_STEPS {
+        for (c, &x) in candidate.iter_mut().zip(x_approx) {
+            *c = x.max(0.0) * (1.0 + margin) + margin;
+        }
+        a.mat_vec_into(&candidate, &mut image).ok()?;
+        let dominated =
+            image.iter().zip(b).zip(&candidate).all(|((ax, rhs), cand)| ax + rhs <= *cand);
+        if dominated {
+            return Some(candidate);
+        }
+        margin *= 2.0;
+    }
+    None
+}
+
+/// The interval sweeps are monotone only when every entry is non-negative
+/// **and** every diagonal entry is strictly below one (the Gauss–Seidel
+/// update divides by `1 − a_rr`; a negative denominator would flip the
+/// inequality and silently produce unsound "bounds").
+fn check_nonnegative(a: &CsrMatrix) -> Result<(), NumericsError> {
+    for r in 0..a.rows() {
+        for (c, v) in a.row_entries(r) {
+            if v < 0.0 || v.is_nan() || (c == r && v >= 1.0) {
+                return Err(NumericsError::NotMonotone { row: r });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bracket_width(lo: &[f64], hi: &[f64]) -> f64 {
+    lo.iter().zip(hi).map(|(l, h)| h - l).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+
+    fn csr(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let trips: Vec<Triplet> = entries.iter().map(|&(r, c, v)| Triplet::new(r, c, v)).collect();
+        CsrMatrix::from_triplets(n, n, &trips).unwrap()
+    }
+
+    #[test]
+    fn brackets_the_fixed_point() {
+        // x = 0.5x + 0.25 ⇒ x* = 0.5, probability-style bracket [0, 1].
+        let a = csr(1, &[(0, 0, 0.5)]);
+        let opts = IterOptions { tolerance: 1e-12, max_iterations: 10_000 };
+        let run =
+            interval_iteration_budgeted(&a, &[0.25], &[0.0], &[1.0], opts, &Budget::unlimited())
+                .unwrap();
+        assert!(run.converged);
+        assert!(run.lo[0] <= 0.5 + 1e-12 && 0.5 <= run.hi[0] + 1e-12);
+        assert!((run.midpoint()[0] - 0.5).abs() < 1e-11);
+    }
+
+    #[test]
+    fn every_sweep_keeps_bounds_sound() {
+        // Slowly mixing 2-cycle; check the partial bracket after a budget
+        // stop still contains the true solution x* = (1, 1).
+        let a = csr(2, &[(0, 1, 0.99), (1, 0, 0.99)]);
+        let b = [0.01, 0.01];
+        let budget = Budget::unlimited().with_max_evaluations(5);
+        let opts = IterOptions { tolerance: 1e-14, max_iterations: 1_000_000 };
+        let run =
+            interval_iteration_budgeted(&a, &b, &[0.0, 0.0], &[1.0, 1.0], opts, &budget).unwrap();
+        assert_eq!(run.stopped, Some(Exhaustion::Evaluations));
+        assert!(!run.converged);
+        for s in 0..2 {
+            assert!(run.lo[s] <= 1.0 + 1e-12 && 1.0 <= run.hi[s] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_entries_rejected() {
+        let a = csr(1, &[(0, 0, -0.5)]);
+        let err = interval_iteration_budgeted(
+            &a,
+            &[1.0],
+            &[0.0],
+            &[1.0],
+            IterOptions::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NumericsError::NotMonotone { row: 0 }));
+    }
+
+    #[test]
+    fn upper_bound_certificate_for_rewards() {
+        // Expected-reward style system: x = 0.9x + 1 ⇒ x* = 10.
+        let a = csr(1, &[(0, 0, 0.9)]);
+        let hi = certified_upper_bound(&a, &[1.0], &[10.0]).expect("certificate");
+        assert!(hi[0] >= 10.0);
+        // The certificate must verify: A·hi + b ≤ hi.
+        assert!(0.9 * hi[0] + 1.0 <= hi[0]);
+        // And it should be usable as an interval start.
+        let opts = IterOptions { tolerance: 1e-9, max_iterations: 100_000 };
+        let run = interval_iteration_budgeted(&a, &[1.0], &[0.0], &hi, opts, &Budget::unlimited())
+            .unwrap();
+        assert!(run.converged);
+        assert!(run.lo[0] <= 10.0 + 1e-9 && 10.0 <= run.hi[0] + 1e-9);
+    }
+
+    #[test]
+    fn non_contractive_certificate_fails_cleanly() {
+        // x = 2x + 1 has no finite least fixed point; no certificate exists.
+        let a = csr(1, &[(0, 0, 2.0)]);
+        assert!(certified_upper_bound(&a, &[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = CsrMatrix::from_triplets(2, 1, &[]).unwrap();
+        assert!(interval_iteration_budgeted(
+            &a,
+            &[0.0],
+            &[0.0],
+            &[1.0],
+            IterOptions::default(),
+            &Budget::unlimited()
+        )
+        .is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::iterative::{gauss_seidel, IterOptions};
+    use crate::Triplet;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// On random sub-stochastic systems the bracket always contains
+        /// the (tightly converged) Gauss–Seidel solution.
+        #[test]
+        fn bracket_contains_reference_solution(
+            raw in proptest::collection::vec(0.0_f64..1.0, 16),
+            b in proptest::collection::vec(0.0_f64..1.0, 4),
+        ) {
+            let n = 4;
+            let mut triplets = Vec::new();
+            for r in 0..n {
+                let row: Vec<f64> = (0..n).map(|c| raw[r * n + c]).collect();
+                let sum: f64 = row.iter().sum();
+                let scale = if sum > 0.0 { 0.9 / sum } else { 0.0 };
+                for (c, v) in row.iter().enumerate() {
+                    if *v > 0.0 {
+                        triplets.push(Triplet::new(r, c, v * scale));
+                    }
+                }
+            }
+            let a = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
+            let opts = IterOptions { tolerance: 1e-12, max_iterations: 200_000 };
+            let hi0 = certified_upper_bound(&a, &b, &vec![1.0; n])
+                .expect("sub-stochastic systems always certify");
+            let run = interval_iteration_budgeted(
+                &a, &b, &vec![0.0; n], &hi0, opts, &Budget::unlimited(),
+            ).unwrap();
+            let reference = gauss_seidel(&a, &b, &vec![0.0; n], opts).unwrap();
+            prop_assert!(run.converged);
+            for s in 0..n {
+                prop_assert!(run.lo[s] <= reference.x[s] + 1e-9);
+                prop_assert!(reference.x[s] <= run.hi[s] + 1e-9);
+            }
+        }
+    }
+}

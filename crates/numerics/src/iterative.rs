@@ -108,7 +108,11 @@ pub fn jacobi_budgeted(
 ) -> Result<IterRun, NumericsError> {
     check_shapes(a, b, x0)?;
     let _span = span!("numerics.jacobi", states = a.rows(), nnz = a.nnz());
+    // Double buffer: `x` is the current iterate, `next` the reusable
+    // scratch target. Swapping pointers each sweep means the inner loop
+    // never allocates, no matter how many sweeps run.
     let mut x = x0.to_vec();
+    let mut next = vec![0.0; x.len()];
     let mut delta = f64::INFINITY;
     let run = 'solve: {
         for it in 1..=opts.max_iterations {
@@ -121,9 +125,9 @@ pub fn jacobi_budgeted(
                     stopped: Some(cause),
                 };
             }
-            let next = affine_apply(a, b, &x);
+            affine_apply_into(a, b, &x, &mut next);
             delta = max_abs_diff(&next, &x);
-            x = next;
+            std::mem::swap(&mut x, &mut next);
             if delta <= opts.tolerance {
                 break 'solve IterRun { x, iterations: it, delta, converged: true, stopped: None };
             }
@@ -134,28 +138,19 @@ pub fn jacobi_budgeted(
     Ok(run)
 }
 
-/// One Jacobi sweep `A·x + b`, with rows distributed over threads for large
-/// matrices. Each output element folds its row's entries in natural order
-/// and then adds `b[r]` — the exact floating-point order of the serial
-/// sweep — so parallel and serial sweeps are bitwise identical.
+/// One Jacobi sweep `out = A·x + b` into a caller-provided buffer.
+///
+/// The matvec streams rows in contiguous tiles (threaded for large
+/// matrices, see [`CsrMatrix::mat_vec_into`]); each element folds its row
+/// in natural order and then adds `b[r]` — the exact floating-point order
+/// of the historical serial sweep, so results are bitwise reproducible.
 ///
 /// Shapes must have been validated by the caller.
-fn affine_apply(a: &CsrMatrix, b: &[f64], x: &[f64]) -> Vec<f64> {
-    let row = |r: usize| -> f64 {
-        let mut acc = 0.0;
-        for (c, v) in a.row_entries(r) {
-            acc += v * x[c];
-        }
-        acc + b[r]
-    };
-    if a.nnz() >= crate::sparse::PAR_NNZ_THRESHOLD
-        && a.rows() >= 2
-        && rayon::current_num_threads() > 1
-    {
-        use rayon::prelude::*;
-        return (0..a.rows()).into_par_iter().map(row).collect();
+fn affine_apply_into(a: &CsrMatrix, b: &[f64], x: &[f64], out: &mut [f64]) {
+    a.mat_vec_into(x, out).expect("caller validated shapes");
+    for (o, &rhs) in out.iter_mut().zip(b) {
+        *o += rhs;
     }
-    (0..a.rows()).map(row).collect()
 }
 
 /// Gauss–Seidel iteration for `x = A·x + b`, starting from `x0`.
@@ -206,26 +201,7 @@ pub fn gauss_seidel_budgeted(
                     stopped: Some(cause),
                 };
             }
-            delta = 0.0;
-            for r in 0..n {
-                let mut acc = b[r];
-                let mut diag = 0.0;
-                for (c, v) in a.row_entries(r) {
-                    if c == r {
-                        diag = v;
-                    } else {
-                        acc += v * x[c];
-                    }
-                }
-                // Solve x_r = diag * x_r + acc  =>  x_r = acc / (1 - diag).
-                let denom = 1.0 - diag;
-                let new = if denom.abs() < f64::EPSILON { acc } else { acc / denom };
-                let d = (new - x[r]).abs();
-                if d > delta {
-                    delta = d;
-                }
-                x[r] = new;
-            }
+            delta = gs_sweep_range(a, b, &mut x, 0, n);
             if delta <= opts.tolerance {
                 break 'solve IterRun { x, iterations: it, delta, converged: true, stopped: None };
             }
@@ -234,6 +210,40 @@ pub fn gauss_seidel_budgeted(
     };
     counter!("numerics.sweeps", run.iterations);
     Ok(run)
+}
+
+/// One in-place Gauss–Seidel sweep over rows `lo..hi` of `x = A·x + b`,
+/// returning the max-norm change across the swept range.
+///
+/// Entries of `x` outside the range are read but never written. The SCC
+/// solver exploits this to sweep one component block of an SCC-permuted
+/// matrix while earlier (already solved) blocks act as constants folded
+/// into the effective right-hand side.
+///
+/// Rows with a diagonal entry solve `x_r = diag·x_r + acc` exactly as
+/// `x_r = acc / (1 - diag)`, so self-loops cost nothing extra; a diagonal
+/// within `f64::EPSILON` of one falls back to the raw accumulator.
+pub(crate) fn gs_sweep_range(a: &CsrMatrix, b: &[f64], x: &mut [f64], lo: usize, hi: usize) -> f64 {
+    let mut delta = 0.0_f64;
+    for r in lo..hi {
+        let mut acc = b[r];
+        let mut diag = 0.0;
+        for (c, v) in a.row_entries(r) {
+            if c == r {
+                diag = v;
+            } else {
+                acc += v * x[c];
+            }
+        }
+        let denom = 1.0 - diag;
+        let new = if denom.abs() < f64::EPSILON { acc } else { acc / denom };
+        let d = (new - x[r]).abs();
+        if d > delta {
+            delta = d;
+        }
+        x[r] = new;
+    }
+    delta
 }
 
 /// Converts a budgeted run into the legacy strict result: non-convergence
@@ -261,8 +271,10 @@ pub fn affine_power(
 ) -> Result<Vec<f64>, NumericsError> {
     check_shapes(a, b, x0)?;
     let mut x = x0.to_vec();
+    let mut next = vec![0.0; x.len()];
     for _ in 0..k {
-        x = affine_apply(a, b, &x);
+        affine_apply_into(a, b, &x, &mut next);
+        std::mem::swap(&mut x, &mut next);
     }
     Ok(x)
 }

@@ -16,6 +16,11 @@
 //! * [`iterative`] — Jacobi, Gauss–Seidel and power-iteration style solvers
 //!   for fixed-point equations `x = A x + b`, the workhorse of value
 //!   iteration.
+//! * [`scc`] — Tarjan condensation of the transition graph and
+//!   block-decomposed solves: components are processed in dependency
+//!   order, trivial components by closed-form back-substitution.
+//! * [`interval`] — two-sided (interval) iteration that brackets the
+//!   fixed point with sound lower/upper bounds.
 //!
 //! # Example
 //!
@@ -40,7 +45,9 @@ pub mod budget;
 mod dense;
 mod error;
 mod field;
+pub mod interval;
 pub mod iterative;
+pub mod scc;
 pub mod solve;
 mod sparse;
 pub mod vector;

@@ -74,16 +74,30 @@ impl CsrMatrix {
                 return Err(NumericsError::IndexOutOfBounds { index: t.col, len: cols });
             }
         }
-        // Bucket triplets per row, then sort and merge duplicates per row.
-        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        // Two-pass counting sort by row: a single O(nnz) scatter into flat
+        // arrays instead of one heap-allocated bucket per row, which matters
+        // when assembling million-row systems.
+        let mut start = vec![0usize; rows + 1];
         for t in triplets {
-            buckets[t.row].push((t.col, t.value));
+            start[t.row + 1] += 1;
+        }
+        for r in 0..rows {
+            start[r + 1] += start[r];
+        }
+        let mut cursor = start.clone();
+        let mut raw: Vec<(usize, f64)> = vec![(0, 0.0); triplets.len()];
+        for t in triplets {
+            raw[cursor[t.row]] = (t.col, t.value);
+            cursor[t.row] += 1;
         }
         let mut row_ptr = Vec::with_capacity(rows + 1);
         let mut col_idx = Vec::with_capacity(triplets.len());
         let mut values = Vec::with_capacity(triplets.len());
         row_ptr.push(0);
-        for bucket in &mut buckets {
+        for r in 0..rows {
+            let bucket = &mut raw[start[r]..start[r + 1]];
+            // Stable sort keeps duplicates in input order, so their sum is
+            // accumulated in the same floating-point order as before.
             bucket.sort_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < bucket.len() {
@@ -145,18 +159,131 @@ impl CsrMatrix {
                 detail: format!("mat_vec: {} columns vs vector of length {}", self.cols, x.len()),
             });
         }
-        let dot = |r: usize| -> f64 {
+        let mut out = vec![0.0; self.rows];
+        self.mat_vec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// The column indices of row `r` as a slice (no values).
+    ///
+    /// Graph algorithms (SCC condensation, reachability) only need the
+    /// sparsity structure; a direct slice avoids iterator overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Matrix–vector product `A·x` written into a caller-provided buffer.
+    ///
+    /// This is the allocation-free kernel behind [`CsrMatrix::mat_vec`]:
+    /// rows are processed in contiguous tiles (recursively split over
+    /// threads via work-stealing `join` when the matrix is large enough),
+    /// and each output element folds its row in natural entry order, so the
+    /// result is **bitwise identical** to a serial row-by-row product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if `x.len() != cols()` or
+    /// `out.len() != rows()`.
+    pub fn mat_vec_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!(
+                    "mat_vec_into: matrix {}x{}, x {}, out {}",
+                    self.rows,
+                    self.cols,
+                    x.len(),
+                    out.len()
+                ),
+            });
+        }
+        let threads = if self.nnz() >= PAR_NNZ_THRESHOLD && self.rows >= 2 {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        self.tile_rows_into(x, out, 0, threads);
+        Ok(())
+    }
+
+    /// Computes `out[i] = row(first + i) · x` for a contiguous tile of rows,
+    /// splitting the tile in half across threads while `split > 1`.
+    fn tile_rows_into(&self, x: &[f64], out: &mut [f64], first: usize, split: usize) {
+        if split > 1 && out.len() >= 2 {
+            let mid = out.len() / 2;
+            let (lo, hi) = out.split_at_mut(mid);
+            rayon::join(
+                || self.tile_rows_into(x, lo, first, split / 2),
+                || self.tile_rows_into(x, hi, first + mid, split - split / 2),
+            );
+            return;
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            let r = first + i;
             let mut acc = 0.0;
             for (c, v) in self.row_entries(r) {
                 acc += v * x[c];
             }
-            acc
-        };
-        if self.nnz() >= PAR_NNZ_THRESHOLD && self.rows >= 2 && rayon::current_num_threads() > 1 {
-            use rayon::prelude::*;
-            return Ok((0..self.rows).into_par_iter().map(dot).collect());
+            *slot = acc;
         }
-        Ok((0..self.rows).map(dot).collect())
+    }
+
+    /// The symmetric permutation `B[i][j] = A[order[i]][order[j]]`.
+    ///
+    /// `order[new] = old` must be a permutation of `0..rows()`; the matrix
+    /// must be square. This is how the solver lays a transition matrix out
+    /// in SCC order: states of one component become a contiguous row/column
+    /// block, so block solves stream through memory instead of chasing the
+    /// original state numbering.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::ShapeMismatch`] if the matrix is not square or
+    ///   `order.len() != rows()`.
+    /// * [`NumericsError::IndexOutOfBounds`] if `order` is not a
+    ///   permutation of `0..rows()`.
+    pub fn permute_symmetric(&self, order: &[usize]) -> Result<CsrMatrix, NumericsError> {
+        if self.rows != self.cols || order.len() != self.rows {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!(
+                    "permute_symmetric: matrix {}x{}, order {}",
+                    self.rows,
+                    self.cols,
+                    order.len()
+                ),
+            });
+        }
+        let n = self.rows;
+        let mut inv = vec![usize::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            if old >= n {
+                return Err(NumericsError::IndexOutOfBounds { index: old, len: n });
+            }
+            if inv[old] != usize::MAX {
+                return Err(NumericsError::IndexOutOfBounds { index: old, len: n });
+            }
+            inv[old] = new;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        row_ptr.push(0);
+        for &old_r in order.iter() {
+            scratch.clear();
+            scratch.extend(self.row_entries(old_r).map(|(c, v)| (inv[c], v)));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix { rows: n, cols: n, row_ptr, col_idx, values })
     }
 
     /// Sum of the entries of row `r` (e.g. to verify row-stochasticity).
@@ -222,6 +349,55 @@ mod tests {
     #[test]
     fn mat_vec_shape_error() {
         assert!(sample().mat_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mat_vec_into_matches_mat_vec() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut out = vec![0.0; 3];
+        m.mat_vec_into(&x, &mut out).unwrap();
+        assert_eq!(out, m.mat_vec(&x).unwrap());
+        let mut short = vec![0.0; 2];
+        assert!(m.mat_vec_into(&x, &mut short).is_err());
+    }
+
+    #[test]
+    fn row_cols_exposes_structure() {
+        let m = sample();
+        assert_eq!(m.row_cols(0), &[0, 2]);
+        assert_eq!(m.row_cols(1), &[] as &[usize]);
+        assert_eq!(m.row_cols(2), &[1]);
+    }
+
+    #[test]
+    fn permute_symmetric_relabels_entries() {
+        let m = sample();
+        // order[new] = old: new 0 is old 2, new 1 is old 0, new 2 is old 1.
+        let p = m.permute_symmetric(&[2, 0, 1]).unwrap();
+        // old (2,1)=3.0 -> new (0,2); old (0,0)=1.0 -> new (1,1);
+        // old (0,2)=2.0 -> new (1,0).
+        assert_eq!(p.row_entries(0).collect::<Vec<_>>(), vec![(2, 3.0)]);
+        assert_eq!(p.row_entries(1).collect::<Vec<_>>(), vec![(0, 2.0), (1, 1.0)]);
+        assert_eq!(p.row_entries(2).count(), 0);
+        // mat_vec commutes with the permutation.
+        let x = [0.5, -1.0, 2.0];
+        let xp: Vec<f64> = [2, 0, 1].iter().map(|&o| x[o]).collect();
+        let y = m.mat_vec(&x).unwrap();
+        let yp = p.mat_vec(&xp).unwrap();
+        for (new, &old) in [2usize, 0, 1].iter().enumerate() {
+            assert!((yp[new] - y[old]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn permute_symmetric_rejects_bad_orders() {
+        let m = sample();
+        assert!(m.permute_symmetric(&[0, 1]).is_err()); // wrong length
+        assert!(m.permute_symmetric(&[0, 1, 1]).is_err()); // repeated index
+        assert!(m.permute_symmetric(&[0, 1, 5]).is_err()); // out of range
+        let rect = CsrMatrix::from_triplets(2, 1, &[]).unwrap();
+        assert!(rect.permute_symmetric(&[0, 1]).is_err()); // not square
     }
 
     #[test]

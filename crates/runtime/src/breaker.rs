@@ -1,7 +1,8 @@
 //! Per-backend circuit breakers for the checker's linear solvers.
 //!
 //! The checker records one `checker.backend.<name>.{ok,fail}` counter pair
-//! per solve attempt (gauss–seidel, jacobi, direct). The batch executor
+//! per solve attempt (scc, gauss–seidel, jacobi, direct, interval). The
+//! batch executor
 //! folds each finished job's counters into a [`SolverBreakers`] set; a
 //! backend that fails `threshold` consecutive jobs trips **open** and is
 //! skipped — under `LinearSolver::Auto` an open Gauss–Seidel breaker
@@ -185,22 +186,33 @@ pub struct BreakerSnapshot {
     pub consecutive_failures: u32,
 }
 
-/// Point-in-time view of all three backend breakers, in the fixed order
-/// (gauss-seidel, jacobi, direct) — the shape `/readyz` serializes.
+/// Point-in-time view of all backend breakers, in the fixed order
+/// (scc, gauss-seidel, jacobi, direct, interval) — the shape `/readyz`
+/// serializes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakersSnapshot {
+    /// The SCC-decomposed backend (first stage under `Auto`).
+    pub scc: BreakerSnapshot,
     /// The Gauss–Seidel backend.
     pub gauss_seidel: BreakerSnapshot,
     /// The Jacobi backend.
     pub jacobi: BreakerSnapshot,
     /// The dense direct backend (the last-resort solver).
     pub direct: BreakerSnapshot,
+    /// The interval (two-sided) iteration backend.
+    pub interval: BreakerSnapshot,
 }
 
 impl BreakersSnapshot {
     /// `(wire name, snapshot)` pairs in the fixed backend order.
-    pub fn named(&self) -> [(&'static str, BreakerSnapshot); 3] {
-        [("gauss_seidel", self.gauss_seidel), ("jacobi", self.jacobi), ("direct", self.direct)]
+    pub fn named(&self) -> [(&'static str, BreakerSnapshot); 5] {
+        [
+            ("scc", self.scc),
+            ("gauss_seidel", self.gauss_seidel),
+            ("jacobi", self.jacobi),
+            ("direct", self.direct),
+            ("interval", self.interval),
+        ]
     }
 
     /// Whether any backend breaker is currently open.
@@ -209,20 +221,24 @@ impl BreakersSnapshot {
     }
 }
 
-/// The three checker backends, each behind its own breaker.
+/// The five checker backends, each behind its own breaker.
 #[derive(Debug, Clone)]
 pub struct SolverBreakers {
+    scc: CircuitBreaker,
     gauss_seidel: CircuitBreaker,
     jacobi: CircuitBreaker,
     direct: CircuitBreaker,
+    interval: CircuitBreaker,
 }
 
 impl Default for SolverBreakers {
     fn default() -> Self {
         SolverBreakers {
+            scc: CircuitBreaker::new(3, 8),
             gauss_seidel: CircuitBreaker::new(3, 8),
             jacobi: CircuitBreaker::new(3, 8),
             direct: CircuitBreaker::new(5, 16),
+            interval: CircuitBreaker::new(3, 8),
         }
     }
 }
@@ -232,9 +248,11 @@ impl SolverBreakers {
     /// long-running-service configuration ([`CircuitBreaker::with_recovery`]).
     pub fn with_recovery(recovery: Duration, clock: SharedClock) -> Self {
         SolverBreakers {
+            scc: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
             gauss_seidel: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
             jacobi: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
-            direct: CircuitBreaker::with_recovery(5, recovery, clock),
+            direct: CircuitBreaker::with_recovery(5, recovery, clock.clone()),
+            interval: CircuitBreaker::with_recovery(3, recovery, clock),
         }
     }
 
@@ -244,9 +262,11 @@ impl SolverBreakers {
     /// are not observed.
     pub fn observe(&mut self, diag: &Diagnostics) {
         for (name, breaker) in [
+            ("scc", &mut self.scc),
             ("gauss-seidel", &mut self.gauss_seidel),
             ("jacobi", &mut self.jacobi),
             ("direct", &mut self.direct),
+            ("interval", &mut self.interval),
         ] {
             let ok = diag.telemetry.counter(&format!("checker.backend.{name}.ok"));
             let fail = diag.telemetry.counter(&format!("checker.backend.{name}.fail"));
@@ -258,10 +278,16 @@ impl SolverBreakers {
         }
     }
 
-    /// Adjusts a job's check options before it runs: with the
-    /// Gauss–Seidel breaker open under [`LinearSolver::Auto`], iterative
-    /// solves are skipped in favor of the dense direct backend.
+    /// Adjusts a job's check options before it runs: with the SCC breaker
+    /// open under [`LinearSolver::Auto`], the SCC first stage is skipped
+    /// (jobs go straight to monolithic iteration); with the Gauss–Seidel
+    /// breaker open, iterative solves are skipped in favor of the dense
+    /// direct backend.
     pub fn adjust(&mut self, opts: &mut CheckOptions) {
+        if opts.solver == LinearSolver::Auto && opts.scc_enabled && !self.scc.allows() {
+            tml_telemetry::counter!("runtime.breaker.scc_disables", 1);
+            opts.scc_enabled = false;
+        }
         if opts.solver == LinearSolver::Auto && !self.gauss_seidel.allows() {
             tml_telemetry::counter!("runtime.breaker.reroutes", 1);
             opts.solver = LinearSolver::Direct;
@@ -273,12 +299,14 @@ impl SolverBreakers {
         (self.gauss_seidel.state(), self.jacobi.state(), self.direct.state())
     }
 
-    /// Snapshot of all three breakers for readiness endpoints.
+    /// Snapshot of all five breakers for readiness endpoints.
     pub fn snapshot(&self) -> BreakersSnapshot {
         BreakersSnapshot {
+            scc: self.scc.snapshot(),
             gauss_seidel: self.gauss_seidel.snapshot(),
             jacobi: self.jacobi.snapshot(),
             direct: self.direct.snapshot(),
+            interval: self.interval.snapshot(),
         }
     }
 
@@ -382,7 +410,7 @@ mod tests {
         assert!(snap.any_open());
         assert!(!set.direct_open(), "only the GS backend tripped");
         let names: Vec<&str> = snap.named().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, ["gauss_seidel", "jacobi", "direct"]);
+        assert_eq!(names, ["scc", "gauss_seidel", "jacobi", "direct", "interval"]);
         assert_eq!(BreakerState::HalfOpen.name(), "half_open");
     }
 
@@ -420,5 +448,28 @@ mod tests {
         assert_eq!(gs, BreakerState::Closed, "unobserved backend stays closed");
         assert_eq!(jac, BreakerState::Closed);
         assert_eq!(direct, BreakerState::Closed);
+        for (_, snap) in set.snapshot().named() {
+            assert_eq!(snap.state, BreakerState::Closed);
+        }
+    }
+
+    #[test]
+    fn scc_breaker_disables_scc_stage_under_auto() {
+        let mut set = SolverBreakers::default();
+        let mut diag = Diagnostics::new();
+        diag.telemetry.incr("checker.backend.scc.fail", 1);
+        for _ in 0..3 {
+            set.observe(&diag);
+        }
+        let mut opts = CheckOptions::default();
+        assert!(opts.scc_enabled);
+        set.adjust(&mut opts);
+        assert!(!opts.scc_enabled, "open scc breaker clears the scc stage");
+        assert_eq!(opts.solver, LinearSolver::Auto, "monolithic chain still allowed");
+        // A pinned solver is left alone even with the scc breaker open.
+        let mut pinned = CheckOptions { solver: LinearSolver::Scc, ..Default::default() };
+        set.adjust(&mut pinned);
+        assert!(pinned.scc_enabled);
+        assert_eq!(pinned.solver, LinearSolver::Scc);
     }
 }

@@ -11,13 +11,18 @@ use trusted_ml::logic::parse_query;
 
 /// Options that force the full chain: Auto solver, a zero direct-solver
 /// limit (so the first attempt is iterative), an iteration budget far too
-/// small for a near-singular system, and a tolerance it cannot reach.
+/// small for a near-singular system, and a tolerance it cannot reach. The
+/// SCC stage is disabled because it would short-circuit the experiment:
+/// every state of the near-singular chain is a trivial component, so the
+/// decomposition solves it in closed form without ever iterating (see
+/// `scc_stage_solves_the_near_singular_chain_without_degrading`).
 fn starved() -> CheckOptions {
     CheckOptions {
         solver: LinearSolver::Auto,
         direct_solver_limit: 0,
         max_iterations: 10,
         tolerance: 1e-14,
+        scc_enabled: false,
         ..CheckOptions::default()
     }
 }
@@ -68,6 +73,37 @@ fn degradation_chain_falls_back_to_direct_and_matches_it() {
             (degraded[s] - exact[s]).abs() < 1e-9 * (1.0 + exact[s].abs()),
             "state {s}: degraded {} vs direct {}",
             degraded[s],
+            exact[s]
+        );
+    }
+}
+
+/// With the SCC stage left on (the default), the same starved options
+/// conclude without any fallback: the chain's states are all trivial
+/// components, so the decomposition back-substitutes exact values and the
+/// iteration budget is never touched.
+#[test]
+fn scc_stage_solves_the_near_singular_chain_without_degrading() {
+    let d = near_singular_dtmc(17, 24);
+    let q = parse_query("R{\"cost\"}=? [ F \"goal\" ]").unwrap();
+    let opts = CheckOptions { scc_enabled: true, ..starved() };
+
+    let (values, diag) =
+        Checker::with_options(opts).query_dtmc_diag(&d, &q).expect("scc stage solves exactly");
+    assert!(diag.fallbacks.is_empty(), "no degradation expected: {:?}", diag.fallbacks);
+    assert!(!diag.degraded());
+
+    let exact = Checker::with_options(CheckOptions {
+        solver: LinearSolver::Direct,
+        ..CheckOptions::default()
+    })
+    .query_dtmc(&d, &q)
+    .expect("direct solve succeeds");
+    for s in 0..d.num_states() {
+        assert!(
+            (values[s] - exact[s]).abs() < 1e-9 * (1.0 + exact[s].abs()),
+            "state {s}: scc {} vs direct {}",
+            values[s],
             exact[s]
         );
     }

@@ -171,6 +171,11 @@ fn starved_options() -> CheckOptions {
         direct_solver_limit: 0, // never pick direct up front
         max_iterations: 3,      // Gauss–Seidel and Jacobi stall immediately
         tolerance: 1e-12,
+        // The SCC stage would rescue the gambler chain before the iterative
+        // solvers ever run (its one nontrivial component fits the dense
+        // block limit and solves exactly); disable it so the chain under
+        // test is the GS → Jacobi → direct fallback ladder itself.
+        scc_enabled: false,
         ..Default::default()
     }
 }
