@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the repair hot path.
 //!
 //! Times the scenarios the compiled-tape + parallel-restart work targets
-//! and writes them as JSON (`BENCH_PR3.json` by default) so perf changes
+//! and writes them as JSON (`BENCH_PR8.json` by default) so perf changes
 //! are reviewable in diffs rather than anecdotes:
 //!
 //! * compiled-tape vs. interpreted rational-function evaluation (value and
@@ -15,7 +15,11 @@
 //! * max-ent IRL training on the car model;
 //! * WSN Model Repair with the telemetry subscriber installed: per-phase
 //!   wall-time breakdown from span histograms, plus the overhead of the
-//!   enabled vs. disabled (no-subscriber) telemetry path.
+//!   enabled vs. disabled (no-subscriber) telemetry path;
+//! * a 100k-state layered-SCC checker solve with trace correlation fully
+//!   enabled (subscriber + installed `TraceContext`, so every per-block
+//!   span carries the trace id) vs. fully disabled — the end-to-end cost
+//!   of PR 8's tracing on the hot solver.
 //!
 //! Run with `cargo run --release -p tml-bench --bin bench_report -- --quick`.
 //! `--quick` keeps every scenario deterministic and under a second; `--full`
@@ -28,12 +32,15 @@ use std::time::Instant;
 
 use serde::Serialize;
 use tml_car as car;
+use tml_checker::dtmc::until_probabilities;
+use tml_checker::{CheckOptions, LinearSolver};
+use tml_conformance::gen::{self, GOAL_LABEL};
 use tml_core::ModelRepair;
 use tml_irl::maxent_irl;
 use tml_numerics::{CsrMatrix, Triplet, PAR_NNZ_THRESHOLD};
 use tml_optimizer::{ConstraintSense, Nlp, PenaltyOptions, PenaltySolver};
 use tml_parametric::{Polynomial, RationalFunction};
-use tml_telemetry::Subscriber;
+use tml_telemetry::{Subscriber, TraceContext};
 use tml_wsn::{attempts_property, build_dtmc, repair_template, WsnConfig};
 
 #[derive(Serialize)]
@@ -57,7 +64,7 @@ struct Scenario {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR3.json");
+    let mut out_path = String::from("BENCH_PR8.json");
     let mut quick = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -163,6 +170,63 @@ fn main() {
         for (name, value) in &snapshot.counters {
             s.metrics.insert(format!("count.{name}"), *value as f64);
         }
+        scenarios.push(s);
+    }
+
+    // --- SCC 100k solve: enabled-tracing overhead ------------------------
+    {
+        // The 100k-state layered-DAG-of-SCCs solve from BENCH_PR7, run
+        // once with telemetry fully disabled and once with a subscriber
+        // installed AND a trace context on the stack, so every
+        // `numerics.scc.block` span pays the full correlated-tracing
+        // price. The disabled run is the one-atomic-load path the
+        // counting-allocator test pins; this scenario prices the enabled
+        // side end-to-end.
+        let model = gen::layered_scc_dtmc(7, 64, 100_000 / (64 * 4), 4);
+        let target = model.labeling().mask(GOAL_LABEL);
+        // Same sparse φ-blocking as bench_scaling: keep the maybe-system
+        // large so the solvers do real work.
+        let phi: Vec<bool> = (0..model.num_states()).map(|s| target[s] || s % 97 != 13).collect();
+        let opts = CheckOptions {
+            solver: LinearSolver::Scc,
+            tolerance: 1e-10,
+            max_iterations: 5_000_000,
+            ..CheckOptions::default()
+        };
+        let run = || until_probabilities(&model, &phi, &target, &opts).expect("scc solve");
+        let init = model.initial_state();
+        let (_, _) = time(run); // warmup (page in the matrix, JIT the caches)
+        let (disabled_ms, base) = time(run);
+        let sub = std::sync::Arc::new(Subscriber::builder().build());
+        assert!(tml_telemetry::install_global(sub.clone()), "telemetry slot free");
+        let (enabled_ms, traced) = {
+            let _trace = tml_telemetry::with_trace(TraceContext::derive(7, 0));
+            time(run)
+        };
+        tml_telemetry::uninstall_global();
+        assert_eq!(
+            base[init].to_bits(),
+            traced[init].to_bits(),
+            "tracing changed the solve result"
+        );
+        let snapshot = sub.metrics_snapshot();
+        let mut s = Scenario {
+            name: "scc_solve_100k_tracing".into(),
+            wall_ms: enabled_ms,
+            ..Default::default()
+        };
+        s.metrics.insert("states".into(), model.num_states() as f64);
+        s.metrics.insert("disabled_ms".into(), disabled_ms);
+        s.metrics.insert("enabled_ms".into(), enabled_ms);
+        s.metrics.insert("overhead_pct".into(), (enabled_ms - disabled_ms) / disabled_ms * 100.0);
+        if let Some(h) = snapshot.histogram("span.numerics.scc.block") {
+            s.metrics.insert("block_spans".into(), h.count as f64);
+            s.metrics.insert("block_span_ms_sum".into(), h.sum_ns as f64 / 1e6);
+        }
+        for (name, value) in &snapshot.counters {
+            s.metrics.insert(format!("count.{name}"), *value as f64);
+        }
+        s.notes.insert("value_at_initial".into(), format!("{}", base[init]));
         scenarios.push(s);
     }
 

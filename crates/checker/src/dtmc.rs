@@ -518,7 +518,7 @@ fn solve_restricted(
     let opts = run.opts;
     let _span = tml_telemetry::span!("checker.linear_solve", states = m);
     if opts.use_direct(m) {
-        tml_telemetry::counter!("checker.direct_solves", 1);
+        tml_telemetry::counter!("checker.solve.direct_solves", 1);
         let sol = solve_direct_dense(triplets, b, m);
         run.record_backend("direct", sol.is_ok());
         return sol;

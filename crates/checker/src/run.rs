@@ -34,7 +34,7 @@ impl<'a> CheckRun<'a> {
     /// Charges `sweeps` sweeps to the run (one call per solve, so the live
     /// telemetry counter stays an aggregate-level event, not per-sweep).
     pub(crate) fn spend(&self, sweeps: u64) {
-        tml_telemetry::counter!("checker.sweeps", sweeps);
+        tml_telemetry::counter!("checker.solve.sweeps", sweeps);
         self.diag.borrow_mut().evaluations += sweeps;
     }
 
@@ -50,7 +50,7 @@ impl<'a> CheckRun<'a> {
     }
 
     pub(crate) fn record_fallback(&self, event: impl Into<String>) {
-        tml_telemetry::counter!("checker.fallbacks", 1);
+        tml_telemetry::counter!("checker.solve.fallbacks", 1);
         self.diag.borrow_mut().record_fallback(event);
     }
 
@@ -77,8 +77,8 @@ impl<'a> CheckRun<'a> {
     pub(crate) fn finish(self) -> Diagnostics {
         let mut diag = self.diag.into_inner();
         diag.elapsed = self.start.elapsed();
-        diag.telemetry.incr("checker.sweeps", diag.evaluations);
-        diag.telemetry.incr("checker.fallbacks", diag.fallbacks.len() as u64);
+        diag.telemetry.incr("checker.solve.sweeps", diag.evaluations);
+        diag.telemetry.incr("checker.solve.fallbacks", diag.fallbacks.len() as u64);
         diag
     }
 }

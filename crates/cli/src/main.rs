@@ -11,6 +11,7 @@
 //! tml batch    32 --journal batch.jsonl --report report.jsonl
 //! tml batch    --resume batch.jsonl --report report.jsonl
 //! tml serve    --journal serve.jsonl --addr 127.0.0.1:0 --workers 2
+//! tml trace    run.jsonl [resumed.jsonl ...] [--folded]
 //! ```
 //!
 //! Every command accepts `--trace-json PATH` (stream a `tml-trace/v1`
@@ -61,6 +62,11 @@ const USAGE: &str = "usage:
                                 (POST /v1/jobs) over the same write-ahead
                                 journal; kill -9 + restart on the journal
                                 resumes byte-identically
+  tml trace    FILE...          analyze tml-trace/v1 JSONL files: span trees
+                                grouped by trace id, self vs child time and a
+                                critical-path summary; several files (e.g. a
+                                crashed run plus its resume) re-link through
+                                their shared trace ids
   tml help                      print this help
 
 global options:
@@ -106,7 +112,12 @@ options (serve; also honours --corpus-seed, --retries, --workers, --chaos,
                      POST /admin/drain) stops admission, gives in-flight jobs
                      this long, journals the rest and exits 0 (default 5000)
   --request-log PATH write a tml-serve/v1 request log (one JSON object per
-                     line, contiguous seq)";
+                     line, contiguous seq)
+
+options (trace):
+  --folded           print folded stacks (name;path count) aggregated by
+                     span self-time, ready for flamegraph tooling, instead
+                     of the per-trace summary";
 
 #[derive(Debug)]
 struct UsageError(String);
@@ -122,6 +133,7 @@ struct CliOptions {
     budget: Budget,
     trace_json: Option<String>,
     metrics: bool,
+    folded: bool,
     help: bool,
     simulate: Option<u64>,
     batch: BatchFlags,
@@ -215,6 +227,7 @@ fn dispatch(args: &[String], opts: &CliOptions) -> Result<u8, UsageError> {
         "witness" => witness(arg(args, 1, "MODEL")?, arg(args, 2, "LABEL")?).map(|()| 0),
         "batch" => batch(args.get(1).map(String::as_str), &opts.batch),
         "serve" => serve(&opts.batch, &opts.serve),
+        "trace" => trace_analyze(&args[1..], opts.folded).map(|()| 0),
         other => Err(UsageError(format!("unknown command {other:?}"))),
     }
 }
@@ -228,6 +241,7 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
         budget: Budget::unlimited(),
         trace_json: None,
         metrics: false,
+        folded: false,
         help: false,
         simulate: None,
         batch: BatchFlags::default(),
@@ -238,6 +252,7 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
         match a.as_str() {
             "-h" | "--help" => opts.help = true,
             "--metrics" => opts.metrics = true,
+            "--folded" => opts.folded = true,
             "--serial" => std::env::set_var("RAYON_NUM_THREADS", "1"),
             "--trace-json" => {
                 let path =
@@ -634,6 +649,31 @@ fn batch(count: Option<&str>, flags: &BatchFlags) -> Result<u8, UsageError> {
     Ok(0)
 }
 
+/// `tml trace`: offline analysis of one or more `tml-trace/v1` files.
+/// Multiple files (a killed run and its resume) re-link through shared
+/// trace ids; a torn final line — the `kill -9` signature — is tolerated
+/// and counted, any other unparseable line is an error.
+fn trace_analyze(files: &[String], folded: bool) -> Result<(), UsageError> {
+    if files.is_empty() {
+        return Err(UsageError("missing TRACE file argument".into()));
+    }
+    let mut contents = Vec::with_capacity(files.len());
+    for path in files {
+        let bytes = std::fs::read(path)
+            .map_err(|e| UsageError(format!("cannot read trace {path:?}: {e}")))?;
+        contents.push(bytes);
+    }
+    let inputs: Vec<(&str, &[u8])> =
+        files.iter().map(String::as_str).zip(contents.iter().map(Vec::as_slice)).collect();
+    let analysis = tml_telemetry::analysis::parse_trace_bytes(&inputs).map_err(UsageError)?;
+    if folded {
+        print!("{}", analysis.folded());
+    } else {
+        print!("{}", analysis.render_summary());
+    }
+    Ok(())
+}
+
 /// `tml serve`: run the repair service until a drain (SIGTERM, SIGINT or
 /// `POST /admin/drain`) completes. See `tml_serve` for the admission
 /// pipeline and DESIGN.md §12 for the failure matrix.
@@ -789,8 +829,26 @@ mod tests {
         for line in text.lines() {
             tml_telemetry::json::parse(line).expect("every trace line is valid JSON");
         }
+
+        // The recorded trace feeds straight into `tml trace`, both modes.
+        assert_eq!(run(&s(&["trace", t])).unwrap(), 0);
+        assert_eq!(run(&s(&["trace", t, "--folded"])).unwrap(), 0);
+
         let _ = std::fs::remove_file(&trace);
         let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
+    fn trace_command_fails_closed() {
+        assert!(run(&s(&["trace"])).is_err(), "needs at least one file");
+        assert!(run(&s(&["trace", "/no/such/trace.jsonl"])).is_err());
+        // Mid-file garbage is corruption, not a torn tail.
+        let bad = write_temp(
+            "bad-trace",
+            "{\"type\":\"meta\",\"schema\":\"tml-trace/v1\"}\nnot json\n{\"type\":\"meta\",\"schema\":\"tml-trace/v1\"}\n",
+        );
+        assert!(run(&s(&["trace", bad.to_str().unwrap()])).is_err());
+        let _ = std::fs::remove_file(bad);
     }
 
     #[test]

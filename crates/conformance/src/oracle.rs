@@ -240,7 +240,7 @@ impl Oracle {
             );
         }
         self.run_parametric_pairs(seed, &mut out);
-        counter!("oracle.seeds", 1);
+        counter!("oracle.diff.seeds", 1);
         out
     }
 
@@ -274,7 +274,7 @@ impl Oracle {
                 detail: format!("{} states agree", model.num_states()),
             }),
             Some((lhs, rhs, delta)) => {
-                counter!("oracle.disagreements", 1);
+                counter!("oracle.diff.disagreements", 1);
                 let shrunk = if self.opts.shrink {
                     let minimal = shrink_model(model, &|d| eval(d).is_some());
                     eval(&minimal).map(|(_, _, d)| Shrunk {
@@ -587,7 +587,7 @@ impl Oracle {
                 detail: format!("{n} states agree"),
             }),
             Some((lhs, rhs, delta)) => {
-                counter!("oracle.disagreements", 1);
+                counter!("oracle.diff.disagreements", 1);
                 out.checks.push(CheckRecord {
                     pair,
                     family: None,

@@ -482,7 +482,7 @@ impl Simulator {
                         }
                         done += 1;
                     }
-                    counter!("sim.trajectories", done);
+                    counter!("sim.batch.trajectories", done);
                     (h, m, u, done, stopped)
                 })
                 .collect()
@@ -499,7 +499,7 @@ impl Simulator {
         }
         diag.evaluations = total;
         diag.elapsed = start.elapsed();
-        diag.telemetry.incr("sim.trajectories", total);
+        diag.telemetry.incr("sim.batch.trajectories", total);
         let interval = if total == 0 {
             Interval { estimate: f64::NAN, low: 0.0, high: 1.0 }
         } else {
@@ -576,7 +576,7 @@ impl Simulator {
                         }
                         done += 1;
                     }
-                    counter!("sim.trajectories", done);
+                    counter!("sim.batch.trajectories", done);
                     (sum, completed, truncated, done, stopped)
                 })
                 .collect()
@@ -593,7 +593,7 @@ impl Simulator {
         }
         diag.evaluations = total;
         diag.elapsed = start.elapsed();
-        diag.telemetry.incr("sim.trajectories", total);
+        diag.telemetry.incr("sim.batch.trajectories", total);
         let (mean, interval) = if total == 0 {
             (f64::NAN, Interval { estimate: f64::NAN, low: 0.0, high: cap })
         } else {

@@ -635,7 +635,7 @@ fn oracle_value_dtmc(
 /// Folds an optimizer solution's spend and stop cause into the diagnostics.
 pub(crate) fn absorb_solution(diag: &mut Diagnostics, sol: &Solution) {
     diag.evaluations += sol.evaluations as u64;
-    diag.telemetry.incr("solver.evaluations", sol.evaluations as u64);
+    diag.telemetry.incr("solver.penalty.evaluations", sol.evaluations as u64);
     if let Some(cause) = sol.stopped {
         diag.mark_exhausted(cause);
     }

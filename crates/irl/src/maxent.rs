@@ -175,7 +175,7 @@ pub fn maxent_irl(
             *t += opts.learning_rate * g;
         }
     }
-    counter!("irl.gradient_passes", passes);
+    counter!("irl.maxent.gradient_passes", passes);
     Ok(IrlResult { theta, gradient_norms, converged })
 }
 

@@ -487,13 +487,13 @@ mod tests {
     #[test]
     fn absorb_merges_telemetry_snapshots() {
         let mut a = Diagnostics::new();
-        a.telemetry.incr("checker.sweeps", 3);
+        a.telemetry.incr("checker.solve.sweeps", 3);
         let mut b = Diagnostics::new();
-        b.telemetry.incr("checker.sweeps", 4);
-        b.telemetry.incr("checker.fallbacks", 1);
+        b.telemetry.incr("checker.solve.sweeps", 4);
+        b.telemetry.incr("checker.solve.fallbacks", 1);
         a.absorb(&b);
-        assert_eq!(a.telemetry.counter("checker.sweeps"), 7);
-        assert_eq!(a.telemetry.counter("checker.fallbacks"), 1);
+        assert_eq!(a.telemetry.counter("checker.solve.sweeps"), 7);
+        assert_eq!(a.telemetry.counter("checker.solve.fallbacks"), 1);
     }
 
     #[test]

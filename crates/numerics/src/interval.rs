@@ -144,7 +144,7 @@ pub fn interval_iteration_budgeted(
             stopped: None,
         }
     };
-    counter!("numerics.sweeps", run.iterations);
+    counter!("numerics.solve.sweeps", run.iterations);
     Ok(run)
 }
 

@@ -134,7 +134,7 @@ pub fn jacobi_budgeted(
         }
         IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None }
     };
-    counter!("numerics.sweeps", run.iterations);
+    counter!("numerics.solve.sweeps", run.iterations);
     Ok(run)
 }
 
@@ -208,7 +208,7 @@ pub fn gauss_seidel_budgeted(
         }
         IterRun { x, iterations: opts.max_iterations, delta, converged: false, stopped: None }
     };
-    counter!("numerics.sweeps", run.iterations);
+    counter!("numerics.solve.sweeps", run.iterations);
     Ok(run)
 }
 

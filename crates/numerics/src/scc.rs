@@ -261,8 +261,11 @@ pub fn solve_scc_budgeted(
             stats.trivial += 1;
             // Closed form: x_s = (b_s + Σ_{c≠s} a_sc·x_c) / (1 − a_ss).
             // All off-block columns belong to earlier (solved) blocks.
+            // No span here: million-state chains are all trivial blocks,
+            // and a span per state would swamp the trace.
             gs_sweep_range(&ap, &bp, &mut x, start, end);
         } else if len <= DENSE_BLOCK_LIMIT {
+            let _span = span!("numerics.scc.block", states = len);
             if solve_block_dense(&ap, &bp, &mut x, start, end, &mut scratch) {
                 stats.dense_blocks += 1;
             } else {
@@ -287,6 +290,7 @@ pub fn solve_scc_budgeted(
                 }
             }
         } else {
+            let _span = span!("numerics.scc.block", states = len);
             stats.iterative_blocks += 1;
             if !solve_block_gs(
                 &ap,
@@ -308,7 +312,7 @@ pub fn solve_scc_budgeted(
         }
         start = end;
     }
-    counter!("numerics.sweeps", sweeps);
+    counter!("numerics.solve.sweeps", sweeps);
 
     // Undo the permutation: x is indexed by new position, order[new] = old.
     let mut result = vec![0.0_f64; n];

@@ -221,7 +221,7 @@ impl PenaltySolver {
         sol.evaluations = evaluations;
         sol.feasible = sol.max_violation <= self.opts.feasibility_tolerance;
         sol.stopped = stopped;
-        counter!("solver.evaluations", sol.evaluations);
+        counter!("solver.penalty.evaluations", sol.evaluations);
         Ok(sol)
     }
 
@@ -235,10 +235,10 @@ impl PenaltySolver {
         let _span = span!("solver.restart", restart = index);
         let mut gauge = EvalGauge { budget, local: 0, charged: 0 };
         if let Some(cause) = gauge.poll() {
-            counter!("solver.restarts_skipped", 1);
+            counter!("solver.penalty.restarts_skipped", 1);
             return StartOutcome::Skipped(cause);
         }
-        counter!("solver.restarts", 1);
+        counter!("solver.penalty.restarts", 1);
         let sol = self.solve_from(nlp, start, &mut gauge);
         StartOutcome::Ran(sol, gauge.local)
     }

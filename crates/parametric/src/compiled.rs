@@ -391,7 +391,7 @@ impl CompiledConstraintSet {
     /// on the number of variables.
     pub fn compile(fns: &[RationalFunction]) -> Result<Self, ParametricError> {
         let _span = tml_telemetry::span!("parametric.compile_tapes", functions = fns.len());
-        tml_telemetry::counter!("tape.compiles", fns.len());
+        tml_telemetry::counter!("parametric.tape.compiles", fns.len());
         let nvars = fns.first().map(RationalFunction::num_vars).unwrap_or(0);
         let mut compiled = Vec::with_capacity(fns.len());
         let mut stride = 1;

@@ -345,6 +345,12 @@ pub fn run_corpus_job<W: Write + Send>(
         return Ok(failed(ctx.retry.max_attempts, prior_failure.unwrap_or_default()));
     }
 
+    // Reconstructed outcomes above run nothing, so they emit no span; every
+    // executed job gets exactly one `runtime.job` span that carries the
+    // installed trace context (batch derives it per job; serve installs the
+    // submission's context before calling in here).
+    let _span = tml_telemetry::span!("runtime.job", job = job, index = index);
+
     let spec = job_spec(ctx.corpus_seed, index);
     let input = match build_job(&spec) {
         Ok(input) => input,
@@ -502,6 +508,11 @@ fn worker<W: Write + Send>(
         let first_attempt = resume.map_or(1, |s| s.next_attempt(job));
         let warm = resume.map(|s| s.warm_starts(job)).unwrap_or_default();
         let prior = resume.and_then(|s| s.last_failure(job));
+        // Seed-deterministic trace id: a resumed run derives the same id the
+        // original run did, so spans from both processes group under one
+        // trace when the files are analysed together.
+        let _trace =
+            tml_telemetry::with_trace(tml_telemetry::TraceContext::derive(opts.corpus_seed, job));
         let io_result = run_corpus_job(journal, &ctx, job, job, first_attempt, warm, prior)
             .and_then(|outcome| journal.outcome(&outcome).map(|()| outcome));
         {

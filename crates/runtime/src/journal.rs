@@ -147,10 +147,19 @@ pub struct Submission {
     pub job: u64,
     /// What the job asks for.
     pub kind: SubmitKind,
+    /// The trace id correlating this submission's telemetry across the
+    /// admission span, the worker's span tree and any post-crash re-run.
+    /// Seed-deterministic (`TraceContext::derive(corpus_seed, job)`), so
+    /// journals written before this field existed parse to the identical
+    /// value and a resumed run re-links to the original trace.
+    pub trace: u64,
 }
 
 fn submit_line(s: &Submission) -> String {
-    let b = LineBuilder::record("submit").u64("job", s.job).str("kind", s.kind.name());
+    let b = LineBuilder::record("submit")
+        .u64("job", s.job)
+        .str("kind", s.kind.name())
+        .str("trace", &format!("{:016x}", s.trace));
     match &s.kind {
         SubmitKind::Corpus { index } => b.u64("index", *index).finish(),
         SubmitKind::Verify { model, property } => {
@@ -567,7 +576,16 @@ fn parse_record(
                 },
                 other => return Err(format!("journal line {line}: unknown submit kind `{other}`")),
             };
-            state.submissions.push(Submission { job, kind });
+            // Journals written before trace correlation carry no trace
+            // field; re-deriving from (corpus_seed, job) reconstructs the
+            // exact id the original process would have used.
+            let trace = match v.get("trace").and_then(|t| t.as_str()) {
+                Some(hex) => tml_telemetry::TraceContext::parse_hex(hex).ok_or_else(|| {
+                    format!("journal line {line}: trace `{hex}` is not 16 hex digits")
+                })?,
+                None => tml_telemetry::TraceContext::derive(state.config.corpus_seed, job).trace_id,
+            };
+            state.submissions.push(Submission { job, kind, trace });
             Ok(())
         }
         "resume" => {
@@ -697,24 +715,54 @@ mod tests {
     fn submissions_round_trip_and_pending_excludes_concluded() {
         let cfg = config();
         let j = Journal::create(Vec::new(), &cfg).unwrap();
-        let corpus = Submission { job: 0, kind: SubmitKind::Corpus { index: 5 } };
+        let corpus = Submission {
+            job: 0,
+            kind: SubmitKind::Corpus { index: 5 },
+            trace: tml_telemetry::TraceContext::derive(cfg.corpus_seed, 0).trace_id,
+        };
         let verify = Submission {
             job: 1,
             kind: SubmitKind::Verify {
                 model: "dtmc\nstates 2\ninit 0\n0 1 1.0\n1 1 1.0".into(),
                 property: "P>=0.5 [ F \"goal\" ]".into(),
             },
+            trace: tml_telemetry::TraceContext::derive(cfg.corpus_seed, 1).trace_id,
         };
         j.submit(&corpus).unwrap();
         j.submit(&verify).unwrap();
         j.outcome(&outcome(0, 1, JobStatus::Satisfied)).unwrap();
         let text = String::from_utf8(j.into_inner()).unwrap();
+        assert!(text.contains("\"trace\":\""), "submit records persist the trace id");
         let state = parse_journal(&text).unwrap();
         assert_eq!(state.submissions, vec![corpus, verify.clone()]);
         assert_eq!(state.submission(1), Some(&verify));
         let pending = state.pending_submissions();
         assert_eq!(pending.len(), 1, "concluded job 0 is not pending");
         assert_eq!(pending[0].job, 1);
+    }
+
+    #[test]
+    fn traceless_submit_records_rederive_the_seed_deterministic_id() {
+        // A journal written before trace correlation existed: the parser
+        // must fall back to derive(corpus_seed, job) so a resumed run
+        // re-links to the id the original submission *would* have used.
+        let cfg = config();
+        let mut text = meta_line(&cfg);
+        text.push('\n');
+        text.push_str("{\"type\":\"submit\",\"job\":3,\"kind\":\"corpus\",\"index\":3}\n");
+        let state = parse_journal(&text).unwrap();
+        assert_eq!(
+            state.submissions[0].trace,
+            tml_telemetry::TraceContext::derive(cfg.corpus_seed, 3).trace_id
+        );
+        // A present-but-malformed trace field is corruption, not a fallback.
+        let mut bad = meta_line(&cfg);
+        bad.push('\n');
+        bad.push_str(
+            "{\"type\":\"submit\",\"job\":3,\"kind\":\"corpus\",\"index\":3,\"trace\":\"xy\"}\n",
+        );
+        bad.push_str("{\"type\":\"resume\",\"completed\":0}\n");
+        assert!(parse_journal(&bad).is_err());
     }
 
     #[test]

@@ -140,7 +140,8 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
     Ok(Request { method, path, client, body })
 }
 
-/// One response: status, body, content type and optional `Retry-After`.
+/// One response: status, body, content type and optional `Retry-After`
+/// and `X-Trace-Id` headers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code.
@@ -151,33 +152,39 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Retry-After` seconds, when shedding load.
     pub retry_after: Option<u64>,
+    /// `X-Trace-Id` value (16 hex digits), when the handler bound the
+    /// request to a trace.
+    pub trace: Option<String>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Self {
-        Response {
-            status,
-            content_type: "application/json",
-            body: body.into_bytes(),
-            retry_after: None,
-        }
+        Response::with_content_type(status, "application/json", body)
     }
 
     /// A plain-text response.
     pub fn text(status: u16, body: String) -> Self {
-        Response {
-            status,
-            content_type: "text/plain; charset=utf-8",
-            body: body.into_bytes(),
-            retry_after: None,
-        }
+        Response::with_content_type(status, "text/plain; charset=utf-8", body)
+    }
+
+    /// A response with an explicit content type (the `/metrics` handler
+    /// passes the Prometheus exposition type).
+    pub fn with_content_type(status: u16, content_type: &'static str, body: String) -> Self {
+        Response { status, content_type, body: body.into_bytes(), retry_after: None, trace: None }
     }
 
     /// Attaches a `Retry-After` header (shed responses).
     #[must_use]
     pub fn with_retry_after(mut self, secs: u64) -> Self {
         self.retry_after = Some(secs);
+        self
+    }
+
+    /// Attaches an `X-Trace-Id` header (admission responses).
+    #[must_use]
+    pub fn with_trace(mut self, trace_hex: String) -> Self {
+        self.trace = Some(trace_hex);
         self
     }
 }
@@ -215,6 +222,9 @@ pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Resu
     )?;
     if let Some(secs) = response.retry_after {
         write!(stream, "Retry-After: {secs}\r\n")?;
+    }
+    if let Some(trace) = &response.trace {
+        write!(stream, "X-Trace-Id: {trace}\r\n")?;
     }
     stream.write_all(b"\r\n")?;
     stream.write_all(&response.body)?;
@@ -299,5 +309,17 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        assert!(!text.contains("X-Trace-Id"), "no trace header unless bound");
+    }
+
+    #[test]
+    fn trace_and_content_type_headers_are_emitted() {
+        let mut out = Vec::new();
+        let resp = Response::with_content_type(200, "text/plain; version=0.0.4", "x 1\n".into())
+            .with_trace("00000000000000ff".into());
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("X-Trace-Id: 00000000000000ff\r\n"));
     }
 }

@@ -57,6 +57,10 @@ impl BudgetSpec {
 pub struct QueuedJob {
     /// Server-assigned job id (the journal id).
     pub job: u64,
+    /// Trace id from the submission's journal record. Workers install it
+    /// before running, so a recovered job's spans group under the same
+    /// trace as the original admission across the crash boundary.
+    pub trace: u64,
     /// What to run.
     pub kind: SubmitKind,
     /// First attempt number (>1 only for journal-recovered jobs).
@@ -166,6 +170,7 @@ mod tests {
     fn job(id: u64) -> QueuedJob {
         QueuedJob {
             job: id,
+            trace: id + 1,
             kind: SubmitKind::Corpus { index: id },
             first_attempt: 1,
             warm: Vec::new(),

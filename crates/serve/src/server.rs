@@ -45,8 +45,8 @@ use tml_runtime::{
 };
 use tml_telemetry::json::{self, Value};
 use tml_telemetry::jsonl::{schema, JsonlWriter, LineBuilder};
-use tml_telemetry::summary::render_metrics;
-use tml_telemetry::Subscriber;
+use tml_telemetry::prometheus::{render_prometheus, CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE};
+use tml_telemetry::{Subscriber, TraceContext};
 
 use crate::bucket::{Admit, TokenBuckets};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
@@ -349,6 +349,7 @@ impl Server {
                 for sub in state.pending_submissions() {
                     let queued = QueuedJob {
                         job: sub.job,
+                        trace: sub.trace,
                         kind: sub.kind.clone(),
                         first_attempt: state.next_attempt(sub.job),
                         warm: state.warm_starts(sub.job),
@@ -383,7 +384,11 @@ impl Server {
             Duration::from_millis(opts.breaker_recovery_ms),
             opts.clock.clone(),
         ));
-        let sub = Arc::new(Subscriber::builder().build());
+        // Reuse the process-global subscriber when one is installed (the
+        // CLI's --trace-json path), so server metrics and worker spans land
+        // in one registry and one trace stream; otherwise run a private one.
+        let sub = tml_telemetry::global_subscriber()
+            .unwrap_or_else(|| Arc::new(Subscriber::builder().build()));
         let state = Arc::new(ServeState {
             opts,
             journal,
@@ -488,7 +493,15 @@ fn worker_loop(state: &ServeState) {
             return;
         }
         set_phase(state, qjob.job, JobPhase::Running);
-        let outcome = run_job(state, &qjob);
+        let outcome = {
+            // Bind the worker to the submission's trace id before any span
+            // opens. After a crash the recovered job re-installs the same
+            // id (it is journaled in the submit record), so spans from the
+            // original and the resumed process group under one trace.
+            let _trace = tml_telemetry::with_trace(TraceContext::new(qjob.trace));
+            let _span = tml_telemetry::span!("serve.job", job = qjob.job);
+            run_job(state, &qjob)
+        };
         let journaled = state.journal.outcome(&outcome);
         set_phase(state, qjob.job, JobPhase::Done(outcome));
         state.sub.record_counter("serve.jobs.completed", 1);
@@ -644,21 +657,27 @@ fn handle_connection(state: &ServeState, stream: TcpStream) {
         }
         Err(_) => return, // closed / stream error: nothing to answer
     };
-    state.sub.record_counter("serve.http.requests", 1);
-    log_request(state, &method, &path, response.status);
+    state.sub.record_counter_labeled(
+        "serve.http.requests",
+        &[("method", &method), ("status", &response.status.to_string())],
+        1,
+    );
+    log_request(state, &method, &path, &response);
     let _ = write_response(&mut writer, &response);
 }
 
-fn log_request(state: &ServeState, method: &str, path: &str, status: u16) {
+fn log_request(state: &ServeState, method: &str, path: &str, response: &Response) {
     if let Some(log) = &state.reqlog {
         let seq = log.seq.fetch_add(1, Ordering::SeqCst);
-        let line = LineBuilder::record("request")
+        let mut line = LineBuilder::record("request")
             .u64("seq", seq)
             .str("method", method)
             .str("path", path)
-            .u64("status", u64::from(status))
-            .finish();
-        let _ = log.writer.line(&line);
+            .u64("status", u64::from(response.status));
+        if let Some(trace) = &response.trace {
+            line = line.str("trace", trace);
+        }
+        let _ = log.writer.line(&line.finish());
     }
 }
 
@@ -789,12 +808,14 @@ fn submit(state: &ServeState, req: &Request) -> Response {
         if let Some(&job) = table.by_index.get(index) {
             state.sub.record_counter("serve.jobs.deduped", 1);
             let phase = table.records[&job].phase.name().to_string();
+            let trace = TraceContext::derive(state.opts.corpus_seed, job);
             let mut out = String::new();
             obj_start(&mut out);
             obj_field_u64(&mut out, "job", job);
             obj_field_str(&mut out, "status", &phase);
             obj_field_bool(&mut out, "deduplicated", true);
-            return Response::json(200, obj_end(out));
+            obj_field_str(&mut out, "trace", &trace.hex());
+            return Response::json(200, obj_end(out)).with_trace(trace.hex());
         }
     }
 
@@ -811,9 +832,14 @@ fn submit(state: &ServeState, req: &Request) -> Response {
         Validated::Corpus { index } => SubmitKind::Corpus { index },
         Validated::Verify { model, property } => SubmitKind::Verify { model, property },
     };
+    // Seed-deterministic trace id, journaled with the submission: the
+    // id the client reads from X-Trace-Id is the one a post-crash
+    // restart recovers, so both processes' spans re-link to one trace.
+    let trace = TraceContext::derive(state.opts.corpus_seed, job);
 
     // Write-ahead: the acceptance is durable before the client sees it.
-    if let Err(e) = state.journal.submit(&Submission { job, kind: kind.clone() }) {
+    let submission = Submission { job, kind: kind.clone(), trace: trace.trace_id };
+    if let Err(e) = state.journal.submit(&submission) {
         state.sub.record_counter("serve.journal.errors", 1);
         state.draining.store(true, Ordering::SeqCst);
         return Response::json(500, error_body(&format!("journal write failed: {e}")));
@@ -824,8 +850,15 @@ fn submit(state: &ServeState, req: &Request) -> Response {
         table.by_index.insert(index, job);
     }
     table.records.insert(job, JobRecord { kind: kind.clone(), phase: JobPhase::Queued });
-    let queued =
-        QueuedJob { job, kind, first_attempt: 1, warm: Vec::new(), budget, prior_failure: None };
+    let queued = QueuedJob {
+        job,
+        trace: trace.trace_id,
+        kind,
+        first_attempt: 1,
+        warm: Vec::new(),
+        budget,
+        prior_failure: None,
+    };
     let depth = match state.queue.push(queued) {
         Ok(depth) => depth as u64,
         // Closed in the instant between the check and the push (a drain
@@ -841,7 +874,8 @@ fn submit(state: &ServeState, req: &Request) -> Response {
     obj_field_u64(&mut out, "job", job);
     obj_field_str(&mut out, "status", "queued");
     obj_field_u64(&mut out, "queue_depth", depth);
-    Response::json(202, obj_end(out))
+    obj_field_str(&mut out, "trace", &trace.hex());
+    Response::json(202, obj_end(out)).with_trace(trace.hex())
 }
 
 // ---------------------------------------------------------------------
@@ -931,14 +965,25 @@ fn readyz(state: &ServeState) -> Response {
 }
 
 fn metrics(state: &ServeState) -> Response {
-    let mut snapshot = state.sub.metrics_snapshot();
-    let table = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
-    // Point-in-time gauges folded into the same table so the
-    // accepted == completed + queued + running identity is visible in
-    // one place.
-    snapshot.incr("serve.jobs.queued.gauge", table.count(|p| matches!(p, JobPhase::Queued)));
-    snapshot.incr("serve.jobs.running.gauge", table.count(|p| matches!(p, JobPhase::Running)));
-    snapshot.incr("serve.jobs.done.gauge", table.count(|p| matches!(p, JobPhase::Done(_))));
-    drop(table);
-    Response::text(200, render_metrics(&snapshot))
+    // Scrapes must never take the server down: a panic anywhere in the
+    // snapshot/render path answers 500, not a dead connection thread.
+    let rendered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        {
+            let table = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            // Point-in-time gauges from the job table, so the
+            // accepted == queued + running + done identity is scrapeable.
+            state
+                .sub
+                .set_gauge("serve.jobs.queued", table.count(|p| matches!(p, JobPhase::Queued)));
+            state
+                .sub
+                .set_gauge("serve.jobs.running", table.count(|p| matches!(p, JobPhase::Running)));
+            state.sub.set_gauge("serve.jobs.done", table.count(|p| matches!(p, JobPhase::Done(_))));
+        }
+        render_prometheus(&state.sub.metrics_snapshot())
+    }));
+    match rendered {
+        Ok(body) => Response::with_content_type(200, PROMETHEUS_CONTENT_TYPE, body),
+        Err(_) => Response::text(500, "metrics rendering failed\n".into()),
+    }
 }

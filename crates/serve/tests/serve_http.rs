@@ -121,10 +121,16 @@ fn await_report(addr: &SocketAddr) -> String {
     }
 }
 
-/// Reads one counter out of the `/metrics` table (0 when absent).
+/// Reads one sample out of the Prometheus `/metrics` exposition by its
+/// exact sample name, e.g. `tml_serve_jobs_accepted_total` (0 when
+/// absent). Labeled samples never match a bare name.
 fn metric(addr: &SocketAddr, name: &str) -> u64 {
-    let (status, _, body) = http(addr, "GET", "/metrics", &[], "");
+    let (status, head, body) = http(addr, "GET", "/metrics", &[], "");
     assert_eq!(status, 200, "metrics endpoint");
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "exposition content type:\n{head}"
+    );
     for line in body.lines() {
         let mut cols = line.split_whitespace();
         if cols.next() == Some(name) {
@@ -162,10 +168,17 @@ fn submit_poll_report_happy_path() {
     let addr = running.addr;
 
     for index in 0..3u64 {
-        let (status, value) = submit(&addr, &corpus_payload(index));
+        let (status, head, body) = http(&addr, "POST", "/v1/jobs", &[], &corpus_payload(index));
         assert_eq!(status, 202, "corpus submission accepted");
+        let value = json::parse(&body).unwrap();
         assert_eq!(value.get("job").and_then(Value::as_u64), Some(index));
         assert_eq!(value.get("status").and_then(Value::as_str), Some("queued"));
+        let trace = value.get("trace").and_then(Value::as_str).expect("trace in body");
+        assert_eq!(trace.len(), 16, "trace is 16 hex digits: {trace}");
+        assert!(
+            head.contains(&format!("\r\nX-Trace-Id: {trace}")),
+            "X-Trace-Id header matches the body:\n{head}"
+        );
     }
     let (status, sat) = submit(&addr, &verify_payload(MODEL_REACHES_GOAL, "P>=0.5 [ F \"goal\" ]"));
     assert_eq!(status, 202);
@@ -196,10 +209,14 @@ fn submit_poll_report_happy_path() {
     assert_eq!(status, 200, "duplicate is acknowledged, not re-queued");
     assert_eq!(dup.get("job").and_then(Value::as_u64), Some(1));
     assert_eq!(dup.get("deduplicated"), Some(&Value::Bool(true)));
+    assert!(
+        dup.get("trace").and_then(Value::as_str).is_some(),
+        "dedup answers with the existing job's trace"
+    );
 
-    assert_eq!(metric(&addr, "serve.jobs.accepted"), 5);
-    assert_eq!(metric(&addr, "serve.jobs.completed"), 5);
-    assert_eq!(metric(&addr, "serve.jobs.deduped"), 1);
+    assert_eq!(metric(&addr, "tml_serve_jobs_accepted_total"), 5);
+    assert_eq!(metric(&addr, "tml_serve_jobs_completed_total"), 5);
+    assert_eq!(metric(&addr, "tml_serve_jobs_deduped_total"), 1);
     assert_eq!(running.drain(), RunOutcome::Drained);
 }
 
@@ -238,8 +255,8 @@ fn malformed_submissions_fail_closed() {
     let (status, _, _) = http(&addr, "GET", "/v1/jobs/7", &[], "");
     assert_eq!(status, 404);
 
-    assert_eq!(metric(&addr, "serve.jobs.rejected"), 9, "every rejection counted");
-    assert_eq!(metric(&addr, "serve.jobs.accepted"), 0, "nothing malformed was admitted");
+    assert_eq!(metric(&addr, "tml_serve_jobs_rejected_total"), 9, "every rejection counted");
+    assert_eq!(metric(&addr, "tml_serve_jobs_accepted_total"), 0, "nothing malformed was admitted");
     assert_eq!(running.drain(), RunOutcome::Drained);
 }
 
@@ -265,11 +282,11 @@ fn overload_sheds_explicitly_with_retry_after() {
     assert_eq!(status, 200);
 
     // Counter identity: accepted == completed + queued + running.
-    assert_eq!(metric(&addr, "serve.jobs.accepted"), 2);
-    assert_eq!(metric(&addr, "serve.jobs.shed"), 1);
-    assert_eq!(metric(&addr, "serve.jobs.completed"), 0);
-    assert_eq!(metric(&addr, "serve.jobs.queued.gauge"), 2);
-    assert_eq!(metric(&addr, "serve.jobs.running.gauge"), 0);
+    assert_eq!(metric(&addr, "tml_serve_jobs_accepted_total"), 2);
+    assert_eq!(metric(&addr, "tml_serve_jobs_shed_total"), 1);
+    assert_eq!(metric(&addr, "tml_serve_jobs_completed_total"), 0);
+    assert_eq!(metric(&addr, "tml_serve_jobs_queued"), 2, "queued is a gauge");
+    assert_eq!(metric(&addr, "tml_serve_jobs_running"), 0, "running is a gauge");
 
     assert_eq!(running.drain(), RunOutcome::Drained);
 }
@@ -380,8 +397,8 @@ fn token_bucket_throttles_per_client() {
     let (status, _, _) = http(&addr, "POST", "/v1/jobs", &bob, &corpus_payload(1));
     assert_eq!(status, 202, "bob's bucket is independent");
 
-    assert_eq!(metric(&addr, "serve.jobs.throttled"), 1);
-    assert_eq!(metric(&addr, "serve.jobs.accepted"), 2);
+    assert_eq!(metric(&addr, "tml_serve_jobs_throttled_total"), 1);
+    assert_eq!(metric(&addr, "tml_serve_jobs_accepted_total"), 2);
     assert_eq!(running.drain(), RunOutcome::Drained);
 }
 

@@ -1,7 +1,7 @@
 //! `telemetry_schema_check` — validates the JSONL artifacts this
 //! workspace emits, dispatching on the schema the file declares.
 //!
-//! Usage: `telemetry_schema_check <file.jsonl>`
+//! Usage: `telemetry_schema_check [--metrics] <file>`
 //!
 //! Line 1 must be a `meta` record naming a known schema; the rest of the
 //! file is checked against that schema's rules:
@@ -9,7 +9,8 @@
 //! * `tml-trace/v1` — every line is a `span_start`/`span_end`/`counter`
 //!   with its required fields; every `span_end` matches an open
 //!   `span_start` of the same name; parents exist; spans on a thread
-//!   close LIFO; `at_ns` is non-decreasing per thread.
+//!   close LIFO; `at_ns` is non-decreasing per thread; a `trace` field,
+//!   when present, is a 16-hex-digit id.
 //! * `tml-journal/v1` — every record is a known journal transition
 //!   (`submit`/`attempt`/`checkpoint`/`failure`/`outcome`/`resume`/
 //!   `summary`) with its required fields; job ids submit at most once and
@@ -19,20 +20,36 @@
 //!   `path` and a sane `status`; `seq` increases strictly from 0 (no
 //!   dropped or duplicated log lines).
 //!
+//! With `--metrics` the file is instead checked as a Prometheus text
+//! exposition (format 0.0.4), the output of `/metrics`: every sample
+//! belongs to a family declared by a preceding `# TYPE` line, families
+//! are contiguous, histogram buckets are cumulative and the mandatory
+//! `+Inf` bucket equals `_count`.
+//!
 //! Exits 0 and prints a one-line summary on success; exits 1 with the
 //! first offending line number otherwise. CI runs this against the
-//! bench-smoke trace and the serve-smoke journal and request log.
+//! bench-smoke trace, the serve-smoke journal and request log, and the
+//! obs-smoke `/metrics` scrape.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use tml_telemetry::json::{self, Value};
 use tml_telemetry::jsonl::schema;
+use tml_telemetry::TraceContext;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: telemetry_schema_check <file.jsonl>");
+    let mut metrics_mode = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--metrics" {
+            metrics_mode = true;
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: telemetry_schema_check [--metrics] <file>");
         return ExitCode::FAILURE;
     };
     let content = match std::fs::read_to_string(&path) {
@@ -42,7 +59,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match validate(&content) {
+    let result = if metrics_mode { validate_metrics(&content) } else { validate(&content) };
+    match result {
         Ok(summary) => {
             println!("ok: {summary}");
             ExitCode::SUCCESS
@@ -50,6 +68,23 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates an optional `trace` field: when present it must be a string
+/// of exactly 16 hex digits (the wire form of a 64-bit trace id).
+fn check_trace_field(v: &Value, line: usize) -> Result<(), String> {
+    match v.get("trace") {
+        None => Ok(()),
+        Some(t) if t.is_null() => Ok(()),
+        Some(t) => {
+            let s =
+                t.as_str().ok_or_else(|| format!("line {line}: \"trace\" must be a hex string"))?;
+            if TraceContext::parse_hex(s).is_none() {
+                return Err(format!("line {line}: \"trace\" '{s}' is not 16 hex digits"));
+            }
+            Ok(())
         }
     }
 }
@@ -129,6 +164,7 @@ fn validate_journal(meta: &Value, content: &str) -> Result<String, String> {
                         return Err(format!("line {line_no}: unknown submit kind \"{other}\""))
                     }
                 }
+                check_trace_field(&v, line_no)?;
                 if submitted.insert(job, ()).is_some() {
                     return Err(format!("line {line_no}: job {job} submitted twice"));
                 }
@@ -217,6 +253,7 @@ fn validate_serve(content: &str) -> Result<String, String> {
                 if !(100..=599).contains(&status) {
                     return Err(format!("line {line_no}: implausible status {status}"));
                 }
+                check_trace_field(&v, line_no)?;
                 requests += 1;
             }
             other => return Err(format!("line {line_no}: unknown record type \"{other}\"")),
@@ -272,6 +309,7 @@ fn validate_trace(content: &str) -> Result<String, String> {
                 v.get("fields")
                     .and_then(|f| f.as_object())
                     .ok_or_else(|| format!("line {line_no}: span_start missing \"fields\""))?;
+                check_trace_field(&v, line_no)?;
                 if started.insert(id, (name, thread)).is_some() {
                     return Err(format!("line {line_no}: duplicate span id {id}"));
                 }
@@ -308,6 +346,7 @@ fn validate_trace(content: &str) -> Result<String, String> {
             "counter" => {
                 field_str(&v, "name", line_no)?;
                 field_u64(&v, "value", line_no)?;
+                check_trace_field(&v, line_no)?;
                 counters += 1;
             }
             other => {
@@ -323,9 +362,194 @@ fn validate_trace(content: &str) -> Result<String, String> {
     Ok(format!("{events} events ({spans} spans, {counters} counters), {} threads", last_at.len()))
 }
 
+// ---------------------------------------------------------------------
+// Prometheus text exposition (0.0.4)
+
+fn valid_prom_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+/// Histogram families accumulate bucket samples so the cumulative and
+/// `+Inf == _count` invariants can be checked when the family closes.
+#[derive(Default)]
+struct HistogramState {
+    buckets: Vec<(f64, f64)>, // (le, cumulative)
+    inf: Option<f64>,
+    count: Option<f64>,
+}
+
+fn close_histogram(family: &str, st: &HistogramState) -> Result<(), String> {
+    let inf = st.inf.ok_or_else(|| format!("histogram {family} missing +Inf bucket"))?;
+    let count = st.count.ok_or_else(|| format!("histogram {family} missing _count"))?;
+    if inf != count {
+        return Err(format!("histogram {family}: +Inf bucket {inf} != _count {count}"));
+    }
+    let mut prev_le = f64::NEG_INFINITY;
+    let mut prev_cum = 0.0_f64;
+    for (le, cum) in &st.buckets {
+        if *le <= prev_le {
+            return Err(format!("histogram {family}: bucket le {le} not increasing"));
+        }
+        if *cum < prev_cum {
+            return Err(format!("histogram {family}: bucket counts not cumulative at le {le}"));
+        }
+        if *cum > inf {
+            return Err(format!("histogram {family}: bucket at le {le} exceeds +Inf"));
+        }
+        prev_le = *le;
+        prev_cum = *cum;
+    }
+    Ok(())
+}
+
+/// The family a sample name belongs to, honoring histogram suffixes.
+fn sample_family<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+fn validate_metrics(content: &str) -> Result<String, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut finished: HashMap<String, ()> = HashMap::new();
+    let mut current: Option<String> = None;
+    let mut hist = HistogramState::default();
+    let mut samples = 0usize;
+
+    let switch_family = |current: &mut Option<String>,
+                         hist: &mut HistogramState,
+                         finished: &mut HashMap<String, ()>,
+                         types: &HashMap<String, String>,
+                         next: Option<String>|
+     -> Result<(), String> {
+        if let Some(prev) = current.take() {
+            if types.get(&prev).map(String::as_str) == Some("histogram") {
+                close_histogram(&prev, hist)?;
+            }
+            *hist = HistogramState::default();
+            finished.insert(prev, ());
+        }
+        *current = next;
+        Ok(())
+    };
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let detail = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_prom_name(name) {
+                        return Err(format!("line {line_no}: bad metric name '{name}'"));
+                    }
+                }
+                "TYPE" => {
+                    if !valid_prom_name(name) {
+                        return Err(format!("line {line_no}: bad metric name '{name}'"));
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&detail) {
+                        return Err(format!("line {line_no}: unknown type '{detail}'"));
+                    }
+                    if finished.contains_key(name) || current.as_deref() == Some(name) {
+                        return Err(format!("line {line_no}: TYPE for '{name}' after its samples"));
+                    }
+                    if types.insert(name.to_owned(), detail.to_owned()).is_some() {
+                        return Err(format!("line {line_no}: duplicate TYPE for '{name}'"));
+                    }
+                }
+                other => return Err(format!("line {line_no}: unknown comment '# {other}'")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // A sample: name[{labels}] value
+        let (name_part, value_part) = match line.find('{') {
+            Some(brace) => {
+                let close = line[brace..]
+                    .find('}')
+                    .map(|i| brace + i)
+                    .ok_or_else(|| format!("line {line_no}: unclosed label block"))?;
+                (&line[..close + 1], line[close + 1..].trim())
+            }
+            None => {
+                let sp = line
+                    .find(' ')
+                    .ok_or_else(|| format!("line {line_no}: sample missing value"))?;
+                (&line[..sp], line[sp + 1..].trim())
+            }
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(i) => (&name_part[..i], Some(&name_part[i..])),
+            None => (name_part, None),
+        };
+        if !valid_prom_name(name) {
+            return Err(format!("line {line_no}: bad sample name '{name}'"));
+        }
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {line_no}: bad sample value '{value_part}'"))?;
+        let family = sample_family(name, &types).to_owned();
+        let kind = types
+            .get(&family)
+            .ok_or_else(|| format!("line {line_no}: sample '{name}' has no # TYPE"))?
+            .clone();
+        if current.as_deref() != Some(family.as_str()) {
+            if finished.contains_key(&family) {
+                return Err(format!("line {line_no}: family '{family}' is not contiguous"));
+            }
+            switch_family(&mut current, &mut hist, &mut finished, &types, Some(family.clone()))?;
+        }
+        if kind == "histogram" {
+            if let Some(lbl) = name.strip_suffix("_bucket").and(labels) {
+                let le = lbl
+                    .strip_prefix("{le=\"")
+                    .and_then(|s| s.strip_suffix("\"}"))
+                    .ok_or_else(|| format!("line {line_no}: _bucket needs an le label"))?;
+                if le == "+Inf" {
+                    hist.inf = Some(value);
+                } else {
+                    let le: f64 =
+                        le.parse().map_err(|_| format!("line {line_no}: bad le '{le}'"))?;
+                    hist.buckets.push((le, value));
+                }
+            } else if name.ends_with("_count") {
+                hist.count = Some(value);
+            } else if !name.ends_with("_sum") {
+                return Err(format!(
+                    "line {line_no}: '{name}' is not a histogram sample of '{family}'"
+                ));
+            }
+        } else if value < 0.0 && kind == "counter" {
+            return Err(format!("line {line_no}: counter '{name}' is negative"));
+        }
+        samples += 1;
+    }
+    switch_family(&mut current, &mut hist, &mut finished, &types, None)?;
+    Ok(format!("{} metric families, {samples} samples", types.len()))
+}
+
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{validate, validate_metrics};
 
     const TRACE_META: &str = "{\"type\":\"meta\",\"schema\":\"tml-trace/v1\",\"tool\":\"t\"}";
     const JOURNAL_META: &str = "{\"type\":\"meta\",\"schema\":\"tml-journal/v1\",\
@@ -448,6 +672,87 @@ mod tests {
         ] {
             assert!(validate(&file(JOURNAL_META, bad)).is_err());
         }
+    }
+
+    #[test]
+    fn accepts_rendered_prometheus_exposition() {
+        use tml_telemetry::metrics::Registry;
+        use tml_telemetry::prometheus::render_prometheus;
+        let reg = Registry::new();
+        reg.incr_counter("serve.jobs.accepted", 8);
+        reg.incr_counter_labeled("serve.http.requests", &[("status", "202")], 5);
+        reg.set_gauge("serve.jobs.queued", 3);
+        reg.record_ns("span.pipeline.run", 1_500);
+        reg.record_ns("span.pipeline.run", 90_000);
+        let text = render_prometheus(&reg.snapshot());
+        let summary = validate_metrics(&text).unwrap();
+        assert!(summary.contains("4 metric families"), "{summary}");
+        assert_eq!(validate_metrics(""), Ok("0 metric families, 0 samples".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_expositions() {
+        // Sample without a TYPE.
+        assert!(validate_metrics("tml_x_total 3\n").is_err());
+        // TYPE after its samples.
+        let t = "# TYPE tml_a counter\ntml_a 1\n# TYPE tml_a gauge\n";
+        assert!(validate_metrics(t).is_err());
+        // Non-contiguous family.
+        let t = "# TYPE tml_a counter\n# TYPE tml_b counter\n\
+                 tml_a 1\ntml_b 1\ntml_a 2\n";
+        assert!(validate_metrics(t).is_err());
+        // Histogram whose +Inf bucket disagrees with _count.
+        let t = "# TYPE tml_h histogram\n\
+                 tml_h_bucket{le=\"0.1\"} 1\n\
+                 tml_h_bucket{le=\"+Inf\"} 2\n\
+                 tml_h_sum 0.5\ntml_h_count 3\n";
+        assert!(validate_metrics(t).is_err());
+        // Non-cumulative buckets.
+        let t = "# TYPE tml_h histogram\n\
+                 tml_h_bucket{le=\"0.1\"} 5\n\
+                 tml_h_bucket{le=\"0.2\"} 3\n\
+                 tml_h_bucket{le=\"+Inf\"} 5\n\
+                 tml_h_sum 0.5\ntml_h_count 5\n";
+        assert!(validate_metrics(t).is_err());
+        // Histogram missing the +Inf bucket entirely.
+        let t = "# TYPE tml_h histogram\ntml_h_sum 0.5\ntml_h_count 5\n";
+        assert!(validate_metrics(t).is_err());
+        // Bad metric name and bad value.
+        assert!(validate_metrics("# TYPE 9bad counter\n").is_err());
+        assert!(validate_metrics("# TYPE tml_a counter\ntml_a pizza\n").is_err());
+    }
+
+    #[test]
+    fn trace_fields_are_validated_when_present() {
+        let ok = file(
+            TRACE_META,
+            &[
+                r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"trace":"00000000000000ff","fields":{}}"#,
+                r#"{"type":"counter","name":"c","value":2,"thread":1,"at_ns":6,"trace":"00000000000000ff"}"#,
+                r#"{"type":"span_end","id":1,"name":"a","thread":1,"at_ns":10,"dur_ns":10}"#,
+            ],
+        );
+        assert!(validate(&ok).is_ok());
+        let bad = file(
+            TRACE_META,
+            &[
+                r#"{"type":"span_start","id":1,"parent":null,"name":"a","thread":1,"at_ns":0,"trace":"zz","fields":{}}"#,
+                r#"{"type":"span_end","id":1,"name":"a","thread":1,"at_ns":10,"dur_ns":10}"#,
+            ],
+        );
+        assert!(validate(&bad).is_err(), "malformed trace ids must be rejected");
+        let journal = file(
+            JOURNAL_META,
+            &[r#"{"type":"submit","job":0,"kind":"corpus","index":4,"trace":"00000000000000ab"}"#],
+        );
+        assert!(validate(&journal).is_ok());
+        let serve = file(
+            SERVE_META,
+            &[
+                r#"{"type":"request","seq":0,"method":"POST","path":"/v1/jobs","status":202,"trace":"00000000000000ab"}"#,
+            ],
+        );
+        assert!(validate(&serve).is_ok());
     }
 
     #[test]

@@ -82,7 +82,9 @@ pub enum Event {
     SpanStart {
         /// Subscriber-unique span id.
         id: u64,
-        /// Enclosing span on the same thread, if any.
+        /// Enclosing span on the same thread, if any. When absent and a
+        /// [`crate::TraceContext`] is installed, the context's
+        /// `parent_span` is used instead (cross-thread linkage).
         parent: Option<u64>,
         /// Span name (dotted registry name, e.g. `model_repair.solve`).
         name: String,
@@ -90,6 +92,10 @@ pub enum Event {
         thread: u64,
         /// Monotonic nanoseconds since the subscriber was installed.
         at_ns: u64,
+        /// Trace id from the installed [`crate::TraceContext`], if any.
+        /// Serialized as a 16-hex-digit string (the JSON number lane is
+        /// f64 and cannot carry 64-bit ids losslessly).
+        trace: Option<u64>,
         /// Structured fields captured at open.
         fields: Vec<(String, FieldValue)>,
     },
@@ -108,7 +114,7 @@ pub enum Event {
     },
     /// A counter increment.
     Counter {
-        /// Counter name (dotted registry name, e.g. `checker.sweeps`).
+        /// Counter name (dotted registry name, e.g. `checker.solve.sweeps`).
         name: String,
         /// Increment amount (counters are monotonic).
         value: u64,
@@ -116,6 +122,9 @@ pub enum Event {
         thread: u64,
         /// Monotonic nanoseconds since the subscriber was installed.
         at_ns: u64,
+        /// Trace id from the installed [`crate::TraceContext`], if any
+        /// (16-hex-digit string on the wire).
+        trace: Option<u64>,
     },
 }
 
@@ -123,9 +132,16 @@ impl Event {
     /// Encodes the event as one `tml-trace/v1` JSON line (no trailing
     /// newline).
     pub fn to_json_line(&self) -> String {
+        fn write_trace(out: &mut String, trace: &Option<u64>) {
+            if let Some(t) = trace {
+                out.push_str(",\"trace\":\"");
+                out.push_str(&format!("{t:016x}"));
+                out.push('"');
+            }
+        }
         let mut out = String::with_capacity(96);
         match self {
-            Event::SpanStart { id, parent, name, thread, at_ns, fields } => {
+            Event::SpanStart { id, parent, name, thread, at_ns, trace, fields } => {
                 out.push_str("{\"type\":\"span_start\",\"id\":");
                 out.push_str(&id.to_string());
                 out.push_str(",\"parent\":");
@@ -139,6 +155,7 @@ impl Event {
                 out.push_str(&thread.to_string());
                 out.push_str(",\"at_ns\":");
                 out.push_str(&at_ns.to_string());
+                write_trace(&mut out, trace);
                 out.push_str(",\"fields\":{");
                 for (i, (k, v)) in fields.iter().enumerate() {
                     if i > 0 {
@@ -163,7 +180,7 @@ impl Event {
                 out.push_str(&dur_ns.to_string());
                 out.push('}');
             }
-            Event::Counter { name, value, thread, at_ns } => {
+            Event::Counter { name, value, thread, at_ns, trace } => {
                 out.push_str("{\"type\":\"counter\",\"name\":");
                 json::write_string(&mut out, name);
                 out.push_str(",\"value\":");
@@ -172,6 +189,7 @@ impl Event {
                 out.push_str(&thread.to_string());
                 out.push_str(",\"at_ns\":");
                 out.push_str(&at_ns.to_string());
+                write_trace(&mut out, trace);
                 out.push('}');
             }
         }
@@ -196,6 +214,7 @@ mod tests {
             name: "model_repair.solve".into(),
             thread: 2,
             at_ns: 12345,
+            trace: Some(0x00ab_cdef_0123_4567),
             fields: vec![
                 ("restart".into(), FieldValue::U64(4)),
                 ("label".into(), FieldValue::Str("a\"b".into())),
@@ -209,6 +228,7 @@ mod tests {
         assert_eq!(value.get("type").and_then(|v| v.as_str()), Some("span_start"));
         assert_eq!(value.get("id").and_then(|v| v.as_u64()), Some(3));
         assert_eq!(value.get("parent").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(value.get("trace").and_then(|v| v.as_str()), Some("00abcdef01234567"));
         let fields = value.get("fields").expect("fields");
         assert_eq!(fields.get("restart").and_then(|v| v.as_u64()), Some(4));
         assert_eq!(fields.get("label").and_then(|v| v.as_str()), Some("a\"b"));
@@ -223,15 +243,19 @@ mod tests {
             name: "root".into(),
             thread: 1,
             at_ns: 0,
+            trace: None,
             fields: vec![],
         };
-        assert!(start.to_json_line().contains("\"parent\":null"));
+        let line = start.to_json_line();
+        assert!(line.contains("\"parent\":null"));
+        assert!(!line.contains("\"trace\""), "trace field is omitted when unset");
         let end = Event::SpanEnd { id: 1, name: "root".into(), thread: 1, at_ns: 10, dur_ns: 10 };
         let v = json::parse(&end.to_json_line()).unwrap();
         assert_eq!(v.get("dur_ns").and_then(|x| x.as_u64()), Some(10));
-        let c = Event::Counter { name: "c".into(), value: 7, thread: 1, at_ns: 5 };
+        let c = Event::Counter { name: "c".into(), value: 7, thread: 1, at_ns: 5, trace: Some(9) };
         let v = json::parse(&c.to_json_line()).unwrap();
         assert_eq!(v.get("value").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(v.get("trace").and_then(|x| x.as_str()), Some("0000000000000009"));
     }
 
     #[test]

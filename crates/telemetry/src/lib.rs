@@ -37,22 +37,25 @@
 //! let _scope = tml_telemetry::install_scoped(sub.clone());
 //! {
 //!     let _solve = span!("solver.solve", restarts = 4_u64);
-//!     counter!("solver.evaluations", 123);
+//!     counter!("solver.penalty.evaluations", 123);
 //! }
 //! let events = ring.drain();
 //! assert_eq!(events.len(), 3); // span start, counter, span end
 //! let snap = sub.metrics_snapshot();
-//! assert_eq!(snap.counter("solver.evaluations"), 123);
+//! assert_eq!(snap.counter("solver.penalty.evaluations"), 123);
 //! assert_eq!(snap.histogram("span.solver.solve").unwrap().count, 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod naming;
+pub mod prometheus;
 pub mod sink;
 pub mod summary;
 
@@ -85,6 +88,9 @@ thread_local! {
     static SCOPED: RefCell<Vec<Arc<Subscriber>>> = const { RefCell::new(Vec::new()) };
     /// The stack of open span ids on this thread (parent linkage).
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// The stack of installed trace contexts on this thread (innermost
+    /// last); see [`with_trace`].
+    static TRACE_STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
     /// This thread's compact id.
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
 }
@@ -114,6 +120,114 @@ pub fn thread_id() -> u64 {
     THREAD_ID.with(|t| *t)
 }
 
+// ----------------------------------------------------------- trace context
+
+/// Correlates spans and counters that belong to one logical request across
+/// threads, processes and crash/resume boundaries.
+///
+/// A trace context is installed explicitly at unit-of-work boundaries
+/// ([`with_trace`]) and read implicitly by every [`span!`] and
+/// [`counter!`] fired while it is installed: span-start and counter events
+/// carry `trace_id` on the wire, and a root span opened under the context
+/// (empty span stack) links to `parent_span` instead of `null` — this is
+/// what stitches a worker-thread span tree to the submission-side span
+/// that enqueued the job.
+///
+/// Ids are derived deterministically from `(seed, job)` — never from wall
+/// time — so a resumed run re-derives the *same* id and re-links to the
+/// original trace (see `Submission::trace` in `tml-runtime`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The 64-bit trace id (never 0; serialized as 16 hex digits).
+    pub trace_id: u64,
+    /// Span id (in the *originating* process's id space) that logically
+    /// spawned this unit of work, if known. Only meaningful within one
+    /// trace file; it is not persisted across processes.
+    pub parent_span: Option<u64>,
+}
+
+/// The splitmix64 finalizer: a bijective avalanche mix, the standard way to
+/// turn small structured integers (seed, job index) into well-spread ids.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceContext {
+    /// A context with the given id and no parent span.
+    pub fn new(trace_id: u64) -> TraceContext {
+        TraceContext { trace_id: if trace_id == 0 { 1 } else { trace_id }, parent_span: None }
+    }
+
+    /// Derives the seed-deterministic trace id for `(seed, job)`. Pure —
+    /// no clock, no process state — so the id can be re-derived by a
+    /// resumed process, an old journal without trace records, or a test.
+    pub fn derive(seed: u64, job: u64) -> TraceContext {
+        let mixed = splitmix64(splitmix64(seed) ^ splitmix64(job ^ 0xA076_1D64_78BD_642F));
+        TraceContext::new(mixed)
+    }
+
+    /// Attaches the span that spawned this unit of work.
+    #[must_use]
+    pub fn with_parent_span(mut self, span: u64) -> TraceContext {
+        self.parent_span = Some(span);
+        self
+    }
+
+    /// The wire form of the trace id: exactly 16 lowercase hex digits.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Parses a 16-hex-digit trace id as written by [`TraceContext::hex`].
+    pub fn parse_hex(s: &str) -> Option<u64> {
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+}
+
+/// Installs `ctx` as this thread's trace context until the returned guard
+/// drops. Nested installs shadow (innermost wins); the guard restores the
+/// outer context. Installation is independent of whether a subscriber is
+/// enabled — a context on a disabled thread costs nothing at
+/// instrumentation points (the [`enabled`] load still short-circuits
+/// first).
+#[must_use]
+pub fn with_trace(ctx: TraceContext) -> TraceGuard {
+    TRACE_STACK.with(|t| t.borrow_mut().push(ctx));
+    TraceGuard { ctx }
+}
+
+/// This thread's innermost installed trace context, if any.
+pub fn current_trace() -> Option<TraceContext> {
+    TRACE_STACK.with(|t| t.borrow().last().copied())
+}
+
+/// RAII guard for [`with_trace`]; restores the previous context on drop.
+pub struct TraceGuard {
+    ctx: TraceContext,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE_STACK.with(|t| {
+            let mut stack = t.borrow_mut();
+            // Guards drop LIFO, so the top is ours; fall back to removing
+            // the last matching entry if one was moved across scopes.
+            if stack.last() == Some(&self.ctx) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|c| *c == self.ctx) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
 /// Installs `sub` as the process-wide subscriber, visible from every
 /// thread. Returns `false` (and leaves the existing subscriber in place) if
 /// one is already installed.
@@ -125,6 +239,14 @@ pub fn install_global(sub: Arc<Subscriber>) -> bool {
     *g = Some(sub);
     ACTIVE.fetch_add(1, Ordering::Relaxed);
     true
+}
+
+/// The currently installed process-wide subscriber, if any. Lets a
+/// long-running component (e.g. the serve layer) aggregate its metrics
+/// into the same registry the CLI installed for `--trace-json`, instead of
+/// splitting spans and counters across two subscribers.
+pub fn global_subscriber() -> Option<Arc<Subscriber>> {
+    GLOBAL.read().ok().and_then(|g| g.clone())
 }
 
 /// Removes and returns the process-wide subscriber, if any. Sinks are
@@ -205,7 +327,8 @@ impl Subscriber {
         }
     }
 
-    /// Records a named counter increment (also emitted to sinks).
+    /// Records a named counter increment (also emitted to sinks, tagged
+    /// with this thread's trace context when one is installed).
     pub fn record_counter(&self, name: &str, value: u64) {
         self.metrics.incr_counter(name, value);
         self.dispatch(&Event::Counter {
@@ -213,7 +336,21 @@ impl Subscriber {
             value,
             thread: thread_id(),
             at_ns: self.now_ns(),
+            trace: current_trace().map(|c| c.trace_id),
         });
+    }
+
+    /// Records a labeled counter increment. Labels become part of the
+    /// registry key (`name{k="v",...}`, keys sorted); no sink event is
+    /// emitted — labeled series surface through `/metrics` and snapshots.
+    pub fn record_counter_labeled(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.metrics.incr_counter_labeled(name, labels, value);
+    }
+
+    /// Sets a named gauge (last write wins; surfaces through snapshots and
+    /// the Prometheus exposition, no sink event).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.metrics.set_gauge(name, value);
     }
 
     /// Records `dur_ns` into the named histogram (no sink event; histograms
@@ -322,18 +459,24 @@ impl Drop for SpanGuard {
 pub fn enter_span(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
     let Some(sub) = current() else { return SpanGuard::disabled() };
     let id = sub.next_span.fetch_add(1, Ordering::Relaxed);
+    let trace = current_trace();
     let parent = SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
         let parent = stack.last().copied();
         stack.push(id);
         parent
     });
+    // A root span on this thread links to the trace context's parent span
+    // instead of null: that is the cross-thread edge from the worker's
+    // span tree back to the submission-side span that enqueued the job.
+    let parent = parent.or_else(|| trace.and_then(|c| c.parent_span));
     sub.dispatch(&Event::SpanStart {
         id,
         parent,
         name: name.to_owned(),
         thread: thread_id(),
         at_ns: sub.now_ns(),
+        trace: trace.map(|c| c.trace_id),
         fields: fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
     });
     SpanGuard { inner: Some(SpanInner { sub, id, name, start: Instant::now() }) }
@@ -388,7 +531,7 @@ macro_rules! span {
 ///
 /// ```
 /// # use tml_telemetry::counter;
-/// counter!("checker.sweeps", 42);
+/// counter!("checker.solve.sweeps", 42);
 /// ```
 #[macro_export]
 macro_rules! counter {
@@ -485,6 +628,65 @@ mod tests {
         assert!(!install_global(b), "second install must be rejected");
         assert!(uninstall_global().is_some());
         assert!(uninstall_global().is_none());
+    }
+
+    #[test]
+    fn trace_ids_are_seed_deterministic_and_hex_roundtrip() {
+        let a = TraceContext::derive(2024, 3);
+        let b = TraceContext::derive(2024, 3);
+        assert_eq!(a, b, "same (seed, job) must derive the same id");
+        assert_ne!(a.trace_id, TraceContext::derive(2024, 4).trace_id);
+        assert_ne!(a.trace_id, TraceContext::derive(2025, 3).trace_id);
+        assert_ne!(a.trace_id, 0, "0 is reserved as the non-id");
+        let hex = a.hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceContext::parse_hex(&hex), Some(a.trace_id));
+        assert_eq!(TraceContext::parse_hex("xyz"), None);
+        assert_eq!(TraceContext::parse_hex("00000000000000"), None, "length must be 16");
+    }
+
+    #[test]
+    fn spans_and_counters_carry_the_installed_trace() {
+        let (ring, _sub, _guard) = scoped();
+        let ctx = TraceContext::derive(7, 0).with_parent_span(99);
+        {
+            let _t = with_trace(ctx);
+            assert_eq!(current_trace(), Some(ctx));
+            {
+                let _root = span!("job.root");
+                let _child = span!("job.child");
+                counter!("job.root.ticks", 1);
+            }
+        }
+        assert_eq!(current_trace(), None, "guard restores the outer (empty) context");
+        let events = ring.drain();
+        match &events[0] {
+            Event::SpanStart { parent, trace, .. } => {
+                assert_eq!(*parent, Some(99), "root span links to the context's parent span");
+                assert_eq!(*trace, Some(ctx.trace_id));
+            }
+            other => panic!("expected root start, got {other:?}"),
+        }
+        match &events[1] {
+            Event::SpanStart { parent, trace, .. } => {
+                assert_ne!(*parent, Some(99), "nested span keeps its thread-local parent");
+                assert_eq!(*trace, Some(ctx.trace_id));
+            }
+            other => panic!("expected child start, got {other:?}"),
+        }
+        assert!(matches!(&events[2], Event::Counter { trace: Some(t), .. } if *t == ctx.trace_id));
+    }
+
+    #[test]
+    fn nested_trace_contexts_shadow_and_restore() {
+        let outer = TraceContext::new(10);
+        let inner = TraceContext::new(20);
+        let _a = with_trace(outer);
+        {
+            let _b = with_trace(inner);
+            assert_eq!(current_trace(), Some(inner));
+        }
+        assert_eq!(current_trace(), Some(outer));
     }
 
     #[test]

@@ -59,10 +59,53 @@ impl Histogram {
     }
 }
 
-/// Live counter/histogram store owned by a `Subscriber`.
+/// Builds the canonical registry key for a labeled metric:
+/// `name{k1="v1",k2="v2"}` with label keys sorted and values escaped
+/// (`\` and `"`), so the same label set always maps to the same key and
+/// the key is already in Prometheus sample form.
+pub fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry key into its base name and the label block (including
+/// braces), if any.
+pub fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) => (&key[..i], Some(&key[i..])),
+        None => (key, None),
+    }
+}
+
+/// Live counter/gauge/histogram store owned by a `Subscriber`.
 #[derive(Debug)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -71,6 +114,7 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
         }
     }
@@ -86,6 +130,26 @@ impl Registry {
         map.entry(name.to_owned())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)))
             .fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Adds `value` to a labeled counter. The label set becomes part of the
+    /// registry key (see [`labeled_key`]), so each distinct combination is
+    /// its own monotonic series.
+    pub fn incr_counter_labeled(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.incr_counter(&labeled_key(name, labels), value);
+    }
+
+    /// Sets the named gauge to `value` (last write wins), creating it on
+    /// first use.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if let Some(g) = self.gauges.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+            g.store(value, Ordering::Relaxed);
+            return;
+        }
+        let mut map = self.gauges.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .store(value, Ordering::Relaxed);
     }
 
     /// Records `value_ns` into the named histogram, creating it on first
@@ -108,6 +172,13 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
         let histograms = self
             .histograms
             .read()
@@ -115,7 +186,7 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
-        MetricsSnapshot { counters, histograms }
+        MetricsSnapshot { counters, gauges, histograms }
     }
 }
 
@@ -187,6 +258,8 @@ impl HistogramSnapshot {
 pub struct MetricsSnapshot {
     /// Monotonic counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges by name (set semantics, not cumulative).
+    pub gauges: BTreeMap<String, u64>,
     /// Duration histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -199,12 +272,17 @@ impl MetricsSnapshot {
 
     /// Whether no metric has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// Counter value by name (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Histogram by name.
@@ -220,12 +298,22 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Sets a gauge in the snapshot (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
     /// Merges `other` into `self`. Commutative and associative (counters
-    /// and histogram counts/sums add; maxima take the max), so absorbing
-    /// per-thread snapshots in any order yields the same result.
+    /// and histogram counts/sums add; gauge and histogram maxima take the
+    /// max), so absorbing per-thread snapshots in any order yields the same
+    /// result.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*value);
         }
         for (name, hist) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(hist);
@@ -316,6 +404,46 @@ mod tests {
         assert_eq!(ab.counter("x"), 7);
         assert_eq!(ab.histogram("h").unwrap().count, 3);
         assert_eq!(ab.histogram("h").unwrap().max_ns, 70);
+    }
+
+    #[test]
+    fn labeled_keys_are_canonical() {
+        assert_eq!(labeled_key("serve.http.requests", &[]), "serve.http.requests");
+        let a = labeled_key("serve.http.requests", &[("status", "202"), ("method", "POST")]);
+        let b = labeled_key("serve.http.requests", &[("method", "POST"), ("status", "202")]);
+        assert_eq!(a, b, "label order must not matter");
+        assert_eq!(a, "serve.http.requests{method=\"POST\",status=\"202\"}");
+        let esc = labeled_key("m.o.a", &[("k", "a\"b\\c")]);
+        assert_eq!(esc, "m.o.a{k=\"a\\\"b\\\\c\"}");
+        assert_eq!(
+            split_labels(&a),
+            ("serve.http.requests", Some("{method=\"POST\",status=\"202\"}"))
+        );
+        assert_eq!(split_labels("plain.name.x"), ("plain.name.x", None));
+    }
+
+    #[test]
+    fn gauges_set_and_merge_by_max() {
+        let reg = Registry::new();
+        reg.set_gauge("serve.jobs.queued", 5);
+        reg.set_gauge("serve.jobs.queued", 2);
+        reg.incr_counter_labeled("serve.http.requests", &[("status", "200")], 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("serve.jobs.queued"), 2, "gauges are last-write-wins");
+        assert_eq!(snap.counter("serve.http.requests{status=\"200\"}"), 3);
+
+        let mut a = MetricsSnapshot::new();
+        a.set_gauge("g", 7);
+        let mut b = MetricsSnapshot::new();
+        b.set_gauge("g", 3);
+        b.set_gauge("h", 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "gauge merge must stay commutative");
+        assert_eq!(ab.gauge("g"), 7);
+        assert_eq!(ab.gauge("h"), 1);
     }
 
     #[test]

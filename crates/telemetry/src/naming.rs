@@ -1,0 +1,172 @@
+//! The workspace metric-naming convention, as an executable check.
+//!
+//! Every counter and gauge name is dotted `subsystem.object.action` with an
+//! optional fourth `variant` segment:
+//!
+//! * `checker.solve.sweeps`, `serve.jobs.accepted`,
+//!   `runtime.attempt.failures` — three segments;
+//! * `checker.backend.scc.ok` — four (the backend is the variant).
+//!
+//! Histogram names are `span.` followed by a span name of one to three
+//! segments (`span.model_repair`, `span.numerics.scc.block`). Labeled
+//! registry keys (`name{k="v"}`) are checked on the base name, with label
+//! keys held to the same `[a-z][a-z0-9_]*` charset.
+//!
+//! The convention is enforced by a test that runs the full pipeline and
+//! walks the resulting [`MetricsSnapshot`] through
+//! [`check_snapshot_names`], so a nonconforming name added anywhere in the
+//! workspace fails CI.
+
+use crate::metrics::{split_labels, MetricsSnapshot};
+
+/// What kind of metric a name belongs to (the rules differ slightly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter: 3–4 dotted segments.
+    Counter,
+    /// Point-in-time gauge: 3–4 dotted segments.
+    Gauge,
+    /// Duration histogram: `span.` + 1–3 dotted segments.
+    Histogram,
+}
+
+fn valid_segment(seg: &str) -> bool {
+    let mut bytes = seg.bytes();
+    match bytes.next() {
+        Some(b'a'..=b'z') => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+fn check_segments(name: &str, min: usize, max: usize) -> Result<(), String> {
+    let segments: Vec<&str> = name.split('.').collect();
+    if segments.len() < min || segments.len() > max {
+        return Err(format!(
+            "'{name}' has {} dot-separated segments, expected {min}..={max}",
+            segments.len()
+        ));
+    }
+    for seg in segments {
+        if !valid_segment(seg) {
+            return Err(format!("'{name}' segment '{seg}' is not lowercase [a-z][a-z0-9_]*"));
+        }
+    }
+    Ok(())
+}
+
+fn check_label_block(name: &str, block: &str) -> Result<(), String> {
+    // The block is produced by `labeled_key`, so the shape is
+    // {k="v",k2="v2"}; we only validate the key charset here.
+    let inner = block
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| format!("'{name}' has a malformed label block '{block}'"))?;
+    for pair in inner.split("\",") {
+        let Some((key, _)) = pair.split_once("=\"") else {
+            return Err(format!("'{name}' label pair '{pair}' is not k=\"v\""));
+        };
+        if !valid_segment(key) {
+            return Err(format!("'{name}' label key '{key}' is not [a-z][a-z0-9_]*"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks one registry key against the convention. Returns a
+/// human-readable reason on violation.
+///
+/// # Errors
+///
+/// Returns `Err` with the violated rule when the name does not conform.
+pub fn check_metric_name(kind: MetricKind, key: &str) -> Result<(), String> {
+    let (base, labels) = split_labels(key);
+    if let Some(block) = labels {
+        check_label_block(base, block)?;
+    }
+    match kind {
+        MetricKind::Counter | MetricKind::Gauge => check_segments(base, 3, 4),
+        MetricKind::Histogram => {
+            let span_name = base
+                .strip_prefix("span.")
+                .ok_or_else(|| format!("histogram '{base}' must be named 'span.<span name>'"))?;
+            check_segments(span_name, 1, 3)
+        }
+    }
+}
+
+/// Walks every counter, gauge and histogram in `snapshot` and returns all
+/// naming violations (empty when the snapshot conforms).
+pub fn check_snapshot_names(snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut violations = Vec::new();
+    for key in snapshot.counters.keys() {
+        if let Err(why) = check_metric_name(MetricKind::Counter, key) {
+            violations.push(format!("counter {why}"));
+        }
+    }
+    for key in snapshot.gauges.keys() {
+        if let Err(why) = check_metric_name(MetricKind::Gauge, key) {
+            violations.push(format!("gauge {why}"));
+        }
+    }
+    for key in snapshot.histograms.keys() {
+        if let Err(why) = check_metric_name(MetricKind::Histogram, key) {
+            violations.push(format!("histogram {why}"));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::labeled_key;
+
+    #[test]
+    fn conforming_names_pass() {
+        for name in [
+            "checker.solve.sweeps",
+            "checker.backend.scc.ok",
+            "serve.jobs.accepted",
+            "runtime.journal.torn_tail",
+            "numerics.scc.components",
+        ] {
+            assert_eq!(check_metric_name(MetricKind::Counter, name), Ok(()), "{name}");
+        }
+        for name in ["span.model_repair", "span.checker.check", "span.numerics.scc.block"] {
+            assert_eq!(check_metric_name(MetricKind::Histogram, name), Ok(()), "{name}");
+        }
+        let labeled = labeled_key("serve.http.requests", &[("status", "202")]);
+        assert_eq!(check_metric_name(MetricKind::Counter, &labeled), Ok(()));
+    }
+
+    #[test]
+    fn nonconforming_names_are_rejected() {
+        // Too few segments.
+        assert!(check_metric_name(MetricKind::Counter, "checker.sweeps").is_err());
+        // Too many.
+        assert!(check_metric_name(MetricKind::Counter, "a.b.c.d.e").is_err());
+        // Bad charset.
+        assert!(check_metric_name(MetricKind::Counter, "serve.Jobs.accepted").is_err());
+        assert!(check_metric_name(MetricKind::Counter, "serve.jobs.2fast").is_err());
+        assert!(check_metric_name(MetricKind::Counter, "serve..accepted").is_err());
+        // Histogram without the span. prefix.
+        assert!(check_metric_name(MetricKind::Histogram, "model_repair").is_err());
+        // Span name too deep.
+        assert!(check_metric_name(MetricKind::Histogram, "span.a.b.c.d").is_err());
+        // Bad label key.
+        assert!(check_metric_name(MetricKind::Counter, "a.b.c{Status=\"x\"}").is_err());
+    }
+
+    #[test]
+    fn snapshot_walk_collects_all_violations() {
+        let mut snap = MetricsSnapshot::new();
+        snap.incr("good.name.here", 1);
+        snap.incr("bad", 1);
+        snap.set_gauge("also.bad", 1);
+        snap.histograms.insert("span.ok".into(), Default::default());
+        snap.histograms.insert("noprefix".into(), Default::default());
+        let violations = check_snapshot_names(&snap);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Prometheus text exposition (format version 0.0.4) for
+//! [`MetricsSnapshot`].
+//!
+//! Mapping from the internal registry to the exposition:
+//!
+//! * names are prefixed `tml_` and dots become underscores
+//!   (`serve.jobs.accepted` → `tml_serve_jobs_accepted_total`);
+//! * counters gain the conventional `_total` suffix; gauges keep their
+//!   name;
+//! * labeled registry keys (`name{k="v"}`, see
+//!   [`crate::metrics::labeled_key`]) re-emit their label block verbatim —
+//!   it is already in Prometheus sample syntax;
+//! * the 64-bucket log2 duration histograms (`span.<name>`) become
+//!   `tml_span_<name>_seconds` histograms: bucket `i` (samples with
+//!   `floor(log2(ns)) == i`) contributes a cumulative `_bucket` sample at
+//!   `le = (2^(i+1) - 1) / 1e9` seconds, followed by the mandatory
+//!   `+Inf` bucket, `_sum` (seconds) and `_count`. Empty buckets above the
+//!   highest occupied one are elided — cumulative semantics make them
+//!   redundant — which keeps a 64-bucket histogram to a handful of lines.
+//!
+//! Output is deterministic: gauges, then counters, then histograms, each
+//! section in lexicographic order with one `# HELP`/`# TYPE` pair per
+//! metric family.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{split_labels, HistogramSnapshot, MetricsSnapshot};
+
+/// The `Content-Type` a `/metrics` response must carry for this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Converts a dotted registry name to a Prometheus metric name:
+/// `tml_` prefix, dots to underscores, anything outside
+/// `[a-zA-Z0-9_:]` to `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("tml_");
+    for ch in name.chars() {
+        match ch {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => out.push(ch),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Groups registry keys (possibly labeled) by base name, preserving the
+/// label block of each sample.
+fn group_by_base<'a>(
+    entries: impl Iterator<Item = (&'a String, &'a u64)>,
+) -> BTreeMap<&'a str, Vec<(Option<&'a str>, u64)>> {
+    let mut groups: BTreeMap<&str, Vec<(Option<&str>, u64)>> = BTreeMap::new();
+    for (key, value) in entries {
+        let (base, labels) = split_labels(key);
+        groups.entry(base).or_default().push((labels, *value));
+    }
+    groups
+}
+
+fn render_simple_family(
+    out: &mut String,
+    base: &str,
+    samples: &[(Option<&str>, u64)],
+    kind: &str,
+    suffix: &str,
+) {
+    let name = format!("{}{}", sanitize_name(base), suffix);
+    out.push_str(&format!("# HELP {name} Registry {kind} '{base}'.\n"));
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+    for (labels, value) in samples {
+        out.push_str(&name);
+        if let Some(block) = labels {
+            out.push_str(block);
+        }
+        out.push_str(&format!(" {value}\n"));
+    }
+}
+
+/// Nanoseconds rendered as decimal seconds. Rust's `f64` `Display` never
+/// uses scientific notation for these magnitudes and emits the shortest
+/// round-trip form, which Prometheus parses fine.
+fn ns_to_seconds(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    format!("{s}")
+}
+
+fn render_histogram_family(out: &mut String, base: &str, hist: &HistogramSnapshot) {
+    let name = format!("{}_seconds", sanitize_name(base));
+    out.push_str(&format!("# HELP {name} Log2-bucket duration histogram '{base}'.\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let highest = hist.buckets.iter().rposition(|&b| b > 0);
+    let mut cumulative = 0u64;
+    if let Some(top) = highest {
+        for (i, &b) in hist.buckets.iter().take(top + 1).enumerate() {
+            cumulative += b;
+            // Upper edge of log2 bucket i is 2^(i+1)-1 nanoseconds.
+            let le = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cumulative}\n", ns_to_seconds(le)));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+    out.push_str(&format!("{name}_sum {}\n", ns_to_seconds(hist.sum_ns)));
+    out.push_str(&format!("{name}_count {}\n", hist.count));
+}
+
+/// Renders the snapshot in Prometheus text exposition format 0.0.4.
+///
+/// An empty snapshot renders to an empty string — a valid (vacuous)
+/// exposition, which is what a fail-closed `/metrics` handler should fall
+/// back to.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (base, samples) in group_by_base(snapshot.gauges.iter()) {
+        render_simple_family(&mut out, base, &samples, "gauge", "");
+    }
+    for (base, samples) in group_by_base(snapshot.counters.iter()) {
+        render_simple_family(&mut out, base, &samples, "counter", "_total");
+    }
+    for (key, hist) in &snapshot.histograms {
+        render_histogram_family(&mut out, key, hist);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn names_are_sanitized_with_prefix() {
+        assert_eq!(sanitize_name("serve.jobs.accepted"), "tml_serve_jobs_accepted");
+        assert_eq!(sanitize_name("span.model_repair"), "tml_span_model_repair");
+        assert_eq!(sanitize_name("weird-name!"), "tml_weird_name_");
+    }
+
+    #[test]
+    fn counters_gauges_and_labels_render() {
+        let reg = Registry::new();
+        reg.incr_counter("serve.jobs.accepted", 8);
+        reg.incr_counter_labeled("serve.http.requests", &[("status", "202")], 5);
+        reg.incr_counter_labeled("serve.http.requests", &[("status", "429")], 2);
+        reg.set_gauge("serve.jobs.queued", 3);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE tml_serve_jobs_queued gauge\n"));
+        assert!(text.contains("tml_serve_jobs_queued 3\n"));
+        assert!(text.contains("# TYPE tml_serve_jobs_accepted_total counter\n"));
+        assert!(text.contains("tml_serve_jobs_accepted_total 8\n"));
+        // One TYPE line for the labeled family, two samples under it.
+        assert_eq!(text.matches("# TYPE tml_serve_http_requests_total counter").count(), 1);
+        assert!(text.contains("tml_serve_http_requests_total{status=\"202\"} 5\n"));
+        assert!(text.contains("tml_serve_http_requests_total{status=\"429\"} 2\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let reg = Registry::new();
+        // Samples in buckets 0 (1ns) and 2 (4..8ns).
+        reg.record_ns("span.solve", 1);
+        reg.record_ns("span.solve", 5);
+        reg.record_ns("span.solve", 6);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE tml_span_solve_seconds histogram\n"));
+        // Bucket 0 upper edge 1ns, bucket 1 edge 3ns, bucket 2 edge 7ns.
+        assert!(text.contains("tml_span_solve_seconds_bucket{le=\"0.000000001\"} 1\n"));
+        assert!(text.contains("tml_span_solve_seconds_bucket{le=\"0.000000003\"} 1\n"));
+        assert!(text.contains("tml_span_solve_seconds_bucket{le=\"0.000000007\"} 3\n"));
+        assert!(text.contains("tml_span_solve_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("tml_span_solve_seconds_sum 0.000000012\n"));
+        assert!(text.contains("tml_span_solve_seconds_count 3\n"));
+        assert!(
+            !text.contains("le=\"0.000000015\""),
+            "buckets above the highest occupied one are elided"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_exposition() {
+        assert_eq!(render_prometheus(&MetricsSnapshot::new()), "");
+    }
+
+    #[test]
+    fn empty_histogram_still_has_inf_bucket() {
+        let mut snap = MetricsSnapshot::new();
+        snap.histograms.insert("span.idle".into(), HistogramSnapshot::default());
+        let text = render_prometheus(&snap);
+        assert!(text.contains("tml_span_idle_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("tml_span_idle_seconds_count 0\n"));
+    }
+}

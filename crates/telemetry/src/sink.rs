@@ -111,7 +111,7 @@ mod tests {
     use std::sync::Arc;
 
     fn counter_event(value: u64) -> Event {
-        Event::Counter { name: "c".into(), value, thread: 1, at_ns: value }
+        Event::Counter { name: "c".into(), value, thread: 1, at_ns: value, trace: None }
     }
 
     #[test]
@@ -162,6 +162,7 @@ mod tests {
             name: "s".into(),
             thread: 1,
             at_ns: 0,
+            trace: None,
             fields: vec![],
         });
         let buf = sink.writer.into_inner();

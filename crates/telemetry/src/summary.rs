@@ -48,7 +48,7 @@ impl DegradationReport<'_> {
     }
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -78,6 +78,15 @@ pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
     }
     for (name, value) in &snapshot.counters {
         rows.push([name.clone(), value.to_string(), "-".into(), "-".into(), "-".into()]);
+    }
+    for (name, value) in &snapshot.gauges {
+        rows.push([
+            format!("{name} (gauge)"),
+            value.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
     }
     let header = ["metric", "count", "total", "mean", "max"];
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -141,7 +150,7 @@ mod tests {
     #[test]
     fn metrics_table_aligns_and_covers_all_entries() {
         let mut snap = MetricsSnapshot::new();
-        snap.incr("checker.sweeps", 42);
+        snap.incr("checker.solve.sweeps", 42);
         let h = HistogramSnapshot {
             count: 3,
             sum_ns: 3_600_000,
@@ -152,7 +161,7 @@ mod tests {
         let table = render_metrics(&snap);
         assert!(table.contains("metric"));
         assert!(table.contains("span.solver.solve"));
-        assert!(table.contains("checker.sweeps"));
+        assert!(table.contains("checker.solve.sweeps"));
         assert!(table.contains("42"));
         assert!(table.contains("3.60ms"));
         assert_eq!(render_metrics(&MetricsSnapshot::new()), "");

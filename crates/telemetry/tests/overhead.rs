@@ -54,10 +54,33 @@ fn disabled_spans_and_counters_allocate_nothing() {
         for i in 0..1000_u64 {
             let _outer = span!("model_repair.solve", restart = i);
             let _inner = span!("solver.restart", restart = i, dims = 4_u64);
-            counter!("solver.evaluations", i);
+            counter!("solver.penalty.evaluations", i);
         }
     });
     assert_eq!(allocs, 0, "disabled telemetry fast path must not allocate");
+}
+
+#[test]
+fn disabled_spans_allocate_nothing_under_a_trace_context() {
+    assert!(!tml_telemetry::enabled(), "no subscriber may be installed in this binary");
+
+    // Install the trace context BEFORE the counted window: the first
+    // TRACE_STACK push may allocate (Vec growth), which is install-time
+    // cost, not per-span cost.
+    let ctx = tml_telemetry::TraceContext::derive(7, 3).with_parent_span(11);
+    let _trace = tml_telemetry::with_trace(ctx);
+    {
+        let _g = span!("warmup", i = 1_u64);
+        counter!("warmup.count", 1);
+    }
+
+    let (allocs, _) = allocations_during(|| {
+        for i in 0..1000_u64 {
+            let _span = span!("runtime.job", job = i);
+            counter!("runtime.attempt.failures", 1);
+        }
+    });
+    assert_eq!(allocs, 0, "trace propagation must stay free while disabled");
 }
 
 #[test]

@@ -315,7 +315,7 @@ mod diagnostics_absorb_properties {
         if fallback == 1 {
             d.record_fallback(format!("fallback-{evals}"));
         }
-        d.telemetry.incr("solver.evaluations", evals);
+        d.telemetry.incr("solver.penalty.evaluations", evals);
         d
     }
 
@@ -329,7 +329,7 @@ mod diagnostics_absorb_properties {
             d.worst_residual,
             d.exhausted,
             fallbacks,
-            d.telemetry.counter("solver.evaluations"),
+            d.telemetry.counter("solver.penalty.evaluations"),
         )
     }
 
