@@ -19,7 +19,10 @@
 //! * a 100k-state layered-SCC checker solve with trace correlation fully
 //!   enabled (subscriber + installed `TraceContext`, so every per-block
 //!   span carries the trace id) vs. fully disabled — the end-to-end cost
-//!   of PR 8's tracing on the hot solver.
+//!   of PR 8's tracing on the hot solver;
+//! * WSN x40 Model Repair, lifting vs. penalty strategy: function-evaluation
+//!   counts and wall time for both, the eval-reduction factor the
+//!   branch-and-refine pruning buys, and the optimality-certificate gap.
 //!
 //! Run with `cargo run --release -p tml-bench --bin bench_report -- --quick`.
 //! `--quick` keeps every scenario deterministic and under a second; `--full`
@@ -35,7 +38,7 @@ use tml_car as car;
 use tml_checker::dtmc::until_probabilities;
 use tml_checker::{CheckOptions, LinearSolver};
 use tml_conformance::gen::{self, GOAL_LABEL};
-use tml_core::ModelRepair;
+use tml_core::{ModelRepair, RepairOptions, RepairStrategy};
 use tml_irl::maxent_irl;
 use tml_numerics::{CsrMatrix, Triplet, PAR_NNZ_THRESHOLD};
 use tml_optimizer::{ConstraintSense, Nlp, PenaltyOptions, PenaltySolver};
@@ -64,7 +67,7 @@ struct Scenario {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR8.json");
+    let mut out_path = String::from("BENCH_PR9.json");
     let mut quick = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -131,6 +134,45 @@ fn main() {
         s.metrics.insert("evaluations".into(), outcome.evaluations as f64);
         s.notes.insert("status".into(), format!("{:?}", outcome.status));
         s.notes.insert("verified".into(), outcome.verified.to_string());
+        scenarios.push(s);
+    }
+
+    // --- model repair: lifting vs. penalty strategy ----------------------
+    {
+        let config = WsnConfig::default();
+        let chain = build_dtmc(&config).expect("wsn chain");
+        let template = repair_template(&config).expect("wsn template");
+        let phi = attempts_property(40.0);
+        let run = |strategy| {
+            ModelRepair::with_options(RepairOptions { strategy, ..RepairOptions::default() })
+                .repair_dtmc(&chain, &phi, &template)
+                .expect("repair run")
+        };
+        let (penalty_ms, penalty) = time(|| run(RepairStrategy::Penalty));
+        let (lifting_ms, lifting) = time(|| run(RepairStrategy::Lifting));
+        assert_eq!(penalty.status, lifting.status, "strategies disagree on feasibility");
+        let mut s = Scenario {
+            name: "wsn_x40_lifting_vs_penalty".into(),
+            wall_ms: penalty_ms + lifting_ms,
+            ..Default::default()
+        };
+        s.metrics.insert("penalty_ms".into(), penalty_ms);
+        s.metrics.insert("lifting_ms".into(), lifting_ms);
+        s.metrics.insert("penalty_evaluations".into(), penalty.evaluations as f64);
+        s.metrics.insert("lifting_evaluations".into(), lifting.evaluations as f64);
+        s.metrics.insert(
+            "eval_reduction".into(),
+            penalty.evaluations as f64 / lifting.evaluations as f64,
+        );
+        s.metrics.insert("penalty_cost".into(), penalty.cost);
+        s.metrics.insert("lifting_cost".into(), lifting.cost);
+        if let Some(cert) = &lifting.certificate {
+            s.metrics.insert("certificate_lower_bound".into(), cert.lower_bound);
+            s.metrics.insert("certificate_gap".into(), cert.upper_bound - cert.lower_bound);
+            s.notes.insert("certified".into(), cert.certified.to_string());
+        }
+        s.notes.insert("status".into(), format!("{:?}", lifting.status));
+        s.notes.insert("verified".into(), lifting.verified.to_string());
         scenarios.push(s);
     }
 

@@ -23,6 +23,9 @@ pub enum CheckError {
         /// Human-readable description.
         detail: String,
     },
+    /// The parametric engine failed while lifting a property over a
+    /// parameter region (see [`crate::region`]).
+    Parametric(tml_parametric::ParametricError),
 }
 
 impl fmt::Display for CheckError {
@@ -34,6 +37,7 @@ impl fmt::Display for CheckError {
                 write!(f, "MDP query {query:?} needs an explicit min or max")
             }
             CheckError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+            CheckError::Parametric(e) => write!(f, "parametric error: {e}"),
         }
     }
 }
@@ -43,8 +47,15 @@ impl Error for CheckError {
         match self {
             CheckError::Model(e) => Some(e),
             CheckError::Numerics(e) => Some(e),
+            CheckError::Parametric(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<tml_parametric::ParametricError> for CheckError {
+    fn from(e: tml_parametric::ParametricError) -> Self {
+        CheckError::Parametric(e)
     }
 }
 

@@ -44,6 +44,7 @@ pub mod dtmc;
 mod error;
 pub mod mdp;
 mod options;
+pub mod region;
 mod result;
 mod run;
 

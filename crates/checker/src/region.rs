@@ -1,0 +1,186 @@
+//! Region verification: checking a PCTL bound over a whole **box** of
+//! parameter values at once.
+//!
+//! A point check answers "does `M(v) ⊨ φ` hold at this `v`?". Region
+//! verification answers the lifted question "does it hold for *every*
+//! `v` in a box?" (or for none, or neither) by compiling the property to
+//! a rational function of the parameters and bounding it with interval
+//! arithmetic plus branch-and-refine (see `tml_parametric::lifting`).
+//! This is the checker-side entry point the repair strategies build on.
+
+use tml_logic::CmpOp;
+use tml_parametric::{
+    BoundSense, CompiledConstraintSet, LiftingOptions, LiftingOutcome, ParametricDtmc,
+    RegionProblem, RegionRow, RegionSolver, RegionVerdict,
+};
+use tml_telemetry::span;
+
+use crate::CheckError;
+
+/// Verifies `P ⋈ bound [F target]` over a parameter box.
+///
+/// Compiles the reachability probability from the initial state to a
+/// rational function of the parameters, then classifies the box with the
+/// branch-and-refine region solver:
+///
+/// * [`RegionVerdict::AllSat`] — every parameter point in the box
+///   satisfies the bound;
+/// * [`RegionVerdict::AllViolating`] — no point does;
+/// * [`RegionVerdict::Unknown`] — the interval bounds decide neither way
+///   within the configured refinement caps.
+///
+/// Strict operators (`>`, `<`) are treated as their non-strict
+/// counterparts; callers needing a strict margin fold it into `bound`.
+///
+/// # Errors
+///
+/// [`CheckError::Parametric`] if symbolic elimination or interval
+/// bounding fails (e.g. a mis-sized box).
+pub fn reachability_region(
+    pdtmc: &ParametricDtmc,
+    target: &[bool],
+    op: CmpOp,
+    bound: f64,
+    bbox: &[(f64, f64)],
+    opts: &LiftingOptions,
+) -> Result<RegionVerdict, CheckError> {
+    let _span = span!("checker.region", states = pdtmc.num_states(), params = bbox.len());
+    let reach = pdtmc.reachability(target)?;
+    let f = reach[pdtmc.initial_state()].clone();
+    let outcome = solve_region(&f, op, bound, bbox, opts)?;
+    Ok(aggregate(&outcome))
+}
+
+/// Classifies one rational constraint `f(v) ⋈ bound` over a box,
+/// returning the full refinement outcome (leaf boxes, counts, spend).
+///
+/// # Errors
+///
+/// [`CheckError::Parametric`] on arity mismatches.
+pub fn solve_region(
+    f: &tml_parametric::RationalFunction,
+    op: CmpOp,
+    bound: f64,
+    bbox: &[(f64, f64)],
+    opts: &LiftingOptions,
+) -> Result<LiftingOutcome, CheckError> {
+    let set = CompiledConstraintSet::compile(std::slice::from_ref(f))?;
+    let sense = if op.is_lower_bound() { BoundSense::Ge } else { BoundSense::Le };
+    let problem = RegionProblem::new(set, vec![RegionRow::new(sense, bound)])?;
+    Ok(RegionSolver::with_options(*opts).solve(&problem, bbox)?)
+}
+
+/// Folds the per-leaf verdicts into one verdict for the whole box.
+fn aggregate(outcome: &LiftingOutcome) -> RegionVerdict {
+    if outcome.exhausted.is_none() && outcome.unknown_boxes == 0 {
+        if outcome.violating_boxes == 0 {
+            return RegionVerdict::AllSat;
+        }
+        if outcome.sat_boxes == 0 {
+            return RegionVerdict::AllViolating;
+        }
+    }
+    RegionVerdict::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_parametric::RationalFunction;
+
+    /// The doc chain: success probability `0.8 + v`, `v ∈ box`.
+    fn chain() -> ParametricDtmc {
+        let params = vec!["v".to_string()];
+        let v = RationalFunction::var(1, 0);
+        let c = |x: f64| RationalFunction::constant(1, x);
+        let mut b = ParametricDtmc::builder(3, params);
+        b.transition(0, 1, c(0.8).add(&v)).unwrap();
+        b.transition(0, 2, c(0.2).sub(&v)).unwrap();
+        b.transition(1, 1, c(1.0)).unwrap();
+        b.transition(2, 2, c(1.0)).unwrap();
+        b.label(1, "ok").unwrap();
+        b.build().unwrap()
+    }
+
+    fn target(p: &ParametricDtmc) -> Vec<bool> {
+        p.labeling().mask("ok")
+    }
+
+    #[test]
+    fn all_sat_region() {
+        let p = chain();
+        // P ≥ 0.9 holds on v ∈ [0.1, 0.19] (reach prob = 0.8 + v ≥ 0.9).
+        let v = reachability_region(
+            &p,
+            &target(&p),
+            CmpOp::Ge,
+            0.9,
+            &[(0.11, 0.19)],
+            &LiftingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(v, RegionVerdict::AllSat);
+    }
+
+    #[test]
+    fn all_violating_region() {
+        let p = chain();
+        let v = reachability_region(
+            &p,
+            &target(&p),
+            CmpOp::Ge,
+            0.9,
+            &[(-0.19, 0.05)],
+            &LiftingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(v, RegionVerdict::AllViolating);
+    }
+
+    #[test]
+    fn mixed_region_is_unknown() {
+        let p = chain();
+        // The box straddles the v = 0.1 threshold, so neither verdict can
+        // cover all of it.
+        let v = reachability_region(
+            &p,
+            &target(&p),
+            CmpOp::Ge,
+            0.9,
+            &[(-0.19, 0.19)],
+            &LiftingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(v, RegionVerdict::Unknown);
+    }
+
+    #[test]
+    fn upper_bound_sense() {
+        let p = chain();
+        // P ≤ 0.95 holds everywhere on v ∈ [-0.19, 0.1].
+        let v = reachability_region(
+            &p,
+            &target(&p),
+            CmpOp::Le,
+            0.95,
+            &[(-0.19, 0.1)],
+            &LiftingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(v, RegionVerdict::AllSat);
+    }
+
+    #[test]
+    fn wrong_arity_box_errors() {
+        let p = chain();
+        let err = reachability_region(
+            &p,
+            &target(&p),
+            CmpOp::Ge,
+            0.9,
+            &[(0.0, 0.1), (0.0, 0.1)],
+            &LiftingOptions::default(),
+        );
+        assert!(matches!(err, Err(CheckError::Parametric(_))));
+    }
+}

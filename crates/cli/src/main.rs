@@ -6,6 +6,8 @@
 //! tml info     MODEL.tml
 //! tml check    MODEL.tml 'P>=0.9 [ F "goal" ]'
 //! tml query    MODEL.tml 'Rmax=? [ F "done" ]'
+//! tml repair   MODEL.tml 'P>=0.95 [ F "goal" ]' --param v:-0.1:0.1 \
+//!              --nudge 0:1:v:1 --nudge 0:2:v:-1 --strategy lifting
 //! tml simulate MODEL.tml [STEPS] [SEED]
 //! tml witness  MODEL.tml goal
 //! tml batch    32 --journal batch.jsonl --report report.jsonl
@@ -49,6 +51,10 @@ const USAGE: &str = "usage:
   tml info     MODEL            show model statistics
   tml check    MODEL PROPERTY   check a PCTL property (exit code 1 if violated)
   tml query    MODEL QUERY      evaluate a numeric query (P=?, Rmax=?, ...)
+  tml repair   MODEL PROPERTY   perturb transition probabilities (within the
+                                --param/--nudge template) until PROPERTY holds,
+                                minimizing the Frobenius cost (exit code 1 if
+                                infeasible or the budget ran out)
   tml simulate MODEL [STEPS] [SEED]
                                 sample one trajectory (MDPs use the uniform policy)
   tml witness  MODEL LABEL      most probable path to a LABEL state (DTMCs)
@@ -88,6 +94,17 @@ options (check):
   --simulate N       cross-check the verdict with N seeded Monte Carlo
                      trajectories (DTMC models; prints the confidence
                      interval and whether it corroborates the checker)
+
+options (repair; dtmc models):
+  --param NAME:LO:HI           declare a repair parameter and its admissible
+                               range (repeatable; at least one required)
+  --nudge FROM:TO:PARAM:COEFF  perturb p(FROM->TO) by COEFF * PARAM
+                               (repeatable; at least one required)
+  --strategy S                 penalty (default; the paper's multi-start
+                               local search), lifting (branch-and-refine
+                               region verification with a sound optimality
+                               certificate) or auto (lifting when the
+                               property compiles symbolically)
 
 options (batch):
   --corpus-seed S    seed deriving every job (default 0)
@@ -138,6 +155,16 @@ struct CliOptions {
     simulate: Option<u64>,
     batch: BatchFlags,
     serve: ServeFlags,
+    repair: RepairFlags,
+}
+
+/// Flags specific to `tml repair`; the raw `--param`/`--nudge` specs are
+/// validated by the command (so errors name the offending spec).
+#[derive(Default)]
+struct RepairFlags {
+    params: Vec<String>,
+    nudges: Vec<String>,
+    strategy: Option<String>,
 }
 
 /// Flags specific to `tml serve` (the service also reuses most of the
@@ -218,6 +245,7 @@ fn dispatch(args: &[String], opts: &CliOptions) -> Result<u8, UsageError> {
         "info" => info(arg(args, 1, "MODEL")?).map(|()| 0),
         "check" => check(arg(args, 1, "MODEL")?, arg(args, 2, "PROPERTY")?, opts),
         "query" => query(arg(args, 1, "MODEL")?, arg(args, 2, "QUERY")?, &opts.budget).map(|()| 0),
+        "repair" => repair(arg(args, 1, "MODEL")?, arg(args, 2, "PROPERTY")?, opts),
         "simulate" => simulate(
             arg(args, 1, "MODEL")?,
             args.get(2).map(String::as_str),
@@ -246,6 +274,7 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
         simulate: None,
         batch: BatchFlags::default(),
         serve: ServeFlags::default(),
+        repair: RepairFlags::default(),
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -333,6 +362,21 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
                 let path =
                     it.next().ok_or_else(|| UsageError("--request-log needs a path".into()))?;
                 opts.serve.request_log = Some(path.clone());
+            }
+            "--param" => {
+                let spec =
+                    it.next().ok_or_else(|| UsageError("--param needs NAME:LO:HI".into()))?;
+                opts.repair.params.push(spec.clone());
+            }
+            "--nudge" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| UsageError("--nudge needs FROM:TO:PARAM:COEFF".into()))?;
+                opts.repair.nudges.push(spec.clone());
+            }
+            "--strategy" => {
+                let name = it.next().ok_or_else(|| UsageError("--strategy needs a name".into()))?;
+                opts.repair.strategy = Some(name.clone());
             }
             "--simulate" => {
                 let n: u64 = it
@@ -491,6 +535,108 @@ fn query(path: &str, q: &str, budget: &Budget) -> Result<(), UsageError> {
     println!("value at initial state {initial}: {}", values[initial]);
     print!("{}", diag.render_degradation());
     Ok(())
+}
+
+/// `tml repair`: Model Repair over the perturbation template declared with
+/// `--param`/`--nudge`. See `tml_core::ModelRepair` for the algorithm and
+/// DESIGN.md §15 for the lifting strategy and its certificate.
+fn repair(path: &str, property: &str, opts: &CliOptions) -> Result<u8, UsageError> {
+    use tml_core::{
+        ModelRepair, PerturbationTemplate, RepairOptions, RepairStatus, RepairStrategy,
+    };
+
+    let model = load(path)?;
+    let ModelFile::Dtmc(m) = &model else {
+        return Err(UsageError(
+            "repair is defined for dtmc models (--nudge addresses FROM:TO transitions)".into(),
+        ));
+    };
+    let phi = parse_formula(property).map_err(|e| UsageError(e.to_string()))?;
+    let flags = &opts.repair;
+    if flags.params.is_empty() {
+        return Err(UsageError("repair needs at least one --param NAME:LO:HI".into()));
+    }
+    if flags.nudges.is_empty() {
+        return Err(UsageError("repair needs at least one --nudge FROM:TO:PARAM:COEFF".into()));
+    }
+    let strategy = match flags.strategy.as_deref() {
+        None | Some("penalty") => RepairStrategy::Penalty,
+        Some("lifting") => RepairStrategy::Lifting,
+        Some("auto") => RepairStrategy::Auto,
+        Some(other) => {
+            return Err(UsageError(format!(
+                "unknown strategy {other:?} (expected penalty, lifting or auto)"
+            )));
+        }
+    };
+
+    let mut template = PerturbationTemplate::new();
+    let mut index = std::collections::HashMap::new();
+    for spec in &flags.params {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [name, lo, hi] = parts[..] else {
+            return Err(UsageError(format!("--param {spec:?}: expected NAME:LO:HI")));
+        };
+        let lo: f64 =
+            lo.parse().map_err(|_| UsageError(format!("--param {spec:?}: LO must be a number")))?;
+        let hi: f64 =
+            hi.parse().map_err(|_| UsageError(format!("--param {spec:?}: HI must be a number")))?;
+        if index.contains_key(name) {
+            return Err(UsageError(format!("--param {spec:?}: duplicate parameter {name:?}")));
+        }
+        index.insert(name.to_owned(), template.parameter(name, lo, hi));
+    }
+    for spec in &flags.nudges {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [from, to, param, coeff] = parts[..] else {
+            return Err(UsageError(format!("--nudge {spec:?}: expected FROM:TO:PARAM:COEFF")));
+        };
+        let from: usize = from
+            .parse()
+            .map_err(|_| UsageError(format!("--nudge {spec:?}: FROM must be a state index")))?;
+        let to: usize = to
+            .parse()
+            .map_err(|_| UsageError(format!("--nudge {spec:?}: TO must be a state index")))?;
+        let coeff: f64 = coeff
+            .parse()
+            .map_err(|_| UsageError(format!("--nudge {spec:?}: COEFF must be a number")))?;
+        let &p = index
+            .get(param)
+            .ok_or_else(|| UsageError(format!("--nudge {spec:?}: unknown parameter {param:?}")))?;
+        template
+            .nudge(from, to, p, coeff)
+            .map_err(|e| UsageError(format!("--nudge {spec}: {e}")))?;
+    }
+
+    let ropts = RepairOptions { strategy, ..RepairOptions::default() };
+    let outcome = ModelRepair::with_options(ropts)
+        .with_budget(opts.budget.clone())
+        .repair_dtmc(m, &phi, &template)
+        .map_err(|e| UsageError(e.to_string()))?;
+
+    println!("property: {phi}");
+    println!("status:   {:?}", outcome.status);
+    for (name, value) in &outcome.parameters {
+        println!("  {name} = {value}");
+    }
+    println!("cost (Frobenius): {}", outcome.cost);
+    println!("verified: {}", outcome.verified);
+    println!("solver evaluations: {}", outcome.evaluations);
+    if let Some(cert) = &outcome.certificate {
+        println!(
+            "certificate: cost in [{}, {}] (epsilon {}, certified: {})",
+            cert.lower_bound, cert.upper_bound, cert.epsilon, cert.certified
+        );
+    }
+    for fallback in &outcome.diagnostics.fallbacks {
+        println!("fallback: {fallback}");
+    }
+    print!("{}", outcome.diagnostics.render_degradation());
+    // Mirror `check`: feasibility failures exit 1, usage errors exit 2.
+    Ok(match outcome.status {
+        RepairStatus::Repaired | RepairStatus::AlreadySatisfied => 0,
+        RepairStatus::Infeasible | RepairStatus::BudgetExhausted => 1,
+    })
 }
 
 fn simulate(path: &str, steps: Option<&str>, seed: Option<&str>) -> Result<(), UsageError> {
@@ -783,6 +929,64 @@ mod tests {
         // F "done" holds with probability 1, so the <= 0.5 bound is violated.
         assert_eq!(run(&s(&["check", p, "P<=0.5 [ F \"done\" ]"])).unwrap(), 1);
         let _ = std::fs::remove_file(chain);
+    }
+
+    // Reaches "ok" with probability 0.8; repairable up to 0.95 by shifting
+    // mass from the failure edge.
+    const REPAIR_CHAIN: &str =
+        "dtmc\nstates 3\nlabel \"ok\" = 1\n0 -> 1: 0.8, 2: 0.2\n1 -> 1: 1.0\n2 -> 2: 1.0\n";
+
+    #[test]
+    fn repair_command_all_strategies() {
+        let chain = write_temp("chain-repair", REPAIR_CHAIN);
+        let p = chain.to_str().unwrap();
+        let template = ["--param", "v:-0.15:0.15", "--nudge", "0:1:v:1", "--nudge", "0:2:v:-1"];
+        for strategy in ["penalty", "lifting", "auto"] {
+            let mut argv = vec!["repair", p, "P>=0.9 [ F \"ok\" ]"];
+            argv.extend_from_slice(&template);
+            argv.extend_from_slice(&["--strategy", strategy]);
+            assert_eq!(run(&s(&argv)).unwrap(), 0, "strategy {strategy}");
+        }
+        // The default strategy is penalty; no --strategy needed.
+        let mut argv = vec!["repair", p, "P>=0.9 [ F \"ok\" ]"];
+        argv.extend_from_slice(&template);
+        assert_eq!(run(&s(&argv)).unwrap(), 0);
+        // A bound past the template's reach is infeasible: exit code 1.
+        let mut argv = vec!["repair", p, "P>=0.999 [ F \"ok\" ]"];
+        argv.extend_from_slice(&template);
+        assert_eq!(run(&s(&argv)).unwrap(), 1);
+        let _ = std::fs::remove_file(chain);
+    }
+
+    #[test]
+    fn repair_flag_validation() {
+        let chain = write_temp("chain-repair-err", REPAIR_CHAIN);
+        let p = chain.to_str().unwrap();
+        let phi = "P>=0.9 [ F \"ok\" ]";
+        // Missing template pieces.
+        assert!(run(&s(&["repair", p, phi])).is_err());
+        assert!(run(&s(&["repair", p, phi, "--param", "v:-0.1:0.1"])).is_err());
+        // Malformed specs.
+        let ok_nudge = ["--nudge", "0:1:v:1"];
+        let with = |param: &str, rest: &[&str]| {
+            let mut argv = vec!["repair", p, phi, "--param", param];
+            argv.extend_from_slice(rest);
+            run(&s(&argv))
+        };
+        assert!(with("v:low:high", &ok_nudge).is_err());
+        assert!(with("v", &ok_nudge).is_err());
+        assert!(with("v:-0.1:0.1", &["--nudge", "0:1:w:1"]).is_err());
+        assert!(with("v:-0.1:0.1", &["--nudge", "0:1:v"]).is_err());
+        assert!(with("v:-0.1:0.1", &["--param", "v:0:1", "--nudge", "0:1:v:1"]).is_err());
+        assert!(with("v:-0.1:0.1", &["--nudge", "0:1:v:1", "--strategy", "magic"]).is_err());
+        let _ = std::fs::remove_file(chain);
+        // MDPs are rejected (nudges address FROM:TO transitions).
+        let mdp = write_temp("mdp-repair", MDP);
+        let pm = mdp.to_str().unwrap();
+        assert!(
+            run(&s(&["repair", pm, phi, "--param", "v:-0.1:0.1", "--nudge", "0:1:v:1"])).is_err()
+        );
+        let _ = std::fs::remove_file(mdp);
     }
 
     #[test]

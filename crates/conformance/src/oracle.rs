@@ -14,6 +14,8 @@
 //! | `repair-recheck` | model repair verdict | simulation of the repaired model |
 //! | `scc-vs-dense` | SCC-decomposed block solve | dense LU solve |
 //! | `interval-contains-direct` | interval-iteration bounds | dense LU (must lie inside) |
+//! | `lifting-vs-penalty` | parameter-lifting repair (checker re-verified) | penalty repair (cost never better by more than ε) |
+//! | `interval-bound-contains-point` | interval bound over a parameter box | exact tape evaluation at points inside (must lie inside) |
 //!
 //! On disagreement the harness *shrinks* the model while the pair still
 //! disagrees — halving the state space (out-of-range transitions are
@@ -36,7 +38,7 @@ use tml_telemetry::{counter, span};
 use crate::gen::{self, ModelFamily, GOAL_LABEL};
 use crate::sim::{SimOptions, Simulator};
 use crate::stats::{hoeffding_half_width, Verdict};
-use tml_core::{ModelRepair, PerturbationTemplate, RepairStatus};
+use tml_core::{ModelRepair, PerturbationTemplate, RepairOptions, RepairStatus, RepairStrategy};
 
 /// A deliberate fault for validating the harness end-to-end: one engine's
 /// output is biased, *conditioned on model size*, so a correct shrinker
@@ -102,6 +104,14 @@ pub enum EnginePair {
     /// Interval-iteration bounds must contain the dense LU value at every
     /// state (a containment check, not a distance check).
     IntervalContainsDirect,
+    /// Parameter-lifting repair vs penalty repair on the same job: the
+    /// lifting repair must re-verify under the concrete checker and its
+    /// cost must never exceed the penalty repair's by more than ε.
+    LiftingVsPenalty,
+    /// Interval bounds of every compiled constraint over random parameter
+    /// sub-boxes must contain the exact tape evaluation at random points
+    /// inside them (the soundness invariant region pruning rests on).
+    IntervalBoundContainsPoint,
 }
 
 impl EnginePair {
@@ -116,6 +126,8 @@ impl EnginePair {
             EnginePair::RepairRecheck,
             EnginePair::SccVsDense,
             EnginePair::IntervalContainsDirect,
+            EnginePair::LiftingVsPenalty,
+            EnginePair::IntervalBoundContainsPoint,
         ]
     }
 
@@ -130,6 +142,8 @@ impl EnginePair {
             EnginePair::RepairRecheck => "repair-recheck",
             EnginePair::SccVsDense => "scc-vs-dense",
             EnginePair::IntervalContainsDirect => "interval-contains-direct",
+            EnginePair::LiftingVsPenalty => "lifting-vs-penalty",
+            EnginePair::IntervalBoundContainsPoint => "interval-bound-contains-point",
         }
     }
 
@@ -238,6 +252,7 @@ impl Oracle {
                 &model,
                 &mut out,
             );
+            self.run_pair_on_model(EnginePair::LiftingVsPenalty, family, seed, &model, &mut out);
         }
         self.run_parametric_pairs(seed, &mut out);
         counter!("oracle.diff.seeds", 1);
@@ -262,6 +277,7 @@ impl Oracle {
                 EnginePair::RepairRecheck => self.eval_repair_recheck(d, seed),
                 EnginePair::SccVsDense => self.eval_scc_vs_dense(d),
                 EnginePair::IntervalContainsDirect => self.eval_interval_contains_direct(d),
+                EnginePair::LiftingVsPenalty => self.eval_lifting_vs_penalty(d),
                 _ => None,
             }
         };
@@ -513,6 +529,54 @@ impl Oracle {
         }
     }
 
+    /// Runs the same repair job under both search strategies. Soundness
+    /// demands (a) a lifting repair re-verifies under an independent dense
+    /// solve, and (b) whenever the penalty search finds a verified repair,
+    /// lifting must not prune it away — it must repair too, at a cost no
+    /// worse than the certificate tolerance ε.
+    fn eval_lifting_vs_penalty(&self, d: &Dtmc) -> PairEval {
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; d.num_states()];
+        let current = self.direct_value(d, &phi, &target)?;
+        let bound = (current + 0.02).min(0.999);
+        if bound <= current {
+            return None; // already at the ceiling; nothing to repair
+        }
+        let template = mass_shift_template(d, &phi, &target)?;
+        let formula = StateFormula::Prob {
+            opt: None,
+            op: CmpOp::Ge,
+            bound,
+            path: PathFormula::Eventually {
+                sub: Box::new(StateFormula::Atom(GOAL_LABEL.to_owned())),
+                bound: None,
+            },
+        };
+        let penalty = ModelRepair::new().repair_dtmc(d, &formula, &template).ok()?;
+        let opts = RepairOptions { strategy: RepairStrategy::Lifting, ..RepairOptions::default() };
+        let lifting = ModelRepair::with_options(opts).repair_dtmc(d, &formula, &template).ok()?;
+        // (a) independent re-check of the lifting repair.
+        if lifting.status == RepairStatus::Repaired && lifting.verified {
+            let m = lifting.model.as_ref()?;
+            let val = self.direct_value(m, &phi, &m.labeling().mask(GOAL_LABEL))?;
+            if val < bound - 1e-6 {
+                return Some((val, bound, bound - val));
+            }
+        }
+        // (b) lifting never worse than penalty by more than ε.
+        if penalty.status == RepairStatus::Repaired && penalty.verified {
+            if lifting.status != RepairStatus::Repaired {
+                // The region pruner discarded a feasible repair: unsound.
+                return Some((f64::INFINITY, penalty.cost, f64::INFINITY));
+            }
+            let eps = opts.lifting.epsilon;
+            if lifting.cost > penalty.cost + eps {
+                return Some((lifting.cost, penalty.cost, lifting.cost - penalty.cost));
+            }
+        }
+        None
+    }
+
     /// Compiled tapes vs interpreted evaluation vs instantiate-and-check on
     /// a generated parametric DTMC.
     fn run_parametric_pairs(&self, seed: u64, out: &mut SeedOutcome) {
@@ -568,6 +632,64 @@ impl Oracle {
             }
         }
         self.record_parametric(EnginePair::TapeVsInstantiated, seed, n, worst, out);
+
+        // Pair: the interval bound of every compiled tape over a random
+        // sub-box must contain the exact tape value at random points inside
+        // it — the soundness invariant all region pruning rests on. Under
+        // `--inject` the bound is deliberately narrowed by the bias, which
+        // the containment check must catch.
+        let mut worst: PairEval = None;
+        // Splitmix-style generator: deterministic per seed, independent of
+        // the model-generation stream.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1BAD_B002;
+        let mut frac = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        const SLACK: f64 = 1e-9;
+        'boxes: for round in 0..3 {
+            // Round 0 uses a degenerate (point) box: its bound collapses to
+            // the exact value, the sharpest containment test there is.
+            let bbox: Vec<(f64, f64)> = generated
+                .lo
+                .iter()
+                .zip(&generated.hi)
+                .map(|(&l, &h)| {
+                    let (a, b) = if round == 0 {
+                        let a = frac();
+                        (a, a)
+                    } else {
+                        let (a, b) = (frac(), frac());
+                        (a.min(b), a.max(b))
+                    };
+                    (l + a * (h - l), l + b * (h - l))
+                })
+                .collect();
+            for _ in 0..3 {
+                let point: Vec<f64> = bbox.iter().map(|&(l, h)| l + frac() * (h - l)).collect();
+                for tape in &tapes {
+                    let Ok(bound) = tape.bound(&bbox) else { continue };
+                    let Ok(val) = tape.eval(&point) else { continue };
+                    let (mut lo_b, mut hi_b) = (bound.lo, bound.hi);
+                    if let Some(inj) = self.opts.inject {
+                        if n >= inj.min_states {
+                            // Deliberately unsound narrowing (self-test).
+                            lo_b += inj.bias;
+                            hi_b -= inj.bias;
+                        }
+                    }
+                    if val < lo_b - SLACK {
+                        worst = Some((val, lo_b, lo_b - val));
+                        break 'boxes;
+                    }
+                    if val > hi_b + SLACK {
+                        worst = Some((val, hi_b, val - hi_b));
+                        break 'boxes;
+                    }
+                }
+            }
+        }
+        self.record_parametric(EnginePair::IntervalBoundContainsPoint, seed, n, worst, out);
     }
 
     fn record_parametric(
@@ -785,8 +907,34 @@ mod tests {
         let oracle = Oracle::new(OracleOptions { trajectories: 4_000, ..Default::default() });
         let out = oracle.run_seed(7, ModelFamily::all());
         assert!(out.disagreements.is_empty(), "unexpected disagreements: {:?}", out.disagreements);
-        // Every family ran the six model pairs, plus the two parametric pairs.
-        assert!(out.checks.len() >= ModelFamily::all().len() * 6);
+        // Every family ran the seven model pairs, plus the three parametric
+        // pairs.
+        assert!(out.checks.len() >= ModelFamily::all().len() * 7);
+    }
+
+    #[test]
+    fn injected_narrowed_bound_is_caught_by_containment_pair() {
+        // The --inject self-test contract: planting a deliberately unsound
+        // (narrowed) interval bound must surface as a containment
+        // disagreement, proving the oracle can actually see such bugs.
+        let inject = Injection { min_states: 5, bias: 1e-3 };
+        let oracle = Oracle::new(OracleOptions {
+            trajectories: 2_000,
+            inject: Some(inject),
+            ..Default::default()
+        });
+        let out = oracle.run_seed(3, &[]);
+        let hit: Vec<_> = out
+            .disagreements
+            .iter()
+            .filter(|d| d.pair == EnginePair::IntervalBoundContainsPoint)
+            .collect();
+        assert_eq!(hit.len(), 1, "the narrowed bound must surface: {:?}", out.disagreements);
+        assert!(hit[0].delta > 0.0);
+        // Without injection the same seed passes clean.
+        let clean = Oracle::new(OracleOptions { trajectories: 2_000, ..Default::default() })
+            .run_seed(3, &[]);
+        assert!(clean.disagreements.is_empty(), "{:?}", clean.disagreements);
     }
 
     #[test]

@@ -20,12 +20,15 @@ use tml_logic::StateFormula;
 use tml_models::{learn, Dtmc, DtmcBuilder, MlOptions, TraceDataset};
 use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{Nlp, PenaltySolver};
-use tml_parametric::{ParametricDtmc, Polynomial, RationalFunction};
+use tml_parametric::{
+    BoundSense, CompiledConstraintSet, LiftingOutcome, OptimalityCertificate, ParametricDtmc,
+    Polynomial, RationalFunction, RegionProblem, RegionRow, RegionSolver,
+};
 use tml_telemetry::span;
 
 use crate::constraint::compile_constraint;
 use crate::model_repair::{absorb_solution, infeasible_status, repaired_status, RepairStatus};
-use crate::{RepairError, RepairOptions};
+use crate::{RepairError, RepairOptions, RepairStrategy};
 
 /// Static decoration applied to learned models: labels, rewards and the
 /// initial state (these are not derivable from traces alone).
@@ -103,6 +106,11 @@ pub struct DataRepairOutcome {
     /// feasibility — a warm start for a retry of the same job (see
     /// [`DataRepair::start_from`]). `None` when no solver ran.
     pub solver_point: Option<Vec<f64>>,
+    /// Soundness certificate produced by the parameter-lifting strategy:
+    /// the returned effort against a sound interval lower bound on the
+    /// effort over the entire feasible region. `None` on the pure penalty
+    /// path and when lifting fell back mid-refinement.
+    pub certificate: Option<OptimalityCertificate>,
     /// What the repair spent and which degradation paths (solver
     /// fallbacks, accepted residuals, budget exhaustion) were taken.
     pub diagnostics: Diagnostics,
@@ -224,6 +232,7 @@ impl DataRepair {
                 verified_by_simulation: None,
                 evaluations: 0,
                 solver_point: None,
+                certificate: None,
                 diagnostics: diag,
             });
         }
@@ -243,7 +252,7 @@ impl DataRepair {
                 }
             }
         }
-        let mut nlp = Nlp::new(g, boxes)?;
+        let mut nlp = Nlp::new(g, boxes.clone())?;
         {
             let m = masses.clone();
             let m_grad = masses.clone();
@@ -261,14 +270,23 @@ impl DataRepair {
         // functions are numerically fragile in f64, so fall back to
         // re-learn-and-check beyond the threshold.
         const MAX_SYMBOLIC_DEGREE: u32 = 16;
-        match compile_constraint(&pdtmc, formula) {
-            Ok(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
+        let mut lifted: Option<LiftingOutcome> = None;
+        let compiled = match compile_constraint(&pdtmc, formula) {
+            Ok(sc) => Some(sc),
+            Err(RepairError::UnsupportedProperty { .. }) => None,
+            Err(other) => return Err(other),
+        };
+        match &compiled {
+            Some(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
                 // Flatten the symbolic rational function to an evaluation
                 // tape and register its quotient-rule gradient, so the
                 // solver's analytic merit path applies (no differencing).
                 let f = sc.function.compile();
                 let f_grad = f.clone();
                 let margin = self.margin(sc.op);
+                if self.opts.strategy != RepairStrategy::Penalty {
+                    lifted = Some(self.lift_regions(sc, margin, &masses, &boxes)?);
+                }
                 nlp.constraint_with_grad(
                     "property",
                     sense_of(sc.op),
@@ -282,7 +300,19 @@ impl DataRepair {
                     },
                 );
             }
-            Ok(_) | Err(RepairError::UnsupportedProperty { .. }) => {
+            _ => {
+                if let Some(sc) = &compiled {
+                    // Interval enclosures stay sound at any degree, so
+                    // region pruning and warm starts still apply even
+                    // though pointwise NLP evaluation does not.
+                    if self.opts.strategy != RepairStrategy::Penalty {
+                        let margin = self.margin(sc.op);
+                        lifted = Some(self.lift_regions(sc, margin, &masses, &boxes)?);
+                    }
+                } else if self.opts.strategy == RepairStrategy::Lifting {
+                    // Lifting was requested but needs the symbolic path.
+                    diag.record_fallback("lifting: property not symbolic, penalty search used");
+                }
                 let (op, bound) = top_level_bound(formula)?;
                 let margin = self.margin(op);
                 let ds = dataset.clone();
@@ -303,13 +333,60 @@ impl DataRepair {
                     }
                 });
             }
-            Err(other) => return Err(other),
         }
 
-        // Start from "keep everything", then any caller-provided points.
-        let mut solver =
-            PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
+        // Digest the region verdicts exactly as Model Repair does: a
+        // fully-violating box proves infeasibility, an exhausted refinement
+        // degrades to the full penalty search, surviving boxes warm-start a
+        // restart-free solve.
+        let mut lifting_evals = 0usize;
+        let mut solver_opts = self.opts.solver;
+        let mut region_starts: Vec<Vec<f64>> = Vec::new();
+        if let Some(lift) = &lifted {
+            lifting_evals = lift.evaluations;
+            diag.evaluations += lift.evaluations as u64;
+            diag.telemetry.incr("parametric.lifting.evaluations", lift.evaluations as u64);
+            if lift.exhausted.is_some() {
+                diag.record_fallback(
+                    "lifting: budget exhausted mid-refinement, penalty search used",
+                );
+                lifted = None;
+            } else if lift.all_violating() {
+                return Ok(DataRepairOutcome {
+                    status: RepairStatus::Infeasible,
+                    keep_weights: dataset.class_names().iter().map(|n| (n.clone(), 1.0)).collect(),
+                    effort: 0.0,
+                    dropped_mass: 0.0,
+                    model: None,
+                    verified: false,
+                    verified_by_simulation: None,
+                    evaluations: lifting_evals,
+                    solver_point: None,
+                    certificate: None,
+                    diagnostics: diag,
+                });
+            } else {
+                region_starts = lift.warm_starts(3);
+                solver_opts.restarts = 0;
+                if !lift.candidates.is_empty() && solver_opts.penalty_rounds > 3 {
+                    // The warm starts already passed a pointwise
+                    // feasibility screen, so the slow μ ramp-in rounds are
+                    // redundant: start the schedule at the μ it would have
+                    // reached, keeping the final μ identical.
+                    solver_opts.penalty_init *=
+                        solver_opts.penalty_growth.powi(solver_opts.penalty_rounds as i32 - 3);
+                    solver_opts.penalty_rounds = 3;
+                }
+            }
+        }
+
+        // Start from "keep everything", then region survivors, then any
+        // caller-provided points.
+        let mut solver = PenaltySolver::with_options(solver_opts).with_budget(self.budget.clone());
         solver.start_from(vec![1.0; g]);
+        for w in region_starts {
+            solver.start_from(w);
+        }
         for w in &self.warm_starts {
             solver.start_from(w.clone());
         }
@@ -328,8 +405,9 @@ impl DataRepair {
                 model: None,
                 verified: false,
                 verified_by_simulation: None,
-                evaluations: sol.evaluations,
+                evaluations: sol.evaluations + lifting_evals,
                 solver_point: Some(sol.x.clone()),
+                certificate: None,
                 diagnostics: diag,
             });
         }
@@ -337,6 +415,16 @@ impl DataRepair {
         let verdict = checker.check_dtmc(&model, formula)?;
         diag.absorb(verdict.diagnostics());
         let verified = verdict.holds();
+        let certificate = lifted.as_ref().map(|lift| {
+            let lower_bound = lift.feasible_lower_bound();
+            let epsilon = self.opts.lifting.epsilon;
+            OptimalityCertificate {
+                lower_bound,
+                upper_bound: effort,
+                epsilon,
+                certified: verified && effort - lower_bound <= epsilon,
+            }
+        });
         Ok(DataRepairOutcome {
             status: repaired_status(verified, &diag),
             keep_weights,
@@ -345,8 +433,9 @@ impl DataRepair {
             model: Some(model),
             verified,
             verified_by_simulation: None,
-            evaluations: sol.evaluations,
+            evaluations: sol.evaluations + lifting_evals,
             solver_point: Some(sol.x.clone()),
+            certificate,
             diagnostics: diag,
         })
     }
@@ -417,6 +506,40 @@ impl DataRepair {
             b.state_reward(structure, *s, RationalFunction::constant(g, *r))?;
         }
         Ok(b.build()?)
+    }
+
+    /// Runs branch-and-refine region verification over the keep-weight box:
+    /// the property's rational function becomes the single [`RegionRow`]
+    /// (threshold shifted by the margin so "all-sat" means margin-feasible,
+    /// matching what the penalty solver accepts), and the teaching-effort
+    /// objective `Σ m_g (1 − w_g)²` is interval-bounded alongside to order
+    /// surviving boxes and derive the certificate's lower bound.
+    fn lift_regions(
+        &self,
+        sc: &crate::constraint::SymbolicConstraint,
+        margin: f64,
+        masses: &[f64],
+        boxes: &[(f64, f64)],
+    ) -> Result<LiftingOutcome, RepairError> {
+        let g = masses.len();
+        let set = CompiledConstraintSet::compile(std::slice::from_ref(&sc.function))?;
+        let row = if sc.op.is_lower_bound() {
+            RegionRow::new(BoundSense::Ge, sc.bound + margin)
+        } else {
+            RegionRow::new(BoundSense::Le, sc.bound - margin)
+        };
+        // effort = Σ_g m_g·(1 − w_g)² as a polynomial in w.
+        let mut effort = Polynomial::zero(g);
+        for (i, &m) in masses.iter().enumerate() {
+            if m != 0.0 {
+                let lin = Polynomial::constant(g, 1.0).add(&Polynomial::var(g, i).scale(-1.0));
+                effort = effort.add(&lin.mul(&lin).scale(m));
+            }
+        }
+        let objective = RationalFunction::from_poly(effort).compile();
+        let problem = RegionProblem::new(set, vec![row])?.with_objective(objective);
+        let solver = RegionSolver::with_options(self.opts.lifting).with_budget(self.budget.clone());
+        Ok(solver.solve(&problem, boxes)?)
     }
 
     fn margin(&self, op: tml_logic::CmpOp) -> f64 {
@@ -557,6 +680,28 @@ mod tests {
         let ws = out.keep_weights[0].1;
         let wf = out.keep_weights[1].1;
         assert!(7.0 * wf <= 3.0 * ws + 1e-2, "ws {ws} wf {wf}");
+    }
+
+    #[test]
+    fn lifting_strategy_certifies_data_repair() {
+        let mut ds = TraceDataset::new();
+        let g = ds.add_class("good");
+        let n = ds.add_class("noisy");
+        ds.push(g, Path::from_states(vec![0, 1]), 5.0).unwrap();
+        ds.push(n, Path::from_states(vec![0, 2]), 5.0).unwrap();
+        ds.push(g, Path::from_states(vec![1, 1]), 1.0).unwrap();
+        ds.push(n, Path::from_states(vec![2, 2]), 1.0).unwrap();
+        let sp = ModelSpec::new(3).label(1, "ok");
+        let phi = parse_formula("P>=0.8 [ F \"ok\" ]").unwrap();
+        let opts = RepairOptions { strategy: RepairStrategy::Lifting, ..RepairOptions::default() };
+        let out = DataRepair::with_options(opts).repair(&ds, &sp, &phi).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.verified);
+        let cert = out.certificate.expect("lifting emits a certificate");
+        assert!(cert.lower_bound <= out.effort + 1e-12, "{cert:?} vs {}", out.effort);
+        // Penalty path never certifies.
+        let plain = DataRepair::new().repair(&ds, &sp, &phi).unwrap();
+        assert!(plain.certificate.is_none());
     }
 
     #[test]

@@ -77,6 +77,29 @@ pub use template::{LinearExpr, PerturbationTemplate};
 // Budgets bound every repair; re-exported so callers need not depend on
 // tml-numerics directly.
 pub use tml_numerics::{Budget, CancelToken, Diagnostics, Exhaustion};
+// Parameter-lifting vocabulary used by `RepairOptions` and the outcome
+// certificates; re-exported so callers need not depend on tml-parametric.
+pub use tml_parametric::{LiftingOptions, OptimalityCertificate};
+
+/// Which search drives the repair optimization over the perturbation box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairStrategy {
+    /// The paper's local search: deterministic multi-start quadratic
+    /// penalty over the whole box.
+    #[default]
+    Penalty,
+    /// Parameter lifting (Model Repair Revamped): branch-and-refine region
+    /// verification soundly prunes all-violating parameter regions, then
+    /// warm-starts the penalty solver on the surviving near-optimal boxes
+    /// and emits an [`OptimalityCertificate`]. Requires the symbolic
+    /// constraint path; degrades to pure penalty otherwise (recorded as a
+    /// diagnostics fallback) or on budget exhaustion mid-refinement.
+    Lifting,
+    /// [`RepairStrategy::Lifting`] when the property compiles symbolically,
+    /// [`RepairStrategy::Penalty`] otherwise — without recording the
+    /// degradation as a fallback.
+    Auto,
+}
 
 /// Options shared by the repair algorithms.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +114,11 @@ pub struct RepairOptions {
     pub check: tml_checker::CheckOptions,
     /// Optimizer options.
     pub solver: tml_optimizer::PenaltyOptions,
+    /// Which search strategy to run (default: pure penalty).
+    pub strategy: RepairStrategy,
+    /// Region-solver options used by [`RepairStrategy::Lifting`] /
+    /// [`RepairStrategy::Auto`].
+    pub lifting: LiftingOptions,
 }
 
 impl Default for RepairOptions {
@@ -100,6 +128,8 @@ impl Default for RepairOptions {
             support_margin: 1e-6,
             check: tml_checker::CheckOptions::default(),
             solver: tml_optimizer::PenaltyOptions::default(),
+            strategy: RepairStrategy::default(),
+            lifting: LiftingOptions::default(),
         }
     }
 }

@@ -6,11 +6,14 @@ use tml_logic::StateFormula;
 use tml_models::{Dtmc, Mdp};
 use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{BlockRow, ConstraintSense, Nlp, PenaltySolver, Solution};
-use tml_parametric::{CompiledConstraintSet, Polynomial, RationalFunction};
+use tml_parametric::{
+    BoundSense, CompiledConstraintSet, LiftingOutcome, OptimalityCertificate, Polynomial,
+    RationalFunction, RegionProblem, RegionRow, RegionSolver,
+};
 use tml_telemetry::span;
 
 use crate::constraint::compile_constraint;
-use crate::{LinearExpr, PerturbationTemplate, RepairError, RepairOptions};
+use crate::{LinearExpr, PerturbationTemplate, RepairError, RepairOptions, RepairStrategy};
 
 /// How a repair attempt concluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +59,12 @@ pub struct ModelRepairOutcome<M = Dtmc> {
     /// feasibility — a warm start for a retry of the same job (see
     /// [`ModelRepair::start_from`]). `None` when no solver ran.
     pub solver_point: Option<Vec<f64>>,
+    /// Soundness certificate produced by the parameter-lifting strategy:
+    /// the returned repair's cost against a sound interval lower bound on
+    /// the cost over the entire feasible region. `None` on the pure
+    /// penalty path (which proves nothing about global optimality) and
+    /// when lifting fell back mid-refinement.
+    pub certificate: Option<OptimalityCertificate>,
     /// What the repair spent and which degradation paths (solver
     /// fallbacks, accepted residuals, budget exhaustion) were taken.
     pub diagnostics: Diagnostics,
@@ -149,6 +158,7 @@ impl ModelRepair {
                 verified_by_simulation: None,
                 evaluations: 0,
                 solver_point: None,
+                certificate: None,
                 diagnostics: diag,
             });
         }
@@ -167,11 +177,21 @@ impl ModelRepair {
         // used instead. The symbolic path is cross-validated to machine
         // precision below the threshold.
         const MAX_SYMBOLIC_DEGREE: u32 = 16;
-        match compile_constraint(&pdtmc, formula) {
-            Ok(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
-                self.compiled_constraints(&mut nlp, template, base, &sc)?;
+        let mut lifted: Option<LiftingOutcome> = None;
+        let compiled = match compile_constraint(&pdtmc, formula) {
+            Ok(sc) => Some(sc),
+            Err(RepairError::UnsupportedProperty { .. }) => None,
+            Err(other) => return Err(other),
+        };
+        match &compiled {
+            Some(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
+                let (fns, rows) = self.symbolic_system(template, base, sc);
+                register_block(&mut nlp, &fns, &rows)?;
+                if self.opts.strategy != RepairStrategy::Penalty {
+                    lifted = Some(self.lift_regions(template, &fns, &rows)?);
+                }
             }
-            Ok(_) | Err(RepairError::UnsupportedProperty { .. }) => {
+            _ => {
                 self.validity_constraints(&mut nlp, template, base);
                 let (op, bound) = top_level_bound(formula)?;
                 let margin = self.margin(op);
@@ -182,13 +202,71 @@ impl ModelRepair {
                 nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
                     oracle_value_dtmc(&pd, &phi, v, &check_opts, &inner)
                 });
+                if let Some(sc) = &compiled {
+                    // Interval enclosures stay sound at any degree (the
+                    // uncancelled factors only widen them into Unknown
+                    // verdicts), so region pruning and warm starts still
+                    // apply even though pointwise NLP evaluation does not.
+                    if self.opts.strategy != RepairStrategy::Penalty {
+                        let (fns, rows) = self.symbolic_system(template, base, sc);
+                        lifted = Some(self.lift_regions(template, &fns, &rows)?);
+                    }
+                } else if self.opts.strategy == RepairStrategy::Lifting {
+                    // Lifting was requested but needs the symbolic path.
+                    diag.record_fallback("lifting: property not symbolic, penalty search used");
+                }
             }
-            Err(other) => return Err(other),
         }
         drop(compile_span);
 
-        let mut solver =
-            PenaltySolver::with_options(self.opts.solver).with_budget(self.budget.clone());
+        // Digest the region verdicts: a fully-violating box is a sound
+        // infeasibility proof; an exhausted refinement degrades to the
+        // full penalty search; surviving boxes warm-start a restart-free
+        // penalty solve.
+        let mut lifting_evals = 0usize;
+        let mut solver_opts = self.opts.solver;
+        let mut region_starts: Vec<Vec<f64>> = Vec::new();
+        if let Some(lift) = &lifted {
+            lifting_evals = lift.evaluations;
+            diag.evaluations += lift.evaluations as u64;
+            diag.telemetry.incr("parametric.lifting.evaluations", lift.evaluations as u64);
+            if lift.exhausted.is_some() {
+                diag.record_fallback(
+                    "lifting: budget exhausted mid-refinement, penalty search used",
+                );
+                lifted = None;
+            } else if lift.all_violating() {
+                return Ok(ModelRepairOutcome {
+                    status: RepairStatus::Infeasible,
+                    parameters: Vec::new(),
+                    cost: 0.0,
+                    model: None,
+                    verified: false,
+                    verified_by_simulation: None,
+                    evaluations: lifting_evals,
+                    solver_point: None,
+                    certificate: None,
+                    diagnostics: diag,
+                });
+            } else {
+                region_starts = lift.warm_starts(3);
+                solver_opts.restarts = 0;
+                if !lift.candidates.is_empty() && solver_opts.penalty_rounds > 3 {
+                    // The warm starts already passed a pointwise
+                    // feasibility screen, so the slow μ ramp-in rounds are
+                    // redundant: start the schedule at the μ it would have
+                    // reached, keeping the final μ identical.
+                    solver_opts.penalty_init *=
+                        solver_opts.penalty_growth.powi(solver_opts.penalty_rounds as i32 - 3);
+                    solver_opts.penalty_rounds = 3;
+                }
+            }
+        }
+
+        let mut solver = PenaltySolver::with_options(solver_opts).with_budget(self.budget.clone());
+        for w in region_starts {
+            solver.start_from(w);
+        }
         for w in &self.warm_starts {
             solver.start_from(w.clone());
         }
@@ -205,8 +283,9 @@ impl ModelRepair {
                 model: None,
                 verified: false,
                 verified_by_simulation: None,
-                evaluations: sol.evaluations,
+                evaluations: sol.evaluations + lifting_evals,
                 solver_point: Some(sol.x.clone()),
+                certificate: None,
                 diagnostics: diag,
             });
         }
@@ -215,15 +294,27 @@ impl ModelRepair {
         let verdict = checker.check_dtmc(&repaired, formula)?;
         diag.absorb(verdict.diagnostics());
         let verified = verdict.holds();
+        let cost = frobenius_cost(template, &sol.x);
+        let certificate = lifted.as_ref().map(|lift| {
+            let lower_bound = lift.feasible_lower_bound();
+            let epsilon = self.opts.lifting.epsilon;
+            OptimalityCertificate {
+                lower_bound,
+                upper_bound: cost,
+                epsilon,
+                certified: verified && cost - lower_bound <= epsilon,
+            }
+        });
         Ok(ModelRepairOutcome {
             status: repaired_status(verified, &diag),
             parameters: name_params(template, &sol.x),
-            cost: frobenius_cost(template, &sol.x),
+            cost,
             model: Some(repaired),
             verified,
             verified_by_simulation: None,
-            evaluations: sol.evaluations,
+            evaluations: sol.evaluations + lifting_evals,
             solver_point: Some(sol.x.clone()),
+            certificate,
             diagnostics: diag,
         })
     }
@@ -262,6 +353,7 @@ impl ModelRepair {
                 verified_by_simulation: None,
                 evaluations: 0,
                 solver_point: None,
+                certificate: None,
                 diagnostics: diag,
             });
         }
@@ -329,6 +421,7 @@ impl ModelRepair {
                 verified_by_simulation: None,
                 evaluations: sol.evaluations,
                 solver_point: Some(sol.x.clone()),
+                certificate: None,
                 diagnostics: diag,
             });
         }
@@ -346,6 +439,7 @@ impl ModelRepair {
             verified_by_simulation: None,
             evaluations: sol.evaluations,
             solver_point: Some(sol.x.clone()),
+            certificate: None,
             diagnostics: diag,
         })
     }
@@ -369,18 +463,18 @@ impl ModelRepair {
         );
     }
 
-    /// Registers the property and every `[m, 1−m]` validity constraint as a
-    /// single compiled block: all rational functions are flattened to
-    /// evaluation tapes ([`CompiledConstraintSet`]) that share one power
-    /// table per point, and the block carries an analytic Jacobian so the
-    /// penalty solver never needs finite differences on the symbolic path.
-    fn compiled_constraints(
+    /// Builds the symbolic constraint system: the property's rational
+    /// function plus every `[m, 1−m]` validity function, paired with the
+    /// [`BlockRow`] describing its sense, bound and margin. The same system
+    /// feeds both the penalty NLP ([`register_block`]) and the region
+    /// solver ([`Self::lift_regions`]), so the two strategies provably
+    /// optimize over the same feasible set.
+    fn symbolic_system(
         &self,
-        nlp: &mut Nlp,
         template: &PerturbationTemplate,
         base: &Dtmc,
         sc: &crate::constraint::SymbolicConstraint,
-    ) -> Result<(), RepairError> {
+    ) -> (Vec<RationalFunction>, Vec<BlockRow>) {
         let np = template.num_params();
         let m = self.opts.support_margin;
         let mut fns = vec![sc.function.clone()];
@@ -393,23 +487,33 @@ impl ModelRepair {
             fns.push(rf);
             rows.push(BlockRow::new(&format!("{name}<=1-m"), ConstraintSense::Le, 1.0 - m, 0.0));
         }
-        let set = CompiledConstraintSet::compile(&fns)?;
-        let set_jac = set.clone();
-        nlp.constraint_block_with_jacobian(
-            rows,
-            move |v, out| {
-                if set.eval_all(v, out).is_err() {
-                    out.fill(f64::NAN);
-                }
-            },
-            move |v, out, jac| {
-                if set_jac.eval_all_grad(v, out, jac).is_err() {
-                    out.fill(f64::NAN);
-                    jac.fill(0.0);
-                }
-            },
-        );
-        Ok(())
+        (fns, rows)
+    }
+
+    /// Runs branch-and-refine region verification over the template's
+    /// parameter box: every NLP constraint row becomes a [`RegionRow`]
+    /// whose threshold *includes the margin* (so "all-sat" means
+    /// margin-feasible, matching what the penalty solver accepts), and the
+    /// Frobenius cost is interval-bounded alongside to order surviving
+    /// boxes and derive the certificate's lower bound.
+    fn lift_regions(
+        &self,
+        template: &PerturbationTemplate,
+        fns: &[RationalFunction],
+        rows: &[BlockRow],
+    ) -> Result<LiftingOutcome, RepairError> {
+        let set = CompiledConstraintSet::compile(fns)?;
+        let region_rows: Vec<RegionRow> = rows
+            .iter()
+            .map(|r| match r.sense() {
+                ConstraintSense::Ge => RegionRow::new(BoundSense::Ge, r.rhs() + r.margin()),
+                ConstraintSense::Le => RegionRow::new(BoundSense::Le, r.rhs() - r.margin()),
+            })
+            .collect();
+        let objective = RationalFunction::from_poly(frobenius_polynomial(template)).compile();
+        let problem = RegionProblem::new(set, region_rows)?.with_objective(objective);
+        let solver = RegionSolver::with_options(self.opts.lifting).with_budget(self.budget.clone());
+        Ok(solver.solve(&problem, &template.bounds())?)
     }
 
     fn validity_constraints(&self, nlp: &mut Nlp, template: &PerturbationTemplate, base: &Dtmc) {
@@ -571,6 +675,53 @@ impl MdpPerturbationTemplate {
         }
         Ok(b.build()?)
     }
+}
+
+/// Registers a symbolic constraint system as a single compiled block: all
+/// rational functions are flattened to evaluation tapes
+/// ([`CompiledConstraintSet`]) that share one power table per point, and
+/// the block carries an analytic Jacobian so the penalty solver never
+/// needs finite differences on the symbolic path.
+fn register_block(
+    nlp: &mut Nlp,
+    fns: &[RationalFunction],
+    rows: &[BlockRow],
+) -> Result<(), RepairError> {
+    let set = CompiledConstraintSet::compile(fns)?;
+    let set_jac = set.clone();
+    nlp.constraint_block_with_jacobian(
+        rows.to_vec(),
+        move |v, out| {
+            if set.eval_all(v, out).is_err() {
+                out.fill(f64::NAN);
+            }
+        },
+        move |v, out, jac| {
+            if set_jac.eval_all_grad(v, out, jac).is_err() {
+                out.fill(f64::NAN);
+                jac.fill(0.0);
+            }
+        },
+    );
+    Ok(())
+}
+
+/// The Frobenius cost `‖Z‖²_F = Σ (Σᵢ cᵢ·vᵢ)²` as a polynomial in the
+/// repair parameters, so the region solver can interval-bound the
+/// objective it shares with the penalty NLP.
+fn frobenius_polynomial(template: &PerturbationTemplate) -> Polynomial {
+    let np = template.num_params();
+    let mut total = Polynomial::constant(np, 0.0);
+    for (_, expr) in template.entries() {
+        let mut lin = Polynomial::constant(np, 0.0);
+        for (i, c) in expr.coefficients(np).into_iter().enumerate() {
+            if c != 0.0 {
+                lin = lin.add(&Polynomial::var(np, i).scale(c));
+            }
+        }
+        total = total.add(&lin.mul(&lin));
+    }
+    total
 }
 
 /// The perturbed probability `base_p + Σᵢ cᵢ·vᵢ` as a (polynomial) rational
@@ -806,6 +957,91 @@ mod tests {
             .unwrap();
         assert_eq!(out.status, RepairStatus::Repaired);
         assert!(out.diagnostics.exhausted.is_none());
+    }
+
+    fn lifting_opts() -> crate::RepairOptions {
+        crate::RepairOptions { strategy: RepairStrategy::Lifting, ..Default::default() }
+    }
+
+    #[test]
+    fn lifting_strategy_agrees_with_penalty_and_certifies() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let penalty = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        let lifted = ModelRepair::with_options(lifting_opts())
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(lifted.status, RepairStatus::Repaired);
+        assert!(lifted.verified);
+        // Same repair (minimal shift +0.1) from both strategies.
+        assert!((lifted.parameters[0].1 - penalty.parameters[0].1).abs() < 1e-3);
+        // Lifting prunes restarts, so it must be cheaper than the full
+        // multi-start penalty search.
+        assert!(lifted.evaluations < penalty.evaluations);
+        let cert = lifted.certificate.expect("lifting emits a certificate");
+        assert!(cert.lower_bound <= lifted.cost + 1e-12, "{cert:?}");
+        assert!(cert.certified, "{cert:?} vs cost {}", lifted.cost);
+        // The penalty path proves nothing about global optimality.
+        assert!(penalty.certificate.is_none());
+    }
+
+    #[test]
+    fn lifting_proves_infeasibility_without_solving() {
+        let d = chain();
+        let phi = parse_formula("P>=0.999 [ F \"ok\" ]").unwrap();
+        let out = ModelRepair::with_options(lifting_opts())
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(out.status, RepairStatus::Infeasible);
+        assert!(out.model.is_none());
+        // The region proof never ran the penalty solver.
+        assert!(out.solver_point.is_none());
+        assert!(out.evaluations > 0);
+    }
+
+    #[test]
+    fn lifting_falls_back_on_oracle_properties() {
+        // Bounded eventually is outside the symbolic fragment: Lifting must
+        // degrade to penalty and say so; Auto degrades silently.
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F<=1 \"ok\" ]").unwrap();
+        let out = ModelRepair::with_options(lifting_opts())
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.certificate.is_none());
+        assert!(
+            out.diagnostics.fallbacks.iter().any(|f| f.contains("lifting")),
+            "{:?}",
+            out.diagnostics.fallbacks
+        );
+        let auto = ModelRepair::with_options(crate::RepairOptions {
+            strategy: RepairStrategy::Auto,
+            ..Default::default()
+        })
+        .repair_dtmc(&d, &phi, &shift_template())
+        .unwrap();
+        assert_eq!(auto.status, RepairStatus::Repaired);
+        assert!(!auto.diagnostics.fallbacks.iter().any(|f| f.contains("lifting")));
+    }
+
+    #[test]
+    fn lifting_exhaustion_degrades_to_penalty() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        // Enough budget for the first lifting round to be cut short but for
+        // the diagnostics to record the degradation.
+        let out = ModelRepair::with_options(lifting_opts())
+            .with_budget(Budget::unlimited().with_max_evaluations(2))
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(out.status, RepairStatus::BudgetExhausted);
+        assert!(out.certificate.is_none());
+        assert!(
+            out.diagnostics.fallbacks.iter().any(|f| f.contains("exhausted")),
+            "{:?}",
+            out.diagnostics.fallbacks
+        );
     }
 
     #[test]

@@ -75,6 +75,12 @@ pub struct Solution {
     /// Why the solve stopped early, if a [`Budget`] ran out. The solution
     /// is still the best point found up to that moment.
     pub stopped: Option<Exhaustion>,
+    /// Restarts that never ran because the shared budget was already spent
+    /// when their turn came. A nonzero value means the multi-start search
+    /// was silently narrower than [`PenaltyOptions::restarts`] suggests.
+    pub restarts_pruned: usize,
+    /// Restarts that ran but were cut short mid-descent by the budget.
+    pub restarts_exhausted: usize,
 }
 
 /// Quadratic-penalty solver with a projected-gradient inner loop and
@@ -189,14 +195,18 @@ impl PenaltySolver {
         let mut evaluations = 0usize;
         let mut best: Option<Solution> = None;
         let mut stopped: Option<Exhaustion> = None;
+        let mut restarts_pruned = 0usize;
+        let mut restarts_exhausted = 0usize;
         for outcome in outcomes {
             match outcome {
                 StartOutcome::Skipped(cause) => {
+                    restarts_pruned += 1;
                     stopped.get_or_insert(cause);
                 }
                 StartOutcome::Ran(cand, local_evals) => {
                     evaluations += local_evals;
                     if let Some(cause) = cand.stopped {
+                        restarts_exhausted += 1;
                         stopped.get_or_insert(cause);
                     }
                     best = Some(match best {
@@ -215,12 +225,23 @@ impl PenaltySolver {
                 let objective = nlp.objective_value(&x);
                 let max_violation = nlp.max_violation(&x);
                 evaluations += 2;
-                Solution { x, objective, max_violation, feasible: false, evaluations: 0, stopped }
+                Solution {
+                    x,
+                    objective,
+                    max_violation,
+                    feasible: false,
+                    evaluations: 0,
+                    stopped,
+                    restarts_pruned: 0,
+                    restarts_exhausted: 0,
+                }
             }
         };
         sol.evaluations = evaluations;
         sol.feasible = sol.max_violation <= self.opts.feasibility_tolerance;
         sol.stopped = stopped;
+        sol.restarts_pruned = restarts_pruned;
+        sol.restarts_exhausted = restarts_exhausted;
         counter!("solver.penalty.evaluations", sol.evaluations);
         Ok(sol)
     }
@@ -266,7 +287,16 @@ impl PenaltySolver {
         let objective = nlp.objective_value(&x);
         let max_violation = nlp.max_violation(&x);
         gauge.add(2);
-        Solution { x, objective, max_violation, feasible: false, evaluations: 0, stopped }
+        Solution {
+            x,
+            objective,
+            max_violation,
+            feasible: false,
+            evaluations: 0,
+            stopped,
+            restarts_pruned: 0,
+            restarts_exhausted: 0,
+        }
     }
 
     /// Minimizes the penalized merit function with projected gradient
@@ -611,6 +641,31 @@ mod tests {
         assert!(sol.evaluations <= 50, "polling granularity keeps overshoot small");
         assert!(sol.objective.is_finite());
         assert_eq!(sol.x.len(), 2);
+    }
+
+    #[test]
+    fn restart_diagnostics_account_for_every_start() {
+        let mut nlp = Nlp::new(2, vec![(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        nlp.objective(|x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2));
+        // Unlimited budget: nothing pruned, nothing exhausted.
+        let full =
+            PenaltySolver::with_options(PenaltyOptions { parallel: false, ..Default::default() })
+                .solve(&nlp)
+                .unwrap();
+        assert_eq!(full.restarts_pruned, 0);
+        assert_eq!(full.restarts_exhausted, 0);
+        // A tiny budget lets the first start run (truncated) and prunes the
+        // rest; the serial path makes the split deterministic.
+        let tight =
+            PenaltySolver::with_options(PenaltyOptions { parallel: false, ..Default::default() })
+                .with_budget(Budget::unlimited().with_max_evaluations(5))
+                .solve(&nlp)
+                .unwrap();
+        assert_eq!(tight.stopped, Some(Exhaustion::Evaluations));
+        assert!(tight.restarts_exhausted >= 1, "the running start was cut short");
+        assert!(tight.restarts_pruned >= 1, "later starts never ran");
+        // 1 center + 8 restarts: every start is accounted for exactly once.
+        assert_eq!(tight.restarts_pruned + tight.restarts_exhausted, 9);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! variables), so the hot path performs **no heap allocation**; larger
 //! instances transparently fall back to a heap scratch.
 
+use crate::lifting::Interval;
 use crate::{ParametricError, Polynomial, RationalFunction};
 
 /// Stack budget (in `f64`s) for the shared power table.
@@ -211,6 +212,59 @@ impl CompiledPoly {
         }
         Ok(with_power_table(self.stride, point, |powers| self.eval_with_table(powers)))
     }
+
+    /// Bounds the tape over an interval power table (same `v * stride + e`
+    /// layout as the point table, with [`Interval`] entries). The enclosure
+    /// is outward-widened, so it contains every point evaluation of
+    /// [`eval_with_table`](Self::eval_with_table) over the box the table
+    /// was built from — including that evaluation's own rounding error.
+    #[inline]
+    fn bound_with_table(&self, powers: &[Interval]) -> Interval {
+        let mut acc = Interval::point(0.0);
+        let mut lo = 0usize;
+        for (&hi, &c) in self.offsets[1..].iter().zip(&self.coeffs) {
+            let hi = hi as usize;
+            let mut term = Interval::point(c);
+            for &i in &self.idx[lo..hi] {
+                term = term.mul(powers[i as usize]);
+            }
+            acc = acc.add(term);
+            lo = hi;
+        }
+        acc
+    }
+
+    /// Bounds the polynomial over a parameter box (self-contained: builds
+    /// its own interval power table).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParametricError::PointArityMismatch`] for a wrong-sized
+    /// box.
+    pub fn bound(&self, bbox: &[(f64, f64)]) -> Result<Interval, ParametricError> {
+        if bbox.len() != self.nvars {
+            return Err(ParametricError::PointArityMismatch {
+                expected: self.nvars,
+                got: bbox.len(),
+            });
+        }
+        let powers = interval_power_table(self.stride, bbox);
+        Ok(self.bound_with_table(&powers))
+    }
+}
+
+/// Builds an interval power table: `powers[v * stride + e]` encloses
+/// `x_v^e` for every `x_v` in the `v`-th box range (sign-aware, see
+/// [`Interval::pow`]).
+fn interval_power_table(stride: usize, bbox: &[(f64, f64)]) -> Vec<Interval> {
+    let mut powers = vec![Interval::point(1.0); bbox.len() * stride];
+    for (row, &(lo, hi)) in powers.chunks_exact_mut(stride).zip(bbox) {
+        let x = Interval::new(lo, hi);
+        for (e, slot) in row.iter_mut().enumerate() {
+            *slot = x.pow(e as u32);
+        }
+    }
+    powers
 }
 
 /// Small-tier stack budget: most repair problems have a handful of
@@ -367,6 +421,31 @@ impl CompiledRatFn {
         }
         Ok(with_power_table(self.stride, point, |powers| body(self, powers)))
     }
+
+    /// Bounds the rational function over a parameter box. A denominator
+    /// enclosure touching zero yields [`Interval::whole`] — the sound
+    /// counterpart of the point evaluator's `NaN` at poles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParametricError::PointArityMismatch`] for a wrong-sized
+    /// box.
+    pub fn bound(&self, bbox: &[(f64, f64)]) -> Result<Interval, ParametricError> {
+        if bbox.len() != self.nvars {
+            return Err(ParametricError::PointArityMismatch {
+                expected: self.nvars,
+                got: bbox.len(),
+            });
+        }
+        let powers = interval_power_table(self.stride, bbox);
+        Ok(self.bound_with_table(&powers))
+    }
+
+    /// Quotient bound against a caller-provided interval power table.
+    #[inline]
+    fn bound_with_table(&self, powers: &[Interval]) -> Interval {
+        self.num.bound_with_table(powers).div(self.den.bound_with_table(powers))
+    }
 }
 
 /// Every constraint function of an NLP compiled into one object.
@@ -471,6 +550,39 @@ impl CompiledConstraintSet {
                 *out = f.value_and_grad_with_table(powers, row);
             }
         })
+    }
+
+    /// Bounds every constraint over a parameter box in one pass, sharing a
+    /// single interval power table, filling `bounds` (length
+    /// [`len`](Self::len)). Rows whose denominator enclosure touches zero
+    /// are filled with [`Interval::whole`].
+    ///
+    /// # Errors
+    ///
+    /// [`ParametricError::PointArityMismatch`] on wrong-sized `bbox` or
+    /// `bounds`.
+    pub fn bound_all(
+        &self,
+        bbox: &[(f64, f64)],
+        bounds: &mut [Interval],
+    ) -> Result<(), ParametricError> {
+        if bounds.len() != self.fns.len() {
+            return Err(ParametricError::PointArityMismatch {
+                expected: self.fns.len(),
+                got: bounds.len(),
+            });
+        }
+        if bbox.len() != self.nvars {
+            return Err(ParametricError::PointArityMismatch {
+                expected: self.nvars,
+                got: bbox.len(),
+            });
+        }
+        let powers = interval_power_table(self.stride, bbox);
+        for (f, out) in self.fns.iter().zip(bounds.iter_mut()) {
+            *out = f.bound_with_table(&powers);
+        }
+        Ok(())
     }
 
     #[inline]

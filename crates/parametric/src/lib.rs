@@ -57,12 +57,17 @@
 
 mod compiled;
 mod error;
+pub mod lifting;
 mod pdtmc;
 mod poly;
 mod ratfn;
 
 pub use compiled::{CompiledConstraintSet, CompiledPoly, CompiledRatFn};
 pub use error::ParametricError;
+pub use lifting::{
+    BoundSense, ClassifiedBox, Interval, LiftingOptions, LiftingOutcome, OptimalityCertificate,
+    RegionProblem, RegionRow, RegionSolver, RegionVerdict,
+};
 pub use pdtmc::{ParametricDtmc, ParametricDtmcBuilder};
 pub use poly::Polynomial;
 pub use ratfn::RationalFunction;

@@ -1,0 +1,192 @@
+//! Soundness harness for parameter lifting (PR 9): interval bounds must be
+//! monotone under box shrinking, region verdicts must survive exhaustive
+//! corner + random interior sampling, and branch-and-refine must be
+//! bitwise-deterministic regardless of how many threads classify boxes.
+
+use proptest::prelude::*;
+use tml_conformance::test_support::parametric_dtmc;
+use trusted_ml::parametric::{
+    BoundSense, CompiledConstraintSet, CompiledRatFn, LiftingOptions, RegionProblem, RegionRow,
+    RegionSolver, RegionVerdict,
+};
+
+/// Deterministic pseudo-random stream for sampling boxes and points.
+struct Lcg(u64);
+
+impl Lcg {
+    fn frac(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The reachability tapes of a generated parametric chain (goal = last
+/// state), plus the box the parameters live in.
+fn reachability_tapes(
+    seed: u64,
+    n: usize,
+    nparams: usize,
+) -> (Vec<CompiledRatFn>, Vec<(f64, f64)>) {
+    let generated = parametric_dtmc(seed, n, nparams);
+    let mut target = vec![false; generated.pdtmc.num_states()];
+    target[generated.pdtmc.num_states() - 1] = true;
+    let fns = generated.pdtmc.reachability(&target).expect("state elimination");
+    let tapes = fns.iter().map(CompiledRatFn::compile).collect();
+    let bbox = generated.lo.iter().copied().zip(generated.hi.iter().copied()).collect();
+    (tapes, bbox)
+}
+
+/// A random sub-box of `outer` (never wider in any dimension).
+fn shrink_box(outer: &[(f64, f64)], rng: &mut Lcg) -> Vec<(f64, f64)> {
+    outer
+        .iter()
+        .map(|&(l, h)| {
+            let (a, b) = (rng.frac(), rng.frac());
+            let (a, b) = (a.min(b), a.max(b));
+            (l + a * (h - l), l + b * (h - l))
+        })
+        .collect()
+}
+
+/// All `2^d` corners of a box.
+fn corners(bbox: &[(f64, f64)]) -> Vec<Vec<f64>> {
+    let d = bbox.len();
+    (0..1usize << d)
+        .map(|mask| {
+            bbox.iter()
+                .enumerate()
+                .map(|(i, &(l, h))| if mask >> i & 1 == 0 { l } else { h })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) Shrinking a box never widens the interval bound, and the bound
+    /// always contains the exact tape value at points inside the box.
+    #[test]
+    fn box_bound_monotone_and_contains_points(seed in 0u64..512, n in 4usize..10, np in 1usize..4) {
+        let (tapes, full) = reachability_tapes(seed, n, np);
+        let mut rng = Lcg(seed ^ 0xB0C5);
+        let outer = shrink_box(&full, &mut rng);
+        let inner = shrink_box(&outer, &mut rng);
+        for tape in &tapes {
+            let bo = tape.bound(&outer).unwrap();
+            let bi = tape.bound(&inner).unwrap();
+            // Monotonicity: the inner bound is nested inside the outer one.
+            prop_assert!(bi.lo >= bo.lo && bi.hi <= bo.hi,
+                "shrinking widened the bound: outer [{}, {}] inner [{}, {}]",
+                bo.lo, bo.hi, bi.lo, bi.hi);
+            // Containment: exact evaluations inside the box stay inside.
+            for _ in 0..4 {
+                let p: Vec<f64> =
+                    inner.iter().map(|&(l, h)| l + rng.frac() * (h - l)).collect();
+                if let Ok(v) = tape.eval(&p) {
+                    prop_assert!(bi.lo - 1e-9 <= v && v <= bi.hi + 1e-9,
+                        "value {v} escapes bound [{}, {}]", bi.lo, bi.hi);
+                }
+            }
+        }
+    }
+
+    /// (b) Region verdicts confirmed by sampling: every AllSat leaf holds
+    /// the constraint at all corners and random interior points, every
+    /// AllViolating leaf violates it everywhere sampled.
+    #[test]
+    fn verdicts_confirmed_by_sampling(seed in 0u64..256, n in 4usize..9, np in 1usize..3) {
+        let (tapes, bbox) = reachability_tapes(seed, n, np);
+        let generated = parametric_dtmc(seed, n, np);
+        let mut target = vec![false; generated.pdtmc.num_states()];
+        target[generated.pdtmc.num_states() - 1] = true;
+        let fns = generated.pdtmc.reachability(&target).unwrap();
+        let init = generated.pdtmc.initial_state();
+        // A threshold between the values at the two extreme corners makes
+        // both verdicts reachable.
+        let lo_v = tapes[init].eval(&bbox.iter().map(|b| b.0).collect::<Vec<_>>());
+        let hi_v = tapes[init].eval(&bbox.iter().map(|b| b.1).collect::<Vec<_>>());
+        let (Ok(lo_v), Ok(hi_v)) = (lo_v, hi_v) else { return Ok(()) };
+        let thresh = 0.5 * (lo_v + hi_v);
+        let set = CompiledConstraintSet::compile(std::slice::from_ref(&fns[init])).unwrap();
+        let problem = RegionProblem::new(set, vec![RegionRow::new(BoundSense::Ge, thresh)]).unwrap();
+        let solver = RegionSolver::with_options(LiftingOptions {
+            max_boxes: 64,
+            max_depth: 6,
+            ..LiftingOptions::default()
+        });
+        let out = solver.solve(&problem, &bbox).unwrap();
+        let tape = &tapes[init];
+        let mut rng = Lcg(seed ^ 0x5EED);
+        for leaf in &out.boxes {
+            if leaf.verdict == RegionVerdict::Unknown {
+                continue;
+            }
+            let mut points = corners(&leaf.bounds);
+            for _ in 0..8 {
+                points.push(leaf.bounds.iter().map(|&(l, h)| l + rng.frac() * (h - l)).collect());
+            }
+            for p in &points {
+                let Ok(v) = tape.eval(p) else { continue };
+                match leaf.verdict {
+                    RegionVerdict::AllSat => prop_assert!(
+                        v >= thresh - 1e-9,
+                        "AllSat leaf {:?} has violating point {p:?}: {v} < {thresh}",
+                        leaf.bounds
+                    ),
+                    RegionVerdict::AllViolating => prop_assert!(
+                        v < thresh + 1e-9,
+                        "AllViolating leaf {:?} has satisfying point {p:?}: {v} >= {thresh}",
+                        leaf.bounds
+                    ),
+                    RegionVerdict::Unknown => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// (c) Branch-and-refine is deterministic across thread counts: the
+    /// parallel and serial classification paths produce bitwise-identical
+    /// region lists.
+    #[test]
+    fn refinement_deterministic_across_thread_counts(seed in 0u64..128, n in 4usize..9) {
+        let (tapes, bbox) = reachability_tapes(seed, n, 2);
+        let generated = parametric_dtmc(seed, n, 2);
+        let mut target = vec![false; generated.pdtmc.num_states()];
+        target[generated.pdtmc.num_states() - 1] = true;
+        let fns = generated.pdtmc.reachability(&target).unwrap();
+        let init = generated.pdtmc.initial_state();
+        let Ok(mid) = tapes[init].eval(&bbox.iter().map(|b| 0.5 * (b.0 + b.1)).collect::<Vec<_>>())
+        else {
+            return Ok(());
+        };
+        let build = || {
+            let set = CompiledConstraintSet::compile(std::slice::from_ref(&fns[init])).unwrap();
+            RegionProblem::new(set, vec![RegionRow::new(BoundSense::Ge, mid)]).unwrap()
+        };
+        let solve = |parallel: bool| {
+            RegionSolver::with_options(LiftingOptions {
+                max_boxes: 96,
+                max_depth: 7,
+                parallel,
+                ..LiftingOptions::default()
+            })
+            .solve(&build(), &bbox)
+            .unwrap()
+        };
+        let par = solve(true);
+        let ser = solve(false);
+        prop_assert_eq!(par.boxes.len(), ser.boxes.len());
+        prop_assert_eq!(par.evaluations, ser.evaluations);
+        for (a, b) in par.boxes.iter().zip(&ser.boxes) {
+            prop_assert_eq!(a.verdict, b.verdict);
+            prop_assert_eq!(a.depth, b.depth);
+            prop_assert_eq!(a.objective_lo.to_bits(), b.objective_lo.to_bits());
+            prop_assert_eq!(a.bounds.len(), b.bounds.len());
+            for (&(al, ah), &(bl, bh)) in a.bounds.iter().zip(&b.bounds) {
+                prop_assert_eq!(al.to_bits(), bl.to_bits());
+                prop_assert_eq!(ah.to_bits(), bh.to_bits());
+            }
+        }
+    }
+}

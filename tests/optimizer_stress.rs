@@ -138,6 +138,38 @@ fn survives_partial_nan_regions() {
     assert!((sol.x[0] - 0.5).abs() < 1e-3, "x = {:?}", sol.x);
 }
 
+/// Satellite (PR 9): the multi-start search must not silently narrow —
+/// every start is accounted for either as run, pruned (budget spent before
+/// it began) or exhausted (cut short mid-descent).
+#[test]
+fn restart_diagnostics_expose_silent_narrowing() {
+    use trusted_ml::optimizer::Budget;
+    let build = || {
+        let mut nlp = Nlp::new(2, vec![(-2.0, 2.0); 2]).unwrap();
+        nlp.objective(|x| (x[0] - 0.7).powi(2) + (x[1] - 0.7).powi(2));
+        nlp.constraint("plane", ConstraintSense::Ge, 0.5, |x| x[0] + x[1]);
+        nlp
+    };
+    // Unlimited budget: the full multi-start ran, nothing hidden.
+    let full = PenaltySolver::new().solve(&build()).unwrap();
+    assert_eq!(full.restarts_pruned, 0, "no start may be pruned without a budget");
+    assert_eq!(full.restarts_exhausted, 0);
+    // Tight budget, serial for determinism: the diagnostics must admit the
+    // narrowing instead of silently reporting only the best survivor.
+    let tight =
+        PenaltySolver::with_options(PenaltyOptions { parallel: false, ..Default::default() })
+            .with_budget(Budget::unlimited().with_max_evaluations(10))
+            .solve(&build())
+            .unwrap();
+    assert!(tight.stopped.is_some());
+    assert!(
+        tight.restarts_pruned + tight.restarts_exhausted > 0,
+        "a truncated solve must record which starts it lost"
+    );
+    // 1 center start + 8 default restarts, each pruned or exhausted.
+    assert_eq!(tight.restarts_pruned + tight.restarts_exhausted, 9);
+}
+
 /// The evaluation budget scales with restarts, and zero restarts still
 /// solve easy problems from the center start.
 #[test]
