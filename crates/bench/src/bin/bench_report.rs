@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the repair hot path.
 //!
 //! Times the scenarios the compiled-tape + parallel-restart work targets
-//! and writes them as JSON (`BENCH_PR8.json` by default) so perf changes
+//! and writes them as JSON (`BENCH_PR10.json` by default) so perf changes
 //! are reviewable in diffs rather than anecdotes:
 //!
 //! * compiled-tape vs. interpreted rational-function evaluation (value and
@@ -22,7 +22,11 @@
 //!   of PR 8's tracing on the hot solver;
 //! * WSN x40 Model Repair, lifting vs. penalty strategy: function-evaluation
 //!   counts and wall time for both, the eval-reduction factor the
-//!   branch-and-refine pruning buys, and the optimality-certificate gap.
+//!   branch-and-refine pruning buys, and the optimality-certificate gap;
+//! * robust (min-max) value iteration vs. the nominal scalar check: the WSN
+//!   reward-bound property on its 95% Wilson ball, and a layered-SCC
+//!   reachability bracket vs. the plain sparse solve on the same graph —
+//!   the price of the O(n log n) inner adversary per sweep.
 //!
 //! Run with `cargo run --release -p tml-bench --bin bench_report -- --quick`.
 //! `--quick` keeps every scenario deterministic and under a second; `--full`
@@ -36,10 +40,12 @@ use std::time::Instant;
 use serde::Serialize;
 use tml_car as car;
 use tml_checker::dtmc::until_probabilities;
-use tml_checker::{CheckOptions, LinearSolver};
+use tml_checker::{CheckOptions, Checker, LinearSolver};
 use tml_conformance::gen::{self, GOAL_LABEL};
 use tml_core::{ModelRepair, RepairOptions, RepairStrategy};
 use tml_irl::maxent_irl;
+use tml_logic::{PathFormula, Query, StateFormula};
+use tml_models::IntervalDtmc;
 use tml_numerics::{CsrMatrix, Triplet, PAR_NNZ_THRESHOLD};
 use tml_optimizer::{ConstraintSense, Nlp, PenaltyOptions, PenaltySolver};
 use tml_parametric::{Polynomial, RationalFunction};
@@ -67,7 +73,7 @@ struct Scenario {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR9.json");
+    let mut out_path = String::from("BENCH_PR10.json");
     let mut quick = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -173,6 +179,66 @@ fn main() {
         }
         s.notes.insert("status".into(), format!("{:?}", lifting.status));
         s.notes.insert("verified".into(), lifting.verified.to_string());
+        scenarios.push(s);
+    }
+
+    // --- robust VI vs. nominal check -------------------------------------
+    {
+        // The price of robustness, on two shapes: (a) the WSN reward-bound
+        // property checked on the chain's 95% Wilson ball vs. the nominal
+        // scalar check, and (b) a layered-SCC reachability bracket vs. the
+        // plain sparse solve on the same graph. Robust VI pays an
+        // O(k log k) inner adversary per row per sweep; the slowdown
+        // metrics pin what that costs end-to-end.
+        let config = WsnConfig::default();
+        let chain = build_dtmc(&config).expect("wsn chain");
+        let phi = attempts_property(40.0);
+        let checker = Checker::new();
+        let (_, _) = time(|| checker.check_dtmc(&chain, &phi).expect("nominal check")); // warmup
+        let (wsn_nominal_ms, nominal) =
+            time(|| checker.check_dtmc(&chain, &phi).expect("nominal check"));
+        let ball = IntervalDtmc::wilson_around(&chain, 0.95, 100.0).expect("wilson ball");
+        let (wsn_robust_ms, robust) =
+            time(|| checker.check_interval_dtmc(&ball, &phi).expect("robust check"));
+
+        let model = gen::layered_scc_dtmc(4, 16, 25, 3);
+        let reach = Query::Prob {
+            opt: None,
+            path: PathFormula::Eventually {
+                sub: Box::new(StateFormula::Atom(GOAL_LABEL.to_owned())),
+                bound: None,
+            },
+        };
+        let reach_ball = IntervalDtmc::wilson_around(&model, 0.95, 500.0).expect("wilson ball");
+        let (_, _) = time(|| checker.query_dtmc(&model, &reach).expect("nominal query"));
+        let (reach_nominal_ms, values) =
+            time(|| checker.query_dtmc(&model, &reach).expect("nominal query"));
+        let (reach_robust_ms, bracket) =
+            time(|| checker.query_interval_dtmc(&reach_ball, &reach).expect("robust query"));
+        let init = model.initial_state();
+        let (lo, hi) = bracket.at(init);
+        assert!(
+            lo - 1e-9 <= values[init] && values[init] <= hi + 1e-9,
+            "nominal value escaped its own ball's bracket"
+        );
+        let mut s = Scenario {
+            name: "robust_vi_vs_nominal".into(),
+            wall_ms: wsn_nominal_ms + wsn_robust_ms + reach_nominal_ms + reach_robust_ms,
+            ..Default::default()
+        };
+        s.metrics.insert("wsn_nominal_check_ms".into(), wsn_nominal_ms);
+        s.metrics.insert("wsn_robust_check_ms".into(), wsn_robust_ms);
+        s.metrics.insert("wsn_robust_slowdown".into(), wsn_robust_ms / wsn_nominal_ms);
+        s.metrics.insert("reach_states".into(), model.num_states() as f64);
+        s.metrics.insert("reach_nominal_ms".into(), reach_nominal_ms);
+        s.metrics.insert("reach_robust_ms".into(), reach_robust_ms);
+        s.metrics.insert("reach_robust_slowdown".into(), reach_robust_ms / reach_nominal_ms);
+        s.metrics.insert("reach_nominal_value".into(), values[init]);
+        s.metrics.insert("reach_bracket_lo".into(), lo);
+        s.metrics.insert("reach_bracket_hi".into(), hi);
+        s.metrics.insert("reach_bracket_width".into(), hi - lo);
+        s.notes.insert("wsn_nominal_holds".into(), nominal.holds().to_string());
+        s.notes.insert("wsn_robust_holds".into(), robust.holds().to_string());
         scenarios.push(s);
     }
 

@@ -26,6 +26,16 @@ pub enum CheckError {
     /// The parametric engine failed while lifting a property over a
     /// parameter region (see [`crate::region`]).
     Parametric(tml_parametric::ParametricError),
+    /// An interval model's uncertainty set is malformed: NaN or out-of-range
+    /// endpoints, an inverted interval (`lo > hi`), or an empty row polytope
+    /// (`Σ lo > 1` or `Σ hi < 1`). Robust value iteration refuses such sets
+    /// instead of iterating on garbage.
+    InvalidInterval {
+        /// The state whose row is malformed.
+        state: usize,
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -38,6 +48,9 @@ impl fmt::Display for CheckError {
             }
             CheckError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
             CheckError::Parametric(e) => write!(f, "parametric error: {e}"),
+            CheckError::InvalidInterval { state, detail } => {
+                write!(f, "invalid interval row at state {state}: {detail}")
+            }
         }
     }
 }

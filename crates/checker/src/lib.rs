@@ -46,17 +46,19 @@ pub mod mdp;
 mod options;
 pub mod region;
 mod result;
+pub mod robust;
 mod run;
 
 pub use error::CheckError;
 pub use options::{CheckOptions, LinearSolver};
 pub use result::CheckResult;
+pub use robust::{RobustBracket, RobustCheckResult};
 // Budgets and diagnostics are part of the checking API surface.
 pub use tml_numerics::{Budget, CancelToken, Diagnostics, Exhaustion};
 
 use run::CheckRun;
 use tml_logic::{Opt, Query, StateFormula};
-use tml_models::{Dtmc, Mdp};
+use tml_models::{Dtmc, IntervalDtmc, IntervalMdp, Mdp};
 use tml_telemetry::span;
 
 /// The model-checking façade: construct once (optionally with custom
@@ -216,6 +218,90 @@ impl Checker {
     /// Same conditions as [`query_mdp`](Self::query_mdp).
     pub fn value_mdp(&self, model: &Mdp, query: &Query) -> Result<f64, CheckError> {
         Ok(self.query_mdp(model, query)?[model.initial_state()])
+    }
+
+    /// Robustly checks a formula on an interval DTMC: the result holds only
+    /// if it holds for *every* member of the uncertainty set (lower bounds
+    /// are tested against the pessimistic value, upper bounds against the
+    /// optimistic one). See [`robust`] for the supported fragment.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::InvalidInterval`] for malformed uncertainty sets and
+    /// [`CheckError::Unsupported`] for nested `P`/`R` operators.
+    pub fn check_interval_dtmc(
+        &self,
+        model: &IntervalDtmc,
+        formula: &StateFormula,
+    ) -> Result<RobustCheckResult, CheckError> {
+        let _span = span!("checker.check", model = "idtmc", states = model.num_states());
+        let run = CheckRun::new(&self.opts, &self.budget);
+        let result = robust::check_dtmc_run(model, formula, &run)?;
+        Ok(result.with_diagnostics(run.finish()))
+    }
+
+    /// Robustly checks a formula on an interval MDP, bracketing over
+    /// schedulers *and* uncertainty-set members.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`check_interval_dtmc`](Self::check_interval_dtmc),
+    /// plus [`CheckError::Unsupported`] for reach rewards (see [`robust`]).
+    pub fn check_interval_mdp(
+        &self,
+        model: &IntervalMdp,
+        formula: &StateFormula,
+    ) -> Result<RobustCheckResult, CheckError> {
+        let _span = span!("checker.check", model = "imdp", states = model.num_states());
+        let run = CheckRun::new(&self.opts, &self.budget);
+        let result = robust::check_mdp_run(model, formula, &run)?;
+        Ok(result.with_diagnostics(run.finish()))
+    }
+
+    /// The robust `[pessimistic, optimistic]` bracket of a numeric query on
+    /// an interval DTMC, one pair per state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`check_interval_dtmc`](Self::check_interval_dtmc).
+    pub fn query_interval_dtmc(
+        &self,
+        model: &IntervalDtmc,
+        query: &Query,
+    ) -> Result<RobustBracket, CheckError> {
+        Ok(self.query_interval_dtmc_diag(model, query)?.0)
+    }
+
+    /// Like [`query_interval_dtmc`](Self::query_interval_dtmc), also
+    /// reporting the [`Diagnostics`] of the robust solve.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`query_interval_dtmc`](Self::query_interval_dtmc).
+    pub fn query_interval_dtmc_diag(
+        &self,
+        model: &IntervalDtmc,
+        query: &Query,
+    ) -> Result<(RobustBracket, Diagnostics), CheckError> {
+        let _span = span!("checker.query", model = "idtmc", states = model.num_states());
+        let run = CheckRun::new(&self.opts, &self.budget);
+        let bracket = robust::query_dtmc_run(model, query, &run)?;
+        Ok((bracket, run.finish()))
+    }
+
+    /// The robust bracket of a numeric query on an interval MDP.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`check_interval_mdp`](Self::check_interval_mdp).
+    pub fn query_interval_mdp(
+        &self,
+        model: &IntervalMdp,
+        query: &Query,
+    ) -> Result<RobustBracket, CheckError> {
+        let _span = span!("checker.query", model = "imdp", states = model.num_states());
+        let run = CheckRun::new(&self.opts, &self.budget);
+        robust::query_mdp_run(model, query, &run)
     }
 }
 

@@ -43,6 +43,12 @@ pub struct CheckOptions {
     /// The runtime's circuit breaker clears this when the SCC backend has
     /// been failing.
     pub scc_enabled: bool,
+    /// Whether robust (min-max) value iteration on interval models may run.
+    /// The runtime's circuit breaker clears this under [`LinearSolver::Auto`]
+    /// when the `robust` backend has been failing; the robust checker then
+    /// degrades to a scalar solve on the nominal (midpoint) model and reports
+    /// the fallback in its diagnostics.
+    pub robust_vi_enabled: bool,
 }
 
 impl Default for CheckOptions {
@@ -54,6 +60,7 @@ impl Default for CheckOptions {
             direct_solver_limit: 512,
             bound_tolerance: 1e-8,
             scc_enabled: true,
+            robust_vi_enabled: true,
         }
     }
 }

@@ -1,0 +1,1076 @@
+//! Robust (min-max) value iteration for interval DTMCs and MDPs.
+//!
+//! An interval model describes an *uncertainty set* of concrete models;
+//! robust checking brackets the value of a property over every member:
+//!
+//! * the **pessimistic** value is the minimum over all members (nature
+//!   adversarially re-picks a feasible row distribution at every step —
+//!   the standard rectangular relaxation);
+//! * the **optimistic** value is the maximum.
+//!
+//! A bounded property holds *robustly* when its worst-case side satisfies
+//! the bound: lower bounds (`P>=b`, `R>=c`) test the pessimistic value,
+//! upper bounds the optimistic one. For the degenerate set `lo == hi` both
+//! sides collapse onto the scalar checker's value.
+//!
+//! The inner adversary problem per state — extremize `Σ p_t · x_t` over
+//! the row polytope `{p : lo ≤ p ≤ hi, Σ p = 1}` — is solved exactly in
+//! `O(n log n)`: start every transition at its lower bound and distribute
+//! the remaining mass `1 − Σ lo` greedily in value order (ascending to
+//! minimize, descending to maximize), capping each transition at `hi`.
+//!
+//! **Supported fragment.** Top-level `P ⋈ b [·]` / `R ⋈ c [·]` whose
+//! operands are propositional (labels and boolean connectives), plus purely
+//! propositional formulas (which need no uncertainty reasoning). Nested
+//! probabilistic operators are rejected with [`CheckError::Unsupported`]:
+//! negating a robustly-evaluated set would silently flip a for-all-members
+//! claim into an exists-member claim. Reach rewards on interval MDPs are
+//! likewise unsupported (the scheduler/nature finiteness interaction needs
+//! qualitative machinery this checker does not carry); cumulative rewards
+//! work on both model kinds.
+//!
+//! Every solve is budget-aware (sweeps charge the shared [`Budget`]) and
+//! telemetry-instrumented: `checker.robust.solves` / `.sweeps` /
+//! `.degraded` counters plus the `checker.backend.robust.{ok,fail}` pair
+//! that feeds the runtime's `robust` circuit breaker. When that breaker has
+//! cleared [`CheckOptions::robust_vi_enabled`] under [`LinearSolver::Auto`],
+//! robust calls degrade to a scalar solve on the nominal (midpoint) model
+//! with a collapsed bracket and a recorded fallback.
+
+use tml_logic::{PathFormula, Query, RewardKind, StateFormula};
+use tml_models::interval::{IntervalChoice, IntervalDtmc, IntervalMdp, IntervalTransition};
+use tml_models::{Labeling, RewardStructure};
+use tml_numerics::{Budget, Diagnostics};
+
+use crate::run::CheckRun;
+use crate::{CheckError, CheckOptions, LinearSolver};
+
+/// Reach probabilities this close to one count as "almost surely" when
+/// classifying which states have finite robust reach rewards. Documented in
+/// DESIGN.md §16: reach probabilities within this margin of one may
+/// misclassify a reward as infinite (never the reverse direction into
+/// unsound finite values below the true one, since value iteration
+/// converges from below).
+const AS_REACH_EPS: f64 = 1e-6;
+
+/// A two-sided robust value bracket: per-state pessimistic (minimum over
+/// the uncertainty set) and optimistic (maximum) values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustBracket {
+    /// Minimum value over every member of the uncertainty set.
+    pub pessimistic: Vec<f64>,
+    /// Maximum value over every member.
+    pub optimistic: Vec<f64>,
+}
+
+impl RobustBracket {
+    /// The `[pessimistic, optimistic]` pair at one state.
+    pub fn at(&self, state: usize) -> (f64, f64) {
+        (self.pessimistic[state], self.optimistic[state])
+    }
+
+    /// Whether per-state `values` lie inside the bracket everywhere, up to
+    /// `tol` (the nominal model's values must — that is the
+    /// `robust-contains-nominal` conformance oracle).
+    pub fn contains(&self, values: &[f64], tol: f64) -> bool {
+        values.len() == self.pessimistic.len()
+            && values
+                .iter()
+                .enumerate()
+                .all(|(s, &v)| v >= self.pessimistic[s] - tol && v <= self.optimistic[s] + tol)
+    }
+
+    /// The widest per-state gap `optimistic − pessimistic`.
+    pub fn width(&self) -> f64 {
+        self.pessimistic.iter().zip(&self.optimistic).map(|(&lo, &hi)| hi - lo).fold(0.0, f64::max)
+    }
+
+    fn collapsed(values: Vec<f64>) -> Self {
+        RobustBracket { pessimistic: values.clone(), optimistic: values }
+    }
+}
+
+/// Result of robustly checking a formula on an interval model.
+#[derive(Debug, Clone)]
+pub struct RobustCheckResult {
+    sat: Vec<bool>,
+    values: Option<RobustBracket>,
+    initial: usize,
+    diagnostics: Diagnostics,
+}
+
+impl RobustCheckResult {
+    fn new(sat: Vec<bool>, values: Option<RobustBracket>, initial: usize) -> Self {
+        RobustCheckResult { sat, values, initial, diagnostics: Diagnostics::new() }
+    }
+
+    pub(crate) fn with_diagnostics(mut self, diagnostics: Diagnostics) -> Self {
+        self.diagnostics = diagnostics;
+        self
+    }
+
+    /// Whether the formula holds robustly (for every member) in `state`.
+    pub fn holds_in(&self, state: usize) -> bool {
+        self.sat[state]
+    }
+
+    /// Whether the formula holds robustly in the initial state.
+    pub fn holds(&self) -> bool {
+        self.sat[self.initial]
+    }
+
+    /// The per-state robust satisfaction mask.
+    pub fn sat_mask(&self) -> &[bool] {
+        &self.sat
+    }
+
+    /// The value bracket of a top-level `P`/`R` operator (`None` for purely
+    /// propositional formulas).
+    pub fn bracket(&self) -> Option<&RobustBracket> {
+        self.values.as_ref()
+    }
+
+    /// The `[pessimistic, optimistic]` values in the initial state, when a
+    /// bracket was computed.
+    pub fn bracket_at_initial(&self) -> Option<(f64, f64)> {
+        self.values.as_ref().map(|b| b.at(self.initial))
+    }
+
+    /// Diagnostics of the robust solve (sweeps, fallbacks, exhaustion).
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
+    }
+}
+
+/// Validates an interval DTMC's uncertainty set: finite endpoints inside
+/// `[0, 1]`, `lo ≤ hi`, and a non-empty row polytope per state.
+///
+/// # Errors
+///
+/// Returns [`CheckError::InvalidInterval`] naming the first offending state.
+pub fn validate_interval_dtmc(model: &IntervalDtmc) -> Result<(), CheckError> {
+    for s in 0..model.num_states() {
+        validate_row(model.row(s), s)?;
+    }
+    Ok(())
+}
+
+/// Validates an interval MDP (every choice of every state).
+///
+/// # Errors
+///
+/// Returns [`CheckError::InvalidInterval`] naming the first offending state.
+pub fn validate_interval_mdp(model: &IntervalMdp) -> Result<(), CheckError> {
+    for s in 0..model.num_states() {
+        if model.choices(s).is_empty() {
+            return Err(CheckError::InvalidInterval {
+                state: s,
+                detail: "state offers no choice".into(),
+            });
+        }
+        for c in model.choices(s) {
+            validate_row(&c.transitions, s)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_row(row: &[IntervalTransition], state: usize) -> Result<(), CheckError> {
+    let tol = tml_models::STOCHASTIC_TOLERANCE;
+    if row.is_empty() {
+        return Err(CheckError::InvalidInterval {
+            state,
+            detail: "state has no outgoing intervals".into(),
+        });
+    }
+    let (mut lo_sum, mut hi_sum) = (0.0, 0.0);
+    for &(t, lo, hi) in row {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(CheckError::InvalidInterval {
+                state,
+                detail: format!("non-finite endpoint [{lo}, {hi}] on transition to {t}"),
+            });
+        }
+        if lo < -tol || hi > 1.0 + tol {
+            return Err(CheckError::InvalidInterval {
+                state,
+                detail: format!("endpoint outside [0, 1]: [{lo}, {hi}] on transition to {t}"),
+            });
+        }
+        if lo > hi + tol {
+            return Err(CheckError::InvalidInterval {
+                state,
+                detail: format!("inverted interval [{lo}, {hi}] on transition to {t}"),
+            });
+        }
+        lo_sum += lo;
+        hi_sum += hi;
+    }
+    if lo_sum > 1.0 + tol {
+        return Err(CheckError::InvalidInterval {
+            state,
+            detail: format!("empty polytope: lower bounds sum to {lo_sum} > 1"),
+        });
+    }
+    if hi_sum < 1.0 - tol {
+        return Err(CheckError::InvalidInterval {
+            state,
+            detail: format!("empty polytope: upper bounds sum to {hi_sum} < 1"),
+        });
+    }
+    Ok(())
+}
+
+/// Extremizes `Σ p_t · x_t` over the row polytope in `O(n log n)`: lower
+/// bounds everywhere, then the remaining mass in value order. Ties break on
+/// the target index so the result is independent of input ordering.
+fn inner_expectation(row: &[IntervalTransition], values: &[f64], maximize: bool) -> f64 {
+    // Accumulate in target order so the result is bitwise independent of
+    // the input row ordering (builders sort rows, hand-built slices may not).
+    let mut order: Vec<usize> = (0..row.len()).collect();
+    order.sort_unstable_by_key(|&i| row[i].0);
+    let mut total = 0.0;
+    let mut budget = 1.0;
+    for &i in &order {
+        let (t, lo, _) = row[i];
+        if lo > 0.0 {
+            total += lo * values[t];
+        }
+        budget -= lo;
+    }
+    if budget <= 0.0 {
+        return total;
+    }
+    order.sort_unstable_by(|&a, &b| {
+        let (va, vb) = (values[row[a].0], values[row[b].0]);
+        let ord = va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal);
+        let ord = if maximize { ord.reverse() } else { ord };
+        ord.then_with(|| row[a].0.cmp(&row[b].0))
+    });
+    for &i in &order {
+        let (t, lo, hi) = row[i];
+        let take = (hi - lo).min(budget);
+        if take > 0.0 {
+            total += take * values[t];
+            budget -= take;
+            if budget <= 0.0 {
+                break;
+            }
+        }
+    }
+    total
+}
+
+/// The per-state row accessor both model kinds share: a DTMC state has one
+/// implicit choice, an MDP state one per action. The outer operator folds
+/// over choices (`min` under `Opt::Min`-style resolution, `max` otherwise —
+/// a DTMC fold sees exactly one element, so the flag is vacuous there).
+trait RobustModel {
+    fn num_states(&self) -> usize;
+    fn initial_state(&self) -> usize;
+    fn labeling(&self) -> &Labeling;
+    /// Extremized one-step backup at `state`: inner adversary per choice,
+    /// outer fold over choices. `extra` adds a per-choice offset (choice
+    /// rewards); `minimize_outer` picks the scheduler side.
+    fn backup(
+        &self,
+        state: usize,
+        values: &[f64],
+        maximize_inner: bool,
+        minimize_outer: bool,
+        extra: &dyn Fn(usize, usize) -> f64,
+    ) -> f64;
+    fn reward_structure(&self, name: Option<&str>) -> Result<&RewardStructure, CheckError>;
+}
+
+impl RobustModel for IntervalDtmc {
+    fn num_states(&self) -> usize {
+        IntervalDtmc::num_states(self)
+    }
+    fn initial_state(&self) -> usize {
+        IntervalDtmc::initial_state(self)
+    }
+    fn labeling(&self) -> &Labeling {
+        IntervalDtmc::labeling(self)
+    }
+    fn backup(
+        &self,
+        state: usize,
+        values: &[f64],
+        maximize_inner: bool,
+        _minimize_outer: bool,
+        extra: &dyn Fn(usize, usize) -> f64,
+    ) -> f64 {
+        inner_expectation(self.row(state), values, maximize_inner) + extra(state, 0)
+    }
+    fn reward_structure(&self, name: Option<&str>) -> Result<&RewardStructure, CheckError> {
+        lookup(name, |n| self.reward_structure(n).ok(), self.default_reward_structure())
+    }
+}
+
+impl RobustModel for IntervalMdp {
+    fn num_states(&self) -> usize {
+        IntervalMdp::num_states(self)
+    }
+    fn initial_state(&self) -> usize {
+        IntervalMdp::initial_state(self)
+    }
+    fn labeling(&self) -> &Labeling {
+        IntervalMdp::labeling(self)
+    }
+    fn backup(
+        &self,
+        state: usize,
+        values: &[f64],
+        maximize_inner: bool,
+        minimize_outer: bool,
+        extra: &dyn Fn(usize, usize) -> f64,
+    ) -> f64 {
+        let fold = |acc: f64, v: f64| if minimize_outer { acc.min(v) } else { acc.max(v) };
+        let mut best = if minimize_outer { f64::INFINITY } else { f64::NEG_INFINITY };
+        for (c, choice) in self.choices(state).iter().enumerate() {
+            let IntervalChoice { transitions, .. } = choice;
+            best = fold(
+                best,
+                inner_expectation(transitions, values, maximize_inner) + extra(state, c),
+            );
+        }
+        best
+    }
+    fn reward_structure(&self, name: Option<&str>) -> Result<&RewardStructure, CheckError> {
+        lookup(name, |n| self.reward_structure(n).ok(), self.default_reward_structure())
+    }
+}
+
+fn lookup<'a>(
+    name: Option<&str>,
+    by_name: impl Fn(&str) -> Option<&'a RewardStructure>,
+    default: Option<&'a RewardStructure>,
+) -> Result<&'a RewardStructure, CheckError> {
+    let found = match name {
+        Some(n) => by_name(n),
+        None => default,
+    };
+    found.ok_or_else(|| {
+        CheckError::Model(tml_models::ModelError::NotFound {
+            kind: "reward structure",
+            name: name.unwrap_or("<default>").into(),
+        })
+    })
+}
+
+/// Evaluates a propositional formula against the labeling. Probabilistic or
+/// reward operators anywhere inside are rejected: robust satisfaction is a
+/// for-all-members claim and does not commute with negation.
+fn eval_propositional(
+    labeling: &Labeling,
+    n: usize,
+    formula: &StateFormula,
+) -> Result<Vec<bool>, CheckError> {
+    Ok(match formula {
+        StateFormula::True => vec![true; n],
+        StateFormula::False => vec![false; n],
+        StateFormula::Atom(a) => labeling.mask(a),
+        StateFormula::Not(f) => eval_propositional(labeling, n, f)?.iter().map(|b| !b).collect(),
+        StateFormula::And(a, b) => {
+            zip(eval_propositional(labeling, n, a)?, eval_propositional(labeling, n, b)?, |x, y| {
+                x && y
+            })
+        }
+        StateFormula::Or(a, b) => {
+            zip(eval_propositional(labeling, n, a)?, eval_propositional(labeling, n, b)?, |x, y| {
+                x || y
+            })
+        }
+        StateFormula::Implies(a, b) => {
+            zip(eval_propositional(labeling, n, a)?, eval_propositional(labeling, n, b)?, |x, y| {
+                !x || y
+            })
+        }
+        StateFormula::Prob { .. } | StateFormula::Reward { .. } => {
+            return Err(CheckError::Unsupported {
+                detail: "robust checking supports P/R only at the top level \
+                         with propositional operands"
+                    .into(),
+            })
+        }
+    })
+}
+
+fn zip(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+/// One robust value-iteration solve. `seed` initializes the iterate,
+/// `frozen[s]` states never update (targets, infinite-reward states),
+/// `step` computes the backup for a live state. Charges the run's budget
+/// per sweep and returns the best iterate on exhaustion.
+fn robust_vi(
+    run: &CheckRun<'_>,
+    mut x: Vec<f64>,
+    frozen: &[bool],
+    horizon: Option<u64>,
+    step: impl Fn(usize, &[f64]) -> f64,
+) -> Vec<f64> {
+    let n = x.len();
+    let opts = run.opts;
+    let max_sweeps = horizon.unwrap_or(opts.max_iterations as u64);
+    tml_telemetry::counter!("checker.robust.solves", 1);
+    let mut sweeps = 0u64;
+    let mut diff = f64::INFINITY;
+    while sweeps < max_sweeps {
+        if let Some(cause) = run.exhausted() {
+            run.mark_exhausted(cause);
+            break;
+        }
+        diff = 0.0;
+        let mut next = x.clone();
+        for s in 0..n {
+            if frozen[s] {
+                continue;
+            }
+            let v = step(s, &x);
+            let d = if v.is_infinite() && x[s].is_infinite() { 0.0 } else { (v - x[s]).abs() };
+            diff = diff.max(d);
+            next[s] = v;
+        }
+        x = next;
+        sweeps += 1;
+        run.spend(1);
+        // A fixed horizon runs exactly `horizon` sweeps; an unbounded solve
+        // stops at the tolerance.
+        if horizon.is_none() && diff <= opts.tolerance {
+            break;
+        }
+    }
+    tml_telemetry::counter!("checker.robust.sweeps", sweeps);
+    if horizon.is_none() {
+        let converged = diff <= opts.tolerance;
+        run.record_backend("robust", converged);
+        if !converged && diff.is_finite() {
+            run.record_residual(diff);
+        }
+    } else {
+        run.record_backend("robust", true);
+    }
+    x
+}
+
+/// Robust `P(φ U ψ)` per state for one side of the bracket.
+fn robust_until<M: RobustModel>(
+    model: &M,
+    phi: &[bool],
+    target: &[bool],
+    bound: Option<u64>,
+    run: &CheckRun<'_>,
+    maximize: bool,
+    minimize_outer: bool,
+) -> Vec<f64> {
+    let n = model.num_states();
+    let x: Vec<f64> = target.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect();
+    let frozen: Vec<bool> = (0..n).map(|s| target[s] || !phi[s]).collect();
+    let zero = |_: usize, _: usize| 0.0;
+    robust_vi(run, x, &frozen, bound, |s, vals| {
+        model.backup(s, vals, maximize, minimize_outer, &zero).clamp(0.0, 1.0)
+    })
+}
+
+/// One-step robust `P(X target)`.
+fn robust_next<M: RobustModel>(
+    model: &M,
+    target: &[bool],
+    run: &CheckRun<'_>,
+    maximize: bool,
+    minimize_outer: bool,
+) -> Vec<f64> {
+    let n = model.num_states();
+    let ind: Vec<f64> = target.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect();
+    run.spend(1);
+    tml_telemetry::counter!("checker.robust.solves", 1);
+    tml_telemetry::counter!("checker.robust.sweeps", 1);
+    run.record_backend("robust", true);
+    let zero = |_: usize, _: usize| 0.0;
+    (0..n).map(|s| model.backup(s, &ind, maximize, minimize_outer, &zero).clamp(0.0, 1.0)).collect()
+}
+
+/// Robust expected reward accumulated until reaching `target` on an
+/// interval DTMC. States whose worst-case (for this side) reach probability
+/// falls short of one get `+∞`.
+fn robust_reach_rewards(
+    model: &IntervalDtmc,
+    rewards: &RewardStructure,
+    target: &[bool],
+    run: &CheckRun<'_>,
+    maximize: bool,
+) -> Vec<f64> {
+    let n = RobustModel::num_states(model);
+    let all = vec![true; n];
+    // Maximal reward is finite only when *every* member reaches a.s.
+    // (pessimistic reach = 1); minimal reward needs *some* member to reach
+    // a.s. (optimistic reach = 1).
+    let reach = robust_until(model, &all, target, None, run, !maximize, false);
+    let finite: Vec<bool> = reach.iter().map(|&p| p >= 1.0 - AS_REACH_EPS).collect();
+    let x: Vec<f64> =
+        (0..n).map(|s| if target[s] || finite[s] { 0.0 } else { f64::INFINITY }).collect();
+    let frozen: Vec<bool> = (0..n).map(|s| target[s] || !finite[s]).collect();
+    let zero = |_: usize, _: usize| 0.0;
+    robust_vi(run, x, &frozen, None, |s, vals| {
+        rewards.state_reward(s) + RobustModel::backup(model, s, vals, maximize, false, &zero)
+    })
+}
+
+/// Robust expected reward cumulated over `k` steps.
+fn robust_cumulative_rewards<M: RobustModel>(
+    model: &M,
+    rewards: &RewardStructure,
+    k: u64,
+    run: &CheckRun<'_>,
+    maximize: bool,
+    minimize_outer: bool,
+) -> Vec<f64> {
+    let n = model.num_states();
+    let x = vec![0.0; n];
+    let frozen = vec![false; n];
+    let extra = |s: usize, c: usize| rewards.state_reward(s) + rewards.choice_reward(s, c);
+    robust_vi(run, x, &frozen, Some(k), |s, vals| {
+        model.backup(s, vals, maximize, minimize_outer, &extra)
+    })
+}
+
+/// The `(pessimistic, optimistic)` bracket of a path formula's probability.
+/// `outer`: `(minimize_outer_for_pessimistic, minimize_outer_for_optimistic)`
+/// — on a DTMC both are vacuous; on an MDP the scheduler joins nature on
+/// each side (min with min, max with max), bracketing over schedulers *and*
+/// members.
+fn path_bracket<M: RobustModel>(
+    model: &M,
+    path: &PathFormula,
+    run: &CheckRun<'_>,
+) -> Result<RobustBracket, CheckError> {
+    let n = model.num_states();
+    let lab = model.labeling();
+    let (pess, opt) = match path {
+        PathFormula::Next(f) => {
+            let target = eval_propositional(lab, n, f)?;
+            (
+                robust_next(model, &target, run, false, true),
+                robust_next(model, &target, run, true, false),
+            )
+        }
+        PathFormula::Until { lhs, rhs, bound } => {
+            let phi = eval_propositional(lab, n, lhs)?;
+            let target = eval_propositional(lab, n, rhs)?;
+            (
+                robust_until(model, &phi, &target, *bound, run, false, true),
+                robust_until(model, &phi, &target, *bound, run, true, false),
+            )
+        }
+        PathFormula::Eventually { sub, bound } => {
+            let target = eval_propositional(lab, n, sub)?;
+            let phi = vec![true; n];
+            (
+                robust_until(model, &phi, &target, *bound, run, false, true),
+                robust_until(model, &phi, &target, *bound, run, true, false),
+            )
+        }
+        PathFormula::Globally { sub, bound } => {
+            // Robust duality: the adversary maximizing P(F ¬φ) is the one
+            // minimizing P(G φ), so the G-bracket is the complemented,
+            // side-swapped F-bracket.
+            let inv: Vec<bool> = eval_propositional(lab, n, sub)?.iter().map(|b| !b).collect();
+            let phi = vec![true; n];
+            let f_hi = robust_until(model, &phi, &inv, *bound, run, true, false);
+            let f_lo = robust_until(model, &phi, &inv, *bound, run, false, true);
+            (
+                f_hi.iter().map(|p| (1.0 - p).clamp(0.0, 1.0)).collect(),
+                f_lo.iter().map(|p| (1.0 - p).clamp(0.0, 1.0)).collect(),
+            )
+        }
+    };
+    Ok(RobustBracket { pessimistic: pess, optimistic: opt })
+}
+
+enum AnyInterval<'a> {
+    Dtmc(&'a IntervalDtmc),
+    Mdp(&'a IntervalMdp),
+}
+
+impl AnyInterval<'_> {
+    fn validate(&self) -> Result<(), CheckError> {
+        match self {
+            AnyInterval::Dtmc(m) => validate_interval_dtmc(m),
+            AnyInterval::Mdp(m) => validate_interval_mdp(m),
+        }
+    }
+
+    fn path_bracket(
+        &self,
+        path: &PathFormula,
+        run: &CheckRun<'_>,
+    ) -> Result<RobustBracket, CheckError> {
+        match self {
+            AnyInterval::Dtmc(m) => path_bracket(*m, path, run),
+            AnyInterval::Mdp(m) => path_bracket(*m, path, run),
+        }
+    }
+
+    fn reward_bracket(
+        &self,
+        structure: Option<&str>,
+        kind: &RewardKind,
+        run: &CheckRun<'_>,
+    ) -> Result<RobustBracket, CheckError> {
+        match self {
+            AnyInterval::Dtmc(m) => {
+                let rewards = RobustModel::reward_structure(*m, structure)?;
+                match kind {
+                    RewardKind::Reach(target) => {
+                        let n = RobustModel::num_states(*m);
+                        let mask = eval_propositional(RobustModel::labeling(*m), n, target)?;
+                        Ok(RobustBracket {
+                            pessimistic: robust_reach_rewards(m, rewards, &mask, run, false),
+                            optimistic: robust_reach_rewards(m, rewards, &mask, run, true),
+                        })
+                    }
+                    RewardKind::Cumulative(k) => Ok(RobustBracket {
+                        pessimistic: robust_cumulative_rewards(*m, rewards, *k, run, false, true),
+                        optimistic: robust_cumulative_rewards(*m, rewards, *k, run, true, false),
+                    }),
+                }
+            }
+            AnyInterval::Mdp(m) => match kind {
+                RewardKind::Reach(_) => Err(CheckError::Unsupported {
+                    detail: "robust reach rewards on interval MDPs are not supported \
+                             (see DESIGN.md §16); use cumulative rewards or an induced \
+                             interval DTMC"
+                        .into(),
+                }),
+                RewardKind::Cumulative(k) => {
+                    let rewards = RobustModel::reward_structure(*m, structure)?;
+                    Ok(RobustBracket {
+                        pessimistic: robust_cumulative_rewards(*m, rewards, *k, run, false, true),
+                        optimistic: robust_cumulative_rewards(*m, rewards, *k, run, true, false),
+                    })
+                }
+            },
+        }
+    }
+
+    fn labeling(&self) -> &Labeling {
+        match self {
+            AnyInterval::Dtmc(m) => RobustModel::labeling(*m),
+            AnyInterval::Mdp(m) => RobustModel::labeling(*m),
+        }
+    }
+
+    fn num_states(&self) -> usize {
+        match self {
+            AnyInterval::Dtmc(m) => RobustModel::num_states(*m),
+            AnyInterval::Mdp(m) => RobustModel::num_states(*m),
+        }
+    }
+
+    fn initial_state(&self) -> usize {
+        match self {
+            AnyInterval::Dtmc(m) => RobustModel::initial_state(*m),
+            AnyInterval::Mdp(m) => RobustModel::initial_state(*m),
+        }
+    }
+}
+
+/// Whether the robust backend is disabled for this run (breaker open under
+/// `Auto`).
+fn degraded(opts: &CheckOptions) -> bool {
+    opts.solver == LinearSolver::Auto && !opts.robust_vi_enabled
+}
+
+fn check_any(
+    model: &AnyInterval<'_>,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<RobustCheckResult, CheckError> {
+    model.validate().inspect_err(|_| run.record_backend("robust", false))?;
+    let n = model.num_states();
+    if degraded(run.opts) {
+        return degrade_check(model, formula, run);
+    }
+    let (sat, values) = match formula {
+        StateFormula::Prob { op, bound, path, .. } => {
+            let bracket = model.path_bracket(path, run)?;
+            let sat = robust_sat(run.opts, *op, *bound, &bracket);
+            (sat, Some(bracket))
+        }
+        StateFormula::Reward { structure, op, bound, kind, .. } => {
+            let bracket = model.reward_bracket(structure.as_deref(), kind, run)?;
+            let sat = robust_sat(run.opts, *op, *bound, &bracket);
+            (sat, Some(bracket))
+        }
+        prop => (eval_propositional(model.labeling(), n, prop)?, None),
+    };
+    Ok(RobustCheckResult::new(sat, values, model.initial_state()))
+}
+
+/// Robust satisfaction: lower bounds must hold at the pessimistic value,
+/// upper bounds at the optimistic one — i.e. on the worst member.
+fn robust_sat(
+    opts: &CheckOptions,
+    op: tml_logic::CmpOp,
+    bound: f64,
+    bracket: &RobustBracket,
+) -> Vec<bool> {
+    let side = if op.is_lower_bound() { &bracket.pessimistic } else { &bracket.optimistic };
+    side.iter().map(|&v| opts.test_bound(op, v, bound)).collect()
+}
+
+/// Breaker-open degradation: scalar-check the nominal (midpoint) model and
+/// report a collapsed bracket plus an explicit fallback event. Only interval
+/// DTMCs have a nominal scalar model; MDPs keep the structured error.
+fn degrade_check(
+    model: &AnyInterval<'_>,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<RobustCheckResult, CheckError> {
+    let AnyInterval::Dtmc(m) = model else {
+        return Err(CheckError::Unsupported {
+            detail: "robust backend disabled (breaker open) and interval MDPs \
+                     have no nominal scalar fallback"
+                .into(),
+        });
+    };
+    tml_telemetry::counter!("checker.robust.degraded", 1);
+    run.record_fallback("robust -> nominal (breaker open)");
+    let nominal = m.nominal_dtmc()?;
+    let result = crate::dtmc::check_run(&nominal, formula, run)?;
+    let sat = (0..nominal.num_states()).map(|s| result.holds_in(s)).collect();
+    let values = result.values().map(|v| RobustBracket::collapsed(v.to_vec()));
+    Ok(RobustCheckResult::new(sat, values, nominal.initial_state()))
+}
+
+fn query_any(
+    model: &AnyInterval<'_>,
+    query: &Query,
+    run: &CheckRun<'_>,
+) -> Result<RobustBracket, CheckError> {
+    model.validate().inspect_err(|_| run.record_backend("robust", false))?;
+    if degraded(run.opts) {
+        let AnyInterval::Dtmc(m) = model else {
+            return Err(CheckError::Unsupported {
+                detail: "robust backend disabled (breaker open) and interval MDPs \
+                         have no nominal scalar fallback"
+                    .into(),
+            });
+        };
+        tml_telemetry::counter!("checker.robust.degraded", 1);
+        run.record_fallback("robust -> nominal (breaker open)");
+        let nominal = m.nominal_dtmc()?;
+        let values = crate::dtmc::query_run(&nominal, query, run)?;
+        return Ok(RobustBracket::collapsed(values));
+    }
+    match query {
+        Query::Prob { path, .. } => model.path_bracket(path, run),
+        Query::Reward { structure, kind, .. } => {
+            model.reward_bracket(structure.as_deref(), kind, run)
+        }
+    }
+}
+
+/// Robustly checks a formula on an interval DTMC with explicit options and
+/// an unlimited budget (the [`crate::Checker`] facade threads a budget).
+///
+/// # Errors
+///
+/// * [`CheckError::InvalidInterval`] for malformed uncertainty sets.
+/// * [`CheckError::Unsupported`] for nested `P`/`R` operators.
+pub fn check_interval_dtmc(
+    model: &IntervalDtmc,
+    formula: &StateFormula,
+    opts: &CheckOptions,
+) -> Result<RobustCheckResult, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    let result = check_any(&AnyInterval::Dtmc(model), formula, &run)?;
+    Ok(result.with_diagnostics(run.finish()))
+}
+
+/// Robustly checks a formula on an interval MDP (bracketing over schedulers
+/// *and* members).
+///
+/// # Errors
+///
+/// Same as [`check_interval_dtmc`], plus [`CheckError::Unsupported`] for
+/// reach rewards (see the module docs).
+pub fn check_interval_mdp(
+    model: &IntervalMdp,
+    formula: &StateFormula,
+    opts: &CheckOptions,
+) -> Result<RobustCheckResult, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    let result = check_any(&AnyInterval::Mdp(model), formula, &run)?;
+    Ok(result.with_diagnostics(run.finish()))
+}
+
+pub(crate) fn check_dtmc_run(
+    model: &IntervalDtmc,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<RobustCheckResult, CheckError> {
+    check_any(&AnyInterval::Dtmc(model), formula, run)
+}
+
+pub(crate) fn check_mdp_run(
+    model: &IntervalMdp,
+    formula: &StateFormula,
+    run: &CheckRun<'_>,
+) -> Result<RobustCheckResult, CheckError> {
+    check_any(&AnyInterval::Mdp(model), formula, run)
+}
+
+pub(crate) fn query_dtmc_run(
+    model: &IntervalDtmc,
+    query: &Query,
+    run: &CheckRun<'_>,
+) -> Result<RobustBracket, CheckError> {
+    query_any(&AnyInterval::Dtmc(model), query, run)
+}
+
+pub(crate) fn query_mdp_run(
+    model: &IntervalMdp,
+    query: &Query,
+    run: &CheckRun<'_>,
+) -> Result<RobustBracket, CheckError> {
+    query_any(&AnyInterval::Mdp(model), query, run)
+}
+
+/// The robust bracket of a numeric query on an interval DTMC.
+///
+/// # Errors
+///
+/// Same conditions as [`check_interval_dtmc`].
+pub fn query_interval_dtmc(
+    model: &IntervalDtmc,
+    query: &Query,
+    opts: &CheckOptions,
+) -> Result<RobustBracket, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    query_any(&AnyInterval::Dtmc(model), query, &run)
+}
+
+/// The robust bracket of a numeric query on an interval MDP.
+///
+/// # Errors
+///
+/// Same conditions as [`check_interval_mdp`].
+pub fn query_interval_mdp(
+    model: &IntervalMdp,
+    query: &Query,
+    opts: &CheckOptions,
+) -> Result<RobustBracket, CheckError> {
+    let budget = Budget::unlimited();
+    let run = CheckRun::new(opts, &budget);
+    query_any(&AnyInterval::Mdp(model), query, &run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_logic::parse_formula;
+    use tml_models::interval::IntervalDtmcBuilder;
+    use tml_models::{Dtmc, DtmcBuilder};
+
+    fn gambler() -> Dtmc {
+        let mut b = DtmcBuilder::new(3);
+        b.transition(0, 1, 0.3).unwrap();
+        b.transition(0, 2, 0.7).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.transition(2, 2, 1.0).unwrap();
+        b.label(1, "rich").unwrap();
+        b.state_reward("steps", 0, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degenerate_bracket_collapses_to_scalar_value() {
+        let d = gambler();
+        let m = IntervalDtmc::degenerate(&d);
+        let phi = parse_formula("P>=0.25 [ F \"rich\" ]").unwrap();
+        let r = check_interval_dtmc(&m, &phi, &CheckOptions::default()).unwrap();
+        let (lo, hi) = r.bracket_at_initial().unwrap();
+        assert!((lo - 0.3).abs() < 1e-10 && (hi - 0.3).abs() < 1e-10);
+        assert!(r.holds());
+    }
+
+    #[test]
+    fn widening_widens_the_bracket_and_flips_the_verdict() {
+        let d = gambler();
+        let phi = parse_formula("P>=0.25 [ F \"rich\" ]").unwrap();
+        let narrow = IntervalDtmc::from_dtmc(&d, 0.01);
+        let wide = IntervalDtmc::from_dtmc(&d, 0.2);
+        let rn = check_interval_dtmc(&narrow, &phi, &CheckOptions::default()).unwrap();
+        let rw = check_interval_dtmc(&wide, &phi, &CheckOptions::default()).unwrap();
+        let (nlo, nhi) = rn.bracket_at_initial().unwrap();
+        let (wlo, whi) = rw.bracket_at_initial().unwrap();
+        assert!(wlo <= nlo && whi >= nhi, "wider set, wider bracket");
+        assert!(rn.holds(), "±0.01 keeps the bound");
+        // ±0.2 admits a member with P(F rich) = 0.1 < 0.25.
+        assert!(!rw.holds(), "±0.2 breaks the bound robustly");
+        // Both brackets contain the nominal value 0.3.
+        assert!(rn.bracket().unwrap().contains(&[0.3, 1.0, 0.0], 1e-9));
+        assert!(rw.bracket().unwrap().contains(&[0.3, 1.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn rewards_bracket_and_go_infinite() {
+        let d = gambler();
+        let m = IntervalDtmc::from_dtmc(&d, 0.05);
+        // Expected steps until absorption: exactly one step from state 0.
+        let phi = parse_formula("R{\"steps\"}<=1.5 [ F \"rich\" ]").unwrap();
+        let r = check_interval_dtmc(&m, &phi, &CheckOptions::default()).unwrap();
+        let (lo, hi) = r.bracket_at_initial().unwrap();
+        // "rich" is not reached a.s. (the loser loop absorbs), so the
+        // reward is infinite on every side.
+        assert!(lo.is_infinite() && hi.is_infinite());
+        assert!(!r.holds());
+
+        // Against the full absorption target the reward is exactly 1.
+        let mut b = DtmcBuilder::new(2);
+        b.transition(0, 1, 1.0).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.label(1, "done").unwrap();
+        b.state_reward("steps", 0, 1.0).unwrap();
+        let line = b.build().unwrap();
+        let m = IntervalDtmc::degenerate(&line);
+        let phi = parse_formula("R{\"steps\"}<=1.0 [ F \"done\" ]").unwrap();
+        let r = check_interval_dtmc(&m, &phi, &CheckOptions::default()).unwrap();
+        let (lo, hi) = r.bracket_at_initial().unwrap();
+        assert!((lo - 1.0).abs() < 1e-9 && (hi - 1.0).abs() < 1e-9);
+        assert!(r.holds());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_sets() {
+        let mut b = IntervalDtmcBuilder::unchecked(2);
+        b.transition(0, 1, 0.9, 0.1).unwrap();
+        b.transition(1, 1, 1.0, 1.0).unwrap();
+        let inverted = b.build().unwrap();
+        let phi = parse_formula("P>=0.5 [ F \"x\" ]").unwrap();
+        let err = check_interval_dtmc(&inverted, &phi, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CheckError::InvalidInterval { state: 0, .. }), "{err}");
+
+        let mut b = IntervalDtmcBuilder::unchecked(1);
+        b.transition(0, 0, f64::NAN, 1.0).unwrap();
+        let nan = b.build().unwrap();
+        let err = check_interval_dtmc(&nan, &phi, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CheckError::InvalidInterval { .. }), "{err}");
+        assert!(err.to_string().contains("state 0"), "{err}");
+    }
+
+    #[test]
+    fn nested_probabilistic_operators_rejected() {
+        let d = gambler();
+        let m = IntervalDtmc::degenerate(&d);
+        let nested = parse_formula("P>=0.5 [ F P>=0.5 [ F \"rich\" ] ]").unwrap();
+        let err = check_interval_dtmc(&m, &nested, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CheckError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn breaker_open_degrades_to_nominal_under_auto() {
+        let d = gambler();
+        let m = IntervalDtmc::from_dtmc(&d, 0.1);
+        let phi = parse_formula("P>=0.25 [ F \"rich\" ]").unwrap();
+        let opts = CheckOptions { robust_vi_enabled: false, ..CheckOptions::default() };
+        let r = check_interval_dtmc(&m, &phi, &opts).unwrap();
+        // Collapsed bracket at the nominal value; the fallback is recorded.
+        let (lo, hi) = r.bracket_at_initial().unwrap();
+        assert!((lo - hi).abs() < 1e-12);
+        assert!((lo - 0.3).abs() < 1e-9);
+        assert!(r.diagnostics().fallbacks.iter().any(|f| f.contains("breaker")));
+        // A pinned (non-Auto) solver ignores the breaker flag.
+        let pinned = CheckOptions {
+            robust_vi_enabled: false,
+            solver: LinearSolver::GaussSeidel,
+            ..CheckOptions::default()
+        };
+        let r = check_interval_dtmc(&m, &phi, &pinned).unwrap();
+        let (lo, hi) = r.bracket_at_initial().unwrap();
+        assert!(hi - lo > 0.01, "real bracket, not collapsed");
+    }
+
+    #[test]
+    fn interval_mdp_brackets_over_schedulers_and_members() {
+        let mut b = tml_models::interval::IntervalMdpBuilder::new(3);
+        b.choice(0, "safe", &[(1, 0.55, 0.65), (2, 0.35, 0.45)]).unwrap();
+        b.choice(0, "risky", &[(1, 0.2, 0.9), (2, 0.1, 0.8)]).unwrap();
+        b.choice(1, "stay", &[(1, 1.0, 1.0)]).unwrap();
+        b.choice(2, "stay", &[(2, 1.0, 1.0)]).unwrap();
+        b.label(1, "goal").unwrap();
+        let m = b.build().unwrap();
+        let q = tml_logic::parse_query("P=? [ F \"goal\" ]").unwrap();
+        let bracket = query_interval_mdp(&m, &q, &CheckOptions::default()).unwrap();
+        let (lo, hi) = bracket.at(0);
+        // Worst scheduler+member: risky with p(goal)=0.2; best: risky with 0.9.
+        assert!((lo - 0.2).abs() < 1e-9, "pessimistic {lo}");
+        assert!((hi - 0.9).abs() < 1e-9, "optimistic {hi}");
+        // Reach rewards are unsupported on interval MDPs.
+        let phi = parse_formula("R<=1.0 [ F \"goal\" ]").unwrap();
+        let err = check_interval_mdp(&m, &phi, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CheckError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_hung() {
+        let d = gambler();
+        let m = IntervalDtmc::from_dtmc(&d, 0.1);
+        let phi = parse_formula("P>=0.25 [ F \"rich\" ]").unwrap();
+        let budget = Budget::unlimited().with_max_evaluations(1);
+        let opts = CheckOptions::default();
+        let run = CheckRun::new(&opts, &budget);
+        let r = check_dtmc_run(&m, &phi, &run).unwrap();
+        let diag = run.finish();
+        assert!(diag.exhausted.is_some());
+        // Best-effort values are still in range.
+        let (lo, hi) = r.bracket_at_initial().unwrap();
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn bounded_and_next_and_globally() {
+        let d = gambler();
+        let m = IntervalDtmc::from_dtmc(&d, 0.1);
+        let o = CheckOptions::default();
+        let q = tml_logic::parse_query("P=? [ X \"rich\" ]").unwrap();
+        let b = query_interval_dtmc(&m, &q, &o).unwrap();
+        let (lo, hi) = b.at(0);
+        assert!((lo - 0.2).abs() < 1e-9 && (hi - 0.4).abs() < 1e-9);
+
+        let q = tml_logic::parse_query("P=? [ F<=1 \"rich\" ]").unwrap();
+        let b2 = query_interval_dtmc(&m, &q, &o).unwrap();
+        assert_eq!(b2.at(0), (lo, hi), "one-step eventually equals next here");
+
+        let q = tml_logic::parse_query("P=? [ G !\"rich\" ]").unwrap();
+        let g = query_interval_dtmc(&m, &q, &o).unwrap();
+        let (glo, ghi) = g.at(0);
+        // P(G ¬rich) = 1 − P(F rich): bracket [1−0.4, 1−0.2].
+        assert!((glo - 0.6).abs() < 1e-9 && (ghi - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inner_assignment_is_order_independent() {
+        let values = [0.9, 0.1, 0.5];
+        let row_a = vec![(0, 0.1, 0.5), (1, 0.2, 0.6), (2, 0.1, 0.4)];
+        let mut row_b = row_a.clone();
+        row_b.reverse();
+        for maximize in [false, true] {
+            let a = inner_expectation(&row_a, &values, maximize);
+            let b = inner_expectation(&row_b, &values, maximize);
+            assert_eq!(a.to_bits(), b.to_bits(), "bitwise determinism");
+        }
+        // Hand-checked pessimistic assignment: mass 1−0.4=0.6 distributed
+        // to v=0.1 first (cap 0.4), then v=0.5 (cap 0.2 of 0.3):
+        // 0.1*0.9(lo) + 0.2*0.1(lo) + 0.1*0.5(lo) + 0.4*0.1 + 0.2*0.5.
+        let pess = inner_expectation(&row_a, &values, false);
+        assert!((pess - (0.09 + 0.02 + 0.05 + 0.04 + 0.1)).abs() < 1e-12, "{pess}");
+    }
+}

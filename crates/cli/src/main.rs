@@ -95,6 +95,20 @@ options (check):
                      trajectories (DTMC models; prints the confidence
                      interval and whether it corroborates the checker)
 
+options (check/repair; robust semantics):
+  --robust           interpret a point dtmc as the Wilson confidence ball
+                     around it and require the property for EVERY member:
+                     check prints the [pessimistic, optimistic] bracket,
+                     repair searches for the cheapest perturbation whose
+                     whole ball satisfies the property (and prints the
+                     non-robust cost next to it). Interval models (written
+                     with lo..hi probabilities) take the robust path
+                     without the flag.
+  --confidence C     per-transition Wilson coverage level in (0,1)
+                     (default 0.95)
+  --samples N        effective observations behind each transition
+                     estimate (default 100)
+
 options (repair; dtmc models):
   --param NAME:LO:HI           declare a repair parameter and its admissible
                                range (repeatable; at least one required)
@@ -156,6 +170,33 @@ struct CliOptions {
     batch: BatchFlags,
     serve: ServeFlags,
     repair: RepairFlags,
+    robust: RobustFlags,
+}
+
+/// Flags selecting robust (uncertainty-set) semantics for `check` and
+/// `repair` on point DTMC models: the model is wrapped in the Wilson
+/// confidence ball before checking, and repairs must hold for every member.
+#[derive(Default)]
+struct RobustFlags {
+    enabled: bool,
+    confidence: Option<f64>,
+    samples: Option<f64>,
+}
+
+impl RobustFlags {
+    /// The validated `(confidence, sample_size)` pair, defaulting to
+    /// `(0.95, 100)` when the flags were not given.
+    fn spec(&self) -> Result<(f64, f64), UsageError> {
+        let confidence = self.confidence.unwrap_or(0.95);
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(UsageError(format!("--confidence {confidence} must be in (0, 1)")));
+        }
+        let samples = self.samples.unwrap_or(100.0);
+        if !(samples > 0.0 && samples.is_finite()) {
+            return Err(UsageError(format!("--samples {samples} must be positive")));
+        }
+        Ok((confidence, samples))
+    }
 }
 
 /// Flags specific to `tml repair`; the raw `--param`/`--nudge` specs are
@@ -275,6 +316,7 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
         batch: BatchFlags::default(),
         serve: ServeFlags::default(),
         repair: RepairFlags::default(),
+        robust: RobustFlags::default(),
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -378,6 +420,23 @@ fn parse_flags(raw: &[String]) -> Result<(Vec<String>, CliOptions), UsageError> 
                 let name = it.next().ok_or_else(|| UsageError("--strategy needs a name".into()))?;
                 opts.repair.strategy = Some(name.clone());
             }
+            "--robust" => opts.robust.enabled = true,
+            "--confidence" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or_else(|| UsageError("--confidence needs a level in (0, 1)".into()))?
+                    .parse()
+                    .map_err(|_| UsageError("--confidence must be a number".into()))?;
+                opts.robust.confidence = Some(v);
+            }
+            "--samples" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or_else(|| UsageError("--samples needs a sample size".into()))?
+                    .parse()
+                    .map_err(|_| UsageError("--samples must be a number".into()))?;
+                opts.robust.samples = Some(v);
+            }
             "--simulate" => {
                 let n: u64 = it
                     .next()
@@ -459,6 +518,22 @@ fn info(path: &str) -> Result<(), UsageError> {
             let rewards: Vec<&str> = m.reward_structures().map(|r| r.name()).collect();
             println!("rewards: {}", rewards.join(", "));
         }
+        ModelFile::IntervalDtmc(m) => {
+            println!("transitions: {}", m.num_transitions());
+            println!("initial: {}", m.initial_state());
+            let labels: Vec<&str> = m.labeling().labels().collect();
+            println!("labels:  {}", labels.join(", "));
+            let rewards: Vec<&str> = m.reward_structures().map(|r| r.name()).collect();
+            println!("rewards: {}", rewards.join(", "));
+        }
+        ModelFile::IntervalMdp(m) => {
+            println!("actions: {}", m.action_names().join(", "));
+            println!("initial: {}", m.initial_state());
+            let labels: Vec<&str> = m.labeling().labels().collect();
+            println!("labels:  {}", labels.join(", "));
+            let rewards: Vec<&str> = m.reward_structures().map(|r| r.name()).collect();
+            println!("rewards: {}", rewards.join(", "));
+        }
     }
     Ok(())
 }
@@ -467,9 +542,48 @@ fn check(path: &str, property: &str, opts: &CliOptions) -> Result<u8, UsageError
     let model = load(path)?;
     let phi = parse_formula(property).map_err(|e| UsageError(e.to_string()))?;
     let checker = Checker::new().with_budget(opts.budget.clone());
+    // Interval models (and --robust point chains, wrapped in their Wilson
+    // confidence ball) take the robust path: a [pessimistic, optimistic]
+    // bracket over every member of the uncertainty set.
+    let robust = match &model {
+        ModelFile::IntervalDtmc(m) => Some(checker.check_interval_dtmc(m, &phi)),
+        ModelFile::IntervalMdp(m) => Some(checker.check_interval_mdp(m, &phi)),
+        ModelFile::Dtmc(m) if opts.robust.enabled => {
+            let (confidence, samples) = opts.robust.spec()?;
+            let ball = tml_models::IntervalDtmc::wilson_around(m, confidence, samples)
+                .map_err(|e| UsageError(e.to_string()))?;
+            println!("robust: Wilson ball at {confidence} confidence, sample size {samples}");
+            Some(checker.check_interval_dtmc(&ball, &phi))
+        }
+        ModelFile::Mdp(_) if opts.robust.enabled => {
+            return Err(UsageError(
+                "--robust needs per-transition confidence intervals; point MDPs have none \
+                 (write an interval mdp model with lo..hi probabilities instead)"
+                    .into(),
+            ));
+        }
+        _ => None,
+    };
+    if let Some(result) = robust {
+        let result = result.map_err(|e| UsageError(e.to_string()))?;
+        println!("property:   {phi}");
+        println!("robustly holds at initial state: {}", result.holds());
+        let count = result.sat_mask().iter().filter(|&&b| b).count();
+        println!("robustly satisfying states ({count})");
+        if let Some((lo, hi)) = result.bracket_at_initial() {
+            println!("value bracket at initial state: [{lo}, {hi}]");
+        }
+        print!("{}", result.diagnostics().render_degradation());
+        if let Some(trajectories) = opts.simulate {
+            simulate_cross_check(&model, &phi, trajectories)?;
+        }
+        return Ok(if result.holds() { 0 } else { 1 });
+    }
     let result = match &model {
         ModelFile::Dtmc(m) => checker.check_dtmc(m, &phi),
         ModelFile::Mdp(m) => checker.check_mdp(m, &phi),
+        // Interval models returned above.
+        ModelFile::IntervalDtmc(_) | ModelFile::IntervalMdp(_) => unreachable!(),
     }
     .map_err(|e| UsageError(e.to_string()))?;
     println!("property:   {phi}");
@@ -495,7 +609,7 @@ fn simulate_cross_check(
     trajectories: u64,
 ) -> Result<(), UsageError> {
     let ModelFile::Dtmc(m) = model else {
-        println!("simulation cross-check: skipped (MDP models need a fixed policy; simulation is defined for dtmc)");
+        println!("simulation cross-check: skipped (simulation is defined for point dtmc models)");
         return Ok(());
     };
     let sim = Simulator::new(SimOptions { trajectories, ..SimOptions::default() });
@@ -519,9 +633,36 @@ fn query(path: &str, q: &str, budget: &Budget) -> Result<(), UsageError> {
     let model = load(path)?;
     let parsed = parse_query(q).map_err(|e| UsageError(e.to_string()))?;
     let checker = Checker::new().with_budget(budget.clone());
+    // Interval models answer with a robust bracket per state, not a value.
+    let robust = match &model {
+        ModelFile::IntervalDtmc(m) => Some((
+            checker.query_interval_dtmc_diag(m, &parsed).map_err(|e| UsageError(e.to_string()))?,
+            m.initial_state(),
+        )),
+        ModelFile::IntervalMdp(m) => Some((
+            checker
+                .query_interval_mdp(m, &parsed)
+                .map(|b| (b, tml_checker::Diagnostics::default()))
+                .map_err(|e| UsageError(e.to_string()))?,
+            m.initial_state(),
+        )),
+        _ => None,
+    };
+    if let Some(((bracket, diag), initial)) = robust {
+        println!("query: {parsed}");
+        for s in 0..model.num_states() {
+            let (lo, hi) = bracket.at(s);
+            println!("  state {s}: [{lo}, {hi}]");
+        }
+        let (lo, hi) = bracket.at(initial);
+        println!("bracket at initial state {initial}: [{lo}, {hi}]");
+        print!("{}", diag.render_degradation());
+        return Ok(());
+    }
     let (values, diag) = match &model {
         ModelFile::Dtmc(m) => checker.query_dtmc_diag(m, &parsed),
         ModelFile::Mdp(m) => checker.query_mdp_diag(m, &parsed),
+        ModelFile::IntervalDtmc(_) | ModelFile::IntervalMdp(_) => unreachable!(),
     }
     .map_err(|e| UsageError(e.to_string()))?;
     println!("query: {parsed}");
@@ -531,6 +672,7 @@ fn query(path: &str, q: &str, budget: &Budget) -> Result<(), UsageError> {
     let initial = match &model {
         ModelFile::Dtmc(m) => m.initial_state(),
         ModelFile::Mdp(m) => m.initial_state(),
+        ModelFile::IntervalDtmc(_) | ModelFile::IntervalMdp(_) => unreachable!(),
     };
     println!("value at initial state {initial}: {}", values[initial]);
     print!("{}", diag.render_degradation());
@@ -548,7 +690,9 @@ fn repair(path: &str, property: &str, opts: &CliOptions) -> Result<u8, UsageErro
     let model = load(path)?;
     let ModelFile::Dtmc(m) = &model else {
         return Err(UsageError(
-            "repair is defined for dtmc models (--nudge addresses FROM:TO transitions)".into(),
+            "repair is defined for point dtmc models (--nudge addresses FROM:TO transitions; \
+             use --robust to repair against an uncertainty ball around a point chain)"
+                .into(),
         ));
     };
     let phi = parse_formula(property).map_err(|e| UsageError(e.to_string()))?;
@@ -608,13 +752,26 @@ fn repair(path: &str, property: &str, opts: &CliOptions) -> Result<u8, UsageErro
             .map_err(|e| UsageError(format!("--nudge {spec}: {e}")))?;
     }
 
-    let ropts = RepairOptions { strategy, ..RepairOptions::default() };
+    let robust = if opts.robust.enabled {
+        let (confidence, samples) = opts.robust.spec()?;
+        Some(tml_core::RobustSpec { confidence, sample_size: samples })
+    } else {
+        None
+    };
+    let ropts = RepairOptions { strategy, robust, ..RepairOptions::default() };
     let outcome = ModelRepair::with_options(ropts)
         .with_budget(opts.budget.clone())
         .repair_dtmc(m, &phi, &template)
         .map_err(|e| UsageError(e.to_string()))?;
 
     println!("property: {phi}");
+    if let Some(rs) = &robust {
+        println!(
+            "robust:   every member of the Wilson ball at {} confidence (sample size {}) \
+             must satisfy the property",
+            rs.confidence, rs.sample_size
+        );
+    }
     println!("status:   {:?}", outcome.status);
     for (name, value) in &outcome.parameters {
         println!("  {name} = {value}");
@@ -632,6 +789,23 @@ fn repair(path: &str, property: &str, opts: &CliOptions) -> Result<u8, UsageErro
         println!("fallback: {fallback}");
     }
     print!("{}", outcome.diagnostics.render_degradation());
+    // Calibration price: report the non-robust repair's cost next to the
+    // robust one, so the user sees what the confidence margin costs.
+    if robust.is_some() {
+        let nominal =
+            ModelRepair::with_options(RepairOptions { strategy, ..RepairOptions::default() })
+                .with_budget(opts.budget.clone())
+                .repair_dtmc(m, &phi, &template);
+        match nominal {
+            Ok(n)
+                if matches!(n.status, RepairStatus::Repaired | RepairStatus::AlreadySatisfied) =>
+            {
+                println!("non-robust cost (for comparison): {}", n.cost);
+            }
+            Ok(n) => println!("non-robust repair: {:?}", n.status),
+            Err(e) => println!("non-robust repair: error ({e})"),
+        }
+    }
     // Mirror `check`: feasibility failures exit 1, usage errors exit 2.
     Ok(match outcome.status {
         RepairStatus::Repaired | RepairStatus::AlreadySatisfied => 0,
@@ -661,6 +835,20 @@ fn simulate(path: &str, steps: Option<&str>, seed: Option<&str>) -> Result<(), U
             println!("states:  {:?}", path.states);
             let actions: Vec<&str> = path.actions.iter().map(|&a| m.action_name(a)).collect();
             println!("actions: {actions:?}");
+        }
+        ModelFile::IntervalDtmc(m) => {
+            // An interval chain is a *set* of chains; sample its nominal
+            // (midpoint, renormalized) member and say so.
+            let nominal = m.nominal_dtmc().map_err(|e| UsageError(e.to_string()))?;
+            println!("interval model: simulating the nominal (midpoint) member");
+            let path = nominal.sample_path(&mut rng, steps, |_| false);
+            println!("trajectory: {path:?}");
+        }
+        ModelFile::IntervalMdp(_) => {
+            return Err(UsageError(
+                "simulate is not defined for interval mdp models (no single member to sample)"
+                    .into(),
+            ));
         }
     }
     Ok(())
@@ -919,6 +1107,78 @@ mod tests {
         let pm = mdp.to_str().unwrap();
         assert!(run(&s(&["witness", pm, "done"])).is_err());
         let _ = std::fs::remove_file(mdp);
+    }
+
+    // Reaches "done" with probability in [0.7, 0.95] (adversary's choice);
+    // state 2 is an absorbing failure.
+    const INTERVAL_CHAIN: &str = "idtmc\nstates 3\nlabel \"done\" = 1\n0 -> 1: 0.7..0.95, 2: 0.05..0.3\n1 -> 1: 1.0\n2 -> 2: 1.0\n";
+    // Bracket over schedulers AND members: [min(0.6, 0.5), max(0.9, 0.5)].
+    const INTERVAL_MDP: &str = "imdp\nstates 3\nlabel \"done\" = 1\n0 [go] -> 1: 0.6..0.9, 2: 0.1..0.4\n0 [safe] -> 1: 0.5, 2: 0.5\n1 [stay] -> 1: 1.0\n2 [stay] -> 2: 1.0\n";
+
+    #[test]
+    fn interval_models_check_and_query_robustly() {
+        let chain = write_temp("ichain", INTERVAL_CHAIN);
+        let p = chain.to_str().unwrap();
+        assert!(run(&s(&["info", p])).is_ok());
+        // Pessimistic member reaches with 0.7: the 0.6 bound robustly holds,
+        // the 0.8 bound does not (exit 1).
+        assert_eq!(run(&s(&["check", p, "P>=0.6 [ F \"done\" ]"])).unwrap(), 0);
+        assert_eq!(run(&s(&["check", p, "P>=0.8 [ F \"done\" ]"])).unwrap(), 1);
+        assert!(run(&s(&["query", p, "P=? [ F \"done\" ]"])).is_ok());
+        // Simulation falls back to the nominal member.
+        assert!(run(&s(&["simulate", p, "5", "1"])).is_ok());
+        let _ = std::fs::remove_file(chain);
+        let mdp = write_temp("imdp", INTERVAL_MDP);
+        let pm = mdp.to_str().unwrap();
+        assert!(run(&s(&["info", pm])).is_ok());
+        assert_eq!(run(&s(&["check", pm, "Pmax>=0.5 [ F \"done\" ]"])).unwrap(), 0);
+        assert!(run(&s(&["query", pm, "Pmax=? [ F \"done\" ]"])).is_ok());
+        assert!(run(&s(&["simulate", pm])).is_err());
+        let _ = std::fs::remove_file(mdp);
+    }
+
+    #[test]
+    fn robust_check_wraps_point_chains_in_the_wilson_ball() {
+        let chain = write_temp("chain-robust", CHAIN);
+        let p = chain.to_str().unwrap();
+        // Nominal: P(F done) = 1 (the 0→0 edge retries forever), so even the
+        // pessimistic member keeps reaching "done": robustly holds.
+        assert_eq!(run(&s(&["check", p, "P>=0.9 [ F \"done\" ]", "--robust"])).unwrap(), 0);
+        // One-step reachability is 0.9 on the nose; the 95% ball dips below.
+        assert_eq!(run(&s(&["check", p, "P>=0.9 [ X \"done\" ]"])).unwrap(), 0);
+        assert_eq!(run(&s(&["check", p, "P>=0.9 [ X \"done\" ]", "--robust"])).unwrap(), 1);
+        // Flag validation.
+        assert!(run(&s(&["check", p, "P>=0.9 [ X \"done\" ]", "--robust", "--confidence", "2"]))
+            .is_err());
+        assert!(
+            run(&s(&["check", p, "P>=0.9 [ X \"done\" ]", "--robust", "--samples", "-1"])).is_err()
+        );
+        let _ = std::fs::remove_file(chain);
+        // Point MDPs carry no confidence information: usage error.
+        let mdp = write_temp("mdp-robust", MDP);
+        let pm = mdp.to_str().unwrap();
+        assert!(run(&s(&["check", pm, "Pmax>=1 [ F \"done\" ]", "--robust"])).is_err());
+        let _ = std::fs::remove_file(mdp);
+    }
+
+    #[test]
+    fn robust_repair_reports_both_costs() {
+        let chain = write_temp("chain-robust-repair", REPAIR_CHAIN);
+        let p = chain.to_str().unwrap();
+        let mut argv = vec!["repair", p, "P>=0.9 [ F \"ok\" ]"];
+        argv.extend_from_slice(&[
+            "--param",
+            "v:-0.19:0.19",
+            "--nudge",
+            "0:1:v:1",
+            "--nudge",
+            "0:2:v:-1",
+            "--robust",
+            "--confidence",
+            "0.95",
+        ]);
+        assert_eq!(run(&s(&argv)).unwrap(), 0);
+        let _ = std::fs::remove_file(chain);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! | `interval-contains-direct` | interval-iteration bounds | dense LU (must lie inside) |
 //! | `lifting-vs-penalty` | parameter-lifting repair (checker re-verified) | penalty repair (cost never better by more than ε) |
 //! | `interval-bound-contains-point` | interval bound over a parameter box | exact tape evaluation at points inside (must lie inside) |
+//! | `robust-contains-nominal` | robust VI bracket on the Wilson ball | dense LU on the nominal chain (must lie inside) |
+//! | `robust-vs-sampled` | robust VI bracket on the Wilson ball | dense LU on sampled members of the ball (must lie inside) |
 //!
 //! On disagreement the harness *shrinks* the model while the pair still
 //! disagrees — halving the state space (out-of-range transitions are
@@ -27,9 +29,9 @@
 //! threshold.
 
 use tml_checker::dtmc as checker_dtmc;
-use tml_checker::{Budget, CheckOptions, LinearSolver};
-use tml_logic::{CmpOp, PathFormula, StateFormula};
-use tml_models::{graph, Dtmc, DtmcBuilder};
+use tml_checker::{Budget, CheckOptions, Checker, LinearSolver};
+use tml_logic::{CmpOp, PathFormula, Query, StateFormula};
+use tml_models::{graph, Dtmc, DtmcBuilder, IntervalDtmc};
 use tml_numerics::iterative::{jacobi_budgeted, IterOptions};
 use tml_numerics::{CsrMatrix, Triplet};
 use tml_parametric::CompiledRatFn;
@@ -112,6 +114,14 @@ pub enum EnginePair {
     /// sub-boxes must contain the exact tape evaluation at random points
     /// inside them (the soundness invariant region pruning rests on).
     IntervalBoundContainsPoint,
+    /// Robust value iteration on the Wilson ball around the model: the
+    /// `[pessimistic, optimistic]` bracket must contain the dense LU value
+    /// of the nominal chain at every state (the ball keeps the point
+    /// estimate as a member by construction).
+    RobustContainsNominal,
+    /// Robust bracket vs sampled members: concrete chains drawn inside the
+    /// uncertainty ball, solved exactly, must land inside the bracket.
+    RobustVsSampled,
 }
 
 impl EnginePair {
@@ -128,6 +138,8 @@ impl EnginePair {
             EnginePair::IntervalContainsDirect,
             EnginePair::LiftingVsPenalty,
             EnginePair::IntervalBoundContainsPoint,
+            EnginePair::RobustContainsNominal,
+            EnginePair::RobustVsSampled,
         ]
     }
 
@@ -144,6 +156,8 @@ impl EnginePair {
             EnginePair::IntervalContainsDirect => "interval-contains-direct",
             EnginePair::LiftingVsPenalty => "lifting-vs-penalty",
             EnginePair::IntervalBoundContainsPoint => "interval-bound-contains-point",
+            EnginePair::RobustContainsNominal => "robust-contains-nominal",
+            EnginePair::RobustVsSampled => "robust-vs-sampled",
         }
     }
 
@@ -253,6 +267,14 @@ impl Oracle {
                 &mut out,
             );
             self.run_pair_on_model(EnginePair::LiftingVsPenalty, family, seed, &model, &mut out);
+            self.run_pair_on_model(
+                EnginePair::RobustContainsNominal,
+                family,
+                seed,
+                &model,
+                &mut out,
+            );
+            self.run_pair_on_model(EnginePair::RobustVsSampled, family, seed, &model, &mut out);
         }
         self.run_parametric_pairs(seed, &mut out);
         counter!("oracle.diff.seeds", 1);
@@ -278,6 +300,8 @@ impl Oracle {
                 EnginePair::SccVsDense => self.eval_scc_vs_dense(d),
                 EnginePair::IntervalContainsDirect => self.eval_interval_contains_direct(d),
                 EnginePair::LiftingVsPenalty => self.eval_lifting_vs_penalty(d),
+                EnginePair::RobustContainsNominal => self.eval_robust_contains_nominal(d),
+                EnginePair::RobustVsSampled => self.eval_robust_vs_sampled(d, seed),
                 _ => None,
             }
         };
@@ -577,6 +601,68 @@ impl Oracle {
         None
     }
 
+    /// Robust VI bracket on the Wilson ball vs dense LU on the nominal
+    /// chain: the point estimate is a member of the ball by construction,
+    /// so `pessimistic ≤ nominal ≤ optimistic` must hold at every state.
+    /// Under `--inject` the pessimistic endpoint is flipped upward by the
+    /// bias (an unsound narrowing), which this containment check must
+    /// catch.
+    fn eval_robust_contains_nominal(&self, d: &Dtmc) -> PairEval {
+        let target = d.labeling().mask(GOAL_LABEL);
+        let phi = vec![true; d.num_states()];
+        let direct = CheckOptions {
+            solver: LinearSolver::Direct,
+            direct_solver_limit: usize::MAX,
+            ..CheckOptions::default()
+        };
+        let exact = checker_dtmc::until_probabilities(d, &phi, &target, &direct).ok()?;
+        let ball = IntervalDtmc::wilson_around(d, 0.95, 200.0).ok()?;
+        let bracket = Checker::new().query_interval_dtmc(&ball, &reach_query()).ok()?;
+        // Robust VI converges to the checker tolerance; give the
+        // containment a matching hair of slack.
+        const SLACK: f64 = 1e-7;
+        for (s, &point) in exact.iter().enumerate() {
+            let (mut lo, hi) = bracket.at(s);
+            if let Some(inj) = self.opts.inject {
+                if d.num_states() >= inj.min_states {
+                    // Deliberately unsound endpoint flip (self-test).
+                    lo += inj.bias;
+                }
+            }
+            if point < lo - SLACK {
+                return Some((point, lo, lo - point));
+            }
+            if point > hi + SLACK {
+                return Some((point, hi, point - hi));
+            }
+        }
+        None
+    }
+
+    /// Robust bracket vs sampled members of the ball: each sampled chain
+    /// lies inside the uncertainty set, so its exact dense-LU reachability
+    /// value must land inside the robust `[pessimistic, optimistic]`
+    /// bracket at the initial state.
+    fn eval_robust_vs_sampled(&self, d: &Dtmc, seed: u64) -> PairEval {
+        let ball = IntervalDtmc::wilson_around(d, 0.9, 150.0).ok()?;
+        let bracket = Checker::new().query_interval_dtmc(&ball, &reach_query()).ok()?;
+        let (lo, hi) = bracket.at(d.initial_state());
+        const SLACK: f64 = 1e-7;
+        for i in 0..4u64 {
+            let member = ball.sample_member(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).ok()?;
+            let target = member.labeling().mask(GOAL_LABEL);
+            let phi = vec![true; member.num_states()];
+            let v = self.direct_value(&member, &phi, &target)?;
+            if v < lo - SLACK {
+                return Some((v, lo, lo - v));
+            }
+            if v > hi + SLACK {
+                return Some((v, hi, v - hi));
+            }
+        }
+        None
+    }
+
     /// Compiled tapes vs interpreted evaluation vs instantiate-and-check on
     /// a generated parametric DTMC.
     fn run_parametric_pairs(&self, seed: u64, out: &mut SeedOutcome) {
@@ -748,6 +834,17 @@ impl Oracle {
     }
 }
 
+/// The `P=? [ F "goal" ]` query every robust pair brackets.
+fn reach_query() -> Query {
+    Query::Prob {
+        opt: None,
+        path: PathFormula::Eventually {
+            sub: Box::new(StateFormula::Atom(GOAL_LABEL.to_owned())),
+            bound: None,
+        },
+    }
+}
+
 /// `Some((lhs, rhs, |lhs − rhs|))` when the values differ beyond `tol`
 /// (NaN on either side always disagrees).
 fn disagreement(lhs: f64, rhs: f64, tol: f64) -> PairEval {
@@ -907,9 +1004,43 @@ mod tests {
         let oracle = Oracle::new(OracleOptions { trajectories: 4_000, ..Default::default() });
         let out = oracle.run_seed(7, ModelFamily::all());
         assert!(out.disagreements.is_empty(), "unexpected disagreements: {:?}", out.disagreements);
-        // Every family ran the seven model pairs, plus the three parametric
+        // Every family ran the nine model pairs, plus the three parametric
         // pairs.
-        assert!(out.checks.len() >= ModelFamily::all().len() * 7);
+        assert!(out.checks.len() >= ModelFamily::all().len() * 9);
+    }
+
+    #[test]
+    fn injected_endpoint_flip_is_caught_by_robust_pair() {
+        // The robust self-test contract: flipping the pessimistic endpoint
+        // upward plants an unsound bracket, which the containment pair must
+        // surface (the nominal chain is a member of its own Wilson ball).
+        let inject = Injection { min_states: 5, bias: 1e-3 };
+        let oracle = Oracle::new(OracleOptions {
+            trajectories: 2_000,
+            inject: Some(inject),
+            ..Default::default()
+        });
+        let out = oracle.run_seed(3, &[ModelFamily::Layered]);
+        let hit: Vec<_> = out
+            .disagreements
+            .iter()
+            .filter(|d| d.pair == EnginePair::RobustContainsNominal)
+            .collect();
+        assert_eq!(hit.len(), 1, "the flipped endpoint must surface: {:?}", out.disagreements);
+        assert!(hit[0].delta > 0.0);
+        let shrunk = hit[0].shrunk.as_ref().expect("shrinker must make progress");
+        assert!(shrunk.num_states >= inject.min_states);
+        // Without injection the same seed passes clean on both robust pairs.
+        let clean = Oracle::new(OracleOptions { trajectories: 2_000, ..Default::default() })
+            .run_seed(3, &[ModelFamily::Layered]);
+        assert!(clean.disagreements.is_empty(), "{:?}", clean.disagreements);
+        for pair in [EnginePair::RobustContainsNominal, EnginePair::RobustVsSampled] {
+            assert!(
+                clean.checks.iter().any(|c| c.pair == pair && c.agreed),
+                "{} must have run",
+                pair.name()
+            );
+        }
     }
 
     #[test]

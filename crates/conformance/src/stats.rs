@@ -1,40 +1,18 @@
-//! Confidence intervals for statistical verdicts.
+//! Statistical verdicts for the conformance simulator.
 //!
-//! Two interval constructions back the simulator's verdicts:
-//!
-//! * the **Wilson score interval** for Bernoulli proportions (reachability
-//!   probabilities) — well-behaved near 0 and 1, where the naive normal
-//!   interval collapses;
-//! * the **Hoeffding interval** for means of bounded random variables
-//!   (accumulated rewards) — distribution-free, needs only the value range.
-//!
-//! Both are parameterized by a *confidence* `1 − α`; the oracle harness
-//! runs with a very small `α` (default `1e-9`) so that a disagreement
-//! between an exact engine and a simulation CI is evidence of a bug, not
-//! statistical noise.
+//! The interval constructions themselves (Wilson score for Bernoulli
+//! proportions, Hoeffding for bounded means) live in
+//! [`tml_numerics::stats`] so that `tml-models::learn` can calibrate
+//! interval DTMCs from trace counts without depending on this harness;
+//! they are re-exported here for the simulator's callers. The oracle
+//! harness runs with a very small `α` (default `1e-9`) so that a
+//! disagreement between an exact engine and a simulation CI is evidence
+//! of a bug, not statistical noise.
 
-/// A closed interval `[low, high]` with the point estimate that produced it.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Interval {
-    /// Point estimate (empirical mean).
-    pub estimate: f64,
-    /// Lower confidence limit.
-    pub low: f64,
-    /// Upper confidence limit.
-    pub high: f64,
-}
-
-impl Interval {
-    /// Whether `value` lies inside the interval.
-    pub fn contains(&self, value: f64) -> bool {
-        self.low <= value && value <= self.high
-    }
-
-    /// The half-width `(high − low) / 2`.
-    pub fn half_width(&self) -> f64 {
-        (self.high - self.low) / 2.0
-    }
-}
+pub use tml_numerics::stats::{
+    hoeffding_half_width, hoeffding_interval, normal_quantile, wilson_interval,
+    wilson_interval_weighted, Interval,
+};
 
 /// How a confidence interval relates to a bounded requirement `value ⋈ b`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,143 +48,20 @@ impl Verdict {
     }
 }
 
-/// Inverse of the standard normal CDF (Acklam's rational approximation,
-/// absolute error below `1.2e-9` — ample for interval construction).
-fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0, 1)");
-    const A: [f64; 6] = [
-        -3.969683028665376e+01,
-        2.209460984245205e+02,
-        -2.759285104469687e+02,
-        1.38357751867269e+02,
-        -3.066479806614716e+01,
-        2.506628277459239e+00,
-    ];
-    const B: [f64; 5] = [
-        -5.447609879822406e+01,
-        1.615858368580409e+02,
-        -1.556989798598866e+02,
-        6.680131188771972e+01,
-        -1.328068155288572e+01,
-    ];
-    const C: [f64; 6] = [
-        -7.784894002430293e-03,
-        -3.223964580411365e-01,
-        -2.400758277161838e+00,
-        -2.549732539343734e+00,
-        4.374664141464968e+00,
-        2.938163982698783e+00,
-    ];
-    const D: [f64; 4] = [
-        7.784695709041462e-03,
-        3.224671290700398e-01,
-        2.445134137142996e+00,
-        3.754408661907416e+00,
-    ];
-    const P_LOW: f64 = 0.02425;
-    if p < P_LOW {
-        let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    } else if p <= 1.0 - P_LOW {
-        let q = p - 0.5;
-        let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
-    } else {
-        -normal_quantile(1.0 - p)
-    }
-}
-
-/// The Wilson score interval for `successes` out of `n` Bernoulli trials at
-/// confidence `1 − alpha`.
-///
-/// # Panics
-///
-/// Panics if `n == 0`, `successes > n`, or `alpha` is not in `(0, 1)`.
-pub fn wilson_interval(successes: u64, n: u64, alpha: f64) -> Interval {
-    assert!(n > 0, "wilson interval needs at least one trial");
-    assert!(successes <= n, "successes exceed trials");
-    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
-    let z = normal_quantile(1.0 - alpha / 2.0);
-    let nf = n as f64;
-    let p = successes as f64 / nf;
-    let z2 = z * z;
-    let denom = 1.0 + z2 / nf;
-    let center = (p + z2 / (2.0 * nf)) / denom;
-    let margin = (z / denom) * ((p * (1.0 - p) / nf) + z2 / (4.0 * nf * nf)).sqrt();
-    Interval { estimate: p, low: (center - margin).max(0.0), high: (center + margin).min(1.0) }
-}
-
-/// The Hoeffding interval for the mean of `n` i.i.d. samples bounded in
-/// `[range_low, range_high]` at confidence `1 − alpha`: half-width
-/// `(hi − lo) · sqrt(ln(2/α) / 2n)`.
-///
-/// # Panics
-///
-/// Panics if `n == 0`, the range is inverted, or `alpha` is not in `(0, 1)`.
-pub fn hoeffding_interval(
-    mean: f64,
-    n: u64,
-    range_low: f64,
-    range_high: f64,
-    alpha: f64,
-) -> Interval {
-    assert!(n > 0, "hoeffding interval needs at least one sample");
-    assert!(range_high >= range_low, "inverted sample range");
-    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
-    let half = (range_high - range_low) * ((2.0 / alpha).ln() / (2.0 * n as f64)).sqrt();
-    Interval {
-        estimate: mean,
-        low: (mean - half).max(range_low),
-        high: (mean + half).min(range_high),
-    }
-}
-
-/// The Hoeffding half-width for Bernoulli samples (range `[0, 1]`): the
-/// number of trajectories needed so the half-width drops below `eps` is
-/// `n ≥ ln(2/α) / (2 eps²)`.
-pub fn hoeffding_half_width(n: u64, alpha: f64) -> f64 {
-    assert!(n > 0 && alpha > 0.0 && alpha < 1.0);
-    ((2.0 / alpha).ln() / (2.0 * n as f64)).sqrt()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use tml_logic::CmpOp;
 
     #[test]
-    fn normal_quantile_matches_known_values() {
-        // Φ⁻¹(0.975) = 1.959964…, Φ⁻¹(0.5) = 0, symmetric tails.
-        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
-        assert!(normal_quantile(0.5).abs() < 1e-9);
-        assert!((normal_quantile(0.001) + normal_quantile(0.999)).abs() < 1e-8);
-    }
-
-    #[test]
-    fn wilson_contains_truth_and_shrinks() {
+    fn reexports_resolve() {
         let i = wilson_interval(75, 100, 0.05);
         assert!(i.contains(0.75));
-        assert!(i.low > 0.6 && i.high < 0.9);
-        let tighter = wilson_interval(7500, 10_000, 0.05);
-        assert!(tighter.half_width() < i.half_width());
-        // Degenerate corners stay inside [0, 1].
-        let zero = wilson_interval(0, 50, 0.01);
-        assert_eq!(zero.low, 0.0);
-        assert!(zero.high > 0.0 && zero.high < 0.25);
-        let one = wilson_interval(50, 50, 0.01);
-        assert_eq!(one.high, 1.0);
-        assert!(one.low > 0.75);
-    }
-
-    #[test]
-    fn hoeffding_covers_and_scales() {
-        let i = hoeffding_interval(10.0, 1000, 0.0, 20.0, 0.01);
-        assert!(i.contains(10.0));
-        let wider = hoeffding_interval(10.0, 100, 0.0, 20.0, 0.01);
-        assert!(wider.half_width() > i.half_width());
-        assert!((hoeffding_half_width(1000, 0.01) * 20.0 - i.half_width()).abs() < 1e-12);
+        assert!(hoeffding_interval(10.0, 1000, 0.0, 20.0, 0.01).contains(10.0));
+        assert!(hoeffding_half_width(1000, 0.01) > 0.0);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        let w = wilson_interval_weighted(1.0, 2.0, 0.05);
+        assert!(w.contains(0.5));
     }
 
     #[test]

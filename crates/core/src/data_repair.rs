@@ -17,7 +17,9 @@
 
 use tml_checker::Checker;
 use tml_logic::StateFormula;
-use tml_models::{learn, Dtmc, DtmcBuilder, MlOptions, TraceDataset};
+use tml_models::{
+    learn, Dtmc, DtmcBuilder, IntervalDtmc, IntervalDtmcBuilder, MlOptions, TraceDataset,
+};
 use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{Nlp, PenaltySolver};
 use tml_parametric::{
@@ -69,6 +71,17 @@ impl ModelSpec {
     }
 
     fn decorate(&self, b: &mut DtmcBuilder) -> Result<(), RepairError> {
+        b.initial_state(self.initial)?;
+        for (s, l) in &self.labels {
+            b.label(*s, l)?;
+        }
+        for (structure, s, r) in &self.state_rewards {
+            b.state_reward(structure, *s, *r)?;
+        }
+        Ok(())
+    }
+
+    fn decorate_interval(&self, b: &mut IntervalDtmcBuilder) -> Result<(), RepairError> {
         b.initial_state(self.initial)?;
         for (s, l) in &self.labels {
             b.label(*s, l)?;
@@ -216,12 +229,26 @@ impl DataRepair {
         }
         let _span =
             span!("data_repair", traces = dataset.num_traces(), classes = dataset.num_classes());
+        let robust = self.opts.robust;
+        if let Some(rs) = &robust {
+            rs.validate()?;
+        }
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
         let mut diag = Diagnostics::new();
         let base = self.learn(dataset, spec, None)?;
-        let initial = checker.check_dtmc(&base, formula)?;
-        diag.absorb(initial.diagnostics());
-        if initial.holds() {
+        let initial_holds = if let Some(rs) = robust {
+            // The uncertainty ball comes straight from the trace counts:
+            // per-row Wilson intervals at the requested confidence.
+            let ball = self.interval_learn(dataset, spec, None, rs.confidence)?;
+            let r = checker.check_interval_dtmc(&ball, formula)?;
+            diag.absorb(r.diagnostics());
+            r.holds()
+        } else {
+            let r = checker.check_dtmc(&base, formula)?;
+            diag.absorb(r.diagnostics());
+            r.holds()
+        };
+        if initial_holds {
             return Ok(DataRepairOutcome {
                 status: RepairStatus::AlreadySatisfied,
                 keep_weights: dataset.class_names().iter().map(|n| (n.clone(), 1.0)).collect(),
@@ -271,10 +298,20 @@ impl DataRepair {
         // re-learn-and-check beyond the threshold.
         const MAX_SYMBOLIC_DEGREE: u32 = 16;
         let mut lifted: Option<LiftingOutcome> = None;
-        let compiled = match compile_constraint(&pdtmc, formula) {
-            Ok(sc) => Some(sc),
-            Err(RepairError::UnsupportedProperty { .. }) => None,
-            Err(other) => return Err(other),
+        // Robust repair constrains the worst-case value over the Wilson
+        // ball of the re-learned chain; the symbolic rational function is a
+        // nominal value, so the re-learn-and-robust-check oracle is forced.
+        let compiled = if robust.is_some() {
+            if self.opts.strategy == RepairStrategy::Lifting {
+                diag.record_fallback("lifting: robust repair uses the oracle, penalty search used");
+            }
+            None
+        } else {
+            match compile_constraint(&pdtmc, formula) {
+                Ok(sc) => Some(sc),
+                Err(RepairError::UnsupportedProperty { .. }) => None,
+                Err(other) => return Err(other),
+            }
         };
         match &compiled {
             Some(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
@@ -309,7 +346,7 @@ impl DataRepair {
                         let margin = self.margin(sc.op);
                         lifted = Some(self.lift_regions(sc, margin, &masses, &boxes)?);
                     }
-                } else if self.opts.strategy == RepairStrategy::Lifting {
+                } else if robust.is_none() && self.opts.strategy == RepairStrategy::Lifting {
                     // Lifting was requested but needs the symbolic path.
                     diag.record_fallback("lifting: property not symbolic, penalty search used");
                 }
@@ -321,17 +358,34 @@ impl DataRepair {
                 let check_opts = self.opts.check;
                 let inner = self.budget.without_evaluation_cap();
                 let this = self.clone();
-                nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |w| {
-                    match this.learn(&ds, &sp, Some(w)) {
-                        Ok(m) => Checker::with_options(check_opts)
-                            .with_budget(inner.clone())
-                            .check_dtmc(&m, &phi)
-                            .ok()
-                            .and_then(|r| r.value_at_initial())
-                            .unwrap_or(f64::NAN),
-                        Err(_) => f64::NAN,
-                    }
-                });
+                if let Some(rs) = robust {
+                    // Worst-case oracle: re-learn the Wilson ball from the
+                    // re-weighted counts and test its conservative end.
+                    nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |w| {
+                        match this.interval_learn(&ds, &sp, Some(w), rs.confidence) {
+                            Ok(ball) => Checker::with_options(check_opts)
+                                .with_budget(inner.clone())
+                                .check_interval_dtmc(&ball, &phi)
+                                .ok()
+                                .and_then(|r| r.bracket_at_initial())
+                                .map(|(lo, hi)| if op.is_lower_bound() { lo } else { hi })
+                                .unwrap_or(f64::NAN),
+                            Err(_) => f64::NAN,
+                        }
+                    });
+                } else {
+                    nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |w| {
+                        match this.learn(&ds, &sp, Some(w)) {
+                            Ok(m) => Checker::with_options(check_opts)
+                                .with_budget(inner.clone())
+                                .check_dtmc(&m, &phi)
+                                .ok()
+                                .and_then(|r| r.value_at_initial())
+                                .unwrap_or(f64::NAN),
+                            Err(_) => f64::NAN,
+                        }
+                    });
+                }
             }
         }
 
@@ -412,9 +466,16 @@ impl DataRepair {
             });
         }
         let model = self.learn(dataset, spec, Some(&sol.x))?;
-        let verdict = checker.check_dtmc(&model, formula)?;
-        diag.absorb(verdict.diagnostics());
-        let verified = verdict.holds();
+        let verified = if let Some(rs) = robust {
+            let ball = self.interval_learn(dataset, spec, Some(&sol.x), rs.confidence)?;
+            let verdict = checker.check_interval_dtmc(&ball, formula)?;
+            diag.absorb(verdict.diagnostics());
+            verdict.holds()
+        } else {
+            let verdict = checker.check_dtmc(&model, formula)?;
+            diag.absorb(verdict.diagnostics());
+            verdict.holds()
+        };
         let certificate = lifted.as_ref().map(|lift| {
             let lower_bound = lift.feasible_lower_bound();
             let epsilon = self.opts.lifting.epsilon;
@@ -449,6 +510,26 @@ impl DataRepair {
     ) -> Result<Dtmc, RepairError> {
         let mut b = learn::ml_dtmc(spec.num_states, dataset, weights, MlOptions::default())?;
         spec.decorate(&mut b)?;
+        Ok(b.build()?)
+    }
+
+    /// Learns the decorated interval model whose per-row Wilson intervals
+    /// at `confidence` bracket the (optionally re-weighted) ML estimates.
+    fn interval_learn(
+        &self,
+        dataset: &TraceDataset,
+        spec: &ModelSpec,
+        weights: Option<&[f64]>,
+        confidence: f64,
+    ) -> Result<IntervalDtmc, RepairError> {
+        let mut b = learn::interval_dtmc_from_traces(
+            spec.num_states,
+            dataset,
+            weights,
+            confidence,
+            MlOptions::default(),
+        )?;
+        spec.decorate_interval(&mut b)?;
         Ok(b.build()?)
     }
 
@@ -585,6 +666,7 @@ fn top_level_bound(formula: &StateFormula) -> Result<(tml_logic::CmpOp, f64), Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RobustSpec;
     use tml_logic::parse_formula;
     use tml_models::Path;
 
@@ -731,6 +813,72 @@ mod tests {
         let phi = parse_formula("P>=0.5 [ F \"ok\" ]").unwrap();
         assert!(matches!(
             DataRepair::new().repair(&ds, &spec(), &phi),
+            Err(RepairError::InvalidInput { .. })
+        ));
+    }
+
+    /// 3-state world with absorbing good/bad states and generous trace
+    /// counts so the Wilson ball is informative but not degenerate.
+    fn robust_world(good: f64, noisy: f64) -> (TraceDataset, ModelSpec) {
+        let mut ds = TraceDataset::new();
+        let g = ds.add_class("good");
+        let n = ds.add_class("noisy");
+        ds.push(g, Path::from_states(vec![0, 1]), good).unwrap();
+        ds.push(n, Path::from_states(vec![0, 2]), noisy).unwrap();
+        ds.push(g, Path::from_states(vec![1, 1]), good).unwrap();
+        ds.push(n, Path::from_states(vec![2, 2]), noisy).unwrap();
+        (ds, ModelSpec::new(3).label(1, "ok"))
+    }
+
+    #[test]
+    fn robust_data_repair_drops_more_than_nominal() {
+        // Base: P(0→1) = 0.5 from 60/60 counts. Nominal repair stops as soon
+        // as the point estimate hits 0.8; the robust repair must push the
+        // Wilson lower bound over 0.8, which costs strictly more noise mass.
+        let (ds, sp) = robust_world(60.0, 60.0);
+        let phi = parse_formula("P>=0.8 [ F \"ok\" ]").unwrap();
+        let nominal = DataRepair::new().repair(&ds, &sp, &phi).unwrap();
+        let opts =
+            RepairOptions { robust: Some(RobustSpec::new(0.95)), ..RepairOptions::default() };
+        let robust = DataRepair::with_options(opts).repair(&ds, &sp, &phi).unwrap();
+        assert_eq!(robust.status, RepairStatus::Repaired);
+        assert!(robust.verified, "robust data repair must robust-verify");
+        let wn_nominal = nominal.keep_weights.iter().find(|(n, _)| n == "noisy").unwrap().1;
+        let wn_robust = robust.keep_weights.iter().find(|(n, _)| n == "noisy").unwrap().1;
+        assert!(
+            wn_robust < wn_nominal - 1e-3,
+            "robust keeps {wn_robust}, nominal keeps {wn_nominal}"
+        );
+        assert!(robust.dropped_mass > nominal.dropped_mass);
+        // The returned nominal model overshoots the bound: calibration slack.
+        let m = robust.model.unwrap();
+        assert!(m.probability(0, 1) > 0.8 + 1e-3);
+    }
+
+    #[test]
+    fn robust_data_repair_already_satisfied_when_ball_passes() {
+        // 95/5 split over large counts: even the pessimistic member clears
+        // P >= 0.8, so no weights move.
+        let (ds, sp) = robust_world(950.0, 50.0);
+        let phi = parse_formula("P>=0.8 [ F \"ok\" ]").unwrap();
+        let opts =
+            RepairOptions { robust: Some(RobustSpec::new(0.95)), ..RepairOptions::default() };
+        let out = DataRepair::with_options(opts).repair(&ds, &sp, &phi).unwrap();
+        assert_eq!(out.status, RepairStatus::AlreadySatisfied);
+        assert!(out.verified);
+        assert_eq!(out.dropped_mass, 0.0);
+    }
+
+    #[test]
+    fn robust_data_repair_rejects_invalid_confidence() {
+        let (ds, sp) = robust_world(60.0, 60.0);
+        let phi = parse_formula("P>=0.8 [ F \"ok\" ]").unwrap();
+        let opts = RepairOptions {
+            robust: Some(RobustSpec { confidence: 2.0, sample_size: 100.0 }),
+            ..RepairOptions::default()
+        };
+        assert!(matches!(
+            DataRepair::with_options(opts).repair(&ds, &sp, &phi),
             Err(RepairError::InvalidInput { .. })
         ));
     }

@@ -101,6 +101,52 @@ pub enum RepairStrategy {
     Auto,
 }
 
+/// Confidence-calibrated robustness for Model and Data Repair: instead of
+/// making the point-estimate model satisfy `φ`, the repair must make **every
+/// model in the Wilson uncertainty ball** around the candidate satisfy it
+/// (the pessimistic robust value passes the bound).
+///
+/// `confidence` is the per-transition coverage level of the Wilson score
+/// intervals (e.g. `0.95`); `sample_size` is the effective number of
+/// observations behind each transition estimate — Model Repair has no
+/// dataset to read it from, so the caller states how much evidence the
+/// learned probabilities carry (Data Repair derives counts from the actual
+/// re-weighted dataset and ignores this field).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustSpec {
+    /// Wilson interval confidence level, in `(0, 1)`.
+    pub confidence: f64,
+    /// Effective sample size behind each transition estimate (> 0).
+    pub sample_size: f64,
+}
+
+impl RobustSpec {
+    /// A spec at `confidence` with the default effective sample size (100).
+    pub fn new(confidence: f64) -> Self {
+        RobustSpec { confidence, sample_size: 100.0 }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), RepairError> {
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(RepairError::InvalidInput {
+                detail: format!("robust confidence {} outside (0, 1)", self.confidence),
+            });
+        }
+        if !(self.sample_size > 0.0 && self.sample_size.is_finite()) {
+            return Err(RepairError::InvalidInput {
+                detail: format!("robust sample size {} must be positive", self.sample_size),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RobustSpec {
+    fn default() -> Self {
+        RobustSpec::new(0.95)
+    }
+}
+
 /// Options shared by the repair algorithms.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepairOptions {
@@ -119,6 +165,13 @@ pub struct RepairOptions {
     /// Region-solver options used by [`RepairStrategy::Lifting`] /
     /// [`RepairStrategy::Auto`].
     pub lifting: LiftingOptions,
+    /// When set, repairs are *robust*: the property must hold for every
+    /// member of the confidence-calibrated uncertainty ball around the
+    /// candidate model, verified by robust value iteration. Forces the
+    /// instantiate-and-check oracle (the symbolic path computes nominal,
+    /// not worst-case, values); [`RepairStrategy::Lifting`] degrades to
+    /// penalty search with a recorded fallback.
+    pub robust: Option<RobustSpec>,
 }
 
 impl Default for RepairOptions {
@@ -130,6 +183,7 @@ impl Default for RepairOptions {
             solver: tml_optimizer::PenaltyOptions::default(),
             strategy: RepairStrategy::default(),
             lifting: LiftingOptions::default(),
+            robust: None,
         }
     }
 }

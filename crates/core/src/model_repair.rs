@@ -3,7 +3,7 @@
 
 use tml_checker::Checker;
 use tml_logic::StateFormula;
-use tml_models::{Dtmc, Mdp};
+use tml_models::{Dtmc, IntervalDtmc, Mdp};
 use tml_numerics::{Budget, Diagnostics};
 use tml_optimizer::{BlockRow, ConstraintSense, Nlp, PenaltySolver, Solution};
 use tml_parametric::{
@@ -13,7 +13,9 @@ use tml_parametric::{
 use tml_telemetry::span;
 
 use crate::constraint::compile_constraint;
-use crate::{LinearExpr, PerturbationTemplate, RepairError, RepairOptions, RepairStrategy};
+use crate::{
+    LinearExpr, PerturbationTemplate, RepairError, RepairOptions, RepairStrategy, RobustSpec,
+};
 
 /// How a repair attempt concluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,14 +143,26 @@ impl ModelRepair {
         template: &PerturbationTemplate,
     ) -> Result<ModelRepairOutcome<Dtmc>, RepairError> {
         let _span = span!("model_repair", model = "dtmc", params = template.num_params());
+        let robust = self.opts.robust;
+        if let Some(rs) = &robust {
+            rs.validate()?;
+        }
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
         let mut diag = Diagnostics::new();
-        let initial = {
+        let initial_holds = {
             let _s = span!("model_repair.verify_initial");
-            checker.check_dtmc(base, formula)?
+            if let Some(rs) = robust {
+                let ball = IntervalDtmc::wilson_around(base, rs.confidence, rs.sample_size)?;
+                let r = checker.check_interval_dtmc(&ball, formula)?;
+                diag.absorb(r.diagnostics());
+                r.holds()
+            } else {
+                let r = checker.check_dtmc(base, formula)?;
+                diag.absorb(r.diagnostics());
+                r.holds()
+            }
         };
-        diag.absorb(initial.diagnostics());
-        if initial.holds() {
+        if initial_holds {
             return Ok(ModelRepairOutcome {
                 status: RepairStatus::AlreadySatisfied,
                 parameters: Vec::new(),
@@ -178,10 +192,20 @@ impl ModelRepair {
         // precision below the threshold.
         const MAX_SYMBOLIC_DEGREE: u32 = 16;
         let mut lifted: Option<LiftingOutcome> = None;
-        let compiled = match compile_constraint(&pdtmc, formula) {
-            Ok(sc) => Some(sc),
-            Err(RepairError::UnsupportedProperty { .. }) => None,
-            Err(other) => return Err(other),
+        // Robust repair constrains the *worst-case* value over the
+        // uncertainty ball, which the symbolic rational function (a nominal
+        // value) cannot express — the oracle path is mandatory.
+        let compiled = if robust.is_some() {
+            if self.opts.strategy == RepairStrategy::Lifting {
+                diag.record_fallback("lifting: robust repair uses the oracle, penalty search used");
+            }
+            None
+        } else {
+            match compile_constraint(&pdtmc, formula) {
+                Ok(sc) => Some(sc),
+                Err(RepairError::UnsupportedProperty { .. }) => None,
+                Err(other) => return Err(other),
+            }
         };
         match &compiled {
             Some(sc) if sc.function.complexity() <= MAX_SYMBOLIC_DEGREE => {
@@ -199,9 +223,20 @@ impl ModelRepair {
                 let phi = formula.clone();
                 let check_opts = self.opts.check;
                 let inner = self.budget.without_evaluation_cap();
-                nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
-                    oracle_value_dtmc(&pd, &phi, v, &check_opts, &inner)
-                });
+                if let Some(rs) = robust {
+                    // Worst-case oracle: the candidate's Wilson ball must
+                    // satisfy the bound at its conservative end.
+                    nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
+                        match pd.instantiate(v) {
+                            Ok(m) => robust_value_dtmc(&m, &phi, op, rs, &check_opts, &inner),
+                            Err(_) => f64::NAN,
+                        }
+                    });
+                } else {
+                    nlp.constraint_with_margin("property", sense_of(op), bound, margin, move |v| {
+                        oracle_value_dtmc(&pd, &phi, v, &check_opts, &inner)
+                    });
+                }
                 if let Some(sc) = &compiled {
                     // Interval enclosures stay sound at any degree (the
                     // uncancelled factors only widen them into Unknown
@@ -211,7 +246,7 @@ impl ModelRepair {
                         let (fns, rows) = self.symbolic_system(template, base, sc);
                         lifted = Some(self.lift_regions(template, &fns, &rows)?);
                     }
-                } else if self.opts.strategy == RepairStrategy::Lifting {
+                } else if robust.is_none() && self.opts.strategy == RepairStrategy::Lifting {
                     // Lifting was requested but needs the symbolic path.
                     diag.record_fallback("lifting: property not symbolic, penalty search used");
                 }
@@ -291,9 +326,16 @@ impl ModelRepair {
         }
         let _recheck = span!("model_repair.recheck");
         let repaired = pdtmc.instantiate(&sol.x)?;
-        let verdict = checker.check_dtmc(&repaired, formula)?;
-        diag.absorb(verdict.diagnostics());
-        let verified = verdict.holds();
+        let verified = if let Some(rs) = robust {
+            let ball = IntervalDtmc::wilson_around(&repaired, rs.confidence, rs.sample_size)?;
+            let verdict = checker.check_interval_dtmc(&ball, formula)?;
+            diag.absorb(verdict.diagnostics());
+            verdict.holds()
+        } else {
+            let verdict = checker.check_dtmc(&repaired, formula)?;
+            diag.absorb(verdict.diagnostics());
+            verdict.holds()
+        };
         let cost = frobenius_cost(template, &sol.x);
         let certificate = lifted.as_ref().map(|lift| {
             let lower_bound = lift.feasible_lower_bound();
@@ -336,6 +378,15 @@ impl ModelRepair {
         template: &MdpPerturbationTemplate,
     ) -> Result<ModelRepairOutcome<Mdp>, RepairError> {
         let _span = span!("model_repair", model = "mdp", params = template.num_params());
+        if self.opts.robust.is_some() {
+            // A confidence ball around an MDP candidate would need per-choice
+            // sample sizes and robust reach rewards on interval MDPs, neither
+            // of which is available — see tml_checker::robust.
+            return Err(RepairError::UnsupportedProperty {
+                property: formula.to_string(),
+                reason: "robust repair is only implemented for DTMC models".into(),
+            });
+        }
         let checker = Checker::with_options(self.opts.check).with_budget(self.budget.clone());
         let mut diag = Diagnostics::new();
         let initial = {
@@ -765,6 +816,31 @@ fn top_level_bound(formula: &StateFormula) -> Result<(tml_logic::CmpOp, f64), Re
     }
 }
 
+/// The conservative end of the robust bracket for the candidate's Wilson
+/// uncertainty ball: pessimistic for lower-bound properties, optimistic for
+/// upper bounds — the value the robust repair constraint must push past the
+/// bound. `NaN` (treated as infeasible by the optimizer) when the ball is
+/// malformed or the robust solve fails.
+pub(crate) fn robust_value_dtmc(
+    model: &Dtmc,
+    formula: &StateFormula,
+    op: tml_logic::CmpOp,
+    rs: RobustSpec,
+    check_opts: &tml_checker::CheckOptions,
+    budget: &Budget,
+) -> f64 {
+    let Ok(ball) = IntervalDtmc::wilson_around(model, rs.confidence, rs.sample_size) else {
+        return f64::NAN;
+    };
+    Checker::with_options(*check_opts)
+        .with_budget(budget.clone())
+        .check_interval_dtmc(&ball, formula)
+        .ok()
+        .and_then(|r| r.bracket_at_initial())
+        .map(|(lo, hi)| if op.is_lower_bound() { lo } else { hi })
+        .unwrap_or(f64::NAN)
+}
+
 fn oracle_value_dtmc(
     pdtmc: &tml_parametric::ParametricDtmc,
     formula: &StateFormula,
@@ -1052,5 +1128,121 @@ mod tests {
         // surfaces from the template path as UnsupportedProperty.
         let err = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template());
         assert!(matches!(err, Err(RepairError::UnsupportedProperty { .. })));
+    }
+
+    fn robust_opts(confidence: f64) -> crate::RepairOptions {
+        crate::RepairOptions { robust: Some(RobustSpec::new(confidence)), ..Default::default() }
+    }
+
+    #[test]
+    fn robust_repair_shifts_further_than_nominal() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let nominal = ModelRepair::new().repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        let robust = ModelRepair::with_options(robust_opts(0.95))
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(robust.status, RepairStatus::Repaired);
+        assert!(robust.verified, "robust repair must robust-verify");
+        // Nominal stops at v ≈ 0.1 (p = 0.9 exactly); robust must push the
+        // point estimate high enough that the Wilson lower bound clears 0.9,
+        // so it shifts strictly further and pays a strictly higher cost.
+        let vn = nominal.parameters[0].1;
+        let vr = robust.parameters[0].1;
+        assert!(vr > vn + 0.02, "robust v = {vr}, nominal v = {vn}");
+        assert!(robust.cost > nominal.cost, "{} vs {}", robust.cost, nominal.cost);
+        // The robust repair's point estimate itself clears the bound with
+        // room to spare — the calibration margin.
+        let m = robust.model.unwrap();
+        assert!(m.probability(0, 1) > 0.9 + 0.02);
+    }
+
+    #[test]
+    fn robust_repair_tightens_with_confidence() {
+        // Higher confidence ⇒ wider Wilson ball ⇒ larger shift.
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let lo = ModelRepair::with_options(robust_opts(0.80))
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        let hi = ModelRepair::with_options(robust_opts(0.99))
+            .repair_dtmc(&d, &phi, &shift_template())
+            .unwrap();
+        assert_eq!(lo.status, RepairStatus::Repaired);
+        assert_eq!(hi.status, RepairStatus::Repaired);
+        assert!(
+            hi.parameters[0].1 > lo.parameters[0].1,
+            "99% shift {} should exceed 80% shift {}",
+            hi.parameters[0].1,
+            lo.parameters[0].1
+        );
+    }
+
+    #[test]
+    fn robust_already_satisfied_needs_the_ball_to_pass() {
+        // Point estimate 0.8 passes P>=0.7 nominally, but the 95% ball's
+        // pessimistic value dips below 0.7 at sample size 25 — robust repair
+        // must actually move the chain rather than short-circuit.
+        let d = chain();
+        let phi = parse_formula("P>=0.7 [ F \"ok\" ]").unwrap();
+        let opts = crate::RepairOptions {
+            robust: Some(RobustSpec { confidence: 0.95, sample_size: 25.0 }),
+            ..Default::default()
+        };
+        let out = ModelRepair::with_options(opts).repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.verified);
+        assert!(out.cost > 0.0);
+    }
+
+    #[test]
+    fn robust_rejects_invalid_spec() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        for spec in [
+            RobustSpec { confidence: 1.0, sample_size: 100.0 },
+            RobustSpec { confidence: 0.0, sample_size: 100.0 },
+            RobustSpec { confidence: 0.95, sample_size: 0.0 },
+            RobustSpec { confidence: 0.95, sample_size: f64::NAN },
+        ] {
+            let opts = crate::RepairOptions { robust: Some(spec), ..Default::default() };
+            let err = ModelRepair::with_options(opts).repair_dtmc(&d, &phi, &shift_template());
+            assert!(matches!(err, Err(RepairError::InvalidInput { .. })), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn robust_mdp_repair_rejected() {
+        let mut b = MdpBuilder::new(2);
+        b.choice(0, "a", &[(0, 0.5), (1, 0.5)]).unwrap();
+        b.choice(1, "a", &[(1, 1.0)]).unwrap();
+        b.label(1, "ok").unwrap();
+        let m = b.build().unwrap();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let mut t = MdpPerturbationTemplate::new();
+        let v = t.parameter("v", -0.1, 0.1);
+        t.nudge(0, 0, 1, v, 1.0).unwrap();
+        t.nudge(0, 0, 0, v, -1.0).unwrap();
+        let err = ModelRepair::with_options(robust_opts(0.95)).repair_mdp(&m, &phi, &t);
+        assert!(matches!(err, Err(RepairError::UnsupportedProperty { .. })));
+    }
+
+    #[test]
+    fn robust_lifting_degrades_with_recorded_fallback() {
+        let d = chain();
+        let phi = parse_formula("P>=0.9 [ F \"ok\" ]").unwrap();
+        let opts = crate::RepairOptions {
+            strategy: RepairStrategy::Lifting,
+            robust: Some(RobustSpec::new(0.95)),
+            ..Default::default()
+        };
+        let out = ModelRepair::with_options(opts).repair_dtmc(&d, &phi, &shift_template()).unwrap();
+        assert_eq!(out.status, RepairStatus::Repaired);
+        assert!(out.certificate.is_none());
+        assert!(
+            out.diagnostics.fallbacks.iter().any(|f| f.contains("robust")),
+            "{:?}",
+            out.diagnostics.fallbacks
+        );
     }
 }

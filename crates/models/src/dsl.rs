@@ -28,19 +28,29 @@
 //! ```
 //!
 //! Choice rewards use `reward "name" STATE [ACTION-INDEX] = VALUE`.
+//!
+//! Transition probabilities may be **intervals** `LO..HI` instead of point
+//! values (`0 -> 0: 0.1..0.3, 1: 0.7..0.9`). A `dtmc`/`mdp` file containing
+//! any interval entry is promoted to an interval model; the directives
+//! `idtmc`/`imdp` force an interval model even when every entry is a point.
 
 use std::error::Error;
 use std::fmt;
 
+use crate::interval::{IntervalDtmc, IntervalDtmcBuilder, IntervalMdp, IntervalMdpBuilder};
 use crate::{Dtmc, DtmcBuilder, Mdp, MdpBuilder, ModelError};
 
-/// A parsed model file: either kind of model.
+/// A parsed model file: any kind of model.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelFile {
     /// A discrete-time Markov chain.
     Dtmc(Dtmc),
     /// A Markov decision process.
     Mdp(Mdp),
+    /// A Markov chain with `[lo, hi]` interval transition probabilities.
+    IntervalDtmc(IntervalDtmc),
+    /// An MDP with `[lo, hi]` interval transition probabilities.
+    IntervalMdp(IntervalMdp),
 }
 
 impl ModelFile {
@@ -49,14 +59,18 @@ impl ModelFile {
         match self {
             ModelFile::Dtmc(m) => m.num_states(),
             ModelFile::Mdp(m) => m.num_states(),
+            ModelFile::IntervalDtmc(m) => m.num_states(),
+            ModelFile::IntervalMdp(m) => m.num_states(),
         }
     }
 
-    /// `"dtmc"` or `"mdp"`.
+    /// `"dtmc"`, `"mdp"`, `"idtmc"` or `"imdp"`.
     pub fn kind(&self) -> &'static str {
         match self {
             ModelFile::Dtmc(_) => "dtmc",
             ModelFile::Mdp(_) => "mdp",
+            ModelFile::IntervalDtmc(_) => "idtmc",
+            ModelFile::IntervalMdp(_) => "imdp",
         }
     }
 }
@@ -84,10 +98,11 @@ impl fmt::Display for DslError {
 
 impl Error for DslError {}
 
-/// `(line, from, [(to, prob)])` — one parsed DTMC transition row.
-type DtmcRow = (usize, usize, Vec<(usize, f64)>);
-/// `(line, from, action, [(to, prob)])` — one parsed MDP choice row.
-type MdpRow = (usize, usize, String, Vec<(usize, f64)>);
+/// `(line, from, [(to, lo, hi)])` — one parsed DTMC transition row. Point
+/// probabilities are stored as degenerate intervals `lo == hi`.
+type DtmcRow = (usize, usize, Vec<(usize, f64, f64)>);
+/// `(line, from, action, [(to, lo, hi)])` — one parsed MDP choice row.
+type MdpRow = (usize, usize, String, Vec<(usize, f64, f64)>);
 
 /// Parses a model description.
 ///
@@ -116,6 +131,7 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
     let mut choice_rewards: Vec<(usize, String, usize, usize, f64)> = Vec::new();
     let mut dtmc_rows: Vec<DtmcRow> = Vec::new();
     let mut mdp_rows: Vec<MdpRow> = Vec::new();
+    let mut saw_interval = false;
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -127,10 +143,15 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
             match line {
                 "dtmc" => kind = Some("dtmc"),
                 "mdp" => kind = Some("mdp"),
+                "idtmc" => kind = Some("idtmc"),
+                "imdp" => kind = Some("imdp"),
                 other => {
                     return Err(DslError::new(
                         lineno,
-                        format!("expected 'dtmc' or 'mdp' as the first directive, found {other:?}"),
+                        format!(
+                            "expected 'dtmc', 'mdp', 'idtmc' or 'imdp' as the first directive, \
+                             found {other:?}"
+                        ),
                     ))
                 }
             }
@@ -154,7 +175,8 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
             let rhs =
                 rhs.strip_prefix('>').ok_or_else(|| DslError::new(lineno, "expected '->'"))?;
             let lhs = lhs.trim();
-            let dist = parse_distribution(rhs, lineno)?;
+            let (dist, has_interval) = parse_distribution(rhs, lineno)?;
+            saw_interval |= has_interval;
             if let Some(open) = lhs.find('[') {
                 let close = lhs
                     .find(']')
@@ -190,19 +212,40 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
     let kind = kind.ok_or_else(|| DslError::new(0, "empty model description"))?;
     let n = num_states.ok_or_else(|| DslError::new(0, "missing 'states N' directive"))?;
 
+    // A point-kind file that uses `LO..HI` entries is promoted to the
+    // matching interval kind.
+    let kind = match (kind, saw_interval) {
+        ("dtmc", true) => "idtmc",
+        ("mdp", true) => "imdp",
+        (k, _) => k,
+    };
+
     let wrap = |lineno: usize, e: ModelError| DslError::new(lineno, e.to_string());
+    let is_mdp = matches!(kind, "mdp" | "imdp");
+    if is_mdp {
+        if let Some((lineno, ..)) = dtmc_rows.first() {
+            return Err(DslError::new(
+                *lineno,
+                "mdp rows need an action name in brackets: STATE [action] -> ...",
+            ));
+        }
+    } else {
+        if let Some((lineno, _, action, _)) = mdp_rows.first() {
+            return Err(DslError::new(
+                *lineno,
+                format!("action {action:?} in a dtmc (use 'mdp' as the first directive)"),
+            ));
+        }
+        if let Some((lineno, ..)) = choice_rewards.first() {
+            return Err(DslError::new(*lineno, "choice rewards are only valid in an mdp"));
+        }
+    }
     match kind {
         "dtmc" => {
-            if let Some((lineno, _, action, _)) = mdp_rows.first() {
-                return Err(DslError::new(
-                    *lineno,
-                    format!("action {action:?} in a dtmc (use 'mdp' as the first directive)"),
-                ));
-            }
             let mut b = DtmcBuilder::new(n);
             b.initial_state(initial).map_err(|e| wrap(0, e))?;
             for (lineno, from, dist) in dtmc_rows {
-                for (to, p) in dist {
+                for (to, p, _) in dist {
                     b.transition(from, to, p).map_err(|e| wrap(lineno, e))?;
                 }
             }
@@ -212,19 +255,44 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
             for (lineno, name, s, v) in state_rewards {
                 b.state_reward(&name, s, v).map_err(|e| wrap(lineno, e))?;
             }
-            if let Some((lineno, ..)) = choice_rewards.first() {
-                return Err(DslError::new(*lineno, "choice rewards are only valid in an mdp"));
-            }
             Ok(ModelFile::Dtmc(b.build().map_err(|e| wrap(0, e))?))
         }
-        "mdp" => {
-            if let Some((lineno, ..)) = dtmc_rows.first() {
-                return Err(DslError::new(
-                    *lineno,
-                    "mdp rows need an action name in brackets: STATE [action] -> ...",
-                ));
+        "idtmc" => {
+            let mut b = IntervalDtmcBuilder::new(n);
+            b.initial_state(initial).map_err(|e| wrap(0, e))?;
+            for (lineno, from, dist) in dtmc_rows {
+                for (to, lo, hi) in dist {
+                    b.transition(from, to, lo, hi).map_err(|e| wrap(lineno, e))?;
+                }
             }
+            for (lineno, name, s) in labels {
+                b.label(s, &name).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s, v) in state_rewards {
+                b.state_reward(&name, s, v).map_err(|e| wrap(lineno, e))?;
+            }
+            Ok(ModelFile::IntervalDtmc(b.build().map_err(|e| wrap(0, e))?))
+        }
+        "mdp" => {
             let mut b = MdpBuilder::new(n);
+            b.initial_state(initial).map_err(|e| wrap(0, e))?;
+            for (lineno, from, action, dist) in mdp_rows {
+                let point: Vec<(usize, f64)> = dist.iter().map(|&(t, p, _)| (t, p)).collect();
+                b.choice(from, &action, &point).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s) in labels {
+                b.label(s, &name).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s, v) in state_rewards {
+                b.state_reward(&name, s, v).map_err(|e| wrap(lineno, e))?;
+            }
+            for (lineno, name, s, c, v) in choice_rewards {
+                b.choice_reward(&name, s, c, v).map_err(|e| wrap(lineno, e))?;
+            }
+            Ok(ModelFile::Mdp(b.build().map_err(|e| wrap(0, e))?))
+        }
+        "imdp" => {
+            let mut b = IntervalMdpBuilder::new(n);
             b.initial_state(initial).map_err(|e| wrap(0, e))?;
             for (lineno, from, action, dist) in mdp_rows {
                 b.choice(from, &action, &dist).map_err(|e| wrap(lineno, e))?;
@@ -238,7 +306,7 @@ pub fn parse_model(source: &str) -> Result<ModelFile, DslError> {
             for (lineno, name, s, c, v) in choice_rewards {
                 b.choice_reward(&name, s, c, v).map_err(|e| wrap(lineno, e))?;
             }
-            Ok(ModelFile::Mdp(b.build().map_err(|e| wrap(0, e))?))
+            Ok(ModelFile::IntervalMdp(b.build().map_err(|e| wrap(0, e))?))
         }
         _ => unreachable!("kind is validated above"),
     }
@@ -308,6 +376,72 @@ pub fn mdp_to_dsl(model: &Mdp) -> String {
     out
 }
 
+/// Serializes an interval DTMC into the textual format (round-trips
+/// through [`parse_model`] — the explicit `idtmc` directive preserves the
+/// kind even when every interval is degenerate).
+pub fn interval_dtmc_to_dsl(model: &IntervalDtmc) -> String {
+    let mut out = String::from("idtmc\n");
+    out.push_str(&format!("states {}\n", model.num_states()));
+    out.push_str(&format!("initial {}\n", model.initial_state()));
+    for label in model.labeling().labels() {
+        let states: Vec<String> =
+            model.labeling().states_with(label).map(|s| s.to_string()).collect();
+        out.push_str(&format!("label \"{label}\" = {}\n", states.join(", ")));
+    }
+    for rs in model.reward_structures() {
+        for s in 0..model.num_states() {
+            let r = rs.state_reward(s);
+            if r != 0.0 {
+                out.push_str(&format!("reward \"{}\" {s} = {r}\n", rs.name()));
+            }
+        }
+    }
+    for s in 0..model.num_states() {
+        let row: Vec<String> =
+            model.successors(s).map(|(t, lo, hi)| format!("{t}: {lo}..{hi}")).collect();
+        out.push_str(&format!("{s} -> {}\n", row.join(", ")));
+    }
+    out
+}
+
+/// Serializes an interval MDP into the textual format.
+pub fn interval_mdp_to_dsl(model: &IntervalMdp) -> String {
+    let mut out = String::from("imdp\n");
+    out.push_str(&format!("states {}\n", model.num_states()));
+    out.push_str(&format!("initial {}\n", model.initial_state()));
+    for label in model.labeling().labels() {
+        let states: Vec<String> =
+            model.labeling().states_with(label).map(|s| s.to_string()).collect();
+        out.push_str(&format!("label \"{label}\" = {}\n", states.join(", ")));
+    }
+    for rs in model.reward_structures() {
+        for s in 0..model.num_states() {
+            let r = rs.state_reward(s);
+            if r != 0.0 {
+                out.push_str(&format!("reward \"{}\" {s} = {r}\n", rs.name()));
+            }
+            for c in 0..model.num_choices(s) {
+                let cr = rs.choice_reward(s, c);
+                if cr != 0.0 {
+                    out.push_str(&format!("reward \"{}\" {s} [{c}] = {cr}\n", rs.name()));
+                }
+            }
+        }
+    }
+    for s in 0..model.num_states() {
+        for choice in model.choices(s) {
+            let row: Vec<String> =
+                choice.transitions.iter().map(|&(t, lo, hi)| format!("{t}: {lo}..{hi}")).collect();
+            out.push_str(&format!(
+                "{s} [{}] -> {}\n",
+                model.action_name(choice.action),
+                row.join(", ")
+            ));
+        }
+    }
+    out
+}
+
 fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(i) => &line[..i],
@@ -362,19 +496,37 @@ fn parse_reward(rest: &str, line: usize) -> Result<(String, usize, Option<usize>
     }
 }
 
-fn parse_distribution(text: &str, line: usize) -> Result<Vec<(usize, f64)>, DslError> {
+/// `(target, lo, hi)` triples plus whether any entry used interval syntax.
+type ParsedDistribution = (Vec<(usize, f64, f64)>, bool);
+
+/// Parses `TO: PROB` / `TO: LO..HI` entries. Returns the triples (point
+/// probabilities as degenerate intervals) and whether any entry used the
+/// interval syntax.
+fn parse_distribution(text: &str, line: usize) -> Result<ParsedDistribution, DslError> {
     let mut dist = Vec::new();
+    let mut has_interval = false;
     for part in text.split(',') {
         let (state, prob) = split_once(part, ':', line, "distribution entry")?;
-        dist.push((
-            parse_usize(state.trim(), line, "target state")?,
-            parse_f64(&prob, line, "probability")?,
-        ));
+        let target = parse_usize(state.trim(), line, "target state")?;
+        let (lo, hi) = match prob.split_once("..") {
+            Some((lo, hi)) => {
+                has_interval = true;
+                (
+                    parse_f64(lo, line, "interval lower bound")?,
+                    parse_f64(hi, line, "interval upper bound")?,
+                )
+            }
+            None => {
+                let p = parse_f64(&prob, line, "probability")?;
+                (p, p)
+            }
+        };
+        dist.push((target, lo, hi));
     }
     if dist.is_empty() {
         return Err(DslError::new(line, "empty distribution"));
     }
-    Ok(dist)
+    Ok((dist, has_interval))
 }
 
 fn split_once(
@@ -489,6 +641,67 @@ reward "cost" 0 [1] = 0.5
         let m =
             parse_model("# header\n\ndtmc # kind\nstates 1 # one\n0 -> 0: 1.0 # loop\n").unwrap();
         assert_eq!(m.num_states(), 1);
+    }
+
+    const IDTMC_SRC: &str = r#"
+idtmc
+states 3
+initial 0
+label "goal" = 2
+reward "steps" 0 = 1.0
+0 -> 0: 0.1..0.3, 1: 0.5..0.7, 2: 0.1..0.2
+1 -> 2: 1.0
+2 -> 2: 1.0
+"#;
+
+    #[test]
+    fn parses_interval_dtmc() {
+        let m = parse_model(IDTMC_SRC).unwrap();
+        assert_eq!(m.kind(), "idtmc");
+        let ModelFile::IntervalDtmc(m) = m else { panic!("expected idtmc") };
+        assert_eq!(m.bounds(0, 1), (0.5, 0.7));
+        assert_eq!(m.bounds(1, 2), (1.0, 1.0));
+        assert!(m.labeling().has(2, "goal"));
+        assert_eq!(m.reward_structure("steps").unwrap().state_reward(0), 1.0);
+    }
+
+    #[test]
+    fn interval_syntax_promotes_point_kinds() {
+        let m = parse_model("dtmc\nstates 2\n0 -> 1: 0.9..1.0\n1 -> 1: 1.0\n").unwrap();
+        assert_eq!(m.kind(), "idtmc");
+        let m = parse_model("mdp\nstates 1\n0 [a] -> 0: 0.9..1.0\n").unwrap();
+        assert_eq!(m.kind(), "imdp");
+        let ModelFile::IntervalMdp(m) = m else { panic!("expected imdp") };
+        assert_eq!(m.choices(0)[0].transitions, vec![(0, 0.9, 1.0)]);
+    }
+
+    #[test]
+    fn interval_roundtrips() {
+        let ModelFile::IntervalDtmc(m) = parse_model(IDTMC_SRC).unwrap() else { panic!() };
+        let printed = interval_dtmc_to_dsl(&m);
+        let ModelFile::IntervalDtmc(m2) = parse_model(&printed).unwrap() else { panic!() };
+        assert_eq!(m, m2);
+
+        let src = "imdp\nstates 2\nlabel \"goal\" = 1\nreward \"cost\" 0 [0] = 0.5\n\
+                   0 [go] -> 0: 0.0..0.2, 1: 0.8..1.0\n1 [stay] -> 1: 1.0\n";
+        let ModelFile::IntervalMdp(m) = parse_model(src).unwrap() else { panic!() };
+        let printed = interval_mdp_to_dsl(&m);
+        let ModelFile::IntervalMdp(m2) = parse_model(&printed).unwrap() else { panic!() };
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn interval_errors_reported_with_lines() {
+        // Inverted interval: rejected by the validating builder.
+        let err = parse_model("idtmc\nstates 1\n0 -> 0: 0.9..0.1\n").unwrap_err();
+        assert!(err.to_string().contains("interval"), "{err}");
+        assert_eq!(err.line, 3);
+        // Empty polytope (Σ hi < 1).
+        let err = parse_model("idtmc\nstates 1\n0 -> 0: 0.1..0.4\n").unwrap_err();
+        assert!(err.to_string().contains("sum"), "{err}");
+        // Malformed endpoints.
+        assert!(parse_model("idtmc\nstates 1\n0 -> 0: 0.1..x\n").is_err());
+        assert!(parse_model("idtmc\nstates 1\n0 -> 0: ..0.5\n").is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::interval::IntervalDtmcBuilder;
 use crate::{DtmcBuilder, MdpBuilder, ModelError, Path};
 
 /// A trace with a multiplicity/confidence weight and a class tag.
@@ -283,6 +284,84 @@ pub fn ml_dtmc(
     Ok(b)
 }
 
+/// Learns an **interval DTMC** from a trace dataset: the point estimate of
+/// each transition is replaced by its per-row Wilson score interval at the
+/// given `confidence` (e.g. `0.95`), so the resulting uncertainty set is
+/// calibrated to how much data actually backs each row. More observations
+/// shrink the intervals toward the maximum-likelihood chain; the
+/// maximum-likelihood estimate is always a member of the set.
+///
+/// Returns an [`IntervalDtmcBuilder`] so the caller can attach labels and
+/// rewards before building. Smoothing (if any) is applied to the counts
+/// before the intervals are formed; unvisited states get the exact
+/// self-loop `[1, 1]` when `opts.self_loop_unvisited` holds.
+///
+/// # Errors
+///
+/// * Propagates [`TraceDataset::transition_counts`] errors.
+/// * [`ModelError::InvalidProbability`] if `confidence` is not in `(0, 1)`.
+/// * [`ModelError::MissingDistribution`] if a state was never left and
+///   `opts.self_loop_unvisited` is false.
+///
+/// # Example
+///
+/// ```
+/// use tml_models::{learn, MlOptions, TraceDataset, Path};
+///
+/// # fn main() -> Result<(), tml_models::ModelError> {
+/// let mut ds = TraceDataset::new();
+/// let c = ds.add_class("obs");
+/// ds.push(c, Path::from_states(vec![0, 1, 1]), 8.0)?;
+/// ds.push(c, Path::from_states(vec![0, 0, 1]), 2.0)?;
+/// let m = learn::interval_dtmc_from_traces(2, &ds, None, 0.95, MlOptions::default())?
+///     .build()?;
+/// let (lo, hi) = m.bounds(0, 1);
+/// // The ML estimate 0.8 sits inside its Wilson interval.
+/// assert!(lo < 0.8 && 0.8 < hi);
+/// # Ok(())
+/// # }
+/// ```
+pub fn interval_dtmc_from_traces(
+    num_states: usize,
+    dataset: &TraceDataset,
+    class_weights: Option<&[f64]>,
+    confidence: f64,
+    opts: MlOptions,
+) -> Result<IntervalDtmcBuilder, ModelError> {
+    if !(confidence > 0.0 && confidence < 1.0 && confidence.is_finite()) {
+        return Err(ModelError::InvalidProbability {
+            value: confidence,
+            context: "confidence level must be in (0, 1)".into(),
+        });
+    }
+    let alpha = 1.0 - confidence;
+    let counts = dataset.transition_counts(num_states, class_weights)?;
+    let mut b = IntervalDtmcBuilder::new(num_states);
+    for (s, row) in counts.iter().enumerate() {
+        let smoothed: Vec<(usize, f64)> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(t, &c)| (t, c + opts.smoothing))
+            .collect();
+        let total: f64 = smoothed.iter().map(|&(_, c)| c).sum();
+        if total == 0.0 {
+            if opts.self_loop_unvisited {
+                b.transition(s, s, 1.0, 1.0)?;
+                continue;
+            }
+            return Err(ModelError::MissingDistribution { state: s });
+        }
+        for (t, c) in smoothed {
+            let ci = tml_numerics::stats::wilson_interval_weighted(c, total, alpha);
+            // Wilson contains the point estimate c/total, so Σ lo ≤ 1 ≤ Σ hi
+            // holds row-wise and the polytope is never empty.
+            b.transition(s, t, ci.low, ci.high)?;
+        }
+    }
+    Ok(b)
+}
+
 /// Maximum-likelihood MDP estimation from an action-annotated trace dataset.
 ///
 /// `action_names` fixes the action table (traces refer to actions by index
@@ -440,6 +519,47 @@ mod tests {
         ds.push(c, Path::from_states(vec![0, 1]), 1.0).unwrap();
         let names = vec!["a".to_owned()];
         assert!(ml_mdp(2, &names, &ds, None, MlOptions::default()).is_err());
+    }
+
+    #[test]
+    fn interval_learning_brackets_the_ml_estimate() {
+        let ds = dataset();
+        let ml = ml_dtmc(2, &ds, None, MlOptions::default()).unwrap().build().unwrap();
+        let m = interval_dtmc_from_traces(2, &ds, None, 0.9, MlOptions::default())
+            .unwrap()
+            .build()
+            .unwrap();
+        for s in 0..2 {
+            for (t, p) in ml.successors(s) {
+                let (lo, hi) = m.bounds(s, t);
+                assert!(lo <= p && p <= hi, "ML estimate {p} outside [{lo}, {hi}]");
+            }
+        }
+        assert!(m.contains(&ml));
+        // Unvisited state 1 gets the exact self-loop.
+        assert_eq!(m.bounds(1, 1), (1.0, 1.0));
+        // More data at the same confidence tightens the set.
+        let mut big = TraceDataset::new();
+        let c = big.add_class("good");
+        big.add_class("bad");
+        big.push(c, Path::from_states(vec![0, 1]), 200.0).unwrap();
+        big.push(c, Path::from_states(vec![0, 0]), 100.0).unwrap();
+        let tight = interval_dtmc_from_traces(2, &big, None, 0.9, MlOptions::default())
+            .unwrap()
+            .build()
+            .unwrap();
+        let (lo, hi) = m.bounds(0, 1);
+        let (tlo, thi) = tight.bounds(0, 1);
+        assert!(thi - tlo < hi - lo);
+        // Class weights flow through to the interval construction.
+        let sure = interval_dtmc_from_traces(2, &ds, Some(&[1.0, 0.0]), 0.9, MlOptions::default())
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(sure.bounds(0, 1).1 > 0.9);
+        // Bad confidence levels are rejected.
+        assert!(interval_dtmc_from_traces(2, &ds, None, 1.5, MlOptions::default()).is_err());
+        assert!(interval_dtmc_from_traces(2, &ds, None, 0.0, MlOptions::default()).is_err());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`Path`] and simulation — sampling trajectories from models.
 //! * [`learn`] — maximum-likelihood estimation of transition probabilities
 //!   from trace datasets, the `ML(D)` procedure of the TML pipeline.
+//! * [`interval`] — interval DTMCs/MDPs whose transitions carry `[lo, hi]`
+//!   probability bounds, calibrated from trace counts for robust checking.
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ pub mod dsl;
 mod dtmc;
 mod error;
 pub mod graph;
+pub mod interval;
 mod label;
 pub mod learn;
 mod mdp;
@@ -51,6 +54,9 @@ mod reward;
 
 pub use dtmc::{Dtmc, DtmcBuilder};
 pub use error::ModelError;
+pub use interval::{
+    IntervalChoice, IntervalDtmc, IntervalDtmcBuilder, IntervalMdp, IntervalMdpBuilder,
+};
 pub use label::Labeling;
 pub use learn::{MlOptions, TraceDataset, WeightedTrace};
 pub use mdp::{Choice, Mdp, MdpBuilder};

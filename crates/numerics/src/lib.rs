@@ -21,6 +21,8 @@
 //!   order, trivial components by closed-form back-substitution.
 //! * [`interval`] — two-sided (interval) iteration that brackets the
 //!   fixed point with sound lower/upper bounds.
+//! * [`stats`] — Wilson/Hoeffding confidence intervals shared by the
+//!   conformance simulator and the interval-model learner.
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@ pub mod iterative;
 pub mod scc;
 pub mod solve;
 mod sparse;
+pub mod stats;
 pub mod vector;
 
 pub use budget::{Budget, CancelToken, Diagnostics, Exhaustion};

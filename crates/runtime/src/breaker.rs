@@ -1,8 +1,8 @@
 //! Per-backend circuit breakers for the checker's linear solvers.
 //!
 //! The checker records one `checker.backend.<name>.{ok,fail}` counter pair
-//! per solve attempt (scc, gauss–seidel, jacobi, direct, interval). The
-//! batch executor
+//! per solve attempt (scc, gauss–seidel, jacobi, direct, interval, robust).
+//! The batch executor
 //! folds each finished job's counters into a [`SolverBreakers`] set; a
 //! backend that fails `threshold` consecutive jobs trips **open** and is
 //! skipped — under `LinearSolver::Auto` an open Gauss–Seidel breaker
@@ -187,8 +187,8 @@ pub struct BreakerSnapshot {
 }
 
 /// Point-in-time view of all backend breakers, in the fixed order
-/// (scc, gauss-seidel, jacobi, direct, interval) — the shape `/readyz`
-/// serializes.
+/// (scc, gauss-seidel, jacobi, direct, interval, robust) — the shape
+/// `/readyz` serializes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakersSnapshot {
     /// The SCC-decomposed backend (first stage under `Auto`).
@@ -201,17 +201,20 @@ pub struct BreakersSnapshot {
     pub direct: BreakerSnapshot,
     /// The interval (two-sided) iteration backend.
     pub interval: BreakerSnapshot,
+    /// The robust (min-max) value-iteration backend for interval models.
+    pub robust: BreakerSnapshot,
 }
 
 impl BreakersSnapshot {
     /// `(wire name, snapshot)` pairs in the fixed backend order.
-    pub fn named(&self) -> [(&'static str, BreakerSnapshot); 5] {
+    pub fn named(&self) -> [(&'static str, BreakerSnapshot); 6] {
         [
             ("scc", self.scc),
             ("gauss_seidel", self.gauss_seidel),
             ("jacobi", self.jacobi),
             ("direct", self.direct),
             ("interval", self.interval),
+            ("robust", self.robust),
         ]
     }
 
@@ -221,7 +224,7 @@ impl BreakersSnapshot {
     }
 }
 
-/// The five checker backends, each behind its own breaker.
+/// The six checker backends, each behind its own breaker.
 #[derive(Debug, Clone)]
 pub struct SolverBreakers {
     scc: CircuitBreaker,
@@ -229,6 +232,7 @@ pub struct SolverBreakers {
     jacobi: CircuitBreaker,
     direct: CircuitBreaker,
     interval: CircuitBreaker,
+    robust: CircuitBreaker,
 }
 
 impl Default for SolverBreakers {
@@ -239,6 +243,7 @@ impl Default for SolverBreakers {
             jacobi: CircuitBreaker::new(3, 8),
             direct: CircuitBreaker::new(5, 16),
             interval: CircuitBreaker::new(3, 8),
+            robust: CircuitBreaker::new(3, 8),
         }
     }
 }
@@ -252,7 +257,8 @@ impl SolverBreakers {
             gauss_seidel: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
             jacobi: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
             direct: CircuitBreaker::with_recovery(5, recovery, clock.clone()),
-            interval: CircuitBreaker::with_recovery(3, recovery, clock),
+            interval: CircuitBreaker::with_recovery(3, recovery, clock.clone()),
+            robust: CircuitBreaker::with_recovery(3, recovery, clock),
         }
     }
 
@@ -267,6 +273,7 @@ impl SolverBreakers {
             ("jacobi", &mut self.jacobi),
             ("direct", &mut self.direct),
             ("interval", &mut self.interval),
+            ("robust", &mut self.robust),
         ] {
             let ok = diag.telemetry.counter(&format!("checker.backend.{name}.ok"));
             let fail = diag.telemetry.counter(&format!("checker.backend.{name}.fail"));
@@ -292,6 +299,10 @@ impl SolverBreakers {
             tml_telemetry::counter!("runtime.breaker.reroutes", 1);
             opts.solver = LinearSolver::Direct;
         }
+        if opts.solver == LinearSolver::Auto && opts.robust_vi_enabled && !self.robust.allows() {
+            tml_telemetry::counter!("runtime.breaker.robust_disables", 1);
+            opts.robust_vi_enabled = false;
+        }
     }
 
     /// State triple (gauss-seidel, jacobi, direct) for journaling.
@@ -299,7 +310,7 @@ impl SolverBreakers {
         (self.gauss_seidel.state(), self.jacobi.state(), self.direct.state())
     }
 
-    /// Snapshot of all five breakers for readiness endpoints.
+    /// Snapshot of all six breakers for readiness endpoints.
     pub fn snapshot(&self) -> BreakersSnapshot {
         BreakersSnapshot {
             scc: self.scc.snapshot(),
@@ -307,6 +318,7 @@ impl SolverBreakers {
             jacobi: self.jacobi.snapshot(),
             direct: self.direct.snapshot(),
             interval: self.interval.snapshot(),
+            robust: self.robust.snapshot(),
         }
     }
 
@@ -410,7 +422,7 @@ mod tests {
         assert!(snap.any_open());
         assert!(!set.direct_open(), "only the GS backend tripped");
         let names: Vec<&str> = snap.named().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, ["scc", "gauss_seidel", "jacobi", "direct", "interval"]);
+        assert_eq!(names, ["scc", "gauss_seidel", "jacobi", "direct", "interval", "robust"]);
         assert_eq!(BreakerState::HalfOpen.name(), "half_open");
     }
 
@@ -451,6 +463,25 @@ mod tests {
         for (_, snap) in set.snapshot().named() {
             assert_eq!(snap.state, BreakerState::Closed);
         }
+    }
+
+    #[test]
+    fn robust_breaker_disables_robust_vi_under_auto() {
+        let mut set = SolverBreakers::default();
+        let mut diag = Diagnostics::new();
+        diag.telemetry.incr("checker.backend.robust.fail", 1);
+        for _ in 0..3 {
+            set.observe(&diag);
+        }
+        let mut opts = CheckOptions::default();
+        assert!(opts.robust_vi_enabled);
+        set.adjust(&mut opts);
+        assert!(!opts.robust_vi_enabled, "open robust breaker clears robust VI");
+        assert_eq!(opts.solver, LinearSolver::Auto);
+        // A pinned solver keeps robust VI even with the breaker open.
+        let mut pinned = CheckOptions { solver: LinearSolver::Direct, ..Default::default() };
+        set.adjust(&mut pinned);
+        assert!(pinned.robust_vi_enabled);
     }
 
     #[test]

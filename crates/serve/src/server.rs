@@ -603,6 +603,15 @@ fn run_verify(
                 let result = checker.check_mdp(&m, &formula).map_err(|e| e.to_string())?;
                 Ok((result.holds(), None))
             }
+            ModelFile::IntervalDtmc(m) => {
+                let result =
+                    checker.check_interval_dtmc(&m, &formula).map_err(|e| e.to_string())?;
+                Ok((result.holds(), None))
+            }
+            ModelFile::IntervalMdp(m) => {
+                let result = checker.check_interval_mdp(&m, &formula).map_err(|e| e.to_string())?;
+                Ok((result.holds(), None))
+            }
         }
     });
     let failure = |kind: FailureKind, detail: String| {

@@ -381,6 +381,112 @@ mod diagnostics_absorb_properties {
 
 // -------------------------------------------------- budget exhaustion paths
 
+// ------------------------------------------------- degenerate interval sets
+
+mod degenerate_intervals {
+    use super::*;
+    use trusted_ml::checker::{CheckError, Checker};
+    use trusted_ml::models::IntervalDtmcBuilder;
+
+    /// Robust VI on malformed uncertainty sets must return a structured
+    /// `InvalidInterval` error — never hang, panic, or emit NaN values.
+    fn check_rejects(build: impl FnOnce(&mut IntervalDtmcBuilder)) -> CheckError {
+        let mut b = IntervalDtmcBuilder::unchecked(2);
+        b.label(1, "goal").unwrap();
+        build(&mut b);
+        let model = b.build().expect("unchecked builder accepts malformed rows");
+        let phi = parse_formula("P>=0.5 [ F \"goal\" ]").unwrap();
+        let start = Instant::now();
+        let err = Checker::new().check_interval_dtmc(&model, &phi).unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(5), "validation must not iterate");
+        err
+    }
+
+    #[test]
+    fn nan_endpoints_are_rejected() {
+        let err = check_rejects(|b| {
+            b.transition(0, 1, f64::NAN, 1.0).unwrap();
+            b.transition(1, 1, 1.0, 1.0).unwrap();
+        });
+        assert!(matches!(err, CheckError::InvalidInterval { state: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn inverted_interval_is_rejected() {
+        // lo > hi: the row has no admissible probability at all.
+        let err = check_rejects(|b| {
+            b.transition(0, 1, 0.9, 0.4).unwrap();
+            b.transition(1, 1, 1.0, 1.0).unwrap();
+        });
+        assert!(matches!(err, CheckError::InvalidInterval { state: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_row_polytope_is_rejected() {
+        // Upper bounds sum below 1: no member distribution exists.
+        let err = check_rejects(|b| {
+            b.transition(0, 0, 0.1, 0.3).unwrap();
+            b.transition(0, 1, 0.1, 0.3).unwrap();
+            b.transition(1, 1, 1.0, 1.0).unwrap();
+        });
+        assert!(matches!(err, CheckError::InvalidInterval { state: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn lower_bounds_above_one_are_rejected() {
+        // Lower bounds sum above 1: every member would be super-stochastic.
+        let err = check_rejects(|b| {
+            b.transition(0, 0, 0.7, 0.9).unwrap();
+            b.transition(0, 1, 0.7, 0.9).unwrap();
+            b.transition(1, 1, 1.0, 1.0).unwrap();
+        });
+        assert!(matches!(err, CheckError::InvalidInterval { state: 0, .. }), "{err}");
+    }
+
+    /// An open robust breaker under `Auto` reroutes interval-DTMC checks to
+    /// the nominal scalar checker (collapsed bracket, recorded fallback)
+    /// instead of failing or looping on the robust back-end.
+    #[test]
+    fn open_robust_breaker_reroutes_to_nominal_under_auto() {
+        use trusted_ml::models::IntervalDtmc;
+        use trusted_ml::runtime::SolverBreakers;
+
+        // Trip the robust breaker with three failed observations, exactly
+        // as the runtime would after three invalid-interval jobs.
+        let mut breakers = SolverBreakers::default();
+        let mut failing = trusted_ml::checker::Diagnostics::default();
+        failing.telemetry.incr("checker.backend.robust.fail", 1);
+        for _ in 0..3 {
+            breakers.observe(&failing);
+        }
+        let mut opts = CheckOptions::default();
+        assert!(opts.robust_vi_enabled);
+        breakers.adjust(&mut opts);
+        assert!(!opts.robust_vi_enabled, "open breaker must disable robust VI under Auto");
+
+        // The rerouted check still answers, with a collapsed bracket from
+        // the nominal chain and the degradation on record.
+        let mut b = DtmcBuilder::new(2);
+        b.transition(0, 1, 0.8).unwrap();
+        b.transition(0, 0, 0.2).unwrap();
+        b.transition(1, 1, 1.0).unwrap();
+        b.label(1, "goal").unwrap();
+        let ball = IntervalDtmc::wilson_around(&b.build().unwrap(), 0.95, 100.0).unwrap();
+        let phi = parse_formula("P>=0.5 [ F \"goal\" ]").unwrap();
+        let r = trusted_ml::checker::Checker::with_options(opts)
+            .check_interval_dtmc(&ball, &phi)
+            .unwrap();
+        assert!(r.holds());
+        let (lo, hi) = r.bracket_at_initial().unwrap();
+        assert_eq!(lo, hi, "nominal fallback collapses the bracket");
+        assert!(
+            r.diagnostics().fallbacks.iter().any(|f| f.contains("robust")),
+            "{:?}",
+            r.diagnostics().fallbacks
+        );
+    }
+}
+
 /// Every exhaustion cause yields a best-effort answer from the checker
 /// facade — never an error, never a hang, always well-formed values.
 #[test]
